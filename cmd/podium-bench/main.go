@@ -1,0 +1,179 @@
+// podium-bench regenerates the paper's evaluation figures (Section 8) on the
+// synthetic datasets. Each subcommand prints the rows/series of one figure;
+// `all` runs everything. The -scale flag trades fidelity for speed: it sets
+// the user counts of the generated datasets (paper scale is 4475 TripAdvisor
+// users and 60000 Yelp users; the defaults are laptop-friendly).
+//
+// Usage:
+//
+//	podium-bench fig3a          # TripAdvisor intrinsic diversity
+//	podium-bench fig3b          # TripAdvisor opinion diversity
+//	podium-bench fig3c          # Yelp intrinsic diversity
+//	podium-bench fig3d          # Yelp opinion diversity
+//	podium-bench fig4           # customization effect
+//	podium-bench fig5           # scalability in |U|
+//	podium-bench fig6           # scalability in profile size
+//	podium-bench approx         # greedy vs optimal ratio (§8.4)
+//	podium-bench ablate         # design-choice ablations (DESIGN.md E10)
+//	podium-bench extra          # extended baselines: stratified, max-min distance
+//	podium-bench noise          # randomized selection (future work, §10)
+//	podium-bench all -scale 800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"podium/internal/experiments"
+	"podium/internal/synth"
+	"podium/internal/viz"
+)
+
+func main() {
+	fs := flag.NewFlagSet("podium-bench", flag.ExitOnError)
+	scale := fs.Int("scale", 600, "dataset user count (0 = paper scale)")
+	seed := fs.Int64("seed", 7, "experiment seed")
+	budget := fs.Int("budget", 8, "selection budget B")
+	raw := fs.Bool("raw", false, "print raw metric values instead of normalized")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
+	svgDir := fs.String("svgdir", "", "also write each table as an SVG chart into this directory")
+
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	_ = fs.Parse(os.Args[2:])
+
+	taUsers := *scale
+	ylUsers := *scale
+	if ylUsers > 0 {
+		ylUsers = ylUsers * 4 / 3 // Yelp-like has more users, as in the paper
+	}
+
+	ta := func() *synth.Dataset { return synth.Generate(synth.TripAdvisorLike(taUsers)) }
+	yl := func() *synth.Dataset { return synth.Generate(synth.YelpLike(ylUsers)) }
+
+	emit := func(t *experiments.Table) {
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, t); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *csvOut {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			return
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+	show := func(t *experiments.Table) {
+		if !*raw {
+			t = t.Normalized()
+		}
+		emit(t)
+	}
+	showRaw := emit
+
+	run := map[string]func(){
+		"fig3a": func() {
+			show(experiments.RunIntrinsic(experiments.IntrinsicConfig{Dataset: ta(), Seed: *seed, Budget: *budget}))
+		},
+		"fig3b": func() {
+			show(experiments.RunOpinion(experiments.OpinionConfig{Dataset: ta(), Seed: *seed, Budget: *budget}))
+		},
+		"fig3c": func() {
+			show(experiments.RunIntrinsic(experiments.IntrinsicConfig{Dataset: yl(), Seed: *seed, Budget: *budget}))
+		},
+		"fig3d": func() {
+			show(experiments.RunOpinion(experiments.OpinionConfig{Dataset: yl(), Seed: *seed, Budget: *budget, IncludeUsefulness: true}))
+		},
+		"fig4": func() {
+			showRaw(experiments.RunCustomization(experiments.CustomizationConfig{Dataset: yl(), Seed: *seed, Budget: *budget}))
+		},
+		"fig5": func() {
+			showRaw(experiments.RunScalabilityUsers(experiments.ScalabilityConfig{Seed: *seed, Budget: *budget}))
+		},
+		"fig6": func() {
+			showRaw(experiments.RunScalabilityProfile(experiments.ScalabilityConfig{Seed: *seed, Budget: *budget}))
+		},
+		"approx": func() {
+			showRaw(experiments.RunApproxRatio(experiments.ApproxConfig{Seed: *seed}))
+		},
+		"ablate": func() {
+			cfg := experiments.AblationConfig{Dataset: ta(), Budget: *budget}
+			showRaw(experiments.RunBucketingAblation(cfg))
+			showRaw(experiments.RunSchemeAblation(cfg))
+			showRaw(experiments.RunLazyAblation(cfg))
+		},
+		"extra": func() {
+			showRaw(experiments.RunExtendedIntrinsic(experiments.IntrinsicConfig{Dataset: ta(), Seed: *seed, Budget: *budget}))
+		},
+		"noise": func() {
+			showRaw(experiments.RunNoiseAblation(experiments.NoiseConfig{Dataset: ta(), Seed: *seed, Budget: *budget}))
+		},
+		"holdout": func() {
+			show(experiments.RunHoldOut(experiments.HoldOutConfig{Dataset: ta(), Seed: *seed, Budget: *budget}))
+		},
+		"budget": func() {
+			showRaw(experiments.RunBudgetSweep(experiments.BudgetSweepConfig{Dataset: ta(), Seed: *seed}))
+		},
+		"transfer": func() {
+			showRaw(experiments.RunDiversityTransfer(experiments.TransferConfig{Dataset: ta(), Seed: *seed, Budget: *budget}))
+		},
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig4", "fig5", "fig6", "approx", "ablate", "extra", "noise", "holdout", "budget", "transfer"} {
+			fmt.Printf("=== %s ===\n", name)
+			run[name]()
+		}
+		return
+	}
+	f, ok := run[cmd]
+	if !ok {
+		usage()
+		os.Exit(2)
+	}
+	f()
+}
+
+// writeSVG renders a table as an SVG chart in dir: line charts for the
+// scalability sweeps (Figures 5/6), grouped bars for everything else.
+func writeSVG(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, t.Title)
+	slug = strings.Trim(strings.Join(strings.FieldsFunc(slug, func(r rune) bool { return r == '-' }), "-"), "-")
+	f, err := os.Create(filepath.Join(dir, slug+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasPrefix(t.Title, "Scalability") {
+		return viz.Lines(f, t)
+	}
+	return viz.GroupedBars(f, t)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv]`)
+}

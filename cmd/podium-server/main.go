@@ -1,0 +1,90 @@
+// podium-server serves the Podium HTTP API over a profiles JSON file or a
+// freshly generated synthetic dataset — the Go counterpart of the paper's
+// Flask prototype (Section 7). See GET / for the endpoint list.
+//
+// Usage:
+//
+//	podium-server -in profiles.json -addr :8080
+//	podium-server -dataset yelp -users 800
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"podium/internal/groups"
+	"podium/internal/load"
+	"podium/internal/profile"
+	"podium/internal/server"
+	"podium/internal/synth"
+)
+
+func defaultConfigs() []server.NamedConfig {
+	return []server.NamedConfig{
+		{
+			Name:        "default",
+			Description: "LBS weights, Single coverage, budget 8 — the paper's default configuration",
+			Budget:      8, Weights: "LBS", Coverage: "Single",
+		},
+		{
+			Name:        "eccentric",
+			Description: "Iden weights: maximize the number of covered groups, favoring eccentric users",
+			Budget:      8, Weights: "Iden", Coverage: "Single",
+		},
+	}
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		in      = flag.String("in", "", "profiles file: JSON, binary or repository log (overrides -dataset)")
+		logPath = flag.String("log", "", "repository log path: serve a MUTABLE repository backed by this log (POST /api/users, /api/scores)")
+		dataset = flag.String("dataset", "tripadvisor", "generator preset when no -in: tripadvisor | yelp")
+		users   = flag.Int("users", 500, "generated user count when no -in")
+		buckets = flag.Int("buckets", 3, "score buckets per property")
+	)
+	flag.Parse()
+
+	configs := defaultConfigs()
+
+	if *logPath != "" {
+		srv, err := server.NewMutable(*logPath, *logPath, groups.Config{K: *buckets}, configs)
+		if err != nil {
+			log.Fatalf("podium-server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("podium-server: mutable repository %s — %d users; listening on http://%s\n",
+			*logPath, srv.Repository().NumUsers(), *addr)
+		log.Fatal(http.ListenAndServe(*addr, srv))
+	}
+
+	var repo *profile.Repository
+	var name string
+	if *in != "" {
+		var err error
+		repo, err = load.Repository(*in)
+		if err != nil {
+			log.Fatalf("podium-server: %v", err)
+		}
+		name = *in
+	} else {
+		var cfg synth.Config
+		switch *dataset {
+		case "tripadvisor":
+			cfg = synth.TripAdvisorLike(*users)
+		case "yelp":
+			cfg = synth.YelpLike(*users)
+		default:
+			log.Fatalf("podium-server: unknown dataset %q", *dataset)
+		}
+		repo = synth.Generate(cfg).Repo
+		name = cfg.Name
+	}
+
+	srv := server.New(name, repo, groups.Config{K: *buckets}, configs)
+	fmt.Printf("podium-server: %s — %d users, %d properties; listening on http://%s\n",
+		name, repo.NumUsers(), repo.NumProperties(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

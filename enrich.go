@@ -1,0 +1,67 @@
+package podium
+
+import (
+	"podium/internal/taxonomy"
+)
+
+// Taxonomy is a category taxonomy of isA edges used by generalization rules
+// (Section 3.1 of the paper: Mexican cuisine isA Latin cuisine).
+type Taxonomy = taxonomy.Taxonomy
+
+// NewTaxonomy returns an empty taxonomy.
+func NewTaxonomy() *Taxonomy { return taxonomy.New() }
+
+// InferenceRule derives new property scores from existing ones. Rules never
+// overwrite explicit data.
+type InferenceRule = taxonomy.Rule
+
+// Aggregator selects how generalization combines child-category scores.
+type Aggregator = taxonomy.Aggregator
+
+// Aggregator values: mean for rating aggregates, capped sum for frequency
+// fractions, max for Boolean properties.
+const (
+	AggMean      = taxonomy.AggMean
+	AggSumCapped = taxonomy.AggSumCapped
+	AggMax       = taxonomy.AggMax
+)
+
+// Generalization builds the rule that derives "<prefix><ancestor>" scores
+// from "<prefix><category>" scores along the taxonomy (Example 3.2: from
+// "avgRating Mexican" derive "avgRating Latin").
+func Generalization(prefix string, tax *Taxonomy, agg Aggregator) InferenceRule {
+	return taxonomy.GeneralizationRule{Prefix: prefix, Tax: tax, Agg: agg}
+}
+
+// Functional builds the rule for mutually exclusive Boolean properties
+// sharing a prefix: a positive variant implies the falsehood of all others
+// (Example 3.2: livesIn). With no explicit variants they are discovered from
+// the repository's catalog.
+func Functional(prefix string, variants ...string) InferenceRule {
+	return taxonomy.FunctionalRule{Prefix: prefix, Variants: variants}
+}
+
+// MineFunctionalRules discovers functional property families automatically
+// (Section 3.1's "derived via rule mining techniques"): label families
+// "<prefix><sep><variant>" that are Boolean and mutually exclusive across
+// every user, with at least minSupport positive holders.
+func MineFunctionalRules(repo *Repository, sep string, minSupport int) []InferenceRule {
+	mined := taxonomy.MineFunctionalPrefixes(repo, sep, minSupport)
+	rules := make([]InferenceRule, len(mined))
+	for i, m := range mined {
+		rules[i] = m.Rule()
+	}
+	return rules
+}
+
+// Enrich applies inference rules to the repository in order (the
+// preprocessing step of Section 3.1), returning the number of derived
+// scores. Call it before New — grouping sees the enriched profiles.
+func Enrich(repo *Repository, rules ...InferenceRule) (int, error) {
+	counts, err := taxonomy.NewEngine(rules...).Run(repo)
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}

@@ -1,0 +1,82 @@
+package podium
+
+import (
+	"testing"
+
+	"podium/internal/profile"
+)
+
+func TestEnrichGeneralization(t *testing.T) {
+	tax := NewTaxonomy()
+	tax.MustAddIsA("Mexican", "Latin")
+	tax.MustAddIsA("Brazilian", "Latin")
+
+	repo := NewRepository()
+	u := repo.AddUser("A")
+	if err := repo.SetScore(u, "avgRating Mexican", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.SetScore(u, "avgRating Brazilian", 0.5); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := Enrich(repo, Generalization("avgRating ", tax, AggMean))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 { // avgRating Latin
+		t.Fatalf("derived %d, want 1", n)
+	}
+	id, ok := repo.Catalog().Lookup("avgRating Latin")
+	if !ok {
+		t.Fatal("derived property missing")
+	}
+	if s, _ := repo.Profile(u).Score(id); s != 0.7 {
+		t.Fatalf("avgRating Latin = %v, want 0.7", s)
+	}
+}
+
+func TestEnrichFunctionalAndSelection(t *testing.T) {
+	// The full §3.1 preprocessing → selection pipeline through the facade.
+	repo := profile.PaperExample()
+	n, err := Enrich(repo, Functional("livesIn "))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("derived %d falsehoods, want 15", n)
+	}
+	p, err := New(repo, WithFixedCuts(0.4, 0.65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enrichment adds the negated-residence groups: more than the plain 16.
+	if p.NumGroups() <= 16 {
+		t.Fatalf("groups = %d, want enrichment to add negated groups", p.NumGroups())
+	}
+	if _, err := p.Select(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineFunctionalRulesFacade(t *testing.T) {
+	repo := profile.PaperExample()
+	rules := MineFunctionalRules(repo, " ", 1)
+	if len(rules) == 0 {
+		t.Fatal("nothing mined")
+	}
+	n, err := Enrich(repo, rules...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 15 {
+		t.Fatalf("mined enrichment derived %d, want 15 (livesIn falsehoods)", n)
+	}
+}
+
+func TestEnrichRejectsBadRule(t *testing.T) {
+	repo := NewRepository()
+	if _, err := Enrich(repo, Generalization("p ", nil, AggMean)); err == nil {
+		t.Fatal("nil-taxonomy rule accepted")
+	}
+}

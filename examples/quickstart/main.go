@@ -1,0 +1,77 @@
+// Quickstart: build a small user repository through the public API, select a
+// diverse subset of 4 users, and print the explanation report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"podium"
+)
+
+func main() {
+	repo := podium.NewRepository()
+
+	// Twelve users of a travel site: a residence city, an age group, and a
+	// few activity-derived scores each. Scores are normalized to [0,1].
+	type user struct {
+		name  string
+		props map[string]float64
+	}
+	users := []user{
+		{"ana", map[string]float64{"livesIn Tokyo": 1, "ageGroup 18-29": 1, "avgRating Sushi": 0.9, "visitFreq Sushi": 0.7}},
+		{"ben", map[string]float64{"livesIn Tokyo": 1, "ageGroup 30-44": 1, "avgRating Sushi": 0.2, "visitFreq Ramen": 0.8}},
+		{"cho", map[string]float64{"livesIn Osaka": 1, "ageGroup 18-29": 1, "avgRating Ramen": 0.85, "visitFreq Ramen": 0.6}},
+		{"dev", map[string]float64{"livesIn Osaka": 1, "ageGroup 45-64": 1, "avgRating Sushi": 0.55, "visitFreq Sushi": 0.3}},
+		{"eli", map[string]float64{"livesIn Kyoto": 1, "ageGroup 30-44": 1, "avgRating Ramen": 0.15, "visitFreq Ramen": 0.2}},
+		{"fay", map[string]float64{"livesIn Tokyo": 1, "ageGroup 45-64": 1, "avgRating Sushi": 0.95, "avgRating Ramen": 0.9}},
+		{"gus", map[string]float64{"livesIn Kyoto": 1, "ageGroup 18-29": 1, "avgRating Sushi": 0.4, "visitFreq Sushi": 0.5}},
+		{"hana", map[string]float64{"livesIn Tokyo": 1, "ageGroup 65+": 1, "avgRating Ramen": 0.5, "visitFreq Ramen": 0.4}},
+		{"ivo", map[string]float64{"livesIn Osaka": 1, "ageGroup 30-44": 1, "avgRating Sushi": 0.7, "visitFreq Sushi": 0.9}},
+		{"jun", map[string]float64{"livesIn Kyoto": 1, "ageGroup 45-64": 1, "avgRating Ramen": 0.75, "visitFreq Ramen": 0.85}},
+		{"kira", map[string]float64{"livesIn Tokyo": 1, "ageGroup 18-29": 1, "avgRating Sushi": 0.1, "avgRating Ramen": 0.3}},
+		{"lou", map[string]float64{"livesIn Osaka": 1, "ageGroup 65+": 1, "avgRating Sushi": 0.6, "visitFreq Ramen": 0.1}},
+	}
+	for _, u := range users {
+		id := repo.AddUser(u.name)
+		for label, score := range u.props {
+			if err := repo.SetScore(id, label, score); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Group every property into low/medium/high score buckets, weight
+	// groups by size (LBS), one representative per group (Single).
+	p, err := podium.New(repo,
+		podium.WithBuckets(3),
+		podium.WithWeights(podium.WeightLBS),
+		podium.WithCoverage(podium.CoverSingle),
+		podium.WithTopK(20),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repository: %d users, %d properties, %d derived groups\n\n",
+		repo.NumUsers(), repo.NumProperties(), p.NumGroups())
+
+	sel, err := p.Select(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel.Report.Render(os.Stdout)
+
+	// Compare the sushi-rating distribution of the selection against the
+	// population (the right-pane graph of the prototype UI).
+	all, subset, buckets, err := p.Distribution("avgRating Sushi", sel.Users)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\navgRating Sushi distribution (population vs selection):\n")
+	for i, b := range buckets {
+		fmt.Printf("  %-12s population %.2f   selection %.2f\n", b.String(), all[i], subset[i])
+	}
+}

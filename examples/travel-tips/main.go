@@ -1,0 +1,68 @@
+// Travel tips: the end-to-end opinion-procurement pipeline. A traveler wants
+// diverse "tips" about destinations: we generate a TripAdvisor-like corpus
+// (profiles + ground-truth reviews), select 8 users with Podium and with a
+// random baseline, simulate procuring their opinions, and compare the
+// diversity of what came back — topic coverage, rating-distribution
+// similarity and rating variance, as in Figure 3b of the paper.
+//
+// This example exercises the full substrate, so unlike the other examples it
+// reaches into the repository's internal simulation packages; treat it as a
+// tour of the pipeline rather than a template for external code.
+//
+//	go run ./examples/travel-tips
+package main
+
+import (
+	"fmt"
+
+	"podium/internal/baselines"
+	"podium/internal/groups"
+	"podium/internal/opinions"
+	"podium/internal/synth"
+)
+
+func main() {
+	ds := synth.Generate(synth.TripAdvisorLike(400))
+	fmt.Printf("corpus: %d users, %d properties, %d reviews over %d destinations\n\n",
+		ds.Repo.NumUsers(), ds.Repo.NumProperties(),
+		ds.Store.NumReviews(), ds.Store.NumDestinations())
+
+	ix := groups.Build(ds.Repo, groups.Config{K: 3})
+	const budget = 8
+
+	selectors := []baselines.Selector{
+		baselines.Podium{Weights: groups.WeightLBS, Coverage: groups.CoverSingle},
+		baselines.Random{Seed: 1},
+	}
+	fmt.Printf("%-10s %18s %18s %16s\n", "", "topic+sentiment", "rating dist sim", "rating variance")
+	// Evaluate on the 50 most-reviewed destinations, the paper's protocol —
+	// opinion diversity is only meaningful where opinions exist.
+	for _, sel := range selectors {
+		users := sel.Select(ix, budget)
+		ev := opinions.EvaluateTop(ds.Store, users, 50)
+		fmt.Printf("%-10s %18.3f %18.3f %16.3f\n",
+			sel.Name(), ev.TopicSentiment, ev.RatingSim, ev.RatingVar)
+	}
+
+	// Show a few procured opinions for one destination, the way an opinion-
+	// procurement client would see them.
+	podiumUsers := selectors[0].Select(ix, budget)
+	for d := 0; d < ds.Store.NumDestinations(); d++ {
+		procured := ds.Store.Procure(opinions.DestID(d), podiumUsers)
+		if len(procured) < 2 {
+			continue
+		}
+		fmt.Printf("\nprocured opinions on %s (topics: %v):\n",
+			ds.Store.DestName(opinions.DestID(d)), ds.Store.Topics(opinions.DestID(d)))
+		for _, r := range procured {
+			sent := map[bool]string{true: "+", false: "-"}
+			var tags []string
+			for _, tm := range r.Topics {
+				tags = append(tags, sent[tm.Positive]+tm.Topic)
+			}
+			fmt.Printf("  %s rated %d/5, mentioned %v\n",
+				ds.Repo.UserName(r.User), r.Rating, tags)
+		}
+		break
+	}
+}

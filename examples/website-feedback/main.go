@@ -1,0 +1,78 @@
+// Website feedback: a site manager wants usability feedback from users with
+// diverse activity histories (the paper's introduction scenario). Profiles
+// hold activity-derived scores — feature usage frequencies, session length,
+// error encounters — and the example contrasts the Iden and LBS weight
+// schemes: Iden maximizes the number of covered groups (surfacing eccentric
+// power users and edge-case encounters), while LBS favors representatives of
+// the large mainstream groups.
+//
+//	go run ./examples/website-feedback
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"podium"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	repo := podium.NewRepository()
+
+	features := []string{"search", "checkout", "wishlist", "reviews", "support-chat"}
+	// 200 mainstream users: heavy search/checkout, light elsewhere.
+	for i := 0; i < 200; i++ {
+		u := repo.AddUser(fmt.Sprintf("user-%03d", i))
+		must(repo.SetScore(u, "uses search", clamp(0.7+0.15*rng.NormFloat64())))
+		must(repo.SetScore(u, "uses checkout", clamp(0.6+0.15*rng.NormFloat64())))
+		must(repo.SetScore(u, "sessionLength", clamp(0.4+0.2*rng.NormFloat64())))
+		if rng.Float64() < 0.3 {
+			must(repo.SetScore(u, "uses wishlist", clamp(0.3+0.2*rng.NormFloat64())))
+		}
+	}
+	// 15 power users: touch every feature, long sessions.
+	for i := 0; i < 15; i++ {
+		u := repo.AddUser(fmt.Sprintf("power-%02d", i))
+		for _, f := range features {
+			must(repo.SetScore(u, "uses "+f, clamp(0.8+0.1*rng.NormFloat64())))
+		}
+		must(repo.SetScore(u, "sessionLength", clamp(0.9+0.05*rng.NormFloat64())))
+	}
+	// 10 struggling users: short sessions, many error encounters, heavy
+	// support-chat usage — exactly whose feedback a usability study needs.
+	for i := 0; i < 10; i++ {
+		u := repo.AddUser(fmt.Sprintf("struggling-%02d", i))
+		must(repo.SetScore(u, "uses support-chat", clamp(0.7+0.1*rng.NormFloat64())))
+		must(repo.SetScore(u, "errorRate", clamp(0.8+0.1*rng.NormFloat64())))
+		must(repo.SetScore(u, "sessionLength", clamp(0.15+0.05*rng.NormFloat64())))
+	}
+
+	for _, scheme := range []struct {
+		name string
+		w    podium.WeightScheme
+	}{{"Iden (cover as many groups as possible)", podium.WeightIden},
+		{"LBS (prioritize large groups)", podium.WeightLBS}} {
+
+		p, err := podium.New(repo, podium.WithWeights(scheme.w), podium.WithTopK(30))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := p.Select(6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n  selected: %v\n", scheme.name, sel.Names)
+		fmt.Printf("  top-30 group coverage: %d/%d\n\n", sel.Report.TopKCovered, sel.Report.TopK)
+	}
+}
+
+func clamp(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module podium
+
+go 1.22

@@ -1,0 +1,92 @@
+package baselines
+
+import (
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// Distance is the distance-based baseline — the S-Model of Wu et al. [4]
+// realized as a greedy that maximizes the sum of pairwise Jaccard distances
+// between the property sets of the selected subset. The first pick is the
+// user with the largest property set (deterministic; the paper breaks such
+// ties arbitrarily), and each following pick maximizes its total Jaccard
+// distance to the users already selected.
+type Distance struct{}
+
+// Name implements Selector.
+func (Distance) Name() string { return "Distance" }
+
+// Select implements Selector.
+func (Distance) Select(ix *groups.Index, budget int) []profile.UserID {
+	repo := ix.Repo()
+	n := repo.NumUsers()
+	if budget > n {
+		budget = n
+	}
+	if budget <= 0 || n == 0 {
+		return nil
+	}
+	// Seed: largest profile, ties toward the lowest index.
+	first := 0
+	for u := 1; u < n; u++ {
+		if repo.Profile(profile.UserID(u)).Len() > repo.Profile(profile.UserID(first)).Len() {
+			first = u
+		}
+	}
+	selected := []profile.UserID{profile.UserID(first)}
+	inSel := make([]bool, n)
+	inSel[first] = true
+	// sumDist[u] accumulates Σ_{v ∈ selected} jaccardDistance(u, v).
+	sumDist := make([]float64, n)
+	last := first
+	for len(selected) < budget {
+		for u := 0; u < n; u++ {
+			if !inSel[u] {
+				sumDist[u] += jaccardDistance(repo, profile.UserID(u), profile.UserID(last))
+			}
+		}
+		best := -1
+		for u := 0; u < n; u++ {
+			if inSel[u] {
+				continue
+			}
+			if best < 0 || sumDist[u] > sumDist[best] {
+				best = u
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, profile.UserID(best))
+		inSel[best] = true
+		last = best
+	}
+	return selected
+}
+
+// jaccardDistance is 1 − |P_u ∩ P_v| / |P_u ∪ P_v| over property sets,
+// computed by merging the sorted property slices. Two empty profiles are at
+// distance 0 (identical).
+func jaccardDistance(repo *profile.Repository, u, v profile.UserID) float64 {
+	a := repo.Profile(u).Properties()
+	b := repo.Profile(v).Properties()
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return 1 - float64(inter)/float64(union)
+}

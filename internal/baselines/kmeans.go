@@ -1,0 +1,210 @@
+package baselines
+
+import (
+	"math"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+// Clustering is the clustering baseline: split the repository into B
+// clusters with k-means over the (sparse, high-dimensional) profile vectors
+// and take the near-mean user of each cluster as its representative. The
+// paper used Scikit-Learn's k-means; this is a from-scratch equivalent with
+// k-means++ seeding and Lloyd iterations, treating absent properties as
+// zero coordinates (the conventional vector-space embedding — note this is
+// exactly the closed-world reading Podium itself avoids, one reason the
+// paper finds clustering identifies less meaningful groups).
+type Clustering struct {
+	Seed int64
+	// MaxIter bounds Lloyd iterations; 0 selects 25.
+	MaxIter int
+}
+
+// Name implements Selector.
+func (Clustering) Name() string { return "Clustering" }
+
+// Select implements Selector.
+func (c Clustering) Select(ix *groups.Index, budget int) []profile.UserID {
+	repo := ix.Repo()
+	n := repo.NumUsers()
+	if budget >= n {
+		users := make([]profile.UserID, n)
+		for i := range users {
+			users[i] = profile.UserID(i)
+		}
+		return users
+	}
+	if budget <= 0 {
+		return nil
+	}
+	maxIter := c.MaxIter
+	if maxIter <= 0 {
+		maxIter = 25
+	}
+	rng := stats.NewRand(c.Seed)
+	dims := repo.NumProperties()
+	k := budget
+
+	// Squared norms of the sparse user vectors, reused in every distance.
+	norms := make([]float64, n)
+	for u := 0; u < n; u++ {
+		repo.Profile(profile.UserID(u)).Each(func(_ profile.PropertyID, s float64) {
+			norms[u] += s * s
+		})
+	}
+
+	// distToCentroid computes ||x_u - c||² = ||x_u||² - 2·x_u·c + ||c||²
+	// touching only the user's non-zeros.
+	distToCentroid := func(u int, centroid []float64, centroidNorm float64) float64 {
+		dot := 0.0
+		repo.Profile(profile.UserID(u)).Each(func(p profile.PropertyID, s float64) {
+			dot += s * centroid[p]
+		})
+		d := norms[u] - 2*dot + centroidNorm
+		if d < 0 {
+			d = 0 // numerical slack
+		}
+		return d
+	}
+
+	// k-means++ seeding over user vectors.
+	centroids := make([][]float64, k)
+	centroidNorm := make([]float64, k)
+	setCentroidFromUser := func(ci, u int) {
+		centroids[ci] = make([]float64, dims)
+		repo.Profile(profile.UserID(u)).Each(func(p profile.PropertyID, s float64) {
+			centroids[ci][p] = s
+		})
+		centroidNorm[ci] = norms[u]
+	}
+	setCentroidFromUser(0, rng.Intn(n))
+	minDist := make([]float64, n)
+	for u := 0; u < n; u++ {
+		minDist[u] = distToCentroid(u, centroids[0], centroidNorm[0])
+	}
+	for ci := 1; ci < k; ci++ {
+		var total float64
+		for _, d := range minDist {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points coincide with some centroid
+		} else {
+			r := rng.Float64() * total
+			for u := 0; u < n; u++ {
+				r -= minDist[u]
+				if r < 0 {
+					pick = u
+					break
+				}
+			}
+		}
+		setCentroidFromUser(ci, pick)
+		for u := 0; u < n; u++ {
+			if d := distToCentroid(u, centroids[ci], centroidNorm[ci]); d < minDist[u] {
+				minDist[u] = d
+			}
+		}
+	}
+
+	// Lloyd iterations.
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		moved := false
+		for u := 0; u < n; u++ {
+			best, bestD := 0, math.Inf(1)
+			for ci := 0; ci < k; ci++ {
+				if d := distToCentroid(u, centroids[ci], centroidNorm[ci]); d < bestD {
+					best, bestD = ci, d
+				}
+			}
+			if assign[u] != best || iter == 0 {
+				if assign[u] != best {
+					moved = true
+				}
+				assign[u] = best
+			}
+		}
+		if iter > 0 && !moved {
+			break
+		}
+		// Recompute centroids as cluster means.
+		counts := make([]int, k)
+		for ci := range centroids {
+			for d := range centroids[ci] {
+				centroids[ci][d] = 0
+			}
+		}
+		for u := 0; u < n; u++ {
+			ci := assign[u]
+			counts[ci]++
+			repo.Profile(profile.UserID(u)).Each(func(p profile.PropertyID, s float64) {
+				centroids[ci][p] += s
+			})
+		}
+		for ci := 0; ci < k; ci++ {
+			if counts[ci] == 0 {
+				continue // empty cluster keeps its previous centroid
+			}
+			inv := 1 / float64(counts[ci])
+			var nn float64
+			for d := range centroids[ci] {
+				centroids[ci][d] *= inv
+				nn += centroids[ci][d] * centroids[ci][d]
+			}
+			centroidNorm[ci] = nn
+		}
+	}
+
+	// Near-mean representative per cluster.
+	repDist := make([]float64, k)
+	repUser := make([]int, k)
+	for ci := range repUser {
+		repUser[ci] = -1
+		repDist[ci] = math.Inf(1)
+	}
+	for u := 0; u < n; u++ {
+		ci := assign[u]
+		if d := distToCentroid(u, centroids[ci], centroidNorm[ci]); d < repDist[ci] {
+			repDist[ci] = d
+			repUser[ci] = u
+		}
+	}
+	var users []profile.UserID
+	taken := make(map[int]bool)
+	for ci := 0; ci < k; ci++ {
+		if repUser[ci] >= 0 && !taken[repUser[ci]] {
+			users = append(users, profile.UserID(repUser[ci]))
+			taken[repUser[ci]] = true
+		}
+	}
+	// Empty clusters can leave the selection short; pad with the users
+	// farthest from their centroid (most under-served) for a full budget.
+	if len(users) < budget {
+		type cand struct {
+			u int
+			d float64
+		}
+		var rest []cand
+		for u := 0; u < n; u++ {
+			if !taken[u] {
+				rest = append(rest, cand{u, distToCentroid(u, centroids[assign[u]], centroidNorm[assign[u]])})
+			}
+		}
+		for len(users) < budget && len(rest) > 0 {
+			best := 0
+			for i := range rest {
+				if rest[i].d > rest[best].d {
+					best = i
+				}
+			}
+			users = append(users, profile.UserID(rest[best].u))
+			rest[best] = rest[len(rest)-1]
+			rest = rest[:len(rest)-1]
+		}
+	}
+	return users
+}

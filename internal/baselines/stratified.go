@@ -1,0 +1,216 @@
+package baselines
+
+import (
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+// Stratified is classical stratified sampling (Table 1 of the paper, e.g.
+// Helton & Davis): pick one stratification property, treat its buckets as
+// non-overlapping strata, allocate the budget proportionally to stratum
+// sizes, and sample uniformly within each stratum. It embodies the survey
+// methodology the paper contrasts with: sound when a domain expert can
+// choose a *single* meaningful partition, but blind to every other dimension
+// of a high-dimensional profile — which is exactly what the intrinsic
+// metrics expose.
+type Stratified struct {
+	Seed int64
+	// Property optionally names the stratification property; when empty the
+	// property held by the most users is chosen (the broadest single
+	// partition available).
+	Property string
+}
+
+// Name implements Selector.
+func (Stratified) Name() string { return "Stratified" }
+
+// Select implements Selector.
+func (s Stratified) Select(ix *groups.Index, budget int) []profile.UserID {
+	repo := ix.Repo()
+	n := repo.NumUsers()
+	if budget >= n {
+		users := make([]profile.UserID, n)
+		for i := range users {
+			users[i] = profile.UserID(i)
+		}
+		return users
+	}
+	if budget <= 0 {
+		return nil
+	}
+	prop, ok := s.pickProperty(ix)
+	if !ok {
+		// No usable property: degrade to uniform sampling.
+		return Random{Seed: s.Seed}.Select(ix, budget)
+	}
+	// Strata: the property's buckets plus a residual stratum of users that
+	// lack the property (open world — surveys would call them "no answer").
+	var strata [][]profile.UserID
+	inStratum := make([]bool, n)
+	for _, gid := range ix.GroupsOfProperty(prop) {
+		members := ix.Group(gid).Members
+		strata = append(strata, members)
+		for _, u := range members {
+			inStratum[u] = true
+		}
+	}
+	var residual []profile.UserID
+	for u := 0; u < n; u++ {
+		if !inStratum[u] {
+			residual = append(residual, profile.UserID(u))
+		}
+	}
+	if len(residual) > 0 {
+		strata = append(strata, residual)
+	}
+
+	// Proportional allocation with largest-remainder rounding.
+	alloc := allocateProportional(strata, budget, n)
+
+	rng := stats.NewRand(s.Seed)
+	var out []profile.UserID
+	for i, stratum := range strata {
+		k := alloc[i]
+		if k > len(stratum) {
+			k = len(stratum)
+		}
+		for _, idx := range stats.SampleWithoutReplacement(rng, len(stratum), k) {
+			out = append(out, stratum[idx])
+		}
+	}
+	// Rounding plus small strata can leave the selection short; top up
+	// uniformly from the unselected remainder.
+	if len(out) < budget {
+		taken := make(map[profile.UserID]bool, len(out))
+		for _, u := range out {
+			taken[u] = true
+		}
+		var rest []profile.UserID
+		for u := 0; u < n; u++ {
+			if !taken[profile.UserID(u)] {
+				rest = append(rest, profile.UserID(u))
+			}
+		}
+		for _, idx := range stats.SampleWithoutReplacement(rng, len(rest), budget-len(out)) {
+			out = append(out, rest[idx])
+		}
+	}
+	return out
+}
+
+// pickProperty returns the configured property, or the one with the largest
+// holder count, preferring lower property IDs on ties.
+func (s Stratified) pickProperty(ix *groups.Index) (profile.PropertyID, bool) {
+	repo := ix.Repo()
+	if s.Property != "" {
+		return repo.Catalog().Lookup(s.Property)
+	}
+	best, bestCount := profile.PropertyID(-1), 0
+	for pid := 0; pid < repo.NumProperties(); pid++ {
+		count := 0
+		for _, gid := range ix.GroupsOfProperty(profile.PropertyID(pid)) {
+			count += ix.Group(gid).Size()
+		}
+		if count > bestCount {
+			best, bestCount = profile.PropertyID(pid), count
+		}
+	}
+	return best, best >= 0
+}
+
+// allocateProportional distributes the budget over strata proportionally to
+// their sizes, using the largest-remainder method so the counts sum to at
+// most budget and every non-empty stratum with a large share gets its floor.
+func allocateProportional(strata [][]profile.UserID, budget, population int) []int {
+	alloc := make([]int, len(strata))
+	type rem struct {
+		i    int
+		frac float64
+	}
+	var rems []rem
+	used := 0
+	for i, s := range strata {
+		exact := float64(budget) * float64(len(s)) / float64(population)
+		alloc[i] = int(exact)
+		used += alloc[i]
+		rems = append(rems, rem{i, exact - float64(alloc[i])})
+	}
+	// Hand out the remaining seats by descending fractional part, ties by
+	// stratum order.
+	for used < budget && len(rems) > 0 {
+		best := 0
+		for j := 1; j < len(rems); j++ {
+			if rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		if alloc[rems[best].i] < len(strata[rems[best].i]) {
+			alloc[rems[best].i]++
+			used++
+		}
+		rems[best] = rems[len(rems)-1]
+		rems = rems[:len(rems)-1]
+	}
+	return alloc
+}
+
+// DistanceMaxMin is the max-min flavor of distance-based selection: each
+// pick maximizes the *minimum* Jaccard distance to the already selected
+// users (remote-point / p-dispersion greedy), versus Distance's max-sum.
+// Included as an ablation of the distance-based family the paper compares
+// against — max-min is even more aggressive about avoiding overlap, so its
+// coverage penalty is starker.
+type DistanceMaxMin struct{}
+
+// Name implements Selector.
+func (DistanceMaxMin) Name() string { return "DistanceMaxMin" }
+
+// Select implements Selector.
+func (DistanceMaxMin) Select(ix *groups.Index, budget int) []profile.UserID {
+	repo := ix.Repo()
+	n := repo.NumUsers()
+	if budget > n {
+		budget = n
+	}
+	if budget <= 0 || n == 0 {
+		return nil
+	}
+	first := 0
+	for u := 1; u < n; u++ {
+		if repo.Profile(profile.UserID(u)).Len() > repo.Profile(profile.UserID(first)).Len() {
+			first = u
+		}
+	}
+	selected := []profile.UserID{profile.UserID(first)}
+	inSel := make([]bool, n)
+	inSel[first] = true
+	minDist := make([]float64, n)
+	for u := 0; u < n; u++ {
+		minDist[u] = jaccardDistance(repo, profile.UserID(u), profile.UserID(first))
+	}
+	for len(selected) < budget {
+		best := -1
+		for u := 0; u < n; u++ {
+			if inSel[u] {
+				continue
+			}
+			if best < 0 || minDist[u] > minDist[best] {
+				best = u
+			}
+		}
+		if best < 0 {
+			break
+		}
+		selected = append(selected, profile.UserID(best))
+		inSel[best] = true
+		for u := 0; u < n; u++ {
+			if !inSel[u] {
+				if d := jaccardDistance(repo, profile.UserID(u), profile.UserID(best)); d < minDist[u] {
+					minDist[u] = d
+				}
+			}
+		}
+	}
+	return selected
+}

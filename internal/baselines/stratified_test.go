@@ -1,0 +1,169 @@
+package baselines
+
+import (
+	"fmt"
+	"testing"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// stratifiableIndex: 90 users with an "activity" property split 60/30 into
+// two obvious strata (low/high), plus 10 users without the property.
+func stratifiableIndex(t *testing.T) *groups.Index {
+	t.Helper()
+	repo := profile.NewRepository()
+	for i := 0; i < 60; i++ {
+		u := repo.AddUser(fmt.Sprintf("low-%02d", i))
+		repo.MustSetScore(u, "activity", 0.1+0.001*float64(i))
+	}
+	for i := 0; i < 30; i++ {
+		u := repo.AddUser(fmt.Sprintf("high-%02d", i))
+		repo.MustSetScore(u, "activity", 0.85+0.001*float64(i))
+	}
+	for i := 0; i < 10; i++ {
+		u := repo.AddUser(fmt.Sprintf("none-%02d", i))
+		repo.MustSetScore(u, "other", 0.5)
+	}
+	return groups.Build(repo, groups.Config{K: 2})
+}
+
+func TestStratifiedProportionalAllocation(t *testing.T) {
+	ix := stratifiableIndex(t)
+	users := Stratified{Seed: 1, Property: "activity"}.Select(ix, 10)
+	if len(users) != 10 {
+		t.Fatalf("selected %d users", len(users))
+	}
+	// Population: 60 low / 30 high / 10 none → expect 6 / 3 / 1.
+	var low, high, none int
+	for _, u := range users {
+		switch {
+		case int(u) < 60:
+			low++
+		case int(u) < 90:
+			high++
+		default:
+			none++
+		}
+	}
+	if low != 6 || high != 3 || none != 1 {
+		t.Fatalf("allocation low/high/none = %d/%d/%d, want 6/3/1", low, high, none)
+	}
+}
+
+func TestStratifiedAutoPicksBroadestProperty(t *testing.T) {
+	ix := stratifiableIndex(t)
+	// Without naming a property, "activity" (90 holders) must be chosen
+	// over "other" (10 holders): allocation mirrors the explicit run.
+	auto := Stratified{Seed: 1}.Select(ix, 10)
+	explicit := Stratified{Seed: 1, Property: "activity"}.Select(ix, 10)
+	if len(auto) != len(explicit) {
+		t.Fatalf("auto %v vs explicit %v", auto, explicit)
+	}
+	for i := range auto {
+		if auto[i] != explicit[i] {
+			t.Fatalf("auto property choice diverged: %v vs %v", auto, explicit)
+		}
+	}
+}
+
+func TestStratifiedUnknownPropertyFallsBackToRandom(t *testing.T) {
+	ix := stratifiableIndex(t)
+	users := Stratified{Seed: 5, Property: "does-not-exist"}.Select(ix, 7)
+	assertValidSelection(t, "Stratified", users, ix.Repo().NumUsers(), 7)
+	if len(users) != 7 {
+		t.Fatalf("fallback selected %d users", len(users))
+	}
+}
+
+func TestStratifiedContract(t *testing.T) {
+	ix := stratifiableIndex(t)
+	n := ix.Repo().NumUsers()
+	for _, budget := range []int{0, 1, 5, n, n + 3} {
+		users := Stratified{Seed: 2}.Select(ix, budget)
+		assertValidSelection(t, "Stratified", users, n, max(budget, 0))
+		want := budget
+		if want > n {
+			want = n
+		}
+		if budget >= 0 && len(users) != want {
+			t.Fatalf("budget %d: selected %d", budget, len(users))
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestStratifiedDeterministic(t *testing.T) {
+	ix := stratifiableIndex(t)
+	a := Stratified{Seed: 9}.Select(ix, 10)
+	b := Stratified{Seed: 9}.Select(ix, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different selections")
+		}
+	}
+}
+
+func TestDistanceMaxMinPrefersRemoteUsers(t *testing.T) {
+	// One tight clique sharing properties and two mutually disjoint loners:
+	// max-min must pick both loners before a second clique member.
+	repo := profile.NewRepository()
+	for i := 0; i < 6; i++ {
+		u := repo.AddUser(fmt.Sprintf("clique-%d", i))
+		repo.MustSetScore(u, "a", 0.9)
+		repo.MustSetScore(u, "b", 0.8)
+		repo.MustSetScore(u, "c", 0.7)
+	}
+	l1 := repo.AddUser("loner1")
+	repo.MustSetScore(l1, "x", 0.5)
+	l2 := repo.AddUser("loner2")
+	repo.MustSetScore(l2, "y", 0.5)
+	ix := groups.Build(repo, groups.Config{K: 3})
+
+	users := DistanceMaxMin{}.Select(ix, 3)
+	found := map[profile.UserID]bool{}
+	for _, u := range users {
+		found[u] = true
+	}
+	if !found[l1] || !found[l2] {
+		t.Fatalf("max-min selection %v missed a loner", users)
+	}
+}
+
+func TestDistanceMaxMinContract(t *testing.T) {
+	ix := stratifiableIndex(t)
+	n := ix.Repo().NumUsers()
+	for _, budget := range []int{0, 1, 4, n, n + 2} {
+		users := DistanceMaxMin{}.Select(ix, budget)
+		assertValidSelection(t, "DistanceMaxMin", users, n, max(budget, 0))
+	}
+}
+
+func TestAllocateProportionalSumsToBudget(t *testing.T) {
+	strata := [][]profile.UserID{
+		make([]profile.UserID, 7),
+		make([]profile.UserID, 2),
+		make([]profile.UserID, 1),
+	}
+	alloc := allocateProportional(strata, 5, 10)
+	total := 0
+	for i, a := range alloc {
+		if a > len(strata[i]) {
+			t.Fatalf("stratum %d over-allocated: %d > %d", i, a, len(strata[i]))
+		}
+		total += a
+	}
+	if total != 5 {
+		t.Fatalf("allocated %d, want 5 (alloc %v)", total, alloc)
+	}
+	// Largest stratum gets the floor of its share (3 of 5 × 7/10 = 3.5).
+	if alloc[0] < 3 {
+		t.Fatalf("largest stratum got %d, want >= 3", alloc[0])
+	}
+}

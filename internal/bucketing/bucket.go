@@ -1,0 +1,176 @@
+// Package bucketing splits a property's score distribution into the
+// non-overlapping score ranges β(p) that define Podium's simple user groups
+// (Definition 3.4). The paper names several 1-d interval-splitting methods —
+// Jenks natural breaks, k-means, expectation maximization and kernel
+// density — all of which are implemented here, along with equal-width and
+// quantile splits and automatic detection of Boolean properties.
+package bucketing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bucket is a score range b ⊆ [0,1]. The interval is closed below and, for
+// every bucket except the last of a partition, open above — matching the
+// paper's [0,0.4), [0.4,0.65), [0.65,1] running example. Boolean buckets are
+// the degenerate points [0,0] and [1,1].
+type Bucket struct {
+	Lo, Hi   float64
+	ClosedHi bool
+}
+
+// Contains reports whether x falls in the bucket.
+func (b Bucket) Contains(x float64) bool {
+	if x < b.Lo {
+		return false
+	}
+	if b.ClosedHi {
+		return x <= b.Hi
+	}
+	return x < b.Hi
+}
+
+// IsPoint reports whether the bucket is a single value (Boolean buckets).
+func (b Bucket) IsPoint() bool { return b.Lo == b.Hi && b.ClosedHi }
+
+// String renders the bucket in interval notation.
+func (b Bucket) String() string {
+	if b.IsPoint() {
+		return fmt.Sprintf("[%.4g,%.4g]", b.Lo, b.Hi)
+	}
+	close := ")"
+	if b.ClosedHi {
+		close = "]"
+	}
+	return fmt.Sprintf("[%.4g,%.4g%s", b.Lo, b.Hi, close)
+}
+
+// Label returns the human-readable name of bucket i out of n, used to build
+// group labels for explanations (Section 5). Boolean partitions are labeled
+// false/true; three-way partitions low/medium/high; five-way partitions get
+// the Likert-style names; anything else falls back to interval notation.
+func Label(b Bucket, i, n int) string {
+	if b.IsPoint() && (b.Lo == 0 || b.Lo == 1) {
+		if b.Lo == 0 {
+			return "false"
+		}
+		return "true"
+	}
+	switch n {
+	case 1:
+		return "all"
+	case 2:
+		return [2]string{"low", "high"}[i]
+	case 3:
+		return [3]string{"low", "medium", "high"}[i]
+	case 4:
+		return [4]string{"low", "medium-low", "medium-high", "high"}[i]
+	case 5:
+		return [5]string{"very low", "low", "medium", "high", "very high"}[i]
+	}
+	return b.String()
+}
+
+// FromEdges builds a partition of [0,1] from strictly increasing interior
+// cut points (each in (0,1)). The first bucket starts at 0, the last ends at
+// 1 and is closed above. Duplicate or out-of-range cuts are dropped.
+func FromEdges(cuts []float64) []Bucket {
+	clean := make([]float64, 0, len(cuts))
+	for _, c := range cuts {
+		if c <= 0 || c >= 1 || math.IsNaN(c) {
+			continue
+		}
+		clean = append(clean, c)
+	}
+	sort.Float64s(clean)
+	dedup := clean[:0]
+	for i, c := range clean {
+		if i > 0 && c == clean[i-1] {
+			continue
+		}
+		dedup = append(dedup, c)
+	}
+	edges := make([]float64, 0, len(dedup)+2)
+	edges = append(edges, 0)
+	edges = append(edges, dedup...)
+	edges = append(edges, 1)
+	buckets := make([]Bucket, len(edges)-1)
+	for i := 0; i+1 < len(edges); i++ {
+		buckets[i] = Bucket{Lo: edges[i], Hi: edges[i+1], ClosedHi: i+2 == len(edges)}
+	}
+	return buckets
+}
+
+// BooleanBuckets is the two-point partition for Boolean properties ("the
+// label of the bucket [1,1] is empty for Boolean properties", Example 5.2).
+func BooleanBuckets() []Bucket {
+	return []Bucket{{Lo: 0, Hi: 0, ClosedHi: true}, {Lo: 1, Hi: 1, ClosedHi: true}}
+}
+
+// IsBoolean reports whether every value is exactly 0 or 1.
+func IsBoolean(values []float64) bool {
+	if len(values) == 0 {
+		return false
+	}
+	for _, v := range values {
+		if v != 0 && v != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Method is a 1-d interval-splitting strategy: given the ascending-sorted
+// score values of one property and a target bucket count, it returns interior
+// cut points in (0,1). Methods may return fewer cuts than k-1 when the data
+// does not support k distinct intervals.
+type Method interface {
+	Name() string
+	Cuts(sorted []float64, k int) []float64
+}
+
+// Split partitions a property's values into buckets: Boolean properties get
+// the two point buckets; constant data collapses to a single bucket; any
+// other data is cut by the method. Values need not be sorted. Split panics on
+// k < 1 — a caller asking for zero buckets is always a bug.
+func Split(values []float64, k int, m Method) []Bucket {
+	if k < 1 {
+		panic("bucketing: Split requires k >= 1")
+	}
+	if IsBoolean(values) {
+		return BooleanBuckets()
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	if len(sorted) == 0 || sorted[0] == sorted[len(sorted)-1] || k == 1 {
+		return FromEdges(nil) // single bucket [0,1]
+	}
+	if d := distinct(sorted); d < k {
+		k = d
+	}
+	return FromEdges(m.Cuts(sorted, k))
+}
+
+func distinct(sorted []float64) int {
+	n := 0
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// Assign returns the index of the bucket containing x, or -1 when no bucket
+// does (possible only for malformed partitions or out-of-range scores).
+func Assign(buckets []Bucket, x float64) int {
+	for i, b := range buckets {
+		if b.Contains(x) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,336 @@
+package bucketing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"podium/internal/stats"
+)
+
+func TestBucketContains(t *testing.T) {
+	open := Bucket{Lo: 0.4, Hi: 0.65}
+	cases := []struct {
+		x    float64
+		want bool
+	}{
+		{0.4, true}, {0.5, true}, {0.65, false}, {0.39, false},
+	}
+	for _, c := range cases {
+		if got := open.Contains(c.x); got != c.want {
+			t.Errorf("open.Contains(%v) = %v", c.x, got)
+		}
+	}
+	closed := Bucket{Lo: 0.65, Hi: 1, ClosedHi: true}
+	if !closed.Contains(1) || !closed.Contains(0.65) || closed.Contains(0.64) {
+		t.Error("closed bucket boundaries wrong")
+	}
+	point := Bucket{Lo: 1, Hi: 1, ClosedHi: true}
+	if !point.Contains(1) || point.Contains(0.999) {
+		t.Error("point bucket wrong")
+	}
+	if !point.IsPoint() || closed.IsPoint() {
+		t.Error("IsPoint wrong")
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	if got := (Bucket{Lo: 0, Hi: 0.4}).String(); got != "[0,0.4)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Bucket{Lo: 0.65, Hi: 1, ClosedHi: true}).String(); got != "[0.65,1]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Bucket{Lo: 1, Hi: 1, ClosedHi: true}).String(); got != "[1,1]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	bools := BooleanBuckets()
+	if Label(bools[0], 0, 2) != "false" || Label(bools[1], 1, 2) != "true" {
+		t.Error("Boolean labels wrong")
+	}
+	three := FromEdges([]float64{0.4, 0.65})
+	want := []string{"low", "medium", "high"}
+	for i, b := range three {
+		if got := Label(b, i, 3); got != want[i] {
+			t.Errorf("Label[%d] = %q, want %q", i, got, want[i])
+		}
+	}
+	five := FromEdges([]float64{0.2, 0.4, 0.6, 0.8})
+	if Label(five[0], 0, 5) != "very low" || Label(five[4], 4, 5) != "very high" {
+		t.Error("five-way labels wrong")
+	}
+	if Label(FromEdges(nil)[0], 0, 1) != "all" {
+		t.Error("single-bucket label wrong")
+	}
+	seven := FromEdges([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6})
+	if got := Label(seven[0], 0, 7); got != "[0,0.1)" {
+		t.Errorf("fallback label = %q", got)
+	}
+}
+
+func TestFromEdgesPartition(t *testing.T) {
+	bs := FromEdges([]float64{0.4, 0.65})
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	if bs[0].Lo != 0 || bs[2].Hi != 1 || !bs[2].ClosedHi || bs[0].ClosedHi {
+		t.Fatalf("partition edges wrong: %v", bs)
+	}
+}
+
+func TestFromEdgesDropsBadCuts(t *testing.T) {
+	bs := FromEdges([]float64{0.5, 0.5, -1, 2, 0, 1, math.NaN()})
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %v, want 2 (single valid cut)", bs)
+	}
+}
+
+func TestIsBoolean(t *testing.T) {
+	if !IsBoolean([]float64{0, 1, 1, 0}) {
+		t.Error("0/1 data not detected as Boolean")
+	}
+	if IsBoolean([]float64{0, 0.5}) {
+		t.Error("non-Boolean data detected as Boolean")
+	}
+	if IsBoolean(nil) {
+		t.Error("empty data detected as Boolean")
+	}
+}
+
+func TestSplitBooleanDetection(t *testing.T) {
+	bs := Split([]float64{1, 1, 0}, 3, EqualWidth{})
+	if len(bs) != 2 || !bs[0].IsPoint() || !bs[1].IsPoint() {
+		t.Fatalf("Boolean split = %v", bs)
+	}
+}
+
+func TestSplitConstantData(t *testing.T) {
+	bs := Split([]float64{0.5, 0.5, 0.5}, 3, Quantile{})
+	if len(bs) != 1 {
+		t.Fatalf("constant split = %v, want single bucket", bs)
+	}
+	if !bs[0].Contains(0.5) {
+		t.Fatal("single bucket misses the constant")
+	}
+}
+
+func TestSplitEmptyData(t *testing.T) {
+	bs := Split(nil, 3, EqualWidth{})
+	if len(bs) != 1 {
+		t.Fatalf("empty split = %v", bs)
+	}
+}
+
+func TestSplitFewDistinctValues(t *testing.T) {
+	// Two distinct non-Boolean values, k=3: at most 2 buckets.
+	bs := Split([]float64{0.2, 0.2, 0.8, 0.8}, 3, KMeans{})
+	if len(bs) > 2 {
+		t.Fatalf("split = %v, want <= 2 buckets", bs)
+	}
+	if Assign(bs, 0.2) == Assign(bs, 0.8) {
+		t.Fatal("distinct values share a bucket despite k >= distinct")
+	}
+}
+
+func TestSplitPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 did not panic")
+		}
+	}()
+	Split([]float64{0.1}, 0, EqualWidth{})
+}
+
+func TestAssignUnmatched(t *testing.T) {
+	if got := Assign(BooleanBuckets(), 0.5); got != -1 {
+		t.Fatalf("Assign = %d, want -1", got)
+	}
+}
+
+func TestEqualWidthCuts(t *testing.T) {
+	cuts := EqualWidth{}.Cuts([]float64{0.1, 0.9}, 4)
+	want := []float64{0.25, 0.5, 0.75}
+	if len(cuts) != len(want) {
+		t.Fatalf("cuts = %v", cuts)
+	}
+	for i := range want {
+		if math.Abs(cuts[i]-want[i]) > 1e-12 {
+			t.Fatalf("cuts = %v, want %v", cuts, want)
+		}
+	}
+}
+
+func TestQuantileBalanced(t *testing.T) {
+	rng := stats.NewRand(1)
+	values := make([]float64, 999)
+	for i := range values {
+		values[i] = rng.Float64()
+	}
+	bs := Split(values, 3, Quantile{})
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	counts := make([]int, 3)
+	for _, v := range values {
+		counts[Assign(bs, v)]++
+	}
+	for i, c := range counts {
+		if c < 283 || c > 383 { // 333 ± 50
+			t.Fatalf("bucket %d holds %d of 999, want ~333 (buckets %v)", i, c, bs)
+		}
+	}
+}
+
+func bimodalSample(seed int64, n int) []float64 {
+	rng := stats.NewRand(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		mode := 0.25
+		if i%2 == 1 {
+			mode = 0.75
+		}
+		xs[i] = stats.Clamp(mode+0.05*rng.NormFloat64(), 0, 1)
+	}
+	return xs
+}
+
+// Every data-driven method must place a k=2 cut inside the obvious gap of a
+// well-separated bimodal sample.
+func TestMethodsFindBimodalGap(t *testing.T) {
+	xs := bimodalSample(11, 400)
+	for _, m := range []Method{Jenks{}, KMeans{}, EM{}, KDEValleys{}, Quantile{}} {
+		bs := Split(xs, 2, m)
+		if len(bs) != 2 {
+			t.Errorf("%s: buckets = %v, want 2", m.Name(), bs)
+			continue
+		}
+		cut := bs[0].Hi
+		if cut < 0.4 || cut > 0.6 {
+			t.Errorf("%s: cut at %v, want inside (0.4,0.6)", m.Name(), cut)
+		}
+	}
+}
+
+func TestJenksExactSmallCase(t *testing.T) {
+	// Three tight groups; Jenks with k=3 must cut in both gaps.
+	xs := []float64{0.1, 0.11, 0.12, 0.5, 0.51, 0.52, 0.9, 0.91, 0.92}
+	bs := Split(xs, 3, Jenks{})
+	if len(bs) != 3 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	if !(bs[0].Hi > 0.12 && bs[0].Hi < 0.5) {
+		t.Fatalf("first cut %v not in the first gap", bs[0].Hi)
+	}
+	if !(bs[1].Hi > 0.52 && bs[1].Hi < 0.9) {
+		t.Fatalf("second cut %v not in the second gap", bs[1].Hi)
+	}
+}
+
+func TestJenksDecimationPreservesShape(t *testing.T) {
+	xs := bimodalSample(13, 20000)
+	bs := Split(xs, 2, Jenks{MaxSample: 256})
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %v", bs)
+	}
+	if cut := bs[0].Hi; cut < 0.4 || cut > 0.6 {
+		t.Fatalf("decimated Jenks cut at %v", cut)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	xs := bimodalSample(17, 500)
+	a := Split(xs, 3, KMeans{})
+	b := Split(xs, 3, KMeans{})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic bucket count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic buckets")
+		}
+	}
+}
+
+func TestEMTrimodal(t *testing.T) {
+	rng := stats.NewRand(19)
+	var xs []float64
+	for i := 0; i < 200; i++ {
+		for _, mode := range []float64{0.15, 0.5, 0.85} {
+			xs = append(xs, stats.Clamp(mode+0.04*rng.NormFloat64(), 0, 1))
+		}
+	}
+	bs := Split(xs, 3, EM{})
+	if len(bs) != 3 {
+		t.Fatalf("EM buckets = %v, want 3", bs)
+	}
+	for i, center := range []float64{0.15, 0.5, 0.85} {
+		if Assign(bs, center) != i {
+			t.Fatalf("mode %v lands in bucket %d (buckets %v)", center, Assign(bs, center), bs)
+		}
+	}
+}
+
+func TestKDEValleysCapsAtK(t *testing.T) {
+	// Four modes → three valleys, but k=2 allows only one cut.
+	rng := stats.NewRand(23)
+	var xs []float64
+	for i := 0; i < 150; i++ {
+		for _, mode := range []float64{0.1, 0.37, 0.63, 0.9} {
+			xs = append(xs, stats.Clamp(mode+0.03*rng.NormFloat64(), 0, 1))
+		}
+	}
+	bs := Split(xs, 2, KDEValleys{})
+	if len(bs) != 2 {
+		t.Fatalf("buckets = %v, want exactly 2", bs)
+	}
+}
+
+// Property: for any data and any method, Split yields a partition — buckets
+// tile [0,1] in order, and every in-range value is assigned to exactly one
+// bucket (Boolean partitions exempt non-{0,1} values by construction).
+func TestSplitPartitionProperty(t *testing.T) {
+	methods := []Method{EqualWidth{}, Quantile{}, Jenks{}, KMeans{}, EM{MaxIter: 20}, KDEValleys{GridSize: 64}}
+	f := func(raw []uint16, kRaw uint8, mIdx uint8) bool {
+		values := make([]float64, len(raw))
+		for i, r := range raw {
+			values[i] = float64(r) / math.MaxUint16
+		}
+		k := int(kRaw%5) + 1
+		m := methods[int(mIdx)%len(methods)]
+		bs := Split(values, k, m)
+		if len(bs) == 0 {
+			return false
+		}
+		if IsBoolean(values) {
+			return len(bs) == 2 && bs[0].IsPoint() && bs[1].IsPoint()
+		}
+		// Tiling: contiguous, starts at 0, ends closed at 1.
+		if bs[0].Lo != 0 || bs[len(bs)-1].Hi != 1 || !bs[len(bs)-1].ClosedHi {
+			return false
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].Lo != bs[i-1].Hi || bs[i-1].ClosedHi {
+				return false
+			}
+		}
+		// Exactly-one assignment for every value.
+		for _, v := range values {
+			n := 0
+			for _, b := range bs {
+				if b.Contains(v) {
+					n++
+				}
+			}
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

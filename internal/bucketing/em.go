@@ -1,0 +1,178 @@
+package bucketing
+
+import (
+	"math"
+
+	"podium/internal/stats"
+)
+
+// EM fits a one-dimensional Gaussian mixture with k components by
+// expectation maximization and cuts between adjacent components where
+// posterior responsibility switches. Means start at evenly spaced quantiles
+// (deterministic), variances at the pooled variance, weights uniform.
+type EM struct {
+	// MaxIter bounds EM iterations; 0 selects the default of 100.
+	MaxIter int
+	// Tol is the log-likelihood convergence tolerance; 0 selects 1e-7.
+	Tol float64
+}
+
+// Name implements Method.
+func (EM) Name() string { return "em" }
+
+// Cuts implements Method.
+func (em EM) Cuts(sorted []float64, k int) []float64 {
+	maxIter := em.MaxIter
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	tol := em.Tol
+	if tol <= 0 {
+		tol = 1e-7
+	}
+	n := len(sorted)
+	means := make([]float64, k)
+	for i := range means {
+		means[i] = stats.QuantileSorted(sorted, (float64(i)+0.5)/float64(k))
+	}
+	pooled := stats.Variance(sorted)
+	const varFloor = 1e-6
+	if pooled < varFloor {
+		pooled = varFloor
+	}
+	vars := make([]float64, k)
+	weights := make([]float64, k)
+	for i := range vars {
+		vars[i] = pooled
+		weights[i] = 1 / float64(k)
+	}
+	resp := make([][]float64, k)
+	for c := range resp {
+		resp[c] = make([]float64, n)
+	}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		// E step.
+		var ll float64
+		for i, x := range sorted {
+			var total float64
+			for c := 0; c < k; c++ {
+				p := weights[c] * gaussian(x, means[c], vars[c])
+				resp[c][i] = p
+				total += p
+			}
+			if total <= 0 {
+				// Numerically dead point: spread responsibility uniformly.
+				for c := 0; c < k; c++ {
+					resp[c][i] = 1 / float64(k)
+				}
+				total = 1
+				ll += math.Log(1e-300)
+			} else {
+				for c := 0; c < k; c++ {
+					resp[c][i] /= total
+				}
+				ll += math.Log(total)
+			}
+		}
+		// M step.
+		for c := 0; c < k; c++ {
+			var nc, mean float64
+			for i, x := range sorted {
+				nc += resp[c][i]
+				mean += resp[c][i] * x
+			}
+			if nc < 1e-12 {
+				continue // dying component keeps its parameters
+			}
+			mean /= nc
+			var v float64
+			for i, x := range sorted {
+				d := x - mean
+				v += resp[c][i] * d * d
+			}
+			v /= nc
+			if v < varFloor {
+				v = varFloor
+			}
+			means[c], vars[c], weights[c] = mean, v, nc/float64(n)
+		}
+		if ll-prevLL < tol && iter > 0 {
+			break
+		}
+		prevLL = ll
+	}
+	// Cut where the max-posterior component changes along the sorted data.
+	assign := func(x float64) int {
+		best, bestP := 0, -1.0
+		for c := 0; c < k; c++ {
+			if p := weights[c] * gaussian(x, means[c], vars[c]); p > bestP {
+				best, bestP = c, p
+			}
+		}
+		return best
+	}
+	var cuts []float64
+	prev := assign(sorted[0])
+	for i := 1; i < n; i++ {
+		cur := assign(sorted[i])
+		if cur != prev && sorted[i] != sorted[i-1] {
+			cuts = append(cuts, (sorted[i-1]+sorted[i])/2)
+		}
+		prev = cur
+	}
+	return cuts
+}
+
+func gaussian(x, mean, variance float64) float64 {
+	d := x - mean
+	return math.Exp(-d*d/(2*variance)) / math.Sqrt(2*math.Pi*variance)
+}
+
+// KDEValleys cuts at local minima of a Gaussian kernel density estimate of
+// the score distribution — the "kernel density" splitting the paper names.
+// The number of buckets is data-driven; when the density has more than k-1
+// valleys, the k-1 lowest-density valleys are kept.
+type KDEValleys struct {
+	// GridSize is the density evaluation grid over [0,1]; 0 selects 256.
+	GridSize int
+	// Bandwidth overrides Silverman's rule when positive.
+	Bandwidth float64
+}
+
+// Name implements Method.
+func (KDEValleys) Name() string { return "kde-valleys" }
+
+// Cuts implements Method.
+func (kv KDEValleys) Cuts(sorted []float64, k int) []float64 {
+	grid := kv.GridSize
+	if grid <= 0 {
+		grid = 256
+	}
+	kde := stats.NewKDE(sorted, kv.Bandwidth)
+	valleys := kde.Valleys(0, 1, grid)
+	if len(valleys) <= k-1 {
+		return valleys
+	}
+	// Keep the k-1 deepest valleys, then restore x-order (FromEdges sorts
+	// anyway, but being explicit keeps the contract obvious).
+	type vd struct{ x, d float64 }
+	vds := make([]vd, len(valleys))
+	for i, v := range valleys {
+		vds[i] = vd{v, kde.Density(v)}
+	}
+	for i := 0; i < k-1; i++ {
+		min := i
+		for j := i + 1; j < len(vds); j++ {
+			if vds[j].d < vds[min].d {
+				min = j
+			}
+		}
+		vds[i], vds[min] = vds[min], vds[i]
+	}
+	cuts := make([]float64, k-1)
+	for i := 0; i < k-1; i++ {
+		cuts[i] = vds[i].x
+	}
+	return cuts
+}

@@ -1,0 +1,53 @@
+package bucketing
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSplit feeds arbitrary byte-derived score data through every bucketing
+// method: Split must never panic and must always return a valid partition
+// that assigns each input value to exactly one bucket.
+func FuzzSplit(f *testing.F) {
+	f.Add([]byte{}, uint8(3), uint8(0))
+	f.Add([]byte{0, 255, 128}, uint8(2), uint8(1))
+	f.Add([]byte{1, 1, 1, 1}, uint8(5), uint8(2))
+	f.Add([]byte{0, 0, 255, 255}, uint8(1), uint8(3))
+
+	methods := []Method{EqualWidth{}, Quantile{}, Jenks{MaxSample: 128}, KMeans{}, EM{MaxIter: 10}, KDEValleys{GridSize: 32}}
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw, mRaw uint8) {
+		if len(raw) > 512 {
+			raw = raw[:512] // keep the O(k·n²) DP bounded
+		}
+		values := make([]float64, len(raw))
+		for i, b := range raw {
+			values[i] = float64(b) / 255
+		}
+		k := int(kRaw%6) + 1
+		m := methods[int(mRaw)%len(methods)]
+		bs := Split(values, k, m)
+		if len(bs) == 0 {
+			t.Fatal("empty partition")
+		}
+		if IsBoolean(values) {
+			return
+		}
+		if bs[0].Lo != 0 || bs[len(bs)-1].Hi != 1 || !bs[len(bs)-1].ClosedHi {
+			t.Fatalf("partition does not tile [0,1]: %v", bs)
+		}
+		for _, v := range values {
+			n := 0
+			for _, b := range bs {
+				if b.Contains(v) {
+					n++
+				}
+			}
+			if n != 1 {
+				t.Fatalf("value %v in %d buckets of %v", v, n, bs)
+			}
+		}
+		if math.IsNaN(bs[0].Lo) {
+			t.Fatal("NaN bucket edge")
+		}
+	})
+}

@@ -1,0 +1,238 @@
+package bucketing
+
+import (
+	"math"
+
+	"podium/internal/stats"
+)
+
+// EqualWidth cuts [0,1] into k intervals of identical width, ignoring the
+// data distribution. Cheap, and the right choice when bucket semantics are
+// fixed a priori (the paper's low/medium/high example uses hand-picked cuts).
+type EqualWidth struct{}
+
+// Name implements Method.
+func (EqualWidth) Name() string { return "equal-width" }
+
+// Cuts implements Method.
+func (EqualWidth) Cuts(sorted []float64, k int) []float64 {
+	cuts := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		cuts = append(cuts, float64(i)/float64(k))
+	}
+	return cuts
+}
+
+// Fixed applies predetermined interior cut points regardless of the data —
+// the paper's running example uses the hand-picked cuts {0.4, 0.65} for its
+// low/medium/high buckets (Example 3.8). Boolean detection still applies
+// before the method is consulted.
+type Fixed struct{ Interior []float64 }
+
+// Name implements Method.
+func (Fixed) Name() string { return "fixed" }
+
+// Cuts implements Method.
+func (f Fixed) Cuts(sorted []float64, k int) []float64 { return f.Interior }
+
+// Quantile cuts at the i/k-th quantiles so each bucket holds roughly the
+// same number of users.
+type Quantile struct{}
+
+// Name implements Method.
+func (Quantile) Name() string { return "quantile" }
+
+// Cuts implements Method.
+func (Quantile) Cuts(sorted []float64, k int) []float64 {
+	cuts := make([]float64, 0, k-1)
+	for i := 1; i < k; i++ {
+		cuts = append(cuts, stats.QuantileSorted(sorted, float64(i)/float64(k)))
+	}
+	return cuts
+}
+
+// Jenks implements the Fisher-Jenks "natural breaks" optimization [Jenks
+// 1967]: the exact dynamic program that minimizes the total within-bucket
+// sum of squared deviations. Exact DP costs O(k·n²); above MaxSample values
+// the input is decimated to every n/MaxSample-th order statistic first, which
+// preserves the distribution shape the breaks depend on.
+type Jenks struct {
+	// MaxSample bounds the DP input size; 0 selects the default of 1024.
+	MaxSample int
+}
+
+// Name implements Method.
+func (Jenks) Name() string { return "jenks" }
+
+// Cuts implements Method.
+func (j Jenks) Cuts(sorted []float64, k int) []float64 {
+	maxN := j.MaxSample
+	if maxN <= 0 {
+		maxN = 1024
+	}
+	xs := decimate(sorted, maxN)
+	n := len(xs)
+	if k >= n {
+		return midpointsBetweenDistinct(xs)
+	}
+	// Prefix sums for O(1) within-class SSD:
+	// ssd(i,j) = Σx² - (Σx)²/m over xs[i..j).
+	pref := make([]float64, n+1)
+	prefSq := make([]float64, n+1)
+	for i, x := range xs {
+		pref[i+1] = pref[i] + x
+		prefSq[i+1] = prefSq[i] + x*x
+	}
+	ssd := func(i, j int) float64 {
+		m := float64(j - i)
+		s := pref[j] - pref[i]
+		return (prefSq[j] - prefSq[i]) - s*s/m
+	}
+	const inf = math.MaxFloat64
+	// cost[c][j]: minimal SSD splitting xs[0..j) into c buckets.
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	split := make([][]int, k+1) // split[c][j] = start of the last bucket
+	for c := range split {
+		split[c] = make([]int, n+1)
+	}
+	for j := 0; j <= n; j++ {
+		if j == 0 {
+			prev[j] = 0
+		} else {
+			prev[j] = ssd(0, j)
+		}
+	}
+	for c := 2; c <= k; c++ {
+		for j := 0; j <= n; j++ {
+			cur[j] = inf
+			if j < c {
+				continue
+			}
+			for i := c - 1; i < j; i++ {
+				if v := prev[i] + ssd(i, j); v < cur[j] {
+					cur[j] = v
+					split[c][j] = i
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	// Walk the split table back from (k, n) to recover bucket starts.
+	starts := make([]int, 0, k-1)
+	end := n
+	for c := k; c >= 2; c-- {
+		i := split[c][end]
+		starts = append(starts, i)
+		end = i
+	}
+	// starts are in reverse order; each start i yields a cut between
+	// xs[i-1] and xs[i].
+	cuts := make([]float64, 0, len(starts))
+	for idx := len(starts) - 1; idx >= 0; idx-- {
+		i := starts[idx]
+		if i <= 0 || i >= n {
+			continue
+		}
+		cuts = append(cuts, (xs[i-1]+xs[i])/2)
+	}
+	return cuts
+}
+
+// decimate keeps at most maxN evenly spaced order statistics of sorted.
+func decimate(sorted []float64, maxN int) []float64 {
+	n := len(sorted)
+	if n <= maxN {
+		return sorted
+	}
+	out := make([]float64, maxN)
+	for i := 0; i < maxN; i++ {
+		out[i] = sorted[i*(n-1)/(maxN-1)]
+	}
+	return out
+}
+
+// midpointsBetweenDistinct returns a cut between every pair of adjacent
+// distinct values — the exact solution when k is at least the number of
+// distinct values.
+func midpointsBetweenDistinct(sorted []float64) []float64 {
+	var cuts []float64
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1] {
+			cuts = append(cuts, (sorted[i-1]+sorted[i])/2)
+		}
+	}
+	return cuts
+}
+
+// KMeans is Lloyd's algorithm specialized to one dimension: centers are
+// initialized at evenly spaced quantiles (deterministic — no seeding
+// sensitivity in 1-d), assignment boundaries are midpoints between adjacent
+// centers, and iteration proceeds to convergence or MaxIter.
+type KMeans struct {
+	// MaxIter bounds Lloyd iterations; 0 selects the default of 64.
+	MaxIter int
+}
+
+// Name implements Method.
+func (KMeans) Name() string { return "kmeans" }
+
+// Cuts implements Method.
+func (km KMeans) Cuts(sorted []float64, k int) []float64 {
+	maxIter := km.MaxIter
+	if maxIter <= 0 {
+		maxIter = 64
+	}
+	centers := make([]float64, k)
+	for i := range centers {
+		centers[i] = stats.QuantileSorted(sorted, (float64(i)+0.5)/float64(k))
+	}
+	bounds := make([]int, k+1) // bounds[c]..bounds[c+1] is cluster c's slice
+	for iter := 0; iter < maxIter; iter++ {
+		// Assignment: in 1-d the optimal assignment is by midpoint
+		// boundaries between adjacent centers.
+		bounds[0], bounds[k] = 0, len(sorted)
+		idx := 0
+		for c := 0; c+1 < k; c++ {
+			mid := (centers[c] + centers[c+1]) / 2
+			for idx < len(sorted) && sorted[idx] < mid {
+				idx++
+			}
+			bounds[c+1] = idx
+		}
+		// Update.
+		moved := false
+		for c := 0; c < k; c++ {
+			lo, hi := bounds[c], bounds[c+1]
+			if lo >= hi {
+				continue // empty cluster keeps its center
+			}
+			var sum float64
+			for _, x := range sorted[lo:hi] {
+				sum += x
+			}
+			m := sum / float64(hi-lo)
+			if m != centers[c] {
+				centers[c] = m
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	cuts := make([]float64, 0, k-1)
+	for c := 0; c+1 < k; c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		if lo >= hi {
+			continue
+		}
+		// Cut between this cluster's last point and the next non-empty
+		// cluster's first point.
+		next := bounds[c+1]
+		if next < len(sorted) && sorted[hi-1] != sorted[next] {
+			cuts = append(cuts, (sorted[hi-1]+sorted[next])/2)
+		}
+	}
+	return cuts
+}

@@ -1,0 +1,228 @@
+// Package client is a typed Go client for the Podium HTTP API
+// (internal/server): status, group listing, named configurations, plain and
+// customized selection, declarative queries and distribution comparisons.
+// External integrations — a survey tool, a CRM — would talk to a Podium
+// deployment through exactly these calls.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"podium/internal/server"
+)
+
+// Client talks to one Podium server.
+type Client struct {
+	baseURL string
+	http    *http.Client
+}
+
+// New builds a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
+// httpClient may be nil for http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Status is the dataset shape the server reports.
+type Status struct {
+	Name       string `json:"name"`
+	Users      int    `json:"users"`
+	Properties int    `json:"properties"`
+	Groups     int    `json:"groups"`
+}
+
+// GroupInfo is one row of the server's group list.
+type GroupInfo struct {
+	ID     int     `json:"id"`
+	Label  string  `json:"label"`
+	Size   int     `json:"size"`
+	Weight float64 `json:"weight"`
+}
+
+// SelectedUser is one selected user with its explanation digest.
+type SelectedUser struct {
+	ID        int      `json:"id"`
+	Name      string   `json:"name"`
+	Marginal  float64  `json:"marginal"`
+	TopGroups []string `json:"top_groups"`
+}
+
+// GroupCoverage is the subset-group explanation of one group.
+type GroupCoverage struct {
+	ID       int     `json:"id"`
+	Label    string  `json:"label"`
+	Weight   float64 `json:"weight"`
+	Required int     `json:"required"`
+	Actual   int     `json:"actual"`
+	Covered  bool    `json:"covered"`
+}
+
+// Selection is a full selection response.
+type Selection struct {
+	Users         []SelectedUser  `json:"users"`
+	Score         float64         `json:"score"`
+	TopKCovered   int             `json:"top_k_covered"`
+	TopK          int             `json:"top_k"`
+	PriorityScore float64         `json:"priority_score"`
+	StandardScore float64         `json:"standard_score"`
+	Groups        []GroupCoverage `json:"groups"`
+}
+
+// SelectRequest mirrors the server's selection request body.
+type SelectRequest struct {
+	Budget   int                 `json:"budget,omitempty"`
+	Weights  string              `json:"weights,omitempty"`
+	Coverage string              `json:"coverage,omitempty"`
+	Feedback server.FeedbackJSON `json:"feedback,omitempty"`
+	Config   string              `json:"config,omitempty"`
+	TopK     int                 `json:"top_k,omitempty"`
+}
+
+// Distribution compares a property's bucket distribution between the
+// population and a subset.
+type Distribution struct {
+	Property string    `json:"property"`
+	Buckets  []string  `json:"buckets"`
+	All      []float64 `json:"all"`
+	Subset   []float64 `json:"subset"`
+}
+
+// Status fetches the dataset shape.
+func (c *Client) Status() (Status, error) {
+	var s Status
+	return s, c.get("/api/status", nil, &s)
+}
+
+// Groups lists the largest groups, up to limit (0 = server default).
+func (c *Client) Groups(limit int) ([]GroupInfo, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	var gs []GroupInfo
+	return gs, c.get("/api/groups", q, &gs)
+}
+
+// Configurations lists the administrator-provided named configurations.
+func (c *Client) Configurations() ([]server.NamedConfig, error) {
+	var cs []server.NamedConfig
+	return cs, c.get("/api/configurations", nil, &cs)
+}
+
+// Select runs a selection.
+func (c *Client) Select(req SelectRequest) (Selection, error) {
+	var sel Selection
+	return sel, c.post("/api/select", req, &sel)
+}
+
+// Query runs a declarative-language selection.
+func (c *Client) Query(queryText string) (Selection, error) {
+	var sel Selection
+	body := struct {
+		Query string `json:"query"`
+	}{queryText}
+	return sel, c.post("/api/query", body, &sel)
+}
+
+// AddUser creates a user with an initial profile on a mutable server
+// (POST /api/users). It returns the new user's ID and group count.
+func (c *Client) AddUser(name string, properties map[string]float64) (id, groups int, err error) {
+	body := struct {
+		Name       string             `json:"name"`
+		Properties map[string]float64 `json:"properties,omitempty"`
+	}{name, properties}
+	var resp struct {
+		ID     int `json:"id"`
+		Groups int `json:"groups"`
+	}
+	if err := c.post("/api/users", body, &resp); err != nil {
+		return 0, 0, err
+	}
+	return resp.ID, resp.Groups, nil
+}
+
+// SetScore updates one property score on a mutable server (POST /api/scores).
+func (c *Client) SetScore(user int, label string, score float64) error {
+	body := struct {
+		User  int     `json:"user"`
+		Label string  `json:"label"`
+		Score float64 `json:"score"`
+	}{user, label, score}
+	var resp struct {
+		Status string `json:"status"`
+	}
+	return c.post("/api/scores", body, &resp)
+}
+
+// Distribution fetches a property's population-versus-subset distribution.
+func (c *Client) Distribution(property string, users []int) (Distribution, error) {
+	q := url.Values{}
+	q.Set("prop", property)
+	if len(users) > 0 {
+		parts := make([]string, len(users))
+		for i, u := range users {
+			parts[i] = strconv.Itoa(u)
+		}
+		q.Set("users", strings.Join(parts, ","))
+	}
+	var d Distribution
+	return d, c.get("/api/distribution", q, &d)
+}
+
+func (c *Client) get(path string, query url.Values, out interface{}) error {
+	u := c.baseURL + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	return decode(resp, path, out)
+}
+
+func (c *Client) post(path string, body, out interface{}) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("client: encoding %s request: %w", path, err)
+	}
+	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	return decode(resp, path, out)
+}
+
+// apiError is the server's error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func decode(resp *http.Response, path string, out interface{}) error {
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading %s response: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return fmt.Errorf("client: %s: %s (HTTP %d)", path, ae.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s: HTTP %d", path, resp.StatusCode)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}

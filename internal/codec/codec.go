@@ -1,0 +1,362 @@
+// Package codec provides a compact, versioned binary serialization for
+// Podium's two data stores — the profile repository and the ground-truth
+// review store. The JSON wire form (profile.WriteJSON) is the interchange
+// format; this codec is the storage format: property labels are written once
+// and profiles reference them by varint ID, so a repository encodes at a
+// fraction of the JSON size and loads without re-interning strings in
+// arbitrary order.
+//
+// Layout (all integers varint-encoded, strings length-prefixed):
+//
+//	magic "PODM" | format version | section tag | section payload | ...
+//
+// Readers reject unknown magics, versions and section tags, and validate
+// every score and rating on the way in, so a truncated or corrupted file
+// fails loudly rather than yielding a half-loaded repository.
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"podium/internal/opinions"
+	"podium/internal/profile"
+)
+
+const (
+	magic   = "PODM"
+	version = 1
+
+	tagRepository byte = 1
+	tagStore      byte = 2
+)
+
+// WriteRepository encodes a repository to w.
+func WriteRepository(w io.Writer, repo *profile.Repository) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, tagRepository); err != nil {
+		return err
+	}
+	if err := writeRepositoryBody(bw, repo); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadRepository decodes a repository from r.
+func ReadRepository(r io.Reader) (*profile.Repository, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, tagRepository); err != nil {
+		return nil, err
+	}
+	return readRepositoryBody(br)
+}
+
+// WriteDataset encodes a repository and its review store together.
+func WriteDataset(w io.Writer, repo *profile.Repository, store *opinions.Store) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, tagStore); err != nil {
+		return err
+	}
+	if err := writeRepositoryBody(bw, repo); err != nil {
+		return err
+	}
+	if err := writeStoreBody(bw, store); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadDataset decodes a repository+store file.
+func ReadDataset(r io.Reader) (*profile.Repository, *opinions.Store, error) {
+	br := bufio.NewReader(r)
+	if err := readHeader(br, tagStore); err != nil {
+		return nil, nil, err
+	}
+	repo, err := readRepositoryBody(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := readStoreBody(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return repo, store, nil
+}
+
+func writeHeader(w *bufio.Writer, tag byte) error {
+	if _, err := w.WriteString(magic); err != nil {
+		return err
+	}
+	if err := w.WriteByte(version); err != nil {
+		return err
+	}
+	return w.WriteByte(tag)
+}
+
+func readHeader(r *bufio.Reader, wantTag byte) error {
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, head); err != nil {
+		return fmt.Errorf("codec: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return fmt.Errorf("codec: bad magic %q", head)
+	}
+	v, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("codec: reading version: %w", err)
+	}
+	if v != version {
+		return fmt.Errorf("codec: unsupported format version %d", v)
+	}
+	tag, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("codec: reading section tag: %w", err)
+	}
+	if tag != wantTag {
+		return fmt.Errorf("codec: section tag %d, want %d", tag, wantTag)
+	}
+	return nil
+}
+
+func writeRepositoryBody(w *bufio.Writer, repo *profile.Repository) error {
+	labels := repo.Catalog().Labels()
+	writeUvarint(w, uint64(len(labels)))
+	for _, l := range labels {
+		writeString(w, l)
+	}
+	writeUvarint(w, uint64(repo.NumUsers()))
+	for u := 0; u < repo.NumUsers(); u++ {
+		uid := profile.UserID(u)
+		writeString(w, repo.UserName(uid))
+		prof := repo.Profile(uid)
+		writeUvarint(w, uint64(prof.Len()))
+		prof.Each(func(id profile.PropertyID, s float64) {
+			writeUvarint(w, uint64(id))
+			writeFloat(w, s)
+		})
+	}
+	// Write errors surface at the caller's Flush; bufio latches the first.
+	return nil
+}
+
+func readRepositoryBody(r *bufio.Reader) (*profile.Repository, error) {
+	nLabels, err := readUvarint(r, "label count")
+	if err != nil {
+		return nil, err
+	}
+	repo := profile.NewRepository()
+	cat := repo.Catalog()
+	for i := uint64(0); i < nLabels; i++ {
+		label, err := readString(r, "label")
+		if err != nil {
+			return nil, err
+		}
+		if id := cat.Intern(label); uint64(id) != i {
+			return nil, fmt.Errorf("codec: duplicate label %q", label)
+		}
+	}
+	nUsers, err := readUvarint(r, "user count")
+	if err != nil {
+		return nil, err
+	}
+	for u := uint64(0); u < nUsers; u++ {
+		name, err := readString(r, "user name")
+		if err != nil {
+			return nil, err
+		}
+		uid := repo.AddUser(name)
+		nProps, err := readUvarint(r, "profile size")
+		if err != nil {
+			return nil, err
+		}
+		if nProps > nLabels {
+			return nil, fmt.Errorf("codec: profile of %d properties exceeds the %d-label catalog", nProps, nLabels)
+		}
+		for p := uint64(0); p < nProps; p++ {
+			id, err := readUvarint(r, "property id")
+			if err != nil {
+				return nil, err
+			}
+			if id >= nLabels {
+				return nil, fmt.Errorf("codec: property id %d out of range", id)
+			}
+			s, err := readFloat(r, "score")
+			if err != nil {
+				return nil, err
+			}
+			if err := repo.SetScoreID(uid, profile.PropertyID(id), s); err != nil {
+				return nil, fmt.Errorf("codec: %w", err)
+			}
+		}
+	}
+	return repo, nil
+}
+
+func writeStoreBody(w *bufio.Writer, store *opinions.Store) error {
+	writeUvarint(w, uint64(store.MaxRating()))
+	writeUvarint(w, uint64(store.NumDestinations()))
+	for d := 0; d < store.NumDestinations(); d++ {
+		id := opinions.DestID(d)
+		writeString(w, store.DestName(id))
+		writeString(w, store.DestCategory(id))
+		topics := store.Topics(id)
+		writeUvarint(w, uint64(len(topics)))
+		for _, t := range topics {
+			writeString(w, t)
+		}
+		reviews := store.Reviews(id)
+		writeUvarint(w, uint64(len(reviews)))
+		for _, rv := range reviews {
+			writeUvarint(w, uint64(rv.User))
+			writeUvarint(w, uint64(rv.Rating))
+			writeUvarint(w, uint64(rv.Useful))
+			writeUvarint(w, uint64(len(rv.Topics)))
+			for _, tm := range rv.Topics {
+				writeString(w, tm.Topic)
+				if tm.Positive {
+					w.WriteByte(1)
+				} else {
+					w.WriteByte(0)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func readStoreBody(r *bufio.Reader) (*opinions.Store, error) {
+	maxRating, err := readUvarint(r, "max rating")
+	if err != nil {
+		return nil, err
+	}
+	if maxRating < 1 || maxRating > 1000 {
+		return nil, fmt.Errorf("codec: implausible rating scale %d", maxRating)
+	}
+	store := opinions.NewStore(int(maxRating))
+	nDest, err := readUvarint(r, "destination count")
+	if err != nil {
+		return nil, err
+	}
+	for d := uint64(0); d < nDest; d++ {
+		name, err := readString(r, "destination name")
+		if err != nil {
+			return nil, err
+		}
+		category, err := readString(r, "destination category")
+		if err != nil {
+			return nil, err
+		}
+		nTopics, err := readUvarint(r, "topic count")
+		if err != nil {
+			return nil, err
+		}
+		topics := make([]string, nTopics)
+		for i := range topics {
+			if topics[i], err = readString(r, "topic"); err != nil {
+				return nil, err
+			}
+		}
+		dest := store.AddDestination(name, topics)
+		store.SetDestCategory(dest, category)
+		nReviews, err := readUvarint(r, "review count")
+		if err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < nReviews; i++ {
+			user, err := readUvarint(r, "review user")
+			if err != nil {
+				return nil, err
+			}
+			rating, err := readUvarint(r, "review rating")
+			if err != nil {
+				return nil, err
+			}
+			useful, err := readUvarint(r, "review usefulness")
+			if err != nil {
+				return nil, err
+			}
+			nMentions, err := readUvarint(r, "mention count")
+			if err != nil {
+				return nil, err
+			}
+			rv := opinions.Review{
+				User:   profile.UserID(user),
+				Dest:   dest,
+				Rating: int(rating),
+				Useful: int(useful),
+			}
+			for m := uint64(0); m < nMentions; m++ {
+				topic, err := readString(r, "mention topic")
+				if err != nil {
+					return nil, err
+				}
+				b, err := r.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("codec: reading sentiment: %w", err)
+				}
+				rv.Topics = append(rv.Topics, opinions.TopicMention{Topic: topic, Positive: b == 1})
+			}
+			if err := store.AddReview(rv); err != nil {
+				return nil, fmt.Errorf("codec: %w", err)
+			}
+		}
+	}
+	return store, nil
+}
+
+// --- primitives ---
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func readUvarint(r *bufio.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("codec: reading %s: %w", what, err)
+	}
+	return v, nil
+}
+
+// maxStringLen bounds decoded strings; labels and names are human-scale.
+const maxStringLen = 1 << 16
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader, what string) (string, error) {
+	n, err := readUvarint(r, what+" length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("codec: %s length %d exceeds limit", what, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("codec: reading %s: %w", what, err)
+	}
+	return string(buf), nil
+}
+
+func writeFloat(w *bufio.Writer, f float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+	w.Write(buf[:])
+}
+
+func readFloat(r *bufio.Reader, what string) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("codec: reading %s: %w", what, err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}

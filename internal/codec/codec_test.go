@@ -1,0 +1,183 @@
+package codec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"podium/internal/opinions"
+	"podium/internal/profile"
+	"podium/internal/synth"
+)
+
+func TestRepositoryRoundTrip(t *testing.T) {
+	repo := profile.PaperExample()
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, repo); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepository(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRepoEqual(t, repo, back)
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds := synth.Generate(synth.YelpLike(60))
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds.Repo, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	repo, store, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRepoEqual(t, ds.Repo, repo)
+	if store.MaxRating() != ds.Store.MaxRating() {
+		t.Fatalf("max rating %d vs %d", store.MaxRating(), ds.Store.MaxRating())
+	}
+	if store.NumDestinations() != ds.Store.NumDestinations() || store.NumReviews() != ds.Store.NumReviews() {
+		t.Fatalf("store shape %d/%d vs %d/%d",
+			store.NumDestinations(), store.NumReviews(),
+			ds.Store.NumDestinations(), ds.Store.NumReviews())
+	}
+	for d := 0; d < store.NumDestinations(); d++ {
+		id := opinions.DestID(d)
+		if store.DestName(id) != ds.Store.DestName(id) {
+			t.Fatalf("destination %d name mismatch", d)
+		}
+		a, b := ds.Store.Reviews(id), store.Reviews(id)
+		if len(a) != len(b) {
+			t.Fatalf("destination %d: %d vs %d reviews", d, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].User != b[i].User || a[i].Rating != b[i].Rating || a[i].Useful != b[i].Useful {
+				t.Fatalf("destination %d review %d differs: %+v vs %+v", d, i, a[i], b[i])
+			}
+			if len(a[i].Topics) != len(b[i].Topics) {
+				t.Fatalf("destination %d review %d topic count differs", d, i)
+			}
+			for j := range a[i].Topics {
+				if a[i].Topics[j] != b[i].Topics[j] {
+					t.Fatalf("mention %d/%d/%d differs", d, i, j)
+				}
+			}
+		}
+	}
+}
+
+func assertRepoEqual(t *testing.T, want, got *profile.Repository) {
+	t.Helper()
+	if got.NumUsers() != want.NumUsers() || got.NumProperties() != want.NumProperties() {
+		t.Fatalf("shape %d/%d vs %d/%d", got.NumUsers(), got.NumProperties(), want.NumUsers(), want.NumProperties())
+	}
+	for id := 0; id < want.NumProperties(); id++ {
+		if got.Catalog().Label(profile.PropertyID(id)) != want.Catalog().Label(profile.PropertyID(id)) {
+			t.Fatalf("label %d differs", id)
+		}
+	}
+	for u := 0; u < want.NumUsers(); u++ {
+		uid := profile.UserID(u)
+		if got.UserName(uid) != want.UserName(uid) {
+			t.Fatalf("user %d name differs", u)
+		}
+		if got.Profile(uid).Len() != want.Profile(uid).Len() {
+			t.Fatalf("user %d profile size differs", u)
+		}
+		want.Profile(uid).Each(func(id profile.PropertyID, s float64) {
+			g, ok := got.Profile(uid).Score(id)
+			if !ok || g != s {
+				t.Fatalf("user %d property %d: %v vs %v", u, id, g, s)
+			}
+		})
+	}
+}
+
+func TestBinarySmallerThanJSON(t *testing.T) {
+	ds := synth.Generate(synth.TripAdvisorLike(80))
+	var bin, js bytes.Buffer
+	if err := WriteRepository(&bin, ds.Repo); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Repo.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= js.Len()/2 {
+		t.Fatalf("binary %d bytes vs JSON %d — expected < half", bin.Len(), js.Len())
+	}
+}
+
+func TestReadRejectsBadMagic(t *testing.T) {
+	if _, err := ReadRepository(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	repo := profile.PaperExample()
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, repo); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := ReadRepository(bytes.NewReader(data)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestReadRejectsWrongSection(t *testing.T) {
+	ds := synth.Generate(synth.YelpLike(20))
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, ds.Repo, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRepository(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("dataset file accepted as plain repository")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	repo := profile.PaperExample()
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, repo); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Every strict prefix must fail loudly, never return a repo silently
+	// missing data. (Prefixes that happen to decode to fewer complete users
+	// are impossible: user count is written up front.)
+	for cut := 0; cut < len(data)-1; cut += 7 {
+		if _, err := ReadRepository(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsCorruptScore(t *testing.T) {
+	// Flip bytes throughout the file; the reader must either error or
+	// produce a valid repository (flips in names/labels are legal content
+	// changes) — it must never panic or yield out-of-range scores.
+	repo := profile.PaperExample()
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, repo); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for i := 6; i < len(orig); i++ {
+		data := append([]byte(nil), orig...)
+		data[i] ^= 0xFF
+		back, err := ReadRepository(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		for u := 0; u < back.NumUsers(); u++ {
+			back.Profile(profile.UserID(u)).Each(func(_ profile.PropertyID, s float64) {
+				if s < 0 || s > 1 || s != s {
+					t.Fatalf("byte flip at %d produced invalid score %v", i, s)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// Feedback is a client's customization feedback (Definition 6.1): four group
+// subsets steering selection.
+type Feedback struct {
+	// MustHave is 𝒢₊: every selected user must, for each property appearing
+	// here, belong to at least one of that property's listed buckets.
+	MustHave []groups.GroupID
+	// MustNot is 𝒢₋: selected users may belong to none of these groups.
+	MustNot []groups.GroupID
+	// Priority is 𝒢_d: groups whose coverage dominates all others.
+	Priority []groups.GroupID
+	// Standard is 𝒢_d?: groups covered with secondary priority. When
+	// StandardExplicit is false the paper's default applies: all groups not
+	// in Priority. Groups in neither set are ignored for coverage.
+	Standard         []groups.GroupID
+	StandardExplicit bool
+}
+
+// Validate checks every referenced group exists in the index.
+func (f Feedback) Validate(ix *groups.Index) error {
+	check := func(name string, ids []groups.GroupID) error {
+		for _, id := range ids {
+			if id < 0 || int(id) >= ix.NumGroups() {
+				return fmt.Errorf("core: feedback %s references unknown group %d", name, id)
+			}
+		}
+		return nil
+	}
+	if err := check("MustHave", f.MustHave); err != nil {
+		return err
+	}
+	if err := check("MustNot", f.MustNot); err != nil {
+		return err
+	}
+	if err := check("Priority", f.Priority); err != nil {
+		return err
+	}
+	return check("Standard", f.Standard)
+}
+
+// standardSet resolves 𝒢_d? under the default rule.
+func (f Feedback) standardSet(ix *groups.Index) map[groups.GroupID]bool {
+	std := make(map[groups.GroupID]bool)
+	if f.StandardExplicit {
+		for _, id := range f.Standard {
+			std[id] = true
+		}
+		return std
+	}
+	prio := make(map[groups.GroupID]bool, len(f.Priority))
+	for _, id := range f.Priority {
+		prio[id] = true
+	}
+	for i := 0; i < ix.NumGroups(); i++ {
+		if !prio[groups.GroupID(i)] {
+			std[groups.GroupID(i)] = true
+		}
+	}
+	return std
+}
+
+// RefineUsers computes the refined population 𝒰′ of Definition 6.3 as a mask
+// over user IDs: a user survives iff, for every property with a bucket in
+// 𝒢₊, it belongs to at least one of that property's 𝒢₊ buckets (the
+// per-property disjunction that avoids contradictions between buckets of the
+// same property), and it belongs to no group in 𝒢₋.
+func RefineUsers(ix *groups.Index, fb Feedback) []bool {
+	n := ix.Repo().NumUsers()
+	allowed := make([]bool, n)
+	for u := range allowed {
+		allowed[u] = true
+	}
+	// 𝒢₊ organized per property.
+	havePerProp := map[profile.PropertyID][]groups.GroupID{}
+	for _, id := range fb.MustHave {
+		g := ix.Group(id)
+		havePerProp[g.Prop] = append(havePerProp[g.Prop], id)
+	}
+	for u := 0; u < n; u++ {
+		uid := profile.UserID(u)
+		for _, ids := range havePerProp {
+			ok := false
+			for _, id := range ids {
+				if ix.Group(id).Contains(uid) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				allowed[u] = false
+				break
+			}
+		}
+	}
+	for _, id := range fb.MustNot {
+		for _, member := range ix.Group(id).Members {
+			allowed[member] = false
+		}
+	}
+	return allowed
+}
+
+// CustomInstance builds the tiered instance of Prop. 6.5's proof: weights of
+// priority groups are scaled by M > max score_{𝒢_d?}, so any gain on a
+// priority group dominates every possible standard gain — the greedy then
+// optimizes s̃core(U) = score_{𝒢_d}(U)·M + score_{𝒢_d?}(U). Groups in
+// neither set get weight zero (ignored for coverage). EBS instances lose
+// their exact-arithmetic path here — tiered EBS weights are no longer 0/1
+// digit vectors — so customized EBS falls back to float weights and is only
+// exact while they fit in float64.
+func CustomInstance(base *groups.Instance, fb Feedback) *groups.Instance {
+	ix := base.Index
+	std := fb.standardSet(ix)
+	prio := make(map[groups.GroupID]bool, len(fb.Priority))
+	for _, id := range fb.Priority {
+		prio[id] = true
+	}
+	// M must exceed the maximum standard-tier score Σ_{G∈𝒢_d?} wei(G)·cov(G).
+	var maxStd float64
+	for id := range std {
+		maxStd += base.Wei[id] * float64(base.Cov[id])
+	}
+	m := maxStd + 1
+	wei := make([]float64, len(base.Wei))
+	for i := range wei {
+		id := groups.GroupID(i)
+		switch {
+		case prio[id]:
+			wei[i] = base.Wei[i] * m
+		case std[id]:
+			wei[i] = base.Wei[i]
+		default:
+			wei[i] = 0
+		}
+	}
+	cov := make([]int, len(base.Cov))
+	copy(cov, base.Cov)
+	return &groups.Instance{Index: ix, Wei: wei, Cov: cov}
+}
+
+// CustomResult augments a selection result with the per-tier decomposition
+// of its customized score.
+type CustomResult struct {
+	*Result
+	// PriorityScore is score_{𝒢_d}(U) under the base (untiered) weights.
+	PriorityScore float64
+	// StandardScore is score_{𝒢_d?}(U) under the base weights.
+	StandardScore float64
+	// Allowed is the refined-population mask 𝒰′ that was used.
+	Allowed []bool
+}
+
+// GreedyCustom solves CUSTOM-DIVERSITY: refine the population, tier the
+// weights, and run the greedy over the refined candidates (Prop. 6.5). The
+// approximation guarantee carries over because the tiered score remains
+// submodular, non-negative and monotone (Lemma 6.6).
+func GreedyCustom(base *groups.Instance, fb Feedback, budget int) (*CustomResult, error) {
+	if err := fb.Validate(base.Index); err != nil {
+		return nil, err
+	}
+	allowed := RefineUsers(base.Index, fb)
+	tiered := CustomInstance(base, fb)
+	res := GreedyRestricted(tiered, budget, allowed)
+	out := &CustomResult{Result: res, Allowed: allowed}
+	// Decompose for reporting, using base weights per tier.
+	std := fb.standardSet(base.Index)
+	prio := make(map[groups.GroupID]bool, len(fb.Priority))
+	for _, id := range fb.Priority {
+		prio[id] = true
+	}
+	hit := map[groups.GroupID]int{}
+	for _, u := range res.Users {
+		for _, g := range base.Index.UserGroups(u) {
+			hit[g]++
+		}
+	}
+	for g, n := range hit {
+		if n > base.Cov[g] {
+			n = base.Cov[g]
+		}
+		v := base.Wei[g] * float64(n)
+		switch {
+		case prio[g]:
+			out.PriorityScore += v
+		case std[g]:
+			out.StandardScore += v
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// exampleFeedback is the customization feedback of Example 6.2: "must have"
+// any avgRating Mexican bucket, priority coverage on the livesIn properties.
+func exampleFeedback(t *testing.T, ix *groups.Index) Feedback {
+	t.Helper()
+	cat := ix.Repo().Catalog()
+	var fb Feedback
+	mex, ok := cat.Lookup(profile.ExAvgMexican)
+	if !ok {
+		t.Fatal("avgRating Mexican not interned")
+	}
+	fb.MustHave = append(fb.MustHave, ix.GroupsOfProperty(mex)...)
+	for _, label := range []string{profile.ExLivesInTokyo, profile.ExLivesInNYC, profile.ExLivesInBali, profile.ExLivesInParis} {
+		id, ok := cat.Lookup(label)
+		if !ok {
+			t.Fatalf("%s not interned", label)
+		}
+		fb.Priority = append(fb.Priority, ix.GroupsOfProperty(id)...)
+	}
+	return fb
+}
+
+func TestRefineUsersExample62(t *testing.T) {
+	// Example 6.4: the refined user set excludes Carol, who never rated
+	// Mexican food.
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 2)
+	fb := exampleFeedback(t, inst.Index)
+	allowed := RefineUsers(inst.Index, fb)
+	want := []bool{true, true, false, true, true}
+	for u, w := range want {
+		if allowed[u] != w {
+			t.Fatalf("allowed = %v, want %v", allowed, want)
+		}
+	}
+}
+
+func TestRefineUsersMustNot(t *testing.T) {
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 2)
+	ix := inst.Index
+	tokyoProp, _ := ix.Repo().Catalog().Lookup(profile.ExLivesInTokyo)
+	var fb Feedback
+	// Exclude the positive Tokyo bucket: Alice and David out.
+	for _, gid := range ix.GroupsOfProperty(tokyoProp) {
+		if ix.Group(gid).Bucket.Contains(1) {
+			fb.MustNot = append(fb.MustNot, gid)
+		}
+	}
+	allowed := RefineUsers(ix, fb)
+	if allowed[0] || allowed[3] {
+		t.Fatalf("Tokyo residents not excluded: %v", allowed)
+	}
+	if !allowed[1] || !allowed[2] || !allowed[4] {
+		t.Fatalf("non-residents wrongly excluded: %v", allowed)
+	}
+}
+
+func TestRefineUsersPerPropertyDisjunction(t *testing.T) {
+	// 𝒢₊ with two buckets of the same property: membership in either
+	// suffices (the "avoid contradictions" rule of Definition 6.1).
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 2)
+	ix := inst.Index
+	mex, _ := ix.Repo().Catalog().Lookup(profile.ExAvgMexican)
+	fb := Feedback{MustHave: ix.GroupsOfProperty(mex)}
+	allowed := RefineUsers(ix, fb)
+	// Everyone who rated Mexican food (all but Carol) survives.
+	want := []bool{true, true, false, true, true}
+	for u := range want {
+		if allowed[u] != want[u] {
+			t.Fatalf("allowed = %v, want %v", allowed, want)
+		}
+	}
+}
+
+func TestRefineUsersEmptyFeedbackKeepsAll(t *testing.T) {
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 2)
+	for u, ok := range RefineUsers(inst.Index, Feedback{}) {
+		if !ok {
+			t.Fatalf("user %d excluded by empty feedback", u)
+		}
+	}
+}
+
+func TestGreedyCustomExample64(t *testing.T) {
+	// Example 6.4: with the Example 6.2 feedback, Single + LBS still selects
+	// {Alice, Eve}: it maximizes priority (livesIn) coverage weight 3, and
+	// among such subsets maximizes the standard score 14.
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 2)
+	fb := exampleFeedback(t, inst.Index)
+	res, err := GreedyCustom(inst, fb, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !usersEqual(res.Users, []profile.UserID{0, 4}) {
+		t.Fatalf("selected %v, want [0 4] (Alice, Eve)", res.Users)
+	}
+	if res.PriorityScore != 3 {
+		t.Fatalf("priority score = %v, want 3 (two livesIn groups of weights 2 and 1)", res.PriorityScore)
+	}
+	if res.StandardScore != 14 {
+		t.Fatalf("standard score = %v, want 14", res.StandardScore)
+	}
+	// Carol must not be selectable.
+	if res.Allowed[2] {
+		t.Fatal("Carol in refined set")
+	}
+}
+
+func TestGreedyCustomPriorityDominates(t *testing.T) {
+	// A user covering one priority group must beat a user covering every
+	// standard group.
+	repo := profile.NewRepository()
+	rich := repo.AddUser("rich")
+	for p := 0; p < 6; p++ {
+		repo.MustSetScore(rich, string(rune('a'+p)), 1)
+	}
+	target := repo.AddUser("target")
+	repo.MustSetScore(target, "priority-prop", 1)
+	ix := groups.Build(repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, 1)
+	pid, _ := repo.Catalog().Lookup("priority-prop")
+	fb := Feedback{Priority: ix.GroupsOfProperty(pid)}
+	res, err := GreedyCustom(inst, fb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Users) != 1 || res.Users[0] != target {
+		t.Fatalf("selected %v, want the priority-covering user", res.Users)
+	}
+}
+
+func TestGreedyCustomIgnoredGroups(t *testing.T) {
+	// With explicit 𝒢_d? = ∅ and 𝒢_d = {one group}, only that group's
+	// coverage matters; any subset covering it is optimal (Example 6.4's
+	// closing remark). The selected user must belong to it.
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 1)
+	ix := inst.Index
+	tokyoProp, _ := ix.Repo().Catalog().Lookup(profile.ExLivesInTokyo)
+	gids := ix.GroupsOfProperty(tokyoProp)
+	fb := Feedback{Priority: gids, StandardExplicit: true}
+	res, err := GreedyCustom(inst, fb, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Users) != 1 {
+		t.Fatalf("selected %v", res.Users)
+	}
+	if !ix.Group(gids[0]).Contains(res.Users[0]) {
+		t.Fatalf("selected %v does not cover the only priority group", res.Users)
+	}
+	if res.StandardScore != 0 {
+		t.Fatalf("standard score %v with empty 𝒢_d?", res.StandardScore)
+	}
+}
+
+func TestFeedbackValidate(t *testing.T) {
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 2)
+	bad := Feedback{Priority: []groups.GroupID{999}}
+	if err := bad.Validate(inst.Index); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if _, err := GreedyCustom(inst, bad, 2); err == nil {
+		t.Fatal("GreedyCustom accepted invalid feedback")
+	}
+	if err := (Feedback{}).Validate(inst.Index); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCustomInstanceTierSeparation(t *testing.T) {
+	// Any single priority-group gain must exceed the maximum possible
+	// standard score.
+	inst := paperInstance(groups.WeightLBS, groups.CoverSingle, 2)
+	fb := exampleFeedback(t, inst.Index)
+	tiered := CustomInstance(inst, fb)
+	var maxStd float64
+	prio := map[groups.GroupID]bool{}
+	for _, id := range fb.Priority {
+		prio[id] = true
+	}
+	for i := range inst.Wei {
+		if !prio[groups.GroupID(i)] {
+			maxStd += inst.Wei[i] * float64(inst.Cov[i])
+		}
+	}
+	for _, id := range fb.Priority {
+		if tiered.Wei[id] <= maxStd {
+			t.Fatalf("priority weight %v does not dominate max standard score %v", tiered.Wei[id], maxStd)
+		}
+	}
+}
+
+func TestCustomInstanceDropsEBSExactPath(t *testing.T) {
+	inst := paperInstance(groups.WeightEBS, groups.CoverSingle, 2)
+	fb := exampleFeedback(t, inst.Index)
+	tiered := CustomInstance(inst, fb)
+	if tiered.EBS {
+		t.Fatal("tiered instance kept the EBS exact path")
+	}
+}
+
+func TestGreedyCustomNeverSelectsFiltered(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst := randomInstance(seed, 30, 8, groups.WeightLBS, groups.CoverSingle, 6)
+		ix := inst.Index
+		if ix.NumGroups() < 4 {
+			continue
+		}
+		fb := Feedback{
+			MustHave: []groups.GroupID{0},
+			MustNot:  []groups.GroupID{1},
+		}
+		res, err := GreedyCustom(inst, fb, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range res.Users {
+			if !ix.Group(0).Contains(u) {
+				t.Fatalf("seed %d: selected %d outside 𝒢₊", seed, u)
+			}
+			if ix.Group(1).Contains(u) {
+				t.Fatalf("seed %d: selected %d inside 𝒢₋", seed, u)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/big"
+	"testing"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// bigIntEBSGreedy is an independent oracle for the exact EBS path: it runs
+// Algorithm 1 with marginal contributions computed in arbitrary-precision
+// integers (wei(G) = (B+1)^ord(G) as big.Int), immune to both float overflow
+// and the rank-bitset representation under test.
+func bigIntEBSGreedy(inst *groups.Instance, budget int) []profile.UserID {
+	ix := inst.Index
+	n := ix.Repo().NumUsers()
+	base := big.NewInt(int64(budget + 1))
+	weights := make([]*big.Int, ix.NumGroups())
+	for g := range weights {
+		weights[g] = new(big.Int).Exp(base, big.NewInt(int64(inst.EBSRank[g])), nil)
+	}
+	cov := make([]int, len(inst.Cov))
+	copy(cov, inst.Cov)
+	selected := make([]bool, n)
+	var out []profile.UserID
+	for i := 0; i < budget && i < n; i++ {
+		var best int = -1
+		var bestM *big.Int
+		for u := 0; u < n; u++ {
+			if selected[u] {
+				continue
+			}
+			m := new(big.Int)
+			for _, g := range ix.UserGroups(profile.UserID(u)) {
+				if cov[g] > 0 {
+					m.Add(m, weights[g])
+				}
+			}
+			if best < 0 || m.Cmp(bestM) > 0 {
+				best, bestM = u, m
+			}
+		}
+		selected[best] = true
+		out = append(out, profile.UserID(best))
+		for _, g := range ix.UserGroups(profile.UserID(best)) {
+			if cov[g] > 0 {
+				cov[g]--
+			}
+		}
+	}
+	return out
+}
+
+// The rank-bitset EBS greedy must agree with arbitrary-precision integer
+// arithmetic on instances far beyond float64's reach (hundreds of groups).
+func TestEBSGreedyMatchesBigIntOracle(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		inst := randomInstance(seed, 60, 25, groups.WeightEBS, groups.CoverSingle, 6)
+		if inst.Index.NumGroups() < 60 {
+			t.Fatalf("seed %d: only %d groups — not exercising overflow territory", seed, inst.Index.NumGroups())
+		}
+		got := Greedy(inst, 6).Users
+		want := bigIntEBSGreedy(inst, 6)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %v vs oracle %v", seed, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: position %d: %v vs oracle %v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+func TestEBSGreedyMatchesBigIntOracleWithPropCoverage(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		inst := randomInstance(seed, 40, 20, groups.WeightEBS, groups.CoverProp, 8)
+		got := Greedy(inst, 8).Users
+		want := bigIntEBSGreedy(inst, 8)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: %v vs oracle %v", seed, got, want)
+			}
+		}
+	}
+}

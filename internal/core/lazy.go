@@ -1,0 +1,126 @@
+package core
+
+import (
+	"container/heap"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// LazyGreedy is Minoux's accelerated greedy. Submodularity of the score
+// function (Prop. 4.4) guarantees every user's marginal contribution only
+// shrinks as the selection grows, so a stale value is a valid upper bound:
+// keep users in a max-heap keyed by their last known marginal, pop, refresh,
+// and select as soon as the refreshed entry still beats the heap top. The
+// output is identical to Greedy — including tie-breaking, because the heap
+// orders by (marginal, lowest user index) and a popped entry is selected
+// only if it beats the top under that same total order.
+//
+// Whether lazy evaluation wins is instance-dependent: it avoids Algorithm
+// 1's per-saturation member updates but pays a full marginal recomputation
+// per pop, so it shines when groups are large (saturations are expensive)
+// and the leaderboard is stable, and loses on small dense instances. The
+// lazy ablation (RunLazyAblation / BenchmarkAblationEagerVsLazy) reports
+// both variants' link-traversal counts rather than presuming a winner.
+func LazyGreedy(inst *groups.Instance, budget int) *Result {
+	return LazyGreedyRestricted(inst, budget, nil)
+}
+
+// LazyGreedyRestricted is LazyGreedy over a restricted candidate set.
+func LazyGreedyRestricted(inst *groups.Instance, budget int, allowed []bool) *Result {
+	if inst.EBS {
+		// Exact EBS comparisons need rank vectors, not float keys.
+		return ebsGreedy(inst, budget, allowed)
+	}
+	ix := inst.Index
+	n := ix.Repo().NumUsers()
+	res := &Result{}
+	if budget <= 0 || n == 0 {
+		return res
+	}
+
+	cov := make([]int, len(inst.Cov))
+	copy(cov, inst.Cov)
+	selected := make([]bool, n)
+
+	// True marginal contribution of u under the current cov state.
+	refresh := func(u int) float64 {
+		gs := ix.UserGroups(profile.UserID(u))
+		res.Evaluations += len(gs)
+		var m float64
+		for _, g := range gs {
+			if cov[g] > 0 {
+				m += inst.Wei[g]
+			}
+		}
+		return m
+	}
+
+	h := &margHeap{}
+	for u := 0; u < n; u++ {
+		if allowed != nil && !allowed[u] {
+			continue
+		}
+		heap.Push(h, margEntry{user: u, key: refresh(u)})
+	}
+
+	for i := 0; i < budget && h.Len() > 0; i++ {
+		var pick margEntry
+		for {
+			top := heap.Pop(h).(margEntry)
+			if h.Len() == 0 {
+				top.key = refresh(top.user)
+				pick = top
+				break
+			}
+			fresh := refresh(top.user)
+			next := (*h)[0]
+			// Select only if the refreshed entry still wins under the same
+			// (marginal desc, index asc) order the heap uses; otherwise
+			// reinsert. The order is total, so the maximum always
+			// validates and the loop terminates.
+			if fresh > next.key || (fresh == next.key && top.user < next.user) {
+				top.key = fresh
+				pick = top
+				break
+			}
+			top.key = fresh
+			heap.Push(h, top)
+		}
+		selected[pick.user] = true
+		res.Users = append(res.Users, profile.UserID(pick.user))
+		res.Marginals = append(res.Marginals, pick.key)
+		res.Score += pick.key
+		for _, g := range ix.UserGroups(profile.UserID(pick.user)) {
+			if cov[g] > 0 {
+				cov[g]--
+			}
+		}
+	}
+	return res
+}
+
+type margEntry struct {
+	user int
+	key  float64
+}
+
+// margHeap is a max-heap over (key desc, user asc).
+type margHeap []margEntry
+
+func (h margHeap) Len() int { return len(h) }
+func (h margHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key > h[j].key
+	}
+	return h[i].user < h[j].user
+}
+func (h margHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *margHeap) Push(x interface{}) { *h = append(*h, x.(margEntry)) }
+func (h *margHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+// Noise configures the randomized selection the paper sketches as future
+// work (Section 10): "our implementation adds some randomness in randomly
+// breaking ties, and we plan to further incorporation of randomness in our
+// solution, e.g., adding noise to group weights, and its effect on the
+// output diversity". Both levers are implemented here; the noise ablation
+// experiment measures the effect on output diversity.
+type Noise struct {
+	Seed int64
+	// WeightStdDev perturbs every group weight multiplicatively:
+	// w' = w · max(0, 1 + σ·N(0,1)). Zero leaves weights exact.
+	WeightStdDev float64
+	// RandomTies breaks marginal-contribution ties uniformly at random
+	// instead of toward the lowest user index.
+	RandomTies bool
+}
+
+// NoisyGreedy runs Algorithm 1 on a weight-perturbed copy of the instance,
+// optionally with randomized tie-breaking. With zero noise and RandomTies
+// false it reproduces Greedy exactly. The reported Score is always measured
+// under the *original* weights, so results across noise levels are
+// comparable.
+func NoisyGreedy(inst *groups.Instance, budget int, noise Noise) *Result {
+	rng := stats.NewRand(noise.Seed)
+	work := inst
+	if noise.WeightStdDev > 0 {
+		wei := make([]float64, len(inst.Wei))
+		for i, w := range inst.Wei {
+			f := 1 + noise.WeightStdDev*rng.NormFloat64()
+			if f < 0 {
+				f = 0
+			}
+			wei[i] = w * f
+		}
+		cov := make([]int, len(inst.Cov))
+		copy(cov, inst.Cov)
+		// The perturbed weights are generic floats; the EBS exact path does
+		// not apply to them.
+		work = &groups.Instance{Index: inst.Index, Wei: wei, Cov: cov}
+	}
+	res := greedyWithTies(work, budget, noise.RandomTies, rng)
+	// Re-score under the true objective.
+	res.Score = inst.Score(res.Users)
+	return res
+}
+
+// greedyWithTies is Algorithm 1 with a pluggable tie-break: deterministic
+// (lowest index) or uniform over the argmax set via reservoir sampling.
+func greedyWithTies(inst *groups.Instance, budget int, randomTies bool, rng *rand.Rand) *Result {
+	ix := inst.Index
+	n := ix.Repo().NumUsers()
+	res := &Result{}
+	if budget <= 0 || n == 0 {
+		return res
+	}
+	marg := make([]float64, n)
+	candidate := make([]bool, n)
+	numCandidates := 0
+	for u := 0; u < n; u++ {
+		candidate[u] = true
+		numCandidates++
+		gs := ix.UserGroups(profile.UserID(u))
+		res.Evaluations += len(gs)
+		for _, g := range gs {
+			if inst.Cov[g] > 0 {
+				marg[u] += inst.Wei[g]
+			}
+		}
+	}
+	cov := make([]int, len(inst.Cov))
+	copy(cov, inst.Cov)
+	for i := 0; i < budget; i++ {
+		if numCandidates == 0 {
+			break
+		}
+		best := -1
+		ties := 0
+		for u := 0; u < n; u++ {
+			if !candidate[u] {
+				continue
+			}
+			switch {
+			case best < 0 || marg[u] > marg[best]:
+				best = u
+				ties = 1
+			case randomTies && marg[u] == marg[best]:
+				// Reservoir sampling over the argmax set: each tied user
+				// ends up selected with probability 1/ties.
+				ties++
+				if rng.Intn(ties) == 0 {
+					best = u
+				}
+			}
+		}
+		candidate[best] = false
+		numCandidates--
+		res.Users = append(res.Users, profile.UserID(best))
+		res.Marginals = append(res.Marginals, marg[best])
+		res.Score += marg[best]
+		for _, g := range ix.UserGroups(profile.UserID(best)) {
+			if cov[g] <= 0 {
+				continue
+			}
+			cov[g]--
+			if cov[g] == 0 {
+				w := inst.Wei[g]
+				for _, member := range ix.Group(g).Members {
+					if candidate[member] {
+						marg[member] -= w
+						res.Evaluations++
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// SelectionVariety measures output diversity across repeated randomized
+// runs: the average pairwise Jaccard *distance* between the selected sets.
+// 0 means every run returned the same subset; values near 1 mean nearly
+// disjoint outputs.
+func SelectionVariety(runs [][]profile.UserID) float64 {
+	if len(runs) < 2 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for i := 0; i < len(runs); i++ {
+		for j := i + 1; j < len(runs); j++ {
+			sum += jaccardSetDistance(runs[i], runs[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+func jaccardSetDistance(a, b []profile.UserID) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	set := make(map[profile.UserID]bool, len(a))
+	for _, u := range a {
+		set[u] = true
+	}
+	inter := 0
+	union := len(set)
+	for _, u := range b {
+		if set[u] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	return 1 - float64(inter)/float64(union)
+}

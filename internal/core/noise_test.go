@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+func TestNoisyGreedyZeroNoiseMatchesGreedy(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		inst := randomInstance(seed, 40, 8, groups.WeightLBS, groups.CoverSingle, 6)
+		plain := Greedy(inst, 6)
+		noisy := NoisyGreedy(inst, 6, Noise{Seed: seed})
+		if !usersEqual(plain.Users, noisy.Users) {
+			t.Fatalf("seed %d: zero-noise run diverged: %v vs %v", seed, plain.Users, noisy.Users)
+		}
+		if plain.Score != noisy.Score {
+			t.Fatalf("seed %d: scores %v vs %v", seed, plain.Score, noisy.Score)
+		}
+	}
+}
+
+func TestNoisyGreedyDeterministicPerSeed(t *testing.T) {
+	inst := randomInstance(1, 50, 8, groups.WeightLBS, groups.CoverSingle, 6)
+	noise := Noise{Seed: 7, WeightStdDev: 0.3, RandomTies: true}
+	a := NoisyGreedy(inst, 6, noise)
+	b := NoisyGreedy(inst, 6, noise)
+	if !usersEqual(a.Users, b.Users) {
+		t.Fatal("same noise seed produced different selections")
+	}
+}
+
+func TestNoisyGreedyScoreUnderTrueWeights(t *testing.T) {
+	inst := randomInstance(2, 18, 8, groups.WeightLBS, groups.CoverSingle, 4)
+	res := NoisyGreedy(inst, 4, Noise{Seed: 3, WeightStdDev: 0.5})
+	if got := inst.Score(res.Users); got != res.Score {
+		t.Fatalf("reported score %v != true score %v", res.Score, got)
+	}
+	// A noisy selection can never beat the true optimum.
+	opt := BranchAndBound(inst, 4)
+	if res.Score > opt.Score+1e-9 {
+		t.Fatalf("noisy score %v exceeds optimal %v", res.Score, opt.Score)
+	}
+}
+
+func TestNoisyGreedyProducesVariety(t *testing.T) {
+	inst := randomInstance(4, 60, 10, groups.WeightLBS, groups.CoverSingle, 6)
+	var runs [][]profile.UserID
+	for seed := int64(0); seed < 8; seed++ {
+		runs = append(runs, NoisyGreedy(inst, 6, Noise{Seed: seed, WeightStdDev: 0.6}).Users)
+	}
+	if v := SelectionVariety(runs); v == 0 {
+		t.Fatal("heavy weight noise produced identical selections in 8 runs")
+	}
+	// And zero noise yields zero variety.
+	runs = runs[:0]
+	for seed := int64(0); seed < 4; seed++ {
+		runs = append(runs, NoisyGreedy(inst, 6, Noise{Seed: seed}).Users)
+	}
+	if v := SelectionVariety(runs); v != 0 {
+		t.Fatalf("zero-noise variety = %v, want 0", v)
+	}
+}
+
+func TestRandomTiesStayWithinArgmax(t *testing.T) {
+	// All users identical → every marginal ties; random tie-breaking must
+	// still produce a valid selection, and across seeds it must actually
+	// vary the first pick.
+	repo := profile.NewRepository()
+	for i := 0; i < 10; i++ {
+		u := repo.AddUser("u")
+		repo.MustSetScore(u, "p", 1)
+	}
+	ix := groups.Build(repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, 3)
+	firsts := map[profile.UserID]bool{}
+	for seed := int64(0); seed < 30; seed++ {
+		res := NoisyGreedy(inst, 3, Noise{Seed: seed, RandomTies: true})
+		if len(res.Users) != 3 {
+			t.Fatalf("selected %v", res.Users)
+		}
+		firsts[res.Users[0]] = true
+	}
+	if len(firsts) < 3 {
+		t.Fatalf("random ties chose only %d distinct first picks in 30 runs", len(firsts))
+	}
+	// Deterministic tie-breaking always starts at user 0.
+	det := NoisyGreedy(inst, 3, Noise{Seed: 1})
+	if det.Users[0] != 0 {
+		t.Fatalf("deterministic ties start at %d, want 0", det.Users[0])
+	}
+}
+
+func TestSelectionVariety(t *testing.T) {
+	a := []profile.UserID{1, 2, 3}
+	b := []profile.UserID{1, 2, 4}
+	c := []profile.UserID{7, 8, 9}
+	if got := SelectionVariety([][]profile.UserID{a, a}); got != 0 {
+		t.Fatalf("identical sets variety = %v", got)
+	}
+	if got := SelectionVariety([][]profile.UserID{a, c}); got != 1 {
+		t.Fatalf("disjoint sets variety = %v", got)
+	}
+	// |a∩b| = 2, |a∪b| = 4 → distance 0.5.
+	if got := SelectionVariety([][]profile.UserID{a, b}); got != 0.5 {
+		t.Fatalf("variety = %v, want 0.5", got)
+	}
+	if got := SelectionVariety(nil); got != 0 {
+		t.Fatalf("variety of no runs = %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// Exhaustive computes the true optimum of BASE-DIVERSITY by enumerating
+// every user subset of size min(budget, |𝒰|) — the "Optimal Selection"
+// baseline of Section 8.3. Intractable beyond toy sizes (the paper reports
+// 443 s for |𝒰|=40, B=5 and gave up at |𝒰|=100); it exists to measure the
+// greedy algorithm's empirical approximation ratio. Ties between equal-score
+// optima resolve to the lexicographically smallest subset.
+func Exhaustive(inst *groups.Instance, budget int) *Result {
+	n := inst.Index.Repo().NumUsers()
+	k := budget
+	if k > n {
+		k = n
+	}
+	res := &Result{}
+	if k <= 0 {
+		return res
+	}
+	current := make([]profile.UserID, 0, k)
+	best := make([]profile.UserID, 0, k)
+	bestScore := -1.0
+	var recurse func(start int)
+	recurse = func(start int) {
+		if len(current) == k {
+			res.Evaluations++
+			if s := inst.Score(current); s > bestScore {
+				bestScore = s
+				best = append(best[:0], current...)
+			}
+			return
+		}
+		// Not enough users left to complete the subset?
+		if n-start < k-len(current) {
+			return
+		}
+		for u := start; u < n; u++ {
+			current = append(current, profile.UserID(u))
+			recurse(u + 1)
+			current = current[:len(current)-1]
+		}
+	}
+	recurse(0)
+	res.Users = best
+	res.Score = bestScore
+	return res
+}
+
+// BranchAndBound computes the same optimum as Exhaustive but prunes with a
+// submodular upper bound: at any node, the score of any completion is at
+// most the current score plus the sum of the top-(B−|U|) individual marginal
+// contributions of the remaining users (each marginal only shrinks as the
+// set grows, so the sum of the current marginals bounds any future gain).
+// The greedy solution warm-starts the incumbent. Tie-handling note: because
+// pruning keeps the first incumbent that achieves the optimal score, the
+// reported subset may be a different optimum than Exhaustive's, but the
+// score is always identical.
+func BranchAndBound(inst *groups.Instance, budget int) *Result {
+	ix := inst.Index
+	n := ix.Repo().NumUsers()
+	k := budget
+	if k > n {
+		k = n
+	}
+	res := &Result{}
+	if k <= 0 {
+		return res
+	}
+
+	warm := Greedy(inst, k)
+	best := append([]profile.UserID(nil), warm.Users...)
+	sort.Slice(best, func(i, j int) bool { return best[i] < best[j] })
+	bestScore := warm.Score
+
+	cov := make([]int, len(inst.Cov))
+	copy(cov, inst.Cov)
+	marginal := func(u int) float64 {
+		var m float64
+		for _, g := range ix.UserGroups(profile.UserID(u)) {
+			if cov[g] > 0 {
+				m += inst.Wei[g]
+			}
+		}
+		return m
+	}
+
+	current := make([]profile.UserID, 0, k)
+	const eps = 1e-9
+	var recurse func(start int, score float64)
+	recurse = func(start int, score float64) {
+		if len(current) == k {
+			if score > bestScore+eps {
+				bestScore = score
+				best = append(best[:0], current...)
+			}
+			return
+		}
+		need := k - len(current)
+		if n-start < need {
+			return
+		}
+		// Upper bound: current score + top `need` marginals of remaining.
+		res.Evaluations++
+		margs := make([]float64, 0, n-start)
+		for u := start; u < n; u++ {
+			margs = append(margs, marginal(u))
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(margs)))
+		bound := score
+		for i := 0; i < need; i++ {
+			bound += margs[i]
+		}
+		if bound <= bestScore+eps {
+			return
+		}
+		for u := start; u < n; u++ {
+			m := marginal(u)
+			current = append(current, profile.UserID(u))
+			// Remember exactly which groups this user decremented: a group
+			// already saturated by an earlier user on the path must not be
+			// restored on this user's undo.
+			var dec []groups.GroupID
+			for _, g := range ix.UserGroups(profile.UserID(u)) {
+				if cov[g] > 0 {
+					cov[g]--
+					dec = append(dec, g)
+				}
+			}
+			recurse(u+1, score+m)
+			for _, g := range dec {
+				cov[g]++
+			}
+			current = current[:len(current)-1]
+		}
+	}
+	recurse(0, 0)
+	res.Users = best
+	res.Score = bestScore
+	return res
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"podium/internal/groups"
+	"podium/internal/metrics"
+	"podium/internal/opinions"
+	"podium/internal/profile"
+	"podium/internal/stats"
+	"podium/internal/synth"
+)
+
+// BudgetSweepConfig parameterizes the budget-sensitivity experiment. The
+// paper observes (§8.4): "Since each user belongs to many groups, we can
+// achieve high coverage even with a small B. As B increases, all the quality
+// metric improve and the gaps between the baselines slightly decrease, but
+// the general trends are preserved."
+type BudgetSweepConfig struct {
+	Dataset *synth.Dataset
+	Budgets []int // default {2, 4, 8, 16, 32}
+	TopK    int
+	Seed    int64
+}
+
+func (c BudgetSweepConfig) withDefaults() BudgetSweepConfig {
+	if len(c.Budgets) == 0 {
+		c.Budgets = []int{2, 4, 8, 16, 32}
+	}
+	if c.TopK <= 0 {
+		c.TopK = 200
+	}
+	return c
+}
+
+// RunBudgetSweep measures, per budget, each algorithm's top-k coverage plus
+// the Podium-vs-best-baseline gap. One row per budget; one column per
+// algorithm plus the "Gap" column.
+func RunBudgetSweep(cfg BudgetSweepConfig) *Table {
+	cfg = cfg.withDefaults()
+	ix := groups.Build(cfg.Dataset.Repo, groups.Config{K: 3})
+	selectors := DefaultSelectors(cfg.Seed)
+	t := &Table{Title: "Budget sweep: top-k coverage — " + cfg.Dataset.Name}
+	for _, sel := range selectors {
+		t.Metrics = append(t.Metrics, sel.Name())
+	}
+	t.Metrics = append(t.Metrics, "Gap")
+	for _, b := range cfg.Budgets {
+		row := Row{Name: fmt.Sprintf("B=%d", b), Values: map[string]float64{}}
+		var podium, bestOther float64
+		for _, sel := range selectors {
+			users := sel.Select(ix, b)
+			cov := metrics.TopKCoverage(ix, users, cfg.TopK)
+			row.Values[sel.Name()] = cov
+			if sel.Name() == "Podium" {
+				podium = cov
+			} else if cov > bestOther {
+				bestOther = cov
+			}
+		}
+		row.Values["Gap"] = podium - bestOther
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// TransferConfig parameterizes the diversity-transfer experiment: the paper
+// concludes that "diverse users provide diverse opinions" (reconfirming Wu
+// et al.). We quantify it: sample many random subsets, measure each subset's
+// intrinsic total score and its opinion-diversity metrics, and report the
+// Pearson correlation between them. Positive correlations are the
+// mechanism behind Figures 3b/3d.
+type TransferConfig struct {
+	Dataset      *synth.Dataset
+	Budget       int
+	Samples      int // default 60 random subsets
+	Destinations int // opinion evaluation scope; default 50
+	Seed         int64
+}
+
+func (c TransferConfig) withDefaults() TransferConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if c.Samples <= 0 {
+		c.Samples = 60
+	}
+	if c.Destinations <= 0 {
+		c.Destinations = 50
+	}
+	return c
+}
+
+// RunDiversityTransfer reports the correlation between intrinsic diversity
+// and each opinion metric over random subsets.
+func RunDiversityTransfer(cfg TransferConfig) *Table {
+	cfg = cfg.withDefaults()
+	ix := groups.Build(cfg.Dataset.Repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+	rng := stats.NewRand(cfg.Seed)
+	n := cfg.Dataset.Repo.NumUsers()
+
+	intrinsic := make([]float64, cfg.Samples)
+	topics := make([]float64, cfg.Samples)
+	ratingSim := make([]float64, cfg.Samples)
+	for i := 0; i < cfg.Samples; i++ {
+		idx := stats.SampleWithoutReplacement(rng, n, cfg.Budget)
+		users := make([]profile.UserID, len(idx))
+		for j, v := range idx {
+			users[j] = profile.UserID(v)
+		}
+		intrinsic[i] = metrics.TotalScore(inst, users)
+		ev := evaluateTop(cfg, users)
+		topics[i] = ev.topic
+		ratingSim[i] = ev.sim
+	}
+	return &Table{
+		Title:   "Diversity transfer: corr(intrinsic score, opinion metric) — " + cfg.Dataset.Name,
+		Metrics: []string{"Topic+Sentiment r", "Rating Dist Sim r"},
+		Rows: []Row{{
+			Name: fmt.Sprintf("%d random subsets of %d", cfg.Samples, cfg.Budget),
+			Values: map[string]float64{
+				"Topic+Sentiment r": stats.Pearson(intrinsic, topics),
+				"Rating Dist Sim r": stats.Pearson(intrinsic, ratingSim),
+			},
+		}},
+	}
+}
+
+type transferPoint struct{ topic, sim float64 }
+
+func evaluateTop(cfg TransferConfig, users []profile.UserID) transferPoint {
+	ev := opinions.EvaluateTop(cfg.Dataset.Store, users, cfg.Destinations)
+	return transferPoint{topic: ev.TopicSentiment, sim: ev.RatingSim}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/metrics"
+	"podium/internal/profile"
+	"podium/internal/stats"
+	"podium/internal/synth"
+)
+
+// CustomizationConfig parameterizes the customization-effect experiment
+// (Figure 4): nested random priority sets 𝒢₂₀ ⊆ 𝒢₄₀ ⊆ 𝒢₆₀ ⊆ 𝒢₈₀ are fed as
+// priority-coverage feedback, the customized selection runs, and the
+// intrinsic metrics plus Feedback Group Coverage are averaged over
+// repetitions.
+type CustomizationConfig struct {
+	Dataset     *synth.Dataset
+	Budget      int
+	Sizes       []int // priority-set sizes; default {20, 40, 60, 80}
+	Repetitions int   // default 20 (the paper's count)
+	TopK        int
+	TopGroups   int
+	Seed        int64
+}
+
+func (c CustomizationConfig) withDefaults() CustomizationConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{20, 40, 60, 80}
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 20
+	}
+	if c.TopK <= 0 {
+		c.TopK = 200
+	}
+	if c.TopGroups <= 0 {
+		c.TopGroups = 20
+	}
+	return c
+}
+
+// RunCustomization reproduces Figure 4. The first row is the baseline
+// without customization; each following row averages the metrics over
+// Repetitions draws of a priority set of the given size (nested within each
+// repetition, as in the paper).
+func RunCustomization(cfg CustomizationConfig) *Table {
+	cfg = cfg.withDefaults()
+	ix := groups.Build(cfg.Dataset.Repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+	t := &Table{
+		Title: "Intrinsic diversity with customization — " + cfg.Dataset.Name,
+		Metrics: []string{
+			MetricTotalScore, MetricTopK, MetricIntersected, MetricDistribution, MetricFeedbackGroups,
+		},
+	}
+
+	measure := func(users [][]profile.UserID, priority [][]groups.GroupID) Row {
+		// Average the metrics across repetitions.
+		vals := map[string]float64{}
+		for i, u := range users {
+			vals[MetricTotalScore] += metrics.TotalScore(inst, u)
+			vals[MetricTopK] += metrics.TopKCoverage(ix, u, cfg.TopK)
+			vals[MetricIntersected] += metrics.IntersectedCoverage(ix, u, cfg.TopK)
+			vals[MetricDistribution] += metrics.DistributionSimilarity(ix, u, cfg.TopGroups)
+			vals[MetricFeedbackGroups] += metrics.FeedbackGroupCoverage(inst, u, priority[i])
+		}
+		n := float64(len(users))
+		for k := range vals {
+			vals[k] /= n
+		}
+		return Row{Values: vals}
+	}
+
+	// Baseline without customization.
+	base := core.Greedy(inst, cfg.Budget).Users
+	row := measure([][]profile.UserID{base}, [][]groups.GroupID{nil})
+	row.Name = "No feedback"
+	t.Rows = append(t.Rows, row)
+
+	maxSize := cfg.Sizes[len(cfg.Sizes)-1]
+	for _, size := range cfg.Sizes {
+		var selections [][]profile.UserID
+		var priorities [][]groups.GroupID
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			rng := stats.NewRand(cfg.Seed + int64(rep)*7919)
+			// One nested draw per repetition: the size-|𝒢₈₀| sample's
+			// prefixes give 𝒢₂₀ ⊆ 𝒢₄₀ ⊆ ….
+			full := stats.SampleWithoutReplacement(rng, ix.NumGroups(), min(maxSize, ix.NumGroups()))
+			k := min(size, len(full))
+			priority := make([]groups.GroupID, k)
+			for i := 0; i < k; i++ {
+				priority[i] = groups.GroupID(full[i])
+			}
+			fb := core.Feedback{Priority: priority}
+			res, err := core.GreedyCustom(inst, fb, cfg.Budget)
+			if err != nil {
+				panic(fmt.Sprintf("experiments: customization feedback invalid: %v", err))
+			}
+			selections = append(selections, res.Users)
+			priorities = append(priorities, priority)
+		}
+		row := measure(selections, priorities)
+		row.Name = fmt.Sprintf("|Gd|=%d", size)
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

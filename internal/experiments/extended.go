@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"podium/internal/baselines"
+	"podium/internal/groups"
+	"podium/internal/metrics"
+)
+
+// MetricProportionate is the Definition 2.1 deviation column of the extended
+// comparison (lower is better — the only such metric in the suite, so it is
+// excluded from leader normalization and reported raw).
+const MetricProportionate = "Prop Deviation"
+
+// RunExtendedIntrinsic widens the Figure 3 comparison with the selection
+// methods Table 1 of the paper surveys but does not benchmark: classical
+// stratified sampling (the survey-methodology representative) and the
+// max-min flavor of distance-based selection, plus the proportionate-
+// allocation deviation of Definition 2.1 as an extra column. It demonstrates
+// the paper's Section 2 argument empirically: stratified sampling is sound
+// on its one stratification dimension but cannot cover a high-dimensional
+// group structure.
+func RunExtendedIntrinsic(cfg IntrinsicConfig) *Table {
+	cfg = cfg.withDefaults()
+	selectors := append(cfg.Selectors,
+		baselines.Stratified{Seed: cfg.Seed},
+		baselines.DistanceMaxMin{},
+	)
+	ix := groups.Build(cfg.Dataset.Repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+	t := &Table{
+		Title:   "Extended intrinsic comparison — " + cfg.Dataset.Name,
+		Metrics: []string{MetricTotalScore, MetricTopK, MetricIntersected, MetricDistribution, MetricProportionate},
+	}
+	for _, sel := range selectors {
+		users := sel.Select(ix, cfg.Budget)
+		t.Rows = append(t.Rows, Row{
+			Name: sel.Name(),
+			Values: map[string]float64{
+				MetricTotalScore:    metrics.TotalScore(inst, users),
+				MetricTopK:          metrics.TopKCoverage(ix, users, cfg.TopK),
+				MetricIntersected:   metrics.IntersectedCoverage(ix, users, cfg.TopK),
+				MetricDistribution:  metrics.DistributionSimilarity(ix, users, cfg.TopGroups),
+				MetricProportionate: metrics.ProportionateDeviation(ix, users, cfg.TopK),
+			},
+		})
+	}
+	return t
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+
+	"podium/internal/baselines"
+	"podium/internal/groups"
+	"podium/internal/opinions"
+	"podium/internal/profile"
+	"podium/internal/synth"
+)
+
+// HoldOutConfig parameterizes the paper's hold-out protocol for opinion
+// diversity (Section 8.2): "we can select users from TripAdvisor based on
+// their profiles excluding the data related to some destination, then
+// evaluate diversity of the selected subset reviews on the excluded
+// destination". For each evaluated destination, selection runs on profiles
+// with every aggregate of that destination's category removed, so the
+// algorithm cannot peek at the opinions it is judged on.
+type HoldOutConfig struct {
+	Dataset *synth.Dataset
+	Budget  int
+	Seed    int64
+	// Destinations bounds evaluation to the most-reviewed destinations
+	// (default 20 — each needs its own selection run per algorithm).
+	Destinations int
+	Selectors    []baselines.Selector
+}
+
+func (c HoldOutConfig) withDefaults() HoldOutConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if c.Destinations <= 0 {
+		c.Destinations = 20
+	}
+	if c.Selectors == nil {
+		c.Selectors = DefaultSelectors(c.Seed)
+	}
+	return c
+}
+
+// RunHoldOut reproduces the hold-out opinion evaluation. Selection indexes
+// are cached per excluded category, since destinations share categories.
+func RunHoldOut(cfg HoldOutConfig) *Table {
+	cfg = cfg.withDefaults()
+	store := cfg.Dataset.Store
+
+	// Top destinations by review count.
+	type destCount struct {
+		d opinions.DestID
+		n int
+	}
+	var dests []destCount
+	for d := 0; d < store.NumDestinations(); d++ {
+		if n := len(store.Reviews(opinions.DestID(d))); n > 0 {
+			dests = append(dests, destCount{opinions.DestID(d), n})
+		}
+	}
+	for i := 0; i < len(dests); i++ { // selection sort: small N, stable view
+		best := i
+		for j := i + 1; j < len(dests); j++ {
+			if dests[j].n > dests[best].n {
+				best = j
+			}
+		}
+		dests[i], dests[best] = dests[best], dests[i]
+	}
+	if len(dests) > cfg.Destinations {
+		dests = dests[:cfg.Destinations]
+	}
+
+	ixByCategory := map[string]*groups.Index{}
+	indexFor := func(category string) *groups.Index {
+		if ix, ok := ixByCategory[category]; ok {
+			return ix
+		}
+		repo := repoExcludingCategory(cfg.Dataset.Repo, category)
+		ix := groups.Build(repo, groups.Config{K: 3})
+		ixByCategory[category] = ix
+		return ix
+	}
+
+	t := &Table{
+		Title:   "Hold-out opinion diversity — " + cfg.Dataset.Name,
+		Metrics: []string{MetricTopicSentiment, MetricRatingSim, MetricRatingVariance},
+	}
+	for _, sel := range cfg.Selectors {
+		var topic, sim, variance float64
+		for _, dc := range dests {
+			ix := indexFor(store.DestCategory(dc.d))
+			users := sel.Select(ix, cfg.Budget)
+			topic += opinions.TopicSentimentCoverage(store, dc.d, users)
+			sim += opinions.RatingDistributionSimilarity(store, dc.d, users)
+			variance += opinions.RatingVariance(store, dc.d, users)
+		}
+		n := float64(len(dests))
+		t.Rows = append(t.Rows, Row{
+			Name: sel.Name(),
+			Values: map[string]float64{
+				MetricTopicSentiment: topic / n,
+				MetricRatingSim:      sim / n,
+				MetricRatingVariance: variance / n,
+			},
+		})
+	}
+	return t
+}
+
+// repoExcludingCategory projects a repository onto the cuisine/location
+// properties (as the opinion experiments do) minus every property that
+// mentions the excluded category — avgRating/visitFreq/enthusiasm for the
+// category itself and any per-city variant.
+func repoExcludingCategory(repo *profile.Repository, category string) *profile.Repository {
+	keep := func(label string) bool {
+		isAggregate := false
+		for _, prefix := range []string{"avgRating ", "visitFreq ", "enthusiasm ", "livesIn "} {
+			if strings.HasPrefix(label, prefix) {
+				isAggregate = true
+				break
+			}
+		}
+		if !isAggregate {
+			return false
+		}
+		if category == "" {
+			return true
+		}
+		return !strings.Contains(label, category)
+	}
+	out := profile.NewRepository()
+	for u := 0; u < repo.NumUsers(); u++ {
+		uid := out.AddUser(repo.UserName(profile.UserID(u)))
+		repo.Profile(profile.UserID(u)).Each(func(id profile.PropertyID, s float64) {
+			if label := repo.Catalog().Label(id); keep(label) {
+				out.MustSetScore(uid, label, s)
+			}
+		})
+	}
+	return out
+}

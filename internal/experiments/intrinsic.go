@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"podium/internal/baselines"
+	"podium/internal/groups"
+	"podium/internal/metrics"
+	"podium/internal/synth"
+)
+
+// Metric column names shared by the intrinsic figures (3a, 3c).
+const (
+	MetricTotalScore     = "Total Score"
+	MetricTopK           = "Top-200 Coverage"
+	MetricIntersected    = "Intersected Coverage"
+	MetricDistribution   = "Distribution Sim"
+	MetricFeedbackGroups = "Feedback Coverage"
+	MetricTopicSentiment = "Topic+Sentiment"
+	MetricUsefulness     = "Usefulness"
+	MetricRatingSim      = "Rating Dist Sim"
+	MetricRatingVariance = "Rating Variance"
+	MetricSeconds        = "Seconds"
+)
+
+// IntrinsicConfig parameterizes the intrinsic-diversity comparison
+// (Figures 3a and 3c). Defaults follow Section 8.3: budget 8, LBS weights,
+// Single coverage, top-200 coverage, CD-sim over the top-20 groups.
+type IntrinsicConfig struct {
+	Dataset   *synth.Dataset
+	Budget    int
+	TopK      int
+	TopGroups int
+	Seed      int64
+	// Selectors overrides the default algorithm set when non-nil.
+	Selectors []baselines.Selector
+}
+
+func (c IntrinsicConfig) withDefaults() IntrinsicConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if c.TopK <= 0 {
+		c.TopK = 200
+	}
+	if c.TopGroups <= 0 {
+		c.TopGroups = 20
+	}
+	if c.Selectors == nil {
+		c.Selectors = DefaultSelectors(c.Seed)
+	}
+	return c
+}
+
+// DefaultSelectors is the Section 8.3 algorithm lineup.
+func DefaultSelectors(seed int64) []baselines.Selector {
+	return []baselines.Selector{
+		baselines.Podium{Weights: groups.WeightLBS, Coverage: groups.CoverSingle},
+		baselines.Random{Seed: seed},
+		baselines.Clustering{Seed: seed},
+		baselines.Distance{},
+	}
+}
+
+// RunIntrinsic reproduces the intrinsic-diversity figure for one dataset:
+// every algorithm selects a budget-sized subset and is scored on the four
+// intrinsic metrics of Section 8.2.
+func RunIntrinsic(cfg IntrinsicConfig) *Table {
+	cfg = cfg.withDefaults()
+	ix := groups.Build(cfg.Dataset.Repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+	t := &Table{
+		Title:   "Intrinsic diversity — " + cfg.Dataset.Name,
+		Metrics: []string{MetricTotalScore, MetricTopK, MetricIntersected, MetricDistribution},
+	}
+	for _, sel := range cfg.Selectors {
+		users := sel.Select(ix, cfg.Budget)
+		t.Rows = append(t.Rows, Row{
+			Name: sel.Name(),
+			Values: map[string]float64{
+				MetricTotalScore:   metrics.TotalScore(inst, users),
+				MetricTopK:         metrics.TopKCoverage(ix, users, cfg.TopK),
+				MetricIntersected:  metrics.IntersectedCoverage(ix, users, cfg.TopK),
+				MetricDistribution: metrics.DistributionSimilarity(ix, users, cfg.TopGroups),
+			},
+		})
+	}
+	return t
+}

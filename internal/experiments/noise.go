@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/metrics"
+	"podium/internal/profile"
+	"podium/internal/synth"
+)
+
+// NoiseConfig parameterizes the randomized-selection study the paper
+// proposes as future work (Section 10): perturb group weights with
+// multiplicative Gaussian noise, repeat the selection, and measure the
+// effect on output diversity (how different the selected subsets are across
+// runs) versus solution quality (score retained under the true weights).
+type NoiseConfig struct {
+	Dataset     *synth.Dataset
+	Budget      int
+	Seed        int64
+	Levels      []float64 // noise σ values; default {0, 0.1, 0.25, 0.5, 1.0}
+	Repetitions int       // default 10
+	TopK        int
+}
+
+func (c NoiseConfig) withDefaults() NoiseConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if len(c.Levels) == 0 {
+		c.Levels = []float64{0, 0.1, 0.25, 0.5, 1.0}
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 10
+	}
+	if c.TopK <= 0 {
+		c.TopK = 200
+	}
+	return c
+}
+
+// RunNoiseAblation measures, per noise level: the mean total score under the
+// true weights (quality retained), the mean top-k coverage, and the output
+// variety (average pairwise Jaccard distance between the runs' selections).
+func RunNoiseAblation(cfg NoiseConfig) *Table {
+	cfg = cfg.withDefaults()
+	ix := groups.Build(cfg.Dataset.Repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+	t := &Table{
+		Title:   "Randomized selection: weight noise — " + cfg.Dataset.Name,
+		Metrics: []string{MetricTotalScore, MetricTopK, "Output Variety"},
+	}
+	for _, sigma := range cfg.Levels {
+		var runs [][]profile.UserID
+		var score, topk float64
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			// σ=0 is the deterministic reference run; randomized
+			// tie-breaking joins in only once noise is on.
+			res := core.NoisyGreedy(inst, cfg.Budget, core.Noise{
+				Seed:         cfg.Seed + int64(rep)*6151,
+				WeightStdDev: sigma,
+				RandomTies:   sigma > 0,
+			})
+			runs = append(runs, res.Users)
+			score += res.Score
+			topk += metrics.TopKCoverage(ix, res.Users, cfg.TopK)
+		}
+		n := float64(cfg.Repetitions)
+		t.Rows = append(t.Rows, Row{
+			Name: fmt.Sprintf("σ=%.2f", sigma),
+			Values: map[string]float64{
+				MetricTotalScore: score / n,
+				MetricTopK:       topk / n,
+				"Output Variety": core.SelectionVariety(runs),
+			},
+		})
+	}
+	return t
+}

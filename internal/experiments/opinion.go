@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+
+	"podium/internal/baselines"
+	"podium/internal/groups"
+	"podium/internal/opinions"
+	"podium/internal/profile"
+	"podium/internal/synth"
+)
+
+// OpinionConfig parameterizes the opinion-diversity comparison (Figures 3b
+// and 3d): selection runs on profile groups "defined from properties related
+// to cuisine and location, as a client seeking opinions about a restaurant
+// might have chosen" (Section 8.4), then ground-truth reviews simulate
+// procurement and the opinion metrics are averaged across destinations.
+type OpinionConfig struct {
+	Dataset *synth.Dataset
+	Budget  int
+	Seed    int64
+	// Destinations bounds the evaluation to the most-reviewed destinations
+	// (the paper examines 50 for TripAdvisor, 130 for Yelp); default 50.
+	Destinations int
+	// IncludeUsefulness adds the usefulness column (Yelp-like data only).
+	IncludeUsefulness bool
+	Selectors         []baselines.Selector
+}
+
+func (c OpinionConfig) withDefaults() OpinionConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if c.Destinations <= 0 {
+		c.Destinations = 50
+	}
+	if c.Selectors == nil {
+		c.Selectors = DefaultSelectors(c.Seed)
+	}
+	return c
+}
+
+// cuisineLocationRepo projects the repository onto the cuisine- and
+// location-related properties the opinion experiments group on.
+func cuisineLocationRepo(repo *profile.Repository) *profile.Repository {
+	keep := func(label string) bool {
+		for _, prefix := range []string{"avgRating ", "visitFreq ", "enthusiasm ", "livesIn "} {
+			if strings.HasPrefix(label, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	out := profile.NewRepository()
+	for u := 0; u < repo.NumUsers(); u++ {
+		uid := out.AddUser(repo.UserName(profile.UserID(u)))
+		repo.Profile(profile.UserID(u)).Each(func(id profile.PropertyID, s float64) {
+			if label := repo.Catalog().Label(id); keep(label) {
+				out.MustSetScore(uid, label, s)
+			}
+		})
+	}
+	return out
+}
+
+// RunOpinion reproduces the opinion-diversity figure for one dataset.
+func RunOpinion(cfg OpinionConfig) *Table {
+	cfg = cfg.withDefaults()
+	selRepo := cuisineLocationRepo(cfg.Dataset.Repo)
+	ix := groups.Build(selRepo, groups.Config{K: 3})
+	cols := []string{MetricTopicSentiment, MetricRatingSim, MetricRatingVariance}
+	if cfg.IncludeUsefulness {
+		cols = []string{MetricTopicSentiment, MetricUsefulness, MetricRatingSim, MetricRatingVariance}
+	}
+	t := &Table{Title: "Opinion diversity — " + cfg.Dataset.Name, Metrics: cols}
+	for _, sel := range cfg.Selectors {
+		users := sel.Select(ix, cfg.Budget)
+		ev := opinions.EvaluateTop(cfg.Dataset.Store, users, cfg.Destinations)
+		values := map[string]float64{
+			MetricTopicSentiment: ev.TopicSentiment,
+			MetricRatingSim:      ev.RatingSim,
+			MetricRatingVariance: ev.RatingVar,
+		}
+		if cfg.IncludeUsefulness {
+			values[MetricUsefulness] = ev.Usefulness
+		}
+		t.Rows = append(t.Rows, Row{Name: sel.Name(), Values: values})
+	}
+	return t
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"podium/internal/baselines"
+	"podium/internal/groups"
+	"podium/internal/synth"
+)
+
+// ScalabilityConfig parameterizes the runtime experiments (Figures 5 and 6).
+// The paper varies the population size with profiles of up to 200 properties
+// (Figure 5) and varies profile size at a fixed 8K users (Figure 6),
+// expecting linear growth for Podium and the distance baseline and a ~9×
+// penalty for clustering.
+type ScalabilityConfig struct {
+	Budget int
+	Seed   int64
+	// UserCounts is the Figure 5 sweep; ProfileProps the Figure 6 sweep.
+	UserCounts   []int
+	ProfileProps []int
+	// FixedUsers is Figure 6's fixed population size.
+	FixedUsers int
+	// Selectors under timing; defaults exclude Random (its cost is
+	// "immediate", as the paper notes).
+	Selectors []baselines.Selector
+}
+
+func (c ScalabilityConfig) withDefaults() ScalabilityConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if len(c.UserCounts) == 0 {
+		c.UserCounts = []int{250, 500, 1000, 2000, 4000}
+	}
+	if len(c.ProfileProps) == 0 {
+		c.ProfileProps = []int{25, 50, 100, 150, 200}
+	}
+	if c.FixedUsers <= 0 {
+		c.FixedUsers = 2000
+	}
+	if c.Selectors == nil {
+		c.Selectors = []baselines.Selector{
+			baselines.Podium{Weights: groups.WeightLBS, Coverage: groups.CoverSingle},
+			baselines.Clustering{Seed: c.Seed},
+			baselines.Distance{},
+		}
+	}
+	return c
+}
+
+// scaleDataset produces a population of n users whose profiles carry roughly
+// props properties each, by tuning the generator's dimensionality knobs.
+func scaleDataset(seed int64, n, props int) *synth.Dataset {
+	cfg := synth.Config{
+		Name:               fmt.Sprintf("scal-%d-%d", n, props),
+		Seed:               seed,
+		Users:              n,
+		Destinations:       n * 2,
+		MeanReviewsPerUser: 18,
+		// Dimensionality grows with the requested profile size: enable the
+		// per-city aggregates and enrichment only for larger targets.
+		PerCityCategoryProps: props >= 100,
+		EnrichTaxonomy:       props >= 50,
+		InferFunctionalCity:  props >= 150,
+		Cities:               maxInt(4, props/8),
+	}
+	return synth.Generate(cfg)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// timeSelector measures one selection run (excluding index construction,
+// which is the offline grouping step shared by all algorithms).
+func timeSelector(sel baselines.Selector, ix *groups.Index, budget int) float64 {
+	start := time.Now()
+	sel.Select(ix, budget)
+	return time.Since(start).Seconds()
+}
+
+// RunScalabilityUsers reproduces Figure 5: execution time as the population
+// grows, profiles held at up to ~200 properties.
+func RunScalabilityUsers(cfg ScalabilityConfig) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{Title: "Scalability in |U| (seconds)", Metrics: nil}
+	for _, sel := range cfg.Selectors {
+		t.Metrics = append(t.Metrics, sel.Name())
+	}
+	for _, n := range cfg.UserCounts {
+		ds := scaleDataset(cfg.Seed, n, 200)
+		ix := groups.Build(ds.Repo, groups.Config{K: 3})
+		row := Row{Name: fmt.Sprintf("|U|=%d", n), Values: map[string]float64{}}
+		for _, sel := range cfg.Selectors {
+			row.Values[sel.Name()] = timeSelector(sel, ix, cfg.Budget)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// RunScalabilityProfile reproduces Figure 6: execution time as average
+// profile size grows, population fixed.
+func RunScalabilityProfile(cfg ScalabilityConfig) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{Title: fmt.Sprintf("Scalability in profile size (|U|=%d, seconds)", cfg.FixedUsers)}
+	for _, sel := range cfg.Selectors {
+		t.Metrics = append(t.Metrics, sel.Name())
+	}
+	for _, props := range cfg.ProfileProps {
+		ds := scaleDataset(cfg.Seed, cfg.FixedUsers, props)
+		ix := groups.Build(ds.Repo, groups.Config{K: 3})
+		avg := avgProfileSize(ds)
+		row := Row{Name: fmt.Sprintf("props≈%d (avg %.0f)", props, avg), Values: map[string]float64{}}
+		for _, sel := range cfg.Selectors {
+			row.Values[sel.Name()] = timeSelector(sel, ix, cfg.Budget)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func avgProfileSize(ds *synth.Dataset) float64 {
+	total := 0
+	for u := 0; u < ds.Repo.NumUsers(); u++ {
+		total += ds.Repo.Profile(profileUser(u)).Len()
+	}
+	return float64(total) / float64(ds.Repo.NumUsers())
+}

@@ -1,0 +1,110 @@
+// Package experiments contains one driver per table/figure of the paper's
+// evaluation (Section 8). Each driver assembles the workload, runs every
+// algorithm under comparison, computes the figure's metrics and returns a
+// Table whose rows mirror the series the paper plots. DESIGN.md §4 maps
+// experiment IDs (E1–E10) to drivers; EXPERIMENTS.md records paper-versus-
+// measured shapes.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment result: one row per algorithm (or per
+// sweep point), one column per metric.
+type Table struct {
+	Title   string
+	Metrics []string
+	Rows    []Row
+}
+
+// Row is one algorithm's (or sweep point's) measured values.
+type Row struct {
+	Name   string
+	Values map[string]float64
+}
+
+// Get returns a row's value for a metric (0 when absent).
+func (r Row) Get(metric string) float64 { return r.Values[metric] }
+
+// Normalized returns a copy with every metric divided by its column maximum
+// — the paper's presentation ("all scores are normalized relative to the
+// leading algorithm's score"). Columns whose maximum is 0 are left as-is.
+func (t *Table) Normalized() *Table {
+	out := &Table{Title: t.Title + " (normalized)", Metrics: t.Metrics}
+	maxes := map[string]float64{}
+	for _, m := range t.Metrics {
+		for _, r := range t.Rows {
+			if v := r.Get(m); v > maxes[m] {
+				maxes[m] = v
+			}
+		}
+	}
+	for _, r := range t.Rows {
+		nr := Row{Name: r.Name, Values: map[string]float64{}}
+		for _, m := range t.Metrics {
+			if maxes[m] > 0 {
+				nr.Values[m] = r.Get(m) / maxes[m]
+			} else {
+				nr.Values[m] = r.Get(m)
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// Leader returns the name of the row with the highest value for a metric.
+func (t *Table) Leader(metric string) string {
+	best, bestV := "", 0.0
+	for i, r := range t.Rows {
+		if v := r.Get(metric); i == 0 || v > bestV {
+			best, bestV = r.Name, v
+		}
+	}
+	return best
+}
+
+// WriteCSV emits the table for external plotting tools: a header row of
+// "name" plus the metric columns, then one row per entry.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"name"}, t.Metrics...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		row := make([]string, 0, len(header))
+		row = append(row, r.Name)
+		for _, m := range t.Metrics {
+			row = append(row, strconv.FormatFloat(r.Get(m), 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	fmt.Fprintf(w, "%s\n", strings.Repeat("-", len(t.Title)))
+	fmt.Fprintf(w, "%-14s", "")
+	for _, m := range t.Metrics {
+		fmt.Fprintf(w, " %22s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-14s", r.Name)
+		for _, m := range t.Metrics {
+			fmt.Fprintf(w, " %22.4f", r.Get(m))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,146 @@
+package groups
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"podium/internal/profile"
+)
+
+// GroupKind distinguishes the simple groups of Definition 3.4 from the
+// complex groups built from them ("Simple user groups can be used to define
+// more complex ones as the intersection or union of a few simple groups").
+type GroupKind int
+
+const (
+	// SimpleGroup is a (property, bucket) group.
+	SimpleGroup GroupKind = iota
+	// IntersectionGroup is the conjunction of its parent groups.
+	IntersectionGroup
+	// UnionGroup is the disjunction of its parent groups.
+	UnionGroup
+	// ManualGroup is a client-supplied member list with a client label.
+	ManualGroup
+)
+
+func (k GroupKind) String() string {
+	switch k {
+	case SimpleGroup:
+		return "simple"
+	case IntersectionGroup:
+		return "intersection"
+	case UnionGroup:
+		return "union"
+	case ManualGroup:
+		return "manual"
+	}
+	return fmt.Sprintf("GroupKind(%d)", int(k))
+}
+
+// AddIntersection materializes the intersection of existing groups as a new
+// group in the index, wired into the user↔group adjacency so that selection,
+// weights, coverage, explanations and customization treat it like any other
+// group (Example 3.5's "Tokyo residents who are also Mexican food lovers").
+// It returns an error for fewer than two parents, unknown IDs, or an empty
+// intersection (an empty group can never be covered and would only distort
+// EBS ranks).
+func (ix *Index) AddIntersection(ids ...GroupID) (GroupID, error) {
+	return ix.addComplex(IntersectionGroup, ids)
+}
+
+// AddUnion materializes the union of existing groups as a new group.
+func (ix *Index) AddUnion(ids ...GroupID) (GroupID, error) {
+	return ix.addComplex(UnionGroup, ids)
+}
+
+func (ix *Index) addComplex(kind GroupKind, ids []GroupID) (GroupID, error) {
+	if len(ids) < 2 {
+		return 0, fmt.Errorf("groups: %s needs at least two parents, got %d", kind, len(ids))
+	}
+	parents := make([]*Group, len(ids))
+	for i, id := range ids {
+		if id < 0 || int(id) >= len(ix.groups) {
+			return 0, fmt.Errorf("groups: unknown parent group %d", id)
+		}
+		parents[i] = ix.groups[id]
+	}
+	var members []profile.UserID
+	if kind == IntersectionGroup {
+		members = Intersection(parents...)
+	} else {
+		members = Union(parents...)
+	}
+	if len(members) == 0 {
+		return 0, fmt.Errorf("groups: %s of %v is empty", kind, ids)
+	}
+	sep := " AND "
+	if kind == UnionGroup {
+		sep = " OR "
+	}
+	parts := make([]string, len(parents))
+	for i, p := range parents {
+		parts[i] = p.Label(ix.repo.Catalog())
+	}
+	g := &Group{
+		ID:      GroupID(len(ix.groups)),
+		Kind:    kind,
+		Parents: append([]GroupID(nil), ids...),
+		Prop:    complexProp(GroupID(len(ix.groups))),
+		Members: members,
+		label:   "(" + strings.Join(parts, sep) + ")",
+	}
+	ix.groups = append(ix.groups, g)
+	for _, u := range members {
+		ix.byUser[u] = append(ix.byUser[u], g.ID)
+	}
+	return g.ID, nil
+}
+
+// AddManualGroup materializes a client-defined group — Section 3.2: "Our
+// diversification solution can support any set of groups input by the
+// client, including manually crafted groups as typically defined by
+// surveyors". The label is used verbatim in explanations; members are
+// deduplicated and sorted. Empty member sets and out-of-range users are
+// errors.
+func (ix *Index) AddManualGroup(label string, members []profile.UserID) (GroupID, error) {
+	if len(members) == 0 {
+		return 0, fmt.Errorf("groups: manual group %q has no members", label)
+	}
+	seen := make(map[profile.UserID]bool, len(members))
+	clean := make([]profile.UserID, 0, len(members))
+	for _, u := range members {
+		if int(u) < 0 || int(u) >= ix.repo.NumUsers() {
+			return 0, fmt.Errorf("groups: manual group %q references unknown user %d", label, u)
+		}
+		if !seen[u] {
+			seen[u] = true
+			clean = append(clean, u)
+		}
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i] < clean[j] })
+	g := &Group{
+		ID:      GroupID(len(ix.groups)),
+		Kind:    ManualGroup,
+		Prop:    complexProp(GroupID(len(ix.groups))),
+		Members: clean,
+		label:   label,
+	}
+	ix.groups = append(ix.groups, g)
+	for _, u := range clean {
+		for int(u) >= len(ix.byUser) {
+			ix.byUser = append(ix.byUser, nil)
+		}
+		ix.byUser[u] = append(ix.byUser[u], g.ID)
+		sortGroupIDs(ix.byUser[u])
+	}
+	return g.ID, nil
+}
+
+// complexProp assigns a complex group a unique synthetic PropertyID outside
+// the catalog's range (negative), so that per-property logic — same-property
+// intersection skips, the 𝒢₊ per-property disjunction — treats each complex
+// group as its own dimension.
+func complexProp(id GroupID) profile.PropertyID {
+	return profile.PropertyID(-(int(id) + 1))
+}

@@ -1,0 +1,176 @@
+package groups
+
+import (
+	"strings"
+	"testing"
+
+	"podium/internal/profile"
+)
+
+func TestAddIntersectionExample35(t *testing.T) {
+	// Example 3.5: Tokyo residents ∩ Mexican food lovers = {Alice, David},
+	// now as a first-class group.
+	ix := paperIndex(t)
+	tokyo := groupByLabel(t, ix, profile.ExLivesInTokyo)
+	lovers := groupByLabel(t, ix, "high scores for avgRating Mexican")
+	before := ix.NumGroups()
+
+	id, err := ix.AddIntersection(tokyo.ID, lovers.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumGroups() != before+1 {
+		t.Fatalf("NumGroups = %d, want %d", ix.NumGroups(), before+1)
+	}
+	g := ix.Group(id)
+	if g.Kind != IntersectionGroup {
+		t.Fatalf("kind = %v", g.Kind)
+	}
+	if len(g.Members) != 2 || g.Members[0] != 0 || g.Members[1] != 3 {
+		t.Fatalf("members = %v, want [0 3]", g.Members)
+	}
+	// Adjacency wired both ways.
+	foundAlice := false
+	for _, gid := range ix.UserGroups(0) {
+		if gid == id {
+			foundAlice = true
+		}
+	}
+	if !foundAlice {
+		t.Fatal("Alice's group list lacks the new intersection")
+	}
+	// Label combines the parents'.
+	label := g.Label(ix.Repo().Catalog())
+	if !strings.Contains(label, profile.ExLivesInTokyo) || !strings.Contains(label, "AND") {
+		t.Fatalf("label = %q", label)
+	}
+}
+
+func TestAddUnion(t *testing.T) {
+	ix := paperIndex(t)
+	nyc := groupByLabel(t, ix, profile.ExLivesInNYC)
+	bali := groupByLabel(t, ix, profile.ExLivesInBali)
+	id, err := ix.AddUnion(nyc.ID, bali.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ix.Group(id)
+	if g.Kind != UnionGroup || len(g.Members) != 2 {
+		t.Fatalf("union = %+v", g)
+	}
+	if !strings.Contains(g.Label(ix.Repo().Catalog()), "OR") {
+		t.Fatalf("label = %q", g.Label(ix.Repo().Catalog()))
+	}
+}
+
+func TestAddComplexValidation(t *testing.T) {
+	ix := paperIndex(t)
+	if _, err := ix.AddIntersection(0); err == nil {
+		t.Fatal("single parent accepted")
+	}
+	if _, err := ix.AddIntersection(0, GroupID(999)); err == nil {
+		t.Fatal("unknown parent accepted")
+	}
+	// Disjoint groups: NYC resident ∩ Bali resident is empty.
+	nyc := groupByLabel(t, ix, profile.ExLivesInNYC)
+	bali := groupByLabel(t, ix, profile.ExLivesInBali)
+	if _, err := ix.AddIntersection(nyc.ID, bali.ID); err == nil {
+		t.Fatal("empty intersection accepted")
+	}
+}
+
+func TestComplexGroupsHaveDistinctSyntheticProps(t *testing.T) {
+	ix := paperIndex(t)
+	tokyo := groupByLabel(t, ix, profile.ExLivesInTokyo)
+	lovers := groupByLabel(t, ix, "high scores for avgRating Mexican")
+	age := groupByLabel(t, ix, profile.ExAgeGroup5064)
+	a, err := ix.AddIntersection(tokyo.ID, lovers.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ix.AddIntersection(tokyo.ID, age.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb := ix.Group(a), ix.Group(b)
+	if ga.Prop == gb.Prop {
+		t.Fatal("complex groups share a synthetic property id")
+	}
+	if ga.Prop >= 0 || gb.Prop >= 0 {
+		t.Fatal("synthetic property ids must be negative")
+	}
+}
+
+func TestAddManualGroup(t *testing.T) {
+	ix := paperIndex(t)
+	before := ix.NumGroups()
+	// A surveyor-crafted stratum: "frequent travelers" = Alice, Eve, Eve
+	// (duplicate), unsorted.
+	id, err := ix.AddManualGroup("frequent travelers", []profile.UserID{4, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumGroups() != before+1 {
+		t.Fatalf("groups = %d", ix.NumGroups())
+	}
+	g := ix.Group(id)
+	if g.Kind != ManualGroup {
+		t.Fatalf("kind = %v", g.Kind)
+	}
+	if len(g.Members) != 2 || g.Members[0] != 0 || g.Members[1] != 4 {
+		t.Fatalf("members = %v, want deduplicated sorted [0 4]", g.Members)
+	}
+	if g.Label(ix.Repo().Catalog()) != "frequent travelers" {
+		t.Fatalf("label = %q", g.Label(ix.Repo().Catalog()))
+	}
+	// Adjacency wired; instance machinery sees it.
+	inst := NewInstance(ix, WeightLBS, CoverSingle, 2)
+	if inst.Wei[id] != 2 {
+		t.Fatalf("manual group LBS weight = %v", inst.Wei[id])
+	}
+	withAlice := inst.Score([]profile.UserID{0})
+	found := false
+	for _, gid := range ix.UserGroups(0) {
+		if gid == id {
+			found = true
+		}
+	}
+	if !found || withAlice == 0 {
+		t.Fatal("manual group not wired into adjacency/scoring")
+	}
+}
+
+func TestAddManualGroupValidation(t *testing.T) {
+	ix := paperIndex(t)
+	if _, err := ix.AddManualGroup("empty", nil); err == nil {
+		t.Fatal("empty manual group accepted")
+	}
+	if _, err := ix.AddManualGroup("bad", []profile.UserID{99}); err == nil {
+		t.Fatal("unknown member accepted")
+	}
+}
+
+func TestComplexGroupParticipatesInSelection(t *testing.T) {
+	// Weighting a complex group heavily must pull one of its members into
+	// the selection.
+	ix := paperIndex(t)
+	carol := groupByLabel(t, ix, profile.ExLivesInBali) // {Carol}
+	age := groupByLabel(t, ix, profile.ExAgeGroup5064)  // {Alice, Carol}
+	gid, err := ix.AddIntersection(carol.ID, age.ID)    // {Carol}
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := NewInstance(ix, WeightLBS, CoverSingle, 1)
+	// The new group contributes to Carol's marginal under Score.
+	withCarol := inst.Score([]profile.UserID{2})
+	var expected float64
+	for _, g := range ix.UserGroups(2) {
+		expected += inst.Wei[g]
+	}
+	if withCarol != expected {
+		t.Fatalf("score with Carol = %v, want %v", withCarol, expected)
+	}
+	if inst.Wei[gid] != 1 {
+		t.Fatalf("LBS weight of the singleton intersection = %v", inst.Wei[gid])
+	}
+}

@@ -1,0 +1,462 @@
+// Package groups implements Podium's grouping module: it derives the simple
+// user groups G_{p,b} of Definition 3.4 from a profile repository by
+// bucketing each property's score distribution, and maintains the
+// bidirectional user↔group adjacency that the greedy selection algorithm's
+// complexity bound relies on (Section 4, "Data Structures"). It also
+// provides the weight functions (Iden/LBS/EBS, Definition 3.6) and coverage
+// functions (Single/Prop, Definition 3.7) that complete a diversification
+// instance (𝒢, wei, cov).
+package groups
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+)
+
+// GroupID identifies a group by its dense index within an Index.
+type GroupID int
+
+// Group is a user group. Simple groups (Definition 3.4) are the users whose
+// score for Prop falls in Bucket; complex groups (intersections/unions, see
+// complex.go) carry their parent IDs and a synthetic negative Prop. Members
+// are sorted by UserID.
+type Group struct {
+	ID         GroupID
+	Kind       GroupKind
+	Prop       profile.PropertyID
+	Bucket     bucketing.Bucket
+	BucketIdx  int       // position of Bucket within β(Prop); simple groups only
+	NumBuckets int       // |β(Prop)|; simple groups only
+	Parents    []GroupID // complex groups only
+	Members    []profile.UserID
+	label      string // precomputed for complex groups
+}
+
+// Size returns |G|.
+func (g *Group) Size() int { return len(g.Members) }
+
+// Label renders the human-readable group label used by explanations
+// (Section 5): the property label combined with the bucket label. For
+// Boolean properties the bucket label is omitted on the positive bucket
+// ("lives in Tokyo" rather than "lives in Tokyo: true"), mirroring
+// Example 5.2.
+func (g *Group) Label(cat *profile.Catalog) string {
+	if g.Kind != SimpleGroup {
+		return g.label
+	}
+	prop := cat.Label(g.Prop)
+	bl := bucketing.Label(g.Bucket, g.BucketIdx, g.NumBuckets)
+	switch bl {
+	case "true":
+		return prop
+	case "false":
+		return "not " + prop
+	}
+	return fmt.Sprintf("%s %s %s", bl, "scores for", prop)
+}
+
+// Contains reports whether user u is a member (binary search).
+func (g *Group) Contains(u profile.UserID) bool {
+	i := sort.Search(len(g.Members), func(i int) bool { return g.Members[i] >= u })
+	return i < len(g.Members) && g.Members[i] == u
+}
+
+// Config controls group construction.
+type Config struct {
+	// Method is the 1-d splitting strategy; nil selects bucketing.KMeans.
+	Method bucketing.Method
+	// K is the target bucket count per property; 0 selects 3 (the paper's
+	// low/medium/high running example).
+	K int
+	// MinGroupSize drops groups with fewer members; 0 selects 1 (keep every
+	// non-empty group).
+	MinGroupSize int
+	// Parallelism sets the worker count for per-property bucketing, the
+	// dominant cost of the offline grouping module. 0 or 1 builds
+	// sequentially; the output is identical either way (properties are
+	// independent and assembly order is fixed).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Method == nil {
+		c.Method = bucketing.KMeans{}
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if c.MinGroupSize <= 0 {
+		c.MinGroupSize = 1
+	}
+	return c
+}
+
+// Index is the computed set of groups 𝒢 for a repository, with adjacency in
+// both directions: group→members (inside each Group) and user→groups.
+type Index struct {
+	repo    *profile.Repository
+	groups  []*Group
+	byUser  [][]GroupID
+	byProp  map[profile.PropertyID][]GroupID
+	buckets map[profile.PropertyID][]bucketing.Bucket
+}
+
+// Build bucketizes every property and materializes all non-empty groups of
+// at least cfg.MinGroupSize members. It is the "offline process" of the
+// grouping module in the system architecture (Section 7).
+func Build(repo *profile.Repository, cfg Config) *Index {
+	cfg = cfg.withDefaults()
+	ix := &Index{
+		repo:    repo,
+		byUser:  make([][]GroupID, repo.NumUsers()),
+		byProp:  make(map[profile.PropertyID][]GroupID),
+		buckets: make(map[profile.PropertyID][]bucketing.Bucket),
+	}
+	results := bucketizeAll(repo, cfg)
+	for pid := 0; pid < repo.NumProperties(); pid++ {
+		p := profile.PropertyID(pid)
+		res := results[pid]
+		if res == nil {
+			continue // no user holds the property
+		}
+		bs := res.buckets
+		ix.buckets[p] = bs
+		members := res.members
+		for bi, m := range members {
+			if len(m) < cfg.MinGroupSize {
+				continue
+			}
+			g := &Group{
+				ID:         GroupID(len(ix.groups)),
+				Prop:       p,
+				Bucket:     bs[bi],
+				BucketIdx:  bi,
+				NumBuckets: len(bs),
+				Members:    m, // already sorted: PropertyValues scans users in order
+			}
+			ix.groups = append(ix.groups, g)
+			ix.byProp[p] = append(ix.byProp[p], g.ID)
+			for _, u := range m {
+				ix.byUser[u] = append(ix.byUser[u], g.ID)
+			}
+		}
+	}
+	return ix
+}
+
+// NumGroups returns |𝒢|.
+func (ix *Index) NumGroups() int { return len(ix.groups) }
+
+// Group returns the group with the given ID; it panics on an unknown ID.
+func (ix *Index) Group(id GroupID) *Group {
+	if id < 0 || int(id) >= len(ix.groups) {
+		panic(fmt.Sprintf("groups: unknown group %d", id))
+	}
+	return ix.groups[id]
+}
+
+// Groups returns the full group slice. Callers must not modify it.
+func (ix *Index) Groups() []*Group { return ix.groups }
+
+// UserGroups returns the IDs of the groups containing u, in ascending order.
+// Callers must not modify the returned slice.
+func (ix *Index) UserGroups(u profile.UserID) []GroupID {
+	if int(u) < 0 || int(u) >= len(ix.byUser) {
+		panic(fmt.Sprintf("groups: unknown user %d", u))
+	}
+	return ix.byUser[u]
+}
+
+// GroupsOfProperty returns the group IDs derived from property p, in bucket
+// order. Empty buckets have no group.
+func (ix *Index) GroupsOfProperty(p profile.PropertyID) []GroupID {
+	return ix.byProp[p]
+}
+
+// Buckets returns β(p) — the full partition computed for property p,
+// including buckets whose group was empty or dropped.
+func (ix *Index) Buckets(p profile.PropertyID) []bucketing.Bucket {
+	return ix.buckets[p]
+}
+
+// Repo returns the underlying repository.
+func (ix *Index) Repo() *profile.Repository { return ix.repo }
+
+// MaxGroupSize returns max_G |G| — a factor in Prop. 4.4's complexity bound.
+func (ix *Index) MaxGroupSize() int {
+	m := 0
+	for _, g := range ix.groups {
+		if g.Size() > m {
+			m = g.Size()
+		}
+	}
+	return m
+}
+
+// MaxGroupsPerUser returns max_u |{G : u ∈ G}| — the other factor in the
+// complexity bound.
+func (ix *Index) MaxGroupsPerUser() int {
+	m := 0
+	for _, gs := range ix.byUser {
+		if len(gs) > m {
+			m = len(gs)
+		}
+	}
+	return m
+}
+
+// TopKBySize returns the IDs of the k largest groups, largest first, ties
+// broken by lower group ID. Used by the top-k coverage metric (Section 8.2).
+func (ix *Index) TopKBySize(k int) []GroupID {
+	ids := make([]GroupID, len(ix.groups))
+	for i := range ids {
+		ids[i] = GroupID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ga, gb := ix.groups[ids[a]], ix.groups[ids[b]]
+		if ga.Size() != gb.Size() {
+			return ga.Size() > gb.Size()
+		}
+		return ids[a] < ids[b]
+	})
+	if k > len(ids) {
+		k = len(ids)
+	}
+	return ids[:k]
+}
+
+// SizeAscOrder returns ord(·) of Definition 3.6: group IDs ordered from
+// smallest to largest (ties broken by group ID, a concrete instance of the
+// paper's "ties are broken arbitrarily"). The returned slice maps rank →
+// GroupID; NewInstance inverts it into Instance.EBSRank.
+func (ix *Index) SizeAscOrder() []GroupID {
+	ids := make([]GroupID, len(ix.groups))
+	for i := range ids {
+		ids[i] = GroupID(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		ga, gb := ix.groups[ids[a]], ix.groups[ids[b]]
+		if ga.Size() != gb.Size() {
+			return ga.Size() < gb.Size()
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// Intersection returns the sorted common members of the given groups. Used
+// to evaluate complex groups such as "Tokyo residents who are also Mexican
+// food lovers" (Example 3.5) and the intersected-property coverage metric.
+func Intersection(gs ...*Group) []profile.UserID {
+	if len(gs) == 0 {
+		return nil
+	}
+	out := append([]profile.UserID(nil), gs[0].Members...)
+	for _, g := range gs[1:] {
+		out = intersectSorted(out, g.Members)
+		if len(out) == 0 {
+			return nil
+		}
+	}
+	return out
+}
+
+// Union returns the sorted union of the given groups' members.
+func Union(gs ...*Group) []profile.UserID {
+	seen := map[profile.UserID]bool{}
+	for _, g := range gs {
+		for _, u := range g.Members {
+			seen[u] = true
+		}
+	}
+	out := make([]profile.UserID, 0, len(seen))
+	for u := range seen {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func intersectSorted(a, b []profile.UserID) []profile.UserID {
+	var out []profile.UserID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// WeightScheme selects one of the paper's weight functions (Definition 3.6).
+type WeightScheme int
+
+const (
+	// WeightIden assigns every group weight 1 — the most "diverse" choice.
+	WeightIden WeightScheme = iota
+	// WeightLBS makes group importance linear in group size.
+	WeightLBS
+	// WeightEBS enforces importance by size: wei(G) = (B+1)^ord(G), so
+	// covering a larger group always dominates covering any set of smaller
+	// ones.
+	WeightEBS
+)
+
+func (w WeightScheme) String() string {
+	switch w {
+	case WeightIden:
+		return "Iden"
+	case WeightLBS:
+		return "LBS"
+	case WeightEBS:
+		return "EBS"
+	}
+	return fmt.Sprintf("WeightScheme(%d)", int(w))
+}
+
+// ComputeWeights evaluates the scheme for every group. For EBS the float64
+// value overflows to +Inf beyond ~300 groups (with B=8); the selection core
+// detects EBS and switches to an exact rank-vector comparison, so these
+// float values are only used for reporting and for small instances.
+func ComputeWeights(ix *Index, scheme WeightScheme, budget int) []float64 {
+	w := make([]float64, ix.NumGroups())
+	switch scheme {
+	case WeightIden:
+		for i := range w {
+			w[i] = 1
+		}
+	case WeightLBS:
+		for i, g := range ix.groups {
+			w[i] = float64(g.Size())
+		}
+	case WeightEBS:
+		base := float64(budget + 1)
+		for rank, id := range ix.SizeAscOrder() {
+			w[id] = math.Pow(base, float64(rank))
+		}
+	default:
+		panic(fmt.Sprintf("groups: unknown weight scheme %d", scheme))
+	}
+	return w
+}
+
+// CoverageScheme selects one of the paper's coverage functions
+// (Definition 3.7).
+type CoverageScheme int
+
+const (
+	// CoverSingle requires one representative per group.
+	CoverSingle CoverageScheme = iota
+	// CoverProp requires representation proportional to group size:
+	// max(⌊B·|G|/|𝒰|⌋, 1).
+	CoverProp
+)
+
+func (c CoverageScheme) String() string {
+	switch c {
+	case CoverSingle:
+		return "Single"
+	case CoverProp:
+		return "Prop"
+	}
+	return fmt.Sprintf("CoverageScheme(%d)", int(c))
+}
+
+// ComputeCoverage evaluates the scheme for every group.
+func ComputeCoverage(ix *Index, scheme CoverageScheme, budget int) []int {
+	cov := make([]int, ix.NumGroups())
+	switch scheme {
+	case CoverSingle:
+		for i := range cov {
+			cov[i] = 1
+		}
+	case CoverProp:
+		n := ix.repo.NumUsers()
+		for i, g := range ix.groups {
+			c := budget * g.Size() / n
+			if c < 1 {
+				c = 1
+			}
+			cov[i] = c
+		}
+	default:
+		panic(fmt.Sprintf("groups: unknown coverage scheme %d", scheme))
+	}
+	return cov
+}
+
+// Instance is a complete diversification instance (𝒢, wei, cov) of
+// Definition 3.3, ready for the selection core. Wei and Cov are indexed by
+// GroupID.
+type Instance struct {
+	Index *Index
+	Wei   []float64
+	Cov   []int
+	// EBS marks instances whose weights are EBS, enabling the core's exact
+	// rank-comparison path. EBSRank maps GroupID → ord(G) when set.
+	EBS     bool
+	EBSRank []int
+}
+
+// NewInstance assembles an instance from the standard scheme choices.
+func NewInstance(ix *Index, ws WeightScheme, cs CoverageScheme, budget int) *Instance {
+	inst := &Instance{
+		Index: ix,
+		Wei:   ComputeWeights(ix, ws, budget),
+		Cov:   ComputeCoverage(ix, cs, budget),
+	}
+	if ws == WeightEBS {
+		inst.EBS = true
+		inst.EBSRank = make([]int, ix.NumGroups())
+		for rank, id := range ix.SizeAscOrder() {
+			inst.EBSRank[id] = rank
+		}
+	}
+	return inst
+}
+
+// Score computes score_𝒢(U) = Σ_G wei(G)·min(|U∩G|, cov(G)) (Definition
+// 3.3). U may contain duplicates; they are counted once.
+func (inst *Instance) Score(users []profile.UserID) float64 {
+	hit := make(map[GroupID]int)
+	seen := make(map[profile.UserID]bool, len(users))
+	for _, u := range users {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		for _, g := range inst.Index.UserGroups(u) {
+			hit[g]++
+		}
+	}
+	var total float64
+	for g, n := range hit {
+		if n > inst.Cov[g] {
+			n = inst.Cov[g]
+		}
+		total += inst.Wei[g] * float64(n)
+	}
+	return total
+}
+
+// MaxScore returns Σ_G wei(G)·cov(G) — the ceiling of any score, used by
+// customization to build the tiered objective (Section 6) and by the
+// branch-and-bound optimal baseline.
+func (inst *Instance) MaxScore() float64 {
+	var total float64
+	for g := range inst.Wei {
+		total += inst.Wei[g] * float64(inst.Cov[g])
+	}
+	return total
+}

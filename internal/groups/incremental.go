@@ -1,0 +1,286 @@
+package groups
+
+import (
+	"fmt"
+	"sort"
+
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+)
+
+// Incremental maintenance. Section 9 of the paper contrasts Podium with
+// manually curated surveys: "our solution applies to a given user repository
+// as-is and may be easily executed multiple times, e.g., to incorporate data
+// updates". These methods make that cheap: new users and score changes slot
+// into the existing bucket partitions β(p) without rebuilding the index, so
+// group IDs — and therefore saved feedback, named configurations and
+// explanations — remain stable. The trade-off is that bucket *boundaries*
+// are not re-derived; after heavy drift a full Build is still the way to
+// re-optimize the partitions (properties first seen after Build are
+// reported so the caller can decide).
+
+// IndexUser wires a user that was appended to the repository after Build
+// into the existing groups: each of its scores joins the group of the bucket
+// it falls into, creating the group if that bucket was empty at build time.
+// Complex groups are re-checked for the new user. It returns the properties
+// that could not be indexed because they were never bucketed (new
+// properties), and an error if the user is unknown or already indexed.
+func (ix *Index) IndexUser(u profile.UserID) (unbucketed []profile.PropertyID, err error) {
+	repo := ix.repo
+	if int(u) < 0 || int(u) >= repo.NumUsers() {
+		return nil, fmt.Errorf("groups: unknown user %d", u)
+	}
+	for int(u) >= len(ix.byUser) {
+		ix.byUser = append(ix.byUser, nil)
+	}
+	if len(ix.byUser[u]) > 0 {
+		return nil, fmt.Errorf("groups: user %d is already indexed", u)
+	}
+	repo.Profile(u).Each(func(p profile.PropertyID, s float64) {
+		buckets, ok := ix.buckets[p]
+		if !ok {
+			unbucketed = append(unbucketed, p)
+			return
+		}
+		bi := bucketing.Assign(buckets, s)
+		if bi < 0 {
+			return // score outside every bucket (Boolean partitions only)
+		}
+		gid, ok := ix.groupForBucket(p, bi)
+		if !ok {
+			g := &Group{
+				ID:         GroupID(len(ix.groups)),
+				Prop:       p,
+				Bucket:     buckets[bi],
+				BucketIdx:  bi,
+				NumBuckets: len(buckets),
+			}
+			ix.groups = append(ix.groups, g)
+			ix.byProp[p] = insertGroupSorted(ix, ix.byProp[p], g.ID)
+			gid = g.ID
+		}
+		ix.addMember(gid, u)
+	})
+	// Complex groups: membership conditions may now hold for u.
+	for _, g := range ix.groups {
+		if g.Kind == SimpleGroup {
+			continue
+		}
+		if ix.complexHolds(g, u) {
+			ix.addMember(g.ID, u)
+		}
+	}
+	sortGroupIDs(ix.byUser[u])
+	return unbucketed, nil
+}
+
+// UpdateScore records that user u's score for property p changed in the
+// repository, moving the user between p's groups and updating any complex
+// groups built on them. The repository must already hold the new score.
+// Properties never bucketed at Build time are rejected.
+func (ix *Index) UpdateScore(u profile.UserID, p profile.PropertyID) error {
+	repo := ix.repo
+	if int(u) < 0 || int(u) >= len(ix.byUser) {
+		return fmt.Errorf("groups: user %d not indexed", u)
+	}
+	buckets, ok := ix.buckets[p]
+	if !ok {
+		return fmt.Errorf("groups: property %d was not bucketed at build time; rebuild required", p)
+	}
+	score, has := repo.Profile(u).Score(p)
+	if !has {
+		return fmt.Errorf("groups: user %d has no score for property %d", u, p)
+	}
+	newBi := bucketing.Assign(buckets, score)
+
+	// Locate the user's current group of p, if any.
+	var oldGID GroupID = -1
+	for _, gid := range ix.byUser[u] {
+		if g := ix.groups[gid]; g.Kind == SimpleGroup && g.Prop == p {
+			oldGID = gid
+			break
+		}
+	}
+	if oldGID >= 0 && newBi >= 0 && ix.groups[oldGID].BucketIdx == newBi {
+		return nil // same bucket: nothing moves
+	}
+	if oldGID >= 0 {
+		ix.removeMember(oldGID, u)
+	}
+	if newBi >= 0 {
+		gid, ok := ix.groupForBucket(p, newBi)
+		if !ok {
+			g := &Group{
+				ID:         GroupID(len(ix.groups)),
+				Prop:       p,
+				Bucket:     buckets[newBi],
+				BucketIdx:  newBi,
+				NumBuckets: len(buckets),
+			}
+			ix.groups = append(ix.groups, g)
+			ix.byProp[p] = insertGroupSorted(ix, ix.byProp[p], g.ID)
+			gid = g.ID
+		}
+		ix.addMember(gid, u)
+	}
+	// Re-evaluate complex groups that depend (transitively) on p's groups.
+	for _, g := range ix.groups {
+		if g.Kind == SimpleGroup || !ix.complexDependsOn(g, p) {
+			continue
+		}
+		holds := ix.complexHolds(g, u)
+		member := g.Contains(u)
+		switch {
+		case holds && !member:
+			ix.addMember(g.ID, u)
+		case !holds && member:
+			ix.removeMember(g.ID, u)
+		}
+	}
+	sortGroupIDs(ix.byUser[u])
+	return nil
+}
+
+// BucketProperty derives β(p) for a property that was not bucketed at Build
+// time — new properties arriving through live updates — and indexes every
+// current holder. cfg should match the Build configuration. With few holders
+// the partition is degenerate (a single bucket, or Boolean points); a later
+// full Build re-derives better cuts once the distribution has mass. It is an
+// error to re-bucket an already bucketed property.
+func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
+	if p < 0 || int(p) >= ix.repo.NumProperties() {
+		return fmt.Errorf("groups: unknown property %d", p)
+	}
+	if _, ok := ix.buckets[p]; ok {
+		return fmt.Errorf("groups: property %d is already bucketed", p)
+	}
+	res := bucketizeProperty(ix.repo, cfg.withDefaults(), p)
+	if res == nil {
+		return nil // no holders yet; nothing to index
+	}
+	ix.buckets[p] = res.buckets
+	touched := map[profile.UserID]bool{}
+	for bi, m := range res.members {
+		if len(m) < cfg.withDefaults().MinGroupSize {
+			continue
+		}
+		g := &Group{
+			ID:         GroupID(len(ix.groups)),
+			Prop:       p,
+			Bucket:     res.buckets[bi],
+			BucketIdx:  bi,
+			NumBuckets: len(res.buckets),
+			Members:    m,
+		}
+		ix.groups = append(ix.groups, g)
+		ix.byProp[p] = append(ix.byProp[p], g.ID)
+		for _, u := range m {
+			for int(u) >= len(ix.byUser) {
+				ix.byUser = append(ix.byUser, nil)
+			}
+			ix.byUser[u] = append(ix.byUser[u], g.ID)
+			touched[u] = true
+		}
+	}
+	for u := range touched {
+		sortGroupIDs(ix.byUser[u])
+	}
+	return nil
+}
+
+// groupForBucket finds the group of (p, bucketIdx) if it exists.
+func (ix *Index) groupForBucket(p profile.PropertyID, bi int) (GroupID, bool) {
+	for _, gid := range ix.byProp[p] {
+		if ix.groups[gid].BucketIdx == bi {
+			return gid, true
+		}
+	}
+	return -1, false
+}
+
+// addMember inserts u into the group's sorted member slice and the user's
+// group list (deduplicated).
+func (ix *Index) addMember(gid GroupID, u profile.UserID) {
+	g := ix.groups[gid]
+	i := sort.Search(len(g.Members), func(i int) bool { return g.Members[i] >= u })
+	if i < len(g.Members) && g.Members[i] == u {
+		return
+	}
+	g.Members = append(g.Members, 0)
+	copy(g.Members[i+1:], g.Members[i:])
+	g.Members[i] = u
+	ix.byUser[u] = append(ix.byUser[u], gid)
+}
+
+// removeMember deletes u from the group and the user's group list.
+func (ix *Index) removeMember(gid GroupID, u profile.UserID) {
+	g := ix.groups[gid]
+	i := sort.Search(len(g.Members), func(i int) bool { return g.Members[i] >= u })
+	if i < len(g.Members) && g.Members[i] == u {
+		g.Members = append(g.Members[:i], g.Members[i+1:]...)
+	}
+	gs := ix.byUser[u]
+	for j, id := range gs {
+		if id == gid {
+			ix.byUser[u] = append(gs[:j], gs[j+1:]...)
+			break
+		}
+	}
+}
+
+// complexHolds evaluates a complex group's condition for one user, resolving
+// nested complex parents recursively.
+func (ix *Index) complexHolds(g *Group, u profile.UserID) bool {
+	holdsParent := func(pid GroupID) bool {
+		p := ix.groups[pid]
+		if p.Kind == SimpleGroup {
+			return p.Contains(u)
+		}
+		return ix.complexHolds(p, u)
+	}
+	if g.Kind == IntersectionGroup {
+		for _, pid := range g.Parents {
+			if !holdsParent(pid) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, pid := range g.Parents {
+		if holdsParent(pid) {
+			return true
+		}
+	}
+	return false
+}
+
+// complexDependsOn reports whether a complex group transitively depends on
+// any simple group of property p.
+func (ix *Index) complexDependsOn(g *Group, p profile.PropertyID) bool {
+	for _, pid := range g.Parents {
+		parent := ix.groups[pid]
+		if parent.Kind == SimpleGroup {
+			if parent.Prop == p {
+				return true
+			}
+		} else if ix.complexDependsOn(parent, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// insertGroupSorted keeps byProp lists ordered by BucketIdx so that
+// GroupsOfProperty stays in bucket order after incremental additions.
+func insertGroupSorted(ix *Index, ids []GroupID, gid GroupID) []GroupID {
+	bi := ix.groups[gid].BucketIdx
+	i := sort.Search(len(ids), func(i int) bool { return ix.groups[ids[i]].BucketIdx >= bi })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = gid
+	return ids
+}
+
+func sortGroupIDs(ids []GroupID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,330 @@
+package groups
+
+import (
+	"fmt"
+	"testing"
+
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+func TestIndexUserJoinsExistingBuckets(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	before := ix.NumGroups()
+
+	// Frank: Tokyo resident, Mexican food lover — must join both existing
+	// groups without creating new ones.
+	frank := repo.AddUser("Frank")
+	repo.MustSetScore(frank, profile.ExLivesInTokyo, 1)
+	repo.MustSetScore(frank, profile.ExAvgMexican, 0.9)
+
+	unbucketed, err := ix.IndexUser(frank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unbucketed) != 0 {
+		t.Fatalf("unbucketed = %v", unbucketed)
+	}
+	if ix.NumGroups() != before {
+		t.Fatalf("groups grew from %d to %d", before, ix.NumGroups())
+	}
+	tokyo := groupByLabel(t, ix, profile.ExLivesInTokyo)
+	if !tokyo.Contains(frank) || tokyo.Size() != 3 {
+		t.Fatalf("Tokyo group = %v", tokyo.Members)
+	}
+	if len(ix.UserGroups(frank)) != 2 {
+		t.Fatalf("Frank in %d groups, want 2", len(ix.UserGroups(frank)))
+	}
+}
+
+func TestIndexUserCreatesMissingBucketGroup(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	before := ix.NumGroups()
+	// avgRating Mexican's medium bucket had no members at build time.
+	grace := repo.AddUser("Grace")
+	repo.MustSetScore(grace, profile.ExAvgMexican, 0.5)
+
+	if _, err := ix.IndexUser(grace); err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumGroups() != before+1 {
+		t.Fatalf("groups = %d, want %d", ix.NumGroups(), before+1)
+	}
+	g := groupByLabel(t, ix, "medium scores for avgRating Mexican")
+	if g.Size() != 1 || !g.Contains(grace) {
+		t.Fatalf("medium group = %v", g.Members)
+	}
+	// Bucket order of GroupsOfProperty preserved: low, medium, high.
+	pid, _ := repo.Catalog().Lookup(profile.ExAvgMexican)
+	ids := ix.GroupsOfProperty(pid)
+	for i := 1; i < len(ids); i++ {
+		if ix.Group(ids[i]).BucketIdx <= ix.Group(ids[i-1]).BucketIdx {
+			t.Fatalf("bucket order broken: %v", ids)
+		}
+	}
+}
+
+func TestIndexUserReportsNewProperties(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	u := repo.AddUser("Heidi")
+	repo.MustSetScore(u, "brand-new property", 0.5)
+	repo.MustSetScore(u, profile.ExLivesInParis, 1)
+
+	unbucketed, err := ix.IndexUser(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unbucketed) != 1 {
+		t.Fatalf("unbucketed = %v, want the new property only", unbucketed)
+	}
+	if got := repo.Catalog().Label(unbucketed[0]); got != "brand-new property" {
+		t.Fatalf("unbucketed property = %q", got)
+	}
+}
+
+func TestIndexUserErrors(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	if _, err := ix.IndexUser(profile.UserID(99)); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if _, err := ix.IndexUser(profile.UserID(0)); err == nil {
+		t.Fatal("re-indexing an indexed user accepted")
+	}
+}
+
+func TestIndexUserUpdatesComplexGroups(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	tokyo := groupByLabel(t, ix, profile.ExLivesInTokyo)
+	lovers := groupByLabel(t, ix, "high scores for avgRating Mexican")
+	cid, err := ix.AddIntersection(tokyo.ID, lovers.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frank := repo.AddUser("Frank")
+	repo.MustSetScore(frank, profile.ExLivesInTokyo, 1)
+	repo.MustSetScore(frank, profile.ExAvgMexican, 0.9)
+	if _, err := ix.IndexUser(frank); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Group(cid).Contains(frank) {
+		t.Fatal("new user missing from the dependent intersection group")
+	}
+}
+
+func TestUpdateScoreMovesBetweenBuckets(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	pid, _ := repo.Catalog().Lookup(profile.ExAvgMexican)
+
+	// Bob's avgRating Mexican goes 0.3 (low) → 0.9 (high).
+	repo.MustSetScore(profile.UserID(1), profile.ExAvgMexican, 0.9)
+	if err := ix.UpdateScore(profile.UserID(1), pid); err != nil {
+		t.Fatal(err)
+	}
+	lovers := groupByLabel(t, ix, "high scores for avgRating Mexican")
+	if !lovers.Contains(1) || lovers.Size() != 4 {
+		t.Fatalf("lovers = %v", lovers.Members)
+	}
+	low := groupByLabel(t, ix, "low scores for avgRating Mexican")
+	if low.Contains(1) || low.Size() != 0 {
+		t.Fatalf("low group still holds Bob: %v", low.Members)
+	}
+	// Idempotent within the same bucket.
+	repo.MustSetScore(profile.UserID(1), profile.ExAvgMexican, 0.95)
+	if err := ix.UpdateScore(profile.UserID(1), pid); err != nil {
+		t.Fatal(err)
+	}
+	if lovers.Size() != 4 {
+		t.Fatalf("same-bucket update changed membership: %v", lovers.Members)
+	}
+}
+
+func TestUpdateScoreMaintainsComplexGroups(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	tokyo := groupByLabel(t, ix, profile.ExLivesInTokyo)
+	lovers := groupByLabel(t, ix, "high scores for avgRating Mexican")
+	cid, err := ix.AddIntersection(tokyo.ID, lovers.ID) // {Alice, David}
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, _ := repo.Catalog().Lookup(profile.ExAvgMexican)
+	// David's rating collapses to low → he leaves lovers AND the
+	// intersection.
+	repo.MustSetScore(profile.UserID(3), profile.ExAvgMexican, 0.1)
+	if err := ix.UpdateScore(profile.UserID(3), pid); err != nil {
+		t.Fatal(err)
+	}
+	c := ix.Group(cid)
+	if c.Contains(3) || c.Size() != 1 {
+		t.Fatalf("intersection after update = %v, want {Alice}", c.Members)
+	}
+	// And back up again → he rejoins both.
+	repo.MustSetScore(profile.UserID(3), profile.ExAvgMexican, 0.8)
+	if err := ix.UpdateScore(profile.UserID(3), pid); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(3) {
+		t.Fatalf("intersection after restore = %v", c.Members)
+	}
+}
+
+func TestUpdateScoreErrors(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	pid, _ := repo.Catalog().Lookup(profile.ExAvgMexican)
+	if err := ix.UpdateScore(profile.UserID(50), pid); err == nil {
+		t.Fatal("unindexed user accepted")
+	}
+	// Carol has no avgRating Mexican score.
+	if err := ix.UpdateScore(profile.UserID(2), pid); err == nil {
+		t.Fatal("missing score accepted")
+	}
+	newProp := repo.Catalog().Intern("never bucketed")
+	if err := ix.UpdateScore(profile.UserID(0), newProp); err == nil {
+		t.Fatal("unbucketed property accepted")
+	}
+}
+
+func TestBucketPropertyFirstSight(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	// A new property arrives for two existing users.
+	repo.MustSetScore(profile.UserID(0), "new prop", 0.2)
+	repo.MustSetScore(profile.UserID(1), "new prop", 0.9)
+	pid, _ := repo.Catalog().Lookup("new prop")
+
+	if err := ix.BucketProperty(pid, Config{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Buckets(pid)) == 0 {
+		t.Fatal("no partition derived")
+	}
+	gids := ix.GroupsOfProperty(pid)
+	if len(gids) == 0 {
+		t.Fatal("no groups created")
+	}
+	total := 0
+	for _, gid := range gids {
+		total += ix.Group(gid).Size()
+	}
+	if total != 2 {
+		t.Fatalf("indexed %d holders, want 2", total)
+	}
+	// Alice and Bob separated into different buckets.
+	if Assign := func(u profile.UserID) GroupID {
+		for _, gid := range gids {
+			if ix.Group(gid).Contains(u) {
+				return gid
+			}
+		}
+		return -1
+	}; Assign(0) == Assign(1) {
+		t.Fatal("0.2 and 0.9 share a bucket")
+	}
+	// Adjacency updated and sorted.
+	for _, u := range []profile.UserID{0, 1} {
+		list := ix.UserGroups(u)
+		for i := 1; i < len(list); i++ {
+			if list[i] <= list[i-1] {
+				t.Fatalf("user %d group list unsorted: %v", u, list)
+			}
+		}
+	}
+	// Re-bucketing is an error; unknown property is an error.
+	if err := ix.BucketProperty(pid, Config{K: 3}); err == nil {
+		t.Fatal("re-bucketing accepted")
+	}
+	if err := ix.BucketProperty(profile.PropertyID(999), Config{K: 3}); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+}
+
+func TestBucketPropertyNoHolders(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+	pid := repo.Catalog().Intern("registered but unheld")
+	if err := ix.BucketProperty(pid, Config{K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.GroupsOfProperty(pid)) != 0 {
+		t.Fatal("groups created for a property nobody holds")
+	}
+}
+
+// Property-style stress: a stream of random incremental updates keeps the
+// bidirectional adjacency consistent and equivalent to recomputing bucket
+// membership from the repository.
+func TestIncrementalAdjacencyConsistency(t *testing.T) {
+	rng := stats.NewRand(31)
+	repo := profile.NewRepository()
+	props := []string{"p0", "p1", "p2", "p3"}
+	for u := 0; u < 40; u++ {
+		id := repo.AddUser(fmt.Sprintf("u%d", u))
+		for _, p := range props {
+			if rng.Float64() < 0.7 {
+				repo.MustSetScore(id, p, rng.Float64())
+			}
+		}
+	}
+	ix := Build(repo, Config{K: 3})
+
+	// 60 random score updates + 10 new users.
+	for i := 0; i < 60; i++ {
+		u := profile.UserID(rng.Intn(40))
+		label := props[rng.Intn(len(props))]
+		pid, _ := repo.Catalog().Lookup(label)
+		if !repo.Profile(u).Has(pid) {
+			continue
+		}
+		repo.MustSetScore(u, label, rng.Float64())
+		if err := ix.UpdateScore(u, pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		u := repo.AddUser(fmt.Sprintf("new%d", i))
+		for _, p := range props {
+			if rng.Float64() < 0.7 {
+				repo.MustSetScore(u, p, rng.Float64())
+			}
+		}
+		if _, err := ix.IndexUser(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Invariants: mutual adjacency and membership matching bucket
+	// assignment of the current repository scores.
+	for u := 0; u < repo.NumUsers(); u++ {
+		uid := profile.UserID(u)
+		for _, gid := range ix.UserGroups(uid) {
+			if !ix.Group(gid).Contains(uid) {
+				t.Fatalf("user %d lists group %d without membership", u, gid)
+			}
+		}
+	}
+	for _, g := range ix.Groups() {
+		for _, u := range g.Members {
+			s, ok := repo.Profile(u).Score(g.Prop)
+			if !ok {
+				t.Fatalf("member %d of group %d lacks the property", u, g.ID)
+			}
+			if !g.Bucket.Contains(s) {
+				t.Fatalf("member %d of group %d has score %v outside bucket %v", u, g.ID, s, g.Bucket)
+			}
+		}
+		// Sorted members.
+		for i := 1; i < len(g.Members); i++ {
+			if g.Members[i] <= g.Members[i-1] {
+				t.Fatalf("group %d members unsorted: %v", g.ID, g.Members)
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package groups
+
+import (
+	"sync"
+
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+)
+
+// propBuckets is the per-property output of the bucketing stage: the
+// partition β(p) and, per bucket, the sorted member users.
+type propBuckets struct {
+	buckets []bucketing.Bucket
+	members [][]profile.UserID
+}
+
+// bucketizeAll runs the bucketing stage for every property, sequentially or
+// with cfg.Parallelism workers. Properties are independent, so the result is
+// identical either way; the slice is indexed by PropertyID with nil entries
+// for properties no user holds.
+func bucketizeAll(repo *profile.Repository, cfg Config) []*propBuckets {
+	n := repo.NumProperties()
+	results := make([]*propBuckets, n)
+	if cfg.Parallelism <= 1 {
+		for pid := 0; pid < n; pid++ {
+			results[pid] = bucketizeProperty(repo, cfg, profile.PropertyID(pid))
+		}
+		return results
+	}
+	// Profiles sort themselves lazily on first read; force that now so the
+	// workers below are read-only and race-free.
+	for u := 0; u < repo.NumUsers(); u++ {
+		repo.Profile(profile.UserID(u)).Len()
+	}
+	workers := cfg.Parallelism
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pid := range work {
+				results[pid] = bucketizeProperty(repo, cfg, profile.PropertyID(pid))
+			}
+		}()
+	}
+	for pid := 0; pid < n; pid++ {
+		work <- pid
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+func bucketizeProperty(repo *profile.Repository, cfg Config, p profile.PropertyID) *propBuckets {
+	users, scores := repo.PropertyValues(p)
+	if len(users) == 0 {
+		return nil
+	}
+	bs := bucketing.Split(scores, cfg.K, cfg.Method)
+	members := make([][]profile.UserID, len(bs))
+	for i, u := range users {
+		if b := bucketing.Assign(bs, scores[i]); b >= 0 {
+			members[b] = append(members[b], u)
+		}
+	}
+	return &propBuckets{buckets: bs, members: members}
+}

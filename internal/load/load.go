@@ -1,0 +1,78 @@
+// Package load opens profile repositories from disk, auto-detecting the
+// storage format by magic bytes: "PLOG" repository logs (internal/repolog),
+// "PODM" binary files (internal/codec — plain repositories or full
+// datasets), and JSON (the interchange format) as the fallback. The CLI
+// tools and server use it so every on-disk format works with every -in flag.
+package load
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"podium/internal/codec"
+	"podium/internal/opinions"
+	"podium/internal/profile"
+	"podium/internal/repolog"
+)
+
+// Repository opens the repository stored at path in any supported format.
+// Dataset files (repository + reviews) yield just their repository; use
+// Dataset to get both.
+func Repository(path string) (*profile.Repository, error) {
+	repo, _, err := open(path, false)
+	return repo, err
+}
+
+// Dataset opens a repository and, when the file carries them, its
+// ground-truth reviews. The store is nil for formats without review data
+// (JSON, repository logs, plain binary repositories).
+func Dataset(path string) (*profile.Repository, *opinions.Store, error) {
+	return open(path, true)
+}
+
+func open(path string, wantStore bool) (*profile.Repository, *opinions.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("load: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, err := br.Peek(6)
+	if err != nil && err != io.EOF {
+		return nil, nil, fmt.Errorf("load: %w", err)
+	}
+	switch {
+	case bytes.HasPrefix(head, []byte("PLOG")):
+		// Repository log: replay via repolog (reopening read-write is what
+		// repolog.Open does; for read-only loading replaying is identical).
+		l, err := repolog.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		repo := l.Repository()
+		if err := l.Close(); err != nil {
+			return nil, nil, err
+		}
+		return repo, nil, nil
+	case bytes.HasPrefix(head, []byte("PODM")):
+		// Binary codec: the 6th byte is the section tag.
+		if len(head) >= 6 && head[5] == 2 {
+			repo, store, err := codec.ReadDataset(br)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !wantStore {
+				store = nil
+			}
+			return repo, store, nil
+		}
+		repo, err := codec.ReadRepository(br)
+		return repo, nil, err
+	default:
+		repo, err := profile.ReadJSON(br)
+		return repo, nil, err
+	}
+}

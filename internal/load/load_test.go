@@ -1,0 +1,120 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"podium/internal/codec"
+	"podium/internal/profile"
+	"podium/internal/repolog"
+	"podium/internal/synth"
+)
+
+func TestLoadJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := profile.PaperExample().WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	repo, err := Repository(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.NumUsers() != 5 {
+		t.Fatalf("users = %d", repo.NumUsers())
+	}
+}
+
+func TestLoadBinaryRepository(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.podium")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.WriteRepository(f, profile.PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	repo, err := Repository(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.NumUsers() != 5 {
+		t.Fatalf("users = %d", repo.NumUsers())
+	}
+}
+
+func TestLoadBinaryDataset(t *testing.T) {
+	ds := synth.Generate(synth.YelpLike(30))
+	path := filepath.Join(t.TempDir(), "dataset.podium")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.WriteDataset(f, ds.Repo, ds.Store); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	repo, store, err := Dataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.NumUsers() != 30 || store == nil || store.NumReviews() != ds.Store.NumReviews() {
+		t.Fatalf("dataset loaded wrong: %d users, store %v", repo.NumUsers(), store != nil)
+	}
+	// Repository() on a dataset file yields the repo without the store.
+	repoOnly, err := Repository(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repoOnly.NumUsers() != 30 {
+		t.Fatalf("repo-only users = %d", repoOnly.NumUsers())
+	}
+}
+
+func TestLoadRepositoryLog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "repo.plog")
+	l, err := repolog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, _ := l.AddUser("Alice")
+	if err := l.SetScore(u, "p", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	repo, err := Repository(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repo.NumUsers() != 1 || repo.UserName(0) != "Alice" {
+		t.Fatalf("log repo = %d users", repo.NumUsers())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Repository(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestLoadGarbageFallsToJSONError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage")
+	if err := os.WriteFile(path, []byte("certainly not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Repository(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,206 @@
+// Package metrics implements the evaluation metrics of Section 8.2. The
+// intrinsic diversity metrics in this file are computed from the selected
+// users' known profiles: the total selection score, top-k group coverage,
+// intersected-property coverage, and the coverage-oriented distribution
+// similarity CD-sim of Definition 8.1. Opinion diversity metrics live in
+// package opinions, next to the review data they consume.
+package metrics
+
+import (
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// TotalScore is the selection total score metric: score_𝒢(U) under the
+// instance — by default LBS weights and Single coverage, the target function
+// Podium's greedy approximates.
+func TotalScore(inst *groups.Instance, users []profile.UserID) float64 {
+	return inst.Score(users)
+}
+
+// TopKCoverage returns the fraction of the k largest groups that have at
+// least one selected representative (the paper uses k=200).
+func TopKCoverage(ix *groups.Index, users []profile.UserID, k int) float64 {
+	top := ix.TopKBySize(k)
+	if len(top) == 0 {
+		return 1
+	}
+	inSel := toSet(users)
+	covered := 0
+	for _, gid := range top {
+		if groupHits(ix.Group(gid), inSel) > 0 {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(top))
+}
+
+// IntersectedCoverage evaluates coverage of *complex* groups: pairwise
+// intersections of simple groups that are at least as large as the k-th
+// largest simple group. It returns the fraction of such intersections with a
+// selected representative. Since |A∩B| ≤ min(|A|,|B|), qualifying pairs can
+// only arise between groups that are individually at least that large, which
+// keeps enumeration tractable; pairs of buckets of the same property are
+// skipped (their intersection is empty by construction).
+func IntersectedCoverage(ix *groups.Index, users []profile.UserID, k int) float64 {
+	top := ix.TopKBySize(k)
+	if len(top) == 0 {
+		return 1
+	}
+	threshold := ix.Group(top[len(top)-1]).Size()
+	// Candidate groups: size ≥ threshold (includes ties beyond top-k).
+	var cands []*groups.Group
+	for _, g := range ix.Groups() {
+		if g.Size() >= threshold {
+			cands = append(cands, g)
+		}
+	}
+	inSel := toSet(users)
+	qualifying, covered := 0, 0
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			a, b := cands[i], cands[j]
+			if a.Prop == b.Prop {
+				continue
+			}
+			inter := groups.Intersection(a, b)
+			if len(inter) < threshold {
+				continue
+			}
+			qualifying++
+			for _, u := range inter {
+				if inSel[u] {
+					covered++
+					break
+				}
+			}
+		}
+	}
+	if qualifying == 0 {
+		return 1
+	}
+	return float64(covered) / float64(qualifying)
+}
+
+// CDSim is the coverage-oriented distribution similarity of Definition 8.1:
+// 1 − (1/k)·Σ_{subset(b) < all(b)} (all(b) − subset(b)) / all(b). Only
+// under-represented domain values are taxed; over-representation is free.
+// Both inputs must have equal length; buckets with all(b) == 0 contribute
+// nothing (they cannot be under-represented).
+func CDSim(subset, all []float64) float64 {
+	if len(subset) != len(all) {
+		panic("metrics: CDSim length mismatch")
+	}
+	k := len(all)
+	if k == 0 {
+		return 1
+	}
+	var tax float64
+	for i := range all {
+		if all[i] > 0 && subset[i] < all[i] {
+			tax += (all[i] - subset[i]) / all[i]
+		}
+	}
+	return 1 - tax/float64(k)
+}
+
+// DistributionSimilarity is the "Distribution Similarity" intrinsic metric:
+// the average CD-sim, over the properties of the topGroups largest groups
+// (the paper averages over the top 20), between the per-bucket user
+// distribution of the whole population and of the selected subset.
+//
+// Near-universal groups — buckets holding ≥90% of the population, such as
+// the "not livesIn X" groups materialized by functional inference — are
+// skipped when ranking: their distribution is all-but-degenerate (any
+// selection lands in the dominant bucket, and the residual bucket is
+// unreachable at small budgets), so including them floods the metric with a
+// constant and hides the differences it exists to measure.
+func DistributionSimilarity(ix *groups.Index, users []profile.UserID, topGroups int) float64 {
+	universal := ix.Repo().NumUsers() * 9 / 10
+	var top []groups.GroupID
+	for _, gid := range ix.TopKBySize(ix.NumGroups()) {
+		g := ix.Group(gid)
+		if g.Kind != groups.SimpleGroup {
+			continue // complex groups have no bucket distribution
+		}
+		if g.Size() >= universal && universal > 0 {
+			continue
+		}
+		top = append(top, gid)
+		if len(top) == topGroups {
+			break
+		}
+	}
+	if len(top) == 0 {
+		return 1
+	}
+	inSel := toSet(users)
+	var sum float64
+	for _, gid := range top {
+		all, subset := propertyDistributions(ix, inSel, ix.Group(gid).Prop)
+		sum += CDSim(subset, all)
+	}
+	return sum / float64(len(top))
+}
+
+// propertyDistributions returns the per-bucket fractions of property holders
+// in the population and in the subset (each normalized to sum to 1 over the
+// property's buckets; all-zero when nobody holds the property).
+func propertyDistributions(ix *groups.Index, inSel map[profile.UserID]bool, prop profile.PropertyID) (all, subset []float64) {
+	buckets := ix.Buckets(prop)
+	all = make([]float64, len(buckets))
+	subset = make([]float64, len(buckets))
+	var totalAll, totalSub float64
+	for _, gid := range ix.GroupsOfProperty(prop) {
+		g := ix.Group(gid)
+		all[g.BucketIdx] = float64(g.Size())
+		totalAll += float64(g.Size())
+		hits := float64(groupHits(g, inSel))
+		subset[g.BucketIdx] = hits
+		totalSub += hits
+	}
+	for i := range all {
+		if totalAll > 0 {
+			all[i] /= totalAll
+		}
+		if totalSub > 0 {
+			subset[i] /= totalSub
+		}
+	}
+	return all, subset
+}
+
+// FeedbackGroupCoverage is the customization experiment's added metric
+// (Figure 4): the fraction of the priority groups covered to their required
+// cov by the selected subset.
+func FeedbackGroupCoverage(inst *groups.Instance, users []profile.UserID, priority []groups.GroupID) float64 {
+	if len(priority) == 0 {
+		return 1
+	}
+	inSel := toSet(users)
+	covered := 0
+	for _, gid := range priority {
+		if groupHits(inst.Index.Group(gid), inSel) >= inst.Cov[gid] {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(priority))
+}
+
+func toSet(users []profile.UserID) map[profile.UserID]bool {
+	s := make(map[profile.UserID]bool, len(users))
+	for _, u := range users {
+		s[u] = true
+	}
+	return s
+}
+
+func groupHits(g *groups.Group, inSel map[profile.UserID]bool) int {
+	n := 0
+	for _, u := range g.Members {
+		if inSel[u] {
+			n++
+		}
+	}
+	return n
+}

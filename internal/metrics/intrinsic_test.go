@@ -1,0 +1,232 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"podium/internal/bucketing"
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+func paperIndex(t *testing.T) *groups.Index {
+	t.Helper()
+	repo := profile.PaperExample()
+	return groups.Build(repo, groups.Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+}
+
+func TestCDSimPaperExample82(t *testing.T) {
+	// Example 8.2: all=[0.23,0.4,0.37], subset=[0.4,0.5,0.1] → 0.76
+	// (penalty only for under-representing the third sub-group).
+	got := CDSim([]float64{0.4, 0.5, 0.1}, []float64{0.23, 0.4, 0.37})
+	want := 1 - (0.37-0.1)/0.37/3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CDSim = %v, want %v", got, want)
+	}
+	if math.Abs(got-0.76) > 0.005 {
+		t.Fatalf("CDSim = %v, want ≈0.76 per the paper", got)
+	}
+}
+
+func TestCDSimIdenticalDistributions(t *testing.T) {
+	d := []float64{0.2, 0.3, 0.5}
+	if got := CDSim(d, d); got != 1 {
+		t.Fatalf("CDSim identical = %v, want 1", got)
+	}
+}
+
+func TestCDSimOverRepresentationFree(t *testing.T) {
+	// Over-representing every bucket except an empty one costs nothing.
+	all := []float64{0.5, 0.5, 0}
+	subset := []float64{0.7, 0.3, 0}
+	got := CDSim(subset, all)
+	want := 1 - (0.5-0.3)/0.5/3
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CDSim = %v, want %v", got, want)
+	}
+}
+
+func TestCDSimTotalMiss(t *testing.T) {
+	// Subset entirely misses a distribution spread over k buckets:
+	// tax = k·1/k → similarity 0.
+	all := []float64{0.5, 0.5}
+	subset := []float64{0, 0}
+	if got := CDSim(subset, all); got != 0 {
+		t.Fatalf("CDSim = %v, want 0", got)
+	}
+}
+
+func TestCDSimPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	CDSim([]float64{1}, []float64{0.5, 0.5})
+}
+
+func TestCDSimEmpty(t *testing.T) {
+	if got := CDSim(nil, nil); got != 1 {
+		t.Fatalf("CDSim(empty) = %v", got)
+	}
+}
+
+// Property: CD-sim is within [0,1] whenever inputs are sub-distributions,
+// and equals 1 when the subset dominates everywhere.
+func TestCDSimRangeProperty(t *testing.T) {
+	f := func(rawAll, rawSub []uint8) bool {
+		n := len(rawAll)
+		if len(rawSub) < n {
+			n = len(rawSub)
+		}
+		if n == 0 {
+			return true
+		}
+		all := make([]float64, n)
+		sub := make([]float64, n)
+		var ta, ts float64
+		for i := 0; i < n; i++ {
+			all[i] = float64(rawAll[i])
+			sub[i] = float64(rawSub[i])
+			ta += all[i]
+			ts += sub[i]
+		}
+		if ta > 0 {
+			for i := range all {
+				all[i] /= ta
+			}
+		}
+		if ts > 0 {
+			for i := range sub {
+				sub[i] /= ts
+			}
+		}
+		got := CDSim(sub, all)
+		if got < -1e-9 || got > 1+1e-9 {
+			return false
+		}
+		// Dominance check.
+		dominates := true
+		for i := range all {
+			if sub[i] < all[i] {
+				dominates = false
+			}
+		}
+		return !dominates || math.Abs(got-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalScore(t *testing.T) {
+	ix := paperIndex(t)
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, 2)
+	if got := TotalScore(inst, []profile.UserID{0, 4}); got != 17 {
+		t.Fatalf("TotalScore = %v, want 17", got)
+	}
+}
+
+func TestTopKCoverage(t *testing.T) {
+	ix := paperIndex(t)
+	// The largest group (size 3: Mexican lovers {0,3,4}) plus size-2 groups.
+	// {Alice} covers: lovers ✓, Tokyo ✓, age ✓, vfCE-med... let's just
+	// check bounds and known values.
+	if got := TopKCoverage(ix, []profile.UserID{0}, 1); got != 1 {
+		t.Fatalf("top-1 coverage with Alice = %v, want 1", got)
+	}
+	if got := TopKCoverage(ix, []profile.UserID{1}, 1); got != 0 {
+		t.Fatalf("top-1 coverage with Bob = %v, want 0 (Bob is no Mexican lover)", got)
+	}
+	if got := TopKCoverage(ix, nil, 5); got != 0 {
+		t.Fatalf("empty selection coverage = %v", got)
+	}
+	all := []profile.UserID{0, 1, 2, 3, 4}
+	if got := TopKCoverage(ix, all, 200); got != 1 {
+		t.Fatalf("full-population coverage = %v, want 1", got)
+	}
+}
+
+func TestIntersectedCoverage(t *testing.T) {
+	ix := paperIndex(t)
+	// Threshold from top-2: second largest group has size 2; qualifying
+	// intersections have ≥2 common members across different properties —
+	// e.g. Tokyo ∩ Mexican-lovers = {Alice, David} (Example 3.5).
+	full := IntersectedCoverage(ix, []profile.UserID{0, 1, 2, 3, 4}, 2)
+	if full != 1 {
+		t.Fatalf("full population intersected coverage = %v, want 1", full)
+	}
+	none := IntersectedCoverage(ix, nil, 2)
+	if none != 0 {
+		t.Fatalf("empty selection intersected coverage = %v, want 0", none)
+	}
+	// Alice alone covers Tokyo∩lovers; selections containing Alice score
+	// at least as well as those without her.
+	withA := IntersectedCoverage(ix, []profile.UserID{0}, 2)
+	withB := IntersectedCoverage(ix, []profile.UserID{1}, 2)
+	if withA <= withB {
+		t.Fatalf("Alice %v should beat Bob %v on intersected coverage", withA, withB)
+	}
+}
+
+func TestIntersectedCoverageSkipsSameProperty(t *testing.T) {
+	// Different buckets of one property never intersect; a repository whose
+	// only large groups are same-property buckets has no qualifying pairs.
+	repo := profile.NewRepository()
+	for i := 0; i < 6; i++ {
+		u := repo.AddUser("u")
+		s := 0.1
+		if i >= 3 {
+			s = 0.9
+		}
+		repo.MustSetScore(u, "only", s)
+	}
+	ix := groups.Build(repo, groups.Config{K: 3})
+	if got := IntersectedCoverage(ix, nil, 2); got != 1 {
+		t.Fatalf("no qualifying pairs should yield 1, got %v", got)
+	}
+}
+
+func TestDistributionSimilarity(t *testing.T) {
+	ix := paperIndex(t)
+	all := []profile.UserID{0, 1, 2, 3, 4}
+	if got := DistributionSimilarity(ix, all, 5); got != 1 {
+		t.Fatalf("full-population similarity = %v, want 1", got)
+	}
+	some := DistributionSimilarity(ix, []profile.UserID{0, 4}, 5)
+	if some <= 0 || some > 1 {
+		t.Fatalf("similarity = %v, want in (0,1]", some)
+	}
+	if empty := DistributionSimilarity(ix, nil, 5); empty != 0 {
+		// Every property is fully under-represented: tax is 1 per non-empty
+		// bucket... but buckets with all=0 don't tax, so the score is
+		// 1 - (#non-empty buckets)/k per property. For this fixture every
+		// top-group property has some empty bucket or not; just bound it.
+		if empty < 0 || empty >= 1 {
+			t.Fatalf("empty-selection similarity = %v", empty)
+		}
+	}
+}
+
+func TestFeedbackGroupCoverage(t *testing.T) {
+	ix := paperIndex(t)
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, 2)
+	var lovers, nyc groups.GroupID = -1, -1
+	for _, g := range ix.Groups() {
+		switch g.Label(ix.Repo().Catalog()) {
+		case "high scores for avgRating Mexican":
+			lovers = g.ID
+		case profile.ExLivesInNYC:
+			nyc = g.ID
+		}
+	}
+	// Alice covers lovers but not NYC.
+	got := FeedbackGroupCoverage(inst, []profile.UserID{0}, []groups.GroupID{lovers, nyc})
+	if got != 0.5 {
+		t.Fatalf("feedback coverage = %v, want 0.5", got)
+	}
+	if got := FeedbackGroupCoverage(inst, nil, nil); got != 1 {
+		t.Fatalf("empty priority coverage = %v, want 1", got)
+	}
+}

@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"math"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// IsProportionateAllocation tests Definition 2.1 exactly: U is a
+// proportionate allocation of 𝒢 iff |g∩U|/|U| = |g|/|𝒰| for every group.
+// The paper argues this is generally unachievable for high-dimensional,
+// overlapping groups — TestProportionateInfeasibleHighDim demonstrates it.
+func IsProportionateAllocation(ix *groups.Index, users []profile.UserID) bool {
+	if len(users) == 0 {
+		return false
+	}
+	inSel := toSet(users)
+	n := ix.Repo().NumUsers()
+	for _, g := range ix.Groups() {
+		// Cross-multiplied to stay in integers: |g∩U|·|𝒰| == |g|·|U|.
+		if groupHits(g, inSel)*n != g.Size()*len(inSel) {
+			return false
+		}
+	}
+	return true
+}
+
+// ProportionateDeviation quantifies how far a selection is from
+// proportionate allocation: the mean absolute difference between each
+// group's share of the selection and its share of the population, over the
+// topK largest groups (0 selects all groups). 0 means exact proportionate
+// allocation over the measured groups.
+func ProportionateDeviation(ix *groups.Index, users []profile.UserID, topK int) float64 {
+	if topK <= 0 {
+		topK = ix.NumGroups()
+	}
+	top := ix.TopKBySize(topK)
+	if len(top) == 0 {
+		return 0
+	}
+	inSel := toSet(users)
+	selSize := float64(len(inSel))
+	popSize := float64(ix.Repo().NumUsers())
+	var sum float64
+	for _, gid := range top {
+		g := ix.Group(gid)
+		var selShare float64
+		if selSize > 0 {
+			selShare = float64(groupHits(g, inSel)) / selSize
+		}
+		popShare := float64(g.Size()) / popSize
+		sum += math.Abs(selShare - popShare)
+	}
+	return sum / float64(len(top))
+}

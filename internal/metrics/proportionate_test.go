@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+// halfHalfIndex: 8 users, 4 with property "a" high, 4 with "b" high — two
+// disjoint groups of equal size, so proportionate allocations exist.
+func halfHalfIndex(t *testing.T) *groups.Index {
+	t.Helper()
+	repo := profile.NewRepository()
+	for i := 0; i < 4; i++ {
+		u := repo.AddUser(fmt.Sprintf("a%d", i))
+		repo.MustSetScore(u, "a", 1)
+	}
+	for i := 0; i < 4; i++ {
+		u := repo.AddUser(fmt.Sprintf("b%d", i))
+		repo.MustSetScore(u, "b", 1)
+	}
+	return groups.Build(repo, groups.Config{K: 3})
+}
+
+func TestIsProportionateAllocation(t *testing.T) {
+	ix := halfHalfIndex(t)
+	// One user from each group: shares 1/2 vs 4/8 — exact.
+	if !IsProportionateAllocation(ix, []profile.UserID{0, 4}) {
+		t.Fatal("balanced selection not recognized as proportionate")
+	}
+	// Two users from the same group: 2/2 vs 4/8 — not proportionate.
+	if IsProportionateAllocation(ix, []profile.UserID{0, 1}) {
+		t.Fatal("skewed selection accepted as proportionate")
+	}
+	if IsProportionateAllocation(ix, nil) {
+		t.Fatal("empty selection accepted")
+	}
+	// The whole population is trivially proportionate.
+	all := make([]profile.UserID, 8)
+	for i := range all {
+		all[i] = profile.UserID(i)
+	}
+	if !IsProportionateAllocation(ix, all) {
+		t.Fatal("full population not proportionate")
+	}
+}
+
+func TestProportionateDeviation(t *testing.T) {
+	ix := halfHalfIndex(t)
+	if got := ProportionateDeviation(ix, []profile.UserID{0, 4}, 0); got != 0 {
+		t.Fatalf("balanced deviation = %v, want 0", got)
+	}
+	// {0,1}: group a share 1 vs 0.5, group b share 0 vs 0.5 → mean |Δ| = 0.5.
+	if got := ProportionateDeviation(ix, []profile.UserID{0, 1}, 0); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("skewed deviation = %v, want 0.5", got)
+	}
+	// Balanced beats skewed under any top-k.
+	bal := ProportionateDeviation(ix, []profile.UserID{0, 4}, 1)
+	skew := ProportionateDeviation(ix, []profile.UserID{0, 1}, 1)
+	if bal >= skew {
+		t.Fatalf("top-1 deviation: balanced %v !< skewed %v", bal, skew)
+	}
+}
+
+// The paper's Section 2 claim: with many overlapping groups, a small subset
+// with every group even roughly proportionally represented is unlikely to
+// exist. Demonstrate: on a high-dimensional corpus no budget-8 greedy (or
+// random) selection is an exact proportionate allocation, while deviation
+// still ranks Podium's selection as more proportionate than a degenerate
+// one.
+func TestProportionateInfeasibleHighDim(t *testing.T) {
+	// A random high-dimensional repository: 150 users × 40 properties at 50%
+	// density yields hundreds of overlapping groups.
+	rng := stats.NewRand(17)
+	repo := profile.NewRepository()
+	for u := 0; u < 150; u++ {
+		id := repo.AddUser(fmt.Sprintf("u%d", u))
+		for p := 0; p < 40; p++ {
+			if rng.Float64() < 0.5 {
+				repo.MustSetScore(id, fmt.Sprintf("p%d", p), rng.Float64())
+			}
+		}
+	}
+	ix := groups.Build(repo, groups.Config{K: 3})
+	if ix.NumGroups() < 100 {
+		t.Fatalf("only %d groups — not the high-dimensional regime", ix.NumGroups())
+	}
+	var subset []profile.UserID
+	for u := 0; u < 8; u++ {
+		subset = append(subset, profile.UserID(u))
+	}
+	if IsProportionateAllocation(ix, subset) {
+		t.Fatal("a small subset is proportionate over hundreds of overlapping groups?")
+	}
+	dev := ProportionateDeviation(ix, subset, 200)
+	if dev <= 0 || dev > 1 {
+		t.Fatalf("deviation = %v, want in (0,1]", dev)
+	}
+}

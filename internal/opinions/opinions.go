@@ -1,0 +1,294 @@
+// Package opinions implements the opinion-procurement side of the
+// evaluation (Section 8): a store of ground-truth user reviews per
+// destination, a procurement simulator that "asks" a selected user subset
+// for its opinions by looking up their recorded reviews, and the four
+// opinion-diversity metrics of Section 8.2 — topic+sentiment coverage,
+// usefulness, rating distribution similarity and rating variance.
+package opinions
+
+import (
+	"fmt"
+	"sort"
+
+	"podium/internal/metrics"
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+// DestID identifies a destination (a restaurant / business under review).
+type DestID int
+
+// TopicMention is one topic touched by a review, with its sentiment.
+type TopicMention struct {
+	Topic    string
+	Positive bool
+}
+
+// Review is one ground-truth opinion of a user about a destination.
+type Review struct {
+	User   profile.UserID
+	Dest   DestID
+	Rating int // 1..MaxRating
+	Topics []TopicMention
+	Useful int // usefulness votes (available in the Yelp-like dataset)
+}
+
+// Store holds the ground-truth reviews, grouped by destination, together
+// with each destination's prevalent-topic vocabulary (the paper uses the
+// topic lists TripAdvisor extracts per destination).
+type Store struct {
+	maxRating  int
+	destNames  []string
+	topics     [][]string
+	categories []string
+	reviews    [][]Review
+	byUser     map[profile.UserID][]int // destination ids reviewed by user
+}
+
+// NewStore creates a store for ratings in 1..maxRating.
+func NewStore(maxRating int) *Store {
+	if maxRating < 1 {
+		panic("opinions: maxRating must be at least 1")
+	}
+	return &Store{maxRating: maxRating, byUser: make(map[profile.UserID][]int)}
+}
+
+// MaxRating returns the rating scale's upper bound.
+func (s *Store) MaxRating() int { return s.maxRating }
+
+// AddDestination registers a destination with its prevalent topics.
+func (s *Store) AddDestination(name string, topics []string) DestID {
+	s.destNames = append(s.destNames, name)
+	s.topics = append(s.topics, append([]string(nil), topics...))
+	s.categories = append(s.categories, "")
+	s.reviews = append(s.reviews, nil)
+	return DestID(len(s.destNames) - 1)
+}
+
+// SetDestCategory records a destination's category (e.g. its cuisine). The
+// hold-out evaluation protocol uses it to exclude the category's profile
+// aggregates from selection.
+func (s *Store) SetDestCategory(d DestID, category string) { s.categories[d] = category }
+
+// DestCategory returns a destination's category, or "" when unset.
+func (s *Store) DestCategory(d DestID) string { return s.categories[d] }
+
+// AddReview records a ground-truth review. Ratings outside [1, MaxRating]
+// and unknown destinations are rejected.
+func (s *Store) AddReview(r Review) error {
+	if int(r.Dest) < 0 || int(r.Dest) >= len(s.destNames) {
+		return fmt.Errorf("opinions: unknown destination %d", r.Dest)
+	}
+	if r.Rating < 1 || r.Rating > s.maxRating {
+		return fmt.Errorf("opinions: rating %d outside [1,%d]", r.Rating, s.maxRating)
+	}
+	s.reviews[r.Dest] = append(s.reviews[r.Dest], r)
+	s.byUser[r.User] = append(s.byUser[r.User], int(r.Dest))
+	return nil
+}
+
+// MustAddReview is AddReview for generator code.
+func (s *Store) MustAddReview(r Review) {
+	if err := s.AddReview(r); err != nil {
+		panic(err)
+	}
+}
+
+// NumDestinations returns the number of registered destinations.
+func (s *Store) NumDestinations() int { return len(s.destNames) }
+
+// DestName returns a destination's display name.
+func (s *Store) DestName(d DestID) string { return s.destNames[d] }
+
+// Topics returns a destination's prevalent topics. Callers must not modify
+// the returned slice.
+func (s *Store) Topics(d DestID) []string { return s.topics[d] }
+
+// Reviews returns all ground-truth reviews of a destination. Callers must
+// not modify the returned slice.
+func (s *Store) Reviews(d DestID) []Review { return s.reviews[d] }
+
+// NumReviews returns the total review count across destinations.
+func (s *Store) NumReviews() int {
+	n := 0
+	for _, rs := range s.reviews {
+		n += len(rs)
+	}
+	return n
+}
+
+// UserDestinations returns the destinations a user has reviewed, in review
+// insertion order. The hold-out evaluation protocol ("select users based on
+// their profiles excluding the data related to some destination", Section
+// 8.2) uses it to know which users' ground truth touches a destination.
+func (s *Store) UserDestinations(u profile.UserID) []DestID {
+	ds := s.byUser[u]
+	out := make([]DestID, len(ds))
+	for i, d := range ds {
+		out[i] = DestID(d)
+	}
+	return out
+}
+
+// Procure simulates procurement: it returns the opinions the selected users
+// would give about destination d — their recorded ground-truth reviews.
+func (s *Store) Procure(d DestID, users []profile.UserID) []Review {
+	inSel := make(map[profile.UserID]bool, len(users))
+	for _, u := range users {
+		inSel[u] = true
+	}
+	var out []Review
+	for _, r := range s.reviews[d] {
+		if inSel[r.User] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TopicSentimentCoverage measures content coverage of the procured reviews:
+// each prevalent topic contributes ½ for appearing in a positive mention and
+// ½ for a negative one, so 100% means "every topic appears in both a
+// positive and a negative review".
+func TopicSentimentCoverage(s *Store, d DestID, users []profile.UserID) float64 {
+	topics := s.Topics(d)
+	if len(topics) == 0 {
+		return 1
+	}
+	pos := map[string]bool{}
+	neg := map[string]bool{}
+	for _, r := range s.Procure(d, users) {
+		for _, tm := range r.Topics {
+			if tm.Positive {
+				pos[tm.Topic] = true
+			} else {
+				neg[tm.Topic] = true
+			}
+		}
+	}
+	var covered float64
+	for _, t := range topics {
+		if pos[t] {
+			covered += 0.5
+		}
+		if neg[t] {
+			covered += 0.5
+		}
+	}
+	return covered / float64(len(topics))
+}
+
+// Usefulness sums the usefulness votes of the procured reviews — reviews a
+// larger population relates to represent larger groups' opinions.
+func Usefulness(s *Store, d DestID, users []profile.UserID) float64 {
+	var sum float64
+	for _, r := range s.Procure(d, users) {
+		sum += float64(r.Useful)
+	}
+	return sum
+}
+
+// RatingDistributionSimilarity is CD-sim between the procured and the
+// population rating distributions over the values 1..MaxRating
+// (Section 8.2's per-destination instantiation of Definition 8.1).
+func RatingDistributionSimilarity(s *Store, d DestID, users []profile.UserID) float64 {
+	k := s.maxRating
+	all := make([]float64, k)
+	sub := make([]float64, k)
+	inSel := make(map[profile.UserID]bool, len(users))
+	for _, u := range users {
+		inSel[u] = true
+	}
+	var totalAll, totalSub float64
+	for _, r := range s.reviews[d] {
+		all[r.Rating-1]++
+		totalAll++
+		if inSel[r.User] {
+			sub[r.Rating-1]++
+			totalSub++
+		}
+	}
+	for i := 0; i < k; i++ {
+		if totalAll > 0 {
+			all[i] /= totalAll
+		}
+		if totalSub > 0 {
+			sub[i] /= totalSub
+		}
+	}
+	return metrics.CDSim(sub, all)
+}
+
+// RatingVariance is the population variance of the procured ratings; 0 when
+// fewer than two opinions were procured.
+func RatingVariance(s *Store, d DestID, users []profile.UserID) float64 {
+	var xs []float64
+	for _, r := range s.Procure(d, users) {
+		xs = append(xs, float64(r.Rating))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	return stats.Variance(xs)
+}
+
+// Evaluation aggregates the opinion metrics across destinations (each metric
+// is computed per destination, then averaged — the paper's protocol).
+type Evaluation struct {
+	TopicSentiment float64
+	Usefulness     float64
+	RatingSim      float64
+	RatingVar      float64
+	Destinations   int
+}
+
+// Evaluate computes all opinion metrics for a selected subset, averaged over
+// every destination that has at least one ground-truth review.
+func Evaluate(s *Store, users []profile.UserID) Evaluation {
+	return evaluate(s, users, allDestinations(s))
+}
+
+// EvaluateTop evaluates only the n most-reviewed destinations — the paper's
+// protocol ("we have examined 50 destinations with an average of 90 reviews
+// per destination"): opinion diversity is only meaningful where the
+// population actually holds opinions. Ties break toward the lower
+// destination ID.
+func EvaluateTop(s *Store, users []profile.UserID, n int) Evaluation {
+	ds := allDestinations(s)
+	sort.SliceStable(ds, func(i, j int) bool {
+		return len(s.reviews[ds[i]]) > len(s.reviews[ds[j]])
+	})
+	if n < len(ds) {
+		ds = ds[:n]
+	}
+	return evaluate(s, users, ds)
+}
+
+func allDestinations(s *Store) []DestID {
+	var ds []DestID
+	for d := 0; d < s.NumDestinations(); d++ {
+		if len(s.reviews[d]) > 0 {
+			ds = append(ds, DestID(d))
+		}
+	}
+	return ds
+}
+
+func evaluate(s *Store, users []profile.UserID, dests []DestID) Evaluation {
+	var ev Evaluation
+	for _, id := range dests {
+		ev.TopicSentiment += TopicSentimentCoverage(s, id, users)
+		ev.Usefulness += Usefulness(s, id, users)
+		ev.RatingSim += RatingDistributionSimilarity(s, id, users)
+		ev.RatingVar += RatingVariance(s, id, users)
+		ev.Destinations++
+	}
+	if ev.Destinations > 0 {
+		n := float64(ev.Destinations)
+		ev.TopicSentiment /= n
+		ev.Usefulness /= n
+		ev.RatingSim /= n
+		ev.RatingVar /= n
+	}
+	return ev
+}

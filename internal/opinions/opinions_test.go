@@ -1,0 +1,217 @@
+package opinions
+
+import (
+	"math"
+	"testing"
+
+	"podium/internal/profile"
+)
+
+// fixture: one destination "Summer Pavilion" with topics service & food and
+// four reviews from users 0..3.
+func fixture(t *testing.T) (*Store, DestID) {
+	t.Helper()
+	s := NewStore(5)
+	d := s.AddDestination("Summer Pavilion", []string{"service", "food"})
+	s.MustAddReview(Review{User: 0, Dest: d, Rating: 5, Useful: 3, Topics: []TopicMention{
+		{Topic: "service", Positive: true}, {Topic: "food", Positive: true},
+	}})
+	s.MustAddReview(Review{User: 1, Dest: d, Rating: 1, Useful: 1, Topics: []TopicMention{
+		{Topic: "service", Positive: false},
+	}})
+	s.MustAddReview(Review{User: 2, Dest: d, Rating: 3, Useful: 0, Topics: []TopicMention{
+		{Topic: "food", Positive: false},
+	}})
+	s.MustAddReview(Review{User: 3, Dest: d, Rating: 5, Useful: 7, Topics: []TopicMention{
+		{Topic: "food", Positive: true},
+	}})
+	return s, d
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore(5)
+	d := s.AddDestination("x", nil)
+	if err := s.AddReview(Review{User: 0, Dest: d, Rating: 0}); err == nil {
+		t.Fatal("rating 0 accepted")
+	}
+	if err := s.AddReview(Review{User: 0, Dest: d, Rating: 6}); err == nil {
+		t.Fatal("rating 6 accepted")
+	}
+	if err := s.AddReview(Review{User: 0, Dest: DestID(9), Rating: 3}); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+	if err := s.AddReview(Review{User: 0, Dest: d, Rating: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumReviews() != 1 {
+		t.Fatalf("NumReviews = %d", s.NumReviews())
+	}
+}
+
+func TestNewStorePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("maxRating 0 did not panic")
+		}
+	}()
+	NewStore(0)
+}
+
+func TestProcure(t *testing.T) {
+	s, d := fixture(t)
+	got := s.Procure(d, []profile.UserID{0, 2})
+	if len(got) != 2 {
+		t.Fatalf("procured %d reviews", len(got))
+	}
+	for _, r := range got {
+		if r.User != 0 && r.User != 2 {
+			t.Fatalf("procured review from unselected user %d", r.User)
+		}
+	}
+	if got := s.Procure(d, nil); len(got) != 0 {
+		t.Fatalf("empty selection procured %d reviews", len(got))
+	}
+}
+
+func TestTopicSentimentCoverage(t *testing.T) {
+	s, d := fixture(t)
+	// User 0 alone: service+ and food+ → each topic covered on one of two
+	// sentiments → 0.5.
+	if got := TopicSentimentCoverage(s, d, []profile.UserID{0}); got != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", got)
+	}
+	// Users 0,1,2: service +/-, food +/- → full coverage.
+	if got := TopicSentimentCoverage(s, d, []profile.UserID{0, 1, 2}); got != 1 {
+		t.Fatalf("coverage = %v, want 1", got)
+	}
+	// Users 1,2: service-, food- → 0.5.
+	if got := TopicSentimentCoverage(s, d, []profile.UserID{1, 2}); got != 0.5 {
+		t.Fatalf("coverage = %v, want 0.5", got)
+	}
+	if got := TopicSentimentCoverage(s, d, nil); got != 0 {
+		t.Fatalf("empty coverage = %v, want 0", got)
+	}
+}
+
+func TestTopicSentimentIgnoresUnknownTopics(t *testing.T) {
+	s := NewStore(5)
+	d := s.AddDestination("x", []string{"known"})
+	s.MustAddReview(Review{User: 0, Dest: d, Rating: 3, Topics: []TopicMention{
+		{Topic: "off-list", Positive: true},
+	}})
+	if got := TopicSentimentCoverage(s, d, []profile.UserID{0}); got != 0 {
+		t.Fatalf("off-list topic counted: %v", got)
+	}
+}
+
+func TestUsefulness(t *testing.T) {
+	s, d := fixture(t)
+	if got := Usefulness(s, d, []profile.UserID{0, 3}); got != 10 {
+		t.Fatalf("usefulness = %v, want 10", got)
+	}
+	if got := Usefulness(s, d, nil); got != 0 {
+		t.Fatalf("usefulness = %v, want 0", got)
+	}
+}
+
+func TestRatingDistributionSimilarity(t *testing.T) {
+	s, d := fixture(t)
+	// Full population is perfectly similar to itself.
+	all := []profile.UserID{0, 1, 2, 3}
+	if got := RatingDistributionSimilarity(s, d, all); got != 1 {
+		t.Fatalf("self-similarity = %v, want 1", got)
+	}
+	// Selecting only 5-star reviewers under-represents ratings 1 and 3:
+	// tax = (1/5)·(1 + 1) → 0.6.
+	got := RatingDistributionSimilarity(s, d, []profile.UserID{0, 3})
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("similarity = %v, want 0.6", got)
+	}
+}
+
+func TestRatingVariance(t *testing.T) {
+	s, d := fixture(t)
+	// Ratings {5,1}: mean 3, variance 4.
+	if got := RatingVariance(s, d, []profile.UserID{0, 1}); got != 4 {
+		t.Fatalf("variance = %v, want 4", got)
+	}
+	if got := RatingVariance(s, d, []profile.UserID{0}); got != 0 {
+		t.Fatalf("single-review variance = %v, want 0", got)
+	}
+}
+
+func TestEvaluateAveragesAcrossDestinations(t *testing.T) {
+	s, d1 := fixture(t)
+	d2 := s.AddDestination("Second", []string{"vibe"})
+	s.MustAddReview(Review{User: 0, Dest: d2, Rating: 4, Useful: 2, Topics: []TopicMention{
+		{Topic: "vibe", Positive: true},
+	}})
+	empty := s.AddDestination("NoReviews", []string{"t"})
+	_ = empty // destinations without reviews are skipped
+
+	ev := Evaluate(s, []profile.UserID{0, 1})
+	if ev.Destinations != 2 {
+		t.Fatalf("destinations = %d, want 2", ev.Destinations)
+	}
+	// Topic coverage: d1 with users {0,1} → service both sentiments (1.0·½+...)
+	// = service + and -, food + only → (1 + 0.5)/2 = 0.75; d2 → 0.5.
+	want := (0.75 + 0.5) / 2
+	if math.Abs(ev.TopicSentiment-want) > 1e-12 {
+		t.Fatalf("topic coverage = %v, want %v", ev.TopicSentiment, want)
+	}
+	// Usefulness: d1 = 4, d2 = 2 → 3.
+	if ev.Usefulness != 3 {
+		t.Fatalf("usefulness = %v, want 3", ev.Usefulness)
+	}
+	if ev.RatingSim <= 0 || ev.RatingSim > 1 {
+		t.Fatalf("rating similarity = %v", ev.RatingSim)
+	}
+	_ = d1
+}
+
+func TestEvaluateTopRestrictsToMostReviewed(t *testing.T) {
+	s := NewStore(5)
+	busy := s.AddDestination("busy", []string{"t"})
+	quiet := s.AddDestination("quiet", []string{"t"})
+	for i := 0; i < 5; i++ {
+		s.MustAddReview(Review{User: profile.UserID(i), Dest: busy, Rating: 3})
+	}
+	s.MustAddReview(Review{User: 0, Dest: quiet, Rating: 1})
+
+	top1 := EvaluateTop(s, []profile.UserID{0}, 1)
+	if top1.Destinations != 1 {
+		t.Fatalf("destinations = %d, want 1", top1.Destinations)
+	}
+	// The busy destination is the one evaluated: user 0's 3-rating matches
+	// one-fifth of the busy population's single bucket — rating sim is that
+	// of busy, not quiet.
+	busyOnly := RatingDistributionSimilarity(s, busy, []profile.UserID{0})
+	if top1.RatingSim != busyOnly {
+		t.Fatalf("EvaluateTop used the wrong destination: %v vs %v", top1.RatingSim, busyOnly)
+	}
+	all := EvaluateTop(s, []profile.UserID{0}, 10)
+	if all.Destinations != 2 {
+		t.Fatalf("destinations = %d, want 2 when n exceeds the store", all.Destinations)
+	}
+}
+
+func TestUserDestinations(t *testing.T) {
+	s, d := fixture(t)
+	d2 := s.AddDestination("Second", nil)
+	s.MustAddReview(Review{User: 0, Dest: d2, Rating: 4})
+	got := s.UserDestinations(0)
+	if len(got) != 2 || got[0] != d || got[1] != d2 {
+		t.Fatalf("UserDestinations = %v", got)
+	}
+	if got := s.UserDestinations(99); len(got) != 0 {
+		t.Fatalf("unknown user destinations = %v", got)
+	}
+}
+
+func TestEvaluateEmptyStore(t *testing.T) {
+	s := NewStore(5)
+	ev := Evaluate(s, []profile.UserID{0})
+	if ev.Destinations != 0 || ev.TopicSentiment != 0 {
+		t.Fatalf("evaluation of empty store = %+v", ev)
+	}
+}

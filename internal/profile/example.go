@@ -1,0 +1,57 @@
+package profile
+
+// Property labels of the paper's running example (Table 2). Exported so that
+// golden tests, examples and documentation all refer to the same strings.
+const (
+	ExLivesInTokyo  = "livesIn Tokyo"
+	ExLivesInNYC    = "livesIn NYC"
+	ExLivesInBali   = "livesIn Bali"
+	ExLivesInParis  = "livesIn Paris"
+	ExAgeGroup5064  = "ageGroup 50-64"
+	ExAvgMexican    = "avgRating Mexican"
+	ExFreqMexican   = "visitFreq Mexican"
+	ExAvgCheapEats  = "avgRating CheapEats"
+	ExFreqCheapEats = "visitFreq CheapEats"
+)
+
+// PaperExample builds the five-user repository of Table 2 in the paper
+// (Alice, Bob, Carol, David, Eve). It is the fixture behind the golden tests
+// for Examples 3.8, 4.3, 5.2 and 6.4.
+func PaperExample() *Repository {
+	r := NewRepository()
+	alice := r.AddUser("Alice")
+	bob := r.AddUser("Bob")
+	carol := r.AddUser("Carol")
+	david := r.AddUser("David")
+	eve := r.AddUser("Eve")
+
+	r.MustSetScore(alice, ExLivesInTokyo, 1)
+	r.MustSetScore(alice, ExAgeGroup5064, 1)
+	r.MustSetScore(alice, ExAvgMexican, 0.95)
+	r.MustSetScore(alice, ExFreqMexican, 0.8)
+	r.MustSetScore(alice, ExAvgCheapEats, 0.1)
+	r.MustSetScore(alice, ExFreqCheapEats, 0.6)
+
+	r.MustSetScore(bob, ExLivesInNYC, 1)
+	r.MustSetScore(bob, ExAvgMexican, 0.3)
+	r.MustSetScore(bob, ExFreqMexican, 0.25)
+	r.MustSetScore(bob, ExAvgCheapEats, 0.9)
+	r.MustSetScore(bob, ExFreqCheapEats, 0.85)
+
+	r.MustSetScore(carol, ExLivesInBali, 1)
+	r.MustSetScore(carol, ExAgeGroup5064, 1)
+	r.MustSetScore(carol, ExAvgCheapEats, 0.45)
+	r.MustSetScore(carol, ExFreqCheapEats, 0.2)
+
+	r.MustSetScore(david, ExLivesInTokyo, 1)
+	r.MustSetScore(david, ExAvgMexican, 0.75)
+	r.MustSetScore(david, ExFreqMexican, 0.6)
+
+	r.MustSetScore(eve, ExLivesInParis, 1)
+	r.MustSetScore(eve, ExAvgMexican, 0.8)
+	r.MustSetScore(eve, ExFreqMexican, 0.45)
+	r.MustSetScore(eve, ExAvgCheapEats, 0.6)
+	r.MustSetScore(eve, ExFreqCheapEats, 0.3)
+
+	return r
+}

@@ -1,0 +1,47 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON drives the repository JSON reader with arbitrary input: it
+// must never panic, and anything it accepts must round-trip to an equivalent
+// repository.
+func FuzzReadJSON(f *testing.F) {
+	f.Add(`{"users":[]}`)
+	f.Add(`{"users":[{"name":"A","properties":{"p":0.5}}]}`)
+	f.Add(`{"users":[{"name":"A","properties":{"p":1,"q":0}},{"name":"B","properties":{}}]}`)
+	f.Add(`{"users":[{"name":"","properties":{"":0}}]}`)
+	f.Add(`{"users":[{"name":"A","properties":{"p":2}}]}`)
+	f.Add(`not json at all`)
+	f.Add(`{"users":[{"name":"A","properties":{"p":null}}]}`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		repo, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted input: every score must be valid and the repository must
+		// round-trip.
+		for u := 0; u < repo.NumUsers(); u++ {
+			repo.Profile(UserID(u)).Each(func(_ PropertyID, s float64) {
+				if s < 0 || s > 1 || s != s {
+					t.Fatalf("accepted score %v", s)
+				}
+			})
+		}
+		var buf bytes.Buffer
+		if err := repo.WriteJSON(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.NumUsers() != repo.NumUsers() || again.NumProperties() != repo.NumProperties() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// userJSON is the wire form of one user profile: the format the prototype
+// system ingests ("a set of user profiles ... in JSON format", Section 7).
+type userJSON struct {
+	Name       string             `json:"name"`
+	Properties map[string]float64 `json:"properties"`
+}
+
+type repositoryJSON struct {
+	Users []userJSON `json:"users"`
+}
+
+// WriteJSON serializes the repository. Property maps are emitted with their
+// full labels; encoding/json sorts map keys, so output is deterministic.
+func (r *Repository) WriteJSON(w io.Writer) error {
+	doc := repositoryJSON{Users: make([]userJSON, 0, r.NumUsers())}
+	for u := 0; u < r.NumUsers(); u++ {
+		uj := userJSON{Name: r.names[u], Properties: make(map[string]float64, r.profiles[u].Len())}
+		r.profiles[u].Each(func(id PropertyID, s float64) {
+			uj.Properties[r.catalog.Label(id)] = s
+		})
+		doc.Users = append(doc.Users, uj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a repository from the JSON wire form, validating every
+// score. Properties are interned in sorted label order per user so that IDs
+// are independent of Go's map iteration order.
+func ReadJSON(rd io.Reader) (*Repository, error) {
+	var doc repositoryJSON
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profile: decoding repository: %w", err)
+	}
+	repo := NewRepository()
+	for _, uj := range doc.Users {
+		u := repo.AddUser(uj.Name)
+		labels := make([]string, 0, len(uj.Properties))
+		for label := range uj.Properties {
+			labels = append(labels, label)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			if err := repo.SetScore(u, label, uj.Properties[label]); err != nil {
+				return nil, fmt.Errorf("profile: user %q: %w", uj.Name, err)
+			}
+		}
+	}
+	return repo, nil
+}

@@ -1,0 +1,292 @@
+// Package profile implements Podium's user-profile model (Section 3.1 of the
+// paper): a population of users, each carrying a sparse set of properties
+// with scores normalized to [0,1]. Property labels are interned into dense
+// integer IDs so that the grouping and selection machinery can run on
+// slice-indexed hot loops, and profiles serialize to/from the JSON format the
+// prototype system consumes.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// UserID identifies a user by its dense index within a Repository.
+type UserID int
+
+// PropertyID identifies an interned property label.
+type PropertyID int
+
+// Catalog interns property labels, assigning each distinct label a dense
+// PropertyID. Labels are kept human-readable because they are the raw
+// material for explanations (Section 5).
+type Catalog struct {
+	labels []string
+	index  map[string]PropertyID
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{index: make(map[string]PropertyID)}
+}
+
+// Intern returns the ID for label, assigning a fresh one on first sight.
+func (c *Catalog) Intern(label string) PropertyID {
+	if id, ok := c.index[label]; ok {
+		return id
+	}
+	id := PropertyID(len(c.labels))
+	c.labels = append(c.labels, label)
+	c.index[label] = id
+	return id
+}
+
+// Lookup returns the ID for label if it has been interned.
+func (c *Catalog) Lookup(label string) (PropertyID, bool) {
+	id, ok := c.index[label]
+	return id, ok
+}
+
+// Label returns the label for id. It panics on an unknown ID, which always
+// indicates a cross-repository mixup.
+func (c *Catalog) Label(id PropertyID) string {
+	if id < 0 || int(id) >= len(c.labels) {
+		panic(fmt.Sprintf("profile: unknown property id %d", id))
+	}
+	return c.labels[id]
+}
+
+// Len returns the number of interned labels.
+func (c *Catalog) Len() int { return len(c.labels) }
+
+// Labels returns a copy of all interned labels in ID order.
+func (c *Catalog) Labels() []string {
+	out := make([]string, len(c.labels))
+	copy(out, c.labels)
+	return out
+}
+
+// Profile is one user's tuple D_u = ⟨P_u, S_u⟩: the set of known properties
+// and their scores. It is stored as parallel slices sorted by PropertyID.
+// Absent properties follow the open-world assumption — they are unknown, not
+// zero.
+type Profile struct {
+	props  []PropertyID
+	scores []float64
+	dirty  bool // appended but not yet sorted/deduplicated
+}
+
+// Set records (or overwrites) the score for a property. Scores must be
+// finite; the repository validates the [0,1] range before calling Set.
+func (p *Profile) Set(id PropertyID, score float64) {
+	p.props = append(p.props, id)
+	p.scores = append(p.scores, score)
+	p.dirty = true
+}
+
+func (p *Profile) ensureSorted() {
+	if !p.dirty {
+		return
+	}
+	type entry struct {
+		id    PropertyID
+		score float64
+		seq   int
+	}
+	entries := make([]entry, len(p.props))
+	for i := range p.props {
+		entries[i] = entry{p.props[i], p.scores[i], i}
+	}
+	// Stable order by ID then insertion sequence, so that for duplicate IDs
+	// the last write wins deterministically.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].id != entries[j].id {
+			return entries[i].id < entries[j].id
+		}
+		return entries[i].seq < entries[j].seq
+	})
+	p.props = p.props[:0]
+	p.scores = p.scores[:0]
+	for i, e := range entries {
+		if i+1 < len(entries) && entries[i+1].id == e.id {
+			continue // superseded by a later write
+		}
+		p.props = append(p.props, e.id)
+		p.scores = append(p.scores, e.score)
+	}
+	p.dirty = false
+}
+
+// Score returns the score for a property and whether it is known.
+func (p *Profile) Score(id PropertyID) (float64, bool) {
+	p.ensureSorted()
+	i := sort.Search(len(p.props), func(i int) bool { return p.props[i] >= id })
+	if i < len(p.props) && p.props[i] == id {
+		return p.scores[i], true
+	}
+	return 0, false
+}
+
+// Has reports whether the property is known for this profile.
+func (p *Profile) Has(id PropertyID) bool {
+	_, ok := p.Score(id)
+	return ok
+}
+
+// Len returns the number of known properties (|P_u|).
+func (p *Profile) Len() int {
+	p.ensureSorted()
+	return len(p.props)
+}
+
+// Each calls fn for every known (property, score) pair in PropertyID order.
+func (p *Profile) Each(fn func(PropertyID, float64)) {
+	p.ensureSorted()
+	for i, id := range p.props {
+		fn(id, p.scores[i])
+	}
+}
+
+// Properties returns the sorted property IDs. The returned slice is shared;
+// callers must not modify it.
+func (p *Profile) Properties() []PropertyID {
+	p.ensureSorted()
+	return p.props
+}
+
+// Repository holds the population 𝒰: user names, their profiles, and the
+// shared property catalog.
+type Repository struct {
+	catalog  *Catalog
+	names    []string
+	profiles []*Profile
+}
+
+// NewRepository returns an empty repository with a fresh catalog.
+func NewRepository() *Repository {
+	return &Repository{catalog: NewCatalog()}
+}
+
+// AddUser appends a user and returns its ID. Names are display-only and need
+// not be unique.
+func (r *Repository) AddUser(name string) UserID {
+	r.names = append(r.names, name)
+	r.profiles = append(r.profiles, &Profile{})
+	return UserID(len(r.names) - 1)
+}
+
+// SetScore records a property score for a user, interning the label. It
+// returns an error when the score is outside [0,1] or not finite, or when
+// the user ID is unknown.
+func (r *Repository) SetScore(u UserID, label string, score float64) error {
+	if int(u) < 0 || int(u) >= len(r.profiles) {
+		return fmt.Errorf("profile: unknown user %d", u)
+	}
+	if math.IsNaN(score) || score < 0 || score > 1 {
+		return fmt.Errorf("profile: score %v for %q outside [0,1]", score, label)
+	}
+	r.profiles[u].Set(r.catalog.Intern(label), score)
+	return nil
+}
+
+// MustSetScore is SetScore for construction-time code where a violation is a
+// programming error.
+func (r *Repository) MustSetScore(u UserID, label string, score float64) {
+	if err := r.SetScore(u, label, score); err != nil {
+		panic(err)
+	}
+}
+
+// SetScoreID records a score for an already interned property.
+func (r *Repository) SetScoreID(u UserID, id PropertyID, score float64) error {
+	if int(u) < 0 || int(u) >= len(r.profiles) {
+		return fmt.Errorf("profile: unknown user %d", u)
+	}
+	if id < 0 || int(id) >= r.catalog.Len() {
+		return fmt.Errorf("profile: unknown property id %d", id)
+	}
+	if math.IsNaN(score) || score < 0 || score > 1 {
+		return fmt.Errorf("profile: score %v outside [0,1]", score)
+	}
+	r.profiles[u].Set(id, score)
+	return nil
+}
+
+// NumUsers returns |𝒰|.
+func (r *Repository) NumUsers() int { return len(r.profiles) }
+
+// NumProperties returns the number of distinct interned properties.
+func (r *Repository) NumProperties() int { return r.catalog.Len() }
+
+// UserName returns the display name of a user.
+func (r *Repository) UserName(u UserID) string {
+	if int(u) < 0 || int(u) >= len(r.names) {
+		panic(fmt.Sprintf("profile: unknown user %d", u))
+	}
+	return r.names[u]
+}
+
+// Profile returns the (mutable) profile of a user.
+func (r *Repository) Profile(u UserID) *Profile {
+	if int(u) < 0 || int(u) >= len(r.profiles) {
+		panic(fmt.Sprintf("profile: unknown user %d", u))
+	}
+	return r.profiles[u]
+}
+
+// Catalog exposes the shared property catalog.
+func (r *Repository) Catalog() *Catalog { return r.catalog }
+
+// PropertyCount returns |p| — the number of users whose profile includes the
+// property (Section 3.1).
+func (r *Repository) PropertyCount(id PropertyID) int {
+	n := 0
+	for _, p := range r.profiles {
+		if p.Has(id) {
+			n++
+		}
+	}
+	return n
+}
+
+// PropertyValues collects, in user order, the (user, score) pairs of every
+// user that knows the property. The grouping module uses this to bucket each
+// property's score distribution.
+func (r *Repository) PropertyValues(id PropertyID) (users []UserID, scores []float64) {
+	for u, p := range r.profiles {
+		if s, ok := p.Score(id); ok {
+			users = append(users, UserID(u))
+			scores = append(scores, s)
+		}
+	}
+	return users, scores
+}
+
+// MaxProfileSize returns max_u |P_u| — a factor in the greedy algorithm's
+// complexity bound (Prop. 4.4).
+func (r *Repository) MaxProfileSize() int {
+	m := 0
+	for _, p := range r.profiles {
+		if p.Len() > m {
+			m = p.Len()
+		}
+	}
+	return m
+}
+
+// Subset builds a new repository containing only the given users, preserving
+// their order and sharing the catalog labels (re-interned). Customization
+// uses it to materialize the refined population 𝒰′.
+func (r *Repository) Subset(ids []UserID) (*Repository, []UserID) {
+	sub := NewRepository()
+	orig := make([]UserID, 0, len(ids))
+	for _, u := range ids {
+		nu := sub.AddUser(r.UserName(u))
+		r.Profile(u).Each(func(id PropertyID, s float64) {
+			sub.profiles[nu].Set(sub.catalog.Intern(r.catalog.Label(id)), s)
+		})
+		orig = append(orig, u)
+	}
+	return sub, orig
+}

@@ -1,0 +1,280 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogInternIdempotent(t *testing.T) {
+	c := NewCatalog()
+	a := c.Intern("livesIn Tokyo")
+	b := c.Intern("avgRating Mexican")
+	if a == b {
+		t.Fatal("distinct labels share an ID")
+	}
+	if got := c.Intern("livesIn Tokyo"); got != a {
+		t.Fatalf("re-intern returned %d, want %d", got, a)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if c.Label(a) != "livesIn Tokyo" {
+		t.Fatalf("Label(%d) = %q", a, c.Label(a))
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown label succeeded")
+	}
+}
+
+func TestCatalogLabelPanicsOnUnknown(t *testing.T) {
+	c := NewCatalog()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Label(99) did not panic")
+		}
+	}()
+	c.Label(99)
+}
+
+func TestProfileSetAndScore(t *testing.T) {
+	var p Profile
+	p.Set(3, 0.5)
+	p.Set(1, 0.2)
+	p.Set(3, 0.9) // overwrite: last write wins
+	if got := p.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if s, ok := p.Score(3); !ok || s != 0.9 {
+		t.Fatalf("Score(3) = %v,%v; want 0.9,true", s, ok)
+	}
+	if s, ok := p.Score(1); !ok || s != 0.2 {
+		t.Fatalf("Score(1) = %v,%v", s, ok)
+	}
+	if _, ok := p.Score(2); ok {
+		t.Fatal("Score(2) should be unknown (open world)")
+	}
+	if !p.Has(1) || p.Has(42) {
+		t.Fatal("Has mismatch")
+	}
+}
+
+func TestProfileEachSortedOrder(t *testing.T) {
+	var p Profile
+	for _, id := range []PropertyID{5, 2, 9, 0} {
+		p.Set(id, float64(id)/10)
+	}
+	var got []PropertyID
+	p.Each(func(id PropertyID, s float64) {
+		got = append(got, id)
+		if s != float64(id)/10 {
+			t.Errorf("score for %d = %v", id, s)
+		}
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("Each not in sorted order: %v", got)
+		}
+	}
+}
+
+func TestRepositorySetScoreValidation(t *testing.T) {
+	r := NewRepository()
+	u := r.AddUser("A")
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := r.SetScore(u, "p", bad); err == nil {
+			t.Errorf("score %v accepted", bad)
+		}
+	}
+	if err := r.SetScore(UserID(5), "p", 0.5); err == nil {
+		t.Error("unknown user accepted")
+	}
+	if err := r.SetScore(u, "p", 0); err != nil {
+		t.Errorf("boundary score 0 rejected: %v", err)
+	}
+	if err := r.SetScore(u, "q", 1); err != nil {
+		t.Errorf("boundary score 1 rejected: %v", err)
+	}
+}
+
+func TestRepositorySetScoreID(t *testing.T) {
+	r := NewRepository()
+	u := r.AddUser("A")
+	id := r.Catalog().Intern("x")
+	if err := r.SetScoreID(u, id, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetScoreID(u, PropertyID(9), 0.5); err == nil {
+		t.Fatal("unknown property id accepted")
+	}
+	if s, ok := r.Profile(u).Score(id); !ok || s != 0.25 {
+		t.Fatalf("Score = %v,%v", s, ok)
+	}
+}
+
+func TestPropertyCountAndValues(t *testing.T) {
+	r := PaperExample()
+	id, ok := r.Catalog().Lookup(ExAvgMexican)
+	if !ok {
+		t.Fatal("property not interned")
+	}
+	if got := r.PropertyCount(id); got != 4 { // Alice, Bob, David, Eve
+		t.Fatalf("|avgRating Mexican| = %d, want 4", got)
+	}
+	users, scores := r.PropertyValues(id)
+	if len(users) != 4 || len(scores) != 4 {
+		t.Fatalf("values: %v %v", users, scores)
+	}
+	// Users come back in repository order: Alice(0), Bob(1), David(3), Eve(4).
+	wantUsers := []UserID{0, 1, 3, 4}
+	wantScores := []float64{0.95, 0.3, 0.75, 0.8}
+	for i := range wantUsers {
+		if users[i] != wantUsers[i] || scores[i] != wantScores[i] {
+			t.Fatalf("values[%d] = (%v,%v), want (%v,%v)", i, users[i], scores[i], wantUsers[i], wantScores[i])
+		}
+	}
+}
+
+func TestMaxProfileSize(t *testing.T) {
+	r := PaperExample()
+	if got := r.MaxProfileSize(); got != 6 { // Alice has 6 properties
+		t.Fatalf("MaxProfileSize = %d, want 6", got)
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	r := PaperExample()
+	if r.NumUsers() != 5 {
+		t.Fatalf("users = %d, want 5", r.NumUsers())
+	}
+	if r.NumProperties() != 9 {
+		t.Fatalf("properties = %d, want 9", r.NumProperties())
+	}
+	if r.UserName(2) != "Carol" {
+		t.Fatalf("user 2 = %q", r.UserName(2))
+	}
+	// Carol never rated Mexican food (Example 3.1).
+	id, _ := r.Catalog().Lookup(ExAvgMexican)
+	if r.Profile(2).Has(id) {
+		t.Fatal("Carol unexpectedly has avgRating Mexican")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := PaperExample()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumUsers() != r.NumUsers() || back.NumProperties() != r.NumProperties() {
+		t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+			back.NumUsers(), back.NumProperties(), r.NumUsers(), r.NumProperties())
+	}
+	for u := 0; u < r.NumUsers(); u++ {
+		if back.UserName(UserID(u)) != r.UserName(UserID(u)) {
+			t.Fatalf("user %d name mismatch", u)
+		}
+		r.Profile(UserID(u)).Each(func(id PropertyID, s float64) {
+			bid, ok := back.Catalog().Lookup(r.Catalog().Label(id))
+			if !ok {
+				t.Fatalf("label %q lost", r.Catalog().Label(id))
+			}
+			bs, ok := back.Profile(UserID(u)).Score(bid)
+			if !ok || bs != s {
+				t.Fatalf("user %d property %q: %v vs %v", u, r.Catalog().Label(id), bs, s)
+			}
+		})
+	}
+}
+
+func TestReadJSONRejectsBadScore(t *testing.T) {
+	src := `{"users":[{"name":"A","properties":{"p":1.5}}]}`
+	if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+		t.Fatal("score 1.5 accepted")
+	}
+}
+
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	src := `{"users":[{"name":"A","properties":{},"extra":1}]}`
+	if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestReadJSONDeterministicIDs(t *testing.T) {
+	src := `{"users":[{"name":"A","properties":{"z":0.1,"a":0.2,"m":0.3}}]}`
+	first, err := ReadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := ReadJSON(strings.NewReader(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < first.NumProperties(); id++ {
+			if again.Catalog().Label(PropertyID(id)) != first.Catalog().Label(PropertyID(id)) {
+				t.Fatal("property IDs depend on map iteration order")
+			}
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	r := PaperExample()
+	sub, orig := r.Subset([]UserID{4, 0}) // Eve, Alice
+	if sub.NumUsers() != 2 {
+		t.Fatalf("subset users = %d", sub.NumUsers())
+	}
+	if sub.UserName(0) != "Eve" || sub.UserName(1) != "Alice" {
+		t.Fatalf("subset names = %q,%q", sub.UserName(0), sub.UserName(1))
+	}
+	if orig[0] != 4 || orig[1] != 0 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	id, ok := sub.Catalog().Lookup(ExAvgMexican)
+	if !ok {
+		t.Fatal("label not carried over")
+	}
+	if s, ok := sub.Profile(0).Score(id); !ok || s != 0.8 {
+		t.Fatalf("Eve's score = %v,%v", s, ok)
+	}
+}
+
+// Property: Set then Score always returns the last value written, for any
+// sequence of (id, score) writes.
+func TestProfileLastWriteWinsProperty(t *testing.T) {
+	f := func(ids []uint8, scores []uint8) bool {
+		n := len(ids)
+		if len(scores) < n {
+			n = len(scores)
+		}
+		var p Profile
+		want := map[PropertyID]float64{}
+		for i := 0; i < n; i++ {
+			id := PropertyID(ids[i] % 16)
+			s := float64(scores[i]) / 255
+			p.Set(id, s)
+			want[id] = s
+		}
+		if p.Len() != len(want) {
+			return false
+		}
+		for id, s := range want {
+			got, ok := p.Score(id)
+			if !ok || got != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

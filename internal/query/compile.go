@@ -1,0 +1,126 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"podium/internal/bucketing"
+	"podium/internal/core"
+	"podium/internal/groups"
+)
+
+// Compile resolves the query's property names and bucket names against a
+// built group index, producing the customization feedback (Definition 6.1)
+// that realizes the query's WHERE / DIVERSIFY BY / IGNORE semantics:
+//
+//   - HAS "p"            → all groups of p join 𝒢₊ (the per-property
+//     disjunction of Definition 6.3 makes this "has any score for p")
+//   - "p" IN high        → only p's high bucket joins 𝒢₊
+//   - NOT HAS "p"        → all groups of p join 𝒢₋
+//   - "p" NOT IN low     → p's low bucket joins 𝒢₋
+//   - DIVERSIFY BY "p"   → p's groups join 𝒢_d (priority coverage)
+//   - IGNORE "p"         → p's groups leave 𝒢_d? (no coverage reward)
+//
+// Unknown properties and bucket names are errors — a typo must not silently
+// weaken a constraint.
+func (q *Query) Compile(ix *groups.Index) (core.Feedback, error) {
+	var fb core.Feedback
+	for _, cond := range q.Where {
+		gids, err := resolveCondition(ix, cond)
+		if err != nil {
+			return fb, err
+		}
+		if cond.Negated {
+			fb.MustNot = append(fb.MustNot, gids...)
+		} else {
+			fb.MustHave = append(fb.MustHave, gids...)
+		}
+	}
+	prioritized := map[groups.GroupID]bool{}
+	for _, label := range q.Diversify {
+		gids, err := groupsOf(ix, label)
+		if err != nil {
+			return fb, err
+		}
+		for _, id := range gids {
+			if !prioritized[id] {
+				prioritized[id] = true
+				fb.Priority = append(fb.Priority, id)
+			}
+		}
+	}
+	if len(q.Ignore) > 0 {
+		ignored := map[groups.GroupID]bool{}
+		for _, label := range q.Ignore {
+			gids, err := groupsOf(ix, label)
+			if err != nil {
+				return fb, err
+			}
+			for _, id := range gids {
+				ignored[id] = true
+			}
+		}
+		fb.StandardExplicit = true
+		for i := 0; i < ix.NumGroups(); i++ {
+			id := groups.GroupID(i)
+			if !ignored[id] && !prioritized[id] {
+				fb.Standard = append(fb.Standard, id)
+			}
+		}
+	}
+	return fb, nil
+}
+
+func groupsOf(ix *groups.Index, label string) ([]groups.GroupID, error) {
+	pid, ok := ix.Repo().Catalog().Lookup(label)
+	if !ok {
+		return nil, fmt.Errorf("query: unknown property %q", label)
+	}
+	gids := ix.GroupsOfProperty(pid)
+	if len(gids) == 0 {
+		return nil, fmt.Errorf("query: property %q has no groups", label)
+	}
+	return gids, nil
+}
+
+func resolveCondition(ix *groups.Index, cond Condition) ([]groups.GroupID, error) {
+	gids, err := groupsOf(ix, cond.Label)
+	if err != nil {
+		return nil, err
+	}
+	if cond.BucketName == "" {
+		return gids, nil
+	}
+	want := strings.ToLower(cond.BucketName)
+	for _, gid := range gids {
+		g := ix.Group(gid)
+		name := strings.ToLower(bucketing.Label(g.Bucket, g.BucketIdx, g.NumBuckets))
+		if name == want {
+			return []groups.GroupID{gid}, nil
+		}
+	}
+	var available []string
+	for _, gid := range gids {
+		g := ix.Group(gid)
+		available = append(available, bucketing.Label(g.Bucket, g.BucketIdx, g.NumBuckets))
+	}
+	return nil, fmt.Errorf("query: property %q has no bucket named %q (available: %s)",
+		cond.Label, cond.BucketName, strings.Join(available, ", "))
+}
+
+// Validate performs the static checks that do not need an index: it reports
+// conflicting conditions such as requiring and forbidding the same bucket.
+func (q *Query) Validate() error {
+	type key struct {
+		label, bucket string
+	}
+	seen := map[key]bool{} // true = positive
+	for _, c := range q.Where {
+		k := key{c.Label, strings.ToLower(c.BucketName)}
+		if prev, ok := seen[k]; ok && prev != !c.Negated {
+			return fmt.Errorf("query: contradictory conditions on %s", c)
+		}
+		seen[k] = !c.Negated
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package query
+
+import "testing"
+
+// FuzzParse drives the query parser with arbitrary input: it must never
+// panic, and anything it accepts must have a positive budget and re-validate.
+func FuzzParse(f *testing.F) {
+	f.Add(`SELECT 8 USERS`)
+	f.Add(`SELECT 5 USERS WEIGHTS EBS COVERAGE PROP BUCKETS 4`)
+	f.Add(`SELECT 2 USERS WHERE HAS "p" AND "q" NOT IN low DIVERSIFY BY "a", "b" IGNORE "c"`)
+	f.Add(`select 1 user where "x" in "custom bucket"`)
+	f.Add(`SELECT 999999999999999999999 USERS`)
+	f.Add("SELECT 1 USERS WHERE \"unterminated")
+	f.Add(`,,,"`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if q.Budget <= 0 {
+			t.Fatalf("accepted non-positive budget %d", q.Budget)
+		}
+		// Validate must not panic on any parsed query.
+		_ = q.Validate()
+	})
+}

@@ -1,0 +1,99 @@
+// Package query implements a small declarative language for diverse user
+// selection, in the spirit of the declarative crowd-selection line of work
+// the paper builds on (its profile model "follows [10]", Amsterdamer et al.,
+// "Declarative user selection with soft constraints"). A query bundles the
+// selection budget, the weight/coverage schemes, hard membership constraints
+// (𝒢₊/𝒢₋) and diversification priorities into one string:
+//
+//	SELECT 8 USERS
+//	WEIGHTS LBS COVERAGE SINGLE
+//	WHERE HAS "avgRating Mexican" AND "livesIn Tokyo" NOT IN true
+//	DIVERSIFY BY "livesIn Tokyo", "livesIn Paris"
+//	IGNORE "internal score"
+//
+// Parse produces a Query; Compile resolves it against a group index into the
+// core.Feedback the selection engine consumes.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokWord
+	tokString
+	tokNumber
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of query"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	case tokComma:
+		return "','"
+	}
+	return t.text
+}
+
+// lex splits the source into tokens. Words are case-normalized to upper;
+// quoted strings keep their case (they name properties).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == '"':
+			end := i + 1
+			for end < len(src) && src[end] != '"' {
+				end++
+			}
+			if end == len(src) {
+				return nil, fmt.Errorf("query: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, src[i+1 : end], i})
+			i = end + 1
+		case c >= '0' && c <= '9':
+			end := i
+			for end < len(src) && src[end] >= '0' && src[end] <= '9' {
+				end++
+			}
+			toks = append(toks, token{tokNumber, src[i:end], i})
+			i = end
+		case isWordRune(rune(c)):
+			end := i
+			for end < len(src) && isWordRune(rune(src[end])) {
+				end++
+			}
+			toks = append(toks, token{tokWord, strings.ToUpper(src[i:end]), i})
+			i = end
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(src)})
+	return toks, nil
+}
+
+func isWordRune(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '-'
+}

@@ -1,0 +1,266 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"podium/internal/groups"
+)
+
+// Query is a parsed selection query, not yet bound to a repository.
+type Query struct {
+	// Budget is the number of users to select (SELECT <n> USERS).
+	Budget int
+	// Weights/Coverage override the engine defaults when the corresponding
+	// Set flag is true.
+	Weights     groups.WeightScheme
+	WeightsSet  bool
+	Coverage    groups.CoverageScheme
+	CoverageSet bool
+	// Buckets requests a bucket count for grouping; 0 means "whatever the
+	// engine was built with".
+	Buckets int
+	// Where holds the hard membership constraints.
+	Where []Condition
+	// Diversify lists properties whose groups get priority coverage.
+	Diversify []string
+	// Ignore lists properties excluded from coverage altogether.
+	Ignore []string
+}
+
+// Condition is one WHERE constraint on a property.
+type Condition struct {
+	// Label is the property name (a quoted string in the query).
+	Label string
+	// Negated flips the condition: NOT HAS, or NOT IN.
+	Negated bool
+	// BucketName restricts to one named bucket (IN <name>); empty means the
+	// HAS form — any bucket of the property.
+	BucketName string
+}
+
+func (c Condition) String() string {
+	switch {
+	case c.BucketName == "" && !c.Negated:
+		return fmt.Sprintf("HAS %q", c.Label)
+	case c.BucketName == "":
+		return fmt.Sprintf("NOT HAS %q", c.Label)
+	case c.Negated:
+		return fmt.Sprintf("%q NOT IN %s", c.Label, c.BucketName)
+	}
+	return fmt.Sprintf("%q IN %s", c.Label, c.BucketName)
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectWord(words ...string) (string, error) {
+	t := p.next()
+	if t.kind == tokWord {
+		for _, w := range words {
+			if t.text == w {
+				return w, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("query: expected %v, got %s at offset %d", words, t, t.pos)
+}
+
+func (p *parser) expectString() (string, error) {
+	t := p.next()
+	if t.kind != tokString {
+		return "", fmt.Errorf("query: expected a quoted property name, got %s at offset %d", t, t.pos)
+	}
+	return t.text, nil
+}
+
+func (p *parser) expectNumber() (int, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected a number, got %s at offset %d", t, t.pos)
+	}
+	n, err := strconv.Atoi(t.text)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("query: bad number %q at offset %d", t.text, t.pos)
+	}
+	return n, nil
+}
+
+// Parse parses a query string.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+
+	if _, err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	if q.Budget, err = p.expectNumber(); err != nil {
+		return nil, err
+	}
+	if q.Budget == 0 {
+		return nil, fmt.Errorf("query: budget must be positive")
+	}
+	if _, err := p.expectWord("USERS", "USER"); err != nil {
+		return nil, err
+	}
+
+	for p.peek().kind != tokEOF {
+		t := p.next()
+		if t.kind != tokWord {
+			return nil, fmt.Errorf("query: expected a clause keyword, got %s at offset %d", t, t.pos)
+		}
+		switch t.text {
+		case "WEIGHTS":
+			if q.WeightsSet {
+				return nil, fmt.Errorf("query: duplicate WEIGHTS clause at offset %d", t.pos)
+			}
+			w, err := p.expectWord("IDEN", "LBS", "EBS")
+			if err != nil {
+				return nil, err
+			}
+			q.WeightsSet = true
+			switch w {
+			case "IDEN":
+				q.Weights = groups.WeightIden
+			case "LBS":
+				q.Weights = groups.WeightLBS
+			case "EBS":
+				q.Weights = groups.WeightEBS
+			}
+		case "COVERAGE":
+			if q.CoverageSet {
+				return nil, fmt.Errorf("query: duplicate COVERAGE clause at offset %d", t.pos)
+			}
+			c, err := p.expectWord("SINGLE", "PROP")
+			if err != nil {
+				return nil, err
+			}
+			q.CoverageSet = true
+			if c == "SINGLE" {
+				q.Coverage = groups.CoverSingle
+			} else {
+				q.Coverage = groups.CoverProp
+			}
+		case "BUCKETS":
+			if q.Buckets != 0 {
+				return nil, fmt.Errorf("query: duplicate BUCKETS clause at offset %d", t.pos)
+			}
+			n, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("query: BUCKETS must be at least 1")
+			}
+			q.Buckets = n
+		case "WHERE":
+			if len(q.Where) > 0 {
+				return nil, fmt.Errorf("query: duplicate WHERE clause at offset %d", t.pos)
+			}
+			for {
+				cond, err := p.parseCondition()
+				if err != nil {
+					return nil, err
+				}
+				q.Where = append(q.Where, cond)
+				if p.peek().kind == tokWord && p.peek().text == "AND" {
+					p.next()
+					continue
+				}
+				break
+			}
+		case "DIVERSIFY":
+			if _, err := p.expectWord("BY"); err != nil {
+				return nil, err
+			}
+			labels, err := p.parseLabelList()
+			if err != nil {
+				return nil, err
+			}
+			q.Diversify = append(q.Diversify, labels...)
+		case "IGNORE":
+			labels, err := p.parseLabelList()
+			if err != nil {
+				return nil, err
+			}
+			q.Ignore = append(q.Ignore, labels...)
+		default:
+			return nil, fmt.Errorf("query: unknown clause %q at offset %d", t.text, t.pos)
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokWord && t.text == "NOT":
+		p.next()
+		if _, err := p.expectWord("HAS"); err != nil {
+			return Condition{}, err
+		}
+		label, err := p.expectString()
+		if err != nil {
+			return Condition{}, err
+		}
+		return Condition{Label: label, Negated: true}, nil
+	case t.kind == tokWord && t.text == "HAS":
+		p.next()
+		label, err := p.expectString()
+		if err != nil {
+			return Condition{}, err
+		}
+		return Condition{Label: label}, nil
+	case t.kind == tokString:
+		label := p.next().text
+		negated := false
+		if p.peek().kind == tokWord && p.peek().text == "NOT" {
+			p.next()
+			negated = true
+		}
+		if _, err := p.expectWord("IN"); err != nil {
+			return Condition{}, err
+		}
+		bt := p.next()
+		if bt.kind != tokWord && bt.kind != tokString {
+			return Condition{}, fmt.Errorf("query: expected a bucket name, got %s at offset %d", bt, bt.pos)
+		}
+		// Bucket names are matched case-insensitively; normalize here so
+		// the word form (uppercased by the lexer) and the quoted form agree.
+		return Condition{Label: label, Negated: negated, BucketName: strings.ToLower(bt.text)}, nil
+	}
+	return Condition{}, fmt.Errorf("query: expected a condition, got %s at offset %d", t, t.pos)
+}
+
+func (p *parser) parseLabelList() ([]string, error) {
+	var labels []string
+	for {
+		label, err := p.expectString()
+		if err != nil {
+			return nil, err
+		}
+		labels = append(labels, label)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		return labels, nil
+	}
+}

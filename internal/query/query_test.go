@@ -1,0 +1,255 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"podium/internal/bucketing"
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+func paperIndex(t *testing.T) *groups.Index {
+	t.Helper()
+	repo := profile.PaperExample()
+	return groups.Build(repo, groups.Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3})
+}
+
+func TestParseMinimal(t *testing.T) {
+	q, err := Parse(`SELECT 8 USERS`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Budget != 8 || q.WeightsSet || q.CoverageSet || q.Buckets != 0 {
+		t.Fatalf("query = %+v", q)
+	}
+}
+
+func TestParseFull(t *testing.T) {
+	src := `select 5 users weights ebs coverage prop buckets 4
+		where has "avgRating Mexican" and "livesIn Tokyo" not in true
+		diversify by "livesIn Tokyo", "livesIn Paris"
+		ignore "noise prop"`
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Budget != 5 {
+		t.Fatalf("budget = %d", q.Budget)
+	}
+	if !q.WeightsSet || q.Weights != groups.WeightEBS {
+		t.Fatalf("weights = %+v", q)
+	}
+	if !q.CoverageSet || q.Coverage != groups.CoverProp {
+		t.Fatalf("coverage = %+v", q)
+	}
+	if q.Buckets != 4 {
+		t.Fatalf("buckets = %d", q.Buckets)
+	}
+	if len(q.Where) != 2 {
+		t.Fatalf("where = %+v", q.Where)
+	}
+	if q.Where[0].Label != "avgRating Mexican" || q.Where[0].Negated || q.Where[0].BucketName != "" {
+		t.Fatalf("where[0] = %+v", q.Where[0])
+	}
+	if q.Where[1].Label != "livesIn Tokyo" || !q.Where[1].Negated || q.Where[1].BucketName != "true" {
+		t.Fatalf("where[1] = %+v", q.Where[1])
+	}
+	if len(q.Diversify) != 2 || q.Diversify[1] != "livesIn Paris" {
+		t.Fatalf("diversify = %v", q.Diversify)
+	}
+	if len(q.Ignore) != 1 || q.Ignore[0] != "noise prop" {
+		t.Fatalf("ignore = %v", q.Ignore)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":               ``,
+		"no budget":           `SELECT USERS`,
+		"zero budget":         `SELECT 0 USERS`,
+		"unterminated string": `SELECT 3 USERS WHERE HAS "oops`,
+		"unknown clause":      `SELECT 3 USERS FROBNICATE`,
+		"bad weights":         `SELECT 3 USERS WEIGHTS HEAVY`,
+		"bad coverage":        `SELECT 3 USERS COVERAGE TWICE`,
+		"dup weights":         `SELECT 3 USERS WEIGHTS LBS WEIGHTS IDEN`,
+		"dup where":           `SELECT 3 USERS WHERE HAS "a" WHERE HAS "b"`,
+		"cond missing label":  `SELECT 3 USERS WHERE HAS`,
+		"in without bucket":   `SELECT 3 USERS WHERE "p" IN`,
+		"stray characters":    `SELECT 3 USERS; DROP TABLE`,
+		"buckets zero":        `SELECT 3 USERS BUCKETS 0`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed without error: %q", name, src)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywordsCaseSensitiveLabels(t *testing.T) {
+	q, err := Parse(`sElEcT 2 uSeRs WhErE hAs "MiXeD Case Prop"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Label != "MiXeD Case Prop" {
+		t.Fatalf("label case mangled: %q", q.Where[0].Label)
+	}
+}
+
+func TestCompileExample62(t *testing.T) {
+	// The running example's customization (Example 6.2) as a query.
+	ix := paperIndex(t)
+	q, err := Parse(`SELECT 2 USERS
+		WHERE HAS "avgRating Mexican"
+		DIVERSIFY BY "livesIn Tokyo", "livesIn NYC", "livesIn Bali", "livesIn Paris"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := q.Compile(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.MustHave) != 2 { // low and high buckets of avgRating Mexican
+		t.Fatalf("MustHave = %v", fb.MustHave)
+	}
+	if len(fb.Priority) != 4 {
+		t.Fatalf("Priority = %v", fb.Priority)
+	}
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, q.Budget)
+	res, err := core.GreedyCustom(inst, fb, q.Budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Example 6.4's outcome: {Alice, Eve}, Carol filtered out.
+	if len(res.Users) != 2 || res.Users[0] != 0 || res.Users[1] != 4 {
+		t.Fatalf("selected %v, want [0 4]", res.Users)
+	}
+}
+
+func TestCompileBucketCondition(t *testing.T) {
+	ix := paperIndex(t)
+	q, err := Parse(`SELECT 1 USERS WHERE "avgRating Mexican" IN high`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := q.Compile(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.MustHave) != 1 {
+		t.Fatalf("MustHave = %v", fb.MustHave)
+	}
+	g := ix.Group(fb.MustHave[0])
+	if !g.Bucket.Contains(0.9) {
+		t.Fatalf("resolved bucket %v is not the high bucket", g.Bucket)
+	}
+}
+
+func TestCompileBooleanBucket(t *testing.T) {
+	ix := paperIndex(t)
+	q, err := Parse(`SELECT 1 USERS WHERE "livesIn Tokyo" NOT IN true`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := q.Compile(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.MustNot) != 1 {
+		t.Fatalf("MustNot = %v", fb.MustNot)
+	}
+	allowed := core.RefineUsers(ix, fb)
+	if allowed[0] || allowed[3] { // Alice and David live in Tokyo
+		t.Fatalf("Tokyo residents not excluded: %v", allowed)
+	}
+}
+
+func TestCompileIgnore(t *testing.T) {
+	ix := paperIndex(t)
+	q, err := Parse(`SELECT 2 USERS IGNORE "avgRating CheapEats"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := q.Compile(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fb.StandardExplicit {
+		t.Fatal("IGNORE did not switch to explicit standard set")
+	}
+	cheap, _ := ix.Repo().Catalog().Lookup(profile.ExAvgCheapEats)
+	ignored := map[groups.GroupID]bool{}
+	for _, gid := range ix.GroupsOfProperty(cheap) {
+		ignored[gid] = true
+	}
+	for _, gid := range fb.Standard {
+		if ignored[gid] {
+			t.Fatalf("ignored group %d still in standard set", gid)
+		}
+	}
+	if len(fb.Standard) != ix.NumGroups()-len(ignored) {
+		t.Fatalf("standard set size %d", len(fb.Standard))
+	}
+}
+
+func TestCompileUnknownNamesFail(t *testing.T) {
+	ix := paperIndex(t)
+	for _, src := range []string{
+		`SELECT 2 USERS WHERE HAS "no such prop"`,
+		`SELECT 2 USERS WHERE "avgRating Mexican" IN nonexistent-bucket`,
+		`SELECT 2 USERS DIVERSIFY BY "no such prop"`,
+		`SELECT 2 USERS IGNORE "no such prop"`,
+	} {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := q.Compile(ix); err == nil {
+			t.Errorf("compile %q succeeded, want error", src)
+		}
+	}
+}
+
+func TestCompileBucketErrorListsAvailable(t *testing.T) {
+	ix := paperIndex(t)
+	q, _ := Parse(`SELECT 2 USERS WHERE "avgRating Mexican" IN bogus`)
+	_, err := q.Compile(ix)
+	if err == nil || !strings.Contains(err.Error(), "available") {
+		t.Fatalf("error %v should list available buckets", err)
+	}
+}
+
+func TestValidateContradiction(t *testing.T) {
+	q, err := Parse(`SELECT 2 USERS WHERE "p" IN high AND "p" NOT IN high`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Validate(); err == nil {
+		t.Fatal("contradiction not detected")
+	}
+	ok, err := Parse(`SELECT 2 USERS WHERE "p" IN high AND "p" NOT IN low`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("false positive: %v", err)
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	cases := []struct {
+		c    Condition
+		want string
+	}{
+		{Condition{Label: "p"}, `HAS "p"`},
+		{Condition{Label: "p", Negated: true}, `NOT HAS "p"`},
+		{Condition{Label: "p", BucketName: "high"}, `"p" IN high`},
+		{Condition{Label: "p", Negated: true, BucketName: "low"}, `"p" NOT IN low`},
+	}
+	for _, c := range cases {
+		if got := c.c.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package repolog
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"podium/internal/profile"
+)
+
+func openTemp(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "repo.plog")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, path
+}
+
+func reopen(t *testing.T, l *Log, path string) *Log {
+	t.Helper()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestFreshLogIsEmpty(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	if l.Repository().NumUsers() != 0 || l.Recovered != 0 {
+		t.Fatalf("fresh log: %d users, recovered %d", l.Repository().NumUsers(), l.Recovered)
+	}
+}
+
+func TestAppendAndReplay(t *testing.T) {
+	l, path := openTemp(t)
+	alice, err := l.AddUser("Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetScore(alice, "livesIn Tokyo", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetScore(alice, "avgRating Mexican", 0.95); err != nil {
+		t.Fatal(err)
+	}
+	bob, err := l.AddUser("Bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetScore(bob, "avgRating Mexican", 0.3); err != nil {
+		t.Fatal(err)
+	}
+
+	back := reopen(t, l, path)
+	defer back.Close()
+	repo := back.Repository()
+	if repo.NumUsers() != 2 {
+		t.Fatalf("users = %d", repo.NumUsers())
+	}
+	if repo.UserName(0) != "Alice" || repo.UserName(1) != "Bob" {
+		t.Fatalf("names = %q, %q", repo.UserName(0), repo.UserName(1))
+	}
+	id, ok := repo.Catalog().Lookup("avgRating Mexican")
+	if !ok {
+		t.Fatal("property lost")
+	}
+	if s, ok := repo.Profile(0).Score(id); !ok || s != 0.95 {
+		t.Fatalf("Alice's score = %v,%v", s, ok)
+	}
+	if back.Recovered != 0 {
+		t.Fatalf("clean log reported %d recovered bytes", back.Recovered)
+	}
+}
+
+func TestSetScoreValidation(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	u, _ := l.AddUser("A")
+	if err := l.SetScore(u, "p", 1.5); err == nil {
+		t.Fatal("invalid score accepted")
+	}
+	if err := l.SetScore(profile.UserID(99), "p", 0.5); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	// The rejected writes must not have reached the log.
+	path := l.path
+	back := reopen(t, l, path)
+	defer back.Close()
+	if back.Repository().Profile(0).Len() != 0 {
+		t.Fatal("rejected mutation was persisted")
+	}
+}
+
+func TestLastWriteWinsAcrossReplay(t *testing.T) {
+	l, path := openTemp(t)
+	u, _ := l.AddUser("A")
+	for _, s := range []float64{0.1, 0.5, 0.9} {
+		if err := l.SetScore(u, "p", s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back := reopen(t, l, path)
+	defer back.Close()
+	id, _ := back.Repository().Catalog().Lookup("p")
+	if s, _ := back.Repository().Profile(0).Score(id); s != 0.9 {
+		t.Fatalf("score after replay = %v, want 0.9", s)
+	}
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	l, path := openTemp(t)
+	u, _ := l.AddUser("A")
+	if err := l.SetScore(u, "p", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append at every possible torn point past the
+	// first record: the log must reopen, recovering a valid prefix, and
+	// stay usable.
+	for cut := len(clean) - 1; cut > 20; cut -= 3 {
+		if err := os.WriteFile(path, clean[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if back.Recovered == 0 {
+			t.Fatalf("cut %d: no recovery reported", cut)
+		}
+		// The torn log remains appendable.
+		if _, err := back.AddUser("post-crash"); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := back.Close(); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		again, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: reopen after recovery: %v", cut, err)
+		}
+		found := false
+		for uu := 0; uu < again.Repository().NumUsers(); uu++ {
+			if again.Repository().UserName(profile.UserID(uu)) == "post-crash" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cut %d: post-recovery append lost", cut)
+		}
+		again.Close()
+	}
+}
+
+func TestCorruptTailStopsReplay(t *testing.T) {
+	l, path := openTemp(t)
+	u, _ := l.AddUser("A")
+	l.SetScore(u, "p", 0.5)
+	l.AddUser("B")
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	// Flip a byte in the last record's payload: checksum fails, replay keeps
+	// the prefix.
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer back.Close()
+	if back.Recovered == 0 {
+		t.Fatal("corruption not detected")
+	}
+	if back.Repository().NumUsers() != 1 {
+		t.Fatalf("users = %d, want the pre-corruption prefix", back.Repository().NumUsers())
+	}
+}
+
+func TestCompact(t *testing.T) {
+	l, path := openTemp(t)
+	for i := 0; i < 20; i++ {
+		u, _ := l.AddUser("user")
+		l.SetScore(u, "p", 0.5)
+		l.SetScore(u, "q", 0.25)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := os.Stat(path)
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction grew the log: %d -> %d", before.Size(), after.Size())
+	}
+	if l.Appended() != 0 {
+		t.Fatalf("appended counter = %d after compaction", l.Appended())
+	}
+	// The log remains appendable after compaction, and everything survives
+	// a reopen.
+	u, err := l.AddUser("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetScore(u, "r", 1); err != nil {
+		t.Fatal(err)
+	}
+	back := reopen(t, l, path)
+	defer back.Close()
+	if back.Repository().NumUsers() != 21 {
+		t.Fatalf("users after compaction+reopen = %d, want 21", back.Repository().NumUsers())
+	}
+	id, ok := back.Repository().Catalog().Lookup("r")
+	if !ok {
+		t.Fatal("post-compaction property lost")
+	}
+	if s, _ := back.Repository().Profile(20).Score(id); s != 1 {
+		t.Fatalf("post-compaction score = %v", s)
+	}
+}
+
+func TestOpenRejectsForeignFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-log")
+	if err := os.WriteFile(path, []byte("this is not a PLOG file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("foreign file accepted")
+	}
+}
+
+func TestAppendedCounter(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	if l.Appended() != 0 {
+		t.Fatal("fresh counter non-zero")
+	}
+	u, _ := l.AddUser("A")
+	l.SetScore(u, "p", 0.5)
+	if l.Appended() != 2 {
+		t.Fatalf("appended = %d, want 2", l.Appended())
+	}
+}

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/repolog"
+)
+
+// MutableServer extends Server with live profile updates — the operational
+// loop Section 9 sketches ("may be easily executed multiple times, e.g., to
+// incorporate data updates"): mutations append durably to a repository log
+// and slot into the group index incrementally, so selections always see the
+// current population without a rebuild and group IDs remain stable for
+// clients holding feedback.
+type MutableServer struct {
+	*Server
+	mu  sync.Mutex
+	log *repolog.Log
+	cfg groups.Config
+}
+
+// NewMutable builds a server over the repository log at path, creating it if
+// absent. The grouping module runs once at startup; subsequent mutations
+// maintain the index incrementally.
+func NewMutable(name, logPath string, cfg groups.Config, configs []NamedConfig) (*MutableServer, error) {
+	l, err := repolog.Open(logPath)
+	if err != nil {
+		return nil, err
+	}
+	ms := &MutableServer{
+		Server: New(name, l.Repository(), cfg, configs),
+		log:    l,
+		cfg:    cfg,
+	}
+	ms.mux.HandleFunc("/api/users", ms.handleAddUser)
+	ms.mux.HandleFunc("/api/scores", ms.handleSetScore)
+	return ms, nil
+}
+
+// Close flushes and closes the backing log.
+func (ms *MutableServer) Close() error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.log.Close()
+}
+
+// ServeHTTP serializes requests: reads are cheap and mutations must not
+// interleave with index maintenance. A production deployment would use an
+// RWMutex with copy-on-write indexes; a single lock keeps the reference
+// implementation obviously correct.
+func (ms *MutableServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	ms.mux.ServeHTTP(w, r)
+}
+
+// addUserRequest creates a user with an optional initial profile.
+type addUserRequest struct {
+	Name       string             `json:"name"`
+	Properties map[string]float64 `json:"properties,omitempty"`
+}
+
+func (ms *MutableServer) handleAddUser(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req addUserRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, "name is required")
+		return
+	}
+	// Validate the whole profile before any durable write, so a bad score
+	// cannot leave a half-created user.
+	for label, score := range req.Properties {
+		if score < 0 || score > 1 || score != score {
+			writeError(w, http.StatusBadRequest, "score %v for %q outside [0,1]", score, label)
+			return
+		}
+	}
+	u, err := ms.log.AddUser(req.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	for label, score := range req.Properties {
+		if err := ms.log.SetScore(u, label, score); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
+	if err := ms.log.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	unbucketed, err := ms.index.IndexUser(u)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "indexing: %v", err)
+		return
+	}
+	// First-sight properties get bucketed now, from their current values;
+	// a periodic full rebuild re-derives better cuts as data accumulates.
+	for _, pid := range unbucketed {
+		if err := ms.index.BucketProperty(pid, ms.cfg); err != nil {
+			writeError(w, http.StatusInternalServerError, "bucketing %q: %v", ms.repo.Catalog().Label(pid), err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"id":     int(u),
+		"groups": len(ms.index.UserGroups(u)),
+	})
+}
+
+// setScoreRequest updates one property score of an existing user.
+type setScoreRequest struct {
+	User  int     `json:"user"`
+	Label string  `json:"label"`
+	Score float64 `json:"score"`
+}
+
+func (ms *MutableServer) handleSetScore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req setScoreRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	u := profile.UserID(req.User)
+	if req.User < 0 || req.User >= ms.repo.NumUsers() {
+		writeError(w, http.StatusBadRequest, "unknown user %d", req.User)
+		return
+	}
+	pid, known := ms.repo.Catalog().Lookup(req.Label)
+	if err := ms.log.SetScore(u, req.Label, req.Score); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := ms.log.Sync(); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	status := "updated"
+	if !known {
+		// A brand-new property: bucket it from its current (single) value;
+		// a later rebuild re-derives the partition as data accumulates.
+		newPid, _ := ms.repo.Catalog().Lookup(req.Label)
+		if err := ms.index.BucketProperty(newPid, ms.cfg); err != nil {
+			status = fmt.Sprintf("recorded; bucketing failed (%v)", err)
+		} else {
+			status = "updated (new property bucketed)"
+		}
+	} else if err := ms.index.UpdateScore(u, pid); err != nil {
+		status = fmt.Sprintf("recorded; index not updated (%v)", err)
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}

@@ -1,0 +1,460 @@
+// Package server is the Go counterpart of the paper's prototype web stack
+// (Section 7, Figure 1): the grouping module runs offline at construction,
+// the selection module answers selection requests with explanations, and the
+// visualization payloads carry exactly the Definition 5.1 structures the UI
+// renders (Figure 2) — per-user top groups, covered/uncovered group lists,
+// and population-versus-subset score distributions. Clients customize
+// selections by posting the Definition 6.1 feedback sets. An administrator
+// may preload named diversification configurations with textual
+// descriptions, as the prototype allows.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"podium/internal/core"
+	"podium/internal/explain"
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/query"
+)
+
+// NamedConfig is an administrator-provided diversification configuration.
+type NamedConfig struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description"`
+	Budget      int          `json:"budget"`
+	Weights     string       `json:"weights"`
+	Coverage    string       `json:"coverage"`
+	Feedback    FeedbackJSON `json:"feedback"`
+}
+
+// FeedbackJSON is the wire form of core.Feedback.
+type FeedbackJSON struct {
+	MustHave         []int `json:"must_have,omitempty"`
+	MustNot          []int `json:"must_not,omitempty"`
+	Priority         []int `json:"priority,omitempty"`
+	Standard         []int `json:"standard,omitempty"`
+	StandardExplicit bool  `json:"standard_explicit,omitempty"`
+}
+
+func (f FeedbackJSON) toCore() core.Feedback {
+	conv := func(ids []int) []groups.GroupID {
+		out := make([]groups.GroupID, len(ids))
+		for i, id := range ids {
+			out[i] = groups.GroupID(id)
+		}
+		return out
+	}
+	return core.Feedback{
+		MustHave:         conv(f.MustHave),
+		MustNot:          conv(f.MustNot),
+		Priority:         conv(f.Priority),
+		Standard:         conv(f.Standard),
+		StandardExplicit: f.StandardExplicit,
+	}
+}
+
+func (f FeedbackJSON) empty() bool {
+	return len(f.MustHave) == 0 && len(f.MustNot) == 0 && len(f.Priority) == 0 &&
+		len(f.Standard) == 0 && !f.StandardExplicit
+}
+
+// Server serves one repository. The group index is computed once at
+// construction (the offline grouping module); request handling is stateless
+// and safe for concurrent use.
+type Server struct {
+	name    string
+	repo    *profile.Repository
+	index   *groups.Index
+	configs []NamedConfig
+	mux     *http.ServeMux
+}
+
+// New builds a server over repo, running the grouping module with cfg.
+func New(name string, repo *profile.Repository, cfg groups.Config, configs []NamedConfig) *Server {
+	s := &Server{
+		name:    name,
+		repo:    repo,
+		index:   groups.Build(repo, cfg),
+		configs: configs,
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/api/status", s.handleStatus)
+	s.mux.HandleFunc("/api/groups", s.handleGroups)
+	s.mux.HandleFunc("/api/configurations", s.handleConfigurations)
+	s.mux.HandleFunc("/api/select", s.handleSelect)
+	s.mux.HandleFunc("/api/query", s.handleQuery)
+	s.mux.HandleFunc("/api/distribution", s.handleDistribution)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"name":       s.name,
+		"users":      s.repo.NumUsers(),
+		"properties": s.repo.NumProperties(),
+		"groups":     s.index.NumGroups(),
+	})
+}
+
+func (s *Server) handleConfigurations(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.configs == nil {
+		writeJSON(w, http.StatusOK, []NamedConfig{})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.configs)
+}
+
+// groupJSON is one group explanation row for the UI's group list.
+type groupJSON struct {
+	ID     int     `json:"id"`
+	Label  string  `json:"label"`
+	Size   int     `json:"size"`
+	Weight float64 `json:"weight"`
+}
+
+func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	limit := 50
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	top := s.index.TopKBySize(limit)
+	out := make([]groupJSON, 0, len(top))
+	for _, gid := range top {
+		g := s.index.Group(gid)
+		out = append(out, groupJSON{
+			ID:     int(gid),
+			Label:  g.Label(s.repo.Catalog()),
+			Size:   g.Size(),
+			Weight: float64(g.Size()), // LBS view for display
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// selectRequest is the selection-module request body.
+type selectRequest struct {
+	Budget   int          `json:"budget"`
+	Weights  string       `json:"weights"`  // Iden | LBS | EBS (default LBS)
+	Coverage string       `json:"coverage"` // Single | Prop (default Single)
+	Feedback FeedbackJSON `json:"feedback"`
+	// Config selects a preloaded named configuration instead of the inline
+	// fields above.
+	Config string `json:"config,omitempty"`
+	// TopK bounds the headline coverage statistic (default 200).
+	TopK int `json:"top_k,omitempty"`
+}
+
+type selectedUserJSON struct {
+	ID       int      `json:"id"`
+	Name     string   `json:"name"`
+	Marginal float64  `json:"marginal"`
+	Groups   []string `json:"top_groups"`
+}
+
+type selectResponse struct {
+	Users         []selectedUserJSON `json:"users"`
+	Score         float64            `json:"score"`
+	TopKCovered   int                `json:"top_k_covered"`
+	TopK          int                `json:"top_k"`
+	PriorityScore float64            `json:"priority_score,omitempty"`
+	StandardScore float64            `json:"standard_score,omitempty"`
+	Groups        []subsetGroupJSON  `json:"groups"`
+}
+
+type subsetGroupJSON struct {
+	ID       int     `json:"id"`
+	Label    string  `json:"label"`
+	Weight   float64 `json:"weight"`
+	Required int     `json:"required"`
+	Actual   int     `json:"actual"`
+	Covered  bool    `json:"covered"`
+}
+
+func parseWeights(s string) (groups.WeightScheme, error) {
+	switch strings.ToLower(s) {
+	case "", "lbs":
+		return groups.WeightLBS, nil
+	case "iden":
+		return groups.WeightIden, nil
+	case "ebs":
+		return groups.WeightEBS, nil
+	}
+	return 0, fmt.Errorf("unknown weight scheme %q", s)
+}
+
+func parseCoverage(s string) (groups.CoverageScheme, error) {
+	switch strings.ToLower(s) {
+	case "", "single":
+		return groups.CoverSingle, nil
+	case "prop":
+		return groups.CoverProp, nil
+	}
+	return 0, fmt.Errorf("unknown coverage scheme %q", s)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req selectRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Config != "" {
+		found := false
+		for _, c := range s.configs {
+			if c.Name == req.Config {
+				if req.Budget == 0 {
+					req.Budget = c.Budget
+				}
+				if req.Weights == "" {
+					req.Weights = c.Weights
+				}
+				if req.Coverage == "" {
+					req.Coverage = c.Coverage
+				}
+				if req.Feedback.empty() {
+					req.Feedback = c.Feedback
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			writeError(w, http.StatusBadRequest, "unknown configuration %q", req.Config)
+			return
+		}
+	}
+	if req.Budget <= 0 {
+		req.Budget = 8
+	}
+	if req.TopK <= 0 {
+		req.TopK = 200
+	}
+	ws, err := parseWeights(req.Weights)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cs, err := parseCoverage(req.Coverage)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	inst := groups.NewInstance(s.index, ws, cs, req.Budget)
+
+	var res *core.Result
+	var custom *core.CustomResult
+	if req.Feedback.empty() {
+		res = core.Greedy(inst, req.Budget)
+	} else {
+		custom, err = core.GreedyCustom(inst, req.Feedback.toCore(), req.Budget)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res = custom.Result
+	}
+
+	writeJSON(w, http.StatusOK, s.buildSelectResponse(inst, res, custom, req.TopK))
+}
+
+// buildSelectResponse assembles the visualization payload shared by the
+// select and query endpoints.
+func (s *Server) buildSelectResponse(inst *groups.Instance, res *core.Result, custom *core.CustomResult, topK int) selectResponse {
+	rep := explain.NewReport(inst, res, topK)
+	resp := selectResponse{
+		Score: inst.Score(res.Users),
+		TopK:  rep.TopK, TopKCovered: rep.TopKCovered,
+	}
+	if custom != nil {
+		resp.PriorityScore = custom.PriorityScore
+		resp.StandardScore = custom.StandardScore
+	}
+	for _, ue := range rep.Users {
+		su := selectedUserJSON{ID: int(ue.User), Name: ue.Name, Marginal: ue.Marginal}
+		for i, g := range ue.Groups {
+			if i == 5 {
+				break
+			}
+			su.Groups = append(su.Groups, g.Label)
+		}
+		resp.Users = append(resp.Users, su)
+	}
+	for _, sg := range rep.Groups {
+		resp.Groups = append(resp.Groups, subsetGroupJSON{
+			ID:       int(sg.Group.ID),
+			Label:    sg.Group.Label,
+			Weight:   sg.Group.Weight,
+			Required: sg.Required,
+			Actual:   sg.Actual,
+			Covered:  sg.Covered,
+		})
+	}
+	return resp
+}
+
+// handleQuery runs a declarative-language selection (see internal/query).
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Query string `json:"query"`
+		TopK  int    `json:"top_k,omitempty"`
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := q.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q.Buckets != 0 {
+		writeError(w, http.StatusBadRequest, "BUCKETS is fixed at server start; omit the clause")
+		return
+	}
+	ws := groups.WeightLBS
+	if q.WeightsSet {
+		ws = q.Weights
+	}
+	cs := groups.CoverSingle
+	if q.CoverageSet {
+		cs = q.Coverage
+	}
+	fb, err := q.Compile(s.index)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.TopK <= 0 {
+		req.TopK = 200
+	}
+	inst := groups.NewInstance(s.index, ws, cs, q.Budget)
+	custom, err := core.GreedyCustom(inst, fb, q.Budget)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildSelectResponse(inst, custom.Result, custom, req.TopK))
+}
+
+func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	label := r.URL.Query().Get("prop")
+	pid, ok := s.repo.Catalog().Lookup(label)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown property %q", label)
+		return
+	}
+	var users []profile.UserID
+	if raw := r.URL.Query().Get("users"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 0 || v >= s.repo.NumUsers() {
+				writeError(w, http.StatusBadRequest, "bad user id %q", part)
+				return
+			}
+			users = append(users, profile.UserID(v))
+		}
+	}
+	inst := &groups.Instance{Index: s.index,
+		Wei: groups.ComputeWeights(s.index, groups.WeightLBS, 8),
+		Cov: groups.ComputeCoverage(s.index, groups.CoverSingle, 8)}
+	all, subset := explain.Distribution(inst, users, pid)
+	buckets := make([]string, 0, len(all))
+	for _, b := range s.index.Buckets(pid) {
+		buckets = append(buckets, b.String())
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"property": label,
+		"buckets":  buckets,
+		"all":      all,
+		"subset":   subset,
+	})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, indexHTML, s.name, s.repo.NumUsers(), s.repo.NumProperties(), s.index.NumGroups())
+}
+
+const indexHTML = `<!doctype html>
+<html><head><meta charset="utf-8"><title>Podium</title>
+<style>body{font-family:sans-serif;margin:2rem;max-width:48rem}code{background:#eee;padding:0 .3em}</style>
+</head><body>
+<h1>Podium — diverse user selection</h1>
+<p>Dataset <b>%s</b>: %d users, %d properties, %d groups.</p>
+<h2>API</h2>
+<ul>
+<li><code>GET /api/status</code> — dataset shape</li>
+<li><code>GET /api/groups?limit=50</code> — largest groups with labels and weights</li>
+<li><code>GET /api/configurations</code> — administrator-provided configurations</li>
+<li><code>POST /api/select</code> — body: <code>{"budget":8,"weights":"LBS","coverage":"Single","feedback":{"priority":[1,2]}}</code></li>
+<li><code>POST /api/query</code> — body: <code>{"query":"SELECT 8 USERS WHERE HAS \"avgRating Mexican\" DIVERSIFY BY \"livesIn Tokyo\""}</code></li>
+<li><code>GET /api/distribution?prop=avgRating%%20Mexican&amp;users=0,4</code> — population vs subset score distribution</li>
+</ul>
+</body></html>
+`
+
+// Repository exposes the served repository (read-only use).
+func (s *Server) Repository() *profile.Repository { return s.repo }

@@ -1,0 +1,250 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumKahanPrecision(t *testing.T) {
+	// One large value followed by many tiny ones: naive summation loses the
+	// tiny contributions, Kahan keeps them.
+	xs := make([]float64, 1001)
+	xs[0] = 1e8
+	for i := 1; i <= 1000; i++ {
+		xs[i] = 1e-3
+	}
+	if got, want := Sum(xs), 1e8+1.0; !almostEqual(got, want, 1e-6) {
+		t.Fatalf("Sum = %.10f, want %.10f", got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVariance(t *testing.T) {
+	if got := Variance([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("Variance of constants = %v, want 0", got)
+	}
+	// Var([1,2,3,4]) = 1.25 (population).
+	if got := Variance([]float64{1, 2, 3, 4}); !almostEqual(got, 1.25, 1e-12) {
+		t.Errorf("Variance = %v, want 1.25", got)
+	}
+	// Sample variance divides by n-1.
+	if got := SampleVariance([]float64{1, 2, 3, 4}); !almostEqual(got, 5.0/3.0, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 5/3", got)
+	}
+	if got := SampleVariance([]float64{7}); got != 0 {
+		t.Errorf("SampleVariance of single = %v, want 0", got)
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	for name, f := range map[string]func(){
+		"Min": func() { Min(nil) },
+		"Max": func() { Max(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(nil) did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 4, 1, 5}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(xs); got != 5 {
+		t.Errorf("Max = %v, want 5", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1},
+		{1, 4},
+		{0.5, 2.5},
+		{0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{9}, 0.3); got != 9 {
+		t.Errorf("Quantile single = %v, want 9", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(empty) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestMedianIQR(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Median(xs); got != 3 {
+		t.Errorf("Median = %v, want 3", got)
+	}
+	if got := IQR(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("IQR = %v, want 2", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(-0.5, 0, 1); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := Clamp(1.5, 0, 1); got != 1 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp mid = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	// Perfect positive and negative correlation.
+	if got := Pearson(xs, []float64{2, 4, 6, 8, 10}); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	if got := Pearson(xs, []float64{5, 4, 3, 2, 1}); !almostEqual(got, -1, 1e-12) {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	// Constant sample: defined as 0.
+	if got := Pearson(xs, []float64{7, 7, 7, 7, 7}); got != 0 {
+		t.Fatalf("Pearson with constant = %v", got)
+	}
+	// Known value: x={1,2,3}, y={1,3,2} → r = 0.5.
+	if got := Pearson([]float64{1, 2, 3}, []float64{1, 3, 2}); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("Pearson = %v, want 0.5", got)
+	}
+}
+
+func TestPearsonPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatch": func() { Pearson([]float64{1}, []float64{1, 2}) },
+		"short":    func() { Pearson([]float64{1}, []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Pearson is symmetric, bounded by [-1,1], and invariant under
+// positive affine transforms of either argument.
+func TestPearsonProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(raw[i])
+			ys[i] = float64(raw[n+i])
+		}
+		r := Pearson(xs, ys)
+		if r < -1-1e-9 || r > 1+1e-9 {
+			return false
+		}
+		if !almostEqual(r, Pearson(ys, xs), 1e-9) {
+			return false
+		}
+		scaled := make([]float64, n)
+		for i := range xs {
+			scaled[i] = 3*xs[i] + 7
+		}
+		return almostEqual(r, Pearson(scaled, ys), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := float64(qa) / 255
+		b := float64(qb) / 255
+		if a > b {
+			a, b = b, a
+		}
+		va, vb := Quantile(xs, a), Quantile(xs, b)
+		return va <= vb+1e-9 && va >= Min(xs)-1e-9 && vb <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: population variance is never negative and zero for constants.
+func TestVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts observations falling into contiguous bins defined by a
+// strictly increasing slice of edges. Bin i covers [Edges[i], Edges[i+1]),
+// except the last bin which is closed on both sides so that the overall upper
+// edge is included (matching how Podium's score buckets treat 1.0).
+type Histogram struct {
+	Edges  []float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds an empty histogram over the given edges. It panics if
+// fewer than two edges are supplied or the edges are not strictly increasing,
+// since a malformed histogram would silently corrupt every distribution
+// metric downstream.
+func NewHistogram(edges []float64) *Histogram {
+	if len(edges) < 2 {
+		panic("stats: NewHistogram requires at least two edges")
+	}
+	for i := 1; i < len(edges); i++ {
+		if !(edges[i] > edges[i-1]) {
+			panic(fmt.Sprintf("stats: histogram edges not strictly increasing at %d", i))
+		}
+	}
+	e := make([]float64, len(edges))
+	copy(e, edges)
+	return &Histogram{Edges: e, Counts: make([]int, len(edges)-1)}
+}
+
+// UniformEdges returns k+1 equally spaced edges spanning [lo, hi].
+func UniformEdges(lo, hi float64, k int) []float64 {
+	if k < 1 || !(hi > lo) {
+		panic("stats: UniformEdges requires k >= 1 and hi > lo")
+	}
+	edges := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(k)
+	}
+	edges[k] = hi
+	return edges
+}
+
+// Bin returns the bin index that x falls into, or -1 if x lies outside the
+// histogram's range.
+func (h *Histogram) Bin(x float64) int {
+	n := len(h.Edges)
+	if x < h.Edges[0] || x > h.Edges[n-1] || math.IsNaN(x) {
+		return -1
+	}
+	if x == h.Edges[n-1] {
+		return n - 2 // last bin is closed above
+	}
+	// sort.SearchFloat64s finds the first edge > x when we search x+ε; use
+	// Search on the predicate edges[i] > x directly.
+	i := sort.Search(n, func(i int) bool { return h.Edges[i] > x })
+	return i - 1
+}
+
+// Add records one observation; out-of-range values are counted in total but
+// no bin (callers that care should check Bin first).
+func (h *Histogram) Add(x float64) {
+	if b := h.Bin(x); b >= 0 {
+		h.Counts[b]++
+	}
+	h.total++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of observations added, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Fractions returns the per-bin fraction of in-range observations; all zeros
+// if nothing in range has been added.
+func (h *Histogram) Fractions() []float64 {
+	fr := make([]float64, len(h.Counts))
+	inRange := 0
+	for _, c := range h.Counts {
+		inRange += c
+	}
+	if inRange == 0 {
+		return fr
+	}
+	for i, c := range h.Counts {
+		fr[i] = float64(c) / float64(inRange)
+	}
+	return fr
+}
+
+// KSStatistic returns the two-sample Kolmogorov-Smirnov statistic
+// sup |F1(x) - F2(x)| between the empirical CDFs of xs and ys. The paper
+// (Section 8.2) argues KS-style goodness-of-fit is inadequate for coverage
+// evaluation — we implement it so the experiments can show the contrast with
+// CD-sim rather than merely assert it. Panics if either sample is empty.
+func KSStatistic(xs, ys []float64) float64 {
+	if len(xs) == 0 || len(ys) == 0 {
+		panic("stats: KSStatistic requires non-empty samples")
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		// Advance past a whole tie-block on each side before comparing the
+		// CDFs; advancing one sample through a shared value would report a
+		// spurious gap for identical samples.
+		v := math.Min(a[i], b[j])
+		for i < len(a) && a[i] == v {
+			i++
+		}
+		for j < len(b) && b[j] == v {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(a)) - float64(j)/float64(len(b)))
+		if diff > d {
+			d = diff
+		}
+	}
+	return d
+}

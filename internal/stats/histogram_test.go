@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	for _, edges := range [][]float64{nil, {1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		}()
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0, 0.25, 0.5, 0.75, 1})
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{0, 0},
+		{0.1, 0},
+		{0.25, 1}, // left-closed
+		{0.4999, 1},
+		{0.75, 3},
+		{1.0, 3}, // upper edge belongs to the last bin
+		{-0.1, -1},
+		{1.1, -1},
+		{math.NaN(), -1},
+	}
+	for _, c := range cases {
+		if got := h.Bin(c.x); got != c.want {
+			t.Errorf("Bin(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestHistogramAddAndFractions(t *testing.T) {
+	h := NewHistogram([]float64{0, 0.5, 1})
+	h.AddAll([]float64{0.1, 0.2, 0.6, 2.0}) // last one out of range
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 {
+		t.Fatalf("Counts = %v, want [2 1]", h.Counts)
+	}
+	fr := h.Fractions()
+	if !almostEqual(fr[0], 2.0/3.0, 1e-12) || !almostEqual(fr[1], 1.0/3.0, 1e-12) {
+		t.Fatalf("Fractions = %v", fr)
+	}
+}
+
+func TestHistogramFractionsEmpty(t *testing.T) {
+	h := NewHistogram([]float64{0, 1})
+	fr := h.Fractions()
+	if len(fr) != 1 || fr[0] != 0 {
+		t.Fatalf("Fractions of empty = %v, want [0]", fr)
+	}
+}
+
+func TestUniformEdges(t *testing.T) {
+	edges := UniformEdges(0, 1, 4)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if !almostEqual(edges[i], want[i], 1e-12) {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestKSStatisticIdenticalSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := KSStatistic(xs, xs); got != 0 {
+		t.Fatalf("KS of identical samples = %v, want 0", got)
+	}
+}
+
+func TestKSStatisticDisjointSamples(t *testing.T) {
+	if got := KSStatistic([]float64{0, 1, 2}, []float64{10, 11}); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("KS of disjoint samples = %v, want 1", got)
+	}
+}
+
+func TestKSStatisticKnownValue(t *testing.T) {
+	// F1 jumps at {1,2}, F2 jumps at {1.5, 2.5}; max gap is 0.5 just after 1.
+	got := KSStatistic([]float64{1, 2}, []float64{1.5, 2.5})
+	if !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("KS = %v, want 0.5", got)
+	}
+}
+
+// Property: KS is symmetric and in [0,1].
+func TestKSStatisticProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		xs := sanitize(a)
+		ys := sanitize(b)
+		if len(xs) == 0 || len(ys) == 0 {
+			return true
+		}
+		d1 := KSStatistic(xs, ys)
+		d2 := KSStatistic(ys, xs)
+		return d1 >= 0 && d1 <= 1 && almostEqual(d1, d2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every in-range point lands in exactly one bin and bin edges
+// bracket it.
+func TestHistogramBinBracketsProperty(t *testing.T) {
+	h := NewHistogram(UniformEdges(0, 1, 7))
+	f := func(raw uint16) bool {
+		x := float64(raw) / float64(math.MaxUint16)
+		b := h.Bin(x)
+		if b < 0 || b >= len(h.Counts) {
+			return false
+		}
+		if x < h.Edges[b] {
+			return false
+		}
+		if b == len(h.Counts)-1 {
+			return x <= h.Edges[b+1]
+		}
+		return x < h.Edges[b+1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KDE is a one-dimensional Gaussian kernel density estimator. The bucketing
+// package uses it to split a property's score range at density valleys
+// (one of the 1-d interval-splitting methods named in Section 3.2 of the
+// paper).
+type KDE struct {
+	xs        []float64 // sorted sample
+	bandwidth float64
+}
+
+// NewKDE builds an estimator over xs with the given bandwidth. A bandwidth
+// of 0 (or less) selects Silverman's rule of thumb. Panics on an empty
+// sample.
+func NewKDE(xs []float64, bandwidth float64) *KDE {
+	if len(xs) == 0 {
+		panic("stats: NewKDE of empty sample")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if bandwidth <= 0 {
+		bandwidth = SilvermanBandwidth(sorted)
+	}
+	return &KDE{xs: sorted, bandwidth: bandwidth}
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth
+// 0.9 · min(σ, IQR/1.34) · n^(-1/5), with a small floor so that constant
+// samples (all scores identical — common for Boolean properties) still
+// produce a usable estimator.
+func SilvermanBandwidth(xs []float64) float64 {
+	n := float64(len(xs))
+	sigma := StdDev(xs)
+	iqr := IQR(xs) / 1.34
+	spread := sigma
+	if iqr > 0 && iqr < spread || spread == 0 {
+		if iqr > 0 {
+			spread = iqr
+		}
+	}
+	bw := 0.9 * spread * math.Pow(n, -0.2)
+	const floor = 1e-3
+	if bw < floor {
+		bw = floor
+	}
+	return bw
+}
+
+// Bandwidth reports the bandwidth in use.
+func (k *KDE) Bandwidth() float64 { return k.bandwidth }
+
+// Density returns the estimated density at x.
+func (k *KDE) Density(x float64) float64 {
+	// Only sample points within 5 bandwidths contribute meaningfully; the
+	// sample is sorted, so restrict to that window.
+	lo := sort.SearchFloat64s(k.xs, x-5*k.bandwidth)
+	hi := sort.SearchFloat64s(k.xs, x+5*k.bandwidth)
+	var sum float64
+	inv := 1 / k.bandwidth
+	for _, xi := range k.xs[lo:hi] {
+		u := (x - xi) * inv
+		sum += math.Exp(-0.5 * u * u)
+	}
+	norm := 1 / (float64(len(k.xs)) * k.bandwidth * math.Sqrt(2*math.Pi))
+	return sum * norm
+}
+
+// Grid evaluates the density at n equally spaced points covering [lo, hi]
+// and returns the points and their densities. Panics if n < 2 or hi <= lo.
+func (k *KDE) Grid(lo, hi float64, n int) (points, density []float64) {
+	if n < 2 || !(hi > lo) {
+		panic("stats: KDE.Grid requires n >= 2 and hi > lo")
+	}
+	points = make([]float64, n)
+	density = make([]float64, n)
+	for i := 0; i < n; i++ {
+		points[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+		density[i] = k.Density(points[i])
+	}
+	return points, density
+}
+
+// Valleys returns the x-coordinates of local minima of the density evaluated
+// on an n-point grid over [lo, hi] — the natural cut points between modes.
+// Grid endpoints never count as valleys.
+func (k *KDE) Valleys(lo, hi float64, n int) []float64 {
+	points, density := k.Grid(lo, hi, n)
+	var valleys []float64
+	for i := 1; i < n-1; i++ {
+		// A strict dip relative to the previous distinct value and a
+		// non-increase to the right; plateau minima report their left edge.
+		if density[i] < density[i-1] && density[i] <= density[i+1] {
+			valleys = append(valleys, points[i])
+		}
+	}
+	return valleys
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKDEPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewKDE(empty) did not panic")
+		}
+	}()
+	NewKDE(nil, 0.1)
+}
+
+func TestKDEDensityIntegratesToOne(t *testing.T) {
+	rng := NewRand(1)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	k := NewKDE(xs, 0.05)
+	// Trapezoid integration over a range wide enough to capture the tails.
+	const n = 2000
+	lo, hi := -1.0, 2.0
+	step := (hi - lo) / n
+	var integral float64
+	prev := k.Density(lo)
+	for i := 1; i <= n; i++ {
+		cur := k.Density(lo + float64(i)*step)
+		integral += (prev + cur) / 2 * step
+		prev = cur
+	}
+	if !almostEqual(integral, 1, 0.01) {
+		t.Fatalf("density integrates to %v, want ~1", integral)
+	}
+}
+
+func TestKDEBimodalValley(t *testing.T) {
+	// Two tight clusters around 0.2 and 0.8 must produce a valley between.
+	var xs []float64
+	rng := NewRand(7)
+	for i := 0; i < 100; i++ {
+		xs = append(xs, 0.2+0.03*rng.NormFloat64())
+		xs = append(xs, 0.8+0.03*rng.NormFloat64())
+	}
+	k := NewKDE(xs, 0.05)
+	valleys := k.Valleys(0, 1, 201)
+	if len(valleys) == 0 {
+		t.Fatal("no valley found between two well-separated modes")
+	}
+	found := false
+	for _, v := range valleys {
+		if v > 0.35 && v < 0.65 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("valleys %v do not include the inter-mode region (0.35,0.65)", valleys)
+	}
+}
+
+func TestKDEUnimodalNoInteriorValley(t *testing.T) {
+	var xs []float64
+	rng := NewRand(3)
+	for i := 0; i < 300; i++ {
+		xs = append(xs, Clamp(0.5+0.1*rng.NormFloat64(), 0, 1))
+	}
+	k := NewKDE(xs, 0.08)
+	valleys := k.Valleys(0.2, 0.8, 121)
+	if len(valleys) != 0 {
+		t.Fatalf("unexpected valleys %v for unimodal data", valleys)
+	}
+}
+
+func TestSilvermanBandwidthConstantSample(t *testing.T) {
+	bw := SilvermanBandwidth([]float64{0.5, 0.5, 0.5, 0.5})
+	if bw <= 0 {
+		t.Fatalf("bandwidth = %v, want > 0 floor", bw)
+	}
+}
+
+func TestSilvermanBandwidthShrinksWithN(t *testing.T) {
+	rng := NewRand(11)
+	small := make([]float64, 50)
+	large := make([]float64, 5000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	if SilvermanBandwidth(large) >= SilvermanBandwidth(small) {
+		t.Fatal("bandwidth should shrink as the sample grows")
+	}
+}
+
+func TestKDEGridValidation(t *testing.T) {
+	k := NewKDE([]float64{0.5}, 0.1)
+	for _, fn := range []func(){
+		func() { k.Grid(0, 1, 1) },
+		func() { k.Grid(1, 0, 10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Grid with invalid args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKDEDensitySymmetry(t *testing.T) {
+	k := NewKDE([]float64{0.5}, 0.1)
+	d1 := k.Density(0.4)
+	d2 := k.Density(0.6)
+	if math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("single-point kernel not symmetric: %v vs %v", d1, d2)
+	}
+	if k.Density(0.5) <= d1 {
+		t.Fatal("density not maximal at the sample point")
+	}
+}

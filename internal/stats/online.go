@@ -1,0 +1,79 @@
+package stats
+
+import "math"
+
+// Online accumulates a stream of observations and exposes running moments
+// using Welford's numerically stable algorithm. The synthetic dataset
+// generators use it to normalize per-user rating aggregates in one pass.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N returns the number of observations added so far.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the running population variance, or 0 before any
+// observation.
+func (o *Online) Variance() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation, or 0 before any observation.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation, or 0 before any observation.
+func (o *Online) Max() float64 { return o.max }
+
+// Merge folds another accumulator into o (parallel variance combination).
+func (o *Online) Merge(other Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	n1, n2 := float64(o.n), float64(other.n)
+	delta := other.mean - o.mean
+	total := n1 + n2
+	o.mean += delta * n2 / total
+	o.m2 += other.m2 + delta*delta*n1*n2/total
+	o.n += other.n
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+}

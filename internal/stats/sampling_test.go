@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleWithoutReplacementBasics(t *testing.T) {
+	rng := NewRand(42)
+	for _, c := range []struct{ n, k int }{{10, 0}, {10, 3}, {10, 10}, {1000, 5}} {
+		got := SampleWithoutReplacement(rng, c.n, c.k)
+		if len(got) != c.k {
+			t.Fatalf("n=%d k=%d: len=%d", c.n, c.k, len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= c.n {
+				t.Fatalf("value %d out of range [0,%d)", v, c.n)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	rng := NewRand(1)
+	for _, c := range []struct{ n, k int }{{5, 6}, {-1, 0}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("n=%d k=%d did not panic", c.n, c.k)
+				}
+			}()
+			SampleWithoutReplacement(rng, c.n, c.k)
+		}()
+	}
+}
+
+func TestSampleWithoutReplacementDeterministic(t *testing.T) {
+	a := SampleWithoutReplacement(NewRand(7), 100, 10)
+	b := SampleWithoutReplacement(NewRand(7), 100, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestWeightedIndexRespectsZeros(t *testing.T) {
+	rng := NewRand(3)
+	weights := []float64{0, 1, 0, 2, 0}
+	for i := 0; i < 1000; i++ {
+		idx := WeightedIndex(rng, weights)
+		if weights[idx] == 0 {
+			t.Fatalf("drew zero-weight index %d", idx)
+		}
+	}
+}
+
+func TestWeightedIndexDistribution(t *testing.T) {
+	rng := NewRand(5)
+	weights := []float64{1, 3}
+	counts := [2]int{}
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		counts[WeightedIndex(rng, weights)]++
+	}
+	frac := float64(counts[1]) / trials
+	if frac < 0.72 || frac > 0.78 {
+		t.Fatalf("index 1 drawn with frequency %v, want ~0.75", frac)
+	}
+}
+
+func TestWeightedIndexPanics(t *testing.T) {
+	rng := NewRand(1)
+	for name, w := range map[string][]float64{
+		"empty":    nil,
+		"negative": {1, -1},
+		"allzero":  {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			WeightedIndex(rng, w)
+		}()
+	}
+}
+
+func TestZipfWeightsDecreasing(t *testing.T) {
+	w := ZipfWeights(10, 1.1)
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("weights not strictly decreasing at %d: %v", i, w)
+		}
+	}
+	if w[0] != 1 {
+		t.Fatalf("first weight = %v, want 1", w[0])
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRand(9)
+	c1 := Split(parent)
+	c2 := Split(parent)
+	// The two children must be distinct streams.
+	same := true
+	for i := 0; i < 10; i++ {
+		if c1.Int63() != c2.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("Split produced identical child streams")
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := NewRand(21)
+	xs := make([]float64, 500)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 1
+		o.Add(xs[i])
+	}
+	if !almostEqual(o.Mean(), Mean(xs), 1e-9) {
+		t.Errorf("online mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEqual(o.Variance(), Variance(xs), 1e-9) {
+		t.Errorf("online variance %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	if o.Min() != Min(xs) || o.Max() != Max(xs) {
+		t.Error("online min/max mismatch")
+	}
+	if o.N() != len(xs) {
+		t.Errorf("N = %d", o.N())
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	rng := NewRand(22)
+	var a, b, whole Online
+	var xs []float64
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 10
+		xs = append(xs, x)
+		if i < 40 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		whole.Add(x)
+	}
+	a.Merge(b)
+	if !almostEqual(a.Mean(), whole.Mean(), 1e-9) || !almostEqual(a.Variance(), whole.Variance(), 1e-9) {
+		t.Fatalf("merged (%v, %v) vs whole (%v, %v)", a.Mean(), a.Variance(), whole.Mean(), whole.Variance())
+	}
+	var empty Online
+	empty.Merge(a)
+	if empty.N() != a.N() || !almostEqual(empty.Mean(), a.Mean(), 1e-12) {
+		t.Fatal("merge into empty accumulator failed")
+	}
+}
+
+// Property: online variance is always non-negative regardless of input order.
+func TestOnlineVarianceNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var o Online
+		for _, v := range sanitize(raw) {
+			if v > 1e100 || v < -1e100 {
+				continue // keep squared deviations finite
+			}
+			o.Add(v)
+		}
+		return o.Variance() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,420 @@
+// Package synth generates the synthetic stand-ins for the paper's two
+// proprietary datasets (Section 8.1): a TripAdvisor-like corpus — rich
+// semantics, taxonomy-enriched high-dimensional profiles — and a Yelp-like
+// corpus — more users, simpler semantics, usefulness votes on reviews. The
+// generators reproduce the statistical traits the paper's findings depend
+// on: Zipf-skewed group sizes, heavy group overlap, latent user communities
+// (so clustering has structure to find), score ranges rather than
+// categories, and per-destination ground-truth reviews with topics and
+// sentiment for the opinion-procurement experiments. See DESIGN.md §3 for
+// the substitution rationale.
+package synth
+
+import (
+	"fmt"
+	"math"
+
+	"podium/internal/opinions"
+	"podium/internal/profile"
+	"podium/internal/stats"
+	"podium/internal/taxonomy"
+)
+
+// Dataset bundles a generated user repository with its ground-truth reviews.
+type Dataset struct {
+	Name  string
+	Repo  *profile.Repository
+	Store *opinions.Store
+}
+
+// Config controls generation. Zero values select sensible defaults via
+// withDefaults; the TripAdvisorLike and YelpLike presets mirror the paper's
+// two corpora.
+type Config struct {
+	Name       string
+	Seed       int64
+	Users      int
+	Cities     int
+	AgeGroups  int
+	Archetypes int // latent user communities
+	// Destinations is the number of reviewable businesses.
+	Destinations int
+	// MeanReviewsPerUser controls activity volume.
+	MeanReviewsPerUser float64
+	// TopicVocab is the global topic vocabulary size; TopicsPerDest of them
+	// are prevalent per destination.
+	TopicVocab    int
+	TopicsPerDest int
+	MaxRating     int
+	// PerCityCategoryProps derives additional visitFreq properties per
+	// (category, city) pair — the dimensionality amplifier that pushes
+	// TripAdvisor-like profiles into the hundreds of properties.
+	PerCityCategoryProps bool
+	// EnrichTaxonomy applies the generalization rules of Section 3.1,
+	// deriving parent-category aggregates (Mexican → Latin → Food).
+	EnrichTaxonomy bool
+	// InferFunctionalCity applies the functional rule to livesIn,
+	// materializing the falsehood of all other cities (Example 3.2).
+	InferFunctionalCity bool
+	// UsefulnessVotes attaches usefulness votes to reviews (Yelp only).
+	UsefulnessVotes bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "synthetic"
+	}
+	if c.Users <= 0 {
+		c.Users = 500
+	}
+	if c.Cities <= 0 {
+		c.Cities = 20
+	}
+	if c.AgeGroups <= 0 {
+		c.AgeGroups = 5
+	}
+	if c.Archetypes <= 0 {
+		c.Archetypes = 8
+	}
+	if c.Destinations <= 0 {
+		c.Destinations = c.Users * 3
+	}
+	if c.MeanReviewsPerUser <= 0 {
+		c.MeanReviewsPerUser = 15
+	}
+	if c.TopicVocab <= 0 {
+		c.TopicVocab = 40
+	}
+	if c.TopicsPerDest <= 0 {
+		c.TopicsPerDest = 6
+	}
+	if c.MaxRating <= 0 {
+		c.MaxRating = 5
+	}
+	return c
+}
+
+// TripAdvisorLike mirrors the paper's TripAdvisor sample: 4,475 users
+// reviewing ~50K restaurants with rich, taxonomy-enriched, high-dimensional
+// profiles. users scales the corpus down for tests and benches (pass 0 for
+// the paper-scale default).
+func TripAdvisorLike(users int) Config {
+	if users <= 0 {
+		users = 4475
+	}
+	return Config{
+		Name:                 "tripadvisor-like",
+		Seed:                 1701,
+		Users:                users,
+		Cities:               40,
+		AgeGroups:            5,
+		Archetypes:           10,
+		Destinations:         users * 11, // ≈ 50K at paper scale
+		MeanReviewsPerUser:   22,
+		TopicVocab:           60,
+		TopicsPerDest:        7,
+		MaxRating:            5,
+		PerCityCategoryProps: true,
+		EnrichTaxonomy:       true,
+		InferFunctionalCity:  true,
+	}
+}
+
+// YelpLike mirrors the paper's Yelp Open Dataset subset: more users, fewer
+// and semantically simpler properties (no taxonomy enrichment, no
+// per-city aggregates), and usefulness votes. At paper scale: 60K users.
+func YelpLike(users int) Config {
+	if users <= 0 {
+		users = 60000
+	}
+	return Config{
+		Name:               "yelp-like",
+		Seed:               9091,
+		Users:              users,
+		Cities:             12,
+		AgeGroups:          0, // Yelp has no age data
+		Archetypes:         8,
+		Destinations:       users, // ≈ 52K at paper scale
+		MeanReviewsPerUser: 28,
+		TopicVocab:         30,
+		TopicsPerDest:      5,
+		MaxRating:          5,
+		UsefulnessVotes:    true,
+	}
+}
+
+// CuisineTaxonomy is the static category tree used by the generators and by
+// the taxonomy enrichment step: 26 leaf cuisines under 6 mid-level families
+// under the root "Food".
+func CuisineTaxonomy() *taxonomy.Taxonomy {
+	tax := taxonomy.New()
+	families := map[string][]string{
+		"Latin":         {"Mexican", "Brazilian", "Peruvian", "Argentinian"},
+		"Asian":         {"Japanese", "Chinese", "Thai", "Korean", "Vietnamese", "Indian"},
+		"European":      {"French", "Italian", "Greek", "Spanish", "German"},
+		"American":      {"Burgers", "BBQ", "Steakhouse", "Diner"},
+		"MiddleEastern": {"Lebanese", "Turkish", "Israeli"},
+		"Casual":        {"CheapEats", "FastFood", "Cafe", "Bakery"},
+	}
+	// Deterministic edge order.
+	for _, fam := range []string{"Latin", "Asian", "European", "American", "MiddleEastern", "Casual"} {
+		tax.MustAddIsA(fam, "Food")
+		for _, leaf := range families[fam] {
+			tax.MustAddIsA(leaf, fam)
+		}
+	}
+	return tax
+}
+
+type destination struct {
+	category string // leaf cuisine
+	city     int
+	quality  float64 // base quality on the rating scale
+	topics   []string
+}
+
+// Generate builds a dataset from the configuration. Generation is fully
+// deterministic in cfg.Seed.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.withDefaults()
+	rng := stats.NewRand(cfg.Seed)
+	tax := CuisineTaxonomy()
+	leaves := tax.Leaves()
+
+	// Zipf popularity for cities and categories: the skew behind the
+	// paper's observation that a few prevalent categories are shared by
+	// many users.
+	cityWeights := stats.ZipfWeights(cfg.Cities, 1.0)
+	catWeights := stats.ZipfWeights(len(leaves), 0.9)
+
+	// Global topic vocabulary.
+	topics := make([]string, cfg.TopicVocab)
+	for i := range topics {
+		topics[i] = fmt.Sprintf("topic-%02d", i)
+	}
+
+	// Destinations.
+	dests := make([]destination, cfg.Destinations)
+	destByCat := map[string][]int{}
+	for d := range dests {
+		cat := leaves[stats.WeightedIndex(rng, catWeights)]
+		city := stats.WeightedIndex(rng, cityWeights)
+		k := cfg.TopicsPerDest
+		if k > len(topics) {
+			k = len(topics)
+		}
+		var dt []string
+		for _, ti := range stats.SampleWithoutReplacement(rng, len(topics), k) {
+			dt = append(dt, topics[ti])
+		}
+		dests[d] = destination{
+			category: cat,
+			city:     city,
+			quality:  1.8 + 2.8*rng.Float64(),
+			topics:   dt,
+		}
+		destByCat[cat] = append(destByCat[cat], d)
+	}
+	// Zipf popularity *within* each category: a handful of destinations
+	// attract most reviews, giving the opinion experiments well-reviewed
+	// destinations to evaluate (the paper's 50 destinations average 90
+	// reviews each).
+	destPopByCat := map[string][]float64{}
+	for cat, pool := range destByCat {
+		destPopByCat[cat] = stats.ZipfWeights(len(pool), 1.1)
+	}
+
+	// Archetypes: peaky affinity over leaf categories plus a per-family
+	// rating disposition, so users of the same community both visit and
+	// judge similarly — the latent structure clustering should recover.
+	type archetype struct {
+		affinity    []float64 // over leaves
+		disposition map[string]float64
+		homeCity    int
+	}
+	arch := make([]archetype, cfg.Archetypes)
+	for a := range arch {
+		aff := make([]float64, len(leaves))
+		for i := range aff {
+			e := rng.ExpFloat64()
+			aff[i] = e * e // peaky
+		}
+		disp := map[string]float64{}
+		for _, fam := range []string{"Latin", "Asian", "European", "American", "MiddleEastern", "Casual"} {
+			disp[fam] = (rng.Float64()*2 - 1) * 1.2
+		}
+		arch[a] = archetype{affinity: aff, disposition: disp, homeCity: stats.WeightedIndex(rng, cityWeights)}
+	}
+	famOf := map[string]string{}
+	for _, leaf := range leaves {
+		famOf[leaf] = tax.Parents(leaf)[0]
+	}
+
+	repo := profile.NewRepository()
+	store := opinions.NewStore(cfg.MaxRating)
+	for d := range dests {
+		id := store.AddDestination(fmt.Sprintf("dest-%05d", d), dests[d].topics)
+		store.SetDestCategory(id, dests[d].category)
+	}
+
+	ageLabels := []string{"18-29", "30-39", "40-49", "50-64", "65+"}
+
+	for u := 0; u < cfg.Users; u++ {
+		uid := repo.AddUser(fmt.Sprintf("user-%05d", u))
+		a := arch[rng.Intn(cfg.Archetypes)]
+		// Home city: usually the archetype's (communities cluster
+		// geographically), sometimes an independent draw.
+		city := a.homeCity
+		if rng.Float64() < 0.35 {
+			city = stats.WeightedIndex(rng, cityWeights)
+		}
+		repo.MustSetScore(uid, "livesIn "+cityName(city), 1)
+		if cfg.AgeGroups > 0 {
+			g := rng.Intn(cfg.AgeGroups)
+			if g >= len(ageLabels) {
+				g = len(ageLabels) - 1
+			}
+			repo.MustSetScore(uid, "ageGroup "+ageLabels[g], 1)
+		}
+
+		// Activity volume: lognormal-ish around the configured mean.
+		nReviews := int(cfg.MeanReviewsPerUser * math.Exp(0.6*rng.NormFloat64()) / math.Exp(0.18))
+		if nReviews < 1 {
+			nReviews = 1
+		}
+
+		// Per-category accumulators for profile aggregates.
+		visits := map[string]int{}
+		ratingSum := map[string]float64{}
+		cityVisits := map[string]int{}        // "<cat>@<city>" when enabled
+		cityRatingSum := map[string]float64{} // parallel rating mass per key
+		var totalVisits int
+		var totalRating float64
+
+		reviewed := map[int]bool{}
+		for r := 0; r < nReviews; r++ {
+			// Pick a destination: archetype-driven category, Zipf fallback.
+			var d int
+			if rng.Float64() < 0.75 {
+				cat := leaves[stats.WeightedIndex(rng, a.affinity)]
+				pool := destByCat[cat]
+				if len(pool) == 0 {
+					d = rng.Intn(len(dests))
+				} else {
+					d = pool[stats.WeightedIndex(rng, destPopByCat[cat])]
+				}
+			} else {
+				d = rng.Intn(len(dests))
+			}
+			if reviewed[d] {
+				continue // one review per (user, destination)
+			}
+			reviewed[d] = true
+			dest := dests[d]
+			rating := clampRating(int(math.Round(dest.quality+a.disposition[famOf[dest.category]]+0.8*rng.NormFloat64())), cfg.MaxRating)
+
+			// Topic mentions: 1-3 of the destination's prevalent topics,
+			// sentiment correlated with the rating.
+			nTop := 1 + rng.Intn(3)
+			if nTop > len(dest.topics) {
+				nTop = len(dest.topics)
+			}
+			var mentions []opinions.TopicMention
+			for _, ti := range stats.SampleWithoutReplacement(rng, len(dest.topics), nTop) {
+				pPos := 1 / (1 + math.Exp(-(float64(rating) - float64(cfg.MaxRating)/2 - 0.5)))
+				mentions = append(mentions, opinions.TopicMention{
+					Topic:    dest.topics[ti],
+					Positive: rng.Float64() < pPos,
+				})
+			}
+			useful := 0
+			if cfg.UsefulnessVotes {
+				// Mainstream destinations attract more engagement.
+				useful = int(math.Exp(rng.NormFloat64())*catPopularity(catWeights, leaves, dest.category)*6) % 50
+			}
+			store.MustAddReview(opinions.Review{
+				User:   uid,
+				Dest:   opinions.DestID(d),
+				Rating: rating,
+				Topics: mentions,
+				Useful: useful,
+			})
+
+			visits[dest.category]++
+			ratingSum[dest.category] += float64(rating)
+			totalVisits++
+			totalRating += float64(rating)
+			if cfg.PerCityCategoryProps {
+				key := dest.category + "@" + cityName(dest.city)
+				cityVisits[key]++
+				cityRatingSum[key] += float64(rating)
+			}
+		}
+
+		if totalVisits == 0 {
+			continue
+		}
+		avgOverall := totalRating / float64(totalVisits)
+		for cat, n := range visits {
+			avgCat := ratingSum[cat] / float64(n)
+			// Average Rating, normalized by the user's overall average
+			// (Section 8.1): equal-to-own-average maps to 0.5.
+			repo.MustSetScore(uid, "avgRating "+cat, stats.Clamp(avgCat/(2*avgOverall), 0, 1))
+			// Visit Frequency: fraction of the user's visits in the category.
+			repo.MustSetScore(uid, "visitFreq "+cat, float64(n)/float64(totalVisits))
+			// Enthusiasm Level: fraction of rating points given to the
+			// category.
+			repo.MustSetScore(uid, "enthusiasm "+cat, ratingSum[cat]/totalRating)
+		}
+		// Per-(category, city) aggregates are the dimensionality amplifier:
+		// TripAdvisor derives many features per destination, which is what
+		// pushes the paper's corpus to thousands of groups.
+		for key, n := range cityVisits {
+			repo.MustSetScore(uid, "visitFreq "+key, float64(n)/float64(totalVisits))
+			repo.MustSetScore(uid, "avgRating "+key,
+				stats.Clamp(cityRatingSum[key]/float64(n)/(2*avgOverall), 0, 1))
+			repo.MustSetScore(uid, "enthusiasm "+key, cityRatingSum[key]/totalRating)
+		}
+	}
+
+	// Enrichment (Section 3.1).
+	var rules []taxonomy.Rule
+	if cfg.EnrichTaxonomy {
+		rules = append(rules,
+			taxonomy.GeneralizationRule{Prefix: "avgRating ", Tax: tax, Agg: taxonomy.AggMean},
+			taxonomy.GeneralizationRule{Prefix: "visitFreq ", Tax: tax, Agg: taxonomy.AggSumCapped},
+			taxonomy.GeneralizationRule{Prefix: "enthusiasm ", Tax: tax, Agg: taxonomy.AggSumCapped},
+		)
+	}
+	if cfg.InferFunctionalCity {
+		rules = append(rules, taxonomy.FunctionalRule{Prefix: "livesIn "})
+	}
+	if len(rules) > 0 {
+		if _, err := taxonomy.NewEngine(rules...).Run(repo); err != nil {
+			panic(err) // static rules over generated data cannot fail
+		}
+	}
+
+	return &Dataset{Name: cfg.Name, Repo: repo, Store: store}
+}
+
+func cityName(i int) string { return fmt.Sprintf("city-%02d", i) }
+
+func clampRating(r, max int) int {
+	if r < 1 {
+		return 1
+	}
+	if r > max {
+		return max
+	}
+	return r
+}
+
+func catPopularity(weights []float64, leaves []string, cat string) float64 {
+	for i, l := range leaves {
+		if l == cat {
+			return weights[i]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,126 @@
+package taxonomy
+
+import (
+	"sort"
+	"strings"
+
+	"podium/internal/profile"
+)
+
+// Rule mining. Section 3.1 of the paper notes that inference rules "can be
+// pre-specified as in RDF languages or derived via rule mining techniques"
+// (citing AMIE). This file implements the practical subset of that idea for
+// Podium's property vocabulary: discovering functional property families —
+// "<prefix> <variant>" Boolean properties where no user ever holds two
+// positive variants — so FunctionalRules can be applied without hand
+// curation.
+
+// MinedFunctional is one discovered functional property family.
+type MinedFunctional struct {
+	// Prefix is the shared label prefix including the separator
+	// (e.g. "livesIn ").
+	Prefix string
+	// Variants are the observed suffixes, sorted.
+	Variants []string
+	// Support is the number of users holding a positive variant.
+	Support int
+}
+
+// Rule converts the discovery into an applicable FunctionalRule.
+func (m MinedFunctional) Rule() FunctionalRule {
+	return FunctionalRule{Prefix: m.Prefix, Variants: m.Variants}
+}
+
+// MineFunctionalPrefixes scans the repository for property families that
+// behave functionally: labels sharing a "<prefix><sep><variant>" shape whose
+// scores are all Boolean and where no user has more than one positive
+// variant. minSupport filters families with too few positive holders to
+// trust (mined rules are statistical, not axioms — a single counterexample
+// user disqualifies a family, mirroring AMIE-style confidence 1.0 mining).
+func MineFunctionalPrefixes(repo *profile.Repository, sep string, minSupport int) []MinedFunctional {
+	if sep == "" {
+		sep = " "
+	}
+	cat := repo.Catalog()
+	// Group property IDs by prefix.
+	type family struct {
+		ids      []profile.PropertyID
+		variants []string
+	}
+	families := map[string]*family{}
+	for id := 0; id < cat.Len(); id++ {
+		label := cat.Label(profile.PropertyID(id))
+		i := strings.Index(label, sep)
+		if i <= 0 || i+len(sep) >= len(label) {
+			continue
+		}
+		prefix := label[:i+len(sep)]
+		f := families[prefix]
+		if f == nil {
+			f = &family{}
+			families[prefix] = f
+		}
+		f.ids = append(f.ids, profile.PropertyID(id))
+		f.variants = append(f.variants, label[i+len(sep):])
+	}
+
+	var out []MinedFunctional
+	prefixes := make([]string, 0, len(families))
+	for p := range families {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		f := families[prefix]
+		if len(f.ids) < 2 {
+			continue // one variant can't evidence mutual exclusion
+		}
+		support := 0
+		functional := true
+		for u := 0; u < repo.NumUsers() && functional; u++ {
+			positives := 0
+			for _, id := range f.ids {
+				s, ok := repo.Profile(profile.UserID(u)).Score(id)
+				if !ok {
+					continue
+				}
+				if s != 0 && s != 1 {
+					functional = false // not a Boolean family
+					break
+				}
+				if s == 1 {
+					positives++
+				}
+			}
+			if positives > 1 {
+				functional = false
+			}
+			if positives == 1 {
+				support++
+			}
+		}
+		if !functional || support < minSupport {
+			continue
+		}
+		variants := append([]string(nil), f.variants...)
+		sort.Strings(variants)
+		out = append(out, MinedFunctional{Prefix: prefix, Variants: variants, Support: support})
+	}
+	return out
+}
+
+// MineAndApplyFunctionalRules mines functional families and applies the
+// resulting rules, returning the discoveries and total derived scores — the
+// zero-curation enrichment path.
+func MineAndApplyFunctionalRules(repo *profile.Repository, sep string, minSupport int) ([]MinedFunctional, int, error) {
+	mined := MineFunctionalPrefixes(repo, sep, minSupport)
+	total := 0
+	for _, m := range mined {
+		n, err := m.Rule().Apply(repo)
+		total += n
+		if err != nil {
+			return mined, total, err
+		}
+	}
+	return mined, total, nil
+}

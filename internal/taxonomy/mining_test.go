@@ -1,0 +1,88 @@
+package taxonomy
+
+import (
+	"testing"
+
+	"podium/internal/profile"
+)
+
+func TestMineFunctionalPrefixesPaperExample(t *testing.T) {
+	// In Table 2, livesIn and ageGroup are Boolean and mutually exclusive
+	// per user; avgRating/visitFreq are numeric and must not be mined.
+	repo := profile.PaperExample()
+	mined := MineFunctionalPrefixes(repo, " ", 1)
+	byPrefix := map[string]MinedFunctional{}
+	for _, m := range mined {
+		byPrefix[m.Prefix] = m
+	}
+	lives, ok := byPrefix["livesIn "]
+	if !ok {
+		t.Fatalf("livesIn not mined; got %+v", mined)
+	}
+	if len(lives.Variants) != 4 || lives.Support != 5 {
+		t.Fatalf("livesIn mined as %+v", lives)
+	}
+	if _, ok := byPrefix["avgRating "]; ok {
+		t.Fatal("numeric avgRating family mined as functional")
+	}
+	if _, ok := byPrefix["visitFreq "]; ok {
+		t.Fatal("numeric visitFreq family mined as functional")
+	}
+	// ageGroup has a single variant in the fixture: not mineable evidence.
+	if _, ok := byPrefix["ageGroup "]; ok {
+		t.Fatal("single-variant family mined")
+	}
+}
+
+func TestMineFunctionalRejectsCounterexample(t *testing.T) {
+	repo := profile.NewRepository()
+	a := repo.AddUser("A")
+	repo.MustSetScore(a, "speaks English", 1)
+	repo.MustSetScore(a, "speaks French", 1) // two positives: not functional
+	b := repo.AddUser("B")
+	repo.MustSetScore(b, "speaks German", 1)
+	if mined := MineFunctionalPrefixes(repo, " ", 1); len(mined) != 0 {
+		t.Fatalf("multi-valued family mined: %+v", mined)
+	}
+}
+
+func TestMineFunctionalMinSupport(t *testing.T) {
+	repo := profile.NewRepository()
+	a := repo.AddUser("A")
+	repo.MustSetScore(a, "tier gold", 1)
+	repo.MustSetScore(a, "tier silver", 0)
+	if mined := MineFunctionalPrefixes(repo, " ", 2); len(mined) != 0 {
+		t.Fatalf("support-1 family passed minSupport=2: %+v", mined)
+	}
+	if mined := MineFunctionalPrefixes(repo, " ", 1); len(mined) != 1 {
+		t.Fatalf("family not mined at minSupport=1: %+v", mined)
+	}
+}
+
+func TestMineAndApplyFunctionalRules(t *testing.T) {
+	repo := profile.PaperExample()
+	mined, derived, err := MineAndApplyFunctionalRules(repo, " ", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mined) == 0 {
+		t.Fatal("nothing mined")
+	}
+	// livesIn inference: every user gains falsehoods for the other cities
+	// (15 total, as in the explicit-rule test).
+	if derived != 15 {
+		t.Fatalf("derived %d scores, want 15", derived)
+	}
+	id, _ := repo.Catalog().Lookup("livesIn NYC")
+	if s, ok := repo.Profile(0).Score(id); !ok || s != 0 {
+		t.Fatalf("Alice's livesIn NYC = %v,%v", s, ok)
+	}
+}
+
+func TestMinedRuleRoundTrip(t *testing.T) {
+	m := MinedFunctional{Prefix: "livesIn ", Variants: []string{"NYC", "Tokyo"}}
+	r := m.Rule()
+	if r.Prefix != "livesIn " || len(r.Variants) != 2 {
+		t.Fatalf("rule = %+v", r)
+	}
+}

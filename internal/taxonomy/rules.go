@@ -1,0 +1,222 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"podium/internal/profile"
+)
+
+// Rule derives new property scores from existing ones on a repository. Rules
+// never overwrite a score the user (or a previous rule) already has: explicit
+// data always dominates inferred data.
+type Rule interface {
+	// Apply enriches repo in place and returns the number of derived scores.
+	Apply(repo *profile.Repository) (derived int, err error)
+}
+
+// Aggregator combines the scores a user has for several child categories
+// into a score for their common ancestor.
+type Aggregator int
+
+const (
+	// AggMean averages the child scores — the right semantics for rating
+	// aggregates ("avgRating Latin" is the mean of the Latin cuisines'
+	// average ratings).
+	AggMean Aggregator = iota
+	// AggSumCapped sums the child scores, capped at 1 — the right semantics
+	// for frequency-of-visit fractions, which are additive across disjoint
+	// child categories.
+	AggSumCapped
+	// AggMax takes the maximum — the right semantics for Boolean properties
+	// ("visited Mexico" implies "visited Latin America").
+	AggMax
+)
+
+func (a Aggregator) String() string {
+	switch a {
+	case AggMean:
+		return "mean"
+	case AggSumCapped:
+		return "sum-capped"
+	case AggMax:
+		return "max"
+	}
+	return fmt.Sprintf("Aggregator(%d)", int(a))
+}
+
+func (a Aggregator) combine(scores []float64) float64 {
+	switch a {
+	case AggMean:
+		var s float64
+		for _, x := range scores {
+			s += x
+		}
+		return s / float64(len(scores))
+	case AggSumCapped:
+		var s float64
+		for _, x := range scores {
+			s += x
+		}
+		if s > 1 {
+			s = 1
+		}
+		return s
+	case AggMax:
+		m := scores[0]
+		for _, x := range scores[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	panic("taxonomy: unknown aggregator")
+}
+
+// GeneralizationRule derives properties for taxonomy ancestors (Example 3.2:
+// from "avgRating Mexican" derive "avgRating Latin"). Properties are matched
+// by a label prefix: a property "<Prefix><category>" whose category appears
+// in the taxonomy contributes its score to "<Prefix><ancestor>" for every
+// ancestor, combined with the rule's aggregator across contributing children.
+type GeneralizationRule struct {
+	Prefix string
+	Tax    *Taxonomy
+	Agg    Aggregator
+}
+
+// Apply implements Rule.
+func (g GeneralizationRule) Apply(repo *profile.Repository) (int, error) {
+	if g.Tax == nil {
+		return 0, fmt.Errorf("taxonomy: GeneralizationRule %q has nil taxonomy", g.Prefix)
+	}
+	cat := repo.Catalog()
+	// Snapshot the original property IDs matching the prefix: the rule must
+	// not feed derived properties back into itself (double counting).
+	type srcProp struct {
+		id       profile.PropertyID
+		category string
+	}
+	var sources []srcProp
+	for id := 0; id < cat.Len(); id++ {
+		label := cat.Label(profile.PropertyID(id))
+		if !strings.HasPrefix(label, g.Prefix) {
+			continue
+		}
+		sources = append(sources, srcProp{profile.PropertyID(id), strings.TrimPrefix(label, g.Prefix)})
+	}
+	derived := 0
+	for u := 0; u < repo.NumUsers(); u++ {
+		uid := profile.UserID(u)
+		prof := repo.Profile(uid)
+		// ancestor -> contributing child scores
+		contrib := map[string][]float64{}
+		for _, sp := range sources {
+			s, ok := prof.Score(sp.id)
+			if !ok {
+				continue
+			}
+			for _, anc := range g.Tax.Ancestors(sp.category) {
+				contrib[anc] = append(contrib[anc], s)
+			}
+		}
+		ancestors := make([]string, 0, len(contrib))
+		for anc := range contrib {
+			ancestors = append(ancestors, anc)
+		}
+		sort.Strings(ancestors)
+		for _, anc := range ancestors {
+			label := g.Prefix + anc
+			id := cat.Intern(label)
+			if prof.Has(id) {
+				continue // explicit or previously derived data dominates
+			}
+			if err := repo.SetScoreID(uid, id, g.Agg.combine(contrib[anc])); err != nil {
+				return derived, fmt.Errorf("taxonomy: deriving %q: %w", label, err)
+			}
+			derived++
+		}
+	}
+	return derived, nil
+}
+
+// FunctionalRule captures functional properties (Example 3.2: livesIn). All
+// properties sharing the prefix are mutually exclusive Boolean variants; when
+// a user has one variant with score 1, the falsehood (score 0) of every other
+// variant is inferred. Variants are discovered from the catalog unless an
+// explicit list is supplied.
+type FunctionalRule struct {
+	Prefix   string
+	Variants []string // optional explicit variant suffixes
+}
+
+// Apply implements Rule.
+func (f FunctionalRule) Apply(repo *profile.Repository) (int, error) {
+	cat := repo.Catalog()
+	var ids []profile.PropertyID
+	if len(f.Variants) > 0 {
+		for _, v := range f.Variants {
+			ids = append(ids, cat.Intern(f.Prefix+v))
+		}
+	} else {
+		for id := 0; id < cat.Len(); id++ {
+			if strings.HasPrefix(cat.Label(profile.PropertyID(id)), f.Prefix) {
+				ids = append(ids, profile.PropertyID(id))
+			}
+		}
+	}
+	derived := 0
+	for u := 0; u < repo.NumUsers(); u++ {
+		uid := profile.UserID(u)
+		prof := repo.Profile(uid)
+		holds := false
+		for _, id := range ids {
+			if s, ok := prof.Score(id); ok && s == 1 {
+				holds = true
+				break
+			}
+		}
+		if !holds {
+			continue // open world: without a positive variant nothing follows
+		}
+		for _, id := range ids {
+			if prof.Has(id) {
+				continue
+			}
+			if err := repo.SetScoreID(uid, id, 0); err != nil {
+				return derived, fmt.Errorf("taxonomy: functional %q: %w", f.Prefix, err)
+			}
+			derived++
+		}
+	}
+	return derived, nil
+}
+
+// Engine applies an ordered list of rules in one pass each. The rules Podium
+// uses are designed to be closed after a single ordered pass (generalization
+// propagates to all transitive ancestors at once), so no fixpoint iteration
+// is needed; Run reports the per-rule derivation counts for observability.
+type Engine struct {
+	rules []Rule
+}
+
+// NewEngine builds an engine over the given rules, applied in order.
+func NewEngine(rules ...Rule) *Engine { return &Engine{rules: rules} }
+
+// Add appends a rule.
+func (e *Engine) Add(r Rule) { e.rules = append(e.rules, r) }
+
+// Run enriches the repository with every rule and returns how many scores
+// each rule derived.
+func (e *Engine) Run(repo *profile.Repository) ([]int, error) {
+	counts := make([]int, len(e.rules))
+	for i, r := range e.rules {
+		n, err := r.Apply(repo)
+		counts[i] = n
+		if err != nil {
+			return counts, fmt.Errorf("taxonomy: rule %d: %w", i, err)
+		}
+	}
+	return counts, nil
+}

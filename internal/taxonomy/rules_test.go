@@ -1,0 +1,236 @@
+package taxonomy
+
+import (
+	"math"
+	"testing"
+
+	"podium/internal/profile"
+)
+
+func score(t *testing.T, repo *profile.Repository, u profile.UserID, label string) float64 {
+	t.Helper()
+	id, ok := repo.Catalog().Lookup(label)
+	if !ok {
+		t.Fatalf("property %q not interned", label)
+	}
+	s, ok := repo.Profile(u).Score(id)
+	if !ok {
+		t.Fatalf("user %d lacks %q", u, label)
+	}
+	return s
+}
+
+func hasProp(repo *profile.Repository, u profile.UserID, label string) bool {
+	id, ok := repo.Catalog().Lookup(label)
+	if !ok {
+		return false
+	}
+	return repo.Profile(u).Has(id)
+}
+
+func TestGeneralizationMean(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	repo := profile.NewRepository()
+	u := repo.AddUser("A")
+	repo.MustSetScore(u, "avgRating Mexican", 0.9)
+	repo.MustSetScore(u, "avgRating Brazilian", 0.5)
+	repo.MustSetScore(u, "avgRating Japanese", 0.1)
+
+	n, err := GeneralizationRule{Prefix: "avgRating ", Tax: tax, Agg: AggMean}.Apply(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived: Latin, Asian, World for user A.
+	if n != 3 {
+		t.Fatalf("derived %d, want 3", n)
+	}
+	if got := score(t, repo, u, "avgRating Latin"); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Latin = %v, want 0.7", got)
+	}
+	if got := score(t, repo, u, "avgRating Asian"); got != 0.1 {
+		t.Fatalf("Asian = %v, want 0.1", got)
+	}
+	// World aggregates the three leaves: mean(0.9, 0.5, 0.1) = 0.5.
+	if got := score(t, repo, u, "avgRating World"); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("World = %v, want 0.5", got)
+	}
+}
+
+func TestGeneralizationSumCapped(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	repo := profile.NewRepository()
+	u := repo.AddUser("A")
+	repo.MustSetScore(u, "visitFreq Mexican", 0.7)
+	repo.MustSetScore(u, "visitFreq Brazilian", 0.6)
+
+	if _, err := (GeneralizationRule{Prefix: "visitFreq ", Tax: tax, Agg: AggSumCapped}).Apply(repo); err != nil {
+		t.Fatal(err)
+	}
+	if got := score(t, repo, u, "visitFreq Latin"); got != 1 {
+		t.Fatalf("Latin = %v, want 1 (capped)", got)
+	}
+}
+
+func TestGeneralizationMax(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	repo := profile.NewRepository()
+	u := repo.AddUser("A")
+	repo.MustSetScore(u, "visited Mexican", 1)
+	repo.MustSetScore(u, "visited Japanese", 0)
+
+	if _, err := (GeneralizationRule{Prefix: "visited ", Tax: tax, Agg: AggMax}).Apply(repo); err != nil {
+		t.Fatal(err)
+	}
+	if got := score(t, repo, u, "visited World"); got != 1 {
+		t.Fatalf("World = %v, want 1", got)
+	}
+	if got := score(t, repo, u, "visited Asian"); got != 0 {
+		t.Fatalf("Asian = %v, want 0", got)
+	}
+}
+
+func TestGeneralizationDoesNotOverwriteExplicit(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	repo := profile.NewRepository()
+	u := repo.AddUser("A")
+	repo.MustSetScore(u, "avgRating Mexican", 0.9)
+	repo.MustSetScore(u, "avgRating Latin", 0.2) // explicit, must survive
+
+	if _, err := (GeneralizationRule{Prefix: "avgRating ", Tax: tax, Agg: AggMean}).Apply(repo); err != nil {
+		t.Fatal(err)
+	}
+	if got := score(t, repo, u, "avgRating Latin"); got != 0.2 {
+		t.Fatalf("explicit Latin overwritten: %v", got)
+	}
+}
+
+func TestGeneralizationSkipsUsersWithoutSources(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	repo := profile.NewRepository()
+	a := repo.AddUser("A")
+	b := repo.AddUser("B")
+	repo.MustSetScore(a, "avgRating Mexican", 0.9)
+	repo.MustSetScore(b, "other prop", 0.5)
+
+	if _, err := (GeneralizationRule{Prefix: "avgRating ", Tax: tax, Agg: AggMean}).Apply(repo); err != nil {
+		t.Fatal(err)
+	}
+	if hasProp(repo, b, "avgRating Latin") {
+		t.Fatal("user without sources was enriched (open world violated)")
+	}
+}
+
+func TestGeneralizationIgnoresDerivedSources(t *testing.T) {
+	// Applying the rule twice must not derive from its own output.
+	tax := cuisineTaxonomy(t)
+	repo := profile.NewRepository()
+	u := repo.AddUser("A")
+	repo.MustSetScore(u, "avgRating Mexican", 0.8)
+	rule := GeneralizationRule{Prefix: "avgRating ", Tax: tax, Agg: AggMean}
+	if _, err := rule.Apply(repo); err != nil {
+		t.Fatal(err)
+	}
+	firstWorld := score(t, repo, u, "avgRating World")
+	n, err := rule.Apply(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("second application derived %d new scores", n)
+	}
+	if got := score(t, repo, u, "avgRating World"); got != firstWorld {
+		t.Fatalf("World changed on re-application: %v vs %v", got, firstWorld)
+	}
+}
+
+func TestGeneralizationNilTaxonomy(t *testing.T) {
+	repo := profile.NewRepository()
+	if _, err := (GeneralizationRule{Prefix: "p ", Agg: AggMean}).Apply(repo); err == nil {
+		t.Fatal("nil taxonomy accepted")
+	}
+}
+
+func TestFunctionalRuleInfersFalsehood(t *testing.T) {
+	// Example 3.2: livesIn is functional; Alice livesIn Tokyo implies
+	// livesIn X = 0 for every other known city.
+	repo := profile.PaperExample()
+	n, err := FunctionalRule{Prefix: "livesIn "}.Apply(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 cities; each of the 5 users holds one and gains 3 falsehoods.
+	if n != 15 {
+		t.Fatalf("derived %d, want 15", n)
+	}
+	alice := profile.UserID(0)
+	if got := score(t, repo, alice, "livesIn NYC"); got != 0 {
+		t.Fatalf("livesIn NYC = %v, want 0", got)
+	}
+	if got := score(t, repo, alice, "livesIn Tokyo"); got != 1 {
+		t.Fatalf("livesIn Tokyo = %v, want 1", got)
+	}
+}
+
+func TestFunctionalRuleOpenWorldWithoutPositive(t *testing.T) {
+	repo := profile.NewRepository()
+	a := repo.AddUser("A")
+	b := repo.AddUser("B")
+	repo.MustSetScore(a, "livesIn Tokyo", 1)
+	repo.MustSetScore(b, "unrelated", 0.5)
+
+	if _, err := (FunctionalRule{Prefix: "livesIn "}).Apply(repo); err != nil {
+		t.Fatal(err)
+	}
+	// B has no residence: nothing may be inferred.
+	if hasProp(repo, b, "livesIn Tokyo") {
+		t.Fatal("falsehood inferred for user with no positive variant")
+	}
+}
+
+func TestFunctionalRuleExplicitVariants(t *testing.T) {
+	repo := profile.NewRepository()
+	a := repo.AddUser("A")
+	repo.MustSetScore(a, "livesIn Tokyo", 1)
+
+	rule := FunctionalRule{Prefix: "livesIn ", Variants: []string{"Tokyo", "NYC", "Paris"}}
+	n, err := rule.Apply(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("derived %d, want 2", n)
+	}
+	if got := score(t, repo, a, "livesIn Paris"); got != 0 {
+		t.Fatalf("livesIn Paris = %v", got)
+	}
+}
+
+func TestEngineRunsRulesInOrder(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	repo := profile.NewRepository()
+	u := repo.AddUser("A")
+	repo.MustSetScore(u, "avgRating Mexican", 0.9)
+	repo.MustSetScore(u, "livesIn Tokyo", 1)
+	repo.MustSetScore(u, "livesIn NYC", 0) // known falsehood stays
+
+	eng := NewEngine(
+		GeneralizationRule{Prefix: "avgRating ", Tax: tax, Agg: AggMean},
+	)
+	eng.Add(FunctionalRule{Prefix: "livesIn "})
+	counts, err := eng.Run(repo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 2 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if counts[0] != 2 { // Latin, World
+		t.Fatalf("generalization derived %d, want 2", counts[0])
+	}
+	if counts[1] != 0 { // NYC already known false; no other cities interned
+		t.Fatalf("functional derived %d, want 0", counts[1])
+	}
+	if got := score(t, repo, u, "livesIn NYC"); got != 0 {
+		t.Fatalf("explicit falsehood overwritten: %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+// Package taxonomy implements the profile-enrichment substrate of Section 3.1
+// of the paper: a category taxonomy (e.g. Mexican cuisine isA Latin cuisine)
+// together with inference rules that derive new properties from existing
+// ones — generalization rules that propagate aggregates up the taxonomy, and
+// functional rules that infer the falsehood of mutually exclusive Boolean
+// properties (Example 3.2). All remaining absences follow the open-world
+// assumption and are left untouched.
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Taxonomy is a directed acyclic graph of category names related by isA
+// edges (child isA parent). Multiple parents are allowed (a cuisine may be
+// both "Latin" and "Spicy").
+type Taxonomy struct {
+	parents  map[string][]string
+	children map[string][]string
+}
+
+// New returns an empty taxonomy.
+func New() *Taxonomy {
+	return &Taxonomy{
+		parents:  make(map[string][]string),
+		children: make(map[string][]string),
+	}
+}
+
+// AddIsA records that child isA parent. It returns an error when the edge
+// would create a cycle (which would make generalization non-terminating) or
+// when child == parent. Duplicate edges are ignored.
+func (t *Taxonomy) AddIsA(child, parent string) error {
+	if child == parent {
+		return fmt.Errorf("taxonomy: %q cannot be its own parent", child)
+	}
+	for _, p := range t.parents[child] {
+		if p == parent {
+			return nil
+		}
+	}
+	if t.reaches(parent, child) {
+		return fmt.Errorf("taxonomy: edge %q isA %q would create a cycle", child, parent)
+	}
+	t.parents[child] = append(t.parents[child], parent)
+	t.children[parent] = append(t.children[parent], child)
+	return nil
+}
+
+// MustAddIsA is AddIsA for static taxonomy construction.
+func (t *Taxonomy) MustAddIsA(child, parent string) {
+	if err := t.AddIsA(child, parent); err != nil {
+		panic(err)
+	}
+}
+
+// reaches reports whether dst is reachable from src via isA edges.
+func (t *Taxonomy) reaches(src, dst string) bool {
+	if src == dst {
+		return true
+	}
+	seen := map[string]bool{src: true}
+	stack := []string{src}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range t.parents[cur] {
+			if p == dst {
+				return true
+			}
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return false
+}
+
+// Parents returns the direct parents of cat in insertion order.
+func (t *Taxonomy) Parents(cat string) []string {
+	return append([]string(nil), t.parents[cat]...)
+}
+
+// Children returns the direct children of cat in insertion order.
+func (t *Taxonomy) Children(cat string) []string {
+	return append([]string(nil), t.children[cat]...)
+}
+
+// Ancestors returns every category transitively reachable from cat via isA
+// edges, deduplicated and sorted for determinism. cat itself is excluded.
+func (t *Taxonomy) Ancestors(cat string) []string {
+	seen := map[string]bool{}
+	var visit func(string)
+	visit = func(c string) {
+		for _, p := range t.parents[c] {
+			if !seen[p] {
+				seen[p] = true
+				visit(p)
+			}
+		}
+	}
+	visit(cat)
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Categories returns every category mentioned in the taxonomy, sorted.
+func (t *Taxonomy) Categories() []string {
+	seen := map[string]bool{}
+	for c, ps := range t.parents {
+		seen[c] = true
+		for _, p := range ps {
+			seen[p] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Roots returns the categories with no parents, sorted.
+func (t *Taxonomy) Roots() []string {
+	var out []string
+	for _, c := range t.Categories() {
+		if len(t.parents[c]) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Leaves returns the categories with no children, sorted.
+func (t *Taxonomy) Leaves() []string {
+	var out []string
+	for _, c := range t.Categories() {
+		if len(t.children[c]) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

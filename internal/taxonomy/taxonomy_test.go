@@ -1,0 +1,119 @@
+package taxonomy
+
+import (
+	"testing"
+)
+
+func cuisineTaxonomy(t *testing.T) *Taxonomy {
+	t.Helper()
+	tax := New()
+	tax.MustAddIsA("Mexican", "Latin")
+	tax.MustAddIsA("Brazilian", "Latin")
+	tax.MustAddIsA("Latin", "World")
+	tax.MustAddIsA("Japanese", "Asian")
+	tax.MustAddIsA("Asian", "World")
+	return tax
+}
+
+func TestAddIsARejectsSelfLoop(t *testing.T) {
+	tax := New()
+	if err := tax.AddIsA("X", "X"); err == nil {
+		t.Fatal("self loop accepted")
+	}
+}
+
+func TestAddIsARejectsCycle(t *testing.T) {
+	tax := New()
+	tax.MustAddIsA("A", "B")
+	tax.MustAddIsA("B", "C")
+	if err := tax.AddIsA("C", "A"); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestAddIsADuplicateIgnored(t *testing.T) {
+	tax := New()
+	tax.MustAddIsA("A", "B")
+	if err := tax.AddIsA("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tax.Parents("A"); len(got) != 1 {
+		t.Fatalf("parents = %v", got)
+	}
+}
+
+func TestAncestorsTransitive(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	got := tax.Ancestors("Mexican")
+	want := []string{"Latin", "World"}
+	if len(got) != len(want) {
+		t.Fatalf("Ancestors(Mexican) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ancestors(Mexican) = %v, want %v", got, want)
+		}
+	}
+	if got := tax.Ancestors("World"); len(got) != 0 {
+		t.Fatalf("Ancestors(World) = %v, want empty", got)
+	}
+	if got := tax.Ancestors("unheard-of"); len(got) != 0 {
+		t.Fatalf("Ancestors of unknown = %v, want empty", got)
+	}
+}
+
+func TestAncestorsDiamond(t *testing.T) {
+	// A isA B, A isA C, B isA D, C isA D: D must appear exactly once.
+	tax := New()
+	tax.MustAddIsA("A", "B")
+	tax.MustAddIsA("A", "C")
+	tax.MustAddIsA("B", "D")
+	tax.MustAddIsA("C", "D")
+	got := tax.Ancestors("A")
+	if len(got) != 3 { // B, C, D
+		t.Fatalf("Ancestors(A) = %v", got)
+	}
+}
+
+func TestRootsAndLeaves(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	roots := tax.Roots()
+	if len(roots) != 1 || roots[0] != "World" {
+		t.Fatalf("Roots = %v", roots)
+	}
+	leaves := tax.Leaves()
+	want := map[string]bool{"Mexican": true, "Brazilian": true, "Japanese": true}
+	if len(leaves) != 3 {
+		t.Fatalf("Leaves = %v", leaves)
+	}
+	for _, l := range leaves {
+		if !want[l] {
+			t.Fatalf("unexpected leaf %q", l)
+		}
+	}
+}
+
+func TestChildrenParents(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	ch := tax.Children("Latin")
+	if len(ch) != 2 {
+		t.Fatalf("Children(Latin) = %v", ch)
+	}
+	p := tax.Parents("Mexican")
+	if len(p) != 1 || p[0] != "Latin" {
+		t.Fatalf("Parents(Mexican) = %v", p)
+	}
+}
+
+func TestCategoriesSorted(t *testing.T) {
+	tax := cuisineTaxonomy(t)
+	cats := tax.Categories()
+	if len(cats) != 6 {
+		t.Fatalf("Categories = %v", cats)
+	}
+	for i := 1; i < len(cats); i++ {
+		if cats[i] <= cats[i-1] {
+			t.Fatalf("Categories not sorted: %v", cats)
+		}
+	}
+}

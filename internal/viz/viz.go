@@ -1,0 +1,184 @@
+// Package viz renders experiment tables as standalone SVG charts — the
+// grouped-bar form of the paper's Figure 3 and the line form of its
+// scalability figures (5 and 6) — using nothing but the standard library.
+// cmd/podium-bench writes these next to its text tables so a reproduction
+// run produces figures, not just rows.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"podium/internal/experiments"
+)
+
+// Palette for series fills; cycled when a table has more rows.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+	"#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+}
+
+const (
+	chartWidth   = 920
+	chartHeight  = 420
+	marginLeft   = 60
+	marginRight  = 180 // legend gutter
+	marginTop    = 50
+	marginBottom = 70
+)
+
+// GroupedBars renders the table as a grouped bar chart: one cluster per
+// metric column, one bar per row (algorithm) within each cluster — the shape
+// of the paper's Figure 3 panels. Values are drawn as given; pass a
+// Normalized table for the paper's presentation.
+func GroupedBars(w io.Writer, t *experiments.Table) error {
+	if len(t.Rows) == 0 || len(t.Metrics) == 0 {
+		return fmt.Errorf("viz: empty table %q", t.Title)
+	}
+	maxV := 0.0
+	for _, r := range t.Rows {
+		for _, m := range t.Metrics {
+			if v := r.Get(m); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	var b strings.Builder
+	openSVG(&b, t.Title)
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+
+	// Y axis with four gridlines.
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		y := float64(marginTop) + plotH*(1-frac)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#666">%.2f</text>`+"\n",
+			marginLeft-6, y+4, maxV*frac)
+	}
+
+	clusterW := plotW / float64(len(t.Metrics))
+	barW := clusterW * 0.8 / float64(len(t.Rows))
+	for mi, m := range t.Metrics {
+		x0 := float64(marginLeft) + clusterW*float64(mi) + clusterW*0.1
+		for ri, r := range t.Rows {
+			v := r.Get(m)
+			h := plotH * v / maxV
+			x := x0 + barW*float64(ri)
+			y := float64(marginTop) + plotH - h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s — %s: %.4g</title></rect>`+"\n",
+				x, y, barW*0.92, h, palette[ri%len(palette)], esc(r.Name), esc(m), v)
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" fill="#333">%s</text>`+"\n",
+			x0+clusterW*0.4, chartHeight-marginBottom+18, esc(shorten(m, 22)))
+	}
+	legend(&b, rowNames(t))
+	closeSVG(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Lines renders the table as a line chart: the x axis is the row sequence
+// (sweep points), one line per metric column — the shape of the paper's
+// Figures 5 and 6.
+func Lines(w io.Writer, t *experiments.Table) error {
+	if len(t.Rows) < 2 || len(t.Metrics) == 0 {
+		return fmt.Errorf("viz: line chart needs at least two rows in %q", t.Title)
+	}
+	maxV := 0.0
+	for _, r := range t.Rows {
+		for _, m := range t.Metrics {
+			if v := r.Get(m); v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	openSVG(&b, t.Title)
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	for i := 0; i <= 4; i++ {
+		frac := float64(i) / 4
+		y := float64(marginTop) + plotH*(1-frac)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" text-anchor="end" fill="#666">%.3g</text>`+"\n",
+			marginLeft-6, y+4, maxV*frac)
+	}
+	step := plotW / float64(len(t.Rows)-1)
+	for mi, m := range t.Metrics {
+		var pts []string
+		for ri, r := range t.Rows {
+			x := float64(marginLeft) + step*float64(ri)
+			y := float64(marginTop) + plotH*(1-r.Get(m)/maxV)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), palette[mi%len(palette)])
+		for ri, r := range t.Rows {
+			x := float64(marginLeft) + step*float64(ri)
+			y := float64(marginTop) + plotH*(1-r.Get(m)/maxV)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"><title>%s — %s: %.4g</title></circle>`+"\n",
+				x, y, palette[mi%len(palette)], esc(r.Name), esc(m), r.Get(m))
+		}
+	}
+	for ri, r := range t.Rows {
+		x := float64(marginLeft) + step*float64(ri)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" fill="#333">%s</text>`+"\n",
+			x, chartHeight-marginBottom+18, esc(shorten(r.Name, 14)))
+	}
+	legend(&b, t.Metrics)
+	closeSVG(&b)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func openSVG(b *strings.Builder, title string) {
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	fmt.Fprintf(b, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartWidth, chartHeight)
+	fmt.Fprintf(b, `<text x="%d" y="24" font-size="15" font-weight="bold" fill="#222">%s</text>`+"\n",
+		marginLeft, esc(title))
+}
+
+func legend(b *strings.Builder, names []string) {
+	x := chartWidth - marginRight + 16
+	for i, name := range names {
+		y := marginTop + 18*i
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n",
+			x, y, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="12" fill="#333">%s</text>`+"\n",
+			x+18, y+10, esc(shorten(name, 20)))
+	}
+}
+
+func closeSVG(b *strings.Builder) { b.WriteString("</svg>\n") }
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func shorten(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func rowNames(t *experiments.Table) []string {
+	names := make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		names[i] = r.Name
+	}
+	return names
+}

@@ -1,0 +1,153 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"podium/internal/experiments"
+)
+
+func sampleTable() *experiments.Table {
+	return &experiments.Table{
+		Title:   "Intrinsic diversity — test",
+		Metrics: []string{"Total Score", "Top-200 Coverage"},
+		Rows: []experiments.Row{
+			{Name: "Podium", Values: map[string]float64{"Total Score": 1.0, "Top-200 Coverage": 1.0}},
+			{Name: "Random", Values: map[string]float64{"Total Score": 0.85, "Top-200 Coverage": 0.9}},
+			{Name: "Clustering", Values: map[string]float64{"Total Score": 0.78, "Top-200 Coverage": 0.83}},
+		},
+	}
+}
+
+func TestGroupedBarsWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := GroupedBars(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	// One bar per (row, metric) pair.
+	if got := strings.Count(out, "<rect"); got < 6 {
+		t.Fatalf("rect count = %d, want >= 6 bars", got)
+	}
+	for _, want := range []string{"Podium", "Random", "Clustering", "Total Score"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+}
+
+func TestGroupedBarsEmptyTable(t *testing.T) {
+	if err := GroupedBars(&bytes.Buffer{}, &experiments.Table{Title: "empty"}); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestGroupedBarsAllZeroValues(t *testing.T) {
+	tab := &experiments.Table{
+		Title:   "zeros",
+		Metrics: []string{"m"},
+		Rows:    []experiments.Row{{Name: "a", Values: map[string]float64{"m": 0}}},
+	}
+	var buf bytes.Buffer
+	if err := GroupedBars(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestLinesWellFormed(t *testing.T) {
+	tab := &experiments.Table{
+		Title:   "Scalability — test",
+		Metrics: []string{"Podium", "Clustering"},
+		Rows: []experiments.Row{
+			{Name: "|U|=250", Values: map[string]float64{"Podium": 0.001, "Clustering": 0.01}},
+			{Name: "|U|=500", Values: map[string]float64{"Podium": 0.002, "Clustering": 0.03}},
+			{Name: "|U|=1000", Values: map[string]float64{"Podium": 0.004, "Clustering": 0.07}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Lines(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("polyline count = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Fatalf("circle count = %d, want 6", got)
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+}
+
+func TestLinesNeedsTwoRows(t *testing.T) {
+	tab := &experiments.Table{
+		Title:   "one point",
+		Metrics: []string{"m"},
+		Rows:    []experiments.Row{{Name: "a", Values: map[string]float64{"m": 1}}},
+	}
+	if err := Lines(&bytes.Buffer{}, tab); err == nil {
+		t.Fatal("single-row line chart accepted")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	tab := &experiments.Table{
+		Title:   `quotes " & <tags>`,
+		Metrics: []string{"a<b"},
+		Rows: []experiments.Row{
+			{Name: "x&y", Values: map[string]float64{"a<b": 1}},
+			{Name: "z", Values: map[string]float64{"a<b": 0.5}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := GroupedBars(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "a<b") || strings.Contains(out, "x&y") {
+		t.Fatal("unescaped content in SVG")
+	}
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML after escaping: %v", err)
+		}
+	}
+}
+
+// End-to-end: a real experiment table renders.
+func TestRendersRealTable(t *testing.T) {
+	tab := experiments.RunApproxRatio(experiments.ApproxConfig{Users: 15, Budget: 3, Seed: 1, Repetitions: 2})
+	var buf bytes.Buffer
+	if err := GroupedBars(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty output")
+	}
+}
