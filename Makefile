@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-engine
+
+# check is the PR gate: vet, build, full tests, and a race-detector pass over
+# the concurrent selection engine and its adjacency structures.
+check:
+	./scripts/check.sh
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/groups
+
+# bench-engine regenerates BENCH_selection.json (the selection-engine perf
+# trajectory; see DESIGN.md §7).
+bench-engine:
+	$(GO) run ./cmd/podium-bench -suite engine

@@ -182,19 +182,47 @@ func benchIndex(b *testing.B) *groups.Index {
 // BenchmarkGroupBuild times the offline grouping module.
 func BenchmarkGroupBuild(b *testing.B) {
 	ta, _ := benchDatasets()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		groups.Build(ta.Repo, groups.Config{K: 3})
 	}
 }
 
-// BenchmarkGreedyEager times Algorithm 1 proper.
+// BenchmarkGreedyEager times Algorithm 1 proper (the CSR engine).
 func BenchmarkGreedyEager(b *testing.B) {
 	ix := benchIndex(b)
 	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, benchBudget)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Greedy(inst, benchBudget)
+	}
+}
+
+// BenchmarkGreedyReference times the preserved seed implementation, the
+// fixed baseline the engine's allocation and speedup wins are measured
+// against (see cmd/podium-bench engine / BENCH_selection.json).
+func BenchmarkGreedyReference(b *testing.B) {
+	ix := benchIndex(b)
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, benchBudget)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ReferenceGreedy(inst, benchBudget, nil)
+	}
+}
+
+// BenchmarkGreedyParallel times the engine with every CPU's worth of
+// workers; output is bit-identical to BenchmarkGreedyEager's.
+func BenchmarkGreedyParallel(b *testing.B) {
+	ix := benchIndex(b)
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, benchBudget)
+	opt := core.DefaultParallel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.GreedyOpts(inst, benchBudget, opt)
 	}
 }
 
@@ -202,6 +230,7 @@ func BenchmarkGreedyEager(b *testing.B) {
 func BenchmarkGreedyLazy(b *testing.B) {
 	ix := benchIndex(b)
 	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, benchBudget)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.LazyGreedy(inst, benchBudget)
@@ -212,15 +241,33 @@ func BenchmarkGreedyLazy(b *testing.B) {
 func BenchmarkGreedyEBS(b *testing.B) {
 	ix := benchIndex(b)
 	inst := groups.NewInstance(ix, groups.WeightEBS, groups.CoverSingle, benchBudget)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.Greedy(inst, benchBudget)
 	}
 }
 
+// BenchmarkGreedyCustomRestricted times the CUSTOM-DIVERSITY path, whose
+// refined population exercises the engine's compacted candidate list.
+func BenchmarkGreedyCustomRestricted(b *testing.B) {
+	ix := benchIndex(b)
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, benchBudget)
+	top := ix.TopKBySize(6)
+	fb := core.Feedback{MustHave: top[:1], Priority: top[1:3]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.GreedyCustom(inst, fb, benchBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDistanceBaseline times the S-Model greedy.
 func BenchmarkDistanceBaseline(b *testing.B) {
 	ix := benchIndex(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		baselines.Distance{}.Select(ix, benchBudget)
@@ -231,6 +278,7 @@ func BenchmarkDistanceBaseline(b *testing.B) {
 // reports it ~9× slower than Podium.
 func BenchmarkClusteringBaseline(b *testing.B) {
 	ix := benchIndex(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		baselines.Clustering{Seed: 1}.Select(ix, benchBudget)
@@ -240,6 +288,7 @@ func BenchmarkClusteringBaseline(b *testing.B) {
 // BenchmarkFacadeSelect times the public API end to end (grouping included).
 func BenchmarkFacadeSelect(b *testing.B) {
 	ta, _ := benchDatasets()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := New(ta.Repo)

@@ -17,14 +17,18 @@
 //	podium-bench ablate         # design-choice ablations (DESIGN.md E10)
 //	podium-bench extra          # extended baselines: stratified, max-min distance
 //	podium-bench noise          # randomized selection (future work, §10)
+//	podium-bench engine         # selection-engine timings → BENCH_selection.json
+//	podium-bench -suite engine  # flag form of the same
 //	podium-bench all -scale 800
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"podium/internal/experiments"
@@ -40,13 +44,28 @@ func main() {
 	raw := fs.Bool("raw", false, "print raw metric values instead of normalized")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
 	svgDir := fs.String("svgdir", "", "also write each table as an SVG chart into this directory")
+	suite := fs.String("suite", "", "suite to run (alternative to the positional subcommand)")
+	out := fs.String("out", "BENCH_selection.json", "JSON report path for the engine suite")
+	par := fs.Int("parallelism", runtime.NumCPU(), "engine suite: worker count of the parallel variant")
 
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	_ = fs.Parse(os.Args[2:])
+	// Both `podium-bench engine -scale N` and `podium-bench -suite engine`
+	// are accepted: a leading flag means the suite is named by -suite.
+	var cmd string
+	if strings.HasPrefix(os.Args[1], "-") {
+		_ = fs.Parse(os.Args[1:])
+		cmd = *suite
+		if cmd == "" {
+			usage()
+			os.Exit(2)
+		}
+	} else {
+		cmd = os.Args[1]
+		_ = fs.Parse(os.Args[2:])
+	}
 
 	taUsers := *scale
 	ylUsers := *scale
@@ -129,6 +148,17 @@ func main() {
 		"transfer": func() {
 			showRaw(experiments.RunDiversityTransfer(experiments.TransferConfig{Dataset: ta(), Seed: *seed, Budget: *budget}))
 		},
+		"engine": func() {
+			tab, rep := experiments.RunEngineSuite(experiments.EngineConfig{
+				Seed: *seed, Budget: *budget, Parallelism: *par,
+			})
+			showRaw(tab)
+			if err := writeReport(*out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (min parallel speedup %.2fx over the seed greedy)\n", *out, rep.MinSpeedupPar)
+		},
 	}
 
 	if cmd == "all" {
@@ -174,6 +204,18 @@ func writeSVG(dir string, t *experiments.Table) error {
 	return viz.GroupedBars(f, t)
 }
 
+// writeReport serializes the engine suite's JSON report.
+func writeReport(path string, rep *experiments.EngineReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N]`)
 }

@@ -163,12 +163,19 @@ type CustomResult struct {
 // approximation guarantee carries over because the tiered score remains
 // submodular, non-negative and monotone (Lemma 6.6).
 func GreedyCustom(base *groups.Instance, fb Feedback, budget int) (*CustomResult, error) {
+	return GreedyCustomOpts(base, fb, budget, Options{})
+}
+
+// GreedyCustomOpts is GreedyCustom with explicit engine Options. The refined
+// population 𝒰′ is often a small fraction of 𝒰; the engine's compacted
+// candidate list makes the per-pick argmax O(|𝒰′|) rather than O(n) here.
+func GreedyCustomOpts(base *groups.Instance, fb Feedback, budget int, opt Options) (*CustomResult, error) {
 	if err := fb.Validate(base.Index); err != nil {
 		return nil, err
 	}
 	allowed := RefineUsers(base.Index, fb)
 	tiered := CustomInstance(base, fb)
-	res := GreedyRestricted(tiered, budget, allowed)
+	res := GreedyRestrictedOpts(tiered, budget, allowed, opt)
 	out := &CustomResult{Result: res, Allowed: allowed}
 	// Decompose for reporting, using base weights per tier.
 	std := fb.standardSet(base.Index)

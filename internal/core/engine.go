@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sync"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// This file is the cache-friendly selection engine behind Greedy and
+// GreedyRestricted (float-weight instances; EBS routes to ebs.go). It runs
+// Algorithm 1 with three engine-level changes, none of which alters output:
+//
+//  1. Adjacency is read from the Index's frozen CSR view — contiguous
+//     user→groups and group→members rows — instead of the mutable
+//     [][]GroupID / *Group.Members representation, so every hot loop is a
+//     linear scan without pointer chasing.
+//
+//  2. Candidates live in a compacted ascending list rather than a boolean
+//     mask over all n users. The per-pick argmax touches only the remaining
+//     |𝒰′| candidates, which matters when customization refines the
+//     population to a small 𝒰′ (custom.go) and late in large selections.
+//
+//  3. With Options.Parallelism > 1, the three O(n)-ish loops shard across
+//     workers. Determinism is preserved structurally: shards are contiguous
+//     index ranges, each worker reports a local (marginal, lowest-index)
+//     best, and the reduction scans shards in ascending order accepting only
+//     strictly greater marginals — exactly the total order the sequential
+//     scan implies. Float sums are unchanged because each user's marginal is
+//     still accumulated over its own CSR row in ascending group order, and
+//     retractions apply exactly one subtraction per (group, member) pair in
+//     the same group order as the sequential loop.
+//
+// Result.Evaluations counts the link traversals this engine performs; the
+// engine walks whole CSR member rows (no per-member candidacy branch), so
+// saturation counts every member link, where the pre-CSR implementation
+// (reference.go) counted only remaining candidates.
+
+// engineParallelCutoff is the element count below which sharding a loop is
+// not worth the goroutine fan-out. A package variable so the equivalence
+// tests can force the sharded paths on tiny instances.
+var engineParallelCutoff = 256
+
+func engineGreedy(inst *groups.Instance, budget int, allowed []bool, opt Options) *Result {
+	ix := inst.Index
+	n := ix.Repo().NumUsers()
+	res := &Result{}
+	if budget <= 0 || n == 0 {
+		return res
+	}
+	csr := ix.CSR()
+	workers := opt.workerCount()
+
+	// Compacted candidate list 𝒰′, ascending so scans inherit the
+	// lowest-index tie-break.
+	cand := make([]int32, 0, n)
+	for u := 0; u < n; u++ {
+		if allowed == nil || allowed[u] {
+			cand = append(cand, int32(u))
+		}
+	}
+	if len(cand) == 0 {
+		return res
+	}
+
+	// Line 2: marg_{u,∅} = Σ_{G∋u, cov(G)>0} wei(G).
+	marg := make([]float64, n)
+	if workers > 1 && len(cand) >= engineParallelCutoff {
+		// User-major across candidate shards: each worker owns a disjoint
+		// range of users, summing its CSR rows in ascending group order.
+		shardRange(len(cand), workers, func(lo, hi int) {
+			for _, cu := range cand[lo:hi] {
+				u := profile.UserID(cu)
+				var m float64
+				for _, g := range csr.UserGroups(u) {
+					if inst.Cov[g] > 0 {
+						m += inst.Wei[g]
+					}
+				}
+				marg[cu] = m
+			}
+		})
+	} else {
+		// Group-major: one streaming pass over the member rows, loading each
+		// weight once per group instead of once per link. Per-user sums are
+		// still accumulated in ascending group order (rows are ascending and
+		// groups are visited in ID order), so the floats match the
+		// user-major order bit for bit.
+		for g, lim := 0, ix.NumGroups(); g < lim; g++ {
+			if inst.Cov[g] <= 0 {
+				continue
+			}
+			w := inst.Wei[g]
+			for _, m := range csr.Members(groups.GroupID(g)) {
+				marg[m] += w
+			}
+		}
+	}
+	for _, cu := range cand {
+		res.Evaluations += csr.UserDegree(profile.UserID(cu))
+	}
+
+	// Remaining required coverage per group; mutated as users are picked.
+	cov := make([]int, len(inst.Cov))
+	copy(cov, inst.Cov)
+
+	// The selection size is known up front; pre-sizing the result slices
+	// keeps the pick loop allocation-free.
+	picks := budget
+	if picks > len(cand) {
+		picks = len(cand)
+	}
+	res.Users = make([]profile.UserID, 0, picks)
+	res.Marginals = make([]float64, 0, picks)
+
+	for i := 0; i < budget && len(cand) > 0; i++ {
+		// Line 5: arg max marginal over the candidate list, ties toward the
+		// lowest index.
+		var bi int
+		if workers > 1 && len(cand) >= engineParallelCutoff {
+			bi = parallelArgmax(cand, marg, workers)
+		} else {
+			bm := marg[cand[0]]
+			for j := 1; j < len(cand); j++ {
+				if marg[cand[j]] > bm {
+					bm = marg[cand[j]]
+					bi = j
+				}
+			}
+		}
+		best := int(cand[bi])
+		// Line 6: move best from 𝒰 to U, keeping the list ascending.
+		cand = append(cand[:bi], cand[bi+1:]...)
+		res.Users = append(res.Users, profile.UserID(best))
+		res.Marginals = append(res.Marginals, marg[best])
+		res.Score += marg[best]
+		// Lines 7-10: decrement coverage; on saturation, retract the group's
+		// weight from every member's marginal. Members no longer candidates
+		// are retracted too — their marginals are never read again — which
+		// removes the per-member candidacy branch from the hot loop. Groups
+		// retract in ascending order, one subtraction per member, so
+		// candidate marginals round identically to the sequential engine.
+		for _, g := range csr.UserGroups(profile.UserID(best)) {
+			if cov[g] <= 0 {
+				continue
+			}
+			cov[g]--
+			if cov[g] == 0 {
+				w := inst.Wei[g]
+				members := csr.Members(g)
+				res.Evaluations += len(members)
+				if workers > 1 && len(members) >= engineParallelCutoff {
+					shardRange(len(members), workers, func(lo, hi int) {
+						for _, m := range members[lo:hi] {
+							marg[m] -= w
+						}
+					})
+				} else {
+					for _, m := range members {
+						marg[m] -= w
+					}
+				}
+			}
+		}
+	}
+	return res
+}
+
+// shardRange splits [0,n) into at most `workers` contiguous chunks and runs
+// body(lo,hi) on each concurrently, returning when all are done. Chunks are
+// disjoint, so bodies writing to distinct per-element slots do not race.
+func shardRange(n, workers int, body func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// parallelArgmax returns the position in cand of the candidate with the
+// greatest marginal, ties toward the lowest user index. Each worker scans a
+// contiguous shard ascending with a strictly-greater comparison; the
+// reduction visits shards in ascending order with the same strictly-greater
+// rule, so the winner is identical to a single ascending scan.
+func parallelArgmax(cand []int32, marg []float64, workers int) int {
+	n := len(cand)
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	type localBest struct {
+		idx int
+		val float64
+	}
+	bests := make([]localBest, 0, workers)
+	for lo := 0; lo < n; lo += chunk {
+		bests = append(bests, localBest{idx: -1})
+	}
+	var wg sync.WaitGroup
+	shard := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(shard, lo, hi int) {
+			defer wg.Done()
+			bi := lo
+			bm := marg[cand[lo]]
+			for j := lo + 1; j < hi; j++ {
+				if marg[cand[j]] > bm {
+					bm = marg[cand[j]]
+					bi = j
+				}
+			}
+			bests[shard] = localBest{idx: bi, val: bm}
+		}(shard, lo, hi)
+		shard++
+	}
+	wg.Wait()
+	best := bests[0]
+	for _, b := range bests[1:] {
+		if b.val > best.val {
+			best = b
+		}
+	}
+	return best.idx
+}

@@ -35,82 +35,31 @@ type Result struct {
 // arbitrarily; fixing them keeps every variant and test deterministic).
 // Instances with EBS weights are routed to the exact rank-vector
 // implementation, since their float64 weights overflow beyond ~300 groups.
+//
+// Execution is delegated to the CSR engine (engine.go); the pre-engine
+// implementation survives as ReferenceGreedy, which the equivalence property
+// tests hold the engine to bit for bit.
 func Greedy(inst *groups.Instance, budget int) *Result {
-	return GreedyRestricted(inst, budget, nil)
+	return GreedyRestrictedOpts(inst, budget, nil, Options{})
+}
+
+// GreedyOpts is Greedy with explicit engine Options (e.g. Parallelism).
+// Options never change the result, only how fast it is computed.
+func GreedyOpts(inst *groups.Instance, budget int, opt Options) *Result {
+	return GreedyRestrictedOpts(inst, budget, nil, opt)
 }
 
 // GreedyRestricted is Greedy over the refined population 𝒰′: when allowed is
 // non-nil, only users with allowed[u] == true are candidates. This is the
 // selection primitive behind CUSTOM-DIVERSITY (Prop. 6.5).
 func GreedyRestricted(inst *groups.Instance, budget int, allowed []bool) *Result {
+	return GreedyRestrictedOpts(inst, budget, allowed, Options{})
+}
+
+// GreedyRestrictedOpts is GreedyRestricted with explicit engine Options.
+func GreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool, opt Options) *Result {
 	if inst.EBS {
 		return ebsGreedy(inst, budget, allowed)
 	}
-	ix := inst.Index
-	n := ix.Repo().NumUsers()
-	res := &Result{}
-	if budget <= 0 || n == 0 {
-		return res
-	}
-
-	// Line 2: marg_{u,∅} = Σ_{G∋u} wei(G), counting only groups that can
-	// still reward coverage.
-	marg := make([]float64, n)
-	candidate := make([]bool, n)
-	numCandidates := 0
-	for u := 0; u < n; u++ {
-		if allowed != nil && !allowed[u] {
-			continue
-		}
-		candidate[u] = true
-		numCandidates++
-		gs := ix.UserGroups(profile.UserID(u))
-		res.Evaluations += len(gs)
-		for _, g := range gs {
-			if inst.Cov[g] > 0 {
-				marg[u] += inst.Wei[g]
-			}
-		}
-	}
-
-	// Remaining required coverage per group; mutated as users are picked.
-	cov := make([]int, len(inst.Cov))
-	copy(cov, inst.Cov)
-
-	for i := 0; i < budget; i++ {
-		if numCandidates == 0 {
-			break // line 4: 𝒰 is empty
-		}
-		// Line 5: arg max marginal, ties toward the lowest index.
-		best := -1
-		for u := 0; u < n; u++ {
-			if candidate[u] && (best < 0 || marg[u] > marg[best]) {
-				best = u
-			}
-		}
-		// Line 6: move best from 𝒰 to U.
-		candidate[best] = false
-		numCandidates--
-		res.Users = append(res.Users, profile.UserID(best))
-		res.Marginals = append(res.Marginals, marg[best])
-		res.Score += marg[best]
-		// Lines 7-10: decrement coverage; on saturation, retract the
-		// group's weight from every remaining member's marginal.
-		for _, g := range ix.UserGroups(profile.UserID(best)) {
-			if cov[g] <= 0 {
-				continue
-			}
-			cov[g]--
-			if cov[g] == 0 {
-				w := inst.Wei[g]
-				for _, member := range ix.Group(g).Members {
-					if candidate[member] {
-						marg[member] -= w
-						res.Evaluations++
-					}
-				}
-			}
-		}
-	}
-	return res
+	return engineGreedy(inst, budget, allowed, opt)
 }

@@ -23,11 +23,27 @@ import (
 // lazy ablation (RunLazyAblation / BenchmarkAblationEagerVsLazy) reports
 // both variants' link-traversal counts rather than presuming a winner.
 func LazyGreedy(inst *groups.Instance, budget int) *Result {
-	return LazyGreedyRestricted(inst, budget, nil)
+	return LazyGreedyRestrictedOpts(inst, budget, nil, Options{})
+}
+
+// LazyGreedyOpts is LazyGreedy with explicit engine Options. Parallelism
+// shards the initial marginal computation (the heap build); the pop/refresh
+// loop stays sequential, as each refresh depends on the previous selection.
+func LazyGreedyOpts(inst *groups.Instance, budget int, opt Options) *Result {
+	return LazyGreedyRestrictedOpts(inst, budget, nil, opt)
 }
 
 // LazyGreedyRestricted is LazyGreedy over a restricted candidate set.
 func LazyGreedyRestricted(inst *groups.Instance, budget int, allowed []bool) *Result {
+	return LazyGreedyRestrictedOpts(inst, budget, allowed, Options{})
+}
+
+// LazyGreedyRestrictedOpts is LazyGreedyRestricted with explicit engine
+// Options. Output is identical at every Parallelism: initial keys are exact
+// row sums either way, and the pop order is fully determined by the heap's
+// strict (marginal desc, index asc) total order regardless of how the heap
+// was built.
+func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool, opt Options) *Result {
 	if inst.EBS {
 		// Exact EBS comparisons need rank vectors, not float keys.
 		return ebsGreedy(inst, budget, allowed)
@@ -38,14 +54,16 @@ func LazyGreedyRestricted(inst *groups.Instance, budget int, allowed []bool) *Re
 	if budget <= 0 || n == 0 {
 		return res
 	}
+	csr := ix.CSR()
 
 	cov := make([]int, len(inst.Cov))
 	copy(cov, inst.Cov)
 	selected := make([]bool, n)
 
-	// True marginal contribution of u under the current cov state.
+	// True marginal contribution of u under the current cov state, summed
+	// over u's CSR row in ascending group order.
 	refresh := func(u int) float64 {
-		gs := ix.UserGroups(profile.UserID(u))
+		gs := csr.UserGroups(profile.UserID(u))
 		res.Evaluations += len(gs)
 		var m float64
 		for _, g := range gs {
@@ -56,13 +74,37 @@ func LazyGreedyRestricted(inst *groups.Instance, budget int, allowed []bool) *Re
 		return m
 	}
 
-	h := &margHeap{}
+	entries := make([]margEntry, 0, n)
 	for u := 0; u < n; u++ {
-		if allowed != nil && !allowed[u] {
-			continue
+		if allowed == nil || allowed[u] {
+			entries = append(entries, margEntry{user: u})
 		}
-		heap.Push(h, margEntry{user: u, key: refresh(u)})
 	}
+	workers := opt.workerCount()
+	if workers > 1 && len(entries) >= engineParallelCutoff {
+		// refresh mutates res.Evaluations; count the work up front and sum
+		// each shard's rows without the shared counter.
+		for i := range entries {
+			res.Evaluations += csr.UserDegree(profile.UserID(entries[i].user))
+		}
+		shardRange(len(entries), workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var m float64
+				for _, g := range csr.UserGroups(profile.UserID(entries[i].user)) {
+					if cov[g] > 0 {
+						m += inst.Wei[g]
+					}
+				}
+				entries[i].key = m
+			}
+		})
+	} else {
+		for i := range entries {
+			entries[i].key = refresh(entries[i].user)
+		}
+	}
+	h := (*margHeap)(&entries)
+	heap.Init(h)
 
 	for i := 0; i < budget && h.Len() > 0; i++ {
 		var pick margEntry
@@ -91,7 +133,7 @@ func LazyGreedyRestricted(inst *groups.Instance, budget int, allowed []bool) *Re
 		res.Users = append(res.Users, profile.UserID(pick.user))
 		res.Marginals = append(res.Marginals, pick.key)
 		res.Score += pick.key
-		for _, g := range ix.UserGroups(profile.UserID(pick.user)) {
+		for _, g := range csr.UserGroups(profile.UserID(pick.user)) {
 			if cov[g] > 0 {
 				cov[g]--
 			}

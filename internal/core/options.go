@@ -1,0 +1,28 @@
+package core
+
+import "runtime"
+
+// Options tunes how the selection engine executes. Options change *how fast*
+// a selection runs, never *what* it returns: every setting preserves
+// bit-identical output — same users, same order, same marginals — as the
+// sequential algorithms, so callers may tune freely without invalidating
+// golden results, saved explanations, or cached selections.
+type Options struct {
+	// Parallelism is the worker count for the engine's sharded loops:
+	// marginal initialization, the per-pick argmax, and saturation
+	// retraction for large groups. 0 or 1 runs sequentially; values above
+	// runtime.NumCPU() are allowed but rarely useful. Determinism is
+	// preserved by a fixed reduction order (see engine.go).
+	Parallelism int
+}
+
+// DefaultParallel returns Options using every available CPU.
+func DefaultParallel() Options { return Options{Parallelism: runtime.NumCPU()} }
+
+// workerCount clamps Parallelism to a usable worker count.
+func (o Options) workerCount() int {
+	if o.Parallelism < 1 {
+		return 1
+	}
+	return o.Parallelism
+}

@@ -94,6 +94,7 @@ func (ix *Index) addComplex(kind GroupKind, ids []GroupID) (GroupID, error) {
 	for _, u := range members {
 		ix.byUser[u] = append(ix.byUser[u], g.ID)
 	}
+	ix.invalidateDerived()
 	return g.ID, nil
 }
 
@@ -134,6 +135,7 @@ func (ix *Index) AddManualGroup(label string, members []profile.UserID) (GroupID
 		ix.byUser[u] = append(ix.byUser[u], g.ID)
 		sortGroupIDs(ix.byUser[u])
 	}
+	ix.invalidateDerived()
 	return g.ID, nil
 }
 

@@ -1,0 +1,126 @@
+package groups
+
+import (
+	"sync/atomic"
+
+	"podium/internal/profile"
+)
+
+// CSR is a frozen compressed-sparse-row view of the Index adjacency, built
+// once after Build (and rebuilt lazily after incremental mutations). It packs
+// both directions of the user↔group graph into four contiguous arrays:
+//
+//	user u's groups  = UserAdj[UserOff[u]:UserOff[u+1]]   (ascending GroupID)
+//	group g's members = GroupAdj[GroupOff[g]:GroupOff[g+1]] (ascending UserID)
+//
+// The selection core's hot loops — marginal initialization, the per-pick
+// argmax, saturation retraction — iterate these rows instead of the mutable
+// [][]GroupID / *Group.Members representation, eliminating one pointer chase
+// and one slice-header load per row and keeping every traversal a linear
+// scan over one allocation. Rows preserve exactly the order of the mutable
+// adjacency, so algorithms that accumulate floats row-wise produce
+// bit-identical sums on either view.
+type CSR struct {
+	UserOff  []int
+	UserAdj  []GroupID
+	GroupOff []int
+	GroupAdj []profile.UserID
+}
+
+// UserGroups returns user u's row: the IDs of the groups containing u, in
+// ascending order. The returned slice aliases the CSR arrays; do not modify.
+func (c *CSR) UserGroups(u profile.UserID) []GroupID {
+	return c.UserAdj[c.UserOff[u]:c.UserOff[u+1]]
+}
+
+// UserDegree returns |{G : u ∈ G}| without touching the adjacency array.
+func (c *CSR) UserDegree(u profile.UserID) int {
+	return c.UserOff[u+1] - c.UserOff[u]
+}
+
+// Members returns group g's row: its members in ascending order. The
+// returned slice aliases the CSR arrays; do not modify.
+func (c *CSR) Members(g GroupID) []profile.UserID {
+	return c.GroupAdj[c.GroupOff[g]:c.GroupOff[g+1]]
+}
+
+// NumUsers returns the number of user rows.
+func (c *CSR) NumUsers() int { return len(c.UserOff) - 1 }
+
+// NumGroups returns the number of group rows.
+func (c *CSR) NumGroups() int { return len(c.GroupOff) - 1 }
+
+// NumLinks returns the number of user↔group links |{(u,G) : u ∈ G}|.
+func (c *CSR) NumLinks() int { return len(c.UserAdj) }
+
+// CSR returns the frozen adjacency view, building it on first use after a
+// mutation. The view is immutable and safe for concurrent readers; like the
+// rest of the Index, concurrent mutation requires external serialization
+// (as MutableServer provides).
+func (ix *Index) CSR() *CSR {
+	if c := ix.csr.Load(); c != nil {
+		return c
+	}
+	c := ix.buildCSR()
+	ix.csr.Store(c)
+	return c
+}
+
+func (ix *Index) buildCSR() *CSR {
+	nUsers := len(ix.byUser)
+	nGroups := len(ix.groups)
+	c := &CSR{
+		UserOff:  make([]int, nUsers+1),
+		GroupOff: make([]int, nGroups+1),
+	}
+	links := 0
+	for u, gs := range ix.byUser {
+		c.UserOff[u] = links
+		links += len(gs)
+	}
+	c.UserOff[nUsers] = links
+	c.UserAdj = make([]GroupID, 0, links)
+	for _, gs := range ix.byUser {
+		c.UserAdj = append(c.UserAdj, gs...)
+	}
+	links = 0
+	for g, grp := range ix.groups {
+		c.GroupOff[g] = links
+		links += len(grp.Members)
+	}
+	c.GroupOff[nGroups] = links
+	c.GroupAdj = make([]profile.UserID, 0, links)
+	for _, grp := range ix.groups {
+		c.GroupAdj = append(c.GroupAdj, grp.Members...)
+	}
+	return c
+}
+
+// invalidateDerived drops the cached CSR view and marks the cached adjacency
+// statistics stale. Every Index mutator calls it; the next CSR() or
+// MaxGroupSize()/MaxGroupsPerUser() call recomputes from the current
+// adjacency.
+func (ix *Index) invalidateDerived() {
+	ix.csr.Store(nil)
+	atomic.StoreUint32(&ix.statsStale, 1)
+}
+
+// refreshStats recomputes the cached complexity-bound statistics. Build
+// computes them once; mutators mark them stale rather than rescanning all
+// groups on every MaxGroupSize/MaxGroupsPerUser call.
+func (ix *Index) refreshStats() {
+	maxG, maxU := 0, 0
+	for _, g := range ix.groups {
+		if g.Size() > maxG {
+			maxG = g.Size()
+		}
+	}
+	for _, gs := range ix.byUser {
+		if len(gs) > maxU {
+			maxU = len(gs)
+		}
+	}
+	ix.maxGroupSize = maxG
+	ix.maxGroupsPerUser = maxU
+	atomic.StoreUint32(&ix.statsStale, 0)
+}

@@ -1,0 +1,131 @@
+package groups
+
+import (
+	"testing"
+
+	"podium/internal/profile"
+)
+
+// csrMatchesIndex asserts the CSR rows mirror the mutable adjacency exactly,
+// including order.
+func csrMatchesIndex(t *testing.T, ix *Index) {
+	t.Helper()
+	c := ix.CSR()
+	if c.NumGroups() != ix.NumGroups() {
+		t.Fatalf("CSR has %d groups, index %d", c.NumGroups(), ix.NumGroups())
+	}
+	links := 0
+	for u := 0; u < c.NumUsers(); u++ {
+		row := c.UserGroups(profile.UserID(u))
+		want := ix.UserGroups(profile.UserID(u))
+		if len(row) != len(want) || c.UserDegree(profile.UserID(u)) != len(want) {
+			t.Fatalf("user %d: CSR row %v, index row %v", u, row, want)
+		}
+		for i := range row {
+			if row[i] != want[i] {
+				t.Fatalf("user %d: CSR row %v, index row %v", u, row, want)
+			}
+		}
+		links += len(row)
+	}
+	if c.NumLinks() != links {
+		t.Fatalf("NumLinks = %d, want %d", c.NumLinks(), links)
+	}
+	for g := 0; g < c.NumGroups(); g++ {
+		row := c.Members(GroupID(g))
+		want := ix.Group(GroupID(g)).Members
+		if len(row) != len(want) {
+			t.Fatalf("group %d: CSR members %v, index members %v", g, row, want)
+		}
+		for i := range row {
+			if row[i] != want[i] {
+				t.Fatalf("group %d: CSR members %v, index members %v", g, row, want)
+			}
+		}
+	}
+}
+
+func TestCSRMirrorsAdjacency(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{K: 3})
+	csrMatchesIndex(t, ix)
+	// The frozen view is cached: two calls return the same object.
+	if ix.CSR() != ix.CSR() {
+		t.Fatal("CSR view not cached between calls")
+	}
+}
+
+func TestCSRInvalidatedByMutation(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{K: 3})
+	before := ix.CSR()
+
+	// A complex group mutates the adjacency; the view must be rebuilt.
+	ga := ix.GroupsOfProperty(0)
+	if len(ga) == 0 {
+		t.Fatal("paper example has no groups for property 0")
+	}
+	var gb []GroupID
+	for p := 1; p < repo.NumProperties(); p++ {
+		if gs := ix.GroupsOfProperty(profile.PropertyID(p)); len(gs) > 0 {
+			gb = gs
+			break
+		}
+	}
+	if _, err := ix.AddUnion(ga[0], gb[0]); err != nil {
+		t.Fatalf("AddUnion: %v", err)
+	}
+	after := ix.CSR()
+	if after == before {
+		t.Fatal("CSR view not invalidated by AddUnion")
+	}
+	csrMatchesIndex(t, ix)
+
+	// Incremental user indexing invalidates too.
+	u := repo.AddUser("zoe")
+	repo.MustSetScore(u, repo.Catalog().Label(0), 0.9)
+	if _, err := ix.IndexUser(u); err != nil {
+		t.Fatalf("IndexUser: %v", err)
+	}
+	csrMatchesIndex(t, ix)
+}
+
+func TestCachedStatsTrackMutations(t *testing.T) {
+	repo := profile.PaperExample()
+	ix := Build(repo, Config{K: 3})
+
+	recompute := func() (int, int) {
+		maxG, maxU := 0, 0
+		for _, g := range ix.Groups() {
+			if g.Size() > maxG {
+				maxG = g.Size()
+			}
+		}
+		for u := 0; u < repo.NumUsers(); u++ {
+			if d := len(ix.UserGroups(profile.UserID(u))); d > maxU {
+				maxU = d
+			}
+		}
+		return maxG, maxU
+	}
+
+	wantG, wantU := recompute()
+	if ix.MaxGroupSize() != wantG || ix.MaxGroupsPerUser() != wantU {
+		t.Fatalf("cached stats (%d,%d) != recomputed (%d,%d)",
+			ix.MaxGroupSize(), ix.MaxGroupsPerUser(), wantG, wantU)
+	}
+
+	// A manual group containing everyone raises both maxima.
+	all := make([]profile.UserID, repo.NumUsers())
+	for i := range all {
+		all[i] = profile.UserID(i)
+	}
+	if _, err := ix.AddManualGroup("everyone", all); err != nil {
+		t.Fatalf("AddManualGroup: %v", err)
+	}
+	wantG, wantU = recompute()
+	if ix.MaxGroupSize() != wantG || ix.MaxGroupsPerUser() != wantU {
+		t.Fatalf("after mutation: cached stats (%d,%d) != recomputed (%d,%d)",
+			ix.MaxGroupSize(), ix.MaxGroupsPerUser(), wantG, wantU)
+	}
+}

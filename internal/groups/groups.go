@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"podium/internal/bucketing"
 	"podium/internal/profile"
@@ -103,6 +104,15 @@ type Index struct {
 	byUser  [][]GroupID
 	byProp  map[profile.PropertyID][]GroupID
 	buckets map[profile.PropertyID][]bucketing.Bucket
+
+	// csr caches the frozen adjacency view the selection core iterates;
+	// mutators clear it and the next CSR() call rebuilds (csr.go).
+	csr atomic.Pointer[CSR]
+	// Cached complexity-bound statistics (Prop. 4.4), computed at Build;
+	// statsStale flags them for recomputation after incremental mutations.
+	maxGroupSize     int
+	maxGroupsPerUser int
+	statsStale       uint32
 }
 
 // Build bucketizes every property and materializes all non-empty groups of
@@ -145,6 +155,8 @@ func Build(repo *profile.Repository, cfg Config) *Index {
 			}
 		}
 	}
+	ix.refreshStats()
+	ix.csr.Store(ix.buildCSR())
 	return ix
 }
 
@@ -187,26 +199,22 @@ func (ix *Index) Buckets(p profile.PropertyID) []bucketing.Bucket {
 func (ix *Index) Repo() *profile.Repository { return ix.repo }
 
 // MaxGroupSize returns max_G |G| — a factor in Prop. 4.4's complexity bound.
+// The value is cached at Build time (the complexity-bound reporting path may
+// call it per request) and recomputed only after an incremental mutation.
 func (ix *Index) MaxGroupSize() int {
-	m := 0
-	for _, g := range ix.groups {
-		if g.Size() > m {
-			m = g.Size()
-		}
+	if atomic.LoadUint32(&ix.statsStale) != 0 {
+		ix.refreshStats()
 	}
-	return m
+	return ix.maxGroupSize
 }
 
 // MaxGroupsPerUser returns max_u |{G : u ∈ G}| — the other factor in the
-// complexity bound.
+// complexity bound. Cached like MaxGroupSize.
 func (ix *Index) MaxGroupsPerUser() int {
-	m := 0
-	for _, gs := range ix.byUser {
-		if len(gs) > m {
-			m = len(gs)
-		}
+	if atomic.LoadUint32(&ix.statsStale) != 0 {
+		ix.refreshStats()
 	}
-	return m
+	return ix.maxGroupsPerUser
 }
 
 // TopKBySize returns the IDs of the k largest groups, largest first, ties

@@ -32,6 +32,7 @@ func (ix *Index) IndexUser(u profile.UserID) (unbucketed []profile.PropertyID, e
 	}
 	for int(u) >= len(ix.byUser) {
 		ix.byUser = append(ix.byUser, nil)
+		ix.invalidateDerived() // a new user row changes the CSR shape
 	}
 	if len(ix.byUser[u]) > 0 {
 		return nil, fmt.Errorf("groups: user %d is already indexed", u)
@@ -185,6 +186,7 @@ func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
 	for u := range touched {
 		sortGroupIDs(ix.byUser[u])
 	}
+	ix.invalidateDerived()
 	return nil
 }
 
@@ -210,6 +212,7 @@ func (ix *Index) addMember(gid GroupID, u profile.UserID) {
 	copy(g.Members[i+1:], g.Members[i:])
 	g.Members[i] = u
 	ix.byUser[u] = append(ix.byUser[u], gid)
+	ix.invalidateDerived()
 }
 
 // removeMember deletes u from the group and the user's group list.
@@ -226,6 +229,7 @@ func (ix *Index) removeMember(gid GroupID, u profile.UserID) {
 			break
 		}
 	}
+	ix.invalidateDerived()
 }
 
 // complexHolds evaluates a complex group's condition for one user, resolving

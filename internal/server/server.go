@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -181,6 +182,9 @@ type selectRequest struct {
 	Config string `json:"config,omitempty"`
 	// TopK bounds the headline coverage statistic (default 200).
 	TopK int `json:"top_k,omitempty"`
+	// Parallelism is the selection engine's worker count (0 = sequential,
+	// capped at the server's CPU count). It changes latency, never results.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 type selectedUserJSON struct {
@@ -285,13 +289,17 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	inst := groups.NewInstance(s.index, ws, cs, req.Budget)
+	opt := core.Options{Parallelism: req.Parallelism}
+	if max := runtime.NumCPU(); opt.Parallelism > max {
+		opt.Parallelism = max
+	}
 
 	var res *core.Result
 	var custom *core.CustomResult
 	if req.Feedback.empty() {
-		res = core.Greedy(inst, req.Budget)
+		res = core.GreedyOpts(inst, req.Budget, opt)
 	} else {
-		custom, err = core.GreedyCustom(inst, req.Feedback.toCore(), req.Budget)
+		custom, err = core.GreedyCustomOpts(inst, req.Feedback.toCore(), req.Budget, opt)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -449,7 +457,7 @@ const indexHTML = `<!doctype html>
 <li><code>GET /api/status</code> — dataset shape</li>
 <li><code>GET /api/groups?limit=50</code> — largest groups with labels and weights</li>
 <li><code>GET /api/configurations</code> — administrator-provided configurations</li>
-<li><code>POST /api/select</code> — body: <code>{"budget":8,"weights":"LBS","coverage":"Single","feedback":{"priority":[1,2]}}</code></li>
+<li><code>POST /api/select</code> — body: <code>{"budget":8,"weights":"LBS","coverage":"Single","parallelism":4,"feedback":{"priority":[1,2]}}</code></li>
 <li><code>POST /api/query</code> — body: <code>{"query":"SELECT 8 USERS WHERE HAS \"avgRating Mexican\" DIVERSIFY BY \"livesIn Tokyo\""}</code></li>
 <li><code>GET /api/distribution?prop=avgRating%%20Mexican&amp;users=0,4</code> — population vs subset score distribution</li>
 </ul>

@@ -296,3 +296,26 @@ func TestConfigurationsEndpoint(t *testing.T) {
 		t.Fatalf("configurations = %+v (code %d)", got, rec.Code)
 	}
 }
+
+func TestSelectParallelismInvariant(t *testing.T) {
+	s := newTestServer(t)
+	var seq, par selectResponse
+	if rec := doJSON(t, s, http.MethodPost, "/api/select",
+		`{"budget":3,"weights":"LBS","coverage":"Single"}`, &seq); rec.Code != http.StatusOK {
+		t.Fatalf("sequential select: %d %s", rec.Code, rec.Body.String())
+	}
+	// A worker count far above NumCPU is clamped, not rejected, and the
+	// selection is identical to the sequential one.
+	if rec := doJSON(t, s, http.MethodPost, "/api/select",
+		`{"budget":3,"weights":"LBS","coverage":"Single","parallelism":64}`, &par); rec.Code != http.StatusOK {
+		t.Fatalf("parallel select: %d %s", rec.Code, rec.Body.String())
+	}
+	if len(seq.Users) != len(par.Users) || seq.Score != par.Score {
+		t.Fatalf("parallelism changed the result: %+v vs %+v", seq, par)
+	}
+	for i := range seq.Users {
+		if seq.Users[i].ID != par.Users[i].ID || seq.Users[i].Marginal != par.Users[i].Marginal {
+			t.Fatalf("parallelism changed user %d: %+v vs %+v", i, seq.Users[i], par.Users[i])
+		}
+	}
+}

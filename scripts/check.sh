@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# check.sh — the PR gate, runnable directly or via `make check`.
+#
+# Runs, in order:
+#   1. go vet  over every package
+#   2. go build over every package
+#   3. the full test suite
+#   4. the race detector over the concurrent selection engine
+#      (internal/core) and the shared adjacency structures (internal/groups)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./internal/core ./internal/groups"
+go test -race ./internal/core ./internal/groups
+
+echo "check: all green"
