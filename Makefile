@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine
+.PHONY: check vet build test race bench-engine bench-server
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -17,9 +17,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/groups
+	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog
 
 # bench-engine regenerates BENCH_selection.json (the selection-engine perf
 # trajectory; see DESIGN.md §7).
 bench-engine:
 	$(GO) run ./cmd/podium-bench -suite engine
+
+# bench-server regenerates BENCH_server.json: snapshot serving vs the
+# single-mutex baseline on a mixed read/write workload (DESIGN.md §8).
+bench-server:
+	$(GO) run ./cmd/podium-bench -suite server

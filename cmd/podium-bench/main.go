@@ -18,7 +18,8 @@
 //	podium-bench extra          # extended baselines: stratified, max-min distance
 //	podium-bench noise          # randomized selection (future work, §10)
 //	podium-bench engine         # selection-engine timings → BENCH_selection.json
-//	podium-bench -suite engine  # flag form of the same
+//	podium-bench serve          # serving architectures → BENCH_server.json
+//	podium-bench -suite server  # flag form of the same
 //	podium-bench all -scale 800
 package main
 
@@ -30,6 +31,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"podium/internal/experiments"
 	"podium/internal/synth"
@@ -45,8 +47,11 @@ func main() {
 	csvOut := fs.Bool("csv", false, "emit CSV instead of aligned tables (for plotting)")
 	svgDir := fs.String("svgdir", "", "also write each table as an SVG chart into this directory")
 	suite := fs.String("suite", "", "suite to run (alternative to the positional subcommand)")
-	out := fs.String("out", "BENCH_selection.json", "JSON report path for the engine suite")
+	out := fs.String("out", "", "JSON report path (default: BENCH_selection.json for engine, BENCH_server.json for server)")
 	par := fs.Int("parallelism", runtime.NumCPU(), "engine suite: worker count of the parallel variant")
+	clients := fs.Int("clients", 8, "server suite: concurrent closed-loop clients")
+	writePct := fs.Int("writes", 10, "server suite: percentage of mutating operations")
+	duration := fs.Duration("duration", 2*time.Second, "server suite: measured run length per server")
 
 	if len(os.Args) < 2 {
 		usage()
@@ -153,13 +158,32 @@ func main() {
 				Seed: *seed, Budget: *budget, Parallelism: *par,
 			})
 			showRaw(tab)
-			if err := writeReport(*out, rep); err != nil {
+			path := reportPath(*out, "BENCH_selection.json")
+			if err := writeReport(path, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("wrote %s (min parallel speedup %.2fx over the seed greedy)\n", *out, rep.MinSpeedupPar)
+			fmt.Printf("wrote %s (min parallel speedup %.2fx over the seed greedy)\n", path, rep.MinSpeedupPar)
+		},
+		"serve": func() {
+			tab, rep, err := experiments.RunServerSuite(experiments.ServerConfig{
+				Seed: *seed, Budget: *budget,
+				Clients: *clients, WritePct: *writePct, Duration: *duration,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_server.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%.2fx read QPS over the single-mutex baseline)\n", path, rep.ReadSpeedup)
 		},
 	}
+	run["server"] = run["serve"]
 
 	if cmd == "all" {
 		for _, name := range []string{"fig3a", "fig3b", "fig3c", "fig3d", "fig4", "fig5", "fig6", "approx", "ablate", "extra", "noise", "holdout", "budget", "transfer"} {
@@ -204,8 +228,16 @@ func writeSVG(dir string, t *experiments.Table) error {
 	return viz.GroupedBars(f, t)
 }
 
-// writeReport serializes the engine suite's JSON report.
-func writeReport(path string, rep *experiments.EngineReport) error {
+// reportPath resolves the -out flag against a suite's default.
+func reportPath(out, def string) string {
+	if out != "" {
+		return out
+	}
+	return def
+}
+
+// writeReport serializes a suite's JSON report.
+func writeReport(path string, rep interface{}) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -217,5 +249,5 @@ func writeReport(path string, rep *experiments.EngineReport) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D]`)
 }

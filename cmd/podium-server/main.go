@@ -38,19 +38,22 @@ func defaultConfigs() []server.NamedConfig {
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		in      = flag.String("in", "", "profiles file: JSON, binary or repository log (overrides -dataset)")
-		logPath = flag.String("log", "", "repository log path: serve a MUTABLE repository backed by this log (POST /api/users, /api/scores)")
-		dataset = flag.String("dataset", "tripadvisor", "generator preset when no -in: tripadvisor | yelp")
-		users   = flag.Int("users", 500, "generated user count when no -in")
-		buckets = flag.Int("buckets", 3, "score buckets per property")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		in          = flag.String("in", "", "profiles file: JSON, binary or repository log (overrides -dataset)")
+		logPath     = flag.String("log", "", "repository log path: serve a MUTABLE repository backed by this log (POST /api/users, /api/scores)")
+		dataset     = flag.String("dataset", "tripadvisor", "generator preset when no -in: tripadvisor | yelp")
+		users       = flag.Int("users", 500, "generated user count when no -in")
+		buckets     = flag.Int("buckets", 3, "score buckets per property")
+		batchWindow = flag.Duration("batch-window", 0, "mutable server: how long the writer waits for more mutations to coalesce (0 = drain whatever is queued)")
+		batchMax    = flag.Int("batch-max", 256, "mutable server: max mutations per published snapshot")
 	)
 	flag.Parse()
 
 	configs := defaultConfigs()
 
 	if *logPath != "" {
-		srv, err := server.NewMutable(*logPath, *logPath, groups.Config{K: *buckets}, configs)
+		srv, err := server.NewMutableOpts(*logPath, *logPath, groups.Config{K: *buckets}, configs,
+			server.MutableOptions{BatchWindow: *batchWindow, MaxBatch: *batchMax})
 		if err != nil {
 			log.Fatalf("podium-server: %v", err)
 		}

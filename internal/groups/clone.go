@@ -1,0 +1,131 @@
+package groups
+
+import (
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+)
+
+// cowState tracks which shared structures a cloned index has already
+// detached from its source. The maps start empty: a clone that absorbs a
+// mutation batch touching k groups copies O(k) member slices, not O(|𝒢|).
+type cowState struct {
+	groups   map[GroupID]bool            // Group struct + Members copied
+	users    map[profile.UserID]bool     // byUser[u] copied
+	props    map[profile.PropertyID]bool // byProp[p] value copied
+	byProp   bool                        // byProp map header copied
+	byBucket bool                        // byBucket map copied
+	buckets  bool                        // buckets map copied
+}
+
+// Clone returns a copy-on-write copy of the index bound to repo — a
+// repository with identical user and property numbering, typically a
+// copy-on-write clone of the original (profile.Repository.Clone). Only the
+// top-level group and per-user tables are copied eagerly (slice headers, one
+// allocation each); the Group structs, member slices, per-property lists and
+// bucket maps stay shared with the source until a mutator touches them, at
+// which point the touched piece is detached (mutableGroup, ownUser,
+// ownPropList, ownByBucket, ownBuckets). This is the copy half of the
+// server's copy-on-write epoch publication: the single writer clones the
+// published index, applies a mutation batch through the incremental path —
+// paying copy cost proportional to what the batch touches, not to index
+// size — and publishes the result. Mutating the clone never disturbs
+// concurrent readers of the source.
+//
+// Derived views (the frozen CSR, cached adjacency statistics) are not
+// copied — call Freeze once per batch before publishing.
+func (ix *Index) Clone(repo *profile.Repository) *Index {
+	cp := &Index{
+		repo:     repo,
+		groups:   append([]*Group(nil), ix.groups...),
+		byUser:   append([][]GroupID(nil), ix.byUser...),
+		byProp:   ix.byProp,
+		buckets:  ix.buckets,
+		byBucket: ix.byBucket,
+		cow: &cowState{
+			groups: make(map[GroupID]bool),
+			users:  make(map[profile.UserID]bool),
+			props:  make(map[profile.PropertyID]bool),
+		},
+	}
+	cp.invalidateDerived()
+	return cp
+}
+
+// mutableGroup returns a group the caller may mutate, detaching a private
+// copy of the struct and its member slice on first touch of a shared group.
+// All in-place Group mutation must go through here; reads can keep using
+// ix.groups[gid] directly.
+func (ix *Index) mutableGroup(gid GroupID) *Group {
+	g := ix.groups[gid]
+	if ix.cow == nil || ix.cow.groups[gid] {
+		return g
+	}
+	ng := *g
+	ng.Members = append(make([]profile.UserID, 0, len(g.Members)+1), g.Members...)
+	ix.groups[gid] = &ng
+	ix.cow.groups[gid] = true
+	return &ng
+}
+
+// ownUser detaches byUser[u] before an append, removal or in-place sort. The
+// +1 capacity pre-reserves the common single-append that follows.
+func (ix *Index) ownUser(u profile.UserID) {
+	if ix.cow == nil || ix.cow.users[u] {
+		return
+	}
+	if int(u) < len(ix.byUser) && len(ix.byUser[u]) > 0 {
+		ix.byUser[u] = append(make([]GroupID, 0, len(ix.byUser[u])+1), ix.byUser[u]...)
+	}
+	ix.cow.users[u] = true
+}
+
+// ownPropList detaches the byProp map (on first property touched) and then
+// property p's group list, ahead of wiring a new group into it.
+func (ix *Index) ownPropList(p profile.PropertyID) {
+	if ix.cow == nil {
+		return
+	}
+	if !ix.cow.byProp {
+		m := make(map[profile.PropertyID][]GroupID, len(ix.byProp)+1)
+		for q, gs := range ix.byProp {
+			m[q] = gs
+		}
+		ix.byProp = m
+		ix.cow.byProp = true
+	}
+	if !ix.cow.props[p] {
+		if gs := ix.byProp[p]; len(gs) > 0 {
+			ix.byProp[p] = append(make([]GroupID, 0, len(gs)+1), gs...)
+		}
+		ix.cow.props[p] = true
+	}
+}
+
+// ownByBucket detaches the (property, bucket) → group map before a new
+// simple group is registered.
+func (ix *Index) ownByBucket() {
+	if ix.cow == nil || ix.cow.byBucket {
+		return
+	}
+	m := make(map[bucketKey]GroupID, len(ix.byBucket)+1)
+	for k, gid := range ix.byBucket {
+		m[k] = gid
+	}
+	ix.byBucket = m
+	ix.cow.byBucket = true
+}
+
+// ownBuckets detaches the per-property bucket-partition map before a new
+// property's β(p) is recorded. Existing entries are never mutated in place,
+// so sharing the value slices is safe.
+func (ix *Index) ownBuckets() {
+	if ix.cow == nil || ix.cow.buckets {
+		return
+	}
+	m := make(map[profile.PropertyID][]bucketing.Bucket, len(ix.buckets)+1)
+	for p, bs := range ix.buckets {
+		m[p] = bs
+	}
+	ix.buckets = m
+	ix.cow.buckets = true
+}

@@ -1,0 +1,57 @@
+package groups
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"podium/internal/profile"
+)
+
+// sparsePopulation mirrors the serving benchmark's dataset: users users
+// scoring propsPer properties out of a props-sized vocabulary. It sizes the
+// clone benchmarks at the scale where per-batch copy cost matters.
+func sparsePopulation(users, props, propsPer int) *profile.Repository {
+	repo := profile.NewRepository()
+	rng := rand.New(rand.NewSource(7))
+	for u := 0; u < users; u++ {
+		id := repo.AddUser(fmt.Sprintf("user-%05d", u))
+		for _, p := range rng.Perm(props)[:propsPer] {
+			repo.MustSetScore(id, fmt.Sprintf("prop-%05d", p), float64(rng.Intn(1001))/1000)
+		}
+	}
+	return repo
+}
+
+// BenchmarkIndexCloneFreeze is the writer's fixed per-batch cost: clone the
+// published epoch's repository and index, then freeze the copy for
+// publication. Amortizing this across a batch is what the mutation
+// coalescing window buys.
+func BenchmarkIndexCloneFreeze(b *testing.B) {
+	repo := sparsePopulation(2000, 2500, 8)
+	ix := Build(repo, Config{K: 3})
+	ix.Freeze()
+	repo.Seal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r2 := repo.Clone()
+		cp := ix.Clone(r2)
+		cp.Freeze()
+	}
+}
+
+// BenchmarkIndexClone isolates the copy itself from Freeze's rebuild of the
+// derived structures.
+func BenchmarkIndexClone(b *testing.B) {
+	repo := sparsePopulation(2000, 2500, 8)
+	ix := Build(repo, Config{K: 3})
+	ix.Freeze()
+	repo.Seal()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r2 := repo.Clone()
+		_ = ix.Clone(r2)
+	}
+}

@@ -1,0 +1,175 @@
+package groups
+
+import (
+	"reflect"
+	"testing"
+
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+)
+
+// cloneOp is one mutation of the kind the server's apply loop performs.
+type cloneOp struct {
+	addUser string             // when non-empty: add a user with props
+	props   map[string]float64 // initial profile for addUser (applied in key-sorted order by the caller)
+	user    profile.UserID     // otherwise: set user's label to score
+	label   string
+	score   float64
+}
+
+// applyOp mutates repo+ix through the incremental path, mirroring the
+// server's applyOne: new users are indexed, first-sight properties bucketed,
+// score changes moved between bucket groups.
+func applyOp(t *testing.T, repo *profile.Repository, ix *Index, cfg Config, op cloneOp) {
+	t.Helper()
+	if op.addUser != "" {
+		u := repo.AddUser(op.addUser)
+		for _, label := range sortedKeys(op.props) {
+			repo.MustSetScore(u, label, op.props[label])
+		}
+		unbucketed, err := ix.IndexUser(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pid := range unbucketed {
+			if err := ix.BucketProperty(pid, cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	_, known := repo.Catalog().Lookup(op.label)
+	repo.MustSetScore(op.user, op.label, op.score)
+	pid, _ := repo.Catalog().Lookup(op.label)
+	if !known {
+		if err := ix.BucketProperty(pid, cfg); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := ix.UpdateScore(op.user, pid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// fingerprint captures everything observable about an index: group metadata
+// and membership (via the CSR, which also covers byUser), per-property group
+// lists, and bucket partitions.
+func fingerprint(t *testing.T, ix *Index) map[string]interface{} {
+	t.Helper()
+	cat := ix.Repo().Catalog()
+	type groupFP struct {
+		Label      string
+		BucketIdx  int
+		NumBuckets int
+		Members    []profile.UserID
+	}
+	gs := make([]groupFP, ix.NumGroups())
+	for i, g := range ix.Groups() {
+		gs[i] = groupFP{
+			Label:      g.Label(cat),
+			BucketIdx:  g.BucketIdx,
+			NumBuckets: g.NumBuckets,
+			Members:    append([]profile.UserID(nil), g.Members...),
+		}
+	}
+	byProp := map[string][]GroupID{}
+	for _, label := range cat.Labels() {
+		pid, _ := cat.Lookup(label)
+		byProp[label] = append([]GroupID(nil), ix.GroupsOfProperty(pid)...)
+	}
+	buckets := map[string][]string{}
+	for _, label := range cat.Labels() {
+		pid, _ := cat.Lookup(label)
+		for _, b := range ix.Buckets(pid) {
+			buckets[label] = append(buckets[label], b.String())
+		}
+	}
+	return map[string]interface{}{
+		"groups": gs, "byProp": byProp, "buckets": buckets, "csr": ix.CSR(),
+	}
+}
+
+func cloneOps() []cloneOp {
+	return []cloneOp{
+		{addUser: "Frank", props: map[string]float64{"livesIn Tokyo": 1, "avgRating Mexican": 0.9}},
+		{addUser: "Grace", props: map[string]float64{"avgRating Mexican": 0.5, "plays chess": 0.8}},
+		{user: 0, label: "avgRating Mexican", score: 0.1},
+		{user: 6, label: "speaks French", score: 0.7},
+		{addUser: "Heidi", props: map[string]float64{"speaks French": 0.2, "livesIn Tokyo": 1}},
+		{user: 7, label: "plays chess", score: 0.3},
+	}
+}
+
+// TestCloneBatchMatchesOneAtATime is the equivalence behind the server's
+// batching: applying a mutation sequence to ONE clone (a single batch) must
+// leave an index identical to publishing a fresh clone per mutation (one
+// batch per mutation — the pre-batching behavior).
+func TestCloneBatchMatchesOneAtATime(t *testing.T) {
+	cfg := Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3}
+	ops := cloneOps()
+
+	// One batch: a single clone absorbs every op.
+	baseA := profile.PaperExample()
+	ixA := Build(baseA, cfg)
+	repoA := baseA.Clone()
+	batched := ixA.Clone(repoA)
+	for _, op := range ops {
+		applyOp(t, repoA, batched, cfg, op)
+	}
+	batched.Freeze()
+
+	// One clone per op: each mutation sees a freshly published epoch.
+	repoB := profile.PaperExample()
+	serial := Build(repoB, cfg)
+	for _, op := range ops {
+		repoB = repoB.Clone()
+		serial = serial.Clone(repoB)
+		applyOp(t, repoB, serial, cfg, op)
+		serial.Freeze()
+	}
+
+	fpA, fpB := fingerprint(t, batched), fingerprint(t, serial)
+	if !reflect.DeepEqual(fpA, fpB) {
+		t.Fatalf("batched and one-at-a-time indexes diverge:\nbatched: %+v\nserial:  %+v", fpA, fpB)
+	}
+}
+
+// TestCloneIsolation checks the copy half of copy-on-write: mutating a clone
+// must leave the source index (and the repository it serves) untouched.
+func TestCloneIsolation(t *testing.T) {
+	cfg := Config{Method: bucketing.Fixed{Interior: []float64{0.4, 0.65}}, K: 3}
+	base := profile.PaperExample()
+	ix := Build(base, cfg)
+	ix.Freeze()
+	before := fingerprint(t, ix)
+	usersBefore := base.NumUsers()
+
+	repo2 := base.Clone()
+	cp := ix.Clone(repo2)
+	for _, op := range cloneOps() {
+		applyOp(t, repo2, cp, cfg, op)
+	}
+	cp.Freeze()
+
+	if got := fingerprint(t, ix); !reflect.DeepEqual(before, got) {
+		t.Fatalf("mutating the clone changed the source index:\nbefore: %+v\nafter:  %+v", before, got)
+	}
+	if base.NumUsers() != usersBefore {
+		t.Fatalf("source repo grew from %d to %d users", usersBefore, base.NumUsers())
+	}
+	if cp.NumGroups() <= ix.NumGroups() {
+		t.Fatalf("clone did not grow: %d vs %d groups", cp.NumGroups(), ix.NumGroups())
+	}
+}

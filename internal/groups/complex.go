@@ -91,7 +91,11 @@ func (ix *Index) addComplex(kind GroupKind, ids []GroupID) (GroupID, error) {
 		label:   "(" + strings.Join(parts, sep) + ")",
 	}
 	ix.groups = append(ix.groups, g)
+	if ix.cow != nil {
+		ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
+	}
 	for _, u := range members {
+		ix.ownUser(u)
 		ix.byUser[u] = append(ix.byUser[u], g.ID)
 	}
 	ix.invalidateDerived()
@@ -128,10 +132,14 @@ func (ix *Index) AddManualGroup(label string, members []profile.UserID) (GroupID
 		label:   label,
 	}
 	ix.groups = append(ix.groups, g)
+	if ix.cow != nil {
+		ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
+	}
 	for _, u := range clean {
 		for int(u) >= len(ix.byUser) {
 			ix.byUser = append(ix.byUser, nil)
 		}
+		ix.ownUser(u)
 		ix.byUser[u] = append(ix.byUser[u], g.ID)
 		sortGroupIDs(ix.byUser[u])
 	}

@@ -96,6 +96,17 @@ func (ix *Index) buildCSR() *CSR {
 	return c
 }
 
+// Freeze eagerly rebuilds every derived view — the CSR and the cached
+// adjacency statistics — so that an index published to concurrent lock-free
+// readers never triggers a lazy rebuild: after Freeze, CSR(), MaxGroupSize()
+// and MaxGroupsPerUser() are pure reads. The server's writer calls it once
+// per mutation batch, right before publishing the next snapshot, making the
+// rebuild cost per-batch rather than per-member-move.
+func (ix *Index) Freeze() {
+	ix.refreshStats()
+	ix.csr.Store(ix.buildCSR())
+}
+
 // invalidateDerived drops the cached CSR view and marks the cached adjacency
 // statistics stale. Every Index mutator calls it; the next CSR() or
 // MaxGroupSize()/MaxGroupsPerUser() call recomputes from the current

@@ -46,9 +46,17 @@ func (g *Group) Size() int { return len(g.Members) }
 // ("lives in Tokyo" rather than "lives in Tokyo: true"), mirroring
 // Example 5.2.
 func (g *Group) Label(cat *profile.Catalog) string {
-	if g.Kind != SimpleGroup {
+	if g.label != "" {
 		return g.label
 	}
+	return g.renderLabel(cat)
+}
+
+// renderLabel builds a simple group's label string. Creation sites cache the
+// result in g.label — labels are immutable and clones share the Group
+// structs, so the render cost is paid once per group, not once per epoch (the
+// explanation report renders every group's label on each selection).
+func (g *Group) renderLabel(cat *profile.Catalog) string {
 	prop := cat.Label(g.Prop)
 	bl := bucketing.Label(g.Bucket, g.BucketIdx, g.NumBuckets)
 	switch bl {
@@ -104,6 +112,11 @@ type Index struct {
 	byUser  [][]GroupID
 	byProp  map[profile.PropertyID][]GroupID
 	buckets map[profile.PropertyID][]bucketing.Bucket
+	// byBucket maps (property, bucket index) → simple group, so incremental
+	// maintenance locates a score's destination group in O(1) instead of
+	// scanning byProp (which would make batched indexing quadratic in the
+	// bucket count). Complex and manual groups are not keyed here.
+	byBucket map[bucketKey]GroupID
 
 	// csr caches the frozen adjacency view the selection core iterates;
 	// mutators clear it and the next CSR() call rebuilds (csr.go).
@@ -113,6 +126,18 @@ type Index struct {
 	maxGroupSize     int
 	maxGroupsPerUser int
 	statsStale       uint32
+
+	// cow is non-nil on an index produced by Clone: the Group structs, the
+	// per-user and per-property group lists and the bucket maps are still
+	// shared with the source epoch, and each mutator detaches the pieces it
+	// touches first (clone.go). A Build index owns everything (cow == nil).
+	cow *cowState
+}
+
+// bucketKey identifies a simple group by its (property, bucket) coordinates.
+type bucketKey struct {
+	prop profile.PropertyID
+	bi   int
 }
 
 // Build bucketizes every property and materializes all non-empty groups of
@@ -121,10 +146,11 @@ type Index struct {
 func Build(repo *profile.Repository, cfg Config) *Index {
 	cfg = cfg.withDefaults()
 	ix := &Index{
-		repo:    repo,
-		byUser:  make([][]GroupID, repo.NumUsers()),
-		byProp:  make(map[profile.PropertyID][]GroupID),
-		buckets: make(map[profile.PropertyID][]bucketing.Bucket),
+		repo:     repo,
+		byUser:   make([][]GroupID, repo.NumUsers()),
+		byProp:   make(map[profile.PropertyID][]GroupID),
+		buckets:  make(map[profile.PropertyID][]bucketing.Bucket),
+		byBucket: make(map[bucketKey]GroupID),
 	}
 	results := bucketizeAll(repo, cfg)
 	for pid := 0; pid < repo.NumProperties(); pid++ {
@@ -148,8 +174,10 @@ func Build(repo *profile.Repository, cfg Config) *Index {
 				NumBuckets: len(bs),
 				Members:    m, // already sorted: PropertyValues scans users in order
 			}
+			g.label = g.renderLabel(repo.Catalog())
 			ix.groups = append(ix.groups, g)
 			ix.byProp[p] = append(ix.byProp[p], g.ID)
+			ix.byBucket[bucketKey{p, bi}] = g.ID
 			for _, u := range m {
 				ix.byUser[u] = append(ix.byUser[u], g.ID)
 			}

@@ -47,20 +47,7 @@ func (ix *Index) IndexUser(u profile.UserID) (unbucketed []profile.PropertyID, e
 		if bi < 0 {
 			return // score outside every bucket (Boolean partitions only)
 		}
-		gid, ok := ix.groupForBucket(p, bi)
-		if !ok {
-			g := &Group{
-				ID:         GroupID(len(ix.groups)),
-				Prop:       p,
-				Bucket:     buckets[bi],
-				BucketIdx:  bi,
-				NumBuckets: len(buckets),
-			}
-			ix.groups = append(ix.groups, g)
-			ix.byProp[p] = insertGroupSorted(ix, ix.byProp[p], g.ID)
-			gid = g.ID
-		}
-		ix.addMember(gid, u)
+		ix.addMember(ix.ensureSimpleGroup(p, bi, buckets), u)
 	})
 	// Complex groups: membership conditions may now hold for u.
 	for _, g := range ix.groups {
@@ -71,6 +58,7 @@ func (ix *Index) IndexUser(u profile.UserID) (unbucketed []profile.PropertyID, e
 			ix.addMember(g.ID, u)
 		}
 	}
+	ix.ownUser(u)
 	sortGroupIDs(ix.byUser[u])
 	return unbucketed, nil
 }
@@ -109,20 +97,7 @@ func (ix *Index) UpdateScore(u profile.UserID, p profile.PropertyID) error {
 		ix.removeMember(oldGID, u)
 	}
 	if newBi >= 0 {
-		gid, ok := ix.groupForBucket(p, newBi)
-		if !ok {
-			g := &Group{
-				ID:         GroupID(len(ix.groups)),
-				Prop:       p,
-				Bucket:     buckets[newBi],
-				BucketIdx:  newBi,
-				NumBuckets: len(buckets),
-			}
-			ix.groups = append(ix.groups, g)
-			ix.byProp[p] = insertGroupSorted(ix, ix.byProp[p], g.ID)
-			gid = g.ID
-		}
-		ix.addMember(gid, u)
+		ix.addMember(ix.ensureSimpleGroup(p, newBi, buckets), u)
 	}
 	// Re-evaluate complex groups that depend (transitively) on p's groups.
 	for _, g := range ix.groups {
@@ -138,6 +113,7 @@ func (ix *Index) UpdateScore(u profile.UserID, p profile.PropertyID) error {
 			ix.removeMember(g.ID, u)
 		}
 	}
+	ix.ownUser(u)
 	sortGroupIDs(ix.byUser[u])
 	return nil
 }
@@ -159,6 +135,7 @@ func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
 	if res == nil {
 		return nil // no holders yet; nothing to index
 	}
+	ix.ownBuckets()
 	ix.buckets[p] = res.buckets
 	touched := map[profile.UserID]bool{}
 	for bi, m := range res.members {
@@ -173,12 +150,20 @@ func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
 			NumBuckets: len(res.buckets),
 			Members:    m,
 		}
+		g.label = g.renderLabel(ix.repo.Catalog())
 		ix.groups = append(ix.groups, g)
+		if ix.cow != nil {
+			ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
+		}
+		ix.ownPropList(p)
 		ix.byProp[p] = append(ix.byProp[p], g.ID)
+		ix.ownByBucket()
+		ix.byBucket[bucketKey{p, bi}] = g.ID
 		for _, u := range m {
 			for int(u) >= len(ix.byUser) {
 				ix.byUser = append(ix.byUser, nil)
 			}
+			ix.ownUser(u)
 			ix.byUser[u] = append(ix.byUser[u], g.ID)
 			touched[u] = true
 		}
@@ -190,14 +175,40 @@ func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
 	return nil
 }
 
-// groupForBucket finds the group of (p, bucketIdx) if it exists.
+// groupForBucket finds the group of (p, bucketIdx) if it exists — an O(1)
+// lookup in the byBucket map, which is maintained alongside byProp so that
+// batched incremental indexing stays linear in the number of moves.
 func (ix *Index) groupForBucket(p profile.PropertyID, bi int) (GroupID, bool) {
-	for _, gid := range ix.byProp[p] {
-		if ix.groups[gid].BucketIdx == bi {
-			return gid, true
-		}
+	gid, ok := ix.byBucket[bucketKey{p, bi}]
+	if !ok {
+		return -1, false
 	}
-	return -1, false
+	return gid, true
+}
+
+// ensureSimpleGroup returns the group of (p, bi), materializing an empty one
+// — wired into byProp and byBucket — if that bucket had no group yet.
+func (ix *Index) ensureSimpleGroup(p profile.PropertyID, bi int, buckets []bucketing.Bucket) GroupID {
+	if gid, ok := ix.groupForBucket(p, bi); ok {
+		return gid
+	}
+	g := &Group{
+		ID:         GroupID(len(ix.groups)),
+		Prop:       p,
+		Bucket:     buckets[bi],
+		BucketIdx:  bi,
+		NumBuckets: len(buckets),
+	}
+	g.label = g.renderLabel(ix.repo.Catalog())
+	ix.groups = append(ix.groups, g)
+	if ix.cow != nil {
+		ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
+	}
+	ix.ownPropList(p)
+	ix.byProp[p] = insertGroupSorted(ix, ix.byProp[p], g.ID)
+	ix.ownByBucket()
+	ix.byBucket[bucketKey{p, bi}] = g.ID
+	return g.ID
 }
 
 // addMember inserts u into the group's sorted member slice and the user's
@@ -208,9 +219,11 @@ func (ix *Index) addMember(gid GroupID, u profile.UserID) {
 	if i < len(g.Members) && g.Members[i] == u {
 		return
 	}
+	g = ix.mutableGroup(gid)
 	g.Members = append(g.Members, 0)
 	copy(g.Members[i+1:], g.Members[i:])
 	g.Members[i] = u
+	ix.ownUser(u)
 	ix.byUser[u] = append(ix.byUser[u], gid)
 	ix.invalidateDerived()
 }
@@ -220,8 +233,10 @@ func (ix *Index) removeMember(gid GroupID, u profile.UserID) {
 	g := ix.groups[gid]
 	i := sort.Search(len(g.Members), func(i int) bool { return g.Members[i] >= u })
 	if i < len(g.Members) && g.Members[i] == u {
+		g = ix.mutableGroup(gid)
 		g.Members = append(g.Members[:i], g.Members[i+1:]...)
 	}
+	ix.ownUser(u)
 	gs := ix.byUser[u]
 	for j, id := range gs {
 		if id == gid {

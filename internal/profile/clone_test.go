@@ -1,0 +1,76 @@
+package profile
+
+import "testing"
+
+func TestCloneCopyOnWrite(t *testing.T) {
+	src := PaperExample()
+	src.Seal()
+	pid, ok := src.Catalog().Lookup(ExAvgMexican)
+	if !ok {
+		t.Fatal("paper example lost its Mexican-food property")
+	}
+	origScore, _ := src.Profile(0).Score(pid)
+
+	cp := src.Clone()
+	// Before any write the profile data is shared, not copied.
+	if cp.Profile(0) != src.Profile(0) {
+		t.Fatal("clone copied a profile eagerly")
+	}
+
+	// A write to the clone detaches a private copy; the source is untouched.
+	cp.MustSetScore(0, ExAvgMexican, 0.123)
+	if cp.Profile(0) == src.Profile(0) {
+		t.Fatal("write did not detach the shared profile")
+	}
+	if s, _ := src.Profile(0).Score(pid); s != origScore {
+		t.Fatalf("source score changed to %v", s)
+	}
+	if s, _ := cp.Profile(0).Score(pid); s != 0.123 {
+		t.Fatalf("clone score = %v, want 0.123", s)
+	}
+
+	// Untouched users keep sharing; repeated writes reuse the detached copy.
+	if cp.Profile(1) != src.Profile(1) {
+		t.Fatal("untouched profile was copied")
+	}
+	detached := cp.Profile(0)
+	cp.MustSetScore(0, ExAvgMexican, 0.5)
+	if cp.Profile(0) != detached {
+		t.Fatal("second write cloned again")
+	}
+
+	// New users belong to the clone alone.
+	u := cp.AddUser("Frank")
+	cp.MustSetScore(u, ExAvgMexican, 0.9)
+	if src.NumUsers() != 5 || cp.NumUsers() != 6 {
+		t.Fatalf("users: src %d, clone %d", src.NumUsers(), cp.NumUsers())
+	}
+
+	// The catalog diverges independently too.
+	cp.MustSetScore(u, "brand new prop", 0.4)
+	if _, ok := src.Catalog().Lookup("brand new prop"); ok {
+		t.Fatal("clone's new property leaked into the source catalog")
+	}
+}
+
+func TestCloneOfCloneChains(t *testing.T) {
+	src := PaperExample()
+	src.Seal()
+	pid, _ := src.Catalog().Lookup(ExLivesInTokyo)
+
+	// Epoch chain: each generation clones the previous and mutates one user,
+	// as the server's writer does batch after batch.
+	gen := src
+	for i := 0; i < 4; i++ {
+		gen.Seal()
+		next := gen.Clone()
+		next.MustSetScore(0, ExLivesInTokyo, float64(i+1)/10)
+		gen = next
+	}
+	if s, _ := gen.Profile(0).Score(pid); s != 0.4 {
+		t.Fatalf("final epoch score = %v, want 0.4", s)
+	}
+	if s, _ := src.Profile(0).Score(pid); s != 1 {
+		t.Fatalf("first epoch score = %v, want the original 1", s)
+	}
+}

@@ -155,12 +155,29 @@ func (p *Profile) Properties() []PropertyID {
 	return p.props
 }
 
+// clone returns a private deep copy of the profile, sorted.
+func (p *Profile) clone() *Profile {
+	p.ensureSorted()
+	return &Profile{
+		props:  append([]PropertyID(nil), p.props...),
+		scores: append([]float64(nil), p.scores...),
+	}
+}
+
 // Repository holds the population 𝒰: user names, their profiles, and the
 // shared property catalog.
 type Repository struct {
 	catalog  *Catalog
 	names    []string
 	profiles []*Profile
+
+	// Copy-on-write bookkeeping for Clone: profiles with index < sharedBelow
+	// are aliased by the clone's source (and possibly by published snapshots
+	// reading them concurrently) until detached. owned records the ones this
+	// repository has already detached. Zero values describe an ordinary,
+	// fully-owned repository.
+	sharedBelow int
+	owned       map[int]bool
 }
 
 // NewRepository returns an empty repository with a fresh catalog.
@@ -186,7 +203,7 @@ func (r *Repository) SetScore(u UserID, label string, score float64) error {
 	if math.IsNaN(score) || score < 0 || score > 1 {
 		return fmt.Errorf("profile: score %v for %q outside [0,1]", score, label)
 	}
-	r.profiles[u].Set(r.catalog.Intern(label), score)
+	r.mutableProfile(int(u)).Set(r.catalog.Intern(label), score)
 	return nil
 }
 
@@ -209,8 +226,21 @@ func (r *Repository) SetScoreID(u UserID, id PropertyID, score float64) error {
 	if math.IsNaN(score) || score < 0 || score > 1 {
 		return fmt.Errorf("profile: score %v outside [0,1]", score)
 	}
-	r.profiles[u].Set(id, score)
+	r.mutableProfile(int(u)).Set(id, score)
 	return nil
+}
+
+// mutableProfile returns the profile of u for writing, detaching it from any
+// clone source first so repositories sharing it never observe the mutation.
+func (r *Repository) mutableProfile(u int) *Profile {
+	if u < r.sharedBelow && !r.owned[u] {
+		r.profiles[u] = r.profiles[u].clone()
+		if r.owned == nil {
+			r.owned = make(map[int]bool)
+		}
+		r.owned[u] = true
+	}
+	return r.profiles[u]
 }
 
 // NumUsers returns |𝒰|.
@@ -273,6 +303,41 @@ func (r *Repository) MaxProfileSize() int {
 		}
 	}
 	return m
+}
+
+// Clone returns a copy-on-write copy of the repository: the name/profile
+// slice headers and the catalog are duplicated eagerly (both cheap), while
+// the per-user profile data stays shared until the clone's first write to
+// that user detaches a private copy. The source must be Sealed (as published
+// snapshots are), so shared profiles are never mutated — concurrent readers
+// of the source remain safe while the clone diverges. This is the substrate
+// of the server's epoch publication: the single writer clones the current
+// snapshot's repository, applies a mutation batch, and publishes the clone.
+func (r *Repository) Clone() *Repository {
+	cat := &Catalog{
+		labels: append([]string(nil), r.catalog.labels...),
+		index:  make(map[string]PropertyID, len(r.catalog.index)),
+	}
+	for label, id := range r.catalog.index {
+		cat.index[label] = id
+	}
+	return &Repository{
+		catalog:     cat,
+		names:       append([]string(nil), r.names...),
+		profiles:    append([]*Profile(nil), r.profiles...),
+		sharedBelow: len(r.profiles),
+	}
+}
+
+// Seal sorts every profile's backing store in place so that subsequent reads
+// (Score, Each, …) are pure and safe for concurrent use. Publishing a
+// repository to concurrent readers without sealing would race: the first
+// Score call on a dirty profile rewrites it. Sealing an already sealed
+// repository is a cheap no-op per profile.
+func (r *Repository) Seal() {
+	for _, p := range r.profiles {
+		p.ensureSorted()
+	}
 }
 
 // Subset builds a new repository containing only the given users, preserving

@@ -56,6 +56,10 @@ type Log struct {
 	// appended counts mutation records since the last snapshot, for
 	// compaction heuristics.
 	appended int
+	// detached is set once an Append* method is used: the caller owns the
+	// authoritative repository and l.repo is no longer maintained, so
+	// Compact (which snapshots l.repo) must be replaced by CompactWith.
+	detached bool
 	// Recovered reports how many trailing bytes were discarded as a torn
 	// tail during Open.
 	Recovered int64
@@ -258,6 +262,52 @@ func (l *Log) SetScore(u profile.UserID, label string, score float64) error {
 	if int(u) < 0 || int(u) >= l.repo.NumUsers() {
 		return fmt.Errorf("repolog: unknown user %d", u)
 	}
+	if err := l.append(recSetScore, encodeSetScore(u, label, score)); err != nil {
+		return err
+	}
+	l.appended++
+	return l.repo.SetScore(u, label, score)
+}
+
+// AppendAddUser stages an add-user record in the write buffer without
+// applying it to the replayed repository — the batched path for callers that
+// maintain their own authoritative repository view (the snapshot server's
+// single-writer apply loop). The record becomes durable at the next Sync;
+// staging a whole mutation batch and syncing once amortizes the fsync.
+// After the first Append* call the log is detached: use CompactWith, not
+// Compact.
+func (l *Log) AppendAddUser(name string) error {
+	var payload bytes.Buffer
+	encodeString(&payload, name)
+	if err := l.append(recAddUser, payload.Bytes()); err != nil {
+		return err
+	}
+	l.appended++
+	l.detached = true
+	return nil
+}
+
+// AppendSetScore stages a set-score record without applying it to the
+// replayed repository. The score is validated here so an invalid value never
+// reaches the log; the caller guarantees u is a valid user of its own
+// repository (replay re-validates against the reconstructed population).
+func (l *Log) AppendSetScore(u profile.UserID, label string, score float64) error {
+	if math.IsNaN(score) || score < 0 || score > 1 {
+		return fmt.Errorf("repolog: score %v for %q outside [0,1]", score, label)
+	}
+	if int(u) < 0 {
+		return fmt.Errorf("repolog: negative user %d", u)
+	}
+	if err := l.append(recSetScore, encodeSetScore(u, label, score)); err != nil {
+		return err
+	}
+	l.appended++
+	l.detached = true
+	return nil
+}
+
+// encodeSetScore builds the set-score record payload.
+func encodeSetScore(u profile.UserID, label string, score float64) []byte {
 	var payload bytes.Buffer
 	var tmp [binary.MaxVarintLen64]byte
 	payload.Write(tmp[:binary.PutUvarint(tmp[:], uint64(u))])
@@ -265,11 +315,7 @@ func (l *Log) SetScore(u profile.UserID, label string, score float64) error {
 	var bits [8]byte
 	binary.LittleEndian.PutUint64(bits[:], math.Float64bits(score))
 	payload.Write(bits[:])
-	if err := l.append(recSetScore, payload.Bytes()); err != nil {
-		return err
-	}
-	l.appended++
-	return l.repo.SetScore(u, label, score)
+	return payload.Bytes()
 }
 
 func (l *Log) append(kind byte, payload []byte) error {
@@ -306,8 +352,22 @@ func (l *Log) Sync() error {
 }
 
 // Compact rewrites the log as a single snapshot record, atomically via a
-// temp file + rename, and reopens the write handle on the new file.
+// temp file + rename, and reopens the write handle on the new file. It
+// snapshots the log's replayed repository, so it refuses to run once the
+// append-only API has detached that repository from the true state — use
+// CompactWith with the authoritative repository instead.
 func (l *Log) Compact() error {
+	if l.detached {
+		return fmt.Errorf("repolog: log has append-only records; use CompactWith")
+	}
+	return l.CompactWith(l.repo)
+}
+
+// CompactWith rewrites the log as a single snapshot of repo — the caller's
+// authoritative current state, for users of the append-only API. The given
+// repository becomes the log's replayed repository.
+func (l *Log) CompactWith(repo *profile.Repository) error {
+	l.repo = repo
 	if err := l.Sync(); err != nil {
 		return err
 	}
@@ -373,6 +433,7 @@ func (l *Log) Compact() error {
 	l.f = newF
 	l.w = bufio.NewWriter(newF)
 	l.appended = 0
+	l.detached = false
 	return nil
 }
 

@@ -259,3 +259,96 @@ func TestAppendedCounter(t *testing.T) {
 		t.Fatalf("appended = %d, want 2", l.Appended())
 	}
 }
+
+// The detached append-only API stages records without touching the replayed
+// repository; replay on reopen reconstructs the caller's state exactly.
+func TestDetachedAppendAndReplay(t *testing.T) {
+	l, path := openTemp(t)
+	// The caller owns the authoritative repository.
+	repo := profile.NewRepository()
+	alice := repo.AddUser("Alice")
+	if err := l.AppendAddUser("Alice"); err != nil {
+		t.Fatal(err)
+	}
+	repo.MustSetScore(alice, "p", 0.7)
+	if err := l.AppendSetScore(alice, "p", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	bob := repo.AddUser("Bob")
+	if err := l.AppendAddUser("Bob"); err != nil {
+		t.Fatal(err)
+	}
+	repo.MustSetScore(bob, "p", 0.2)
+	if err := l.AppendSetScore(bob, "p", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	// One Sync covers the whole batch.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The log's replayed repository is stale by design...
+	if l.Repository().NumUsers() != 0 {
+		t.Fatalf("detached append mutated the replayed repository: %d users", l.Repository().NumUsers())
+	}
+	if l.Appended() != 4 {
+		t.Fatalf("appended = %d, want 4", l.Appended())
+	}
+	// ...but replay reconstructs the authoritative state.
+	back := reopen(t, l, path)
+	defer back.Close()
+	if back.Repository().NumUsers() != 2 {
+		t.Fatalf("replayed %d users, want 2", back.Repository().NumUsers())
+	}
+	pid, _ := back.Repository().Catalog().Lookup("p")
+	if s, _ := back.Repository().Profile(alice).Score(pid); s != 0.7 {
+		t.Fatalf("alice's score = %v, want 0.7", s)
+	}
+}
+
+func TestDetachedAppendValidation(t *testing.T) {
+	l, _ := openTemp(t)
+	defer l.Close()
+	if err := l.AppendSetScore(0, "p", 1.5); err == nil {
+		t.Fatal("out-of-range score accepted")
+	}
+	if err := l.AppendSetScore(-1, "p", 0.5); err == nil {
+		t.Fatal("negative user accepted")
+	}
+	if l.Appended() != 0 {
+		t.Fatalf("rejected appends counted: %d", l.Appended())
+	}
+}
+
+// Compact refuses to run once detached (it would snapshot the stale replayed
+// repository); CompactWith snapshots the caller's repository instead.
+func TestCompactDetachedRequiresCompactWith(t *testing.T) {
+	l, path := openTemp(t)
+	repo := profile.NewRepository()
+	u := repo.AddUser("Alice")
+	if err := l.AppendAddUser("Alice"); err != nil {
+		t.Fatal(err)
+	}
+	repo.MustSetScore(u, "p", 0.9)
+	if err := l.AppendSetScore(u, "p", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err == nil {
+		t.Fatal("Compact succeeded on a detached log")
+	}
+	if err := l.CompactWith(repo); err != nil {
+		t.Fatal(err)
+	}
+	if l.Appended() != 0 {
+		t.Fatalf("appended after compaction = %d", l.Appended())
+	}
+	// Plain Compact works again once reattached.
+	if err := l.Compact(); err != nil {
+		t.Fatalf("Compact after CompactWith: %v", err)
+	}
+	back := reopen(t, l, path)
+	defer back.Close()
+	pid, _ := back.Repository().Catalog().Lookup("p")
+	if s, _ := back.Repository().Profile(u).Score(pid); s != 0.9 {
+		t.Fatalf("score after compaction = %v, want 0.9", s)
+	}
+}

@@ -193,8 +193,8 @@ func TestMutableDurability(t *testing.T) {
 	if st.Users != 1 || st.Properties != 1 {
 		t.Fatalf("restarted status = %+v", st)
 	}
-	id, _ := back.repo.Catalog().Lookup("p")
-	if s, _ := back.repo.Profile(0).Score(id); s != 0.3 {
+	id, _ := back.Repository().Catalog().Lookup("p")
+	if s, _ := back.Repository().Profile(0).Score(id); s != 0.3 {
 		t.Fatalf("score after restart = %v, want the updated 0.3", s)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"podium/internal/core"
 	"podium/internal/explain"
@@ -65,25 +66,27 @@ func (f FeedbackJSON) empty() bool {
 		len(f.Standard) == 0 && !f.StandardExplicit
 }
 
-// Server serves one repository. The group index is computed once at
-// construction (the offline grouping module); request handling is stateless
-// and safe for concurrent use.
+// Server serves one repository through immutable snapshots: the current
+// epoch — repository view, group index, memoized diversification tables —
+// lives behind an atomic pointer, each request loads it exactly once at
+// entry, and every read handler runs lock-free against that epoch. The
+// plain Server publishes a single epoch at construction (the offline
+// grouping module of Section 7); MutableServer republishes a fresh epoch
+// after every mutation batch.
 type Server struct {
 	name    string
-	repo    *profile.Repository
-	index   *groups.Index
 	configs []NamedConfig
 	mux     *http.ServeMux
+	snap    atomic.Pointer[Snapshot]
 }
 
 // New builds a server over repo, running the grouping module with cfg.
 func New(name string, repo *profile.Repository, cfg groups.Config, configs []NamedConfig) *Server {
 	s := &Server{
 		name:    name,
-		repo:    repo,
-		index:   groups.Build(repo, cfg),
 		configs: configs,
 	}
+	s.snap.Store(newSnapshot(0, repo, groups.Build(repo, cfg)))
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/api/status", s.handleStatus)
@@ -98,41 +101,74 @@ func New(name string, repo *profile.Repository, cfg groups.Config, configs []Nam
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+// Snapshot returns the currently published epoch. Handlers load it once at
+// entry so one request never observes two epochs; external callers get a
+// consistent read-only view.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// publish atomically installs the next epoch for all subsequent requests.
+func (s *Server) publish(sn *Snapshot) { s.snap.Store(sn) }
+
+// writeJSON encodes v compactly — indented output roughly doubles hot-path
+// payload bytes, so pretty-printing is opt-in via ?pretty=1. Marshalling
+// happens before the header is written, so an encoding failure surfaces as
+// a 500 instead of a silently truncated 200.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
+	var data []byte
+	var err error
+	if r != nil && r.URL.Query().Get("pretty") == "1" {
+		data, err = json.MarshalIndent(v, "", "  ")
+	} else {
+		data, err = json.Marshal(v)
+	}
 	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "encoding response: "+err.Error())
+		return
+	}
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	data = append(data, '\n')
+	_, _ = w.Write(data)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeJSONRaw writes JSON bytes pre-marshaled by a snapshot's response
+// cache, skipping re-encoding on the hot path.
+func writeJSONRaw(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {
+	writeJSON(w, r, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	sn := s.Snapshot()
+	writeJSON(w, r, http.StatusOK, map[string]interface{}{
 		"name":       s.name,
-		"users":      s.repo.NumUsers(),
-		"properties": s.repo.NumProperties(),
-		"groups":     s.index.NumGroups(),
+		"users":      sn.Repo().NumUsers(),
+		"properties": sn.Repo().NumProperties(),
+		"groups":     sn.Index().NumGroups(),
+		"epoch":      sn.Epoch(),
 	})
 }
 
 func (s *Server) handleConfigurations(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	if s.configs == nil {
-		writeJSON(w, http.StatusOK, []NamedConfig{})
+		writeJSON(w, r, http.StatusOK, []NamedConfig{})
 		return
 	}
-	writeJSON(w, http.StatusOK, s.configs)
+	writeJSON(w, r, http.StatusOK, s.configs)
 }
 
 // groupJSON is one group explanation row for the UI's group list.
@@ -145,30 +181,31 @@ type groupJSON struct {
 
 func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	limit := 50
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, http.StatusBadRequest, "bad limit %q", v)
+			writeError(w, r, http.StatusBadRequest, "bad limit %q", v)
 			return
 		}
 		limit = n
 	}
-	top := s.index.TopKBySize(limit)
+	sn := s.Snapshot()
+	top := sn.TopKBySize(limit)
 	out := make([]groupJSON, 0, len(top))
 	for _, gid := range top {
-		g := s.index.Group(gid)
+		g := sn.Index().Group(gid)
 		out = append(out, groupJSON{
 			ID:     int(gid),
-			Label:  g.Label(s.repo.Catalog()),
+			Label:  g.Label(sn.Repo().Catalog()),
 			Size:   g.Size(),
 			Weight: float64(g.Size()), // LBS view for display
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, r, http.StatusOK, out)
 }
 
 // selectRequest is the selection-module request body.
@@ -235,16 +272,30 @@ func parseCoverage(s string) (groups.CoverageScheme, error) {
 	return 0, fmt.Errorf("unknown coverage scheme %q", s)
 }
 
+// clampParallelism bounds a request's worker count to [0, NumCPU]: negative
+// values (which would otherwise reach the core as a nonsense worker count)
+// mean sequential, and requests cannot demand more workers than the host has
+// CPUs.
+func clampParallelism(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if max := runtime.NumCPU(); p > max {
+		return max
+	}
+	return p
+}
+
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req selectRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	if req.Config != "" {
@@ -268,7 +319,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !found {
-			writeError(w, http.StatusBadRequest, "unknown configuration %q", req.Config)
+			writeError(w, r, http.StatusBadRequest, "unknown configuration %q", req.Config)
 			return
 		}
 	}
@@ -280,39 +331,46 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	ws, err := parseWeights(req.Weights)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	cs, err := parseCoverage(req.Coverage)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	inst := groups.NewInstance(s.index, ws, cs, req.Budget)
-	opt := core.Options{Parallelism: req.Parallelism}
-	if max := runtime.NumCPU(); opt.Parallelism > max {
-		opt.Parallelism = max
-	}
+	sn := s.Snapshot()
+	opt := core.Options{Parallelism: clampParallelism(req.Parallelism)}
 
-	var res *core.Result
-	var custom *core.CustomResult
 	if req.Feedback.empty() {
-		res = core.GreedyOpts(inst, req.Budget, opt)
-	} else {
-		custom, err = core.GreedyCustomOpts(inst, req.Feedback.toCore(), req.Budget, opt)
+		// Feedback-free selections are memoized per epoch: the snapshot is
+		// immutable and greedy is deterministic, so the response is a pure
+		// function of (epoch, schemes, budget, topK).
+		resp, data, err := sn.SelectResponse(ws, cs, req.Budget, req.TopK, opt)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, r, http.StatusInternalServerError, "encoding response: %v", err)
 			return
 		}
-		res = custom.Result
+		if r.URL.Query().Get("pretty") == "1" {
+			writeJSON(w, r, http.StatusOK, resp)
+			return
+		}
+		writeJSONRaw(w, http.StatusOK, data)
+		return
 	}
 
-	writeJSON(w, http.StatusOK, s.buildSelectResponse(inst, res, custom, req.TopK))
+	inst := sn.Instance(ws, cs, req.Budget)
+	custom, err := core.GreedyCustomOpts(inst, req.Feedback.toCore(), req.Budget, opt)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, r, http.StatusOK, buildSelectResponse(inst, custom.Result, custom, req.TopK))
 }
 
 // buildSelectResponse assembles the visualization payload shared by the
 // select and query endpoints.
-func (s *Server) buildSelectResponse(inst *groups.Instance, res *core.Result, custom *core.CustomResult, topK int) selectResponse {
+func buildSelectResponse(inst *groups.Instance, res *core.Result, custom *core.CustomResult, topK int) selectResponse {
 	rep := explain.NewReport(inst, res, topK)
 	resp := selectResponse{
 		Score: inst.Score(res.Users),
@@ -348,7 +406,7 @@ func (s *Server) buildSelectResponse(inst *groups.Instance, res *core.Result, cu
 // handleQuery runs a declarative-language selection (see internal/query).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
 	var req struct {
@@ -358,20 +416,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	q, err := query.Parse(req.Query)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if err := q.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if q.Buckets != 0 {
-		writeError(w, http.StatusBadRequest, "BUCKETS is fixed at server start; omit the clause")
+		writeError(w, r, http.StatusBadRequest, "BUCKETS is fixed at server start; omit the clause")
 		return
 	}
 	ws := groups.WeightLBS
@@ -382,54 +440,54 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if q.CoverageSet {
 		cs = q.Coverage
 	}
-	fb, err := q.Compile(s.index)
+	sn := s.Snapshot()
+	fb, err := q.Compile(sn.Index())
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	if req.TopK <= 0 {
 		req.TopK = 200
 	}
-	inst := groups.NewInstance(s.index, ws, cs, q.Budget)
+	inst := sn.Instance(ws, cs, q.Budget)
 	custom, err := core.GreedyCustom(inst, fb, q.Budget)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.buildSelectResponse(inst, custom.Result, custom, req.TopK))
+	writeJSON(w, r, http.StatusOK, buildSelectResponse(inst, custom.Result, custom, req.TopK))
 }
 
 func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	sn := s.Snapshot()
 	label := r.URL.Query().Get("prop")
-	pid, ok := s.repo.Catalog().Lookup(label)
+	pid, ok := sn.Repo().Catalog().Lookup(label)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown property %q", label)
+		writeError(w, r, http.StatusNotFound, "unknown property %q", label)
 		return
 	}
 	var users []profile.UserID
 	if raw := r.URL.Query().Get("users"); raw != "" {
 		for _, part := range strings.Split(raw, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || v < 0 || v >= s.repo.NumUsers() {
-				writeError(w, http.StatusBadRequest, "bad user id %q", part)
+			if err != nil || v < 0 || v >= sn.Repo().NumUsers() {
+				writeError(w, r, http.StatusBadRequest, "bad user id %q", part)
 				return
 			}
 			users = append(users, profile.UserID(v))
 		}
 	}
-	inst := &groups.Instance{Index: s.index,
-		Wei: groups.ComputeWeights(s.index, groups.WeightLBS, 8),
-		Cov: groups.ComputeCoverage(s.index, groups.CoverSingle, 8)}
+	inst := sn.Instance(groups.WeightLBS, groups.CoverSingle, 8)
 	all, subset := explain.Distribution(inst, users, pid)
 	buckets := make([]string, 0, len(all))
-	for _, b := range s.index.Buckets(pid) {
+	for _, b := range sn.Index().Buckets(pid) {
 		buckets = append(buckets, b.String())
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	writeJSON(w, r, http.StatusOK, map[string]interface{}{
 		"property": label,
 		"buckets":  buckets,
 		"all":      all,
@@ -442,8 +500,9 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	sn := s.Snapshot()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprintf(w, indexHTML, s.name, s.repo.NumUsers(), s.repo.NumProperties(), s.index.NumGroups())
+	fmt.Fprintf(w, indexHTML, s.name, sn.Repo().NumUsers(), sn.Repo().NumProperties(), sn.Index().NumGroups())
 }
 
 const indexHTML = `<!doctype html>
@@ -464,5 +523,5 @@ const indexHTML = `<!doctype html>
 </body></html>
 `
 
-// Repository exposes the served repository (read-only use).
-func (s *Server) Repository() *profile.Repository { return s.repo }
+// Repository exposes the currently published repository view (read-only use).
+func (s *Server) Repository() *profile.Repository { return s.Snapshot().Repo() }

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// Snapshot is one immutable epoch of the served state: a sealed repository
+// view, its group index with every derived structure (CSR, adjacency stats)
+// pre-built, and per-epoch memoization of the diversification tables that
+// the read path would otherwise recompute per request. Snapshots are
+// published through the server's atomic pointer; once published, nothing in
+// a snapshot is ever mutated, so any number of /api/select, /api/query,
+// /api/groups, /api/distribution and /api/status requests proceed lock-free
+// against the epoch they loaded — a mutation batch being applied
+// concurrently only ever touches the writer's private clone of the next
+// epoch.
+type Snapshot struct {
+	epoch uint64
+	repo  *profile.Repository
+	index *groups.Index
+
+	// insts memoizes ComputeWeights/ComputeCoverage (and EBS ranks) per
+	// (weights, coverage, budget): immutability makes the tables valid for
+	// the snapshot's whole lifetime, so only the first request of each
+	// combination pays the O(|𝒢|) construction.
+	insts sync.Map // instKey → *groups.Instance
+
+	// topBySize memoizes the full size-descending group order behind
+	// /api/groups, an O(|𝒢| log |𝒢|) sort the pre-snapshot server paid per
+	// request.
+	topOnce   sync.Once
+	topBySize []groups.GroupID
+
+	// sels memoizes complete feedback-free selection responses. Greedy is
+	// deterministic on an immutable snapshot, so the response for a given
+	// (weights, coverage, budget, topK) is a pure function of the epoch:
+	// only the first such request per epoch runs the selection and builds
+	// (and marshals) the explanation report.
+	sels sync.Map // selKey → *selEntry
+}
+
+// selKey identifies one memoized selection response. Parallelism is
+// deliberately absent: it changes selection latency, never results.
+type selKey struct {
+	ws           groups.WeightScheme
+	cs           groups.CoverageScheme
+	budget, topK int
+}
+
+type selEntry struct {
+	once sync.Once
+	resp selectResponse
+	data []byte // compact JSON of resp, newline-terminated
+	err  error
+}
+
+// instKey identifies one memoized diversification instance.
+type instKey struct {
+	ws     groups.WeightScheme
+	cs     groups.CoverageScheme
+	budget int
+}
+
+// newSnapshot seals repo and freezes ix so every lazy structure is built
+// before concurrent readers can reach them, then wraps both as epoch e.
+func newSnapshot(e uint64, repo *profile.Repository, ix *groups.Index) *Snapshot {
+	repo.Seal()
+	ix.Freeze()
+	return &Snapshot{epoch: e, repo: repo, index: ix}
+}
+
+// Epoch returns the snapshot's publication sequence number.
+func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// Repo returns the sealed repository view. Callers must not mutate it.
+func (sn *Snapshot) Repo() *profile.Repository { return sn.repo }
+
+// Index returns the frozen group index. Callers must not mutate it.
+func (sn *Snapshot) Index() *groups.Index { return sn.index }
+
+// Instance returns the memoized diversification instance (𝒢, wei, cov) for
+// the scheme pair and budget, computing it on first use. The returned
+// instance is shared by concurrent requests; the selection core and the
+// explanation builder treat instances as read-only.
+func (sn *Snapshot) Instance(ws groups.WeightScheme, cs groups.CoverageScheme, budget int) *groups.Instance {
+	k := instKey{ws, cs, budget}
+	if v, ok := sn.insts.Load(k); ok {
+		return v.(*groups.Instance)
+	}
+	v, _ := sn.insts.LoadOrStore(k, groups.NewInstance(sn.index, ws, cs, budget))
+	return v.(*groups.Instance)
+}
+
+// SelectResponse returns the memoized feedback-free selection response for
+// the scheme pair, budget and report size, running the greedy core and the
+// explanation builder only on the first request per combination. The opt
+// passed by the winning caller steers that one computation's parallelism;
+// losers share its (identical) result. data is the compact JSON encoding of
+// resp, ready to write; err is the marshalling error, if any.
+func (sn *Snapshot) SelectResponse(ws groups.WeightScheme, cs groups.CoverageScheme, budget, topK int, opt core.Options) (resp selectResponse, data []byte, err error) {
+	k := selKey{ws, cs, budget, topK}
+	v, _ := sn.sels.LoadOrStore(k, &selEntry{})
+	e := v.(*selEntry)
+	e.once.Do(func() {
+		inst := sn.Instance(ws, cs, budget)
+		res := core.GreedyOpts(inst, budget, opt)
+		e.resp = buildSelectResponse(inst, res, nil, topK)
+		e.data, e.err = json.Marshal(e.resp)
+		if e.err == nil {
+			e.data = append(e.data, '\n')
+		}
+	})
+	return e.resp, e.data, e.err
+}
+
+// TopKBySize returns the IDs of the k largest groups, memoizing the full
+// sorted order on first use. Callers must not modify the returned slice.
+func (sn *Snapshot) TopKBySize(k int) []groups.GroupID {
+	sn.topOnce.Do(func() {
+		sn.topBySize = sn.index.TopKBySize(sn.index.NumGroups())
+	})
+	if k > len(sn.topBySize) {
+		k = len(sn.topBySize)
+	}
+	return sn.topBySize[:k]
+}

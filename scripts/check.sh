@@ -6,7 +6,9 @@
 #   2. go build over every package
 #   3. the full test suite
 #   4. the race detector over the concurrent selection engine
-#      (internal/core) and the shared adjacency structures (internal/groups)
+#      (internal/core), the shared adjacency structures (internal/groups),
+#      the lock-free snapshot server (internal/server) and the batched
+#      repository log (internal/repolog)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,7 +21,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/groups"
-go test -race ./internal/core ./internal/groups
+echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog"
+go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog
 
 echo "check: all green"
