@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench-server
+.PHONY: check vet build test race bench-engine bench-server bench-campaign
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog
+	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign
 
 # bench-engine regenerates BENCH_selection.json (the selection-engine perf
 # trajectory; see DESIGN.md §7).
@@ -28,3 +28,9 @@ bench-engine:
 # single-mutex baseline on a mixed read/write workload (DESIGN.md §8).
 bench-server:
 	$(GO) run ./cmd/podium-bench -suite server
+
+# bench-campaign regenerates BENCH_campaign.json: procurement campaigns under
+# a non-response sweep — rounds/sec, repair latency, and repaired vs
+# no-repair coverage (DESIGN.md §9).
+bench-campaign:
+	$(GO) run ./cmd/podium-bench -suite campaign

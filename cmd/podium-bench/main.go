@@ -19,6 +19,7 @@
 //	podium-bench noise          # randomized selection (future work, §10)
 //	podium-bench engine         # selection-engine timings → BENCH_selection.json
 //	podium-bench serve          # serving architectures → BENCH_server.json
+//	podium-bench campaign       # procurement campaigns → BENCH_campaign.json
 //	podium-bench -suite server  # flag form of the same
 //	podium-bench all -scale 800
 package main
@@ -52,6 +53,7 @@ func main() {
 	clients := fs.Int("clients", 8, "server suite: concurrent closed-loop clients")
 	writePct := fs.Int("writes", 10, "server suite: percentage of mutating operations")
 	duration := fs.Duration("duration", 2*time.Second, "server suite: measured run length per server")
+	workers := fs.Int("workers", 8, "campaign suite: solicitation worker-pool size")
 
 	if len(os.Args) < 2 {
 		usage()
@@ -182,6 +184,23 @@ func main() {
 			}
 			fmt.Printf("wrote %s (%.2fx read QPS over the single-mutex baseline)\n", path, rep.ReadSpeedup)
 		},
+		"campaign": func() {
+			tab, rep, err := experiments.RunCampaignSuite(experiments.CampaignConfig{
+				Seed: *seed, Budget: *budget, Users: *scale,
+				Workers: *workers, Parallelism: *par,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_campaign.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (repair recovers ≥ %.0f%% of dropout coverage loss)\n", path, rep.MinRecoveredFrac*100)
+		},
 	}
 	run["server"] = run["serve"]
 
@@ -249,5 +268,5 @@ func writeReport(path string, rep interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
 }

@@ -9,6 +9,7 @@
 //	podium-select -in profiles.json -budget 8
 //	podium-select -in profiles.json -weights Iden -coverage Prop -buckets 5
 //	podium-select -in profiles.json -must-have "avgRating Mexican" -priority "livesIn Tokyo"
+//	podium-select -in profiles.json -campaign -non-response 0.3 -wal run.wal
 package main
 
 import (
@@ -42,6 +43,15 @@ func main() {
 		topK     = flag.Int("topk", 200, "top-weight groups in the headline coverage statistic")
 		distProp = flag.String("distribution", "", "also chart this property's population-vs-selection distribution")
 		mine     = flag.Bool("mine-functional", false, "mine functional property families and apply the inferred falsehoods before grouping")
+
+		// Campaign mode: asynchronous procurement rounds with non-response
+		// repair instead of a one-shot selection.
+		campaignMode = flag.Bool("campaign", false, "run an asynchronous procurement campaign (solicit, retry, repair)")
+		campSeed     = flag.Int64("seed", 1, "campaign: simulation seed")
+		nonResponse  = flag.Float64("non-response", 0.2, "campaign: population non-response probability (negative = none)")
+		decline      = flag.Float64("decline", 0, "campaign: probability a user refuses the campaign outright")
+		maxRounds    = flag.Int("max-rounds", 6, "campaign: select→solicit→repair cycles before giving up")
+		walPath      = flag.String("wal", "", "campaign: journal path — resumes an interrupted campaign")
 	)
 	queryStr := flag.String("query", "", "declarative selection query (overrides the other selection flags)")
 	var mustHave, mustNot, priority labelList
@@ -92,6 +102,11 @@ func main() {
 		fatal(err)
 	}
 
+	if *campaignMode {
+		runCampaign(p, repo, *budget, *campSeed, *nonResponse, *decline, *maxRounds, *walPath)
+		return
+	}
+
 	var sel *podium.Selection
 	if *queryStr != "" {
 		sel, err = p.SelectQuery(*queryStr)
@@ -130,6 +145,68 @@ func main() {
 		fmt.Println()
 		explain.RenderDistribution(os.Stdout, *distProp, labels, all, subset)
 	}
+}
+
+// runCampaign drives an asynchronous procurement campaign and prints its
+// per-round transcript: who was selected, how each solicitation wave went,
+// who dropped out, and the coverage the accepted panel reached.
+func runCampaign(p *podium.Podium, repo *podium.Repository, budget int, seed int64, nonResponse, decline float64, maxRounds int, walPath string) {
+	cfg := podium.CampaignConfig{
+		Budget:    budget,
+		MaxRounds: maxRounds,
+		Seed:      seed,
+		Behavior: podium.CampaignBehavior{
+			NonResponse: nonResponse,
+			Decline:     decline,
+		},
+	}
+	c, err := p.NewCampaign(cfg, walPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Repository: %d users, %d properties, %d groups\n",
+		repo.NumUsers(), repo.NumProperties(), p.NumGroups())
+	fmt.Printf("Campaign: budget %d, seed %d, non-response %.2g, decline %.2g\n\n",
+		budget, seed, nonResponse, decline)
+
+	for _, rr := range c.Transcript() {
+		kind := "select"
+		if rr.Repaired {
+			kind = "repair"
+		}
+		fmt.Printf("round %d (%s): solicited %d users\n", rr.Round, kind, len(rr.Selected))
+		for _, w := range rr.Waves {
+			counts := map[string]int{}
+			for _, res := range w.Results {
+				counts[res.Outcome.String()]++
+			}
+			fmt.Printf("  wave %d (backoff %.0fms): %d asked — %d answered, %d late, %d silent, %d declined\n",
+				w.Attempt, w.BackoffMs, len(w.Results),
+				counts["answered"], counts["late"], counts["silent"], counts["declined"])
+		}
+		fmt.Printf("  dead after round: %d   panel coverage: %.4g\n", len(rr.Dead), rr.Coverage)
+	}
+
+	st := c.Status()
+	verdict := "exhausted (rounds or candidates ran out)"
+	switch {
+	case st.Converged:
+		verdict = "converged (panel filled)"
+	case st.Cancelled:
+		verdict = "cancelled"
+	}
+	fmt.Printf("\nVerdict: %s\n", verdict)
+	fmt.Printf("Panel (%d/%d accepted, coverage %.4g):\n", len(st.Accepted), budget, st.Coverage)
+	for _, u := range st.Accepted {
+		fmt.Printf("  %s\n", repo.UserName(u))
+	}
+	cs := c.Stats()
+	fmt.Printf("\n%d rounds, %d waves, %d solicitations; %d repair selections replaced %d users (%.1fms repair wall time)\n",
+		cs.Rounds, cs.Waves, cs.Solicited, cs.RepairSelections, cs.RepairedUsers, cs.RepairWallMs)
 }
 
 func buildFeedback(p *podium.Podium, mustHave, mustNot, priority labelList) (podium.Feedback, error) {

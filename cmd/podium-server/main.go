@@ -46,6 +46,7 @@ func main() {
 		buckets     = flag.Int("buckets", 3, "score buckets per property")
 		batchWindow = flag.Duration("batch-window", 0, "mutable server: how long the writer waits for more mutations to coalesce (0 = drain whatever is queued)")
 		batchMax    = flag.Int("batch-max", 256, "mutable server: max mutations per published snapshot")
+		campaignDir = flag.String("campaign-dir", "", "journal campaigns as WAL files in this directory (empty = in-memory campaigns)")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 			log.Fatalf("podium-server: %v", err)
 		}
 		defer srv.Close()
+		srv.SetCampaignDir(*campaignDir)
 		fmt.Printf("podium-server: mutable repository %s — %d users; listening on http://%s\n",
 			*logPath, srv.Repository().NumUsers(), *addr)
 		log.Fatal(http.ListenAndServe(*addr, srv))
@@ -87,6 +89,7 @@ func main() {
 	}
 
 	srv := server.New(name, repo, groups.Config{K: *buckets}, configs)
+	srv.SetCampaignDir(*campaignDir)
 	fmt.Printf("podium-server: %s — %d users, %d properties; listening on http://%s\n",
 		name, repo.NumUsers(), repo.NumProperties(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))

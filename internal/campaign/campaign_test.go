@@ -1,0 +1,237 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+// testInstance builds a random repository and LBS/Single instance, the same
+// construction the core property tests use.
+func testInstance(seed int64, nUsers, nProps, budget int) *groups.Instance {
+	rng := stats.NewRand(seed)
+	repo := profile.NewRepository()
+	for u := 0; u < nUsers; u++ {
+		id := repo.AddUser(fmt.Sprintf("u%d", u))
+		for p := 0; p < nProps; p++ {
+			if rng.Float64() < 0.5 {
+				repo.MustSetScore(id, fmt.Sprintf("p%d", p), math.Round(rng.Float64()*20)/20)
+			}
+		}
+	}
+	ix := groups.Build(repo, groups.Config{K: 3})
+	return groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, budget)
+}
+
+func TestCampaignConvergesAndFillsBudget(t *testing.T) {
+	inst := testInstance(3, 200, 10, 10)
+	c := New(inst, nil, Config{Budget: 10, Seed: 41, Behavior: Behavior{NonResponse: 0.2}})
+	if err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := c.Status()
+	if !st.Done {
+		t.Fatal("campaign not done after Run")
+	}
+	if !st.Converged {
+		t.Fatalf("campaign did not converge: %+v", st)
+	}
+	if len(st.Accepted) != 10 {
+		t.Fatalf("accepted %d users, want 10", len(st.Accepted))
+	}
+	if got, want := st.Coverage, inst.Score(st.Accepted); got != want {
+		t.Fatalf("status coverage %v != Score(accepted) %v", got, want)
+	}
+	tr := c.Transcript()
+	if len(tr) == 0 {
+		t.Fatal("empty transcript")
+	}
+	if tr[0].Repaired {
+		t.Fatal("first round marked as repair")
+	}
+	for _, rr := range tr[1:] {
+		if !rr.Repaired {
+			t.Fatalf("round %d not marked as repair", rr.Round)
+		}
+	}
+}
+
+func TestCampaignTranscriptDeterministic(t *testing.T) {
+	inst := testInstance(5, 180, 10, 8)
+	cfg := Config{Budget: 8, Seed: 99, Behavior: Behavior{NonResponse: 0.35, Decline: 0.05}}
+	runOnce := func(workers int) ([]RoundRecord, []profile.UserID) {
+		c := New(inst, nil, Config{
+			Budget: cfg.Budget, Seed: cfg.Seed, Behavior: cfg.Behavior, Workers: workers,
+		})
+		if err := c.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return c.Transcript(), c.Status().Accepted
+	}
+	tr1, panel1 := runOnce(1)
+	tr2, panel2 := runOnce(13) // scheduling must not leak into the transcript
+	if !reflect.DeepEqual(tr1, tr2) {
+		t.Fatal("transcripts differ across worker counts")
+	}
+	if !reflect.DeepEqual(panel1, panel2) {
+		t.Fatalf("final panels differ: %v vs %v", panel1, panel2)
+	}
+}
+
+func TestCampaignBackoffCappedExponential(t *testing.T) {
+	inst := testInstance(7, 150, 10, 8)
+	c := New(inst, nil, Config{
+		Budget: 8, Seed: 3, MaxAttempts: 5,
+		BackoffBaseMs: 100, BackoffCapMs: 300,
+		Behavior: Behavior{NonResponse: 0.6},
+	})
+	if err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []float64{0, 100, 200, 300, 300} // min(100·2^(a−2), 300)
+	for _, rr := range c.Transcript() {
+		for i, w := range rr.Waves {
+			if w.Attempt != i+1 {
+				t.Fatalf("round %d wave %d has attempt %d", rr.Round, i, w.Attempt)
+			}
+			if got := w.BackoffMs; got != want[i] {
+				t.Fatalf("round %d attempt %d backoff %v, want %v", rr.Round, w.Attempt, got, want[i])
+			}
+			for j := 1; j < len(w.Results); j++ {
+				if w.Results[j-1].User >= w.Results[j].User {
+					t.Fatalf("wave results not in canonical user order: %v", w.Results)
+				}
+			}
+		}
+	}
+}
+
+func TestCampaignRepairRecoversCoverage(t *testing.T) {
+	// The acceptance criterion: at a 30% non-response rate, the repaired
+	// panel's weighted group coverage is at least the no-repair panel's and
+	// within 5% of a fresh selection over live users only.
+	inst := testInstance(11, 250, 12, 10)
+	behavior := Behavior{NonResponse: 0.3, Decline: 0.05}
+
+	repaired := New(inst, nil, Config{Budget: 10, Seed: 7, Behavior: behavior})
+	if err := repaired.Run(); err != nil {
+		t.Fatalf("Run(repaired): %v", err)
+	}
+	noRepair := New(inst, nil, Config{Budget: 10, Seed: 7, MaxRounds: 1, Behavior: behavior})
+	if err := noRepair.Run(); err != nil {
+		t.Fatalf("Run(no-repair): %v", err)
+	}
+
+	covRepaired := inst.Score(repaired.Status().Accepted)
+	covNoRepair := inst.Score(noRepair.Status().Accepted)
+	if covRepaired < covNoRepair {
+		t.Fatalf("repair lost coverage: %v < %v", covRepaired, covNoRepair)
+	}
+
+	// Fresh selection over live users only: everyone except the users the
+	// campaign observed to be dead or declining.
+	st := repaired.Status()
+	live := make([]bool, inst.Index.Repo().NumUsers())
+	for i := range live {
+		live[i] = true
+	}
+	for _, u := range st.Dead {
+		live[u] = false
+	}
+	for _, u := range st.Declined {
+		live[u] = false
+	}
+	fresh := core.GreedyRestricted(inst, 10, live)
+	covFresh := inst.Score(fresh.Users)
+	if covRepaired < 0.95*covFresh {
+		t.Fatalf("repaired coverage %v is more than 5%% below fresh-selection coverage %v", covRepaired, covFresh)
+	}
+
+	// The repair rounds must have actually replaced dropouts.
+	if stats := repaired.Stats(); stats.RepairSelections == 0 || stats.RepairedUsers == 0 {
+		t.Fatalf("campaign never repaired: %+v", stats)
+	}
+}
+
+func TestCampaignExhaustsWhenPopulationTooDead(t *testing.T) {
+	inst := testInstance(13, 40, 8, 30)
+	c := New(inst, nil, Config{
+		Budget: 30, Seed: 5, MaxRounds: 2,
+		Behavior: Behavior{NonResponse: 2.0, Decline: 0.5}, // flakiness clamps at 0.95
+	})
+	if err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := c.Status()
+	if !st.Done || st.Converged {
+		t.Fatalf("campaign should exhaust, got %+v", st)
+	}
+	if len(st.Accepted) >= 30 {
+		t.Fatalf("implausibly full panel: %d", len(st.Accepted))
+	}
+}
+
+// gatedPopulation blocks every response until the gate closes, so tests can
+// guarantee a cancellation lands while a wave is in flight.
+type gatedPopulation struct {
+	inner Population
+	gate  chan struct{}
+}
+
+func (g *gatedPopulation) Respond(u profile.UserID, round, attempt int) Response {
+	<-g.gate
+	return g.inner.Respond(u, round, attempt)
+}
+
+func TestCampaignCancelMidWave(t *testing.T) {
+	inst := testInstance(17, 120, 10, 8)
+	cfg := Config{Budget: 8, Seed: 21}.withDefaults()
+	gate := make(chan struct{})
+	pop := &gatedPopulation{inner: NewSimPopulation(cfg.Seed, cfg.Behavior), gate: gate}
+	c := New(inst, pop, cfg)
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Run() }()
+	c.Cancel()
+	close(gate)
+	if err := <-errCh; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := c.Status()
+	if !st.Done || !st.Cancelled {
+		t.Fatalf("expected cancelled campaign, got %+v", st)
+	}
+}
+
+func TestCampaignStatusWhileRunning(t *testing.T) {
+	// Pollers read Status concurrently with the orchestrator; exercised
+	// under -race by the check gate.
+	inst := testInstance(19, 160, 10, 8)
+	c := New(inst, nil, Config{Budget: 8, Seed: 31, Behavior: Behavior{NonResponse: 0.4}})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-c.Done():
+				return
+			default:
+				_ = c.Status()
+				_ = c.Transcript()
+				_ = c.Stats()
+			}
+		}
+	}()
+	if err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	<-done
+	if !c.Status().Done {
+		t.Fatal("not done")
+	}
+}

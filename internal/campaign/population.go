@@ -1,0 +1,103 @@
+package campaign
+
+import (
+	"podium/internal/profile"
+	"podium/internal/stats"
+)
+
+// Response is what a solicited user does with one solicitation attempt.
+type Response struct {
+	// Declined is an explicit refusal: the user is reachable but opts out of
+	// the whole campaign.
+	Declined bool
+	// Answered reports that an answer exists; LatencyMs is how long the user
+	// took to produce it. An answer slower than the orchestrator's timeout is
+	// a *late* answer — the solicitation is retried.
+	Answered  bool
+	LatencyMs float64
+}
+
+// Population produces solicitation responses. Implementations must be pure
+// functions of (u, round, attempt) — the orchestrator calls Respond from
+// concurrent workers and may re-ask after a crash-resume, and both rely on
+// the answer being identical every time.
+type Population interface {
+	Respond(u profile.UserID, round, attempt int) Response
+}
+
+// Behavior parameterizes the simulated population.
+type Behavior struct {
+	// MeanLatencyMs is the population-mean response latency (default 800).
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	// NonResponse is the population-mean probability that one attempt gets
+	// no answer at all. 0 selects the default 0.2; pass a negative value to
+	// disable non-response entirely.
+	NonResponse float64 `json:"non_response"`
+	// Decline is the probability that a user refuses the campaign outright
+	// — sampled once per user, so a decliner declines every attempt
+	// (default 0: nobody declines unless configured).
+	Decline float64 `json:"decline"`
+}
+
+func (b Behavior) withDefaults() Behavior {
+	if b.MeanLatencyMs <= 0 {
+		b.MeanLatencyMs = 800
+	}
+	if b.NonResponse < 0 {
+		b.NonResponse = 0
+	}
+	if b.NonResponse == 0 {
+		b.NonResponse = 0.2
+	}
+	if b.Decline < 0 {
+		b.Decline = 0
+	}
+	return b
+}
+
+// SimPopulation simulates users via stats RNG splitting: every user gets a
+// persistent trait stream (latency scale, flakiness, whether they decline)
+// and every (user, round, attempt) triple gets its own independent attempt
+// stream. Because each stream's seed is a pure function of the campaign seed
+// and the identifiers — stats.Derive, not a shared sequential generator —
+// responses are identical regardless of worker scheduling or crash-resume.
+type SimPopulation struct {
+	seed int64
+	b    Behavior
+}
+
+// Stream identifiers separating the trait and attempt derivation paths.
+const (
+	traitStream   = 1
+	attemptStream = 2
+)
+
+// NewSimPopulation builds the simulated population for a campaign seed.
+func NewSimPopulation(seed int64, b Behavior) *SimPopulation {
+	return &SimPopulation{seed: seed, b: b.withDefaults()}
+}
+
+// Respond simulates user u's reaction to solicitation (round, attempt).
+func (p *SimPopulation) Respond(u profile.UserID, round, attempt int) Response {
+	// Persistent traits: who this user is, independent of when we ask.
+	tr := stats.NewRand(stats.Derive(p.seed, traitStream, int64(u)))
+	latScale := 0.35 + 1.3*tr.Float64()                 // per-user mean latency factor
+	flaky := p.b.NonResponse * (0.4 + 1.2*tr.Float64()) // per-attempt silence probability
+	if flaky > 0.95 {
+		flaky = 0.95
+	}
+	declines := tr.Float64() < p.b.Decline
+
+	ar := stats.NewRand(stats.Derive(p.seed, attemptStream, int64(u), int64(round), int64(attempt)))
+	if declines {
+		// Refusals are quick: the user answers "no" well inside the timeout.
+		return Response{Declined: true, LatencyMs: 0.1 * p.b.MeanLatencyMs * ar.ExpFloat64()}
+	}
+	if ar.Float64() < flaky {
+		return Response{} // silent: this attempt never gets an answer
+	}
+	return Response{
+		Answered:  true,
+		LatencyMs: p.b.MeanLatencyMs * latScale * ar.ExpFloat64(),
+	}
+}

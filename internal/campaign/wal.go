@@ -1,0 +1,446 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"podium/internal/profile"
+)
+
+// The campaign WAL follows the repolog framing exactly — magic + version
+// header, then checksummed records — so a killed orchestrator recovers the
+// valid prefix and resumes mid-round. Unlike repolog (whose records rebuild a
+// repository), these records are the campaign's round transcript itself:
+// replaying them reconstructs the orchestrator state bit for bit, and the
+// deterministic simulation guarantees the continuation appends the same bytes
+// an uninterrupted run would have.
+//
+// File layout:
+//
+//	magic "PCMP" | format version (1 byte) | record*
+//	record := kind (1 byte) | uvarint len | payload | crc32(kind‖payload)
+const (
+	walMagic   = "PCMP"
+	walVersion = 1
+
+	recConfig   byte = 1 // JSON of the campaign Config, for resume validation
+	recRound    byte = 2 // round number + newly selected panel (pick order)
+	recWave     byte = 3 // one solicitation wave's outcomes, canonical user order
+	recRoundEnd byte = 4 // unresponsive users declared dead + coverage score
+	recDone     byte = 5 // terminal status + final panel
+
+	// maxWALRecordLen bounds one record; panels are at most a few thousand
+	// users, so this is generous.
+	maxWALRecordLen = 1 << 26
+)
+
+// Terminal status codes carried by recDone.
+const (
+	doneExhausted byte = 0 // candidates or rounds ran out before the budget filled
+	doneConverged byte = 1 // the panel reached the budget
+	doneCancelled byte = 2
+)
+
+// WAL journals one campaign. It is used only by the campaign's orchestrator
+// goroutine, never concurrently.
+type WAL struct {
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	// Recovered reports how many trailing bytes were discarded as a torn
+	// tail during Open.
+	Recovered int64
+
+	// failAfter, when positive, makes the append path fail once that many
+	// further records have been written — the deterministic "kill" the
+	// resume tests inject. Zero disables the hook.
+	failAfter int
+}
+
+// errKilled is the injected append failure of the resume tests.
+var errKilled = fmt.Errorf("campaign: wal append killed by test hook")
+
+// walEvent is one decoded record, produced by Open's replay.
+type walEvent interface{ walEvent() }
+
+type evConfig struct{ raw []byte }
+type evRound struct {
+	round    int
+	selected []profile.UserID
+}
+type evWave struct {
+	round, attempt int
+	backoffMs      float64
+	results        []SolicitResult
+}
+type evRoundEnd struct {
+	round    int
+	dead     []profile.UserID
+	coverage float64
+}
+type evDone struct {
+	status byte
+	panel  []profile.UserID
+}
+
+func (evConfig) walEvent()   {}
+func (evRound) walEvent()    {}
+func (evWave) walEvent()     {}
+func (evRoundEnd) walEvent() {}
+func (evDone) walEvent()     {}
+
+// OpenWAL opens (or creates) the journal at path, replays every valid record
+// and truncates any torn tail, returning the decoded events in order.
+func OpenWAL(path string) (*WAL, []walEvent, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("campaign: %w", err)
+	}
+	w := &WAL{path: path, f: f}
+	events, err := w.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.w = bufio.NewWriter(f)
+	return w, events, nil
+}
+
+func (w *WAL) replay() ([]walEvent, error) {
+	info, err := w.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := w.f.WriteString(walMagic); err != nil {
+			return nil, fmt.Errorf("campaign: writing header: %w", err)
+		}
+		if _, err := w.f.Write([]byte{walVersion}); err != nil {
+			return nil, fmt.Errorf("campaign: writing header: %w", err)
+		}
+		return nil, nil
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	r := bufio.NewReader(w.f)
+	head := make([]byte, len(walMagic)+1)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("campaign: reading header: %w", err)
+	}
+	if string(head[:len(walMagic)]) != walMagic {
+		return nil, fmt.Errorf("campaign: %s is not a campaign journal", w.path)
+	}
+	if head[len(walMagic)] != walVersion {
+		return nil, fmt.Errorf("campaign: unsupported journal version %d", head[len(walMagic)])
+	}
+	var events []walEvent
+	valid := int64(len(head))
+	for {
+		kind, payload, n, err := readWALRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Torn tail: keep the valid prefix, drop the rest.
+			w.Recovered = info.Size() - valid
+			break
+		}
+		ev, err := decodeWALEvent(kind, payload)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+		valid += n
+	}
+	if w.Recovered > 0 {
+		if err := w.f.Truncate(valid); err != nil {
+			return nil, fmt.Errorf("campaign: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := w.f.Seek(valid, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return events, nil
+}
+
+func readWALRecord(r *bufio.Reader) (kind byte, payload []byte, n int64, err error) {
+	kind, err = r.ReadByte()
+	if err != nil {
+		return 0, nil, 0, io.EOF
+	}
+	plen, lenBytes, err := readUvarintCounted(r)
+	if err != nil {
+		return 0, nil, 0, fmt.Errorf("campaign: record length: %w", err)
+	}
+	if plen > maxWALRecordLen {
+		return 0, nil, 0, fmt.Errorf("campaign: record of %d bytes exceeds limit", plen)
+	}
+	payload = make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, 0, fmt.Errorf("campaign: record payload: %w", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return 0, nil, 0, fmt.Errorf("campaign: record checksum: %w", err)
+	}
+	sum := crc32.NewIEEE()
+	sum.Write([]byte{kind})
+	sum.Write(payload)
+	if binary.LittleEndian.Uint32(crcBuf[:]) != sum.Sum32() {
+		return 0, nil, 0, fmt.Errorf("campaign: checksum mismatch")
+	}
+	return kind, payload, int64(1) + int64(lenBytes) + int64(plen) + 4, nil
+}
+
+func readUvarintCounted(r *bufio.Reader) (uint64, int, error) {
+	var v uint64
+	var shift, n int
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			return 0, n, err
+		}
+		n++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, n, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, n, fmt.Errorf("varint overflow")
+		}
+	}
+}
+
+func decodeWALEvent(kind byte, payload []byte) (walEvent, error) {
+	p := bytes.NewReader(payload)
+	switch kind {
+	case recConfig:
+		return evConfig{raw: payload}, nil
+	case recRound:
+		round, err := readUvarint(p, "round")
+		if err != nil {
+			return nil, err
+		}
+		sel, err := readUsers(p)
+		if err != nil {
+			return nil, err
+		}
+		return evRound{round: int(round), selected: sel}, nil
+	case recWave:
+		round, err := readUvarint(p, "round")
+		if err != nil {
+			return nil, err
+		}
+		attempt, err := readUvarint(p, "attempt")
+		if err != nil {
+			return nil, err
+		}
+		backoff, err := readFloat(p)
+		if err != nil {
+			return nil, err
+		}
+		count, err := readUvarint(p, "count")
+		if err != nil {
+			return nil, err
+		}
+		if count > maxWALRecordLen/8 {
+			return nil, fmt.Errorf("campaign: wave of %d results exceeds limit", count)
+		}
+		results := make([]SolicitResult, 0, count)
+		for i := uint64(0); i < count; i++ {
+			u, err := readUvarint(p, "user")
+			if err != nil {
+				return nil, err
+			}
+			out, err := p.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("campaign: wave outcome: %w", err)
+			}
+			lat, err := readFloat(p)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, SolicitResult{
+				User: profile.UserID(u), Outcome: Outcome(out), LatencyMs: lat,
+			})
+		}
+		return evWave{round: int(round), attempt: int(attempt), backoffMs: backoff, results: results}, nil
+	case recRoundEnd:
+		round, err := readUvarint(p, "round")
+		if err != nil {
+			return nil, err
+		}
+		dead, err := readUsers(p)
+		if err != nil {
+			return nil, err
+		}
+		cov, err := readFloat(p)
+		if err != nil {
+			return nil, err
+		}
+		return evRoundEnd{round: int(round), dead: dead, coverage: cov}, nil
+	case recDone:
+		status, err := p.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("campaign: done status: %w", err)
+		}
+		panel, err := readUsers(p)
+		if err != nil {
+			return nil, err
+		}
+		return evDone{status: status, panel: panel}, nil
+	}
+	return nil, fmt.Errorf("campaign: unknown record kind %d", kind)
+}
+
+func readUvarint(p *bytes.Reader, what string) (uint64, error) {
+	v, err := binary.ReadUvarint(p)
+	if err != nil {
+		return 0, fmt.Errorf("campaign: %s: %w", what, err)
+	}
+	return v, nil
+}
+
+func readFloat(p *bytes.Reader) (float64, error) {
+	var bits [8]byte
+	if _, err := io.ReadFull(p, bits[:]); err != nil {
+		return 0, fmt.Errorf("campaign: float: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(bits[:])), nil
+}
+
+func readUsers(p *bytes.Reader) ([]profile.UserID, error) {
+	count, err := readUvarint(p, "user count")
+	if err != nil {
+		return nil, err
+	}
+	if count > maxWALRecordLen/2 {
+		return nil, fmt.Errorf("campaign: user list of %d exceeds limit", count)
+	}
+	out := make([]profile.UserID, 0, count)
+	for i := uint64(0); i < count; i++ {
+		u, err := readUvarint(p, "user")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, profile.UserID(u))
+	}
+	return out, nil
+}
+
+// --- encoding ---
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func putFloat(buf *bytes.Buffer, v float64) {
+	var bits [8]byte
+	binary.LittleEndian.PutUint64(bits[:], math.Float64bits(v))
+	buf.Write(bits[:])
+}
+
+func putUsers(buf *bytes.Buffer, users []profile.UserID) {
+	putUvarint(buf, uint64(len(users)))
+	for _, u := range users {
+		putUvarint(buf, uint64(u))
+	}
+}
+
+// AppendConfig journals the campaign configuration (its canonical JSON).
+func (w *WAL) AppendConfig(raw []byte) error { return w.append(recConfig, raw) }
+
+// AppendRound journals a round's newly selected panel, in pick order.
+func (w *WAL) AppendRound(round int, selected []profile.UserID) error {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(round))
+	putUsers(&buf, selected)
+	return w.append(recRound, buf.Bytes())
+}
+
+// AppendWave journals one solicitation wave, results in canonical user order.
+func (w *WAL) AppendWave(round, attempt int, backoffMs float64, results []SolicitResult) error {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(round))
+	putUvarint(&buf, uint64(attempt))
+	putFloat(&buf, backoffMs)
+	putUvarint(&buf, uint64(len(results)))
+	for _, res := range results {
+		putUvarint(&buf, uint64(res.User))
+		buf.WriteByte(byte(res.Outcome))
+		putFloat(&buf, res.LatencyMs)
+	}
+	return w.append(recWave, buf.Bytes())
+}
+
+// AppendRoundEnd journals the users declared unresponsive this round and the
+// accepted panel's coverage score after the round.
+func (w *WAL) AppendRoundEnd(round int, dead []profile.UserID, coverage float64) error {
+	var buf bytes.Buffer
+	putUvarint(&buf, uint64(round))
+	putUsers(&buf, dead)
+	putFloat(&buf, coverage)
+	return w.append(recRoundEnd, buf.Bytes())
+}
+
+// AppendDone journals the campaign's terminal status and final panel.
+func (w *WAL) AppendDone(status byte, panel []profile.UserID) error {
+	var buf bytes.Buffer
+	buf.WriteByte(status)
+	putUsers(&buf, panel)
+	return w.append(recDone, buf.Bytes())
+}
+
+// append frames, writes and syncs one record. Each record is durable before
+// the orchestrator proceeds — the wave is the campaign's durability unit.
+func (w *WAL) append(kind byte, payload []byte) error {
+	if w.failAfter != 0 {
+		w.failAfter--
+		if w.failAfter == 0 {
+			return errKilled
+		}
+	}
+	if err := w.w.WriteByte(kind); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	if _, err := w.w.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(payload)))]); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	sum := crc32.NewIEEE()
+	sum.Write([]byte{kind})
+	sum.Write(payload)
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], sum.Sum32())
+	if _, err := w.w.Write(crcBuf[:]); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal.
+func (w *WAL) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("campaign: %w", err)
+	}
+	return w.f.Close()
+}

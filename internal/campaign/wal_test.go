@@ -1,0 +1,176 @@
+package campaign
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"podium/internal/profile"
+)
+
+// runJournaled runs a fresh journaled campaign to completion and returns its
+// transcript, final panel and WAL bytes.
+func runJournaled(t *testing.T, cfg Config, path string) ([]RoundRecord, []profile.UserID, []byte) {
+	t.Helper()
+	inst := testInstance(5, 180, 10, cfg.Budget)
+	c, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("NewWithWAL: %v", err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading WAL: %v", err)
+	}
+	return c.Transcript(), c.Status().Accepted, data
+}
+
+func TestCampaignWALKillResumeBitIdentical(t *testing.T) {
+	// The deterministic-simulation acceptance test: a campaign killed after
+	// every possible journal record, resumed from the WAL, must reproduce
+	// the uninterrupted run's transcript, final panel and journal bytes.
+	cfg := Config{Budget: 8, Seed: 77, Behavior: Behavior{NonResponse: 0.35, Decline: 0.05}}
+	dir := t.TempDir()
+
+	wantTr, wantPanel, wantBytes := runJournaled(t, cfg, filepath.Join(dir, "uninterrupted.wal"))
+
+	inst := testInstance(5, 180, 10, cfg.Budget)
+	for kill := 1; ; kill++ {
+		path := filepath.Join(dir, "killed.wal")
+		os.Remove(path)
+
+		c, err := NewWithWAL(inst, nil, cfg, path)
+		if err != nil {
+			t.Fatalf("NewWithWAL: %v", err)
+		}
+		c.wal.failAfter = kill
+		err = c.Run()
+		if err == nil {
+			// The campaign finished before the hook fired: every earlier
+			// kill point has been exercised.
+			if kill == 1 {
+				t.Fatal("kill hook never fired")
+			}
+			break
+		}
+		if !errors.Is(err, errKilled) {
+			t.Fatalf("kill %d: unexpected error %v", kill, err)
+		}
+
+		resumed, err := NewWithWAL(inst, nil, cfg, path)
+		if err != nil {
+			t.Fatalf("kill %d: resume: %v", kill, err)
+		}
+		if err := resumed.Run(); err != nil {
+			t.Fatalf("kill %d: resumed Run: %v", kill, err)
+		}
+		if got := resumed.Transcript(); !reflect.DeepEqual(got, wantTr) {
+			t.Fatalf("kill %d: resumed transcript diverges", kill)
+		}
+		if got := resumed.Status().Accepted; !reflect.DeepEqual(got, wantPanel) {
+			t.Fatalf("kill %d: resumed panel %v, want %v", kill, got, wantPanel)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("kill %d: reading WAL: %v", kill, err)
+		}
+		if !reflect.DeepEqual(data, wantBytes) {
+			t.Fatalf("kill %d: resumed WAL bytes diverge from the uninterrupted run", kill)
+		}
+	}
+}
+
+func TestCampaignWALTornTailRecovery(t *testing.T) {
+	cfg := Config{Budget: 8, Seed: 19, Behavior: Behavior{NonResponse: 0.3}}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn.wal")
+	wantTr, wantPanel, wantBytes := runJournaled(t, cfg, filepath.Join(dir, "clean.wal"))
+
+	if _, _, data := runJournaled(t, cfg, path); len(data) < 20 {
+		t.Fatalf("WAL too small to tear: %d bytes", len(data))
+	}
+	// Tear the file mid-record — the signature of a crash during an append.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	inst := testInstance(5, 180, 10, cfg.Budget)
+	resumed, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("resume after tear: %v", err)
+	}
+	if resumed.wal.Recovered == 0 {
+		t.Fatal("no torn tail reported")
+	}
+	if err := resumed.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if got := resumed.Transcript(); !reflect.DeepEqual(got, wantTr) {
+		t.Fatal("transcript diverges after torn-tail recovery")
+	}
+	if got := resumed.Status().Accepted; !reflect.DeepEqual(got, wantPanel) {
+		t.Fatalf("panel diverges after torn-tail recovery: %v", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(data, wantBytes) {
+		t.Fatal("WAL bytes diverge after torn-tail recovery")
+	}
+}
+
+func TestCampaignWALCompletedIsNoop(t *testing.T) {
+	cfg := Config{Budget: 6, Seed: 23}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "done.wal")
+	wantTr, wantPanel, wantBytes := runJournaled(t, cfg, path)
+
+	inst := testInstance(5, 180, 10, cfg.Budget)
+	again, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := again.Run(); err != nil {
+		t.Fatalf("Run on completed journal: %v", err)
+	}
+	st := again.Status()
+	if !st.Done {
+		t.Fatal("replayed campaign not done")
+	}
+	if !reflect.DeepEqual(st.Accepted, wantPanel) {
+		t.Fatalf("replayed panel %v, want %v", st.Accepted, wantPanel)
+	}
+	if got := again.Transcript(); !reflect.DeepEqual(got, wantTr) {
+		t.Fatal("replayed transcript diverges")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(data, wantBytes) {
+		t.Fatal("reopening a completed journal modified it")
+	}
+}
+
+func TestCampaignWALConfigMismatchRejected(t *testing.T) {
+	cfg := Config{Budget: 6, Seed: 29}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.wal")
+	runJournaled(t, cfg, path)
+
+	inst := testInstance(5, 180, 10, 6)
+	other := cfg
+	other.Seed = 30
+	if _, err := NewWithWAL(inst, nil, other, path); err == nil {
+		t.Fatal("resume under a different configuration was accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestClientCampaignLifecycle(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+
+	created, err := c.CreateCampaign(ctx, CampaignRequest{Budget: 2, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != 1 || created.Budget != 2 {
+		t.Fatalf("created = %+v", created)
+	}
+
+	done, err := c.WaitCampaign(ctx, created.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.Terminal() {
+		t.Fatalf("WaitCampaign returned non-terminal state %q", done.State)
+	}
+	if done.State != "converged" && done.State != "exhausted" {
+		t.Fatalf("state = %q", done.State)
+	}
+	if len(done.Rounds) == 0 {
+		t.Fatalf("detail view has no transcript: %+v", done)
+	}
+
+	list, err := c.Campaigns(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != created.ID {
+		t.Fatalf("list = %+v", list)
+	}
+
+	if _, err := c.Campaign(ctx, 999); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
+		t.Fatalf("unknown campaign error = %v", err)
+	}
+}
+
+func TestClientCampaignCancel(t *testing.T) {
+	c, _ := newPair(t)
+	ctx := context.Background()
+	// Real-time pacing keeps the campaign running long enough to cancel.
+	created, err := c.CreateCampaign(ctx, CampaignRequest{
+		Budget: 2, Seed: 5, TimeScale: 1.0, MeanLatencyMs: 2000, TimeoutMs: 3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CancelCampaign(ctx, created.ID); err != nil {
+		t.Fatal(err)
+	}
+	done, err := c.WaitCampaign(ctx, created.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "cancelled" {
+		t.Fatalf("state = %q, want cancelled", done.State)
+	}
+}
+
+func TestClientDefaultTimeout(t *testing.T) {
+	// A server that never answers must trip the client-side deadline instead
+	// of hanging the caller.
+	stall := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer func() { close(stall); ts.Close() }()
+
+	c := NewWithTimeout(ts.URL, nil, 50*time.Millisecond)
+	start := time.Now()
+	_, err := c.Status()
+	if err == nil {
+		t.Fatal("stalled server produced no error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	if !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "Client.Timeout") {
+		t.Fatalf("error %v does not look like a timeout", err)
+	}
+
+	// A caller-supplied deadline wins over the default.
+	c2 := New(ts.URL, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c2.Campaigns(ctx); err == nil {
+		t.Fatal("caller deadline was ignored")
+	}
+}

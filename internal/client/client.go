@@ -7,6 +7,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,23 +15,36 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"podium/internal/server"
 )
+
+// DefaultTimeout bounds every request issued through a context without its
+// own deadline, so a wedged server cannot hang a caller forever.
+const DefaultTimeout = 30 * time.Second
 
 // Client talks to one Podium server.
 type Client struct {
 	baseURL string
 	http    *http.Client
+	timeout time.Duration
 }
 
 // New builds a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
-// httpClient may be nil for http.DefaultClient.
+// httpClient may be nil for http.DefaultClient. Requests carry DefaultTimeout
+// unless the caller's context brings its own deadline; see NewWithTimeout.
 func New(baseURL string, httpClient *http.Client) *Client {
+	return NewWithTimeout(baseURL, httpClient, DefaultTimeout)
+}
+
+// NewWithTimeout is New with an explicit per-request timeout. timeout <= 0
+// disables the client-side deadline entirely.
+func NewWithTimeout(baseURL string, httpClient *http.Client, timeout time.Duration) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient, timeout: timeout}
 }
 
 // Status is the dataset shape the server reports.
@@ -100,7 +114,7 @@ type Distribution struct {
 // Status fetches the dataset shape.
 func (c *Client) Status() (Status, error) {
 	var s Status
-	return s, c.get("/api/status", nil, &s)
+	return s, c.get(context.Background(), "/api/status", nil, &s)
 }
 
 // Groups lists the largest groups, up to limit (0 = server default).
@@ -110,19 +124,19 @@ func (c *Client) Groups(limit int) ([]GroupInfo, error) {
 		q.Set("limit", strconv.Itoa(limit))
 	}
 	var gs []GroupInfo
-	return gs, c.get("/api/groups", q, &gs)
+	return gs, c.get(context.Background(), "/api/groups", q, &gs)
 }
 
 // Configurations lists the administrator-provided named configurations.
 func (c *Client) Configurations() ([]server.NamedConfig, error) {
 	var cs []server.NamedConfig
-	return cs, c.get("/api/configurations", nil, &cs)
+	return cs, c.get(context.Background(), "/api/configurations", nil, &cs)
 }
 
 // Select runs a selection.
 func (c *Client) Select(req SelectRequest) (Selection, error) {
 	var sel Selection
-	return sel, c.post("/api/select", req, &sel)
+	return sel, c.post(context.Background(), "/api/select", req, &sel)
 }
 
 // Query runs a declarative-language selection.
@@ -131,7 +145,7 @@ func (c *Client) Query(queryText string) (Selection, error) {
 	body := struct {
 		Query string `json:"query"`
 	}{queryText}
-	return sel, c.post("/api/query", body, &sel)
+	return sel, c.post(context.Background(), "/api/query", body, &sel)
 }
 
 // AddUser creates a user with an initial profile on a mutable server
@@ -145,7 +159,7 @@ func (c *Client) AddUser(name string, properties map[string]float64) (id, groups
 		ID     int `json:"id"`
 		Groups int `json:"groups"`
 	}
-	if err := c.post("/api/users", body, &resp); err != nil {
+	if err := c.post(context.Background(), "/api/users", body, &resp); err != nil {
 		return 0, 0, err
 	}
 	return resp.ID, resp.Groups, nil
@@ -161,7 +175,7 @@ func (c *Client) SetScore(user int, label string, score float64) error {
 	var resp struct {
 		Status string `json:"status"`
 	}
-	return c.post("/api/scores", body, &resp)
+	return c.post(context.Background(), "/api/scores", body, &resp)
 }
 
 // Distribution fetches a property's population-versus-subset distribution.
@@ -176,27 +190,49 @@ func (c *Client) Distribution(property string, users []int) (Distribution, error
 		q.Set("users", strings.Join(parts, ","))
 	}
 	var d Distribution
-	return d, c.get("/api/distribution", q, &d)
+	return d, c.get(context.Background(), "/api/distribution", q, &d)
 }
 
-func (c *Client) get(path string, query url.Values, out interface{}) error {
+// withDeadline applies the client's default timeout when ctx has no deadline
+// of its own. The returned cancel must run after the response body is read.
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok || c.timeout <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.timeout)
+}
+
+func (c *Client) get(ctx context.Context, path string, query url.Values, out interface{}) error {
 	u := c.baseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	resp, err := c.http.Get(u)
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("client: GET %s: %w", path, err)
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: GET %s: %w", path, err)
 	}
 	return decode(resp, path, out)
 }
 
-func (c *Client) post(path string, body, out interface{}) error {
+func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("client: encoding %s request: %w", path, err)
 	}
-	resp, err := c.http.Post(c.baseURL+path, "application/json", bytes.NewReader(payload))
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("client: POST %s: %w", path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: POST %s: %w", path, err)
 	}

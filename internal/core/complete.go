@@ -1,0 +1,67 @@
+package core
+
+import (
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+// GreedyComplete tops up a partial panel: it runs the restricted greedy of
+// GreedyRestricted against the *residual* instance in which every group's
+// coverage requirement is reduced by the hits the existing panel already
+// provides. Members of have never re-enter the candidate pool, and when
+// allowed is non-nil only users with allowed[u] == true are candidates.
+//
+// This is the coverage-repair primitive of the campaign orchestrator
+// (internal/campaign): after dropouts shrink a solicited panel, the groups
+// the respondents still cover contribute nothing to marginals, so the
+// replacement picks chase exactly the coverage the dropouts took with them —
+// equivalent to resuming Algorithm 1 from the partial selection over the
+// refined population. Marginals in the returned Result are therefore true
+// marginals with respect to have: Score(have ∪ picks) − Score(have) equals
+// the sum of the returned marginals up to float rounding.
+func GreedyComplete(inst *groups.Instance, budget int, have []profile.UserID, allowed []bool, opt Options) *Result {
+	if len(have) == 0 {
+		return GreedyRestrictedOpts(inst, budget, allowed, opt)
+	}
+	ix := inst.Index
+	n := ix.Repo().NumUsers()
+
+	// Residual coverage: cov′(G) = max(0, cov(G) − |have ∩ G|), duplicates
+	// in have counted once (as in Instance.Score).
+	cov := make([]int, len(inst.Cov))
+	copy(cov, inst.Cov)
+	seen := make(map[profile.UserID]bool, len(have))
+	for _, u := range have {
+		if int(u) < 0 || int(u) >= n || seen[u] {
+			continue
+		}
+		seen[u] = true
+		for _, g := range ix.UserGroups(u) {
+			if cov[g] > 0 {
+				cov[g]--
+			}
+		}
+	}
+
+	// Exclude the existing panel from the candidate pool.
+	restricted := make([]bool, n)
+	if allowed == nil {
+		for u := range restricted {
+			restricted[u] = true
+		}
+	} else {
+		copy(restricted, allowed)
+	}
+	for u := range seen {
+		restricted[u] = false
+	}
+
+	residual := &groups.Instance{
+		Index:   inst.Index,
+		Wei:     inst.Wei,
+		Cov:     cov,
+		EBS:     inst.EBS,
+		EBSRank: inst.EBSRank,
+	}
+	return GreedyRestrictedOpts(residual, budget, restricted, opt)
+}

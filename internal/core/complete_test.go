@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"podium/internal/groups"
+	"podium/internal/profile"
+)
+
+func TestGreedyCompleteEmptyPanelIsGreedy(t *testing.T) {
+	inst := randomInstance(11, 120, 12, groups.WeightLBS, groups.CoverSingle, 6)
+	want := Greedy(inst, 6)
+	got := GreedyComplete(inst, 6, nil, nil, Options{})
+	if !usersEqual(want.Users, got.Users) || want.Score != got.Score {
+		t.Fatalf("GreedyComplete(∅) diverges from Greedy: %v vs %v", got.Users, want.Users)
+	}
+}
+
+func TestGreedyCompleteResumesAlgorithmOne(t *testing.T) {
+	// Completing the first i picks of a greedy run must reproduce the
+	// remaining picks exactly: the residual instance makes GreedyComplete a
+	// resumption of Algorithm 1 from the partial selection.
+	inst := randomInstance(23, 150, 10, groups.WeightLBS, groups.CoverSingle, 8)
+	full := Greedy(inst, 8)
+	for i := 1; i < len(full.Users); i++ {
+		rest := GreedyComplete(inst, 8-i, full.Users[:i], nil, Options{})
+		if !usersEqual(rest.Users, full.Users[i:]) {
+			t.Fatalf("resuming after %d picks selected %v, want %v", i, rest.Users, full.Users[i:])
+		}
+	}
+}
+
+func TestGreedyCompleteMarginalsAreTrueMarginals(t *testing.T) {
+	inst := randomInstance(31, 140, 10, groups.WeightLBS, groups.CoverProp, 8)
+	have := []profile.UserID{3, 17, 42, 17} // duplicate counted once
+	res := GreedyComplete(inst, 4, have, nil, Options{})
+	var marg float64
+	for _, m := range res.Marginals {
+		marg += m
+	}
+	base := inst.Score([]profile.UserID{3, 17, 42})
+	got := inst.Score(append([]profile.UserID{3, 17, 42}, res.Users...))
+	if math.Abs((got-base)-marg) > 1e-9 {
+		t.Fatalf("marginals sum %.12f, want Score delta %.12f", marg, got-base)
+	}
+}
+
+func TestGreedyCompleteExcludesPanelAndDisallowed(t *testing.T) {
+	inst := randomInstance(47, 100, 8, groups.WeightLBS, groups.CoverSingle, 8)
+	n := inst.Index.Repo().NumUsers()
+	allowed := make([]bool, n)
+	for u := 0; u < n; u++ {
+		allowed[u] = u%2 == 0 // odd users are "dead"
+	}
+	have := []profile.UserID{0, 2, 4}
+	res := GreedyComplete(inst, 5, have, allowed, Options{})
+	inHave := map[profile.UserID]bool{0: true, 2: true, 4: true}
+	for _, u := range res.Users {
+		if inHave[u] {
+			t.Fatalf("re-selected existing panel member %d", u)
+		}
+		if u%2 == 1 {
+			t.Fatalf("selected disallowed user %d", u)
+		}
+	}
+}
+
+func TestGreedyCompleteEBSPath(t *testing.T) {
+	inst := randomInstance(53, 90, 8, groups.WeightEBS, groups.CoverSingle, 6)
+	full := Greedy(inst, 6)
+	if len(full.Users) < 4 {
+		t.Skip("instance too small for a meaningful split")
+	}
+	rest := GreedyComplete(inst, len(full.Users)-2, full.Users[:2], nil, Options{})
+	if !usersEqual(rest.Users, full.Users[2:]) {
+		t.Fatalf("EBS completion selected %v, want %v", rest.Users, full.Users[2:])
+	}
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"podium/internal/campaign"
+	"podium/internal/core"
+	"podium/internal/groups"
+)
+
+// CampaignConfig parameterizes the campaign-orchestrator benchmark suite: a
+// non-response sweep over one synthetic population, comparing the repaired
+// campaign against a single-round no-repair baseline and against the
+// full-population greedy ideal.
+type CampaignConfig struct {
+	Seed   int64
+	Budget int
+	// Users is the synthetic population size (default 2000).
+	Users int
+	// NonResponseRates is the sweep (default 0.1, 0.3, 0.5).
+	NonResponseRates []float64
+	// Decline is the population's campaign-refusal probability (default 0.05).
+	Decline float64
+	// Workers is the solicitation worker-pool size (default 8).
+	Workers int
+	// Parallelism is the selection engine's worker count (0 = NumCPU).
+	Parallelism int
+	// Repetitions per timing; the minimum wall time is reported (default 3).
+	Repetitions int
+}
+
+func (c CampaignConfig) withDefaults() CampaignConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if c.Users <= 0 {
+		c.Users = 2000
+	}
+	if len(c.NonResponseRates) == 0 {
+		c.NonResponseRates = []float64{0.1, 0.3, 0.5}
+	}
+	if c.Decline < 0 {
+		c.Decline = 0
+	}
+	if c.Decline == 0 {
+		c.Decline = 0.05
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	return c
+}
+
+// CampaignRow is one non-response rate's measurements.
+type CampaignRow struct {
+	NonResponse float64 `json:"non_response"`
+	// Orchestration volume of the repaired campaign.
+	Rounds    int `json:"rounds"`
+	Waves     int `json:"waves"`
+	Solicited int `json:"solicited"`
+	Accepted  int `json:"accepted"`
+	Dead      int `json:"dead"`
+	// RoundsPerSec is orchestration throughput at TimeScale 0 (no simulated
+	// waiting): rounds divided by the fastest observed wall time.
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	// RepairSelections counts the restricted re-selections after round 1;
+	// RepairLatencyMs is their mean wall time.
+	RepairSelections int     `json:"repair_selections"`
+	RepairLatencyMs  float64 `json:"repair_latency_ms"`
+	// Final weighted group coverage: the repaired campaign, the single-round
+	// no-repair baseline, and the full-population greedy ideal.
+	CoverageRepaired float64 `json:"coverage_repaired"`
+	CoverageNoRepair float64 `json:"coverage_no_repair"`
+	CoverageIdeal    float64 `json:"coverage_ideal"`
+	// RecoveredFrac is (repaired − no-repair)/(ideal − no-repair): how much of
+	// the dropout-induced coverage loss the repair rounds win back (1 when the
+	// no-repair baseline already matches the ideal).
+	RecoveredFrac float64 `json:"recovered_frac"`
+}
+
+// CampaignReport is the machine-readable result of the suite, serialized to
+// BENCH_campaign.json.
+type CampaignReport struct {
+	Suite       string        `json:"suite"`
+	Workload    string        `json:"workload"`
+	Budget      int           `json:"budget"`
+	Seed        int64         `json:"seed"`
+	Users       int           `json:"users"`
+	Groups      int           `json:"groups"`
+	Workers     int           `json:"workers"`
+	Parallelism int           `json:"parallelism"`
+	NumCPU      int           `json:"num_cpu"`
+	Rows        []CampaignRow `json:"rows"`
+	// MinRecoveredFrac is the worst repair recovery across the sweep — the
+	// regression gate for the repair machinery.
+	MinRecoveredFrac float64 `json:"min_recovered_frac"`
+}
+
+// RunCampaignSuite benchmarks the campaign orchestrator across a non-response
+// sweep and returns both the rendered table and the JSON report.
+func RunCampaignSuite(cfg CampaignConfig) (*Table, *CampaignReport, error) {
+	cfg = cfg.withDefaults()
+	const (
+		mRps   = "Rounds/sec"
+		mRep   = "Repair ms"
+		mCovR  = "Cov repaired"
+		mCovNR = "Cov no-repair"
+		mCovI  = "Cov ideal"
+	)
+	t := &Table{
+		Title:   fmt.Sprintf("Campaign orchestrator, |U|=%d, B=%d (coverage repair vs baselines)", cfg.Users, cfg.Budget),
+		Metrics: []string{mRps, mRep, mCovR, mCovNR, mCovI},
+	}
+	ds := scaleDataset(cfg.Seed, cfg.Users, 200)
+	ix := groups.Build(ds.Repo, groups.Config{K: 3})
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+	rep := &CampaignReport{
+		Suite:       "campaign",
+		Workload:    "non-response-sweep",
+		Budget:      cfg.Budget,
+		Seed:        cfg.Seed,
+		Users:       ix.Repo().NumUsers(),
+		Groups:      ix.NumGroups(),
+		Workers:     cfg.Workers,
+		Parallelism: cfg.Parallelism,
+		NumCPU:      runtime.NumCPU(),
+	}
+	ideal := inst.Score(core.Greedy(inst, cfg.Budget).Users)
+
+	for _, nr := range cfg.NonResponseRates {
+		mk := func(maxRounds int) campaign.Config {
+			return campaign.Config{
+				Budget:      cfg.Budget,
+				MaxRounds:   maxRounds,
+				Workers:     cfg.Workers,
+				Seed:        cfg.Seed,
+				Parallelism: cfg.Parallelism,
+				Behavior:    campaign.Behavior{NonResponse: nr, Decline: cfg.Decline},
+			}
+		}
+		// Campaigns are deterministic, so any repetition yields the same
+		// transcript; repetitions only sharpen the wall-time measurement.
+		var last *campaign.Campaign
+		best := 0.0
+		for i := 0; i < cfg.Repetitions; i++ {
+			c := campaign.New(inst, nil, mk(0))
+			start := time.Now()
+			if err := c.Run(); err != nil {
+				return nil, nil, fmt.Errorf("campaign suite: non-response %.2f: %w", nr, err)
+			}
+			if s := time.Since(start).Seconds(); i == 0 || s < best {
+				best = s
+			}
+			last = c
+		}
+		noRepair := campaign.New(inst, nil, mk(1))
+		if err := noRepair.Run(); err != nil {
+			return nil, nil, fmt.Errorf("campaign suite: no-repair baseline: %w", err)
+		}
+
+		st := last.Status()
+		cs := last.Stats()
+		row := CampaignRow{
+			NonResponse:      nr,
+			Rounds:           cs.Rounds,
+			Waves:            cs.Waves,
+			Solicited:        cs.Solicited,
+			Accepted:         len(st.Accepted),
+			Dead:             len(st.Dead),
+			RepairSelections: cs.RepairSelections,
+			CoverageRepaired: st.Coverage,
+			CoverageNoRepair: noRepair.Status().Coverage,
+			CoverageIdeal:    ideal,
+		}
+		if best > 0 {
+			row.RoundsPerSec = float64(cs.Rounds) / best
+		}
+		if cs.RepairSelections > 0 {
+			row.RepairLatencyMs = cs.RepairWallMs / float64(cs.RepairSelections)
+		}
+		if gap := ideal - row.CoverageNoRepair; gap > 0 {
+			row.RecoveredFrac = (row.CoverageRepaired - row.CoverageNoRepair) / gap
+		} else {
+			row.RecoveredFrac = 1
+		}
+		rep.Rows = append(rep.Rows, row)
+		if len(rep.Rows) == 1 || row.RecoveredFrac < rep.MinRecoveredFrac {
+			rep.MinRecoveredFrac = row.RecoveredFrac
+		}
+
+		t.Rows = append(t.Rows, Row{
+			Name: fmt.Sprintf("non-response %.0f%%", nr*100),
+			Values: map[string]float64{
+				mRps:   row.RoundsPerSec,
+				mRep:   row.RepairLatencyMs,
+				mCovR:  row.CoverageRepaired,
+				mCovNR: row.CoverageNoRepair,
+				mCovI:  row.CoverageIdeal,
+			},
+		})
+	}
+	return t, rep, nil
+}

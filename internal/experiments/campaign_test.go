@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+func TestCampaignSuiteShapes(t *testing.T) {
+	tab, rep, err := RunCampaignSuite(CampaignConfig{
+		Seed: 7, Budget: 6, Users: 300,
+		NonResponseRates: []float64{0.3},
+		Repetitions:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d/%d, want 1", len(rep.Rows), len(tab.Rows))
+	}
+	row := rep.Rows[0]
+	if row.Rounds < 1 || row.Waves < row.Rounds || row.Solicited < row.Waves {
+		t.Fatalf("implausible volume: %+v", row)
+	}
+	if row.RoundsPerSec <= 0 {
+		t.Fatalf("rounds/sec = %v", row.RoundsPerSec)
+	}
+	if row.CoverageRepaired < row.CoverageNoRepair {
+		t.Fatalf("repair lost coverage: %+v", row)
+	}
+	if row.CoverageIdeal < row.CoverageRepaired {
+		t.Fatalf("repaired coverage exceeds the full-population ideal: %+v", row)
+	}
+	if row.RecoveredFrac < 0 || row.RecoveredFrac > 1 {
+		t.Fatalf("recovered fraction %v outside [0,1]", row.RecoveredFrac)
+	}
+	if rep.MinRecoveredFrac != row.RecoveredFrac {
+		t.Fatalf("min recovered %v != only row's %v", rep.MinRecoveredFrac, row.RecoveredFrac)
+	}
+	if rep.Suite != "campaign" || rep.Users != 300 {
+		t.Fatalf("report header = %+v", rep)
+	}
+}
+
+func TestCampaignSuiteDeterministicCoverage(t *testing.T) {
+	run := func() *CampaignReport {
+		_, rep, err := RunCampaignSuite(CampaignConfig{
+			Seed: 11, Budget: 6, Users: 250,
+			NonResponseRates: []float64{0.2},
+			Repetitions:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Rows[0].CoverageRepaired != b.Rows[0].CoverageRepaired ||
+		a.Rows[0].Rounds != b.Rows[0].Rounds ||
+		a.Rows[0].Solicited != b.Rows[0].Solicited {
+		t.Fatalf("campaign suite not deterministic: %+v vs %+v", a.Rows[0], b.Rows[0])
+	}
+}

@@ -1,0 +1,93 @@
+package opinions
+
+import (
+	"testing"
+
+	"podium/internal/profile"
+)
+
+// Edge cases of the procurement/evaluation API: empty user sets, users
+// without reviews, out-of-range destination ids and degenerate n values must
+// all degrade gracefully instead of panicking.
+
+func TestProcureEmptyUserSet(t *testing.T) {
+	s, d := fixture(t)
+	if got := s.Procure(d, []profile.UserID{}); len(got) != 0 {
+		t.Fatalf("empty user set procured %d reviews", len(got))
+	}
+	ev := Evaluate(s, nil)
+	if ev.Destinations != 1 {
+		t.Fatalf("destinations = %d", ev.Destinations)
+	}
+	if ev.TopicSentiment != 0 || ev.Usefulness != 0 || ev.RatingVar != 0 {
+		t.Fatalf("empty selection produced nonzero opinion metrics: %+v", ev)
+	}
+}
+
+func TestProcureUserWithZeroReviews(t *testing.T) {
+	s, d := fixture(t)
+	ghost := []profile.UserID{42} // never reviewed anything
+	if got := s.Procure(d, ghost); len(got) != 0 {
+		t.Fatalf("reviewless user procured %d reviews", len(got))
+	}
+	if got := s.UserDestinations(42); len(got) != 0 {
+		t.Fatalf("reviewless user has destinations %v", got)
+	}
+	if got := Usefulness(s, d, ghost); got != 0 {
+		t.Fatalf("usefulness = %v", got)
+	}
+	if got := RatingVariance(s, d, ghost); got != 0 {
+		t.Fatalf("variance = %v", got)
+	}
+	if got := TopicSentimentCoverage(s, d, ghost); got != 0 {
+		t.Fatalf("coverage = %v", got)
+	}
+	// CD-sim against an all-zero subset distribution is well-defined.
+	if got := RatingDistributionSimilarity(s, d, ghost); got < 0 || got > 1 {
+		t.Fatalf("similarity = %v outside [0,1]", got)
+	}
+}
+
+func TestProcureUnknownDestination(t *testing.T) {
+	s, _ := fixture(t)
+	users := []profile.UserID{0, 1}
+	for _, d := range []DestID{-1, DestID(s.NumDestinations()), 99} {
+		if got := s.Procure(d, users); got != nil {
+			t.Fatalf("Procure(%d) = %v, want nil", d, got)
+		}
+		if got := TopicSentimentCoverage(s, d, users); got != 0 {
+			t.Fatalf("TopicSentimentCoverage(%d) = %v", d, got)
+		}
+		if got := Usefulness(s, d, users); got != 0 {
+			t.Fatalf("Usefulness(%d) = %v", d, got)
+		}
+		if got := RatingDistributionSimilarity(s, d, users); got != 0 {
+			t.Fatalf("RatingDistributionSimilarity(%d) = %v", d, got)
+		}
+		if got := RatingVariance(s, d, users); got != 0 {
+			t.Fatalf("RatingVariance(%d) = %v", d, got)
+		}
+	}
+}
+
+func TestEvaluateTopDegenerateN(t *testing.T) {
+	s, _ := fixture(t)
+	// n exceeding the destination count evaluates everything.
+	if ev := EvaluateTop(s, []profile.UserID{0}, 100); ev.Destinations != 1 {
+		t.Fatalf("n=100: destinations = %d", ev.Destinations)
+	}
+	// n == 0 and n < 0 evaluate nothing — and must not panic.
+	if ev := EvaluateTop(s, []profile.UserID{0}, 0); ev.Destinations != 0 {
+		t.Fatalf("n=0: destinations = %d", ev.Destinations)
+	}
+	if ev := EvaluateTop(s, []profile.UserID{0}, -3); ev.Destinations != 0 {
+		t.Fatalf("n=-3: destinations = %d", ev.Destinations)
+	}
+}
+
+func TestEvaluateTopOnEmptyStore(t *testing.T) {
+	s := NewStore(5)
+	if ev := EvaluateTop(s, []profile.UserID{0}, 5); ev.Destinations != 0 {
+		t.Fatalf("empty store evaluated %d destinations", ev.Destinations)
+	}
+}

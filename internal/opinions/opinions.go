@@ -130,9 +130,21 @@ func (s *Store) UserDestinations(u profile.UserID) []DestID {
 	return out
 }
 
+// validDest reports whether d names a registered destination. The metric
+// functions accept arbitrary ids (evaluation code often iterates ranges
+// computed elsewhere), so unknown destinations degrade to "no opinions"
+// instead of panicking on a slice index.
+func (s *Store) validDest(d DestID) bool {
+	return int(d) >= 0 && int(d) < len(s.destNames)
+}
+
 // Procure simulates procurement: it returns the opinions the selected users
 // would give about destination d — their recorded ground-truth reviews.
+// Unknown destinations yield no reviews.
 func (s *Store) Procure(d DestID, users []profile.UserID) []Review {
+	if !s.validDest(d) {
+		return nil
+	}
 	inSel := make(map[profile.UserID]bool, len(users))
 	for _, u := range users {
 		inSel[u] = true
@@ -151,6 +163,9 @@ func (s *Store) Procure(d DestID, users []profile.UserID) []Review {
 // ½ for a negative one, so 100% means "every topic appears in both a
 // positive and a negative review".
 func TopicSentimentCoverage(s *Store, d DestID, users []profile.UserID) float64 {
+	if !s.validDest(d) {
+		return 0
+	}
 	topics := s.Topics(d)
 	if len(topics) == 0 {
 		return 1
@@ -192,6 +207,9 @@ func Usefulness(s *Store, d DestID, users []profile.UserID) float64 {
 // population rating distributions over the values 1..MaxRating
 // (Section 8.2's per-destination instantiation of Definition 8.1).
 func RatingDistributionSimilarity(s *Store, d DestID, users []profile.UserID) float64 {
+	if !s.validDest(d) {
+		return 0
+	}
 	k := s.maxRating
 	all := make([]float64, k)
 	sub := make([]float64, k)
@@ -258,6 +276,9 @@ func EvaluateTop(s *Store, users []profile.UserID, n int) Evaluation {
 	sort.SliceStable(ds, func(i, j int) bool {
 		return len(s.reviews[ds[i]]) > len(s.reviews[ds[j]])
 	})
+	if n < 0 {
+		n = 0 // a negative request evaluates nothing rather than panicking
+	}
 	if n < len(ds) {
 		ds = ds[:n]
 	}

@@ -1,0 +1,337 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"podium/internal/campaign"
+	"podium/internal/profile"
+)
+
+// Campaign endpoints drive the procurement orchestrator (internal/campaign)
+// over the server's published snapshots:
+//
+//	POST /api/campaigns             start a campaign (runs asynchronously)
+//	GET  /api/campaigns             list campaign summaries
+//	GET  /api/campaigns/{id}        one campaign with its round transcript
+//	POST /api/campaigns/{id}/cancel ask a campaign to stop
+//
+// A campaign captures the snapshot current at creation: selections and
+// repairs run against that epoch for the campaign's whole life, so a
+// mutation batch published mid-campaign never shifts group IDs under it.
+type campaignRegistry struct {
+	mu   sync.Mutex
+	next int
+	byID map[int]*runningCampaign
+	// dir, when set, gives every campaign a write-ahead log at
+	// dir/campaign-<id>.wal; otherwise campaigns are journaled in memory
+	// only (their transcript lives in the orchestrator state).
+	dir string
+}
+
+type runningCampaign struct {
+	id    int
+	epoch uint64
+	c     *campaign.Campaign
+}
+
+func newCampaignRegistry() *campaignRegistry {
+	return &campaignRegistry{byID: make(map[int]*runningCampaign)}
+}
+
+// SetCampaignDir makes subsequent campaigns durable: each one journals to a
+// WAL under dir, the same files a CLI resume would replay. Call before
+// serving traffic.
+func (s *Server) SetCampaignDir(dir string) {
+	s.camps.mu.Lock()
+	s.camps.dir = dir
+	s.camps.mu.Unlock()
+}
+
+// campaignRequest is the POST /api/campaigns body. Selection fields mirror
+// /api/select; the rest parameterize the orchestrator and the simulated
+// population.
+type campaignRequest struct {
+	Budget        int     `json:"budget"`
+	Weights       string  `json:"weights"`
+	Coverage      string  `json:"coverage"`
+	Seed          int64   `json:"seed"`
+	MaxRounds     int     `json:"max_rounds"`
+	MaxAttempts   int     `json:"max_attempts"`
+	TimeoutMs     float64 `json:"timeout_ms"`
+	BackoffBaseMs float64 `json:"backoff_base_ms"`
+	BackoffCapMs  float64 `json:"backoff_cap_ms"`
+	Workers       int     `json:"workers"`
+	TimeScale     float64 `json:"time_scale"`
+	Parallelism   int     `json:"parallelism"`
+	MeanLatencyMs float64 `json:"mean_latency_ms"`
+	NonResponse   float64 `json:"non_response"`
+	Decline       float64 `json:"decline"`
+}
+
+// campaignWaveJSON summarizes one solicitation wave.
+type campaignWaveJSON struct {
+	Attempt   int     `json:"attempt"`
+	BackoffMs float64 `json:"backoff_ms"`
+	Answered  int     `json:"answered"`
+	Late      int     `json:"late"`
+	Silent    int     `json:"silent"`
+	Declined  int     `json:"declined"`
+}
+
+// campaignRoundJSON is one transcript round.
+type campaignRoundJSON struct {
+	Round    int                `json:"round"`
+	Repaired bool               `json:"repaired"`
+	Selected []int              `json:"selected"`
+	Dead     []int              `json:"dead,omitempty"`
+	Waves    []campaignWaveJSON `json:"waves"`
+	Coverage float64            `json:"coverage"`
+}
+
+// campaignJSON is a campaign summary; the detail view adds Rounds.
+type campaignJSON struct {
+	ID       int                 `json:"id"`
+	Epoch    uint64              `json:"epoch"`
+	State    string              `json:"state"`
+	Budget   int                 `json:"budget"`
+	Round    int                 `json:"round"`
+	Accepted []int               `json:"accepted"`
+	Declined []int               `json:"declined,omitempty"`
+	Dead     []int               `json:"dead,omitempty"`
+	Pending  []int               `json:"pending,omitempty"`
+	Coverage float64             `json:"coverage"`
+	Rounds   []campaignRoundJSON `json:"rounds,omitempty"`
+	Error    string              `json:"error,omitempty"`
+}
+
+func usersToInts(users []profile.UserID) []int {
+	out := make([]int, len(users))
+	for i, u := range users {
+		out[i] = int(u)
+	}
+	return out
+}
+
+func campaignState(st campaign.Status) string {
+	switch {
+	case st.Err != "":
+		return "failed"
+	case !st.Done:
+		return "running"
+	case st.Cancelled:
+		return "cancelled"
+	case st.Converged:
+		return "converged"
+	default:
+		return "exhausted"
+	}
+}
+
+func campaignToJSON(rc *runningCampaign, detail bool) campaignJSON {
+	st := rc.c.Status()
+	out := campaignJSON{
+		ID:       rc.id,
+		Epoch:    rc.epoch,
+		State:    campaignState(st),
+		Budget:   st.Budget,
+		Round:    st.Round,
+		Accepted: usersToInts(st.Accepted),
+		Declined: usersToInts(st.Declined),
+		Dead:     usersToInts(st.Dead),
+		Pending:  usersToInts(st.Pending),
+		Coverage: st.Coverage,
+		Error:    st.Err,
+	}
+	if !detail {
+		return out
+	}
+	for _, rr := range rc.c.Transcript() {
+		rj := campaignRoundJSON{
+			Round:    rr.Round,
+			Repaired: rr.Repaired,
+			Selected: usersToInts(rr.Selected),
+			Dead:     usersToInts(rr.Dead),
+			Coverage: rr.Coverage,
+		}
+		for _, w := range rr.Waves {
+			wj := campaignWaveJSON{Attempt: w.Attempt, BackoffMs: w.BackoffMs}
+			for _, res := range w.Results {
+				switch res.Outcome {
+				case campaign.OutcomeAnswered:
+					wj.Answered++
+				case campaign.OutcomeLate:
+					wj.Late++
+				case campaign.OutcomeSilent:
+					wj.Silent++
+				case campaign.OutcomeDeclined:
+					wj.Declined++
+				}
+			}
+			rj.Waves = append(rj.Waves, wj)
+		}
+		out.Rounds = append(out.Rounds, rj)
+	}
+	return out
+}
+
+// handleCampaigns serves the collection: POST creates, GET lists.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.createCampaign(w, r)
+	case http.MethodGet:
+		s.camps.mu.Lock()
+		rcs := make([]*runningCampaign, 0, len(s.camps.byID))
+		for _, rc := range s.camps.byID {
+			rcs = append(rcs, rc)
+		}
+		s.camps.mu.Unlock()
+		sort.Slice(rcs, func(i, j int) bool { return rcs[i].id < rcs[j].id })
+		out := make([]campaignJSON, 0, len(rcs))
+		for _, rc := range rcs {
+			out = append(out, campaignToJSON(rc, false))
+		}
+		writeJSON(w, r, http.StatusOK, out)
+	default:
+		writeError(w, r, http.StatusMethodNotAllowed, "GET or POST only")
+	}
+}
+
+func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	ws, err := parseWeights(req.Weights)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cs, err := parseCoverage(req.Coverage)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Budget <= 0 {
+		req.Budget = 8
+	}
+	if req.TimeScale < 0 || req.TimeScale > 1 {
+		writeError(w, r, http.StatusBadRequest, "time_scale must be in [0,1]")
+		return
+	}
+	if req.Workers > 64 {
+		req.Workers = 64
+	}
+	cfg := campaign.Config{
+		Budget:        req.Budget,
+		MaxRounds:     req.MaxRounds,
+		MaxAttempts:   req.MaxAttempts,
+		TimeoutMs:     req.TimeoutMs,
+		BackoffBaseMs: req.BackoffBaseMs,
+		BackoffCapMs:  req.BackoffCapMs,
+		Workers:       req.Workers,
+		TimeScale:     req.TimeScale,
+		Seed:          req.Seed,
+		Parallelism:   clampParallelism(req.Parallelism),
+		Behavior: campaign.Behavior{
+			MeanLatencyMs: req.MeanLatencyMs,
+			NonResponse:   req.NonResponse,
+			Decline:       req.Decline,
+		},
+	}
+
+	sn := s.Snapshot()
+	inst := sn.Instance(ws, cs, cfg.Budget)
+
+	s.camps.mu.Lock()
+	s.camps.next++
+	id := s.camps.next
+	dir := s.camps.dir
+	s.camps.mu.Unlock()
+
+	var c *campaign.Campaign
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			writeError(w, r, http.StatusInternalServerError, "creating campaign dir: %v", err)
+			return
+		}
+		c, err = campaign.NewWithWAL(inst, nil, cfg, filepath.Join(dir, fmt.Sprintf("campaign-%d.wal", id)))
+		if err != nil {
+			writeError(w, r, http.StatusInternalServerError, "opening campaign journal: %v", err)
+			return
+		}
+	} else {
+		c = campaign.New(inst, nil, cfg)
+	}
+	rc := &runningCampaign{id: id, epoch: sn.Epoch(), c: c}
+	s.camps.mu.Lock()
+	s.camps.byID[id] = rc
+	s.camps.mu.Unlock()
+	go c.Run() // errors surface through Status().Err / the "failed" state
+
+	writeJSON(w, r, http.StatusOK, campaignToJSON(rc, false))
+}
+
+// handleCampaignByID serves /api/campaigns/{id} and /api/campaigns/{id}/cancel.
+func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/api/campaigns/")
+	cancel := false
+	if strings.HasSuffix(rest, "/cancel") {
+		cancel = true
+		rest = strings.TrimSuffix(rest, "/cancel")
+	}
+	id, err := strconv.Atoi(rest)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, "bad campaign id %q", rest)
+		return
+	}
+	s.camps.mu.Lock()
+	rc, ok := s.camps.byID[id]
+	s.camps.mu.Unlock()
+	if !ok {
+		writeError(w, r, http.StatusNotFound, "unknown campaign %d", id)
+		return
+	}
+	if cancel {
+		if r.Method != http.MethodPost {
+			writeError(w, r, http.StatusMethodNotAllowed, "POST only")
+			return
+		}
+		rc.c.Cancel()
+		writeJSON(w, r, http.StatusOK, campaignToJSON(rc, false))
+		return
+	}
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, r, http.StatusOK, campaignToJSON(rc, true))
+}
+
+// CancelCampaigns cancels every campaign and waits for their orchestrators
+// to finish — shutdown hygiene for embedding servers.
+func (s *Server) CancelCampaigns() {
+	s.camps.mu.Lock()
+	rcs := make([]*runningCampaign, 0, len(s.camps.byID))
+	for _, rc := range s.camps.byID {
+		rcs = append(rcs, rc)
+	}
+	s.camps.mu.Unlock()
+	for _, rc := range rcs {
+		rc.c.Cancel()
+	}
+	for _, rc := range rcs {
+		<-rc.c.Done()
+	}
+}

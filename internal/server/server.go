@@ -78,6 +78,7 @@ type Server struct {
 	configs []NamedConfig
 	mux     *http.ServeMux
 	snap    atomic.Pointer[Snapshot]
+	camps   *campaignRegistry
 }
 
 // New builds a server over repo, running the grouping module with cfg.
@@ -85,6 +86,7 @@ func New(name string, repo *profile.Repository, cfg groups.Config, configs []Nam
 	s := &Server{
 		name:    name,
 		configs: configs,
+		camps:   newCampaignRegistry(),
 	}
 	s.snap.Store(newSnapshot(0, repo, groups.Build(repo, cfg)))
 	s.mux = http.NewServeMux()
@@ -95,6 +97,8 @@ func New(name string, repo *profile.Repository, cfg groups.Config, configs []Nam
 	s.mux.HandleFunc("/api/select", s.handleSelect)
 	s.mux.HandleFunc("/api/query", s.handleQuery)
 	s.mux.HandleFunc("/api/distribution", s.handleDistribution)
+	s.mux.HandleFunc("/api/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("/api/campaigns/", s.handleCampaignByID)
 	return s
 }
 

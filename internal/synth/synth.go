@@ -13,12 +13,26 @@ package synth
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"podium/internal/opinions"
 	"podium/internal/profile"
 	"podium/internal/stats"
 	"podium/internal/taxonomy"
 )
+
+// sortedKeys returns m's keys in ascending order. Profile scores must be
+// written in a stable order: the catalog assigns property IDs on first
+// encounter, so map-order iteration would shuffle IDs (and with them group
+// IDs and greedy tie-breaks) between runs of the same seed.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
 
 // Dataset bundles a generated user repository with its ground-truth reviews.
 type Dataset struct {
@@ -355,7 +369,8 @@ func Generate(cfg Config) *Dataset {
 			continue
 		}
 		avgOverall := totalRating / float64(totalVisits)
-		for cat, n := range visits {
+		for _, cat := range sortedKeys(visits) {
+			n := visits[cat]
 			avgCat := ratingSum[cat] / float64(n)
 			// Average Rating, normalized by the user's overall average
 			// (Section 8.1): equal-to-own-average maps to 0.5.
@@ -369,7 +384,8 @@ func Generate(cfg Config) *Dataset {
 		// Per-(category, city) aggregates are the dimensionality amplifier:
 		// TripAdvisor derives many features per destination, which is what
 		// pushes the paper's corpus to thousands of groups.
-		for key, n := range cityVisits {
+		for _, key := range sortedKeys(cityVisits) {
+			n := cityVisits[key]
 			repo.MustSetScore(uid, "visitFreq "+key, float64(n)/float64(totalVisits))
 			repo.MustSetScore(uid, "avgRating "+key,
 				stats.Clamp(cityRatingSum[key]/float64(n)/(2*avgOverall), 0, 1))

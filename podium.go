@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"podium/internal/bucketing"
+	"podium/internal/campaign"
 	"podium/internal/core"
 	"podium/internal/explain"
 	"podium/internal/groups"
@@ -60,6 +61,14 @@ type (
 	WeightScheme = groups.WeightScheme
 	// CoverageScheme selects Single or Prop coverage.
 	CoverageScheme = groups.CoverageScheme
+	// Campaign is an asynchronous opinion-procurement campaign: multi-round
+	// solicitation with timeout/backoff retries and coverage repair
+	// (internal/campaign).
+	Campaign = campaign.Campaign
+	// CampaignConfig parameterizes a campaign; zero fields select defaults.
+	CampaignConfig = campaign.Config
+	// CampaignBehavior parameterizes the simulated population.
+	CampaignBehavior = campaign.Behavior
 )
 
 // Weight and coverage scheme values (Definitions 3.6 and 3.7).
@@ -248,6 +257,22 @@ func (p *Podium) SelectCustom(budget int, fb Feedback) (*Selection, error) {
 		return nil, err
 	}
 	return p.finish(inst, res.Result, res.PriorityScore, res.StandardScore), nil
+}
+
+// NewCampaign builds an opinion-procurement campaign over this instance's
+// groups (weights and coverage from the Podium options, budget from cfg).
+// walPath != "" journals the campaign there, resuming an interrupted run;
+// "" keeps it in memory. Drive the returned campaign with Run, observe with
+// Status/Transcript, stop with Cancel.
+func (p *Podium) NewCampaign(cfg CampaignConfig, walPath string) (*Campaign, error) {
+	if cfg.Budget <= 0 {
+		return nil, fmt.Errorf("podium: campaign budget must be positive, got %d", cfg.Budget)
+	}
+	inst := groups.NewInstance(p.index, p.opts.weights, p.opts.coverage, cfg.Budget)
+	if walPath == "" {
+		return campaign.New(inst, nil, cfg), nil
+	}
+	return campaign.NewWithWAL(inst, nil, cfg, walPath)
 }
 
 func (p *Podium) finish(inst *groups.Instance, res *core.Result, prio, std float64) *Selection {

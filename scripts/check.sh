@@ -7,8 +7,9 @@
 #   3. the full test suite
 #   4. the race detector over the concurrent selection engine
 #      (internal/core), the shared adjacency structures (internal/groups),
-#      the lock-free snapshot server (internal/server) and the batched
-#      repository log (internal/repolog)
+#      the lock-free snapshot server (internal/server), the batched
+#      repository log (internal/repolog) and the campaign orchestrator
+#      (internal/campaign)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,7 +22,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog"
-go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog
+echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign"
+go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign
 
 echo "check: all green"
