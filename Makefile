@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench-server bench-campaign
+.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign
+	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults
 
 # bench-engine regenerates BENCH_selection.json (the selection-engine perf
 # trajectory; see DESIGN.md §7).
@@ -34,3 +34,9 @@ bench-server:
 # no-repair coverage (DESIGN.md §9).
 bench-campaign:
 	$(GO) run ./cmd/podium-bench -suite campaign
+
+# bench-faults regenerates BENCH_faults.json: hardening overhead, read
+# throughput and tail latency under 0/1/5% injected fault rates, and the
+# admission-control shed rate at writer overload (DESIGN.md §10).
+bench-faults:
+	$(GO) run ./cmd/podium-bench -suite faults

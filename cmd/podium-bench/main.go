@@ -20,6 +20,7 @@
 //	podium-bench engine         # selection-engine timings → BENCH_selection.json
 //	podium-bench serve          # serving architectures → BENCH_server.json
 //	podium-bench campaign       # procurement campaigns → BENCH_campaign.json
+//	podium-bench faults         # hardened serving under faults → BENCH_faults.json
 //	podium-bench -suite server  # flag form of the same
 //	podium-bench all -scale 800
 package main
@@ -201,6 +202,25 @@ func main() {
 			}
 			fmt.Printf("wrote %s (repair recovers ≥ %.0f%% of dropout coverage loss)\n", path, rep.MinRecoveredFrac*100)
 		},
+		"faults": func() {
+			tab, rep, err := experiments.RunFaultsSuite(experiments.FaultsConfig{
+				Seed: *seed, Budget: *budget,
+				Clients: *clients, WritePct: *writePct, Duration: *duration,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_faults.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			worst := rep.Sweep[len(rep.Sweep)-1]
+			fmt.Printf("wrote %s (hardening costs %.1f%% read QPS; %d client errors at %.0f%% faults; %.0f%% shed at overload)\n",
+				path, (1-rep.Overhead.Ratio)*100, worst.ClientErrors, worst.Rate*100, rep.Overload.ShedRate*100)
+		},
 	}
 	run["server"] = run["serve"]
 
@@ -268,5 +288,5 @@ func writeReport(path string, rep interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
 }

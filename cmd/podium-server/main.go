@@ -2,18 +2,30 @@
 // freshly generated synthetic dataset — the Go counterpart of the paper's
 // Flask prototype (Section 7). See GET / for the endpoint list.
 //
+// The serving layer is hardened: panic recovery, request body caps,
+// per-request deadlines, configured listener timeouts, /healthz + /readyz,
+// and SIGINT/SIGTERM graceful shutdown that drains in-flight requests,
+// pauses campaign orchestrators at a journaled boundary, and flushes the
+// mutation apply loop before exit. The -faults flag wraps the handler in a
+// deterministic fault injector for chaos drills.
+//
 // Usage:
 //
 //	podium-server -in profiles.json -addr :8080
 //	podium-server -dataset yelp -users 800
+//	podium-server -log repo.plog -queue-depth 1024 -drain-timeout 15s
+//	podium-server -faults 0.05   # chaos drill: 5% injected faults
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"net"
+	"os"
+	"time"
 
+	"podium/internal/faults"
 	"podium/internal/groups"
 	"podium/internal/load"
 	"podium/internal/profile"
@@ -46,51 +58,109 @@ func main() {
 		buckets     = flag.Int("buckets", 3, "score buckets per property")
 		batchWindow = flag.Duration("batch-window", 0, "mutable server: how long the writer waits for more mutations to coalesce (0 = drain whatever is queued)")
 		batchMax    = flag.Int("batch-max", 256, "mutable server: max mutations per published snapshot")
+		queueDepth  = flag.Int("queue-depth", 0, "mutable server: apply-loop queue bound; full queue sheds mutations with 429 (0 = 4×batch-max)")
+		retryAfter  = flag.Duration("retry-after", time.Second, "mutable server: backoff advertised on shed (429) mutations")
 		campaignDir = flag.String("campaign-dir", "", "journal campaigns as WAL files in this directory (empty = in-memory campaigns)")
+
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request deadline (negative = none)")
+		maxBody      = flag.Int64("max-body", 8<<20, "request body cap in bytes (negative = none)")
+		readTimeout  = flag.Duration("read-timeout", 30*time.Second, "http.Server read timeout (negative = none)")
+		writeTimeout = flag.Duration("write-timeout", 60*time.Second, "http.Server write timeout (negative = none)")
+		idleTimeout  = flag.Duration("idle-timeout", 120*time.Second, "http.Server idle timeout (negative = none)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+		faultsSpec   = flag.String("faults", "", `inject faults: a rate ("0.05") or "error=0.02,reset=0.01,truncate=0.01,latency=0.05,latency_ms=3,seed=7"`)
 	)
 	flag.Parse()
 
 	configs := defaultConfigs()
+	gcfg := groups.Config{K: *buckets}
+
+	// Both modes converge on (srv, closer): a hardened handler plus the
+	// shutdown hook that runs after the listener drains.
+	var srv *server.Server
+	closer := func() {}
 
 	if *logPath != "" {
-		srv, err := server.NewMutableOpts(*logPath, *logPath, groups.Config{K: *buckets}, configs,
-			server.MutableOptions{BatchWindow: *batchWindow, MaxBatch: *batchMax})
+		ms, err := server.NewMutableOpts(*logPath, *logPath, gcfg, configs, server.MutableOptions{
+			BatchWindow: *batchWindow,
+			MaxBatch:    *batchMax,
+			QueueDepth:  *queueDepth,
+			RetryAfter:  *retryAfter,
+		})
 		if err != nil {
 			log.Fatalf("podium-server: %v", err)
 		}
-		defer srv.Close()
-		srv.SetCampaignDir(*campaignDir)
-		fmt.Printf("podium-server: mutable repository %s — %d users; listening on http://%s\n",
-			*logPath, srv.Repository().NumUsers(), *addr)
-		log.Fatal(http.ListenAndServe(*addr, srv))
-	}
-
-	var repo *profile.Repository
-	var name string
-	if *in != "" {
-		var err error
-		repo, err = load.Repository(*in)
-		if err != nil {
-			log.Fatalf("podium-server: %v", err)
+		srv = ms.Server
+		closer = func() {
+			// Drain order: campaigns pause at a journaled boundary, then the
+			// apply loop flushes its queued batch and the repolog closes.
+			ms.PauseCampaigns()
+			if err := ms.Close(); err != nil {
+				log.Printf("podium-server: closing repository log: %v", err)
+			}
 		}
-		name = *in
+		fmt.Printf("podium-server: mutable repository %s — %d users\n",
+			*logPath, ms.Repository().NumUsers())
 	} else {
-		var cfg synth.Config
-		switch *dataset {
-		case "tripadvisor":
-			cfg = synth.TripAdvisorLike(*users)
-		case "yelp":
-			cfg = synth.YelpLike(*users)
-		default:
-			log.Fatalf("podium-server: unknown dataset %q", *dataset)
+		var repo *profile.Repository
+		var name string
+		if *in != "" {
+			var err error
+			repo, err = load.Repository(*in)
+			if err != nil {
+				log.Fatalf("podium-server: %v", err)
+			}
+			name = *in
+		} else {
+			var cfg synth.Config
+			switch *dataset {
+			case "tripadvisor":
+				cfg = synth.TripAdvisorLike(*users)
+			case "yelp":
+				cfg = synth.YelpLike(*users)
+			default:
+				log.Fatalf("podium-server: unknown dataset %q", *dataset)
+			}
+			repo = synth.Generate(cfg).Repo
+			name = cfg.Name
 		}
-		repo = synth.Generate(cfg).Repo
-		name = cfg.Name
+		srv = server.New(name, repo, gcfg, configs)
+		closer = srv.PauseCampaigns
+		fmt.Printf("podium-server: %s — %d users, %d properties\n",
+			name, repo.NumUsers(), repo.NumProperties())
+	}
+	srv.SetCampaignDir(*campaignDir)
+
+	handler := srv.Hardened(server.HardenOptions{
+		RequestTimeout: *reqTimeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	if *faultsSpec != "" {
+		cfg, err := faults.ParseSpec(*faultsSpec)
+		if err != nil {
+			log.Fatalf("podium-server: %v", err)
+		}
+		fmt.Printf("podium-server: CHAOS MODE — injecting faults at %.1f%% (%+v)\n",
+			cfg.Total()*100, cfg)
+		handler = faults.New(cfg).Wrap(handler)
 	}
 
-	srv := server.New(name, repo, groups.Config{K: *buckets}, configs)
-	srv.SetCampaignDir(*campaignDir)
-	fmt.Printf("podium-server: %s — %d users, %d properties; listening on http://%s\n",
-		name, repo.NumUsers(), repo.NumProperties(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	err := server.Run(*addr, handler, server.RunOptions{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+		DrainTimeout: *drainTimeout,
+		OnReady: func(a net.Addr) {
+			fmt.Printf("podium-server: listening on http://%s\n", a)
+		},
+		// Flip /readyz to 503 the moment shutdown starts, so load balancers
+		// stop routing here while in-flight requests drain.
+		OnDrain: srv.StartDrain,
+	})
+	closer()
+	if err != nil {
+		log.Fatalf("podium-server: %v", err)
+	}
+	fmt.Println("podium-server: drained cleanly")
+	os.Exit(0)
 }

@@ -173,7 +173,11 @@ type Status struct {
 	Done      bool
 	Converged bool
 	Cancelled bool
-	Err       string
+	// Paused reports that Run returned at a journaled boundary without a
+	// terminal verdict: reopening the WAL resumes the campaign exactly
+	// where it stopped.
+	Paused bool
+	Err    string
 }
 
 // Stats aggregates orchestration-side measurements (wall-clock, so excluded
@@ -218,6 +222,8 @@ type Campaign struct {
 
 	cancelCh   chan struct{}
 	cancelOnce sync.Once
+	pauseCh    chan struct{}
+	pauseOnce  sync.Once
 	doneCh     chan struct{}
 }
 
@@ -231,7 +237,8 @@ func New(inst *groups.Instance, pop Population, cfg Config) *Campaign {
 	raw, _ := json.Marshal(cfg)
 	return &Campaign{
 		inst: inst, pop: pop, cfg: cfg, cfgRaw: raw,
-		cancelCh: make(chan struct{}), doneCh: make(chan struct{}),
+		cancelCh: make(chan struct{}), pauseCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
 	}
 }
 
@@ -344,9 +351,26 @@ func (c *Campaign) closeRound(dead []profile.UserID, coverage float64) {
 // the next wave boundary. Safe to call at any time, more than once.
 func (c *Campaign) Cancel() { c.cancelOnce.Do(func() { close(c.cancelCh) }) }
 
+// Pause asks the orchestrator to stop at the next journaled boundary
+// *without* a terminal verdict — the graceful-shutdown counterpart of
+// Cancel. Run returns with the WAL holding a clean record prefix and no done
+// record, so NewWithWAL on the same path replays into exactly the
+// interrupted state and continues to a bit-identical transcript. Safe to
+// call at any time, more than once; Cancel wins when both are requested.
+func (c *Campaign) Pause() { c.pauseOnce.Do(func() { close(c.pauseCh) }) }
+
 func (c *Campaign) isCancelled() bool {
 	select {
 	case <-c.cancelCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Campaign) isPaused() bool {
+	select {
+	case <-c.pauseCh:
 		return true
 	default:
 		return false
@@ -370,6 +394,7 @@ func (c *Campaign) Status() Status {
 		Done:      c.st.done,
 		Converged: c.st.converged,
 		Cancelled: c.st.cancelled,
+		Paused:    c.isPaused() && !c.st.done,
 		Coverage:  c.inst.Score(c.st.accepted),
 	}
 	if c.st.err != nil {
@@ -451,6 +476,11 @@ func (c *Campaign) run() error {
 		if c.isCancelled() {
 			return c.finalize(doneCancelled)
 		}
+		if c.isPaused() {
+			// Between rounds is a journaled boundary: no open round, no
+			// verdict. Resume re-enters here and selects the next round.
+			return nil
+		}
 		c.mu.Lock()
 		need := c.cfg.Budget - len(c.st.accepted)
 		c.mu.Unlock()
@@ -521,11 +551,12 @@ func (c *Campaign) selectPanel(round, need int) []profile.UserID {
 
 // finishRound runs (or, after a resume, continues) a round's solicitation
 // waves, then declares the still-silent users dead and journals the round
-// end. On cancellation it returns with the round left open; the caller
-// journals the cancelled verdict.
+// end. On cancellation or pause it returns with the round left open; a
+// cancel then journals the cancelled verdict, a pause journals nothing (the
+// wave already durable is the resume point).
 func (c *Campaign) finishRound(round int, pending []profile.UserID, startAttempt int) error {
 	for a := startAttempt; a <= c.cfg.MaxAttempts && len(pending) > 0; a++ {
-		if c.isCancelled() {
+		if c.isCancelled() || c.isPaused() {
 			return nil
 		}
 		backoff := 0.0
@@ -544,7 +575,7 @@ func (c *Campaign) finishRound(round int, pending []profile.UserID, startAttempt
 		pending = append([]profile.UserID(nil), c.st.pending...)
 		c.mu.Unlock()
 	}
-	if c.isCancelled() {
+	if c.isCancelled() || c.isPaused() {
 		return nil
 	}
 	c.mu.Lock()
@@ -638,9 +669,12 @@ func (c *Campaign) sleepSim(simMs float64) {
 		return
 	}
 	d := time.Duration(simMs * c.cfg.TimeScale * float64(time.Millisecond))
+	t := time.NewTimer(d)
+	defer t.Stop()
 	select {
-	case <-time.After(d):
+	case <-t.C:
 	case <-c.cancelCh:
+	case <-c.pauseCh:
 	}
 }
 

@@ -1,0 +1,160 @@
+package campaign
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCampaignPauseResumeBitIdentical is the graceful-shutdown contract: a
+// campaign paused mid-wave journals no terminal verdict, and reopening the
+// WAL continues it to the exact transcript an uninterrupted run produces.
+func TestCampaignPauseResumeBitIdentical(t *testing.T) {
+	inst := testInstance(23, 200, 10, 10)
+	cfg := Config{Budget: 10, Seed: 47, Behavior: Behavior{NonResponse: 0.35, Decline: 0.05}}
+
+	ref := New(inst, nil, cfg)
+	if err := ref.Run(); err != nil {
+		t.Fatalf("Run(reference): %v", err)
+	}
+	refTr, refPanel := ref.Transcript(), ref.Status().Accepted
+
+	// Journaled run, paused while a solicitation wave is in flight: the gate
+	// releases a few responses, then the pause lands, then the rest flow so
+	// the wave can reach its journaled boundary.
+	path := filepath.Join(t.TempDir(), "pause.wal")
+	d := cfg.withDefaults()
+	gate := make(chan struct{})
+	c1, err := NewWithWAL(inst, &gatedPopulation{inner: NewSimPopulation(d.Seed, d.Behavior), gate: gate}, cfg, path)
+	if err != nil {
+		t.Fatalf("NewWithWAL: %v", err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- c1.Run() }()
+	for i := 0; i < 3; i++ {
+		gate <- struct{}{}
+	}
+	c1.Pause()
+	close(gate)
+	if err := <-errCh; err != nil {
+		t.Fatalf("Run(paused): %v", err)
+	}
+	st := c1.Status()
+	if st.Done {
+		t.Fatalf("paused campaign reports done: %+v", st)
+	}
+	if !st.Paused {
+		t.Fatalf("paused campaign not marked paused: %+v", st)
+	}
+	if len(c1.Transcript()) == 0 {
+		t.Fatal("pause landed before any journaled progress; gate choreography broke")
+	}
+
+	// Resume from the WAL and run to completion.
+	c2, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("NewWithWAL(resume): %v", err)
+	}
+	if err := c2.Run(); err != nil {
+		t.Fatalf("Run(resume): %v", err)
+	}
+	if !c2.Status().Done {
+		t.Fatal("resumed campaign did not finish")
+	}
+	if !reflect.DeepEqual(c2.Transcript(), refTr) {
+		t.Fatal("resumed transcript differs from uninterrupted reference")
+	}
+	if !reflect.DeepEqual(c2.Status().Accepted, refPanel) {
+		t.Fatalf("resumed panel %v differs from reference %v", c2.Status().Accepted, refPanel)
+	}
+}
+
+// TestCampaignConcurrentCancelAndPause races a user cancellation against the
+// shutdown drain's pause while a wave is in flight. Whichever signal the run
+// loop observes first may win — the invariants are no deadlock, a coherent
+// end state (terminal-cancelled XOR resumable-paused, never both), and a
+// journal that replays cleanly either way.
+func TestCampaignConcurrentCancelAndPause(t *testing.T) {
+	inst := testInstance(29, 150, 10, 8)
+	path := filepath.Join(t.TempDir(), "race.wal")
+	cfg := Config{Budget: 8, Seed: 53, TimeScale: 0.001, Behavior: Behavior{NonResponse: 0.4}}
+	d := cfg.withDefaults()
+	gate := make(chan struct{})
+	c, err := NewWithWAL(inst, &gatedPopulation{inner: NewSimPopulation(d.Seed, d.Behavior), gate: gate}, cfg, path)
+	if err != nil {
+		t.Fatalf("NewWithWAL: %v", err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Run() }()
+	go c.Cancel()
+	go c.Pause()
+	close(gate)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancel+pause deadlocked the orchestrator")
+	}
+	st := c.Status()
+	switch {
+	case st.Cancelled:
+		if !st.Done || st.Paused {
+			t.Fatalf("cancelled campaign in incoherent state: %+v", st)
+		}
+		// The cancel verdict was journaled: replay yields the same terminal
+		// state and a further Run is a no-op.
+		back, err := NewWithWAL(inst, nil, cfg, path)
+		if err != nil {
+			t.Fatalf("NewWithWAL(replay): %v", err)
+		}
+		if err := back.Run(); err != nil {
+			t.Fatalf("Run(replayed terminal campaign): %v", err)
+		}
+		if bst := back.Status(); !bst.Done || !bst.Cancelled {
+			t.Fatalf("replayed verdict lost: %+v", bst)
+		}
+	case st.Paused:
+		if st.Done {
+			t.Fatalf("paused campaign reports done: %+v", st)
+		}
+		// Pause journaled no verdict; the in-memory cancel died with the
+		// orchestrator, so resume runs the campaign to a normal conclusion.
+		back, err := NewWithWAL(inst, nil, cfg, path)
+		if err != nil {
+			t.Fatalf("NewWithWAL(resume): %v", err)
+		}
+		if err := back.Run(); err != nil {
+			t.Fatalf("Run(resumed paused campaign): %v", err)
+		}
+		if bst := back.Status(); !bst.Done || bst.Cancelled {
+			t.Fatalf("resumed campaign did not run to a normal verdict: %+v", bst)
+		}
+	default:
+		t.Fatalf("neither signal landed: %+v", st)
+	}
+}
+
+// TestCampaignCancelBeatsPendingPause pins the tie-break: when both signals
+// are already pending at the first checkpoint, cancel wins — the user asked
+// for a verdict; the drain only wanted the orchestrator gone.
+func TestCampaignCancelBeatsPendingPause(t *testing.T) {
+	inst := testInstance(31, 120, 10, 8)
+	path := filepath.Join(t.TempDir(), "tiebreak.wal")
+	cfg := Config{Budget: 8, Seed: 59, TimeScale: 0.001, Behavior: Behavior{NonResponse: 0.4}}
+	c, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("NewWithWAL: %v", err)
+	}
+	c.Cancel()
+	c.Pause()
+	if err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	st := c.Status()
+	if !st.Done || !st.Cancelled || st.Paused {
+		t.Fatalf("cancel did not win the tie-break: %+v", st)
+	}
+}

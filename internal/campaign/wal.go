@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"podium/internal/profile"
 )
@@ -96,8 +97,15 @@ func (evRoundEnd) walEvent() {}
 func (evDone) walEvent()     {}
 
 // OpenWAL opens (or creates) the journal at path, replays every valid record
-// and truncates any torn tail, returning the decoded events in order.
+// and truncates any torn tail, returning the decoded events in order. A
+// freshly created journal is fsynced along with its containing directory
+// before OpenWAL returns: without the directory sync, a crash right after
+// creation can lose the file itself (the directory entry is not durable),
+// leaving a resume with no journal where record appends had already been
+// acknowledged.
 func OpenWAL(path string) (*WAL, []walEvent, error) {
+	_, statErr := os.Stat(path)
+	fresh := os.IsNotExist(statErr)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: %w", err)
@@ -108,8 +116,32 @@ func OpenWAL(path string) (*WAL, []walEvent, error) {
 		f.Close()
 		return nil, nil, err
 	}
+	if fresh {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("campaign: syncing new journal: %w", err)
+		}
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
 	w.w = bufio.NewWriter(f)
 	return w, events, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry in it
+// survives a crash. Platforms that cannot fsync directories return an error
+// from Sync; that is tolerated (best effort, matching repolog's rename
+// path), but failure to open the directory is not.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("campaign: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
 }
 
 func (w *WAL) replay() ([]walEvent, error) {

@@ -29,6 +29,9 @@ type Client struct {
 	baseURL string
 	http    *http.Client
 	timeout time.Duration
+	// retry and breaker are nil on a plain client; NewResilient sets them.
+	retry   *retryPolicy
+	breaker *breaker
 }
 
 // New builds a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
@@ -45,6 +48,21 @@ func NewWithTimeout(baseURL string, httpClient *http.Client, timeout time.Durati
 		httpClient = http.DefaultClient
 	}
 	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient, timeout: timeout}
+}
+
+// NewResilient is New plus retries and (optionally) a circuit breaker:
+// transient failures — transport errors, 5xx, and the hardened server's 429
+// admission-control responses — are retried with jittered exponential
+// backoff, honoring a server-sent Retry-After. GETs retry on everything
+// transient; POSTs retry only on 429 (never applied) unless
+// opts.Retry.RetryNonIdempotent opts into at-least-once semantics.
+func NewResilient(baseURL string, httpClient *http.Client, opts ResilienceOptions) *Client {
+	c := New(baseURL, httpClient)
+	c.retry = newRetryPolicy(opts.Retry)
+	if opts.Breaker != nil {
+		c.breaker = newBreaker(*opts.Breaker)
+	}
+	return c
 }
 
 // Status is the dataset shape the server reports.
@@ -207,17 +225,7 @@ func (c *Client) get(ctx context.Context, path string, query url.Values, out int
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
-	ctx, cancel := c.withDeadline(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-	if err != nil {
-		return fmt.Errorf("client: GET %s: %w", path, err)
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("client: GET %s: %w", path, err)
-	}
-	return decode(resp, path, out)
+	return c.do(ctx, http.MethodGet, path, u, nil, out)
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out interface{}) error {
@@ -225,18 +233,109 @@ func (c *Client) post(ctx context.Context, path string, body, out interface{}) e
 	if err != nil {
 		return fmt.Errorf("client: encoding %s request: %w", path, err)
 	}
-	ctx, cancel := c.withDeadline(ctx)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+path, bytes.NewReader(payload))
-	if err != nil {
-		return fmt.Errorf("client: POST %s: %w", path, err)
+	return c.do(ctx, http.MethodPost, path, c.baseURL+path, payload, out)
+}
+
+// do performs one logical request, retrying transient failures when the
+// client is resilient. Each attempt gets a fresh body reader and its own
+// deadline; the breaker sees one outcome per attempt.
+func (c *Client) do(ctx context.Context, method, path, url string, payload []byte, out interface{}) error {
+	attempts := 1
+	if c.retry != nil {
+		attempts = c.retry.opts.MaxAttempts
 	}
-	req.Header.Set("Content-Type", "application/json")
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if c.breaker != nil && !c.breaker.allow() {
+			// An open breaker fails fast without burning an attempt's
+			// backoff — the cooldown is the backoff.
+			return fmt.Errorf("client: %s %s: %w", method, path, ErrCircuitOpen)
+		}
+		resp, err := c.attempt(ctx, method, url, payload)
+		if err != nil {
+			if c.breaker != nil {
+				c.breaker.record(true)
+			}
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			if !c.canRetry(method, 0) || a == attempts || ctx.Err() != nil {
+				return lastErr
+			}
+			c.retry.sleep(c.retry.backoff(a))
+			continue
+		}
+		if retriableStatus(resp.StatusCode) && c.canRetry(method, resp.StatusCode) && a < attempts {
+			if c.breaker != nil {
+				c.breaker.record(true)
+			}
+			wait, ok := retryAfter(resp)
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+			if !ok {
+				wait = c.retry.backoff(a)
+			}
+			c.retry.sleep(wait)
+			continue
+		}
+		if c.breaker != nil {
+			c.breaker.record(resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests)
+		}
+		return decode(resp, path, out)
+	}
+	return lastErr
+}
+
+// attempt issues one HTTP exchange.
+func (c *Client) attempt(ctx context.Context, method, url string, payload []byte) (*http.Response, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: POST %s: %w", path, err)
+		cancel()
+		return nil, err
 	}
-	return decode(resp, path, out)
+	// The cancel must outlive the body read; tie it to Body.Close.
+	resp.Body = cancelOnClose{resp.Body, cancel}
+	return resp, nil
+}
+
+// cancelOnClose releases an attempt's deadline context when its response
+// body is closed.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// canRetry decides whether a failed attempt may be repeated. status 0 means
+// a transport error (no response). 429 is always safe: the server sheds
+// before applying. Everything else is safe for GETs; POSTs need the
+// RetryNonIdempotent opt-in because the mutation may have been applied
+// before the failure.
+func (c *Client) canRetry(method string, status int) bool {
+	if c.retry == nil {
+		return false
+	}
+	if status == http.StatusTooManyRequests {
+		return true
+	}
+	return method == http.MethodGet || c.retry.opts.RetryNonIdempotent
 }
 
 // apiError is the server's error envelope.

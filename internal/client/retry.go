@@ -1,0 +1,244 @@
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Client-side resilience: jittered-exponential-backoff retries for requests
+// the server guarantees are safe to repeat, plus a rolling-window circuit
+// breaker that stops hammering a server that is clearly down. Together with
+// the server's admission control (429 + Retry-After) this closes the loop
+// the paper's procurement model assumes at the application layer: responders
+// fail and recover, and the caller keeps going.
+
+// RetryOptions tunes the retry policy. The zero value of each field selects
+// the default in parentheses.
+type RetryOptions struct {
+	// MaxAttempts is the total tries per request, including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff/MaxBackoff shape the capped exponential backoff between
+	// attempts: attempt a waits jitter(min(Base·2^(a−1), Max)) (defaults
+	// 100ms / 2s). A server-sent Retry-After overrides the computed wait.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the jitter stream, so a test's retry schedule is
+	// reproducible. 0 derives from the wall clock.
+	Seed int64
+	// RetryNonIdempotent additionally retries POSTs on transport errors and
+	// 5xx responses. The server applies mutations before acknowledging, so
+	// this buys at-least-once semantics: an unacknowledged mutation may have
+	// been applied, and the retry may duplicate it. Callers whose mutations
+	// are idempotent (unique names, absolute scores) opt in; 429 responses
+	// are always retried regardless, because shed requests are never
+	// applied.
+	RetryNonIdempotent bool
+}
+
+func (o RetryOptions) withDefaults() RetryOptions {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 100 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// BreakerOptions tunes the circuit breaker. The zero value of each field
+// selects the default in parentheses.
+type BreakerOptions struct {
+	// Window is the rolling outcome window the failure fraction is computed
+	// over (default 32 outcomes).
+	Window int
+	// FailureThreshold opens the breaker when at least MinSamples outcomes
+	// are in the window and the failure fraction reaches it (default 0.5).
+	FailureThreshold float64
+	// MinSamples gates opening until enough evidence exists (default 8).
+	MinSamples int
+	// Cooldown is how long an open breaker rejects before letting one probe
+	// through (default 2s).
+	Cooldown time.Duration
+}
+
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Window <= 0 {
+		o.Window = 32
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 0.5
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = 8
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 2 * time.Second
+	}
+	return o
+}
+
+// ResilienceOptions bundles the client's protective behaviors.
+type ResilienceOptions struct {
+	Retry RetryOptions
+	// Breaker enables the circuit breaker when non-nil.
+	Breaker *BreakerOptions
+}
+
+// ErrCircuitOpen is returned (wrapped) when the circuit breaker rejects a
+// request without sending it.
+var ErrCircuitOpen = fmt.Errorf("client: circuit breaker open")
+
+// retryPolicy is the client's configured retry behavior plus its jitter
+// stream; the mutex serializes rng access across concurrent requests.
+type retryPolicy struct {
+	opts RetryOptions
+	mu   sync.Mutex
+	rng  *rand.Rand
+	// sleep is swappable for tests.
+	sleep func(time.Duration)
+}
+
+func newRetryPolicy(opts RetryOptions) *retryPolicy {
+	opts = opts.withDefaults()
+	return &retryPolicy{
+		opts:  opts,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+		sleep: time.Sleep,
+	}
+}
+
+// backoff computes the jittered wait before the given retry (attempt ≥ 1 is
+// the first retry): equal-jitter over the capped exponential — half fixed,
+// half uniform — so synchronized clients spread out without ever retrying
+// immediately.
+func (p *retryPolicy) backoff(attempt int) time.Duration {
+	d := p.opts.BaseBackoff << (attempt - 1)
+	if d > p.opts.MaxBackoff || d <= 0 {
+		d = p.opts.MaxBackoff
+	}
+	p.mu.Lock()
+	j := p.rng.Float64()
+	p.mu.Unlock()
+	return d/2 + time.Duration(j*float64(d/2))
+}
+
+// retryAfter parses a Retry-After header (seconds form) from a response.
+func retryAfter(resp *http.Response) (time.Duration, bool) {
+	if resp == nil {
+		return 0, false
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	return time.Duration(secs) * time.Second, true
+}
+
+// retriableStatus reports whether a status code indicates a transient
+// server-side condition worth retrying.
+func retriableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// breaker is a rolling-window circuit breaker: closed it records outcomes in
+// a ring; once the window holds MinSamples and the failure fraction reaches
+// the threshold it opens, rejecting requests for Cooldown; then a single
+// half-open probe decides between closing (success) and re-opening.
+type breaker struct {
+	opts BreakerOptions
+	now  func() time.Time
+
+	mu       sync.Mutex
+	ring     []bool // true = failure
+	size     int    // filled entries
+	next     int    // ring cursor
+	failures int
+	state    breakerState
+	openedAt time.Time
+	probing  bool
+}
+
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+)
+
+func newBreaker(opts BreakerOptions) *breaker {
+	opts = opts.withDefaults()
+	return &breaker{opts: opts, ring: make([]bool, opts.Window), now: time.Now}
+}
+
+// allow reports whether a request may proceed. In the open state one probe
+// is admitted per cooldown expiry; its outcome decides the next state.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerClosed {
+		return true
+	}
+	if b.now().Sub(b.openedAt) < b.opts.Cooldown || b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// record feeds one request outcome back into the breaker.
+func (b *breaker) record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.probing {
+		b.probing = false
+		if failed {
+			// Probe failed: stay open for another cooldown.
+			b.openedAt = b.now()
+			return
+		}
+		// Probe succeeded: close with a clean window.
+		b.state = breakerClosed
+		b.size, b.next, b.failures = 0, 0, 0
+		return
+	}
+	if b.state == breakerOpen {
+		return
+	}
+	if b.size == len(b.ring) {
+		if b.ring[b.next] {
+			b.failures--
+		}
+	} else {
+		b.size++
+	}
+	b.ring[b.next] = failed
+	if failed {
+		b.failures++
+	}
+	b.next = (b.next + 1) % len(b.ring)
+	if b.size >= b.opts.MinSamples &&
+		float64(b.failures) >= b.opts.FailureThreshold*float64(b.size) {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultsSuiteShapes(t *testing.T) {
+	tab, rep, err := RunFaultsSuite(FaultsConfig{
+		Seed: 7, Users: 300, Props: 400, Clients: 4,
+		Duration: 250 * time.Millisecond,
+		Rates:    []float64{0, 0.05},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sweep) != 2 || len(tab.Rows) != 4 { // 2 in-process + 2 sweep rows
+		t.Fatalf("sweep/table rows = %d/%d, want 2/4", len(rep.Sweep), len(tab.Rows))
+	}
+	if rep.Overhead.PlainReadQPS <= 0 || rep.Overhead.HardenedReadQPS <= 0 {
+		t.Fatalf("overhead phase made no progress: %+v", rep.Overhead)
+	}
+	// The middleware is a recover+deadline wrapper; even on a short noisy run
+	// it must stay within the same order of magnitude.
+	if rep.Overhead.Ratio < 0.5 {
+		t.Fatalf("hardening halved throughput: %+v", rep.Overhead)
+	}
+	clean, faulty := rep.Sweep[0], rep.Sweep[1]
+	if clean.Rate != 0 || faulty.Rate != 0.05 {
+		t.Fatalf("sweep rates = %v/%v", clean.Rate, faulty.Rate)
+	}
+	if clean.ReadOps == 0 || faulty.ReadOps == 0 {
+		t.Fatal("sweep phases made no reads")
+	}
+	// Resilience means injected faults do not surface: at most a stray error
+	// (a request that drew 6 consecutive faults), typically zero.
+	if clean.ClientErrors != 0 {
+		t.Fatalf("%d client errors with no faults injected", clean.ClientErrors)
+	}
+	if faulty.Resets+faulty.Truncations+faulty.Latencies == 0 {
+		t.Fatal("the 5% sweep injected nothing; the run tested fair weather")
+	}
+	if rep.Overload.Writes == 0 || rep.Overload.Reads == 0 {
+		t.Fatalf("overload phase made no progress: %+v", rep.Overload)
+	}
+	// Graceful degradation: reads never fail, whatever the writer queue does.
+	if rep.Overload.ReadErrors != 0 {
+		t.Fatalf("%d read errors during overload", rep.Overload.ReadErrors)
+	}
+	if rep.Suite != "faults" || rep.Users != 300 {
+		t.Fatalf("report header = %+v", rep)
+	}
+}

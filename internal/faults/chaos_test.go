@@ -1,0 +1,201 @@
+package faults_test
+
+// The chaos suite: hammer a hardened mutable server through the fault
+// injector with resilient clients, then audit the wreckage. The invariants —
+// the ones the hardened serving layer exists to keep — are:
+//
+//  1. No lost acknowledged mutation: every write the client saw succeed is in
+//     the repository log after shutdown.
+//  2. Reads keep serving: resilient status reads never ultimately fail, and
+//     the snapshot epochs a reader observes never go backward.
+//  3. Clients eventually succeed: every mutation lands despite injected
+//     errors, resets and truncations.
+//
+// (The fourth robustness invariant — campaigns resume bit-identically after a
+// kill — is asserted where the journal lives: internal/campaign's WAL and
+// pause/resume tests.)
+//
+// Truncate faults are the deliberately nasty case: the mutation applies but
+// the acknowledgment tears, so the client's at-least-once retry duplicates
+// it. Unique-per-attempt checking would be wrong; the audit therefore asserts
+// presence, not exactly-once.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"podium/internal/client"
+	"podium/internal/faults"
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/repolog"
+	"podium/internal/server"
+
+	"net/http/httptest"
+)
+
+func TestChaosNoLostAcknowledgedMutations(t *testing.T) {
+	const (
+		writers         = 4
+		writesPerWriter = 30
+	)
+	path := filepath.Join(t.TempDir(), "chaos.plog")
+	ms, err := server.NewMutableOpts("chaos", path, groups.Config{K: 3}, nil, server.MutableOptions{MaxBatch: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(faults.Config{Seed: 5, Error: 0.01, Reset: 0.02, Truncate: 0.02})
+	ts := httptest.NewServer(inj.Wrap(ms.Hardened(server.HardenOptions{
+		Logf: func(string, ...interface{}) {}, // injected panics are expected; keep test output clean
+	})))
+
+	newClient := func(seed int64) *client.Client {
+		return client.NewResilient(ts.URL, nil, client.ResilienceOptions{
+			Retry: client.RetryOptions{
+				MaxAttempts: 8,
+				BaseBackoff: 2 * time.Millisecond,
+				MaxBackoff:  20 * time.Millisecond,
+				Seed:        seed,
+				// Unique names make the duplicate-on-truncate case benign, so
+				// at-least-once is the right contract here.
+				RetryNonIdempotent: true,
+			},
+		})
+	}
+
+	// Writers: every acknowledged name goes in the audit ledger.
+	var (
+		ackedMu sync.Mutex
+		acked   []string
+	)
+	var writeFailures atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := newClient(int64(100 + w))
+			for i := 0; i < writesPerWriter; i++ {
+				name := fmt.Sprintf("chaos-w%d-%d", w, i)
+				props := map[string]float64{fmt.Sprintf("p%d", i%7): 0.5}
+				if _, _, err := c.AddUser(name, props); err != nil {
+					writeFailures.Add(1)
+					t.Errorf("writer %d: AddUser(%s) never succeeded: %v", w, name, err)
+					continue
+				}
+				ackedMu.Lock()
+				acked = append(acked, name)
+				ackedMu.Unlock()
+			}
+		}(w)
+	}
+
+	// Readers: resilient status polls must all succeed, and the epochs one
+	// connection observes must never regress — graceful degradation means the
+	// last published snapshot keeps serving no matter what the writer path or
+	// the injector is doing.
+	stop := make(chan struct{})
+	var readFailures atomic.Int64
+	var reads atomic.Int64
+	var rwg sync.WaitGroup
+	for rd := 0; rd < 3; rd++ {
+		rwg.Add(1)
+		go func(rd int) {
+			defer rwg.Done()
+			c := newClient(int64(200 + rd))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Status(); err != nil {
+					readFailures.Add(1)
+					t.Errorf("reader %d: status read failed through retries: %v", rd, err)
+				}
+				reads.Add(1)
+			}
+		}(rd)
+	}
+	// Epoch monotonicity watcher: raw GETs on one connection, skipping the
+	// requests the injector mangles (those are availability's problem, not
+	// consistency's).
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		hc := &http.Client{}
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := hc.Get(ts.URL + "/api/status")
+			if err != nil {
+				continue
+			}
+			var st struct {
+				Epoch uint64 `json:"epoch"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				continue
+			}
+			if st.Epoch < last {
+				t.Errorf("epoch went backward: %d after %d", st.Epoch, last)
+			}
+			last = st.Epoch
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	ts.Close()
+	if err := ms.Close(); err != nil {
+		t.Fatalf("closing server: %v", err)
+	}
+
+	if writeFailures.Load() != 0 {
+		t.Fatalf("%d writes never succeeded", writeFailures.Load())
+	}
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+	counts := inj.Counts()
+	if counts.Error+counts.Reset+counts.Truncate == 0 {
+		t.Fatalf("injector fired nothing over %d requests; the chaos run tested fair weather", counts.Requests)
+	}
+	t.Logf("chaos: %d requests, %d errors, %d resets, %d truncations, %d reads",
+		counts.Requests, counts.Error, counts.Reset, counts.Truncate, reads.Load())
+
+	// The audit: reopen the log cold and demand every acknowledged mutation.
+	l, err := repolog.Open(path)
+	if err != nil {
+		t.Fatalf("reopening log: %v", err)
+	}
+	defer l.Close()
+	repo := l.Repository()
+	present := make(map[string]bool, repo.NumUsers())
+	for u := 0; u < repo.NumUsers(); u++ {
+		present[repo.UserName(profile.UserID(u))] = true
+	}
+	missing := 0
+	for _, name := range acked {
+		if !present[name] {
+			missing++
+			t.Errorf("acknowledged mutation lost: user %q not in the log", name)
+		}
+	}
+	if missing == 0 && len(acked) != writers*writesPerWriter {
+		t.Fatalf("ledger holds %d acks, want %d", len(acked), writers*writesPerWriter)
+	}
+}

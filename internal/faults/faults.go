@@ -1,0 +1,358 @@
+// Package faults is a deterministic fault injector for the serving stack:
+// it wraps HTTP handlers (server side) and round trippers (client side) to
+// inject latency, 5xx errors, connection resets and mid-write response
+// truncation at configured rates. Every decision is a pure function of
+// (seed, request index) via stats.Derive, so a chaos run with a given seed
+// injects the same fault sequence every time — the serving counterpart of
+// the campaign orchestrator's deterministic population.
+//
+// The injector exists to *prove* the hardened serving layer's invariants:
+// the chaos suite hammers a server through an Injector and asserts that no
+// acknowledged mutation is lost, snapshot reads keep serving, and resilient
+// clients eventually succeed. podium-server exposes it behind the -faults
+// flag for end-to-end chaos drills.
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"podium/internal/stats"
+)
+
+// Class is one kind of injected fault.
+type Class uint8
+
+const (
+	// None: the request is passed through untouched.
+	None Class = iota
+	// Latency: the request is delayed by Config.LatencyMs before handling.
+	Latency
+	// Error: the request is rejected with 503 + Retry-After before it
+	// reaches the handler (the mutation, if any, is never applied).
+	Error
+	// Reset: the connection is aborted before the handler runs — the client
+	// sees a transport error, never a status code.
+	Reset
+	// Truncate: the handler runs (mutations apply!) but the response body is
+	// cut mid-write and the connection aborted, so the client reads a torn
+	// payload. This is the nasty case: applied but unacknowledged.
+	Truncate
+)
+
+// String names the class for counters and test output.
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Latency:
+		return "latency"
+	case Error:
+		return "error"
+	case Reset:
+		return "reset"
+	case Truncate:
+		return "truncate"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Config sets the per-request probability of each fault class (at most one
+// fault fires per request) and the injected latency. Probabilities must sum
+// to at most 1.
+type Config struct {
+	Seed      int64   `json:"seed"`
+	Latency   float64 `json:"latency"`
+	LatencyMs float64 `json:"latency_ms"` // injected delay (default 5ms)
+	Error     float64 `json:"error"`
+	Reset     float64 `json:"reset"`
+	Truncate  float64 `json:"truncate"`
+	// TruncateAfter is how many response-body bytes pass before the cut
+	// (default 16) — enough for the client to have committed to reading a
+	// body, small enough that no payload survives intact.
+	TruncateAfter int `json:"truncate_after"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencyMs <= 0 {
+		c.LatencyMs = 5
+	}
+	if c.TruncateAfter <= 0 {
+		c.TruncateAfter = 16
+	}
+	return c
+}
+
+// Total is the combined fault rate.
+func (c Config) Total() float64 { return c.Latency + c.Error + c.Reset + c.Truncate }
+
+func (c Config) validate() error {
+	for _, p := range []float64{c.Latency, c.Error, c.Reset, c.Truncate} {
+		if p < 0 || p != p {
+			return fmt.Errorf("faults: negative or NaN probability")
+		}
+	}
+	if c.Total() > 1 {
+		return fmt.Errorf("faults: probabilities sum to %.3f > 1", c.Total())
+	}
+	return nil
+}
+
+// Split distributes a total fault rate evenly across error, reset and
+// truncate — the shorthand behind `-faults 0.05`.
+func Split(total float64, seed int64) Config {
+	return Config{Seed: seed, Error: total / 3, Reset: total / 3, Truncate: total / 3}
+}
+
+// ParseSpec parses a -faults flag value: either a bare rate ("0.05", split
+// evenly across error/reset/truncate) or comma-separated key=value pairs
+// ("error=0.02,reset=0.01,truncate=0.01,latency=0.05,latency_ms=3,seed=7").
+func ParseSpec(spec string) (Config, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return Config{}, nil
+	}
+	if total, err := strconv.ParseFloat(spec, 64); err == nil {
+		cfg := Split(total, 0)
+		return cfg, cfg.validate()
+	}
+	var cfg Config
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return Config{}, fmt.Errorf("faults: bad spec element %q (want key=value)", part)
+		}
+		v, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return Config{}, fmt.Errorf("faults: bad value in %q: %v", part, err)
+		}
+		switch kv[0] {
+		case "latency":
+			cfg.Latency = v
+		case "latency_ms":
+			cfg.LatencyMs = v
+		case "error":
+			cfg.Error = v
+		case "reset":
+			cfg.Reset = v
+		case "truncate":
+			cfg.Truncate = v
+		case "seed":
+			cfg.Seed = int64(v)
+		case "truncate_after":
+			cfg.TruncateAfter = int(v)
+		default:
+			return Config{}, fmt.Errorf("faults: unknown spec key %q", kv[0])
+		}
+	}
+	return cfg, cfg.validate()
+}
+
+// Counts reports how many faults of each class an injector has fired.
+type Counts struct {
+	Requests, Latency, Error, Reset, Truncate uint64
+}
+
+// Injector decides, per intercepted request, whether and how to misbehave.
+// Safe for concurrent use: the decision stream is indexed by an atomic
+// counter, so for a fixed seed the multiset of injected faults over N
+// requests is identical across runs (the assignment to specific requests
+// follows arrival order).
+type Injector struct {
+	cfg Config
+
+	n        atomic.Uint64
+	latency  atomic.Uint64
+	errors   atomic.Uint64
+	resets   atomic.Uint64
+	truncate atomic.Uint64
+
+	// sleep is swappable so unit tests can observe injected delays without
+	// waiting them out.
+	sleep func(time.Duration)
+}
+
+// New builds an injector. Invalid configs (negative rates, total > 1) panic:
+// they are programming errors, caught by ParseSpec on the flag path.
+func New(cfg Config) *Injector {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{cfg: cfg, sleep: time.Sleep}
+}
+
+// Config returns the injector's (defaulted) configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Counts snapshots the per-class fault counters.
+func (in *Injector) Counts() Counts {
+	return Counts{
+		Requests: in.n.Load(),
+		Latency:  in.latency.Load(),
+		Error:    in.errors.Load(),
+		Reset:    in.resets.Load(),
+		Truncate: in.truncate.Load(),
+	}
+}
+
+// next draws the fault class for the i-th request: one uniform variate from
+// the (seed, i) stream, partitioned by cumulative class probabilities.
+func (in *Injector) next() Class {
+	i := in.n.Add(1)
+	u := float64(uint64(stats.Derive(in.cfg.Seed, int64(i)))>>11) / (1 << 53)
+	switch {
+	case u < in.cfg.Latency:
+		in.latency.Add(1)
+		return Latency
+	case u < in.cfg.Latency+in.cfg.Error:
+		in.errors.Add(1)
+		return Error
+	case u < in.cfg.Latency+in.cfg.Error+in.cfg.Reset:
+		in.resets.Add(1)
+		return Reset
+	case u < in.cfg.Total():
+		in.truncate.Add(1)
+		return Truncate
+	}
+	return None
+}
+
+// Wrap returns h with fault injection in front of it. Error faults answer
+// 503 with a Retry-After before h runs (so mutations are never applied);
+// Reset faults abort the connection via http.ErrAbortHandler; Truncate
+// faults let h run, then cut the response after TruncateAfter body bytes.
+func (in *Injector) Wrap(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch in.next() {
+		case Latency:
+			in.sleep(time.Duration(in.cfg.LatencyMs * float64(time.Millisecond)))
+		case Error:
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":"injected fault"}`+"\n")
+			return
+		case Reset:
+			panic(http.ErrAbortHandler)
+		case Truncate:
+			tw := &truncatingWriter{ResponseWriter: w, remaining: in.cfg.TruncateAfter}
+			h.ServeHTTP(tw, r)
+			if tw.cut {
+				// The handler completed against the truncated writer; abort
+				// the connection so the client cannot mistake the prefix for
+				// a whole payload.
+				panic(http.ErrAbortHandler)
+			}
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// truncatingWriter forwards at most `remaining` body bytes, then swallows
+// the rest and records that the response was cut.
+type truncatingWriter struct {
+	http.ResponseWriter
+	remaining int
+	cut       bool
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	if t.cut {
+		return len(p), nil
+	}
+	if len(p) <= t.remaining {
+		t.remaining -= len(p)
+		return t.ResponseWriter.Write(p)
+	}
+	if t.remaining > 0 {
+		_, _ = t.ResponseWriter.Write(p[:t.remaining])
+		t.remaining = 0
+	}
+	t.cut = true
+	return len(p), nil
+}
+
+// RoundTripper returns rt with client-side fault injection: Latency delays
+// the request, Error synthesizes a 503 without sending anything, Reset fails
+// the exchange with a transport error, and Truncate performs the real
+// exchange but cuts the response body after TruncateAfter bytes.
+func (in *Injector) RoundTripper(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return faultyTransport{in: in, next: rt}
+}
+
+type faultyTransport struct {
+	in   *Injector
+	next http.RoundTripper
+}
+
+// errInjectedReset is the transport error surfaced for Reset faults.
+var errInjectedReset = fmt.Errorf("faults: injected connection reset")
+
+func (t faultyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	switch t.in.next() {
+	case Latency:
+		t.in.sleep(time.Duration(t.in.cfg.LatencyMs * float64(time.Millisecond)))
+	case Error:
+		if r.Body != nil {
+			r.Body.Close()
+		}
+		return &http.Response{
+			Status:     "503 Service Unavailable",
+			StatusCode: http.StatusServiceUnavailable,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Retry-After": {"1"}, "Content-Type": {"application/json"}},
+			Body:    io.NopCloser(strings.NewReader(`{"error":"injected fault"}` + "\n")),
+			Request: r,
+		}, nil
+	case Reset:
+		if r.Body != nil {
+			r.Body.Close()
+		}
+		return nil, errInjectedReset
+	case Truncate:
+		resp, err := t.next.RoundTrip(r)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remaining: t.in.cfg.TruncateAfter}
+		return resp, nil
+	}
+	return t.next.RoundTrip(r)
+}
+
+// truncatedBody yields a prefix of the real body, then an unexpected EOF —
+// what a mid-transfer connection drop looks like to a reader.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, io.EOF
+	}
+	if b.remaining <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

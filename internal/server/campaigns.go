@@ -124,6 +124,8 @@ func campaignState(st campaign.Status) string {
 	switch {
 	case st.Err != "":
 		return "failed"
+	case st.Paused:
+		return "paused"
 	case !st.Done:
 		return "running"
 	case st.Cancelled:
@@ -330,6 +332,26 @@ func (s *Server) CancelCampaigns() {
 	s.camps.mu.Unlock()
 	for _, rc := range rcs {
 		rc.c.Cancel()
+	}
+	for _, rc := range rcs {
+		<-rc.c.Done()
+	}
+}
+
+// PauseCampaigns pauses every campaign at its next journaled boundary and
+// waits for the orchestrators to return — the graceful-shutdown path.
+// Unlike CancelCampaigns, no terminal verdict is journaled: a journaled
+// campaign's WAL is left resumable, and restarting against the same
+// campaign directory continues each campaign bit-identically.
+func (s *Server) PauseCampaigns() {
+	s.camps.mu.Lock()
+	rcs := make([]*runningCampaign, 0, len(s.camps.byID))
+	for _, rc := range s.camps.byID {
+		rcs = append(rcs, rc)
+	}
+	s.camps.mu.Unlock()
+	for _, rc := range rcs {
+		rc.c.Pause()
 	}
 	for _, rc := range rcs {
 		<-rc.c.Done()

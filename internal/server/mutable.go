@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,17 +44,32 @@ type MutableServer struct {
 
 	batches   atomic.Uint64
 	mutations atomic.Uint64
+	shed      atomic.Uint64
+
+	// beforeApply, when set (tests only, before any dispatch), runs at the top
+	// of every batch application — the hook overload tests use to hold the
+	// writer still while they fill the queue.
+	beforeApply func()
 }
 
-// MutableOptions tunes the writer's batching policy.
+// MutableOptions tunes the writer's batching and admission policy.
 type MutableOptions struct {
 	// BatchWindow is how long the writer waits after the first queued
 	// mutation for more to coalesce. Zero (the default) drains
 	// opportunistically: whatever is already queued forms the batch, so a
 	// lone mutation never waits.
 	BatchWindow time.Duration
-	// MaxBatch caps mutations per batch (and sizes the queue). Default 256.
+	// MaxBatch caps mutations per batch. Default 256.
 	MaxBatch int
+	// QueueDepth bounds the apply-loop mutation queue — the admission
+	// control surface. When the queue is full, mutating requests are shed
+	// with 429 + Retry-After instead of blocking the handler goroutine;
+	// snapshot reads are untouched and keep serving the last published
+	// epoch. Default 4×MaxBatch.
+	QueueDepth int
+	// RetryAfter is the backoff advertised on shed requests (default 1s;
+	// rounded up to whole seconds for the Retry-After header).
+	RetryAfter time.Duration
 }
 
 // NewMutable builds a server over the repository log at path, creating it if
@@ -72,12 +88,18 @@ func NewMutableOpts(name, logPath string, cfg groups.Config, configs []NamedConf
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 256
 	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 4 * opts.MaxBatch
+	}
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = time.Second
+	}
 	ms := &MutableServer{
 		Server: New(name, l.Repository(), cfg, configs),
 		log:    l,
 		cfg:    cfg,
 		opts:   opts,
-		mutCh:  make(chan *pendingMut, opts.MaxBatch),
+		mutCh:  make(chan *pendingMut, opts.QueueDepth),
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -108,6 +130,10 @@ func (ms *MutableServer) BatchStats() (batches, mutations uint64) {
 	return ms.batches.Load(), ms.mutations.Load()
 }
 
+// ShedStats reports how many mutating requests admission control turned away
+// with 429 because the apply-loop queue was full.
+func (ms *MutableServer) ShedStats() uint64 { return ms.shed.Load() }
+
 // pendingMut is one queued mutation awaiting the writer.
 type pendingMut struct {
 	addUser  *addUserRequest
@@ -120,17 +146,45 @@ type mutReply struct {
 	body   interface{}
 }
 
-// dispatch hands m to the apply loop and waits for its reply. It returns
-// false if the server is closing.
-func (ms *MutableServer) dispatch(m *pendingMut) (mutReply, bool) {
+// dispatchResult classifies an attempt to hand a mutation to the writer.
+type dispatchResult uint8
+
+const (
+	dispatchOK       dispatchResult = iota // queued, reply is valid
+	dispatchClosing                        // server shutting down
+	dispatchOverload                       // queue full: shed with 429
+)
+
+// dispatch hands m to the apply loop and waits for its reply. The send is
+// non-blocking: a full queue means the single writer is saturated, and
+// stalling the handler goroutine here would only move the pile-up into the
+// HTTP layer — instead the request is shed (dispatchOverload) so the caller
+// can answer 429 + Retry-After while lock-free reads keep serving.
+func (ms *MutableServer) dispatch(m *pendingMut) (mutReply, dispatchResult) {
 	ms.closeMu.RLock()
 	if ms.closed {
 		ms.closeMu.RUnlock()
-		return mutReply{}, false
+		return mutReply{}, dispatchClosing
 	}
-	ms.mutCh <- m
+	select {
+	case ms.mutCh <- m:
+	default:
+		ms.closeMu.RUnlock()
+		ms.shed.Add(1)
+		return mutReply{}, dispatchOverload
+	}
 	ms.closeMu.RUnlock()
-	return <-m.reply, true
+	return <-m.reply, dispatchOK
+}
+
+// writeOverloaded answers a shed mutation: 429 with the advertised backoff.
+func (ms *MutableServer) writeOverloaded(w http.ResponseWriter, r *http.Request) {
+	secs := int(ms.opts.RetryAfter / time.Second)
+	if time.Duration(secs)*time.Second < ms.opts.RetryAfter {
+		secs++
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, r, http.StatusTooManyRequests, "mutation queue full; retry after %ds", secs)
 }
 
 // applyLoop is the single writer: it owns the log and the right to publish
@@ -141,6 +195,9 @@ func (ms *MutableServer) applyLoop() {
 	for {
 		select {
 		case m := <-ms.mutCh:
+			if ms.beforeApply != nil {
+				ms.beforeApply()
+			}
 			ms.applyBatch(ms.collectBatch(m))
 		case <-ms.quit:
 			// closed is already set and Close held the write lock, so no
@@ -336,12 +393,15 @@ func (ms *MutableServer) handleAddUser(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rep, ok := ms.dispatch(&pendingMut{addUser: &req, reply: make(chan mutReply, 1)})
-	if !ok {
+	rep, res := ms.dispatch(&pendingMut{addUser: &req, reply: make(chan mutReply, 1)})
+	switch res {
+	case dispatchClosing:
 		writeError(w, r, http.StatusServiceUnavailable, "server closing")
-		return
+	case dispatchOverload:
+		ms.writeOverloaded(w, r)
+	default:
+		writeJSON(w, r, rep.status, rep.body)
 	}
-	writeJSON(w, r, rep.status, rep.body)
 }
 
 // setScoreRequest updates one property score of an existing user.
@@ -363,10 +423,13 @@ func (ms *MutableServer) handleSetScore(w http.ResponseWriter, r *http.Request) 
 		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	rep, ok := ms.dispatch(&pendingMut{setScore: &req, reply: make(chan mutReply, 1)})
-	if !ok {
+	rep, res := ms.dispatch(&pendingMut{setScore: &req, reply: make(chan mutReply, 1)})
+	switch res {
+	case dispatchClosing:
 		writeError(w, r, http.StatusServiceUnavailable, "server closing")
-		return
+	case dispatchOverload:
+		ms.writeOverloaded(w, r)
+	default:
+		writeJSON(w, r, rep.status, rep.body)
 	}
-	writeJSON(w, r, rep.status, rep.body)
 }

@@ -12,6 +12,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -79,6 +80,8 @@ type Server struct {
 	mux     *http.ServeMux
 	snap    atomic.Pointer[Snapshot]
 	camps   *campaignRegistry
+	// draining flips /readyz to 503 once graceful shutdown begins.
+	draining atomic.Bool
 }
 
 // New builds a server over repo, running the grouping module with cfg.
@@ -99,6 +102,8 @@ func New(name string, repo *profile.Repository, cfg groups.Config, configs []Nam
 	s.mux.HandleFunc("/api/distribution", s.handleDistribution)
 	s.mux.HandleFunc("/api/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("/api/campaigns/", s.handleCampaignByID)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	return s
 }
 
@@ -125,23 +130,30 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}
 	} else {
 		data, err = json.Marshal(v)
 	}
-	w.Header().Set("Content-Type", "application/json")
 	if err != nil {
+		// Marshalling happened before any header write, so the failure can
+		// still surface as a clean 500.
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
 		fmt.Fprintf(w, `{"error":%q}`, "encoding response: "+err.Error())
 		return
 	}
-	w.WriteHeader(status)
-	data = append(data, '\n')
-	_, _ = w.Write(data)
+	writeJSONRaw(w, status, append(data, '\n'))
 }
 
 // writeJSONRaw writes JSON bytes pre-marshaled by a snapshot's response
-// cache, skipping re-encoding on the hot path.
+// cache, skipping re-encoding on the hot path. Once the header is out a
+// failed or short body write cannot be turned into an error status; instead
+// of leaving a silently truncated payload that parses as broken JSON
+// downstream, it logs and aborts the connection (http.ErrAbortHandler) so
+// the client sees a transport error.
 func writeJSONRaw(w http.ResponseWriter, status int, data []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_, _ = w.Write(data)
+	if n, err := w.Write(data); err != nil || n < len(data) {
+		log.Printf("server: aborting connection: wrote %d/%d response bytes: %v", n, len(data), err)
+		panic(http.ErrAbortHandler)
+	}
 }
 
 func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {

@@ -8,8 +8,9 @@
 #   4. the race detector over the concurrent selection engine
 #      (internal/core), the shared adjacency structures (internal/groups),
 #      the lock-free snapshot server (internal/server), the batched
-#      repository log (internal/repolog) and the campaign orchestrator
-#      (internal/campaign)
+#      repository log (internal/repolog), the campaign orchestrator
+#      (internal/campaign), the resilient client (internal/client) and the
+#      fault injector + chaos suite (internal/faults)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,7 +23,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign"
-go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign
+echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults"
+go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults
 
 echo "check: all green"
