@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults
+.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults
+	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs
 
 # bench-engine regenerates BENCH_selection.json (the selection-engine perf
 # trajectory; see DESIGN.md §7).
@@ -40,3 +40,8 @@ bench-campaign:
 # admission-control shed rate at writer overload (DESIGN.md §10).
 bench-faults:
 	$(GO) run ./cmd/podium-bench -suite faults
+
+# bench-obs regenerates BENCH_obs.json: request/engine instrumentation
+# overhead with observability enabled vs disabled (DESIGN.md §11).
+bench-obs:
+	$(GO) run ./cmd/podium-bench -suite obs

@@ -21,6 +21,7 @@
 //	podium-bench serve          # serving architectures → BENCH_server.json
 //	podium-bench campaign       # procurement campaigns → BENCH_campaign.json
 //	podium-bench faults         # hardened serving under faults → BENCH_faults.json
+//	podium-bench obs            # observability overhead → BENCH_obs.json
 //	podium-bench -suite server  # flag form of the same
 //	podium-bench all -scale 800
 package main
@@ -202,6 +203,23 @@ func main() {
 			}
 			fmt.Printf("wrote %s (repair recovers ≥ %.0f%% of dropout coverage loss)\n", path, rep.MinRecoveredFrac*100)
 		},
+		"obs": func() {
+			tab, rep, err := experiments.RunObsSuite(experiments.ObsConfig{
+				Seed: *seed, Budget: *budget, Clients: *clients, Duration: *duration,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_obs.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (max instrumentation overhead %.2f%%; %d metric families exposed)\n",
+				path, rep.MaxOverheadFrac*100, rep.MetricFamilies)
+		},
 		"faults": func() {
 			tab, rep, err := experiments.RunFaultsSuite(experiments.FaultsConfig{
 				Seed: *seed, Budget: *budget,
@@ -288,5 +306,5 @@ func writeReport(path string, rep interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|obs|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
 }

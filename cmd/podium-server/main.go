@@ -69,6 +69,7 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 120*time.Second, "http.Server idle timeout (negative = none)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		faultsSpec   = flag.String("faults", "", `inject faults: a rate ("0.05") or "error=0.02,reset=0.01,truncate=0.01,latency=0.05,latency_ms=3,seed=7"`)
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; off by default)")
 	)
 	flag.Parse()
 
@@ -130,6 +131,10 @@ func main() {
 			name, repo.NumUsers(), repo.NumProperties())
 	}
 	srv.SetCampaignDir(*campaignDir)
+	if *pprofOn {
+		srv.EnablePprof()
+		fmt.Println("podium-server: pprof mounted at /debug/pprof/")
+	}
 
 	handler := srv.Hardened(server.HardenOptions{
 		RequestTimeout: *reqTimeout,

@@ -34,6 +34,7 @@ import (
 
 	"podium/internal/core"
 	"podium/internal/groups"
+	"podium/internal/obs"
 	"podium/internal/profile"
 )
 
@@ -127,6 +128,11 @@ type Config struct {
 	Parallelism int `json:"parallelism"`
 	// Behavior parameterizes the simulated population.
 	Behavior Behavior `json:"behavior"`
+	// Metrics, when non-nil, counts rounds, solicitations and repair coverage
+	// (build one with obs.NewCampaignMetrics). Excluded from the journaled
+	// configuration — observability wiring is not part of campaign identity,
+	// and only live progress is counted: WAL replay increments nothing.
+	Metrics *obs.CampaignMetrics `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -574,12 +580,20 @@ func (c *Campaign) finishRound(round int, pending []profile.UserID, startAttempt
 		c.recordWave(WaveRecord{Attempt: a, BackoffMs: backoff, Results: results})
 		pending = append([]profile.UserID(nil), c.st.pending...)
 		c.mu.Unlock()
+		c.observeWave(results)
 	}
 	if c.isCancelled() || c.isPaused() {
 		return nil
 	}
 	c.mu.Lock()
 	coverage := c.inst.Score(c.st.accepted)
+	// The previous round's coverage, for the repair-recovered gauge of this
+	// one. Replayed rounds already closed never reach here, so metrics see
+	// live progress only.
+	prev := 0.0
+	if n := len(c.st.rounds); n >= 2 {
+		prev = c.st.rounds[n-2].Coverage
+	}
 	c.mu.Unlock()
 	if c.wal != nil {
 		if err := c.wal.AppendRoundEnd(round, pending, coverage); err != nil {
@@ -589,7 +603,37 @@ func (c *Campaign) finishRound(round int, pending []profile.UserID, startAttempt
 	c.mu.Lock()
 	c.closeRound(pending, coverage)
 	c.mu.Unlock()
+	if met := c.cfg.Metrics; met != nil {
+		met.Rounds.Inc()
+		if round > 1 {
+			met.RepairRounds.Inc()
+			if d := coverage - prev; d > 0 {
+				met.Recovered.Add(d)
+			}
+		}
+	}
 	return nil
+}
+
+// observeWave counts one live wave's outcomes (late and silent both count as
+// timeouts — the user did not answer within the window).
+func (c *Campaign) observeWave(results []SolicitResult) {
+	met := c.cfg.Metrics
+	if met == nil {
+		return
+	}
+	met.Waves.Inc()
+	met.Solicitations.Add(uint64(len(results)))
+	for _, res := range results {
+		switch res.Outcome {
+		case OutcomeAnswered:
+			met.Answered.Inc()
+		case OutcomeDeclined:
+			met.Declined.Inc()
+		default:
+			met.Timeouts.Inc()
+		}
+	}
 }
 
 // solicitWave asks every pending user once, through the worker pool. The

@@ -1,0 +1,177 @@
+package campaign
+
+import (
+	"path/filepath"
+	"testing"
+
+	"podium/internal/obs"
+)
+
+// transcriptTotals reduces a transcript to the quantities the campaign
+// metrics family is supposed to count — the oracle for the live-run test.
+type transcriptTotals struct {
+	rounds, repairRounds         uint64
+	waves, solicitations         uint64
+	answered, declined, timeouts uint64
+	recovered                    float64
+}
+
+func totalsOf(tr []RoundRecord) transcriptTotals {
+	var tt transcriptTotals
+	prev := 0.0
+	for _, rr := range tr {
+		tt.rounds++
+		if rr.Repaired {
+			tt.repairRounds++
+			if d := rr.Coverage - prev; d > 0 {
+				tt.recovered += d
+			}
+		}
+		prev = rr.Coverage
+		for _, w := range rr.Waves {
+			tt.waves++
+			tt.solicitations += uint64(len(w.Results))
+			for _, res := range w.Results {
+				switch res.Outcome {
+				case OutcomeAnswered:
+					tt.answered++
+				case OutcomeDeclined:
+					tt.declined++
+				default:
+					tt.timeouts++
+				}
+			}
+		}
+	}
+	return tt
+}
+
+func assertTotals(t *testing.T, met *obs.CampaignMetrics, want transcriptTotals) {
+	t.Helper()
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"rounds", met.Rounds.Value(), want.rounds},
+		{"repair rounds", met.RepairRounds.Value(), want.repairRounds},
+		{"waves", met.Waves.Value(), want.waves},
+		{"solicitations", met.Solicitations.Value(), want.solicitations},
+		{"answered", met.Answered.Value(), want.answered},
+		{"declined", met.Declined.Value(), want.declined},
+		{"timeouts", met.Timeouts.Value(), want.timeouts},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s counter = %d, transcript says %d", c.name, c.got, c.want)
+		}
+	}
+	// The float counter accumulates exactly the per-round deltas, which are
+	// themselves exact sums of instance weights — no tolerance needed.
+	if got := met.Recovered.Value(); got != want.recovered {
+		t.Errorf("recovered counter = %v, transcript says %v", got, want.recovered)
+	}
+}
+
+func TestCampaignMetricsMatchTranscript(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := obs.NewCampaignMetrics(reg)
+
+	inst := testInstance(9, 220, 10, 10)
+	c := New(inst, nil, Config{
+		Budget: 10, Seed: 31,
+		Behavior: Behavior{NonResponse: 0.35, Decline: 0.05},
+		Metrics:  met,
+	})
+	if err := c.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	want := totalsOf(c.Transcript())
+	if want.repairRounds == 0 {
+		t.Fatal("campaign needed no repair; the test exercises nothing")
+	}
+	if want.recovered == 0 {
+		t.Fatal("no coverage was recovered; pick a seed where repair gains ground")
+	}
+	assertTotals(t, met, want)
+}
+
+func TestCampaignMetricsNotDoubleCountedOnReplay(t *testing.T) {
+	// Replaying a journal must not increment anything: resume a fully
+	// completed campaign from its WAL with metrics attached and demand the
+	// family stays at zero. (Metrics are excluded from the journaled config,
+	// so attaching them on resume is not a config mismatch.)
+	cfg := Config{Budget: 8, Seed: 77, Behavior: Behavior{NonResponse: 0.35, Decline: 0.05}}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "done.wal")
+	wantTr, _, _ := runJournaled(t, cfg, path)
+
+	reg := obs.NewRegistry()
+	met := obs.NewCampaignMetrics(reg)
+	cfg.Metrics = met
+
+	inst := testInstance(5, 180, 10, cfg.Budget)
+	resumed, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("resume with metrics: %v", err)
+	}
+	if err := resumed.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+	if got := len(resumed.Transcript()); got != len(wantTr) {
+		t.Fatalf("resumed transcript has %d rounds, want %d", got, len(wantTr))
+	}
+	assertTotals(t, met, transcriptTotals{})
+}
+
+func TestCampaignMetricsCountOnlyLiveWorkAfterResume(t *testing.T) {
+	// Kill a journaled campaign mid-flight, then resume it with metrics
+	// attached: the counters must reflect at most the work done after the
+	// resume point — never the replayed prefix on top of it.
+	cfg := Config{Budget: 8, Seed: 77, Behavior: Behavior{NonResponse: 0.35, Decline: 0.05}}
+	dir := t.TempDir()
+	wantTr, _, _ := runJournaled(t, cfg, filepath.Join(dir, "clean.wal"))
+	total := totalsOf(wantTr)
+
+	path := filepath.Join(dir, "killed.wal")
+	inst := testInstance(5, 180, 10, cfg.Budget)
+	c, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("NewWithWAL: %v", err)
+	}
+	c.wal.failAfter = 3 // die early: most of the campaign runs after resume
+	if err := c.Run(); err == nil {
+		t.Fatal("kill hook never fired; raise failAfter past the journal length instead")
+	}
+
+	reg := obs.NewRegistry()
+	met := obs.NewCampaignMetrics(reg)
+	cfg.Metrics = met
+	resumed, err := NewWithWAL(inst, nil, cfg, path)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	// Stats are maintained by the shared recordWave/closeRound path, so right
+	// after construction they measure exactly what the replay reconstructed.
+	replayed := resumed.Stats()
+	if err := resumed.Run(); err != nil {
+		t.Fatalf("resumed Run: %v", err)
+	}
+
+	if got, want := met.Rounds.Value(), total.rounds-uint64(replayed.Rounds); got != want {
+		t.Errorf("rounds counted live = %d, want %d (%d of %d replayed)",
+			got, want, replayed.Rounds, total.rounds)
+	}
+	if got, want := met.Waves.Value(), total.waves-uint64(replayed.Waves); got != want {
+		t.Errorf("waves counted live = %d, want %d (%d of %d replayed)",
+			got, want, replayed.Waves, total.waves)
+	}
+	if got, want := met.Solicitations.Value(), total.solicitations-uint64(replayed.Solicited); got != want {
+		t.Errorf("solicitations counted live = %d, want %d (%d of %d replayed)",
+			got, want, replayed.Solicited, total.solicitations)
+	}
+	if met.Rounds.Value() == 0 {
+		t.Error("no live rounds counted after resume; the kill point left nothing to do")
+	}
+}

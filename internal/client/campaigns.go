@@ -71,26 +71,26 @@ func (c Campaign) Terminal() bool { return c.State != "running" }
 // initial summary; poll with Campaign or WaitCampaign for progress.
 func (c *Client) CreateCampaign(ctx context.Context, req CampaignRequest) (Campaign, error) {
 	var out Campaign
-	return out, c.post(ctx, "/api/campaigns", req, &out)
+	return out, c.post(ctx, "/api/v1/campaigns", req, &out)
 }
 
 // Campaigns lists all campaign summaries, oldest first.
 func (c *Client) Campaigns(ctx context.Context) ([]Campaign, error) {
 	var out []Campaign
-	return out, c.get(ctx, "/api/campaigns", nil, &out)
+	return out, c.get(ctx, "/api/v1/campaigns", nil, &out)
 }
 
 // Campaign fetches one campaign with its full round transcript.
 func (c *Client) Campaign(ctx context.Context, id int) (Campaign, error) {
 	var out Campaign
-	return out, c.get(ctx, fmt.Sprintf("/api/campaigns/%d", id), nil, &out)
+	return out, c.get(ctx, fmt.Sprintf("/api/v1/campaigns/%d", id), nil, &out)
 }
 
 // CancelCampaign asks a running campaign to stop; the campaign settles into
 // the "cancelled" state at its next wave boundary.
 func (c *Client) CancelCampaign(ctx context.Context, id int) (Campaign, error) {
 	var out Campaign
-	return out, c.post(ctx, fmt.Sprintf("/api/campaigns/%d/cancel", id), struct{}{}, &out)
+	return out, c.post(ctx, fmt.Sprintf("/api/v1/campaigns/%d/cancel", id), struct{}{}, &out)
 }
 
 // WaitCampaign polls a campaign every poll interval (default 250ms) until it

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"podium/internal/obs"
 	"podium/internal/server"
 )
 
@@ -32,6 +33,9 @@ type Client struct {
 	// retry and breaker are nil on a plain client; NewResilient sets them.
 	retry   *retryPolicy
 	breaker *breaker
+	// met counts retries and breaker transitions; always non-nil — without a
+	// registry it is the zero family, a no-op end to end.
+	met *obs.ClientMetrics
 }
 
 // New builds a client for the server at baseURL (e.g. "http://127.0.0.1:8080").
@@ -47,7 +51,8 @@ func NewWithTimeout(baseURL string, httpClient *http.Client, timeout time.Durati
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient, timeout: timeout}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), http: httpClient,
+		timeout: timeout, met: &obs.ClientMetrics{}}
 }
 
 // NewResilient is New plus retries and (optionally) a circuit breaker:
@@ -59,8 +64,11 @@ func NewWithTimeout(baseURL string, httpClient *http.Client, timeout time.Durati
 func NewResilient(baseURL string, httpClient *http.Client, opts ResilienceOptions) *Client {
 	c := New(baseURL, httpClient)
 	c.retry = newRetryPolicy(opts.Retry)
+	if opts.Metrics != nil {
+		c.met = opts.Metrics
+	}
 	if opts.Breaker != nil {
-		c.breaker = newBreaker(*opts.Breaker)
+		c.breaker = newBreaker(*opts.Breaker, c.met)
 	}
 	return c
 }
@@ -132,7 +140,7 @@ type Distribution struct {
 // Status fetches the dataset shape.
 func (c *Client) Status() (Status, error) {
 	var s Status
-	return s, c.get(context.Background(), "/api/status", nil, &s)
+	return s, c.get(context.Background(), "/api/v1/status", nil, &s)
 }
 
 // Groups lists the largest groups, up to limit (0 = server default).
@@ -142,19 +150,19 @@ func (c *Client) Groups(limit int) ([]GroupInfo, error) {
 		q.Set("limit", strconv.Itoa(limit))
 	}
 	var gs []GroupInfo
-	return gs, c.get(context.Background(), "/api/groups", q, &gs)
+	return gs, c.get(context.Background(), "/api/v1/groups", q, &gs)
 }
 
 // Configurations lists the administrator-provided named configurations.
 func (c *Client) Configurations() ([]server.NamedConfig, error) {
 	var cs []server.NamedConfig
-	return cs, c.get(context.Background(), "/api/configurations", nil, &cs)
+	return cs, c.get(context.Background(), "/api/v1/configurations", nil, &cs)
 }
 
 // Select runs a selection.
 func (c *Client) Select(req SelectRequest) (Selection, error) {
 	var sel Selection
-	return sel, c.post(context.Background(), "/api/select", req, &sel)
+	return sel, c.post(context.Background(), "/api/v1/select", req, &sel)
 }
 
 // Query runs a declarative-language selection.
@@ -163,11 +171,11 @@ func (c *Client) Query(queryText string) (Selection, error) {
 	body := struct {
 		Query string `json:"query"`
 	}{queryText}
-	return sel, c.post(context.Background(), "/api/query", body, &sel)
+	return sel, c.post(context.Background(), "/api/v1/query", body, &sel)
 }
 
 // AddUser creates a user with an initial profile on a mutable server
-// (POST /api/users). It returns the new user's ID and group count.
+// (POST /api/v1/users). It returns the new user's ID and group count.
 func (c *Client) AddUser(name string, properties map[string]float64) (id, groups int, err error) {
 	body := struct {
 		Name       string             `json:"name"`
@@ -177,13 +185,14 @@ func (c *Client) AddUser(name string, properties map[string]float64) (id, groups
 		ID     int `json:"id"`
 		Groups int `json:"groups"`
 	}
-	if err := c.post(context.Background(), "/api/users", body, &resp); err != nil {
+	if err := c.post(context.Background(), "/api/v1/users", body, &resp); err != nil {
 		return 0, 0, err
 	}
 	return resp.ID, resp.Groups, nil
 }
 
-// SetScore updates one property score on a mutable server (POST /api/scores).
+// SetScore updates one property score on a mutable server
+// (POST /api/v1/scores).
 func (c *Client) SetScore(user int, label string, score float64) error {
 	body := struct {
 		User  int     `json:"user"`
@@ -193,7 +202,7 @@ func (c *Client) SetScore(user int, label string, score float64) error {
 	var resp struct {
 		Status string `json:"status"`
 	}
-	return c.post(context.Background(), "/api/scores", body, &resp)
+	return c.post(context.Background(), "/api/v1/scores", body, &resp)
 }
 
 // Distribution fetches a property's population-versus-subset distribution.
@@ -208,7 +217,7 @@ func (c *Client) Distribution(property string, users []int) (Distribution, error
 		q.Set("users", strings.Join(parts, ","))
 	}
 	var d Distribution
-	return d, c.get(context.Background(), "/api/distribution", q, &d)
+	return d, c.get(context.Background(), "/api/v1/distribution", q, &d)
 }
 
 // withDeadline applies the client's default timeout when ctx has no deadline
@@ -260,6 +269,7 @@ func (c *Client) do(ctx context.Context, method, path, url string, payload []byt
 			if !c.canRetry(method, 0) || a == attempts || ctx.Err() != nil {
 				return lastErr
 			}
+			c.met.Retries.Inc()
 			c.retry.sleep(c.retry.backoff(a))
 			continue
 		}
@@ -274,6 +284,7 @@ func (c *Client) do(ctx context.Context, method, path, url string, payload []byt
 			if !ok {
 				wait = c.retry.backoff(a)
 			}
+			c.met.Retries.Inc()
 			c.retry.sleep(wait)
 			continue
 		}
@@ -338,11 +349,6 @@ func (c *Client) canRetry(method string, status int) bool {
 	return method == http.MethodGet || c.retry.opts.RetryNonIdempotent
 }
 
-// apiError is the server's error envelope.
-type apiError struct {
-	Error string `json:"error"`
-}
-
 func decode(resp *http.Response, path string, out interface{}) error {
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
@@ -350,9 +356,8 @@ func decode(resp *http.Response, path string, out interface{}) error {
 		return fmt.Errorf("client: reading %s response: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		var ae apiError
-		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return fmt.Errorf("client: %s: %s (HTTP %d)", path, ae.Error, resp.StatusCode)
+		if ae := parseAPIError(data, path, resp.StatusCode); ae != nil {
+			return ae
 		}
 		return fmt.Errorf("client: %s: HTTP %d", path, resp.StatusCode)
 	}

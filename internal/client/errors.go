@@ -1,0 +1,68 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// APIError is a decoded server error envelope:
+//
+//	{"error":{"code":"invalid_argument","message":"...","status":400}}
+//
+// Every non-200 response carrying the envelope surfaces as an *APIError, so
+// callers can branch on Code or Status with errors.As instead of string
+// matching. Responses from pre-envelope servers ({"error":"message"}) decode
+// with an empty Code.
+type APIError struct {
+	// Code is the server's stable machine-readable error code
+	// (e.g. "invalid_argument", "not_found", "overloaded").
+	Code string
+	// Message is the human-readable description.
+	Message string
+	// Status is the HTTP status code.
+	Status int
+	// Path is the API path the request targeted.
+	Path string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s: %s (HTTP %d)", e.Path, e.Message, e.Status)
+}
+
+// AsAPIError unwraps err to an *APIError, if one is in its chain.
+func AsAPIError(err error) (*APIError, bool) {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae, true
+	}
+	return nil, false
+}
+
+// parseAPIError decodes an error-response body into an *APIError, accepting
+// both the unified envelope and the legacy flat {"error":"message"} shape.
+// Returns nil when the body carries neither.
+func parseAPIError(data []byte, path string, status int) *APIError {
+	var env struct {
+		Error json.RawMessage `json:"error"`
+	}
+	if json.Unmarshal(data, &env) != nil || len(env.Error) == 0 {
+		return nil
+	}
+	var body struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Status  int    `json:"status"`
+	}
+	if json.Unmarshal(env.Error, &body) == nil && body.Message != "" {
+		if body.Status == 0 {
+			body.Status = status
+		}
+		return &APIError{Code: body.Code, Message: body.Message, Status: body.Status, Path: path}
+	}
+	var msg string
+	if json.Unmarshal(env.Error, &msg) == nil && msg != "" {
+		return &APIError{Message: msg, Status: status, Path: path}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"podium/internal/obs"
+)
+
+func TestAPIErrorDecodesEnvelope(t *testing.T) {
+	f := &flaky{script: []int{503, 200}}
+	c, _ := resilient(t, f, ResilienceOptions{Retry: RetryOptions{MaxAttempts: 1}})
+	_, err := c.Status()
+	apiErr, ok := AsAPIError(err)
+	if !ok {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	// The flaky handler speaks the legacy {"error":"msg"} dialect — the
+	// fallback must still produce a typed error.
+	if apiErr.Status != 503 || apiErr.Message != "scripted failure" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+	if !strings.Contains(err.Error(), "HTTP 503") {
+		t.Fatalf("error string = %q", err.Error())
+	}
+}
+
+func TestAPIErrorDecodesUnifiedEnvelope(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte(`{"error":{"code":"not_found","message":"unknown campaign 7","status":404}}`))
+	})
+	c, _ := resilient(t, h, ResilienceOptions{Retry: RetryOptions{MaxAttempts: 1}})
+	_, err := c.Campaign(context.Background(), 7)
+	apiErr, ok := AsAPIError(err)
+	if !ok {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if apiErr.Code != "not_found" || apiErr.Status != 404 || apiErr.Message != "unknown campaign 7" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+}
+
+func TestClientMetricsCountRetriesAndBreaker(t *testing.T) {
+	reg := obs.NewRegistry()
+	met := obs.NewClientMetrics(reg)
+
+	f := &flaky{script: []int{503, 503, 200}}
+	c, _ := resilient(t, f, ResilienceOptions{
+		Retry:   RetryOptions{MaxAttempts: 4, BaseBackoff: time.Millisecond},
+		Breaker: &BreakerOptions{Window: 4, MinSamples: 4, FailureThreshold: 0.5, Cooldown: time.Millisecond},
+		Metrics: met,
+	})
+	if _, err := c.Status(); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if got := met.Retries.Value(); got != 2 {
+		t.Fatalf("retries counted = %d, want 2", got)
+	}
+
+	// Drive the breaker open, then let a probe close it; the transitions
+	// land in the labeled counters.
+	now := time.Now()
+	c.breaker.now = func() time.Time { return now }
+	c.breaker.record(true)
+	c.breaker.record(true)
+	if met.ToOpen.Value() != 1 {
+		t.Fatalf("to=open transitions = %d, want 1", met.ToOpen.Value())
+	}
+	now = now.Add(2 * time.Millisecond)
+	if !c.breaker.allow() {
+		t.Fatal("probe not admitted after cooldown")
+	}
+	if met.Probes.Value() != 1 {
+		t.Fatalf("probes = %d, want 1", met.Probes.Value())
+	}
+	c.breaker.record(false)
+	if met.ToClosed.Value() != 1 {
+		t.Fatalf("to=closed transitions = %d, want 1", met.ToClosed.Value())
+	}
+}

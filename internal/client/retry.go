@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"podium/internal/obs"
 )
 
 // Client-side resilience: jittered-exponential-backoff retries for requests
@@ -93,6 +95,10 @@ type ResilienceOptions struct {
 	Retry RetryOptions
 	// Breaker enables the circuit breaker when non-nil.
 	Breaker *BreakerOptions
+	// Metrics, when non-nil, counts retries, breaker state transitions and
+	// half-open probes (build one with obs.NewClientMetrics on the caller's
+	// registry). Nil is a no-op.
+	Metrics *obs.ClientMetrics
 }
 
 // ErrCircuitOpen is returned (wrapped) when the circuit breaker rejects a
@@ -167,6 +173,7 @@ func retriableStatus(code int) bool {
 type breaker struct {
 	opts BreakerOptions
 	now  func() time.Time
+	met  *obs.ClientMetrics
 
 	mu       sync.Mutex
 	ring     []bool // true = failure
@@ -185,9 +192,12 @@ const (
 	breakerOpen
 )
 
-func newBreaker(opts BreakerOptions) *breaker {
+func newBreaker(opts BreakerOptions, met *obs.ClientMetrics) *breaker {
 	opts = opts.withDefaults()
-	return &breaker{opts: opts, ring: make([]bool, opts.Window), now: time.Now}
+	if met == nil {
+		met = &obs.ClientMetrics{} // zero family: every counter is a no-op
+	}
+	return &breaker{opts: opts, ring: make([]bool, opts.Window), now: time.Now, met: met}
 }
 
 // allow reports whether a request may proceed. In the open state one probe
@@ -202,6 +212,7 @@ func (b *breaker) allow() bool {
 		return false
 	}
 	b.probing = true
+	b.met.Probes.Inc()
 	return true
 }
 
@@ -212,13 +223,16 @@ func (b *breaker) record(failed bool) {
 	if b.probing {
 		b.probing = false
 		if failed {
-			// Probe failed: stay open for another cooldown.
+			// Probe failed: stay open for another cooldown (counted as a
+			// fresh transition to open — the cooldown re-arms).
 			b.openedAt = b.now()
+			b.met.ToOpen.Inc()
 			return
 		}
 		// Probe succeeded: close with a clean window.
 		b.state = breakerClosed
 		b.size, b.next, b.failures = 0, 0, 0
+		b.met.ToClosed.Inc()
 		return
 	}
 	if b.state == breakerOpen {
@@ -240,5 +254,6 @@ func (b *breaker) record(failed bool) {
 		float64(b.failures) >= b.opts.FailureThreshold*float64(b.size) {
 		b.state = breakerOpen
 		b.openedAt = b.now()
+		b.met.ToOpen.Inc()
 	}
 }

@@ -204,7 +204,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 }
 
 func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
-	b := newBreaker(BreakerOptions{Window: 4, MinSamples: 2, FailureThreshold: 0.5, Cooldown: time.Second})
+	b := newBreaker(BreakerOptions{Window: 4, MinSamples: 2, FailureThreshold: 0.5, Cooldown: time.Second}, nil)
 	now := time.Unix(0, 0)
 	b.now = func() time.Time { return now }
 	b.record(true)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"podium/internal/groups"
 	"podium/internal/profile"
@@ -50,6 +51,15 @@ func engineGreedy(inst *groups.Instance, budget int, allowed []bool, opt Options
 	}
 	csr := ix.CSR()
 	workers := opt.workerCount()
+
+	// Optional stage clock. All timing sites guard on tim != nil, so the
+	// uninstrumented path pays one predictable branch per stage boundary.
+	tim := opt.Timings
+	var t0 time.Time
+	if tim != nil {
+		tim.Runs++
+		t0 = time.Now()
+	}
 
 	// Compacted candidate list 𝒰′, ascending so scans inherit the
 	// lowest-index tie-break.
@@ -113,12 +123,20 @@ func engineGreedy(inst *groups.Instance, budget int, allowed []bool, opt Options
 	res.Users = make([]profile.UserID, 0, picks)
 	res.Marginals = make([]float64, 0, picks)
 
+	if tim != nil {
+		tim.InitNs += time.Since(t0).Nanoseconds()
+	}
+
 	for i := 0; i < budget && len(cand) > 0; i++ {
 		// Line 5: arg max marginal over the candidate list, ties toward the
 		// lowest index.
+		if tim != nil {
+			tim.Picks++
+			t0 = time.Now()
+		}
 		var bi int
 		if workers > 1 && len(cand) >= engineParallelCutoff {
-			bi = parallelArgmax(cand, marg, workers)
+			bi = parallelArgmax(cand, marg, workers, tim)
 		} else {
 			bm := marg[cand[0]]
 			for j := 1; j < len(cand); j++ {
@@ -127,6 +145,9 @@ func engineGreedy(inst *groups.Instance, budget int, allowed []bool, opt Options
 					bi = j
 				}
 			}
+		}
+		if tim != nil {
+			tim.ArgmaxNs += time.Since(t0).Nanoseconds()
 		}
 		best := int(cand[bi])
 		// Line 6: move best from 𝒰 to U, keeping the list ascending.
@@ -140,6 +161,9 @@ func engineGreedy(inst *groups.Instance, budget int, allowed []bool, opt Options
 		// removes the per-member candidacy branch from the hot loop. Groups
 		// retract in ascending order, one subtraction per member, so
 		// candidate marginals round identically to the sequential engine.
+		if tim != nil {
+			t0 = time.Now()
+		}
 		for _, g := range csr.UserGroups(profile.UserID(best)) {
 			if cov[g] <= 0 {
 				continue
@@ -161,6 +185,9 @@ func engineGreedy(inst *groups.Instance, budget int, allowed []bool, opt Options
 					}
 				}
 			}
+		}
+		if tim != nil {
+			tim.RetractNs += time.Since(t0).Nanoseconds()
 		}
 	}
 	return res
@@ -193,8 +220,9 @@ func shardRange(n, workers int, body func(lo, hi int)) {
 // greatest marginal, ties toward the lowest user index. Each worker scans a
 // contiguous shard ascending with a strictly-greater comparison; the
 // reduction visits shards in ascending order with the same strictly-greater
-// rule, so the winner is identical to a single ascending scan.
-func parallelArgmax(cand []int32, marg []float64, workers int) int {
+// rule, so the winner is identical to a single ascending scan. tim, when
+// non-nil, accrues the reduction's cost as the merge stage.
+func parallelArgmax(cand []int32, marg []float64, workers int, tim *StageTimings) int {
 	n := len(cand)
 	if workers > n {
 		workers = n
@@ -231,11 +259,18 @@ func parallelArgmax(cand []int32, marg []float64, workers int) int {
 		shard++
 	}
 	wg.Wait()
+	var t0 time.Time
+	if tim != nil {
+		t0 = time.Now()
+	}
 	best := bests[0]
 	for _, b := range bests[1:] {
 		if b.val > best.val {
 			best = b
 		}
+	}
+	if tim != nil {
+		tim.MergeNs += time.Since(t0).Nanoseconds()
 	}
 	return best.idx
 }

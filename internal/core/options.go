@@ -14,6 +14,34 @@ type Options struct {
 	// runtime.NumCPU() are allowed but rarely useful. Determinism is
 	// preserved by a fixed reduction order (see engine.go).
 	Parallelism int
+
+	// Timings, when non-nil, accumulates per-stage wall time for each
+	// engine run (see StageTimings). The zero value (nil) costs nothing:
+	// the engine's only overhead is a pointer nil-check per pick. The
+	// struct is plain data — core stays free of any metrics dependency;
+	// the serving layer folds the totals into its registry.
+	Timings *StageTimings
+}
+
+// StageTimings is the engine's per-stage clock, written by engineGreedy when
+// Options.Timings is set. Values are monotonic nanosecond totals across
+// however many runs shared the struct; Runs and Picks scale them. Not safe
+// for concurrent runs — give each selection its own struct.
+type StageTimings struct {
+	// Runs counts engine invocations that reported into this struct. The
+	// EBS exact-arithmetic path does not report (Runs stays 0 there).
+	Runs int
+	// Picks counts greedy picks (argmax rounds) across those runs.
+	Picks int
+	// InitNs is candidate-list construction plus marginal initialization.
+	InitNs int64
+	// ArgmaxNs is the per-pick argmax scans, including MergeNs.
+	ArgmaxNs int64
+	// RetractNs is the saturation retraction loops.
+	RetractNs int64
+	// MergeNs is the sharded argmax's final cross-shard reduction — the
+	// determinism-preserving merge — counted inside ArgmaxNs.
+	MergeNs int64
 }
 
 // DefaultParallel returns Options using every available CPU.

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -160,6 +162,13 @@ func TestChaosNoLostAcknowledgedMutations(t *testing.T) {
 	close(stop)
 	rwg.Wait()
 	ts.Close()
+
+	// Metrics audit, in-process so the injector can't mangle the scrape: the
+	// exposition must parse, request counters must have moved, and the gauges
+	// must agree with the server's own accounting — faults may fail requests,
+	// but they must never corrupt the metrics pipeline.
+	auditMetrics(t, ms)
+
 	if err := ms.Close(); err != nil {
 		t.Fatalf("closing server: %v", err)
 	}
@@ -197,5 +206,66 @@ func TestChaosNoLostAcknowledgedMutations(t *testing.T) {
 	}
 	if missing == 0 && len(acked) != writers*writesPerWriter {
 		t.Fatalf("ledger holds %d acks, want %d", len(acked), writers*writesPerWriter)
+	}
+}
+
+// auditMetrics scrapes /api/v1/metrics directly off the (unwrapped) server
+// and cross-checks it against the server's own stats.
+func auditMetrics(t *testing.T, ms *server.MutableServer) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	ms.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/api/v1/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics scrape = %d", rec.Code)
+	}
+
+	// Parse the exposition into series → value, demanding well-formed lines.
+	series := map[string]float64{}
+	for ln, line := range strings.Split(rec.Body.String(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("metrics line %d not `series value`: %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("metrics line %d: bad value: %q", ln+1, line)
+		}
+		series[fields[0]] = v
+	}
+
+	// Requests flowed: the per-route counters saw the chaos traffic.
+	totalReqs := 0.0
+	for name, v := range series {
+		if strings.HasPrefix(name, "podium_http_requests_total{") {
+			totalReqs += v
+		}
+	}
+	if totalReqs == 0 {
+		t.Error("metrics: no HTTP requests counted under chaos")
+	}
+
+	// The epoch gauge agrees with what /api/v1/status reports.
+	srec := httptest.NewRecorder()
+	ms.ServeHTTP(srec, httptest.NewRequest(http.MethodGet, "/api/v1/status", nil))
+	var st struct {
+		Epoch float64 `json:"epoch"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &st); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	if g := series["podium_snapshot_epoch"]; g != st.Epoch {
+		t.Errorf("metrics epoch gauge = %v, status reports %v", g, st.Epoch)
+	}
+	if st.Epoch == 0 {
+		t.Error("no snapshot was published during the chaos run")
+	}
+
+	// The shed counter agrees with ShedStats (both count admission-control
+	// rejections at the same site).
+	if g := series["podium_http_requests_shed_total"]; g != float64(ms.ShedStats()) {
+		t.Errorf("metrics shed counter = %v, ShedStats = %d", g, ms.ShedStats())
 	}
 }

@@ -1,0 +1,209 @@
+package obs
+
+// Per-layer metric families. The constructors live here — rather than in the
+// layers they instrument — for two reasons: metric names stay in one place
+// (one file to audit for naming drift), and the server can pre-register
+// every family on one registry even where imports point the other way
+// (client imports server, so server cannot reach into client for its
+// metrics; instead both share the obs definitions).
+//
+// All families are nil-safe end to end: NewXxxMetrics(nil) returns nil, and
+// every method on a nil family or nil metric is a no-op.
+
+import "time"
+
+// DefStageBuckets are bounds for engine-stage timings, in seconds. Stages
+// run from microseconds (tiny instances) to tens of milliseconds.
+var DefStageBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+}
+
+// DefBatchBuckets are bounds for apply-loop batch sizes (a size histogram,
+// not a latency one).
+var DefBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// ServerMetrics instruments the HTTP serving layer.
+type ServerMetrics struct {
+	reg *Registry
+
+	// Per-route request/latency children are created by the route table;
+	// these handles cover the single-valued families.
+	Epoch      *Gauge     // podium_snapshot_epoch
+	QueueDepth *Gauge     // podium_apply_queue_depth
+	BatchSize  *Histogram // podium_apply_batch_size
+	Shed       *Counter   // podium_http_requests_shed_total
+}
+
+// NewServerMetrics registers the server families on reg.
+func NewServerMetrics(reg *Registry) *ServerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ServerMetrics{
+		reg: reg,
+		Epoch: reg.Gauge("podium_snapshot_epoch",
+			"Epoch of the currently published snapshot."),
+		QueueDepth: reg.Gauge("podium_apply_queue_depth",
+			"Mutations waiting in the single-writer apply queue."),
+		BatchSize: reg.Histogram("podium_apply_batch_size",
+			"Mutations applied per snapshot rebuild batch.", DefBatchBuckets),
+		Shed: reg.Counter("podium_http_requests_shed_total",
+			"Requests rejected with 429 by admission control."),
+	}
+}
+
+// RouteRequests returns the request counter child for (route, method, code).
+// Registration locks; callers on hot paths should cache the result.
+func (m *ServerMetrics) RouteRequests(route, method string, code int) *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("podium_http_requests_total",
+		"HTTP requests by route, method and status code.",
+		L("route", route), L("method", method), L("code", itoa(code)))
+}
+
+// RouteLatency returns the latency histogram child for a route.
+func (m *ServerMetrics) RouteLatency(route string) *Histogram {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Histogram("podium_http_request_duration_seconds",
+		"HTTP request latency by route.", DefLatencyBuckets, L("route", route))
+}
+
+// CoreMetrics instruments the selection engine. The engine itself reports
+// plain monotonic nanosecond totals through core.StageTimings (core does not
+// import obs); the serving layer folds them in here after each run.
+type CoreMetrics struct {
+	Selections *Counter // podium_engine_selections_total
+	stages     map[string]*Histogram
+}
+
+// CoreStageNames are the greedy engine's instrumented stages, in pipeline
+// order: candidate/marginal initialization, per-pick argmax rounds,
+// saturation retractions, and the sharded argmax merge.
+var CoreStageNames = []string{"init", "argmax", "retract", "merge"}
+
+// NewCoreMetrics registers the engine families on reg.
+func NewCoreMetrics(reg *Registry) *CoreMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &CoreMetrics{
+		Selections: reg.Counter("podium_engine_selections_total",
+			"Greedy engine runs (uncached selections)."),
+		stages: make(map[string]*Histogram, len(CoreStageNames)),
+	}
+	for _, st := range CoreStageNames {
+		m.stages[st] = reg.Histogram("podium_engine_stage_seconds",
+			"Greedy engine time per stage per run.", DefStageBuckets, L("stage", st))
+	}
+	return m
+}
+
+// ObserveStage records one run's total time in a named stage.
+func (m *CoreMetrics) ObserveStage(stage string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.stages[stage].Observe(d.Seconds())
+}
+
+// CampaignMetrics instruments the procurement campaign orchestrator.
+type CampaignMetrics struct {
+	Rounds        *Counter      // podium_campaign_rounds_total
+	RepairRounds  *Counter      // podium_campaign_repair_rounds_total
+	Waves         *Counter      // podium_campaign_waves_total
+	Solicitations *Counter      // podium_campaign_solicitations_total
+	Answered      *Counter      // podium_campaign_responses_total{outcome="answered"}
+	Timeouts      *Counter      // {outcome="timeout"} — late + silent panelists
+	Declined      *Counter      // {outcome="declined"}
+	Recovered     *FloatCounter // podium_campaign_repair_coverage_recovered
+}
+
+// NewCampaignMetrics registers the campaign families on reg.
+func NewCampaignMetrics(reg *Registry) *CampaignMetrics {
+	if reg == nil {
+		return nil
+	}
+	outcome := func(o string) *Counter {
+		return reg.Counter("podium_campaign_responses_total",
+			"Solicitation outcomes across all campaigns.", L("outcome", o))
+	}
+	return &CampaignMetrics{
+		Rounds: reg.Counter("podium_campaign_rounds_total",
+			"Campaign rounds closed (initial and repair)."),
+		RepairRounds: reg.Counter("podium_campaign_repair_rounds_total",
+			"Repair rounds closed (non-response replacement)."),
+		Waves: reg.Counter("podium_campaign_waves_total",
+			"Solicitation waves issued across all campaigns."),
+		Solicitations: reg.Counter("podium_campaign_solicitations_total",
+			"Individual user solicitations attempted."),
+		Answered:  outcome("answered"),
+		Timeouts:  outcome("timeout"),
+		Declined:  outcome("declined"),
+		Recovered: reg.FloatCounter("podium_campaign_repair_coverage_recovered",
+			"Coverage points recovered by repair rounds."),
+	}
+}
+
+// ClientMetrics instruments the resilient HTTP client (retries and circuit
+// breaker transitions).
+type ClientMetrics struct {
+	Retries  *Counter // podium_client_retries_total
+	ToOpen   *Counter // podium_client_breaker_transitions_total{to="open"}
+	ToClosed *Counter // {to="closed"}
+	Probes   *Counter // podium_client_breaker_probes_total
+}
+
+// NewClientMetrics registers the client families on reg.
+func NewClientMetrics(reg *Registry) *ClientMetrics {
+	if reg == nil {
+		return nil
+	}
+	trans := func(to string) *Counter {
+		return reg.Counter("podium_client_breaker_transitions_total",
+			"Circuit breaker state transitions.", L("to", to))
+	}
+	return &ClientMetrics{
+		Retries: reg.Counter("podium_client_retries_total",
+			"Request attempts beyond the first."),
+		ToOpen:   trans("open"),
+		ToClosed: trans("closed"),
+		Probes: reg.Counter("podium_client_breaker_probes_total",
+			"Half-open probe requests allowed through an open breaker."),
+	}
+}
+
+func itoa(n int) string {
+	// Hot path helper for status codes; avoid strconv for the common ones.
+	switch n {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 429:
+		return "429"
+	case 500:
+		return "500"
+	case 503:
+		return "503"
+	}
+	if n < 0 {
+		return "0"
+	}
+	buf := [4]byte{}
+	i := len(buf)
+	for n > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

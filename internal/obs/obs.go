@@ -1,0 +1,479 @@
+// Package obs is podium's stdlib-only observability layer: an
+// allocation-conscious metrics registry (atomic counters, gauges and
+// fixed-bucket histograms) with a hand-rolled Prometheus text exposition,
+// plus a lightweight span/trace facility (span.go) for per-request stage
+// timing.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path updates are single atomic operations. Counter.Inc is one
+//     atomic add; Histogram.Observe is one bucket add plus one CAS loop on
+//     the float sum. No locks, no maps, no allocation after registration.
+//  2. Every metric method is nil-safe: a nil *Counter (etc.) is a no-op.
+//     Layers accept an optional metrics struct and never branch on it.
+//  3. Exposition is deterministic (families and children sorted) and
+//     internally consistent: a histogram's _count is computed from the same
+//     bucket reads as its _bucket lines, so the exposed cumulative series
+//     never contradicts itself even while writers race the scrape.
+//
+// Registration (Registry.Counter / Gauge / Histogram) takes a lock and may
+// allocate; it is meant for startup or first-touch on a cold label set, not
+// per-request paths.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// A Label is one key="value" pair attached to a metric child.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float64, updated by CAS on the
+// raw bits. Used where the accumulated quantity is fractional (e.g. coverage
+// points recovered by repair rounds). A nil *FloatCounter is a no-op.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add adds d (d < 0 is ignored: the counter is monotone).
+func (f *FloatCounter) Add(d float64) {
+	if f == nil || d < 0 || math.IsNaN(d) {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total (0 for nil).
+func (f *FloatCounter) Value() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram. Bounds are inclusive upper bounds in
+// ascending order; an implicit +Inf bucket catches the rest. Observe is one
+// atomic bucket increment plus a CAS on the float sum — no locks, no
+// allocation. A nil *Histogram is a no-op.
+//
+// Snapshot consistency: exposition reads each bucket once and derives _count
+// as the total of those reads, so the cumulative _bucket series and _count
+// always agree with each other (the _sum may trail by in-flight observations,
+// which Prometheus semantics permit).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+}
+
+// NewHistogram builds an unregistered histogram (mostly for tests; prefer
+// Registry.Histogram). Bounds must be ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~16) and the slice is hot in
+	// cache; this beats a binary search at these sizes.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	if v > 0 && !math.IsNaN(v) {
+		for {
+			old := h.sum.Load()
+			next := math.Float64bits(math.Float64frombits(old) + v)
+			if h.sum.CompareAndSwap(old, next) {
+				return
+			}
+		}
+	}
+}
+
+// Count returns the total number of observations (0 for nil), consistent
+// with a single pass over the buckets.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the accumulated sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DefLatencyBuckets are the default request-latency bounds, in seconds.
+// Podium serves from in-memory snapshots, so the range starts at 100µs.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// metricKind discriminates exposition rendering.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindFloatCounter
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// child is one labeled instance inside a family.
+type child struct {
+	labels  string // rendered {k="v",...} or ""
+	counter *Counter
+	gauge   *Gauge
+	fctr    *FloatCounter
+	hist    *Histogram
+}
+
+// family groups all children sharing a metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	bounds []float64 // histograms only; fixed at first registration
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// Registry holds metric families and renders them in Prometheus text format.
+// All methods are safe for concurrent use; a nil *Registry returns nil
+// metrics from every constructor, so an uninstrumented stack threads nils
+// all the way down at zero cost.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+func (r *Registry) familyFor(name, help string, kind metricKind, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, children: make(map[string]*child)}
+		if kind == kindHistogram {
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+func (f *family) childFor(labels []Label) *child {
+	key := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labels: key}
+		switch f.kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindFloatCounter:
+			c.fctr = &FloatCounter{}
+		case kindHistogram:
+			c.hist = NewHistogram(f.bounds)
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// Counter returns the counter registered under name with the given labels,
+// creating it on first use. Repeat calls with the same name+labels return
+// the same instance. A nil registry returns nil.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.familyFor(name, help, kindCounter, nil).childFor(labels).counter
+}
+
+// Gauge returns the gauge registered under name with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.familyFor(name, help, kindGauge, nil).childFor(labels).gauge
+}
+
+// FloatCounter returns the float counter registered under name with the
+// given labels. Exposed as a counter in the text format.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	return r.familyFor(name, help, kindFloatCounter, nil).childFor(labels).fctr
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels. Bounds are fixed by the first registration of the family;
+// subsequent calls may pass nil bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	return r.familyFor(name, help, kindHistogram, bounds).childFor(labels).hist
+}
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, children sorted by label
+// signature, histograms with cumulative _bucket / _sum / _count lines.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.writeText(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*child, 0, len(keys))
+	for _, k := range keys {
+		kids = append(kids, f.children[k])
+	}
+	f.mu.Unlock()
+
+	if len(kids) == 0 {
+		return
+	}
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range kids {
+		switch f.kind {
+		case kindCounter:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, c.labels, c.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(b, "%s%s %d\n", f.name, c.labels, c.gauge.Value())
+		case kindFloatCounter:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, c.labels, formatFloat(c.fctr.Value()))
+		case kindHistogram:
+			writeHistogram(b, f.name, c)
+		}
+	}
+}
+
+// writeHistogram renders one histogram child. Each bucket is read exactly
+// once; _count is the total of those reads, so the exposed series is
+// internally consistent even under concurrent Observe calls.
+func writeHistogram(b *strings.Builder, name string, c *child) {
+	h := c.hist
+	snap := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		snap[i] = h.counts[i].Load()
+	}
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += snap[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(c.labels, `le="`+formatFloat(bound)+`"`), cum)
+	}
+	cum += snap[len(snap)-1]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(c.labels, `le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, c.labels, formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, c.labels, cum)
+}
+
+// renderLabels produces the canonical {k="v",...} form, keys sorted.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// mergeLabels inserts extra (already rendered, e.g. `le="0.5"`) into an
+// existing rendered label set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

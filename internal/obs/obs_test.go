@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+
+	var f FloatCounter
+	f.Add(1.5)
+	f.Add(0.25)
+	f.Add(-10) // monotone: negative deltas ignored
+	if got := f.Value(); got != 1.75 {
+		t.Fatalf("float counter = %v, want 1.75", got)
+	}
+}
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var (
+		c *Counter
+		g *Gauge
+		f *FloatCounter
+		h *Histogram
+		s *Span
+	)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	f.Add(1)
+	h.Observe(1)
+	s.End()
+	s.AttachChild("x", time.Second)
+	if s.StartChild("y") != nil {
+		t.Fatal("nil span StartChild should return nil")
+	}
+	if s.JSON() != nil {
+		t.Fatal("nil span JSON should return nil")
+	}
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil metrics should read as zero")
+	}
+
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil ||
+		r.FloatCounter("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Fatal("nil registry should hand out nil metrics")
+	}
+	if err := r.WriteText(&strings.Builder{}); err != nil {
+		t.Fatalf("nil registry WriteText: %v", err)
+	}
+	if NewServerMetrics(nil) != nil || NewCoreMetrics(nil) != nil ||
+		NewCampaignMetrics(nil) != nil || NewClientMetrics(nil) != nil {
+		t.Fatal("families built on a nil registry should be nil")
+	}
+	NewCoreMetrics(nil).ObserveStage("init", time.Millisecond)
+	NewServerMetrics(nil).RouteRequests("r", "GET", 200).Inc()
+	NewServerMetrics(nil).RouteLatency("r").Observe(0.1)
+}
+
+func TestHistogramBucketsAndConsistency(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	want := 0.05 + 0.1 + 0.5 + 5 + 50
+	if h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	// Bucket assignment: bounds are inclusive upper bounds.
+	got := []uint64{h.counts[0].Load(), h.counts[1].Load(), h.counts[2].Load(), h.counts[3].Load()}
+	for i, w := range []uint64{2, 1, 1, 1} {
+		if got[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], w, got)
+		}
+	}
+}
+
+func TestRegistrySameInstanceAndExposition(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("podium_test_total", "help text", L("route", "status"))
+	b := r.Counter("podium_test_total", "help text", L("route", "status"))
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	a.Add(3)
+	r.Counter("podium_test_total", "help text", L("route", "groups")).Inc()
+	r.Gauge("podium_test_epoch", "current epoch").Set(42)
+	r.FloatCounter("podium_test_recovered", "points").Add(0.5)
+	h := r.Histogram("podium_test_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE podium_test_total counter",
+		`podium_test_total{route="groups"} 1`,
+		`podium_test_total{route="status"} 3`,
+		"# TYPE podium_test_epoch gauge",
+		"podium_test_epoch 42",
+		"podium_test_recovered 0.5",
+		"# TYPE podium_test_seconds histogram",
+		`podium_test_seconds_bucket{le="0.1"} 1`,
+		`podium_test_seconds_bucket{le="1"} 2`,
+		`podium_test_seconds_bucket{le="+Inf"} 3`,
+		"podium_test_seconds_count 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// Deterministic: a second render must be byte-identical.
+	var sb2 strings.Builder
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != text {
+		t.Fatal("exposition is not deterministic across renders")
+	}
+	// Children sorted: groups before status.
+	if strings.Index(text, `route="groups"`) > strings.Index(text, `route="status"`) {
+		t.Fatal("children not sorted by label signature")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("podium_esc_total", "", L("path", `a"b\c`+"\n")).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `path="a\"b\\c\n"`) {
+		t.Fatalf("label not escaped: %s", sb.String())
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	root := StartSpan("select")
+	child := root.StartChild("greedy")
+	child.AttachChild("init", 2*time.Millisecond)
+	child.AttachChild("argmax", 3*time.Millisecond)
+	child.End()
+	j := root.JSON()
+	if j == nil || j.Name != "select" || len(j.Children) != 1 {
+		t.Fatalf("unexpected root: %+v", j)
+	}
+	g := j.Children[0]
+	if g.Name != "greedy" || len(g.Children) != 2 || g.Ms <= 0 {
+		t.Fatalf("unexpected child: %+v", g)
+	}
+	if g.Children[0].Ms != 2 || g.Children[1].Ms != 3 {
+		t.Fatalf("attached durations wrong: %+v", g.Children)
+	}
+}
+
+// TestRegistryRace is the -race gate for the registry: concurrent
+// registration, updates and scrapes on overlapping names. The assertions are
+// secondary; the point is that the race detector stays quiet.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const iters = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			routes := []string{"status", "groups", "select"}
+			for i := 0; i < iters; i++ {
+				route := routes[(g+i)%len(routes)]
+				r.Counter("podium_race_total", "", L("route", route)).Inc()
+				r.Gauge("podium_race_depth", "").Set(int64(i))
+				r.Histogram("podium_race_seconds", "", []float64{0.001, 0.01, 0.1}).
+					Observe(float64(i%100) / 1000)
+				r.FloatCounter("podium_race_recovered", "").Add(0.001)
+				if i%50 == 0 {
+					var sb strings.Builder
+					if err := r.WriteText(&sb); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, route := range []string{"status", "groups", "select"} {
+		total += r.Counter("podium_race_total", "", L("route", route)).Value()
+	}
+	if total != goroutines*iters {
+		t.Fatalf("lost counter increments: %d, want %d", total, goroutines*iters)
+	}
+	if got := r.Histogram("podium_race_seconds", "", nil).Count(); got != goroutines*iters {
+		t.Fatalf("lost observations: %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestHistogramConcurrentExpositionConsistent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("podium_cons_seconds", "", []float64{0.5})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(0.25)
+				h.Observe(0.75)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+		var inf, count string
+		for _, ln := range lines {
+			if strings.HasPrefix(ln, `podium_cons_seconds_bucket{le="+Inf"} `) {
+				inf = strings.TrimPrefix(ln, `podium_cons_seconds_bucket{le="+Inf"} `)
+			}
+			if strings.HasPrefix(ln, "podium_cons_seconds_count ") {
+				count = strings.TrimPrefix(ln, "podium_cons_seconds_count ")
+			}
+		}
+		if inf == "" || count == "" || inf != count {
+			t.Fatalf("scrape %d inconsistent: +Inf bucket %q vs count %q", i, inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

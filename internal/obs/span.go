@@ -1,0 +1,72 @@
+package obs
+
+import "time"
+
+// Span is one timed node in a per-request trace tree. Spans are built by a
+// single goroutine (the request handler) and are not safe for concurrent
+// mutation; completed subtrees may be attached from worker results via
+// AttachChild. A nil *Span is a no-op everywhere, so handlers thread the
+// root through unconditionally and only pay when tracing was requested.
+type Span struct {
+	name     string
+	start    time.Time
+	dur      time.Duration
+	children []*Span
+}
+
+// StartSpan begins a new root span.
+func StartSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// StartChild begins a child span under s (nil-safe: returns nil for nil s).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End stops the span's clock. Calling End twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil || s.dur != 0 {
+		return
+	}
+	s.dur = time.Since(s.start)
+	if s.dur == 0 {
+		s.dur = time.Nanosecond // keep End idempotent without losing the mark
+	}
+}
+
+// AttachChild records a pre-measured child (e.g. an engine stage timing
+// captured deep inside core, which does not depend on obs).
+func (s *Span) AttachChild(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.children = append(s.children, &Span{name: name, dur: d})
+}
+
+// SpanJSON is the wire form of a span tree, attached to select/query
+// responses when the caller asks for a trace.
+type SpanJSON struct {
+	Name     string      `json:"name"`
+	Ms       float64     `json:"ms"`
+	Children []*SpanJSON `json:"children,omitempty"`
+}
+
+// JSON converts the span tree to its wire form, ending any spans still
+// running. Returns nil for a nil span.
+func (s *Span) JSON() *SpanJSON {
+	if s == nil {
+		return nil
+	}
+	s.End()
+	out := &SpanJSON{Name: s.name, Ms: float64(s.dur) / 1e6}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.JSON())
+	}
+	return out
+}

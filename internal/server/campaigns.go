@@ -8,7 +8,6 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 
 	"podium/internal/campaign"
@@ -184,27 +183,20 @@ func campaignToJSON(rc *runningCampaign, detail bool) campaignJSON {
 	return out
 }
 
-// handleCampaigns serves the collection: POST creates, GET lists.
-func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodPost:
-		s.createCampaign(w, r)
-	case http.MethodGet:
-		s.camps.mu.Lock()
-		rcs := make([]*runningCampaign, 0, len(s.camps.byID))
-		for _, rc := range s.camps.byID {
-			rcs = append(rcs, rc)
-		}
-		s.camps.mu.Unlock()
-		sort.Slice(rcs, func(i, j int) bool { return rcs[i].id < rcs[j].id })
-		out := make([]campaignJSON, 0, len(rcs))
-		for _, rc := range rcs {
-			out = append(out, campaignToJSON(rc, false))
-		}
-		writeJSON(w, r, http.StatusOK, out)
-	default:
-		writeError(w, r, http.StatusMethodNotAllowed, "GET or POST only")
+// handleCampaignsList serves GET on the collection.
+func (s *Server) handleCampaignsList(w http.ResponseWriter, r *http.Request) {
+	s.camps.mu.Lock()
+	rcs := make([]*runningCampaign, 0, len(s.camps.byID))
+	for _, rc := range s.camps.byID {
+		rcs = append(rcs, rc)
 	}
+	s.camps.mu.Unlock()
+	sort.Slice(rcs, func(i, j int) bool { return rcs[i].id < rcs[j].id })
+	out := make([]campaignJSON, 0, len(rcs))
+	for _, rc := range rcs {
+		out = append(out, campaignToJSON(rc, false))
+	}
+	writeJSON(w, r, http.StatusOK, out)
 }
 
 func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
@@ -212,24 +204,24 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "decoding request: %v", err)
 		return
 	}
 	ws, err := parseWeights(req.Weights)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	cs, err := parseCoverage(req.Coverage)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	if req.Budget <= 0 {
 		req.Budget = 8
 	}
 	if req.TimeScale < 0 || req.TimeScale > 1 {
-		writeError(w, r, http.StatusBadRequest, "time_scale must be in [0,1]")
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "time_scale must be in [0,1]")
 		return
 	}
 	if req.Workers > 64 {
@@ -246,6 +238,7 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 		TimeScale:     req.TimeScale,
 		Seed:          req.Seed,
 		Parallelism:   clampParallelism(req.Parallelism),
+		Metrics:       s.campMet,
 		Behavior: campaign.Behavior{
 			MeanLatencyMs: req.MeanLatencyMs,
 			NonResponse:   req.NonResponse,
@@ -265,12 +258,12 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 	var c *campaign.Campaign
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			writeError(w, r, http.StatusInternalServerError, "creating campaign dir: %v", err)
+			writeError(w, r, http.StatusInternalServerError, codeInternal, "creating campaign dir: %v", err)
 			return
 		}
 		c, err = campaign.NewWithWAL(inst, nil, cfg, filepath.Join(dir, fmt.Sprintf("campaign-%d.wal", id)))
 		if err != nil {
-			writeError(w, r, http.StatusInternalServerError, "opening campaign journal: %v", err)
+			writeError(w, r, http.StatusInternalServerError, codeInternal, "opening campaign journal: %v", err)
 			return
 		}
 	} else {
@@ -285,40 +278,44 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, http.StatusOK, campaignToJSON(rc, false))
 }
 
-// handleCampaignByID serves /api/campaigns/{id} and /api/campaigns/{id}/cancel.
-func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/api/campaigns/")
-	cancel := false
-	if strings.HasSuffix(rest, "/cancel") {
-		cancel = true
-		rest = strings.TrimSuffix(rest, "/cancel")
-	}
-	id, err := strconv.Atoi(rest)
-	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "bad campaign id %q", rest)
-		return
+// campaignFromPath resolves the {id} path parameter to a running campaign.
+// Non-numeric or non-canonical ids ("007", "1x", "+1") are no such resource:
+// 404, not 400 — the route table already guarantees the shape of the path.
+func (s *Server) campaignFromPath(w http.ResponseWriter, r *http.Request) (*runningCampaign, bool) {
+	raw := pathParam(r, "id")
+	id, err := strconv.Atoi(raw)
+	if err != nil || strconv.Itoa(id) != raw {
+		writeError(w, r, http.StatusNotFound, codeNotFound, "no such campaign %q", raw)
+		return nil, false
 	}
 	s.camps.mu.Lock()
 	rc, ok := s.camps.byID[id]
 	s.camps.mu.Unlock()
 	if !ok {
-		writeError(w, r, http.StatusNotFound, "unknown campaign %d", id)
-		return
+		writeError(w, r, http.StatusNotFound, codeNotFound, "unknown campaign %d", id)
+		return nil, false
 	}
-	if cancel {
-		if r.Method != http.MethodPost {
-			writeError(w, r, http.StatusMethodNotAllowed, "POST only")
-			return
-		}
-		rc.c.Cancel()
-		writeJSON(w, r, http.StatusOK, campaignToJSON(rc, false))
-		return
-	}
-	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
+	return rc, true
+}
+
+// handleCampaignGet serves GET /api/v1/campaigns/{id}: the detail view with
+// the round transcript.
+func (s *Server) handleCampaignGet(w http.ResponseWriter, r *http.Request) {
+	rc, ok := s.campaignFromPath(w, r)
+	if !ok {
 		return
 	}
 	writeJSON(w, r, http.StatusOK, campaignToJSON(rc, true))
+}
+
+// handleCampaignCancel serves POST /api/v1/campaigns/{id}/cancel.
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	rc, ok := s.campaignFromPath(w, r)
+	if !ok {
+		return
+	}
+	rc.c.Cancel()
+	writeJSON(w, r, http.StatusOK, campaignToJSON(rc, false))
 }
 
 // CancelCampaigns cancels every campaign and waits for their orchestrators

@@ -109,8 +109,14 @@ func TestCampaignEndpointValidation(t *testing.T) {
 	if rec := doJSON(t, s, http.MethodGet, "/api/campaigns/999", "", nil); rec.Code != http.StatusNotFound {
 		t.Fatalf("unknown id = %d", rec.Code)
 	}
-	if rec := doJSON(t, s, http.MethodGet, "/api/campaigns/abc", "", nil); rec.Code != http.StatusBadRequest {
+	// A non-numeric id is no such resource, not a malformed request: the
+	// route table matches the path shape, so the id is just an unknown name.
+	if rec := doJSON(t, s, http.MethodGet, "/api/campaigns/abc", "", nil); rec.Code != http.StatusNotFound {
 		t.Fatalf("non-numeric id = %d", rec.Code)
+	}
+	// Trailing garbage after the id is not a campaign path at all.
+	if rec := doJSON(t, s, http.MethodGet, "/api/campaigns/1garbage", "", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("trailing-garbage id = %d", rec.Code)
 	}
 	if rec := doJSON(t, s, http.MethodDelete, "/api/campaigns", "", nil); rec.Code != http.StatusMethodNotAllowed {
 		t.Fatalf("DELETE collection = %d", rec.Code)

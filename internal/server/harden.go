@@ -64,7 +64,7 @@ func (s *Server) Hardened(opts HardenOptions) http.Handler {
 				}
 				opts.Logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, e, debug.Stack())
 				if !hw.wroteHeader {
-					writeError(hw, r, http.StatusInternalServerError, "internal error")
+					writeError(hw, r, http.StatusInternalServerError, codeInternal, "internal error")
 				} else {
 					// Headers are out; the only honest move is to kill the
 					// connection rather than serve a truncated 200.

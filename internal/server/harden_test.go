@@ -32,8 +32,15 @@ func TestHardenedRecoversPanicsTo500(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panic surfaced as %d, want 500", rec.Code)
 	}
-	var body map[string]string
-	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Status  int    `json:"status"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil ||
+		body.Error.Code != "internal" || body.Error.Message == "" || body.Error.Status != 500 {
 		t.Fatalf("500 body = %q, want error envelope", rec.Body.String())
 	}
 	if len(logged) != 1 || !strings.Contains(logged[0], "kaboom") {

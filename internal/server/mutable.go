@@ -103,8 +103,11 @@ func NewMutableOpts(name, logPath string, cfg groups.Config, configs []NamedConf
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
-	ms.mux.HandleFunc("/api/users", ms.handleAddUser)
-	ms.mux.HandleFunc("/api/scores", ms.handleSetScore)
+	post := func(h http.HandlerFunc) map[string]http.HandlerFunc {
+		return map[string]http.HandlerFunc{http.MethodPost: h}
+	}
+	ms.addRoute("users", "/api/v1/users", "/api/users", post(ms.handleAddUser), nil)
+	ms.addRoute("scores", "/api/v1/scores", "/api/scores", post(ms.handleSetScore), nil)
 	go ms.applyLoop()
 	return ms, nil
 }
@@ -171,9 +174,11 @@ func (ms *MutableServer) dispatch(m *pendingMut) (mutReply, dispatchResult) {
 	default:
 		ms.closeMu.RUnlock()
 		ms.shed.Add(1)
+		ms.met.Shed.Inc()
 		return mutReply{}, dispatchOverload
 	}
 	ms.closeMu.RUnlock()
+	ms.met.QueueDepth.Set(int64(len(ms.mutCh)))
 	return <-m.reply, dispatchOK
 }
 
@@ -184,7 +189,7 @@ func (ms *MutableServer) writeOverloaded(w http.ResponseWriter, r *http.Request)
 		secs++
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
-	writeError(w, r, http.StatusTooManyRequests, "mutation queue full; retry after %ds", secs)
+	writeError(w, r, http.StatusTooManyRequests, codeOverloaded, "mutation queue full; retry after %ds", secs)
 }
 
 // applyLoop is the single writer: it owns the log and the right to publish
@@ -252,6 +257,8 @@ func (ms *MutableServer) applyBatch(batch []*pendingMut) {
 	cur := ms.Snapshot()
 	repo := cur.Repo().Clone()
 	ix := cur.Index().Clone(repo)
+	ms.met.BatchSize.Observe(float64(len(batch)))
+	ms.met.QueueDepth.Set(int64(len(ms.mutCh)))
 	replies := make([]mutReply, len(batch))
 	staged := 0
 	for i, m := range batch {
@@ -260,8 +267,7 @@ func (ms *MutableServer) applyBatch(batch []*pendingMut) {
 	if staged > 0 {
 		if err := ms.log.Sync(); err != nil {
 			// Durability failed: nothing publishes and every waiter learns it.
-			fail := mutReply{http.StatusInternalServerError,
-				map[string]string{"error": fmt.Sprintf("syncing log: %v", err)}}
+			fail := mutErr(http.StatusInternalServerError, codeInternal, "syncing log: %v", err)
 			for _, m := range batch {
 				m.reply <- fail
 			}
@@ -288,7 +294,7 @@ func (ms *MutableServer) applyOne(repo *profile.Repository, ix *groups.Index, m 
 
 func (ms *MutableServer) applyAddUser(repo *profile.Repository, ix *groups.Index, req *addUserRequest, staged *int) mutReply {
 	if err := ms.log.AppendAddUser(req.Name); err != nil {
-		return mutReply{http.StatusInternalServerError, errBody("%v", err)}
+		return mutErr(http.StatusInternalServerError, codeInternal, "%v", err)
 	}
 	*staged++
 	u := repo.AddUser(req.Name)
@@ -302,23 +308,23 @@ func (ms *MutableServer) applyAddUser(repo *profile.Repository, ix *groups.Index
 	sort.Strings(labels)
 	for _, label := range labels {
 		if err := ms.log.AppendSetScore(u, label, req.Properties[label]); err != nil {
-			return mutReply{http.StatusInternalServerError, errBody("%v", err)}
+			return mutErr(http.StatusInternalServerError, codeInternal, "%v", err)
 		}
 		*staged++
 		if err := repo.SetScore(u, label, req.Properties[label]); err != nil {
-			return mutReply{http.StatusInternalServerError, errBody("%v", err)}
+			return mutErr(http.StatusInternalServerError, codeInternal, "%v", err)
 		}
 	}
 	unbucketed, err := ix.IndexUser(u)
 	if err != nil {
-		return mutReply{http.StatusInternalServerError, errBody("indexing: %v", err)}
+		return mutErr(http.StatusInternalServerError, codeInternal, "indexing: %v", err)
 	}
 	// First-sight properties get bucketed now, from their current values;
 	// a periodic full rebuild re-derives better cuts as data accumulates.
 	for _, pid := range unbucketed {
 		if err := ix.BucketProperty(pid, ms.cfg); err != nil {
-			return mutReply{http.StatusInternalServerError,
-				errBody("bucketing %q: %v", repo.Catalog().Label(pid), err)}
+			return mutErr(http.StatusInternalServerError, codeInternal,
+				"bucketing %q: %v", repo.Catalog().Label(pid), err)
 		}
 	}
 	return mutReply{http.StatusOK, map[string]interface{}{
@@ -333,15 +339,15 @@ func (ms *MutableServer) applySetScore(repo *profile.Repository, ix *groups.Inde
 	// exactly as if the mutations had been serialized.
 	u := profile.UserID(req.User)
 	if req.User < 0 || req.User >= repo.NumUsers() {
-		return mutReply{http.StatusBadRequest, errBody("unknown user %d", req.User)}
+		return mutErr(http.StatusBadRequest, codeInvalidArgument, "unknown user %d", req.User)
 	}
 	pid, known := repo.Catalog().Lookup(req.Label)
 	if err := ms.log.AppendSetScore(u, req.Label, req.Score); err != nil {
-		return mutReply{http.StatusBadRequest, errBody("%v", err)}
+		return mutErr(http.StatusBadRequest, codeInvalidArgument, "%v", err)
 	}
 	*staged++
 	if err := repo.SetScore(u, req.Label, req.Score); err != nil {
-		return mutReply{http.StatusInternalServerError, errBody("%v", err)}
+		return mutErr(http.StatusInternalServerError, codeInternal, "%v", err)
 	}
 	status := "updated"
 	if !known {
@@ -359,8 +365,9 @@ func (ms *MutableServer) applySetScore(repo *profile.Repository, ix *groups.Inde
 	return mutReply{http.StatusOK, map[string]string{"status": status}}
 }
 
-func errBody(format string, args ...interface{}) map[string]string {
-	return map[string]string{"error": fmt.Sprintf(format, args...)}
+// mutErr wraps the unified error envelope in a mutReply.
+func mutErr(status int, code, format string, args ...interface{}) mutReply {
+	return mutReply{status, errBody(status, code, format, args...)}
 }
 
 // addUserRequest creates a user with an optional initial profile.
@@ -370,33 +377,29 @@ type addUserRequest struct {
 }
 
 func (ms *MutableServer) handleAddUser(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	var req addUserRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "decoding request: %v", err)
 		return
 	}
 	if req.Name == "" {
-		writeError(w, r, http.StatusBadRequest, "name is required")
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "name is required")
 		return
 	}
 	// Validate the whole profile before any durable write, so a bad score
 	// cannot leave a half-created user.
 	for label, score := range req.Properties {
 		if score < 0 || score > 1 || score != score {
-			writeError(w, r, http.StatusBadRequest, "score %v for %q outside [0,1]", score, label)
+			writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "score %v for %q outside [0,1]", score, label)
 			return
 		}
 	}
 	rep, res := ms.dispatch(&pendingMut{addUser: &req, reply: make(chan mutReply, 1)})
 	switch res {
 	case dispatchClosing:
-		writeError(w, r, http.StatusServiceUnavailable, "server closing")
+		writeError(w, r, http.StatusServiceUnavailable, codeUnavailable, "server closing")
 	case dispatchOverload:
 		ms.writeOverloaded(w, r)
 	default:
@@ -412,21 +415,17 @@ type setScoreRequest struct {
 }
 
 func (ms *MutableServer) handleSetScore(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
-		return
-	}
 	var req setScoreRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "decoding request: %v", err)
 		return
 	}
 	rep, res := ms.dispatch(&pendingMut{setScore: &req, reply: make(chan mutReply, 1)})
 	switch res {
 	case dispatchClosing:
-		writeError(w, r, http.StatusServiceUnavailable, "server closing")
+		writeError(w, r, http.StatusServiceUnavailable, codeUnavailable, "server closing")
 	case dispatchOverload:
 		ms.writeOverloaded(w, r)
 	default:

@@ -12,6 +12,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"html"
 	"log"
 	"net/http"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"podium/internal/core"
 	"podium/internal/explain"
 	"podium/internal/groups"
+	"podium/internal/obs"
 	"podium/internal/profile"
 	"podium/internal/query"
 )
@@ -77,11 +79,26 @@ func (f FeedbackJSON) empty() bool {
 type Server struct {
 	name    string
 	configs []NamedConfig
-	mux     *http.ServeMux
-	snap    atomic.Pointer[Snapshot]
-	camps   *campaignRegistry
+	// routes is the declarative endpoint table (routes.go); mux holds only
+	// out-of-table handlers (ad hoc test routes, optional pprof) and serves
+	// as the dispatch fallback.
+	routes *router
+	mux    *http.ServeMux
+	snap   atomic.Pointer[Snapshot]
+	camps  *campaignRegistry
 	// draining flips /readyz to 503 once graceful shutdown begins.
 	draining atomic.Bool
+
+	// Observability (metrics.go): one registry per server, pre-registered
+	// with the server, core, campaign and client metric families so
+	// /api/v1/metrics exposes every layer from the first scrape. obsOff
+	// disables request instrumentation for the overhead benchmark.
+	reg       *obs.Registry
+	met       *obs.ServerMetrics
+	coreMet   *obs.CoreMetrics
+	campMet   *obs.CampaignMetrics
+	obsOff    atomic.Bool
+	unmatched *routeMetrics
 }
 
 // New builds a server over repo, running the grouping module with cfg.
@@ -91,24 +108,19 @@ func New(name string, repo *profile.Repository, cfg groups.Config, configs []Nam
 		configs: configs,
 		camps:   newCampaignRegistry(),
 	}
-	s.snap.Store(newSnapshot(0, repo, groups.Build(repo, cfg)))
+	s.reg = obs.NewRegistry()
+	s.met = obs.NewServerMetrics(s.reg)
+	s.coreMet = obs.NewCoreMetrics(s.reg)
+	s.campMet = obs.NewCampaignMetrics(s.reg)
+	// The client family registers here too: a server-side scrape then covers
+	// all four layers, and co-located clients (campaign drivers, tests) feed
+	// it via obs.NewClientMetrics(s.Metrics()).
+	obs.NewClientMetrics(s.reg)
+	s.publish(newSnapshot(0, repo, groups.Build(repo, cfg)))
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/api/status", s.handleStatus)
-	s.mux.HandleFunc("/api/groups", s.handleGroups)
-	s.mux.HandleFunc("/api/configurations", s.handleConfigurations)
-	s.mux.HandleFunc("/api/select", s.handleSelect)
-	s.mux.HandleFunc("/api/query", s.handleQuery)
-	s.mux.HandleFunc("/api/distribution", s.handleDistribution)
-	s.mux.HandleFunc("/api/campaigns", s.handleCampaigns)
-	s.mux.HandleFunc("/api/campaigns/", s.handleCampaignByID)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.buildRoutes()
 	return s
 }
-
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Snapshot returns the currently published epoch. Handlers load it once at
 // entry so one request never observes two epochs; external callers get a
@@ -116,7 +128,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 
 // publish atomically installs the next epoch for all subsequent requests.
-func (s *Server) publish(sn *Snapshot) { s.snap.Store(sn) }
+func (s *Server) publish(sn *Snapshot) {
+	s.snap.Store(sn)
+	s.met.Epoch.Set(int64(sn.Epoch()))
+}
 
 // writeJSON encodes v compactly — indented output roughly doubles hot-path
 // payload bytes, so pretty-printing is opt-in via ?pretty=1. Marshalling
@@ -132,10 +147,11 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}
 	}
 	if err != nil {
 		// Marshalling happened before any header write, so the failure can
-		// still surface as a clean 500.
+		// still surface as a clean 500 in the unified envelope.
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusInternalServerError)
-		fmt.Fprintf(w, `{"error":%q}`, "encoding response: "+err.Error())
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":%q,"status":500}}`+"\n",
+			codeInternal, "encoding response: "+err.Error())
 		return
 	}
 	writeJSONRaw(w, status, append(data, '\n'))
@@ -156,15 +172,40 @@ func writeJSONRaw(w http.ResponseWriter, status int, data []byte) {
 	}
 }
 
-func writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...interface{}) {
-	writeJSON(w, r, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Stable machine-readable error codes carried by the unified envelope. The
+// set is deliberately small: clients branch on these (or on the status), not
+// on message text.
+const (
+	codeInvalidArgument  = "invalid_argument"
+	codeNotFound         = "not_found"
+	codeMethodNotAllowed = "method_not_allowed"
+	codeOverloaded       = "overloaded"
+	codeUnavailable      = "unavailable"
+	codeInternal         = "internal"
+)
+
+// errorBody is the inner object of the unified error envelope.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+// errorEnvelope is the one shape every error response takes:
+// {"error":{"code":"...","message":"...","status":N}}.
+type errorEnvelope struct {
+	Error errorBody `json:"error"`
+}
+
+func errBody(status int, code, format string, args ...interface{}) errorEnvelope {
+	return errorEnvelope{errorBody{Code: code, Message: fmt.Sprintf(format, args...), Status: status}}
+}
+
+func writeError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...interface{}) {
+	writeJSON(w, r, status, errBody(status, code, format, args...))
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	sn := s.Snapshot()
 	writeJSON(w, r, http.StatusOK, map[string]interface{}{
 		"name":       s.name,
@@ -176,10 +217,6 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleConfigurations(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	if s.configs == nil {
 		writeJSON(w, r, http.StatusOK, []NamedConfig{})
 		return
@@ -196,15 +233,11 @@ type groupJSON struct {
 }
 
 func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	limit := 50
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			writeError(w, r, http.StatusBadRequest, "bad limit %q", v)
+			writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "bad limit %q", v)
 			return
 		}
 		limit = n
@@ -255,6 +288,10 @@ type selectResponse struct {
 	PriorityScore float64            `json:"priority_score,omitempty"`
 	StandardScore float64            `json:"standard_score,omitempty"`
 	Groups        []subsetGroupJSON  `json:"groups"`
+	// Trace is the per-stage span tree, attached only when the request asks
+	// for it (X-Podium-Trace: 1 or ?trace=1); untraced responses are
+	// byte-identical to pre-trace servers.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 type subsetGroupJSON struct {
@@ -303,15 +340,16 @@ func clampParallelism(p int) int {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
-		return
+	var sp *obs.Span
+	if traceRequested(r) {
+		sp = obs.StartSpan("select")
 	}
+	dsp := sp.StartChild("decode")
 	var req selectRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "decoding request: %v", err)
 		return
 	}
 	if req.Config != "" {
@@ -335,7 +373,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if !found {
-			writeError(w, r, http.StatusBadRequest, "unknown configuration %q", req.Config)
+			writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "unknown configuration %q", req.Config)
 			return
 		}
 	}
@@ -347,24 +385,39 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	ws, err := parseWeights(req.Weights)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	cs, err := parseCoverage(req.Coverage)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
+	dsp.End()
 	sn := s.Snapshot()
 	opt := core.Options{Parallelism: clampParallelism(req.Parallelism)}
+	var tim *core.StageTimings
+	if s.obsEnabled() || sp != nil {
+		tim = &core.StageTimings{}
+		opt.Timings = tim
+	}
 
 	if req.Feedback.empty() {
 		// Feedback-free selections are memoized per epoch: the snapshot is
 		// immutable and greedy is deterministic, so the response is a pure
 		// function of (epoch, schemes, budget, topK).
+		gsp := sp.StartChild("select")
 		resp, data, err := sn.SelectResponse(ws, cs, req.Budget, req.TopK, opt)
+		gsp.End()
+		attachStages(gsp, tim) // empty (cache hit) unless this call computed
+		s.observeEngine(tim)
 		if err != nil {
-			writeError(w, r, http.StatusInternalServerError, "encoding response: %v", err)
+			writeError(w, r, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+			return
+		}
+		if sp != nil {
+			resp.Trace = sp.JSON() // resp is a copy; the cache keeps Trace nil
+			writeJSON(w, r, http.StatusOK, resp)
 			return
 		}
 		if r.URL.Query().Get("pretty") == "1" {
@@ -376,12 +429,20 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 
 	inst := sn.Instance(ws, cs, req.Budget)
+	gsp := sp.StartChild("greedy")
 	custom, err := core.GreedyCustomOpts(inst, req.Feedback.toCore(), req.Budget, opt)
+	gsp.End()
+	attachStages(gsp, tim)
+	s.observeEngine(tim)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
-	writeJSON(w, r, http.StatusOK, buildSelectResponse(inst, custom.Result, custom, req.TopK))
+	rsp := sp.StartChild("report")
+	resp := buildSelectResponse(inst, custom.Result, custom, req.TopK)
+	rsp.End()
+	resp.Trace = sp.JSON()
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 // buildSelectResponse assembles the visualization payload shared by the
@@ -421,9 +482,9 @@ func buildSelectResponse(inst *groups.Instance, res *core.Result, custom *core.C
 
 // handleQuery runs a declarative-language selection (see internal/query).
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, r, http.StatusMethodNotAllowed, "POST only")
-		return
+	var sp *obs.Span
+	if traceRequested(r) {
+		sp = obs.StartSpan("query")
 	}
 	var req struct {
 		Query string `json:"query"`
@@ -432,22 +493,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, r, http.StatusBadRequest, "decoding request: %v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "decoding request: %v", err)
 		return
 	}
+	psp := sp.StartChild("parse")
 	q, err := query.Parse(req.Query)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	if err := q.Validate(); err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	if q.Buckets != 0 {
-		writeError(w, r, http.StatusBadRequest, "BUCKETS is fixed at server start; omit the clause")
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "BUCKETS is fixed at server start; omit the clause")
 		return
 	}
+	psp.End()
 	ws := groups.WeightLBS
 	if q.WeightsSet {
 		ws = q.Weights
@@ -457,33 +520,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		cs = q.Coverage
 	}
 	sn := s.Snapshot()
+	csp := sp.StartChild("compile")
 	fb, err := q.Compile(sn.Index())
+	csp.End()
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
 	if req.TopK <= 0 {
 		req.TopK = 200
 	}
 	inst := sn.Instance(ws, cs, q.Budget)
-	custom, err := core.GreedyCustom(inst, fb, q.Budget)
+	opt := core.Options{}
+	var tim *core.StageTimings
+	if s.obsEnabled() || sp != nil {
+		tim = &core.StageTimings{}
+		opt.Timings = tim
+	}
+	gsp := sp.StartChild("greedy")
+	custom, err := core.GreedyCustomOpts(inst, fb, q.Budget, opt)
+	gsp.End()
+	attachStages(gsp, tim)
+	s.observeEngine(tim)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
-	writeJSON(w, r, http.StatusOK, buildSelectResponse(inst, custom.Result, custom, req.TopK))
+	rsp := sp.StartChild("report")
+	resp := buildSelectResponse(inst, custom.Result, custom, req.TopK)
+	rsp.End()
+	resp.Trace = sp.JSON()
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, r, http.StatusMethodNotAllowed, "GET only")
-		return
-	}
 	sn := s.Snapshot()
 	label := r.URL.Query().Get("prop")
 	pid, ok := sn.Repo().Catalog().Lookup(label)
 	if !ok {
-		writeError(w, r, http.StatusNotFound, "unknown property %q", label)
+		writeError(w, r, http.StatusNotFound, codeNotFound, "unknown property %q", label)
 		return
 	}
 	var users []profile.UserID
@@ -491,7 +566,7 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 		for _, part := range strings.Split(raw, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || v < 0 || v >= sn.Repo().NumUsers() {
-				writeError(w, r, http.StatusBadRequest, "bad user id %q", part)
+				writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "bad user id %q", part)
 				return
 			}
 			users = append(users, profile.UserID(v))
@@ -512,30 +587,40 @@ func (s *Server) handleDistribution(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
 	sn := s.Snapshot()
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprintf(w, indexHTML, s.name, sn.Repo().NumUsers(), sn.Repo().NumProperties(), sn.Index().NumGroups())
+	fmt.Fprintf(w, indexHTMLHead, s.name, sn.Repo().NumUsers(), sn.Repo().NumProperties(), sn.Index().NumGroups())
+	// The API table renders from the live route table so this page cannot
+	// drift from dispatch.
+	for _, row := range s.Routes() {
+		legacy := row[2]
+		if legacy == "" {
+			legacy = "—"
+		}
+		fmt.Fprintf(w, "<tr><td>%s</td><td><code>%s</code></td><td><code>%s</code></td><td>%s</td></tr>\n",
+			html.EscapeString(row[0]), html.EscapeString(row[1]), html.EscapeString(legacy), html.EscapeString(row[3]))
+	}
+	fmt.Fprint(w, indexHTMLTail)
 }
 
-const indexHTML = `<!doctype html>
+const indexHTMLHead = `<!doctype html>
 <html><head><meta charset="utf-8"><title>Podium</title>
-<style>body{font-family:sans-serif;margin:2rem;max-width:48rem}code{background:#eee;padding:0 .3em}</style>
+<style>body{font-family:sans-serif;margin:2rem;max-width:48rem}code{background:#eee;padding:0 .3em}
+table{border-collapse:collapse}td,th{border:1px solid #ccc;padding:.2em .6em;text-align:left}</style>
 </head><body>
 <h1>Podium — diverse user selection</h1>
 <p>Dataset <b>%s</b>: %d users, %d properties, %d groups.</p>
 <h2>API</h2>
-<ul>
-<li><code>GET /api/status</code> — dataset shape</li>
-<li><code>GET /api/groups?limit=50</code> — largest groups with labels and weights</li>
-<li><code>GET /api/configurations</code> — administrator-provided configurations</li>
-<li><code>POST /api/select</code> — body: <code>{"budget":8,"weights":"LBS","coverage":"Single","parallelism":4,"feedback":{"priority":[1,2]}}</code></li>
-<li><code>POST /api/query</code> — body: <code>{"query":"SELECT 8 USERS WHERE HAS \"avgRating Mexican\" DIVERSIFY BY \"livesIn Tokyo\""}</code></li>
-<li><code>GET /api/distribution?prop=avgRating%%20Mexican&amp;users=0,4</code> — population vs subset score distribution</li>
-</ul>
+<p>Canonical paths live under <code>/api/v1</code>; pre-v1 aliases still work
+and answer with a <code>Deprecation: true</code> header. Selection endpoints
+accept <code>X-Podium-Trace: 1</code> (or <code>?trace=1</code>) to attach a
+span tree to the response; <code>GET /api/v1/metrics</code> serves Prometheus
+text exposition.</p>
+<table>
+<tr><th>route</th><th>path</th><th>legacy alias</th><th>methods</th></tr>
+`
+
+const indexHTMLTail = `</table>
 </body></html>
 `
 

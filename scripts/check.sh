@@ -9,8 +9,9 @@
 #      (internal/core), the shared adjacency structures (internal/groups),
 #      the lock-free snapshot server (internal/server), the batched
 #      repository log (internal/repolog), the campaign orchestrator
-#      (internal/campaign), the resilient client (internal/client) and the
-#      fault injector + chaos suite (internal/faults)
+#      (internal/campaign), the resilient client (internal/client), the
+#      fault injector + chaos suite (internal/faults) and the metrics/trace
+#      registry (internal/obs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +24,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults"
-go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults
+echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs"
+go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs
 
 echo "check: all green"
