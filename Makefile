@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs
+.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs bench-scale
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs
+	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile
 
 # bench-engine regenerates BENCH_selection.json (the selection-engine perf
 # trajectory; see DESIGN.md §7).
@@ -40,6 +40,13 @@ bench-campaign:
 # admission-control shed rate at writer overload (DESIGN.md §10).
 bench-faults:
 	$(GO) run ./cmd/podium-bench -suite faults
+
+# bench-scale regenerates BENCH_scale.json: the columnar datapath at
+# 10K/100K users — select latency, snapshot clone cost, v2 image load vs
+# JSON decode, and resident size (DESIGN.md §12). Set PODIUM_SCALE_1M=1 to
+# include the million-user tier (several minutes; needs ~4 GB).
+bench-scale:
+	$(GO) run ./cmd/podium-bench -suite scale
 
 # bench-obs regenerates BENCH_obs.json: request/engine instrumentation
 # overhead with observability enabled vs disabled (DESIGN.md §11).

@@ -220,6 +220,27 @@ func main() {
 			fmt.Printf("wrote %s (max instrumentation overhead %.2f%%; %d metric families exposed)\n",
 				path, rep.MaxOverheadFrac*100, rep.MetricFamilies)
 		},
+		"scale": func() {
+			tiers := []int{10000, 100000}
+			if os.Getenv("PODIUM_SCALE_1M") == "1" {
+				tiers = append(tiers, 1000000)
+			}
+			tab, rep, err := experiments.RunScaleSuite(experiments.ScaleConfig{
+				Seed: *seed, Budget: *budget, Parallelism: *par, Tiers: tiers,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_scale.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (image loads %.0fx faster than JSON; worst select-vs-linear %.2f)\n",
+				path, rep.MinImageSpeedup, rep.MaxSelectVsLinear)
+		},
 		"faults": func() {
 			tab, rep, err := experiments.RunFaultsSuite(experiments.FaultsConfig{
 				Seed: *seed, Budget: *budget,

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"podium/internal/codec"
 	"podium/internal/faults"
 	"podium/internal/groups"
 	"podium/internal/load"
@@ -54,6 +56,7 @@ func main() {
 		in          = flag.String("in", "", "profiles file: JSON, binary or repository log (overrides -dataset)")
 		logPath     = flag.String("log", "", "repository log path: serve a MUTABLE repository backed by this log (POST /api/users, /api/scores)")
 		dataset     = flag.String("dataset", "tripadvisor", "generator preset when no -in: tripadvisor | yelp")
+		snapImage   = flag.String("snapshot-image", "", "format-v2 binary snapshot image path: load the repository from it when present (near-instant restart), else persist one after the usual -in/-dataset load (immutable mode only)")
 		users       = flag.Int("users", 500, "generated user count when no -in")
 		buckets     = flag.Int("buckets", 3, "score buckets per property")
 		batchWindow = flag.Duration("batch-window", 0, "mutable server: how long the writer waits for more mutations to coalesce (0 = drain whatever is queued)")
@@ -104,15 +107,28 @@ func main() {
 			*logPath, ms.Repository().NumUsers())
 	} else {
 		var repo *profile.Repository
-		var name string
-		if *in != "" {
+		var name, format string
+		loadStart := time.Now()
+		if *snapImage != "" {
+			r, err := codec.ReadImageFile(*snapImage)
+			switch {
+			case err == nil:
+				repo, name, format = r, *snapImage, "image"
+			case errors.Is(err, os.ErrNotExist):
+				// First boot: fall through and persist the image below.
+			default:
+				log.Printf("podium-server: snapshot image %s: %v — falling back to -in/-dataset", *snapImage, err)
+			}
+		}
+		if repo == nil && *in != "" {
 			var err error
 			repo, err = load.Repository(*in)
 			if err != nil {
 				log.Fatalf("podium-server: %v", err)
 			}
-			name = *in
-		} else {
+			name, format = *in, "file"
+		}
+		if repo == nil {
 			var cfg synth.Config
 			switch *dataset {
 			case "tripadvisor":
@@ -123,12 +139,21 @@ func main() {
 				log.Fatalf("podium-server: unknown dataset %q", *dataset)
 			}
 			repo = synth.Generate(cfg).Repo
-			name = cfg.Name
+			name, format = cfg.Name, "synth"
+		}
+		loadDur := time.Since(loadStart)
+		if *snapImage != "" && format != "image" {
+			if err := codec.WriteImageFile(*snapImage, repo); err != nil {
+				log.Printf("podium-server: persisting snapshot image %s: %v", *snapImage, err)
+			} else {
+				fmt.Printf("podium-server: wrote snapshot image %s for fast restarts\n", *snapImage)
+			}
 		}
 		srv = server.New(name, repo, gcfg, configs)
+		srv.RecordRepositoryLoad(format, loadDur)
 		closer = srv.PauseCampaigns
-		fmt.Printf("podium-server: %s — %d users, %d properties\n",
-			name, repo.NumUsers(), repo.NumProperties())
+		fmt.Printf("podium-server: %s — %d users, %d properties (loaded via %s in %s)\n",
+			name, repo.NumUsers(), repo.NumProperties(), format, loadDur.Round(time.Millisecond))
 	}
 	srv.SetCampaignDir(*campaignDir)
 	if *pprofOn {

@@ -46,9 +46,19 @@ func WriteRepository(w io.Writer, repo *profile.Repository) error {
 	return bw.Flush()
 }
 
-// ReadRepository decodes a repository from r.
+// ReadRepository decodes a repository from r, accepting both format v1
+// (varint stream) and format v2 (columnar snapshot image, see image.go). For
+// v2 files on disk prefer ReadImageFile, which skips the stream copy.
 func ReadRepository(r io.Reader) (*profile.Repository, error) {
 	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magic) + 1)
+	if err == nil && string(head[:len(magic)]) == magic && head[len(magic)] == imageVersion {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("codec: reading image: %w", err)
+		}
+		return ReadRepositoryImage(data)
+	}
 	if err := readHeader(br, tagRepository); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,236 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"podium/internal/profile"
+)
+
+// Format v2: the snapshot image. Where v1 interleaves varints per user —
+// forcing a value-by-value decode through the repository's mutation API —
+// the v2 image is the columnar repository laid out section by section, so
+// loading is one file read, five bulk slice decodes and a validation pass.
+// Varints appear only in the fixed-size header; every bulk section is raw
+// little-endian.
+//
+//	magic "PODM" | version 2 | tagRepository
+//	header (varints): nLabels, labelBlobLen, nUsers, nameBlobLen, nLinks
+//	labelOff  uint32 × (nLabels+1)   label i = labelBlob[labelOff[i]:labelOff[i+1]]
+//	labelBlob labelBlobLen bytes
+//	nameOff   uint32 × (nUsers+1)
+//	nameBlob  nameBlobLen bytes
+//	rowOff    uint64 × (nUsers+1)    user u's links = [rowOff[u], rowOff[u+1])
+//	props     uint32 × nLinks
+//	scores    float64 bits (LE) × nLinks
+//
+// The reader validates section bounds against the actual file size before
+// allocating, then delegates structural validation (monotone offsets, sorted
+// rows, in-range scores) to profile.FromColumns — a corrupted image fails
+// loudly, never yields a half-loaded repository. Label and name strings are
+// sliced out of two blob strings, so a million names cost two allocations,
+// not a million.
+
+const imageVersion = 2
+
+// WriteRepositoryImage encodes the repository as a format-v2 snapshot image.
+func WriteRepositoryImage(w io.Writer, repo *profile.Repository) error {
+	labels, names, off, props, scores := repo.RawColumns()
+	bw := bufio.NewWriterSize(w, 1<<20)
+	bw.WriteString(magic)
+	bw.WriteByte(imageVersion)
+	bw.WriteByte(tagRepository)
+
+	labelBlobLen := 0
+	for _, l := range labels {
+		labelBlobLen += len(l)
+	}
+	nameBlobLen := 0
+	for _, n := range names {
+		nameBlobLen += len(n)
+	}
+	if labelBlobLen > math.MaxUint32 || nameBlobLen > math.MaxUint32 || len(labels) > math.MaxUint32 {
+		return fmt.Errorf("codec: repository exceeds image format limits")
+	}
+	writeUvarint(bw, uint64(len(labels)))
+	writeUvarint(bw, uint64(labelBlobLen))
+	writeUvarint(bw, uint64(len(names)))
+	writeUvarint(bw, uint64(nameBlobLen))
+	writeUvarint(bw, uint64(len(props)))
+
+	var b4 [4]byte
+	var b8 [8]byte
+	cum := uint32(0)
+	binary.LittleEndian.PutUint32(b4[:], 0)
+	bw.Write(b4[:])
+	for _, l := range labels {
+		cum += uint32(len(l))
+		binary.LittleEndian.PutUint32(b4[:], cum)
+		bw.Write(b4[:])
+	}
+	for _, l := range labels {
+		bw.WriteString(l)
+	}
+	cum = 0
+	binary.LittleEndian.PutUint32(b4[:], 0)
+	bw.Write(b4[:])
+	for _, n := range names {
+		cum += uint32(len(n))
+		binary.LittleEndian.PutUint32(b4[:], cum)
+		bw.Write(b4[:])
+	}
+	for _, n := range names {
+		bw.WriteString(n)
+	}
+	for _, o := range off {
+		binary.LittleEndian.PutUint64(b8[:], uint64(o))
+		bw.Write(b8[:])
+	}
+	for _, p := range props {
+		binary.LittleEndian.PutUint32(b4[:], uint32(p))
+		bw.Write(b4[:])
+	}
+	for _, s := range scores {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(s))
+		bw.Write(b8[:])
+	}
+	return bw.Flush()
+}
+
+// ReadRepositoryImage decodes a format-v2 snapshot image from an in-memory
+// byte slice (typically the result of os.ReadFile).
+func ReadRepositoryImage(data []byte) (*profile.Repository, error) {
+	if len(data) < len(magic)+2 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("codec: bad magic")
+	}
+	if data[len(magic)] != imageVersion {
+		return nil, fmt.Errorf("codec: not a format-v2 image (version %d)", data[len(magic)])
+	}
+	if data[len(magic)+1] != tagRepository {
+		return nil, fmt.Errorf("codec: image section tag %d, want %d", data[len(magic)+1], tagRepository)
+	}
+	rest := data[len(magic)+2:]
+	var hdr [5]uint64
+	for i, what := range []string{"label count", "label blob length", "user count", "name blob length", "link count"} {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("codec: reading %s: truncated header", what)
+		}
+		hdr[i] = v
+		rest = rest[n:]
+	}
+	nLabels, labelBlobLen, nUsers, nameBlobLen, nLinks := hdr[0], hdr[1], hdr[2], hdr[3], hdr[4]
+
+	// Sanity-check the header against the actual payload size before any
+	// allocation sized from it. The per-field bound keeps the size sum below
+	// overflow for any input that could plausibly match len(rest).
+	limit := uint64(len(rest))
+	if nLabels > limit || labelBlobLen > limit || nUsers > limit || nameBlobLen > limit || nLinks > limit {
+		return nil, fmt.Errorf("codec: image header exceeds file size")
+	}
+	need := 4*(nLabels+1) + labelBlobLen + 4*(nUsers+1) + nameBlobLen + 8*(nUsers+1) + 4*nLinks + 8*nLinks
+	if nLabels > math.MaxUint32 || nUsers > math.MaxUint32 || need != uint64(len(rest)) {
+		return nil, fmt.Errorf("codec: image declares %d bytes of sections, file carries %d", need, len(rest))
+	}
+
+	take := func(n uint64) []byte {
+		s := rest[:n]
+		rest = rest[n:]
+		return s
+	}
+	labels, err := decodeStrings(take(4*(nLabels+1)), take(labelBlobLen), "label")
+	if err != nil {
+		return nil, err
+	}
+	names, err := decodeStrings(take(4*(nUsers+1)), take(nameBlobLen), "name")
+	if err != nil {
+		return nil, err
+	}
+	rowOffBytes := take(8 * (nUsers + 1))
+	off := make([]int, nUsers+1)
+	for i := range off {
+		v := binary.LittleEndian.Uint64(rowOffBytes[8*i:])
+		if v > nLinks {
+			return nil, fmt.Errorf("codec: row offset %d exceeds link count %d", v, nLinks)
+		}
+		off[i] = int(v)
+	}
+	propBytes := take(4 * nLinks)
+	props := make([]profile.PropertyID, nLinks)
+	for i := range props {
+		props[i] = profile.PropertyID(binary.LittleEndian.Uint32(propBytes[4*i:]))
+	}
+	scoreBytes := take(8 * nLinks)
+	scores := make([]float64, nLinks)
+	for i := range scores {
+		scores[i] = math.Float64frombits(binary.LittleEndian.Uint64(scoreBytes[8*i:]))
+	}
+	repo, err := profile.FromColumns(labels, names, off, props, scores)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return repo, nil
+}
+
+// decodeStrings slices a string table out of its offset section and blob.
+// All strings share one backing allocation.
+func decodeStrings(offBytes, blobBytes []byte, what string) ([]string, error) {
+	n := len(offBytes)/4 - 1
+	blob := string(blobBytes)
+	out := make([]string, n)
+	prev := binary.LittleEndian.Uint32(offBytes)
+	if prev != 0 {
+		return nil, fmt.Errorf("codec: %s offsets must start at 0", what)
+	}
+	for i := 0; i < n; i++ {
+		next := binary.LittleEndian.Uint32(offBytes[4*(i+1):])
+		if next < prev || next > uint32(len(blob)) {
+			return nil, fmt.Errorf("codec: %s offset table not monotone", what)
+		}
+		out[i] = blob[prev:next]
+		prev = next
+	}
+	if int(prev) != len(blob) {
+		return nil, fmt.Errorf("codec: %s blob has %d trailing bytes", what, len(blob)-int(prev))
+	}
+	return out, nil
+}
+
+// WriteImageFile writes the v2 snapshot image to path atomically (temp file
+// + rename).
+func WriteImageFile(path string, repo *profile.Repository) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("codec: %w", err)
+	}
+	if err := WriteRepositoryImage(f, repo); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("codec: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("codec: %w", err)
+	}
+	return nil
+}
+
+// ReadImageFile loads a v2 snapshot image: one read, one validate. This is
+// the restart path — a million-user repository comes up in the time it takes
+// to fault the file in.
+func ReadImageFile(path string) (*profile.Repository, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return ReadRepositoryImage(data)
+}

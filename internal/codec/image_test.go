@@ -1,0 +1,128 @@
+package codec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"podium/internal/profile"
+	"podium/internal/synth"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	ds := synth.Generate(synth.TripAdvisorLike(120))
+	ds.Repo.Seal()
+	var buf bytes.Buffer
+	if err := WriteRepositoryImage(&buf, ds.Repo); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepositoryImage(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRepoEqual(t, ds.Repo, back)
+}
+
+// A decoded image must re-encode to the exact same bytes: the image is a
+// faithful columnar dump, not a lossy projection.
+func TestImageBitIdenticalReencode(t *testing.T) {
+	ds := synth.Generate(synth.YelpLike(80))
+	ds.Repo.Seal()
+	var first bytes.Buffer
+	if err := WriteRepositoryImage(&first, ds.Repo); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRepositoryImage(first.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteRepositoryImage(&second, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("image re-encode is not bit-identical")
+	}
+}
+
+func TestImageFileRoundTrip(t *testing.T) {
+	repo := profile.PaperExample()
+	repo.Seal()
+	path := filepath.Join(t.TempDir(), "repo.img")
+	if err := WriteImageFile(path, repo); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadImageFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRepoEqual(t, repo, back)
+	// The generic stream reader must accept v2 images too.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadRepository(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRepoEqual(t, repo, again)
+}
+
+func TestImageRejectsCorruption(t *testing.T) {
+	repo := profile.PaperExample()
+	repo.Seal()
+	var buf bytes.Buffer
+	if err := WriteRepositoryImage(&buf, repo); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	for _, n := range []int{0, 3, 5, 6, 10, len(good) / 2, len(good) - 1} {
+		if _, err := ReadRepositoryImage(good[:n]); err == nil {
+			t.Errorf("accepted truncation to %d bytes", n)
+		}
+	}
+	// Flip bytes across the file; every mutation must either fail or decode
+	// into a fully valid repository (header/blob bytes may legally change
+	// names), never panic or corrupt.
+	for i := 0; i < len(good); i += 7 {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xFF
+		repo, err := ReadRepositoryImage(mut)
+		if err != nil {
+			continue
+		}
+		repo.EachRow(func(_ profile.UserID, props []profile.PropertyID, scores []float64) {
+			for i, s := range scores {
+				if s < 0 || s > 1 || s != s || int(props[i]) >= repo.NumProperties() {
+					t.Fatalf("byte-flip at %d decoded an invalid repository", i)
+				}
+			}
+		})
+	}
+}
+
+// The golden v1 file pins backward compatibility: a file written by the v1
+// encoder before the columnar rewrite must keep decoding to the same
+// repository, byte for byte of its JSON projection.
+func TestGoldenV1Compatibility(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "v1_paper_example.podm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := ReadRepository(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("v1 golden file no longer decodes: %v", err)
+	}
+	assertRepoEqual(t, profile.PaperExample(), repo)
+	// And the v1 encoder still produces those exact bytes.
+	var buf bytes.Buffer
+	if err := WriteRepository(&buf, profile.PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("v1 encoder output drifted from the golden file")
+	}
+}

@@ -22,13 +22,18 @@ import (
 //     |𝒰′| candidates, which matters when customization refines the
 //     population to a small 𝒰′ (custom.go) and late in large selections.
 //
-//  3. With Options.Parallelism > 1, the three O(n)-ish loops shard across
-//     workers. Determinism is preserved structurally: shards are contiguous
-//     index ranges, each worker reports a local (marginal, lowest-index)
-//     best, and the reduction scans shards in ascending order accepting only
-//     strictly greater marginals — exactly the total order the sequential
-//     scan implies. Float sums are unchanged because each user's marginal is
-//     still accumulated over its own CSR row in ascending group order, and
+//  3. Empty-selection marginals come from Instance.BaseMarginals — one
+//     memoized O(links) pass per instance (bit-identical to summing each
+//     user's CSR row ascending) — so a selection starts from an O(n) copy.
+//     The server memoizes instances per snapshot epoch, which makes the
+//     per-request select cost independent of total link count.
+//
+//  4. With Options.Parallelism > 1, the argmax and retraction loops shard
+//     across workers. Determinism is preserved structurally: shards are
+//     contiguous index ranges, each worker reports a local (marginal,
+//     lowest-index) best, and the reduction scans shards in ascending order
+//     accepting only strictly greater marginals — exactly the total order
+//     the sequential scan implies. Float sums are unchanged because
 //     retractions apply exactly one subtraction per (group, member) pair in
 //     the same group order as the sequential loop.
 //
@@ -73,39 +78,14 @@ func engineGreedy(inst *groups.Instance, budget int, allowed []bool, opt Options
 		return res
 	}
 
-	// Line 2: marg_{u,∅} = Σ_{G∋u, cov(G)>0} wei(G).
+	// Line 2: marg_{u,∅} = Σ_{G∋u, cov(G)>0} wei(G). The instance memoizes
+	// the empty-selection marginals (one O(links) group-major pass, in the
+	// same per-user ascending-group float order this loop used to run), so
+	// every selection after an instance's first starts from an O(n) copy —
+	// the pass that used to dominate large-population selects is paid once
+	// per published snapshot, not once per request.
 	marg := make([]float64, n)
-	if workers > 1 && len(cand) >= engineParallelCutoff {
-		// User-major across candidate shards: each worker owns a disjoint
-		// range of users, summing its CSR rows in ascending group order.
-		shardRange(len(cand), workers, func(lo, hi int) {
-			for _, cu := range cand[lo:hi] {
-				u := profile.UserID(cu)
-				var m float64
-				for _, g := range csr.UserGroups(u) {
-					if inst.Cov[g] > 0 {
-						m += inst.Wei[g]
-					}
-				}
-				marg[cu] = m
-			}
-		})
-	} else {
-		// Group-major: one streaming pass over the member rows, loading each
-		// weight once per group instead of once per link. Per-user sums are
-		// still accumulated in ascending group order (rows are ascending and
-		// groups are visited in ID order), so the floats match the
-		// user-major order bit for bit.
-		for g, lim := 0, ix.NumGroups(); g < lim; g++ {
-			if inst.Cov[g] <= 0 {
-				continue
-			}
-			w := inst.Wei[g]
-			for _, m := range csr.Members(groups.GroupID(g)) {
-				marg[m] += w
-			}
-		}
-	}
+	copy(marg, inst.BaseMarginals())
 	for _, cu := range cand {
 		res.Evaluations += csr.UserDegree(profile.UserID(cu))
 	}

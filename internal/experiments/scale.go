@@ -1,0 +1,285 @@
+package experiments
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"podium/internal/codec"
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/profile"
+	"podium/internal/synth"
+)
+
+// ScaleConfig parameterizes the million-user scale suite. Unlike the engine
+// suite — which compares execution strategies on small instances — this one
+// tracks how the columnar datapath's absolute costs grow with population:
+// select latency, snapshot clone cost, v2 image load vs JSON decode, and the
+// repository's resident size. Tiers default to 10K/100K; CI keeps it there,
+// and the 1M tier is opted into via podium-bench (PODIUM_SCALE_1M=1).
+type ScaleConfig struct {
+	Seed   int64
+	Budget int
+	// Tiers is the population sweep (defaults to 10K and 100K users).
+	Tiers []int
+	// Parallelism of the timed select (0 = NumCPU).
+	Parallelism int
+	// Repetitions per cheap timing; the minimum is reported (defaults to 3).
+	// Expensive one-shot costs (generation, JSON decode at 1M) run once.
+	Repetitions int
+	// Dir holds the temporary image/JSON files (defaults to os.TempDir()).
+	Dir string
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Budget <= 0 {
+		c.Budget = 8
+	}
+	if len(c.Tiers) == 0 {
+		c.Tiers = []int{10000, 100000}
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.NumCPU()
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	if c.Dir == "" {
+		c.Dir = os.TempDir()
+	}
+	return c
+}
+
+// ScaleRow is one population tier's measurements.
+type ScaleRow struct {
+	Users      int `json:"users"`
+	Properties int `json:"properties"`
+	Links      int `json:"links"`
+	Groups     int `json:"groups"`
+	// One-shot build costs, in seconds.
+	GenerateSec float64 `json:"generate_sec"`
+	GroupsSec   float64 `json:"groups_sec"`
+	// InstanceSec is the one-time LBS/Single instance construction plus the
+	// memoized empty-selection marginal pass over the CSR index — paid once
+	// per published snapshot, not per selection.
+	InstanceSec float64 `json:"instance_sec"`
+	// SelectSec is one greedy selection (LBS/Single) on a prepared instance,
+	// the same measurement shape as the 2K baseline.
+	SelectSec float64 `json:"select_sec"`
+	// SelectVsLinear divides SelectSec by the 2K-baseline linear
+	// extrapolation (baseline × users/2000); < 1 means sub-linear scaling.
+	SelectVsLinear float64 `json:"select_vs_linear"`
+	// CloneUs is one repository+index snapshot clone, in microseconds —
+	// the per-batch cost of the mutable server's copy-on-write publish.
+	CloneUs float64 `json:"clone_us"`
+	// Snapshot image (format v2) vs the JSON interchange decode.
+	ImageBytes    int64   `json:"image_bytes"`
+	ImageWriteSec float64 `json:"image_write_sec"`
+	ImageLoadSec  float64 `json:"image_load_sec"`
+	JSONDecodeSec float64 `json:"json_decode_sec"`
+	ImageSpeedup  float64 `json:"image_speedup"`
+	// RepoBytes is profile.ApproxBytes — the repository's estimated
+	// resident size; HeapBytes is Go heap in use after GC with the tier's
+	// dataset and index live.
+	RepoBytes int64  `json:"repo_bytes"`
+	HeapBytes uint64 `json:"heap_bytes"`
+}
+
+// ScaleReport is serialized to BENCH_scale.json: the scale trajectory future
+// PRs regress against.
+type ScaleReport struct {
+	Suite       string `json:"suite"`
+	Dataset     string `json:"dataset"`
+	Budget      int    `json:"budget"`
+	Seed        int64  `json:"seed"`
+	Parallelism int    `json:"parallelism"`
+	NumCPU      int    `json:"num_cpu"`
+	// Baseline2KSelectSec anchors the sub-linearity check: ReferenceGreedy
+	// (the preserved seed implementation) on a 2K-user tier.
+	Baseline2KSelectSec float64    `json:"baseline_2k_select_sec"`
+	Rows                []ScaleRow `json:"rows"`
+	// MinImageSpeedup is the smallest image-vs-JSON load advantage across
+	// the sweep; MaxSelectVsLinear the worst sub-linearity ratio.
+	MinImageSpeedup   float64 `json:"min_image_speedup"`
+	MaxSelectVsLinear float64 `json:"max_select_vs_linear"`
+}
+
+// RunScaleSuite measures the columnar datapath across the configured tiers
+// and returns the rendered table plus the JSON report.
+func RunScaleSuite(cfg ScaleConfig) (*Table, *ScaleReport, error) {
+	cfg = cfg.withDefaults()
+	const (
+		mSel = "Select (s)"
+		mCln = "Clone (µs)"
+		mImg = "Image load (s)"
+		mJSN = "JSON decode (s)"
+		mSpd = "Image speedup"
+		mRSS = "Repo MB"
+	)
+	t := &Table{
+		Title:   fmt.Sprintf("Columnar datapath at scale (parallelism=%d)", cfg.Parallelism),
+		Metrics: []string{mSel, mCln, mImg, mJSN, mSpd, mRSS},
+	}
+	rep := &ScaleReport{
+		Suite:       "scale",
+		Dataset:     "scale (profiles-only synthetic)",
+		Budget:      cfg.Budget,
+		Seed:        cfg.Seed,
+		Parallelism: cfg.Parallelism,
+		NumCPU:      runtime.NumCPU(),
+	}
+
+	// Sub-linearity anchor: the seed reference greedy on a 2K tier.
+	{
+		ds := synth.Generate(synth.ScaleLike(2000))
+		ix := groups.Build(ds.Repo, groups.Config{K: 3})
+		inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+		core.ReferenceGreedy(inst, cfg.Budget, nil) // warm
+		rep.Baseline2KSelectSec = timeMin(cfg.Repetitions, func() {
+			core.ReferenceGreedy(inst, cfg.Budget, nil)
+		})
+	}
+
+	for _, n := range cfg.Tiers {
+		row, err := runScaleTier(cfg, n, rep.Baseline2KSelectSec)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+		if rep.MinImageSpeedup == 0 || row.ImageSpeedup < rep.MinImageSpeedup {
+			rep.MinImageSpeedup = row.ImageSpeedup
+		}
+		if row.SelectVsLinear > rep.MaxSelectVsLinear {
+			rep.MaxSelectVsLinear = row.SelectVsLinear
+		}
+		t.Rows = append(t.Rows, Row{
+			Name: fmt.Sprintf("|U|=%d", n),
+			Values: map[string]float64{
+				mSel: row.SelectSec,
+				mCln: row.CloneUs,
+				mImg: row.ImageLoadSec,
+				mJSN: row.JSONDecodeSec,
+				mSpd: row.ImageSpeedup,
+				mRSS: float64(row.RepoBytes) / (1 << 20),
+			},
+		})
+	}
+	return t, rep, nil
+}
+
+func runScaleTier(cfg ScaleConfig, n int, baseline float64) (ScaleRow, error) {
+	row := ScaleRow{Users: n}
+
+	start := time.Now()
+	ds := synth.Generate(synth.ScaleLike(n))
+	row.GenerateSec = time.Since(start).Seconds()
+	repo := ds.Repo
+
+	start = time.Now()
+	ix := groups.Build(repo, groups.Config{K: 3})
+	row.GroupsSec = time.Since(start).Seconds()
+	ix.Freeze()
+
+	row.Properties = repo.NumProperties()
+	row.Links = repo.NumLinks()
+	row.Groups = ix.NumGroups()
+	row.RepoBytes = repo.ApproxBytes()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	row.HeapBytes = ms.HeapInuse
+
+	// Instance construction plus the memoized base-marginal pass is O(links)
+	// and paid once per published snapshot (the server memoizes instances
+	// per epoch); it is reported on its own so the per-request select timing
+	// below stays the same measurement shape as the 2K baseline (greedy on a
+	// prepared instance).
+	start = time.Now()
+	inst := groups.NewInstance(ix, groups.WeightLBS, groups.CoverSingle, cfg.Budget)
+	inst.BaseMarginals()
+	row.InstanceSec = time.Since(start).Seconds()
+
+	// Select: the greedy engine at the configured parallelism.
+	opt := core.Options{Parallelism: cfg.Parallelism}
+	sel := func() { core.GreedyOpts(inst, cfg.Budget, opt) }
+	sel() // warm
+	row.SelectSec = timeMin(cfg.Repetitions, sel)
+	if baseline > 0 {
+		row.SelectVsLinear = row.SelectSec / (baseline * float64(n) / 2000)
+	}
+
+	// Snapshot clone: repository + index, the mutable server's per-batch
+	// copy-on-write cost. Clones are dropped unmutated, so this times the
+	// sharing path — the point of column-granularity COW.
+	row.CloneUs = timeMin(cfg.Repetitions, func() {
+		r2 := repo.Clone()
+		ix.Clone(r2)
+	}) * 1e6
+
+	// Snapshot image write + bulk load.
+	imgPath := filepath.Join(cfg.Dir, fmt.Sprintf("podium_scale_%d.img", n))
+	defer os.Remove(imgPath)
+	start = time.Now()
+	if err := codec.WriteImageFile(imgPath, repo); err != nil {
+		return row, err
+	}
+	row.ImageWriteSec = time.Since(start).Seconds()
+	if fi, err := os.Stat(imgPath); err == nil {
+		row.ImageBytes = fi.Size()
+	}
+	reps := cfg.Repetitions
+	if n >= 1000000 {
+		reps = 1
+	}
+	row.ImageLoadSec = timeMin(reps, func() {
+		if _, err := codec.ReadImageFile(imgPath); err != nil {
+			panic(err)
+		}
+	})
+
+	// JSON interchange decode: the restart path the image replaces.
+	jsonPath := filepath.Join(cfg.Dir, fmt.Sprintf("podium_scale_%d.json", n))
+	defer os.Remove(jsonPath)
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return row, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := repo.WriteJSON(bw); err != nil {
+		f.Close()
+		return row, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return row, err
+	}
+	if err := f.Close(); err != nil {
+		return row, err
+	}
+	jsonDecode := func() {
+		rf, err := os.Open(jsonPath)
+		if err != nil {
+			panic(err)
+		}
+		defer rf.Close()
+		if _, err := profile.ReadJSON(bufio.NewReaderSize(rf, 1<<20)); err != nil {
+			panic(err)
+		}
+	}
+	if n >= 1000000 {
+		// One decode is minutes at this tier; a single run is representative.
+		start = time.Now()
+		jsonDecode()
+		row.JSONDecodeSec = time.Since(start).Seconds()
+	} else {
+		row.JSONDecodeSec = timeMin(reps, jsonDecode)
+	}
+	if row.ImageLoadSec > 0 {
+		row.ImageSpeedup = row.JSONDecodeSec / row.ImageLoadSec
+	}
+	return row, nil
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import "testing"
+
+// TestScaleSuiteShapes pins the scale suite's acceptance shapes on a small
+// tier (the full sweep is a bench, not a test): the v2 image loads an order
+// of magnitude faster than the JSON decode (the committed BENCH_scale.json
+// shows ≥50× at scale), select latency is sub-linear versus the 2K seed
+// baseline, and the snapshot clone does not grow with the population.
+func TestScaleSuiteShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale suite smoke is seconds-long")
+	}
+	_, rep, err := RunScaleSuite(ScaleConfig{Seed: 7, Tiers: []int{4000, 10000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(rep.Rows))
+	}
+	if rep.Baseline2KSelectSec <= 0 {
+		t.Fatal("missing 2K reference baseline")
+	}
+	for _, row := range rep.Rows {
+		if row.Links == 0 || row.Groups == 0 || row.RepoBytes == 0 {
+			t.Fatalf("|U|=%d: degenerate instance: %+v", row.Users, row)
+		}
+		if row.ImageSpeedup < 10 {
+			t.Errorf("|U|=%d: image only %.1fx faster than JSON decode", row.Users, row.ImageSpeedup)
+		}
+		if row.SelectVsLinear >= 1 {
+			t.Errorf("|U|=%d: select latency is not sub-linear (ratio %.2f)", row.Users, row.SelectVsLinear)
+		}
+	}
+	// Clone cost must not scale with the population: allow generous noise,
+	// but 2.5x users must stay well under a proportional 2.5x cost.
+	small, large := rep.Rows[0], rep.Rows[1]
+	if large.CloneUs > small.CloneUs*2 {
+		t.Errorf("snapshot clone grew with users: %.0fµs at %d vs %.0fµs at %d",
+			small.CloneUs, small.Users, large.CloneUs, large.Users)
+	}
+}

@@ -1,0 +1,156 @@
+package groups
+
+import (
+	"testing"
+
+	"podium/internal/profile"
+)
+
+func buildArenaFixture(t *testing.T) (*profile.Repository, *Index) {
+	t.Helper()
+	repo := profile.NewRepository()
+	for u := 0; u < 20; u++ {
+		id := repo.AddUser("u")
+		repo.MustSetScore(id, "a", float64(u%10)/10)
+		repo.MustSetScore(id, "b", float64((u*7)%10)/10)
+		if u%2 == 0 {
+			repo.MustSetScore(id, "c", 1)
+		}
+	}
+	repo.Seal()
+	return repo, Build(repo, Config{K: 3})
+}
+
+// Build's published CSR must alias the member/adjacency arenas — zero copy —
+// and the Group/byUser rows must slice into the same storage.
+func TestBuildCSRAliasesArenas(t *testing.T) {
+	_, ix := buildArenaFixture(t)
+	csr := ix.CSR()
+	if csr.NumGroups() != ix.NumGroups() {
+		t.Fatalf("csr groups %d vs index %d", csr.NumGroups(), ix.NumGroups())
+	}
+	for _, g := range ix.Groups() {
+		row := csr.Members(g.ID)
+		if len(row) != len(g.Members) {
+			t.Fatalf("group %d row length mismatch", g.ID)
+		}
+		if len(row) > 0 && &row[0] != &g.Members[0] {
+			t.Fatalf("group %d members do not alias the CSR arena", g.ID)
+		}
+		if cap(g.Members) != len(g.Members) {
+			t.Fatalf("group %d member slice not capacity-clamped", g.ID)
+		}
+	}
+	for u := 0; u < csr.NumUsers(); u++ {
+		row := csr.UserGroups(profile.UserID(u))
+		bu := ix.UserGroups(profile.UserID(u))
+		if len(row) != len(bu) {
+			t.Fatalf("user %d row length mismatch", u)
+		}
+		if len(row) > 0 && &row[0] != &bu[0] {
+			t.Fatalf("user %d adjacency does not alias the CSR arena", u)
+		}
+	}
+}
+
+// A clean clone must share every top-level structure with its source and
+// carry the frozen CSR over, so clone + Freeze of an untouched epoch does no
+// O(n) work.
+func TestCloneSharesUntilWrite(t *testing.T) {
+	repo, ix := buildArenaFixture(t)
+	csr := ix.CSR()
+	cp := ix.Clone(repo.Clone())
+	if cp.CSR() != csr {
+		t.Fatal("clean clone rebuilt the CSR instead of sharing it")
+	}
+	cp.Freeze()
+	if cp.CSR() != csr {
+		t.Fatal("Freeze on a clean clone rebuilt the CSR")
+	}
+	if &cp.groups[0] != &ix.groups[0] || len(cp.byUser) > 0 && &cp.byUser[0] != &ix.byUser[0] {
+		t.Fatal("clone copied top-level slices eagerly")
+	}
+}
+
+// Mutating a clone must not disturb the source index or a CSR snapshot taken
+// before the mutation, even though rows alias shared arenas.
+func TestCloneMutationPreservesSourceAndCSR(t *testing.T) {
+	repo, ix := buildArenaFixture(t)
+	ix.Freeze()
+	oldCSR := ix.CSR()
+	u := profile.UserID(0)
+	gid := ix.UserGroups(u)[0]
+	oldMembers := append([]profile.UserID(nil), oldCSR.Members(gid)...)
+	oldRow := append([]GroupID(nil), ix.UserGroups(u)...)
+
+	crepo := repo.Clone()
+	cp := ix.Clone(crepo)
+	prop := cp.Group(gid).Prop
+	// Move user 0 out of its bucket for this property.
+	s, _ := crepo.Profile(u).Score(prop)
+	ns := 0.0
+	if s < 0.5 {
+		ns = 1.0
+	}
+	if err := crepo.SetScoreID(u, prop, ns); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.UpdateScore(u, prop); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Group(gid).Contains(u) {
+		t.Fatal("user did not move buckets")
+	}
+	// The source and the pre-mutation CSR are untouched.
+	if !ix.Group(gid).Contains(u) {
+		t.Fatal("mutating the clone removed the user from the source group")
+	}
+	for i, m := range oldCSR.Members(gid) {
+		if m != oldMembers[i] {
+			t.Fatal("clone mutation rewrote the frozen CSR arena")
+		}
+	}
+	for i, g := range ix.UserGroups(u) {
+		if g != oldRow[i] {
+			t.Fatal("clone mutation rewrote the source's user row")
+		}
+	}
+}
+
+// Incremental removal on a Build index (no clone) must also leave a
+// previously-taken CSR intact: shrunken rows are copied out, never shifted
+// in place over the arena.
+func TestRemoveMemberCopiesOutOfArena(t *testing.T) {
+	repo, ix := buildArenaFixture(t)
+	csr := ix.CSR()
+	u := profile.UserID(2)
+	gid := ix.UserGroups(u)[0]
+	prop := ix.Group(gid).Prop
+	before := append([]profile.UserID(nil), csr.Members(gid)...)
+
+	s, _ := repo.Profile(u).Score(prop)
+	ns := 0.0
+	if s < 0.5 {
+		ns = 1.0
+	}
+	if err := repo.SetScoreID(u, prop, ns); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.UpdateScore(u, prop); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range csr.Members(gid) {
+		if m != before[i] {
+			t.Fatal("removeMember shifted the arena under a frozen CSR")
+		}
+	}
+	// The rebuilt CSR reflects the move.
+	if ix.CSR() == csr {
+		t.Fatal("mutation did not invalidate the CSR")
+	}
+	for _, m := range ix.CSR().Members(gid) {
+		if m == u {
+			t.Fatal("user still a member after the move")
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package groups
 
 import (
+	"sync/atomic"
+
 	"podium/internal/bucketing"
 	"podium/internal/profile"
 )
@@ -9,46 +11,79 @@ import (
 // detached from its source. The maps start empty: a clone that absorbs a
 // mutation batch touching k groups copies O(k) member slices, not O(|𝒢|).
 type cowState struct {
-	groups   map[GroupID]bool            // Group struct + Members copied
-	users    map[profile.UserID]bool     // byUser[u] copied
-	props    map[profile.PropertyID]bool // byProp[p] value copied
-	byProp   bool                        // byProp map header copied
-	byBucket bool                        // byBucket map copied
-	buckets  bool                        // buckets map copied
+	groups      map[GroupID]bool            // Group struct + Members copied
+	users       map[profile.UserID]bool     // byUser[u] copied
+	props       map[profile.PropertyID]bool // byProp[p] value copied
+	byProp      bool                        // byProp map header copied
+	byBucket    bool                        // byBucket map copied
+	buckets     bool                        // buckets map copied
+	groupsSlice bool                        // top-level groups slice detached
+	byUserSlice bool                        // top-level byUser slice detached
 }
 
 // Clone returns a copy-on-write copy of the index bound to repo — a
 // repository with identical user and property numbering, typically a
-// copy-on-write clone of the original (profile.Repository.Clone). Only the
-// top-level group and per-user tables are copied eagerly (slice headers, one
-// allocation each); the Group structs, member slices, per-property lists and
-// bucket maps stay shared with the source until a mutator touches them, at
-// which point the touched piece is detached (mutableGroup, ownUser,
-// ownPropList, ownByBucket, ownBuckets). This is the copy half of the
-// server's copy-on-write epoch publication: the single writer clones the
-// published index, applies a mutation batch through the incremental path —
-// paying copy cost proportional to what the batch touches, not to index
-// size — and publishes the result. Mutating the clone never disturbs
-// concurrent readers of the source.
+// copy-on-write clone of the original (profile.Repository.Clone). Nothing is
+// copied eagerly: the Group structs, member arena, per-user and per-property
+// tables and bucket maps all stay shared with the source until a mutator
+// touches them, at which point the touched piece is detached (mutableGroup,
+// ownUser, ownGroupsSlice, ownByUserSlice, ownPropList, ownByBucket,
+// ownBuckets) — so cloning a million-user index costs the same as cloning a
+// hundred-user one. This is the copy half of the server's copy-on-write
+// epoch publication: the single writer clones the published index, applies a
+// mutation batch through the incremental path — paying copy cost
+// proportional to what the batch touches, not to index size — and publishes
+// the result. Mutating the clone never disturbs concurrent readers of the
+// source.
 //
-// Derived views (the frozen CSR, cached adjacency statistics) are not
-// copied — call Freeze once per batch before publishing.
+// The frozen CSR and cached adjacency statistics carry over: they describe
+// an adjacency the clone still shares, and mutators invalidate them on the
+// clone alone. A clean clone is therefore free to Freeze and publish without
+// any rebuild.
 func (ix *Index) Clone(repo *profile.Repository) *Index {
 	cp := &Index{
-		repo:     repo,
-		groups:   append([]*Group(nil), ix.groups...),
-		byUser:   append([][]GroupID(nil), ix.byUser...),
-		byProp:   ix.byProp,
-		buckets:  ix.buckets,
-		byBucket: ix.byBucket,
+		repo:             repo,
+		groups:           ix.groups,
+		byUser:           ix.byUser,
+		byProp:           ix.byProp,
+		buckets:          ix.buckets,
+		byBucket:         ix.byBucket,
+		maxGroupSize:     ix.maxGroupSize,
+		maxGroupsPerUser: ix.maxGroupsPerUser,
+		statsStale:       atomic.LoadUint32(&ix.statsStale),
 		cow: &cowState{
 			groups: make(map[GroupID]bool),
 			users:  make(map[profile.UserID]bool),
 			props:  make(map[profile.PropertyID]bool),
 		},
 	}
-	cp.invalidateDerived()
+	if c := ix.csr.Load(); c != nil {
+		cp.csr.Store(c)
+	}
 	return cp
+}
+
+// ownGroupsSlice detaches the top-level groups slice before its first
+// element write or append. Until then the slice (not just the *Group values)
+// is shared with the clone's source; appending to a shared slice with spare
+// capacity would let two sibling clones scribble over the same backing
+// array.
+func (ix *Index) ownGroupsSlice() {
+	if ix.cow == nil || ix.cow.groupsSlice {
+		return
+	}
+	ix.groups = append([]*Group(nil), ix.groups...)
+	ix.cow.groupsSlice = true
+}
+
+// ownByUserSlice detaches the top-level byUser slice before its first
+// element write or append, for the same reason as ownGroupsSlice.
+func (ix *Index) ownByUserSlice() {
+	if ix.cow == nil || ix.cow.byUserSlice {
+		return
+	}
+	ix.byUser = append([][]GroupID(nil), ix.byUser...)
+	ix.cow.byUserSlice = true
 }
 
 // mutableGroup returns a group the caller may mutate, detaching a private
@@ -60,6 +95,7 @@ func (ix *Index) mutableGroup(gid GroupID) *Group {
 	if ix.cow == nil || ix.cow.groups[gid] {
 		return g
 	}
+	ix.ownGroupsSlice()
 	ng := *g
 	ng.Members = append(make([]profile.UserID, 0, len(g.Members)+1), g.Members...)
 	ix.groups[gid] = &ng
@@ -73,6 +109,7 @@ func (ix *Index) ownUser(u profile.UserID) {
 	if ix.cow == nil || ix.cow.users[u] {
 		return
 	}
+	ix.ownByUserSlice()
 	if int(u) < len(ix.byUser) && len(ix.byUser[u]) > 0 {
 		ix.byUser[u] = append(make([]GroupID, 0, len(ix.byUser[u])+1), ix.byUser[u]...)
 	}

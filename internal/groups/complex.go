@@ -90,6 +90,7 @@ func (ix *Index) addComplex(kind GroupKind, ids []GroupID) (GroupID, error) {
 		Members: members,
 		label:   "(" + strings.Join(parts, sep) + ")",
 	}
+	ix.ownGroupsSlice()
 	ix.groups = append(ix.groups, g)
 	if ix.cow != nil {
 		ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
@@ -131,12 +132,14 @@ func (ix *Index) AddManualGroup(label string, members []profile.UserID) (GroupID
 		Members: clean,
 		label:   label,
 	}
+	ix.ownGroupsSlice()
 	ix.groups = append(ix.groups, g)
 	if ix.cow != nil {
 		ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
 	}
 	for _, u := range clean {
 		for int(u) >= len(ix.byUser) {
+			ix.ownByUserSlice()
 			ix.byUser = append(ix.byUser, nil)
 		}
 		ix.ownUser(u)

@@ -96,15 +96,21 @@ func (ix *Index) buildCSR() *CSR {
 	return c
 }
 
-// Freeze eagerly rebuilds every derived view — the CSR and the cached
+// Freeze eagerly rebuilds every stale derived view — the CSR and the cached
 // adjacency statistics — so that an index published to concurrent lock-free
 // readers never triggers a lazy rebuild: after Freeze, CSR(), MaxGroupSize()
 // and MaxGroupsPerUser() are pure reads. The server's writer calls it once
 // per mutation batch, right before publishing the next snapshot, making the
-// rebuild cost per-batch rather than per-member-move.
+// rebuild cost per-batch rather than per-member-move. Views that are still
+// fresh — a Build index, or a clone that carried its source's CSR through an
+// untouched batch — are kept as-is, so freezing a clean index is O(1).
 func (ix *Index) Freeze() {
-	ix.refreshStats()
-	ix.csr.Store(ix.buildCSR())
+	if atomic.LoadUint32(&ix.statsStale) != 0 {
+		ix.refreshStats()
+	}
+	if ix.csr.Load() == nil {
+		ix.csr.Store(ix.buildCSR())
+	}
 }
 
 // invalidateDerived drops the cached CSR view and marks the cached adjacency

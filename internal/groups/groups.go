@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"podium/internal/bucketing"
@@ -143,27 +144,64 @@ type bucketKey struct {
 // Build bucketizes every property and materializes all non-empty groups of
 // at least cfg.MinGroupSize members. It is the "offline process" of the
 // grouping module in the system architecture (Section 7).
+//
+// Storage is arena-backed: all group member lists live back-to-back in one
+// contiguous arena, and all user→group rows in another, with Group.Members
+// and byUser[u] slicing into them (capacity-clamped, so incremental appends
+// copy out instead of scribbling over a neighbor's row). The arenas double
+// as the frozen CSR view — Build publishes the CSR by aliasing them, zero
+// copies. The construction order is identical to the historical per-slice
+// build — properties ascending, buckets ascending within a property, members
+// ascending by user — so group IDs, labels and every downstream selection
+// remain bit-identical.
 func Build(repo *profile.Repository, cfg Config) *Index {
 	cfg = cfg.withDefaults()
+	nU := repo.NumUsers()
+	nP := repo.NumProperties()
 	ix := &Index{
 		repo:     repo,
-		byUser:   make([][]GroupID, repo.NumUsers()),
 		byProp:   make(map[profile.PropertyID][]GroupID),
 		buckets:  make(map[profile.PropertyID][]bucketing.Bucket),
 		byBucket: make(map[bucketKey]GroupID),
 	}
-	results := bucketizeAll(repo, cfg)
-	for pid := 0; pid < repo.NumProperties(); pid++ {
-		p := profile.PropertyID(pid)
-		res := results[pid]
-		if res == nil {
+	links := binLinks(repo)
+	parts := partitionAll(links, cfg)
+
+	// Size the members arena: count surviving groups and their members.
+	nGroups, arenaLen := 0, 0
+	for pid := 0; pid < nP; pid++ {
+		if parts[pid] == nil {
+			continue
+		}
+		for _, c := range parts[pid].counts {
+			if c >= cfg.MinGroupSize {
+				nGroups++
+				arenaLen += c
+			}
+		}
+	}
+	memberArena := make([]profile.UserID, arenaLen)
+	groupOff := make([]int, nGroups+1)
+	ix.groups = make([]*Group, 0, nGroups)
+	userCnt := make([]int, nU)
+
+	arenaCur := 0
+	for pid := 0; pid < nP; pid++ {
+		part := parts[pid]
+		if part == nil {
 			continue // no user holds the property
 		}
-		bs := res.buckets
+		p := profile.PropertyID(pid)
+		bs := part.buckets
 		ix.buckets[p] = bs
-		members := res.members
-		for bi, m := range members {
-			if len(m) < cfg.MinGroupSize {
+		// Claim arena segments and group IDs in bucket order; wcur[bi] is the
+		// write cursor into bucket bi's segment, or -1 for dropped buckets.
+		wcur := make([]int, len(bs))
+		starts := make([]int, len(bs))
+		gids := make([]GroupID, len(bs))
+		for bi, c := range part.counts {
+			if c < cfg.MinGroupSize {
+				wcur[bi] = -1
 				continue
 			}
 			g := &Group{
@@ -172,19 +210,61 @@ func Build(repo *profile.Repository, cfg Config) *Index {
 				Bucket:     bs[bi],
 				BucketIdx:  bi,
 				NumBuckets: len(bs),
-				Members:    m, // already sorted: PropertyValues scans users in order
 			}
 			g.label = g.renderLabel(repo.Catalog())
 			ix.groups = append(ix.groups, g)
 			ix.byProp[p] = append(ix.byProp[p], g.ID)
 			ix.byBucket[bucketKey{p, bi}] = g.ID
-			for _, u := range m {
-				ix.byUser[u] = append(ix.byUser[u], g.ID)
+			groupOff[g.ID] = arenaCur
+			starts[bi], wcur[bi], gids[bi] = arenaCur, arenaCur, g.ID
+			arenaCur += c
+		}
+		// Fill the segments; the link segment is in ascending user order, so
+		// every group's members come out sorted.
+		seg := links.users[links.off[pid]:links.off[pid+1]]
+		for i, u := range seg {
+			bi := part.asg[i]
+			if bi < 0 || wcur[bi] < 0 {
+				continue
 			}
+			memberArena[wcur[bi]] = u
+			wcur[bi]++
+			userCnt[u]++
+		}
+		for bi := range bs {
+			if wcur[bi] < 0 {
+				continue
+			}
+			g := ix.groups[gids[bi]]
+			g.Members = memberArena[starts[bi]:wcur[bi]:wcur[bi]]
 		}
 	}
+	groupOff[nGroups] = arenaLen
+
+	// Invert into the user→group arena; iterating groups in ID order leaves
+	// each user's row ascending by GroupID.
+	userOff := make([]int, nU+1)
+	for u, c := range userCnt {
+		userOff[u+1] = userOff[u] + c
+	}
+	userAdj := make([]GroupID, userOff[nU])
+	ucur := make([]int, nU)
+	copy(ucur, userOff[:nU])
+	for _, g := range ix.groups {
+		for _, u := range g.Members {
+			userAdj[ucur[u]] = g.ID
+			ucur[u]++
+		}
+	}
+	ix.byUser = make([][]GroupID, nU)
+	for u := 0; u < nU; u++ {
+		a, b := userOff[u], userOff[u+1]
+		ix.byUser[u] = userAdj[a:b:b]
+	}
+
 	ix.refreshStats()
-	ix.csr.Store(ix.buildCSR())
+	// The CSR view is the arenas themselves — nothing to copy.
+	ix.csr.Store(&CSR{UserOff: userOff, UserAdj: userAdj, GroupOff: groupOff, GroupAdj: memberArena})
 	return ix
 }
 
@@ -443,6 +523,13 @@ type Instance struct {
 	// rank-comparison path. EBSRank maps GroupID → ord(G) when set.
 	EBS     bool
 	EBSRank []int
+
+	// baseMarg memoizes BaseMarginals. Wei and Cov are set at construction
+	// and never mutated in place (derived instances — customization tiers,
+	// residual coverage, weight noise — build fresh Instance values), so the
+	// cache cannot go stale.
+	baseMargOnce sync.Once
+	baseMarg     []float64
 }
 
 // NewInstance assembles an instance from the standard scheme choices.
@@ -484,6 +571,35 @@ func (inst *Instance) Score(users []profile.UserID) float64 {
 		total += inst.Wei[g] * float64(n)
 	}
 	return total
+}
+
+// BaseMarginals returns marg_{u,∅} for every user — Σ_{G∋u, cov(G)>0}
+// wei(G), the empty-selection marginal the greedy engine starts from. It is
+// an O(links) pass over the CSR member rows, computed once per instance and
+// shared by every later selection: the server memoizes instances per
+// snapshot epoch, so steady-state select requests skip this pass entirely.
+// The sum runs group-major in ascending GroupID order; per-user that is
+// ascending group order, bit-identical to summing each user's CSR row, so
+// engines seeded from this cache produce exactly the floats they would have
+// computed themselves. Safe for concurrent use; callers must not mutate the
+// returned slice (the engine copies it before picking).
+func (inst *Instance) BaseMarginals() []float64 {
+	inst.baseMargOnce.Do(func() {
+		ix := inst.Index
+		csr := ix.CSR()
+		marg := make([]float64, ix.Repo().NumUsers())
+		for g, lim := 0, ix.NumGroups(); g < lim; g++ {
+			if inst.Cov[g] <= 0 {
+				continue
+			}
+			w := inst.Wei[g]
+			for _, m := range csr.Members(GroupID(g)) {
+				marg[m] += w
+			}
+		}
+		inst.baseMarg = marg
+	})
+	return inst.baseMarg
 }
 
 // MaxScore returns Σ_G wei(G)·cov(G) — the ceiling of any score, used by

@@ -31,6 +31,7 @@ func (ix *Index) IndexUser(u profile.UserID) (unbucketed []profile.PropertyID, e
 		return nil, fmt.Errorf("groups: unknown user %d", u)
 	}
 	for int(u) >= len(ix.byUser) {
+		ix.ownByUserSlice()
 		ix.byUser = append(ix.byUser, nil)
 		ix.invalidateDerived() // a new user row changes the CSR shape
 	}
@@ -151,6 +152,7 @@ func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
 			Members:    m,
 		}
 		g.label = g.renderLabel(ix.repo.Catalog())
+		ix.ownGroupsSlice()
 		ix.groups = append(ix.groups, g)
 		if ix.cow != nil {
 			ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
@@ -161,6 +163,7 @@ func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
 		ix.byBucket[bucketKey{p, bi}] = g.ID
 		for _, u := range m {
 			for int(u) >= len(ix.byUser) {
+				ix.ownByUserSlice()
 				ix.byUser = append(ix.byUser, nil)
 			}
 			ix.ownUser(u)
@@ -200,6 +203,7 @@ func (ix *Index) ensureSimpleGroup(p profile.PropertyID, bi int, buckets []bucke
 		NumBuckets: len(buckets),
 	}
 	g.label = g.renderLabel(ix.repo.Catalog())
+	ix.ownGroupsSlice()
 	ix.groups = append(ix.groups, g)
 	if ix.cow != nil {
 		ix.cow.groups[g.ID] = true // freshly built: nothing shared to detach
@@ -228,19 +232,28 @@ func (ix *Index) addMember(gid GroupID, u profile.UserID) {
 	ix.invalidateDerived()
 }
 
-// removeMember deletes u from the group and the user's group list.
+// removeMember deletes u from the group and the user's group list. Removal
+// copies the shrunken rows out instead of shifting in place: member and
+// adjacency rows alias the Build arenas, which published CSR snapshots share
+// — an in-place shift would rewrite history under concurrent readers.
 func (ix *Index) removeMember(gid GroupID, u profile.UserID) {
 	g := ix.groups[gid]
 	i := sort.Search(len(g.Members), func(i int) bool { return g.Members[i] >= u })
 	if i < len(g.Members) && g.Members[i] == u {
 		g = ix.mutableGroup(gid)
-		g.Members = append(g.Members[:i], g.Members[i+1:]...)
+		nm := make([]profile.UserID, 0, len(g.Members)-1)
+		nm = append(nm, g.Members[:i]...)
+		nm = append(nm, g.Members[i+1:]...)
+		g.Members = nm
 	}
 	ix.ownUser(u)
 	gs := ix.byUser[u]
 	for j, id := range gs {
 		if id == gid {
-			ix.byUser[u] = append(gs[:j], gs[j+1:]...)
+			ng := make([]GroupID, 0, len(gs)-1)
+			ng = append(ng, gs[:j]...)
+			ng = append(ng, gs[j+1:]...)
+			ix.byUser[u] = ng
 			break
 		}
 	}

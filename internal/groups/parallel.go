@@ -7,52 +7,14 @@ import (
 	"podium/internal/profile"
 )
 
-// propBuckets is the per-property output of the bucketing stage: the
-// partition β(p) and, per bucket, the sorted member users.
+// propBuckets is the per-property output of the incremental bucketing path:
+// the partition β(p) and, per bucket, the sorted member users. The bulk
+// Build path does not materialize per-bucket slices — see propLinks /
+// propPartition below — but BucketProperty still buckets one property at a
+// time through here.
 type propBuckets struct {
 	buckets []bucketing.Bucket
 	members [][]profile.UserID
-}
-
-// bucketizeAll runs the bucketing stage for every property, sequentially or
-// with cfg.Parallelism workers. Properties are independent, so the result is
-// identical either way; the slice is indexed by PropertyID with nil entries
-// for properties no user holds.
-func bucketizeAll(repo *profile.Repository, cfg Config) []*propBuckets {
-	n := repo.NumProperties()
-	results := make([]*propBuckets, n)
-	if cfg.Parallelism <= 1 {
-		for pid := 0; pid < n; pid++ {
-			results[pid] = bucketizeProperty(repo, cfg, profile.PropertyID(pid))
-		}
-		return results
-	}
-	// Profiles sort themselves lazily on first read; force that now so the
-	// workers below are read-only and race-free.
-	for u := 0; u < repo.NumUsers(); u++ {
-		repo.Profile(profile.UserID(u)).Len()
-	}
-	workers := cfg.Parallelism
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pid := range work {
-				results[pid] = bucketizeProperty(repo, cfg, profile.PropertyID(pid))
-			}
-		}()
-	}
-	for pid := 0; pid < n; pid++ {
-		work <- pid
-	}
-	close(work)
-	wg.Wait()
-	return results
 }
 
 func bucketizeProperty(repo *profile.Repository, cfg Config, p profile.PropertyID) *propBuckets {
@@ -68,4 +30,114 @@ func bucketizeProperty(repo *profile.Repository, cfg Config, p profile.PropertyI
 		}
 	}
 	return &propBuckets{buckets: bs, members: members}
+}
+
+// propLinks is every (user, property, score) link of the repository binned
+// by property into two contiguous arenas: property p's holders are
+// users[off[p]:off[p+1]] (ascending UserID — rows are visited in user order)
+// with their scores in the parallel scores arena. One O(links) pass replaces
+// the per-property full-repository scans of the pre-columnar build, turning
+// the bucketing stage from O(properties × links) into O(links).
+type propLinks struct {
+	off    []int
+	users  []profile.UserID
+	scores []float64
+}
+
+// binLinks bins the repository's links by property in two columnar passes:
+// count, prefix-sum, fill.
+func binLinks(repo *profile.Repository) *propLinks {
+	nP := repo.NumProperties()
+	off := make([]int, nP+1)
+	repo.EachRow(func(_ profile.UserID, props []profile.PropertyID, _ []float64) {
+		for _, p := range props {
+			off[p+1]++
+		}
+	})
+	for p := 0; p < nP; p++ {
+		off[p+1] += off[p]
+	}
+	l := &propLinks{
+		off:    off,
+		users:  make([]profile.UserID, off[nP]),
+		scores: make([]float64, off[nP]),
+	}
+	cur := make([]int, nP)
+	copy(cur, off[:nP])
+	repo.EachRow(func(u profile.UserID, props []profile.PropertyID, scores []float64) {
+		for i, p := range props {
+			c := cur[p]
+			l.users[c] = u
+			l.scores[c] = scores[i]
+			cur[p] = c + 1
+		}
+	})
+	return l
+}
+
+// propPartition is the bucketing result for one property's link segment:
+// β(p), the per-link bucket assignment (aligned with the segment, -1 when
+// the score falls in no bucket) and the per-bucket member counts.
+type propPartition struct {
+	buckets []bucketing.Bucket
+	asg     []int32
+	counts  []int
+}
+
+// partitionAll buckets every property's score segment, sequentially or with
+// cfg.Parallelism workers. Workers only read the shared link arenas and
+// write disjoint result slots, so the output is identical either way; the
+// slice is indexed by PropertyID with nil entries for properties no user
+// holds.
+func partitionAll(links *propLinks, cfg Config) []*propPartition {
+	nP := len(links.off) - 1
+	results := make([]*propPartition, nP)
+	one := func(pid int) {
+		a, b := links.off[pid], links.off[pid+1]
+		if a == b {
+			return
+		}
+		scores := links.scores[a:b]
+		bs := bucketing.Split(scores, cfg.K, cfg.Method)
+		part := &propPartition{
+			buckets: bs,
+			asg:     make([]int32, len(scores)),
+			counts:  make([]int, len(bs)),
+		}
+		for i, s := range scores {
+			bi := bucketing.Assign(bs, s)
+			part.asg[i] = int32(bi)
+			if bi >= 0 {
+				part.counts[bi]++
+			}
+		}
+		results[pid] = part
+	}
+	if cfg.Parallelism <= 1 {
+		for pid := 0; pid < nP; pid++ {
+			one(pid)
+		}
+		return results
+	}
+	workers := cfg.Parallelism
+	if workers > nP {
+		workers = nP
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pid := range work {
+				one(pid)
+			}
+		}()
+	}
+	for pid := 0; pid < nP; pid++ {
+		work <- pid
+	}
+	close(work)
+	wg.Wait()
+	return results
 }

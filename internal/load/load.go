@@ -58,7 +58,13 @@ func open(path string, wantStore bool) (*profile.Repository, *opinions.Store, er
 		}
 		return repo, nil, nil
 	case bytes.HasPrefix(head, []byte("PODM")):
-		// Binary codec: the 6th byte is the section tag.
+		// Binary codec: the 5th byte is the format version, the 6th the
+		// section tag. Format-v2 snapshot images take the bulk-read path —
+		// one os.ReadFile + validate instead of a value-by-value decode.
+		if len(head) >= 5 && head[4] == 2 {
+			repo, err := codec.ReadImageFile(path)
+			return repo, nil, err
+		}
 		if len(head) >= 6 && head[5] == 2 {
 			repo, store, err := codec.ReadDataset(br)
 			if err != nil {

@@ -33,6 +33,7 @@ type ServerMetrics struct {
 	QueueDepth *Gauge     // podium_apply_queue_depth
 	BatchSize  *Histogram // podium_apply_batch_size
 	Shed       *Counter   // podium_http_requests_shed_total
+	RepoBytes  *Gauge     // podium_repository_approx_bytes
 }
 
 // NewServerMetrics registers the server families on reg.
@@ -50,7 +51,23 @@ func NewServerMetrics(reg *Registry) *ServerMetrics {
 			"Mutations applied per snapshot rebuild batch.", DefBatchBuckets),
 		Shed: reg.Counter("podium_http_requests_shed_total",
 			"Requests rejected with 429 by admission control."),
+		RepoBytes: reg.Gauge("podium_repository_approx_bytes",
+			"Estimated resident bytes of the published repository's profile data."),
 	}
+}
+
+// LoadDuration returns the startup load-timing gauge for a source format
+// ("image", "binary", "json", "log", "synth"). A gauge rather than a
+// histogram: the value is set once per process start, and the format label
+// makes a restart that silently fell back from the v2 image to a slower
+// decode path visible on the dashboard.
+func (m *ServerMetrics) LoadDuration(format string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("podium_repository_load_nanoseconds",
+		"Wall time to load the repository at startup, by source format.",
+		L("format", format))
 }
 
 // RouteRequests returns the request counter child for (route, method, code).
@@ -141,9 +158,9 @@ func NewCampaignMetrics(reg *Registry) *CampaignMetrics {
 			"Solicitation waves issued across all campaigns."),
 		Solicitations: reg.Counter("podium_campaign_solicitations_total",
 			"Individual user solicitations attempted."),
-		Answered:  outcome("answered"),
-		Timeouts:  outcome("timeout"),
-		Declined:  outcome("declined"),
+		Answered: outcome("answered"),
+		Timeouts: outcome("timeout"),
+		Declined: outcome("declined"),
 		Recovered: reg.FloatCounter("podium_campaign_repair_coverage_recovered",
 			"Coverage points recovered by repair rounds."),
 	}

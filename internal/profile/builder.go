@@ -1,0 +1,138 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Builder constructs a columnar Repository row by row in streaming fashion:
+// callers announce each user with AddUser and append that user's properties
+// before the next AddUser. Memory is bounded by the final columnar arrays
+// plus one in-flight row — no per-user Profile structs or maps are ever
+// materialized, which is what lets the synthetic generator emit millions of
+// users without holding intermediate representations.
+//
+// Rows need not arrive sorted or duplicate-free: each row is sorted and
+// last-write-wins deduplicated in place when the next user starts, exactly
+// matching Repository.SetScore semantics.
+type Builder struct {
+	catalog  *Catalog
+	names    []string
+	c        columns
+	rowStart int  // start of the in-flight row in c.props
+	rowOpen  bool // an AddUser has happened since the last seal
+}
+
+// NewBuilder returns an empty builder with a fresh catalog.
+func NewBuilder() *Builder {
+	b := &Builder{catalog: NewCatalog()}
+	b.c.off = []int{0}
+	return b
+}
+
+// Catalog exposes the builder's catalog so callers can intern labels up
+// front and append by PropertyID on the hot path.
+func (b *Builder) Catalog() *Catalog { return b.catalog }
+
+// Intern interns a property label, returning its dense ID.
+func (b *Builder) Intern(label string) PropertyID { return b.catalog.Intern(label) }
+
+// AddUser starts the next user's row and returns its ID. The previous row is
+// sealed (sorted + deduplicated) at this point.
+func (b *Builder) AddUser(name string) UserID {
+	b.sealRow()
+	b.names = append(b.names, name)
+	b.rowOpen = true
+	return UserID(len(b.names) - 1)
+}
+
+// Add appends a property score to the current user's row. The property must
+// already be interned and the score finite in [0,1].
+func (b *Builder) Add(id PropertyID, score float64) error {
+	if !b.rowOpen {
+		return fmt.Errorf("profile: Builder.Add before AddUser")
+	}
+	if id < 0 || int(id) >= b.catalog.Len() {
+		return fmt.Errorf("profile: unknown property id %d", id)
+	}
+	if math.IsNaN(score) || score < 0 || score > 1 {
+		return fmt.Errorf("profile: score %v outside [0,1]", score)
+	}
+	b.c.props = append(b.c.props, id)
+	b.c.scores = append(b.c.scores, score)
+	return nil
+}
+
+// MustAdd is Add for construction-time code where a violation is a
+// programming error.
+func (b *Builder) MustAdd(id PropertyID, score float64) {
+	if err := b.Add(id, score); err != nil {
+		panic(err)
+	}
+}
+
+// AddLabeled interns the label and appends its score to the current row.
+func (b *Builder) AddLabeled(label string, score float64) error {
+	if !b.rowOpen {
+		return fmt.Errorf("profile: Builder.AddLabeled before AddUser")
+	}
+	return b.Add(b.catalog.Intern(label), score)
+}
+
+// sealRow sorts the in-flight row by property ID, resolves duplicate IDs
+// last-write-wins, and records the row boundary.
+func (b *Builder) sealRow() {
+	if !b.rowOpen {
+		return
+	}
+	b.rowOpen = false
+	lo := b.rowStart
+	row := b.c.props[lo:]
+	if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i] < row[j] }) {
+		scores := b.c.scores[lo:]
+		seq := make([]int, len(row))
+		for i := range seq {
+			seq[i] = i
+		}
+		sort.SliceStable(seq, func(i, j int) bool { return row[seq[i]] < row[seq[j]] })
+		sp := make([]PropertyID, len(row))
+		ss := make([]float64, len(row))
+		for i, s := range seq {
+			sp[i], ss[i] = row[s], scores[s]
+		}
+		copy(row, sp)
+		copy(scores, ss)
+	}
+	// Deduplicate in place: for equal IDs the stable sort keeps insertion
+	// order, so the last occurrence wins.
+	w := lo
+	for i := lo; i < len(b.c.props); i++ {
+		if i+1 < len(b.c.props) && b.c.props[i+1] == b.c.props[i] {
+			continue
+		}
+		b.c.props[w] = b.c.props[i]
+		b.c.scores[w] = b.c.scores[i]
+		w++
+	}
+	b.c.props = b.c.props[:w]
+	b.c.scores = b.c.scores[:w]
+	b.c.off = append(b.c.off, w)
+	b.rowStart = w
+}
+
+// Build seals the final row and returns the columnar repository. The builder
+// must not be used afterwards.
+func (b *Builder) Build() *Repository {
+	b.sealRow()
+	c := b.c
+	repo := &Repository{
+		catalog: b.catalog,
+		names:   b.names,
+		base:    &columns{off: c.off, props: c.props, scores: c.scores},
+		nUsers:  len(b.names),
+	}
+	b.catalog, b.names = nil, nil
+	b.c = columns{}
+	return repo
+}

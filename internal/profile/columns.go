@@ -1,0 +1,202 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+)
+
+// columns is the immutable columnar core of a Repository: every user's
+// sorted (property, score) row laid out back-to-back in two flat arrays,
+// with a per-user offset table. Row u occupies props[off[u]:off[u+1]] and
+// scores[off[u]:off[u+1]]. Once built, a columns value is never mutated —
+// clones and concurrent readers share it by pointer, and mutations copy the
+// affected row into the repository's overlay instead.
+type columns struct {
+	off    []int // len = users+1, monotone, off[0] == 0
+	props  []PropertyID
+	scores []float64
+}
+
+func (c *columns) users() int { return len(c.off) - 1 }
+
+// row returns user u's property and score slices. Both are capacity-clamped
+// (len == cap), so appending through a returned slice reallocates instead of
+// scribbling over the next user's row.
+func (c *columns) row(u int) ([]PropertyID, []float64) {
+	a, b := c.off[u], c.off[u+1]
+	return c.props[a:b:b], c.scores[a:b:b]
+}
+
+// EachRow calls fn for every user in order with the user's sorted property
+// and score rows. The slices alias repository storage and are only valid for
+// the duration of the call; callers must not retain or modify them. This is
+// the bulk read path — for columnar-backed users it walks the flat arrays
+// with zero per-user allocation.
+func (r *Repository) EachRow(fn func(u UserID, props []PropertyID, scores []float64)) {
+	nb := r.baseUsers()
+	if len(r.over) == 0 {
+		for u := 0; u < nb; u++ {
+			a, b := r.base.off[u], r.base.off[u+1]
+			fn(UserID(u), r.base.props[a:b:b], r.base.scores[a:b:b])
+		}
+		return
+	}
+	for u := 0; u < r.nUsers; u++ {
+		if p, ok := r.over[u]; ok {
+			p.ensureSorted()
+			fn(UserID(u), p.props, p.scores)
+			continue
+		}
+		a, b := r.base.off[u], r.base.off[u+1]
+		fn(UserID(u), r.base.props[a:b:b], r.base.scores[a:b:b])
+	}
+}
+
+// EachRowOf calls fn for each sorted (property, score) pair of one user,
+// without allocating a view. It is Profile(u).Each without the wrapper.
+func (r *Repository) EachRowOf(u UserID, fn func(PropertyID, float64)) {
+	if int(u) < 0 || int(u) >= r.nUsers {
+		panic(fmt.Sprintf("profile: unknown user %d", u))
+	}
+	if p, ok := r.over[int(u)]; ok {
+		p.Each(fn)
+		return
+	}
+	props, scores := r.base.row(int(u))
+	for i, id := range props {
+		fn(id, scores[i])
+	}
+}
+
+// NumLinks returns the total number of (user, property) pairs across all
+// profiles — the row count of the columnar score table.
+func (r *Repository) NumLinks() int {
+	n := 0
+	if r.base != nil {
+		n = len(r.base.props)
+	}
+	if len(r.over) == 0 {
+		return n
+	}
+	// Overlay rows replace their base row, so recount those users.
+	for u, p := range r.over {
+		p.ensureSorted()
+		n += len(p.props)
+		if u < r.baseUsers() {
+			n -= r.base.off[u+1] - r.base.off[u]
+		}
+	}
+	return n
+}
+
+// Compact rebuilds the columnar base from the current rows and drops the
+// overlay, restoring the zero-overlay fast path after heavy mutation. It is
+// a no-op when there is nothing in the overlay. The repository must not be
+// shared with concurrent readers while compacting.
+func (r *Repository) Compact() {
+	if len(r.over) == 0 && r.base != nil {
+		return
+	}
+	c := &columns{off: make([]int, 1, r.nUsers+1)}
+	c.props = make([]PropertyID, 0, r.NumLinks())
+	c.scores = make([]float64, 0, cap(c.props))
+	r.EachRow(func(_ UserID, props []PropertyID, scores []float64) {
+		c.props = append(c.props, props...)
+		c.scores = append(c.scores, scores...)
+		c.off = append(c.off, len(c.props))
+	})
+	r.base = c
+	r.over = nil
+	r.overShared = false
+	r.owned = nil
+}
+
+// ApproxBytes estimates the resident size of the repository's profile data:
+// columnar arrays, overlay rows, the name table and the catalog. It is the
+// figure behind the server's repository-bytes gauge and the scale bench's
+// RSS column; it deliberately ignores map headers and allocator slack.
+func (r *Repository) ApproxBytes() int64 {
+	var b int64
+	if r.base != nil {
+		b += int64(len(r.base.off)) * 8
+		b += int64(len(r.base.props)) * int64(propIDSize)
+		b += int64(len(r.base.scores)) * 8
+	}
+	for _, p := range r.over {
+		b += int64(len(p.props))*int64(propIDSize) + int64(len(p.scores))*8 + 48
+	}
+	for _, n := range r.names {
+		b += int64(len(n)) + 16
+	}
+	for _, l := range r.catalog.labels {
+		b += 2*(int64(len(l))+16) + 8 // label slice entry + index map entry
+	}
+	return b
+}
+
+const propIDSize = 8 // PropertyID is an int
+
+// FromColumns constructs a sealed columnar repository directly from its flat
+// representation, adopting (not copying) the given slices — this is the
+// snapshot-image load path, where the arrays were just bulk-decoded from the
+// file and a single validation pass stands between disk bytes and a live
+// repository. It verifies every structural invariant the mutation API would
+// have enforced: monotone offsets covering exactly the data arrays, rows
+// sorted strictly ascending by property ID, property IDs within the label
+// table, and scores finite in [0,1].
+func FromColumns(labels, names []string, off []int, props []PropertyID, scores []float64) (*Repository, error) {
+	if len(off) == 0 || off[0] != 0 {
+		return nil, fmt.Errorf("profile: offset table must start at 0")
+	}
+	if len(off)-1 != len(names) {
+		return nil, fmt.Errorf("profile: %d offsets for %d users", len(off)-1, len(names))
+	}
+	if len(props) != len(scores) {
+		return nil, fmt.Errorf("profile: %d property ids vs %d scores", len(props), len(scores))
+	}
+	if off[len(off)-1] != len(props) {
+		return nil, fmt.Errorf("profile: offsets end at %d, data has %d links", off[len(off)-1], len(props))
+	}
+	for u := 1; u < len(off); u++ {
+		if off[u] < off[u-1] {
+			return nil, fmt.Errorf("profile: offset table not monotone at user %d", u-1)
+		}
+		for i := off[u-1]; i < off[u]; i++ {
+			id := props[i]
+			if id < 0 || int(id) >= len(labels) {
+				return nil, fmt.Errorf("profile: user %d references property %d of %d", u-1, id, len(labels))
+			}
+			if i > off[u-1] && props[i-1] >= id {
+				return nil, fmt.Errorf("profile: user %d row not strictly ascending", u-1)
+			}
+			s := scores[i]
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return nil, fmt.Errorf("profile: user %d property %d score %v outside [0,1]", u-1, id, s)
+			}
+		}
+	}
+	cat := NewCatalog()
+	for _, l := range labels {
+		if _, dup := cat.index[l]; dup {
+			return nil, fmt.Errorf("profile: duplicate label %q", l)
+		}
+		cat.Intern(l)
+	}
+	return &Repository{
+		catalog: cat,
+		names:   names,
+		base:    &columns{off: off, props: props, scores: scores},
+		nUsers:  len(names),
+	}, nil
+}
+
+// RawColumns returns the repository's columnar representation: interned
+// labels, user names, the offset table and the flat property/score arrays.
+// The repository is compacted first if it carries overlay rows, so the call
+// may mutate r (but never data shared with clones). The returned slices
+// alias live repository storage — treat them as read-only. This is the
+// snapshot-image write path.
+func (r *Repository) RawColumns() (labels, names []string, off []int, props []PropertyID, scores []float64) {
+	r.Compact()
+	return r.catalog.labels, r.names, r.base.off, r.base.props, r.base.scores
+}

@@ -1,0 +1,241 @@
+package profile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randomPopulation(seed int64, users int) ([][]string, [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	labels := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	props := make([][]string, users)
+	scores := make([][]float64, users)
+	for u := range props {
+		n := rng.Intn(len(labels) + 1)
+		for i := 0; i < n; i++ {
+			props[u] = append(props[u], labels[rng.Intn(len(labels))])
+			scores[u] = append(scores[u], float64(rng.Intn(101))/100)
+		}
+	}
+	return props, scores
+}
+
+func TestBuilderMatchesRepository(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		props, scores := randomPopulation(seed, 30)
+
+		repo := NewRepository()
+		for u := range props {
+			id := repo.AddUser("u")
+			for i, l := range props[u] {
+				repo.MustSetScore(id, l, scores[u][i])
+			}
+		}
+		repo.Seal()
+
+		b := NewBuilder()
+		for u := range props {
+			b.AddUser("u")
+			for i, l := range props[u] {
+				if err := b.AddLabeled(l, scores[u][i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		built := b.Build()
+
+		var w1, w2 bytes.Buffer
+		if err := repo.WriteJSON(&w1); err != nil {
+			t.Fatal(err)
+		}
+		if err := built.WriteJSON(&w2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+			t.Fatalf("seed %d: builder and repository disagree:\n%s\nvs\n%s", seed, w1.String(), w2.String())
+		}
+	}
+}
+
+func TestBuilderLastWriteWins(t *testing.T) {
+	b := NewBuilder()
+	u := b.AddUser("alice")
+	b.MustAdd(b.Intern("x"), 0.2)
+	b.MustAdd(b.Intern("y"), 0.8)
+	b.MustAdd(b.Intern("x"), 0.7) // overwrites
+	repo := b.Build()
+	p := repo.Profile(u)
+	if p.Len() != 2 {
+		t.Fatalf("len = %d, want 2", p.Len())
+	}
+	id, _ := repo.Catalog().Lookup("x")
+	if s, _ := p.Score(id); s != 0.7 {
+		t.Fatalf("x = %v, want last write 0.7", s)
+	}
+}
+
+func TestColumnarCloneCopyOnWrite(t *testing.T) {
+	b := NewBuilder()
+	for u := 0; u < 4; u++ {
+		b.AddUser("u")
+		b.MustAdd(b.Intern("p"), 0.5)
+	}
+	src := b.Build()
+	cp := src.Clone()
+
+	if cp.base != src.base {
+		t.Fatal("clone did not share the columnar base")
+	}
+	cp.MustSetScore(1, "p", 0.9)
+	if cp.base != src.base {
+		t.Fatal("a single-row write should not replace the shared base")
+	}
+	if len(cp.over) != 1 || cp.over[1] == nil {
+		t.Fatalf("write did not land in the overlay: %v", cp.over)
+	}
+	id, _ := src.Catalog().Lookup("p")
+	if s, _ := src.Profile(1).Score(id); s != 0.5 {
+		t.Fatalf("source saw the clone's write: %v", s)
+	}
+	if s, _ := cp.Profile(1).Score(id); s != 0.9 {
+		t.Fatalf("clone lost its write: %v", s)
+	}
+	// Base-backed views are capacity-clamped: appending through a view must
+	// never scribble over the next user's row.
+	v := src.Profile(0)
+	v.Set(id, 0.1)
+	if s, _ := src.Profile(1).Score(id); s != 0.5 {
+		t.Fatalf("view append corrupted a neighboring row: %v", s)
+	}
+}
+
+func TestCompactAndNumLinks(t *testing.T) {
+	repo := NewRepository()
+	for u := 0; u < 3; u++ {
+		id := repo.AddUser("u")
+		repo.MustSetScore(id, "a", 0.1)
+		repo.MustSetScore(id, "b", 0.2)
+	}
+	if got := repo.NumLinks(); got != 6 {
+		t.Fatalf("links = %d, want 6", got)
+	}
+	repo.Compact()
+	if len(repo.over) != 0 || repo.base == nil || repo.base.users() != 3 {
+		t.Fatal("compact did not produce a pure columnar base")
+	}
+	if got := repo.NumLinks(); got != 6 {
+		t.Fatalf("links after compact = %d, want 6", got)
+	}
+	// Overwrite one row, append another: NumLinks must recount replaced rows.
+	repo.MustSetScore(0, "c", 0.3)
+	if got := repo.NumLinks(); got != 7 {
+		t.Fatalf("links after overlay write = %d, want 7", got)
+	}
+	u := repo.AddUser("new")
+	repo.MustSetScore(u, "a", 0.4)
+	if got := repo.NumLinks(); got != 8 {
+		t.Fatalf("links after append = %d, want 8", got)
+	}
+}
+
+func TestFromColumnsValidation(t *testing.T) {
+	labels := []string{"a", "b"}
+	names := []string{"u0", "u1"}
+	ok := func() ([]int, []PropertyID, []float64) {
+		return []int{0, 2, 3}, []PropertyID{0, 1, 0}, []float64{0.1, 0.2, 0.3}
+	}
+	if _, err := FromColumns(labels, names, []int{0, 2, 3}, []PropertyID{0, 1, 0}, []float64{0.1, 0.2, 0.3}); err != nil {
+		t.Fatalf("valid columns rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(off []int, props []PropertyID, scores []float64) ([]int, []PropertyID, []float64)
+	}{
+		{"nonmonotone offsets", func(off []int, p []PropertyID, s []float64) ([]int, []PropertyID, []float64) {
+			off[1] = 3
+			off[2] = 2
+			return off, p, s
+		}},
+		{"offset overrun", func(off []int, p []PropertyID, s []float64) ([]int, []PropertyID, []float64) {
+			off[2] = 5
+			return off, p, s
+		}},
+		{"property out of range", func(off []int, p []PropertyID, s []float64) ([]int, []PropertyID, []float64) {
+			p[0] = 9
+			return off, p, s
+		}},
+		{"row not ascending", func(off []int, p []PropertyID, s []float64) ([]int, []PropertyID, []float64) {
+			p[0], p[1] = 1, 0
+			return off, p, s
+		}},
+		{"duplicate in row", func(off []int, p []PropertyID, s []float64) ([]int, []PropertyID, []float64) {
+			p[1] = p[0]
+			return off, p, s
+		}},
+		{"score out of range", func(off []int, p []PropertyID, s []float64) ([]int, []PropertyID, []float64) {
+			s[2] = 1.5
+			return off, p, s
+		}},
+	}
+	for _, tc := range cases {
+		off, props, scores := ok()
+		off, props, scores = tc.mutate(off, props, scores)
+		if _, err := FromColumns(labels, names, off, props, scores); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	if _, err := FromColumns([]string{"a", "a"}, names, []int{0, 0, 0}, nil, nil); err == nil {
+		t.Error("duplicate label accepted")
+	}
+	if _, err := FromColumns(labels, names[:1], []int{0, 1, 2}, []PropertyID{0, 1}, []float64{0, 0}); err == nil {
+		t.Error("user/offset mismatch accepted")
+	}
+}
+
+func TestRawColumnsRoundTrip(t *testing.T) {
+	repo := NewRepository()
+	for u := 0; u < 5; u++ {
+		id := repo.AddUser("u")
+		repo.MustSetScore(id, "x", float64(u)/10)
+		repo.MustSetScore(id, "y", 0.5)
+	}
+	repo.Seal()
+	labels, names, off, props, scores := repo.RawColumns()
+	back, err := FromColumns(
+		append([]string(nil), labels...),
+		append([]string(nil), names...),
+		append([]int(nil), off...),
+		append([]PropertyID(nil), props...),
+		append([]float64(nil), scores...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w1, w2 bytes.Buffer
+	if err := repo.WriteJSON(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteJSON(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w1.Bytes(), w2.Bytes()) {
+		t.Fatal("RawColumns/FromColumns round trip changed the repository")
+	}
+}
+
+func TestApproxBytesGrows(t *testing.T) {
+	small := NewRepository()
+	for u := 0; u < 10; u++ {
+		id := small.AddUser("user")
+		small.MustSetScore(id, "p", 0.5)
+	}
+	big := NewRepository()
+	for u := 0; u < 1000; u++ {
+		id := big.AddUser("user")
+		big.MustSetScore(id, "p", 0.5)
+	}
+	big.Compact()
+	if small.ApproxBytes() <= 0 || big.ApproxBytes() <= small.ApproxBytes() {
+		t.Fatalf("ApproxBytes not monotone: small %d, big %d", small.ApproxBytes(), big.ApproxBytes())
+	}
+}

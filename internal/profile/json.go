@@ -22,13 +22,13 @@ type repositoryJSON struct {
 // full labels; encoding/json sorts map keys, so output is deterministic.
 func (r *Repository) WriteJSON(w io.Writer) error {
 	doc := repositoryJSON{Users: make([]userJSON, 0, r.NumUsers())}
-	for u := 0; u < r.NumUsers(); u++ {
-		uj := userJSON{Name: r.names[u], Properties: make(map[string]float64, r.profiles[u].Len())}
-		r.profiles[u].Each(func(id PropertyID, s float64) {
-			uj.Properties[r.catalog.Label(id)] = s
-		})
+	r.EachRow(func(u UserID, props []PropertyID, scores []float64) {
+		uj := userJSON{Name: r.names[u], Properties: make(map[string]float64, len(props))}
+		for i, id := range props {
+			uj.Properties[r.catalog.Label(id)] = scores[i]
+		}
 		doc.Users = append(doc.Users, uj)
-	}
+	})
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)

@@ -4,6 +4,14 @@
 // integer IDs so that the grouping and selection machinery can run on
 // slice-indexed hot loops, and profiles serialize to/from the JSON format the
 // prototype system consumes.
+//
+// Storage is columnar: a sealed repository keeps every profile in three flat
+// arrays — per-user offsets, property IDs and scores (columns.go) — so the
+// read path walks contiguous memory with no per-user allocations or pointer
+// chasing. Mutations never touch the columns; they land in a small per-user
+// overlay, which is also the copy-on-write substrate for the server's epoch
+// clones: Clone is O(catalog), not O(users), because the columnar base, the
+// name table and the overlay map are all shared until first write.
 package profile
 
 import (
@@ -67,10 +75,26 @@ func (c *Catalog) Labels() []string {
 	return out
 }
 
+// clone returns an independent copy of the catalog.
+func (c *Catalog) clone() *Catalog {
+	cp := &Catalog{
+		labels: append([]string(nil), c.labels...),
+		index:  make(map[string]PropertyID, len(c.index)),
+	}
+	for label, id := range c.index {
+		cp.index[label] = id
+	}
+	return cp
+}
+
 // Profile is one user's tuple D_u = ⟨P_u, S_u⟩: the set of known properties
 // and their scores. It is stored as parallel slices sorted by PropertyID.
 // Absent properties follow the open-world assumption — they are unknown, not
 // zero.
+//
+// Inside a Repository, profiles of untouched users are views over the
+// columnar base (the slices alias the shared columns with len == cap, so any
+// append copies out); mutated users get a private overlay Profile.
 type Profile struct {
 	props  []PropertyID
 	scores []float64
@@ -166,17 +190,32 @@ func (p *Profile) clone() *Profile {
 
 // Repository holds the population 𝒰: user names, their profiles, and the
 // shared property catalog.
+//
+// Profile data lives in two layers. The columnar base (columns.go) holds the
+// sealed bulk — flat offset/property/score arrays covering users
+// [0, base.users()) — and is immutable for the repository's whole lifetime,
+// so clones and concurrent readers share it freely. The overlay map `over`
+// holds the exceptions: users appended after the base was built and users
+// whose row was rewritten since. A repository built purely through
+// AddUser/SetScore has no base at all (every row is overlay), exactly the
+// pre-columnar behavior; a repository loaded from a snapshot image or a
+// Builder is pure base until the first write.
 type Repository struct {
-	catalog  *Catalog
-	names    []string
-	profiles []*Profile
+	catalog *Catalog
+	names   []string
+	base    *columns         // immutable columnar core; nil when empty
+	over    map[int]*Profile // overlay rows: appended or rewritten users
+	nUsers  int
 
-	// Copy-on-write bookkeeping for Clone: profiles with index < sharedBelow
-	// are aliased by the clone's source (and possibly by published snapshots
-	// reading them concurrently) until detached. owned records the ones this
-	// repository has already detached. Zero values describe an ordinary,
-	// fully-owned repository.
-	sharedBelow int
+	// Copy-on-write bookkeeping. Clone shares names and the overlay map with
+	// its source (the base is always shared — it is immutable): namesShared
+	// forces a copy before the next AddUser, overShared before the next
+	// overlay insert, and owned records the overlay rows this repository has
+	// already detached for in-place mutation. The clone's source must be
+	// sealed and never mutated again (published snapshots are), matching the
+	// server's epoch-publication contract.
+	namesShared bool
+	overShared  bool
 	owned       map[int]bool
 }
 
@@ -185,19 +224,35 @@ func NewRepository() *Repository {
 	return &Repository{catalog: NewCatalog()}
 }
 
+// baseUsers returns the number of users covered by the columnar base.
+func (r *Repository) baseUsers() int {
+	if r.base == nil {
+		return 0
+	}
+	return r.base.users()
+}
+
 // AddUser appends a user and returns its ID. Names are display-only and need
 // not be unique.
 func (r *Repository) AddUser(name string) UserID {
+	if r.namesShared {
+		r.names = append([]string(nil), r.names...)
+		r.namesShared = false
+	}
 	r.names = append(r.names, name)
-	r.profiles = append(r.profiles, &Profile{})
-	return UserID(len(r.names) - 1)
+	u := r.nUsers
+	r.nUsers++
+	r.ownOver()
+	r.over[u] = &Profile{}
+	r.setOwned(u)
+	return UserID(u)
 }
 
 // SetScore records a property score for a user, interning the label. It
 // returns an error when the score is outside [0,1] or not finite, or when
 // the user ID is unknown.
 func (r *Repository) SetScore(u UserID, label string, score float64) error {
-	if int(u) < 0 || int(u) >= len(r.profiles) {
+	if int(u) < 0 || int(u) >= r.nUsers {
 		return fmt.Errorf("profile: unknown user %d", u)
 	}
 	if math.IsNaN(score) || score < 0 || score > 1 {
@@ -217,7 +272,7 @@ func (r *Repository) MustSetScore(u UserID, label string, score float64) {
 
 // SetScoreID records a score for an already interned property.
 func (r *Repository) SetScoreID(u UserID, id PropertyID, score float64) error {
-	if int(u) < 0 || int(u) >= len(r.profiles) {
+	if int(u) < 0 || int(u) >= r.nUsers {
 		return fmt.Errorf("profile: unknown user %d", u)
 	}
 	if id < 0 || int(id) >= r.catalog.Len() {
@@ -230,39 +285,88 @@ func (r *Repository) SetScoreID(u UserID, id PropertyID, score float64) error {
 	return nil
 }
 
-// mutableProfile returns the profile of u for writing, detaching it from any
-// clone source first so repositories sharing it never observe the mutation.
-func (r *Repository) mutableProfile(u int) *Profile {
-	if u < r.sharedBelow && !r.owned[u] {
-		r.profiles[u] = r.profiles[u].clone()
-		if r.owned == nil {
-			r.owned = make(map[int]bool)
-		}
-		r.owned[u] = true
+// ownOver makes the overlay map privately writable: it allocates it on first
+// use and detaches it from a clone's source before the first insert. The
+// rows inside remain shared until mutableProfile detaches them one by one.
+func (r *Repository) ownOver() {
+	if r.over == nil {
+		r.over = make(map[int]*Profile)
+		return
 	}
-	return r.profiles[u]
+	if !r.overShared {
+		return
+	}
+	m := make(map[int]*Profile, len(r.over)+1)
+	for u, p := range r.over {
+		m[u] = p
+	}
+	r.over = m
+	r.overShared = false
+	r.owned = nil // the rows are still the source's; re-detach on write
+}
+
+func (r *Repository) setOwned(u int) {
+	if r.owned == nil {
+		r.owned = make(map[int]bool)
+	}
+	r.owned[u] = true
+}
+
+// mutableProfile returns the profile of u for writing, materializing a
+// private overlay row — copied from the shared columnar base or from a
+// clone-shared overlay row — so repositories sharing the data never observe
+// the mutation.
+func (r *Repository) mutableProfile(u int) *Profile {
+	r.ownOver()
+	if p, ok := r.over[u]; ok {
+		if r.owned[u] {
+			return p
+		}
+		np := p.clone()
+		r.over[u] = np
+		r.setOwned(u)
+		return np
+	}
+	props, scores := r.base.row(u)
+	np := &Profile{
+		props:  append(make([]PropertyID, 0, len(props)+1), props...),
+		scores: append(make([]float64, 0, len(scores)+1), scores...),
+	}
+	r.over[u] = np
+	r.setOwned(u)
+	return np
 }
 
 // NumUsers returns |𝒰|.
-func (r *Repository) NumUsers() int { return len(r.profiles) }
+func (r *Repository) NumUsers() int { return r.nUsers }
 
 // NumProperties returns the number of distinct interned properties.
 func (r *Repository) NumProperties() int { return r.catalog.Len() }
 
 // UserName returns the display name of a user.
 func (r *Repository) UserName(u UserID) string {
-	if int(u) < 0 || int(u) >= len(r.names) {
+	if int(u) < 0 || int(u) >= r.nUsers {
 		panic(fmt.Sprintf("profile: unknown user %d", u))
 	}
 	return r.names[u]
 }
 
-// Profile returns the (mutable) profile of a user.
+// Profile returns the profile of a user. For users with overlay rows this is
+// the live row (mutations through the repository are visible to it); for
+// users still backed by the columnar base it is a view whose slices alias
+// the shared columns — reads are zero-copy, and because the slices are
+// capacity-clamped any write through the view copies out rather than
+// touching shared memory. Mutate through SetScore/SetScoreID, not through a
+// retained view.
 func (r *Repository) Profile(u UserID) *Profile {
-	if int(u) < 0 || int(u) >= len(r.profiles) {
+	if int(u) < 0 || int(u) >= r.nUsers {
 		panic(fmt.Sprintf("profile: unknown user %d", u))
 	}
-	return r.profiles[u]
+	if p, ok := r.over[int(u)]; ok {
+		return p
+	}
+	props, scores := r.base.row(int(u))
+	return &Profile{props: props, scores: scores}
 }
 
 // Catalog exposes the shared property catalog.
@@ -272,11 +376,11 @@ func (r *Repository) Catalog() *Catalog { return r.catalog }
 // property (Section 3.1).
 func (r *Repository) PropertyCount(id PropertyID) int {
 	n := 0
-	for _, p := range r.profiles {
-		if p.Has(id) {
+	r.EachRow(func(_ UserID, props []PropertyID, _ []float64) {
+		if hasSorted(props, id) {
 			n++
 		}
-	}
+	})
 	return n
 }
 
@@ -284,12 +388,12 @@ func (r *Repository) PropertyCount(id PropertyID) int {
 // user that knows the property. The grouping module uses this to bucket each
 // property's score distribution.
 func (r *Repository) PropertyValues(id PropertyID) (users []UserID, scores []float64) {
-	for u, p := range r.profiles {
-		if s, ok := p.Score(id); ok {
-			users = append(users, UserID(u))
-			scores = append(scores, s)
+	r.EachRow(func(u UserID, props []PropertyID, ss []float64) {
+		if i := searchSorted(props, id); i >= 0 {
+			users = append(users, u)
+			scores = append(scores, ss[i])
 		}
-	}
+	})
 	return users, scores
 }
 
@@ -297,45 +401,44 @@ func (r *Repository) PropertyValues(id PropertyID) (users []UserID, scores []flo
 // complexity bound (Prop. 4.4).
 func (r *Repository) MaxProfileSize() int {
 	m := 0
-	for _, p := range r.profiles {
-		if p.Len() > m {
-			m = p.Len()
+	r.EachRow(func(_ UserID, props []PropertyID, _ []float64) {
+		if len(props) > m {
+			m = len(props)
 		}
-	}
+	})
 	return m
 }
 
-// Clone returns a copy-on-write copy of the repository: the name/profile
-// slice headers and the catalog are duplicated eagerly (both cheap), while
-// the per-user profile data stays shared until the clone's first write to
-// that user detaches a private copy. The source must be Sealed (as published
-// snapshots are), so shared profiles are never mutated — concurrent readers
-// of the source remain safe while the clone diverges. This is the substrate
-// of the server's epoch publication: the single writer clones the current
+// Clone returns a copy-on-write copy of the repository. Only the catalog is
+// duplicated eagerly (O(properties)); the columnar base, the name table and
+// the overlay map are shared, so cloning a million-user repository costs the
+// same as cloning a ten-user one. The source must be Sealed and never
+// mutated again (as published snapshots are) — the clone detaches each piece
+// it writes to (names before an append, the overlay map before an insert,
+// individual rows before a score write), so concurrent readers of the source
+// remain safe while the clone diverges. This is the substrate of the
+// server's epoch publication: the single writer clones the current
 // snapshot's repository, applies a mutation batch, and publishes the clone.
 func (r *Repository) Clone() *Repository {
-	cat := &Catalog{
-		labels: append([]string(nil), r.catalog.labels...),
-		index:  make(map[string]PropertyID, len(r.catalog.index)),
-	}
-	for label, id := range r.catalog.index {
-		cat.index[label] = id
-	}
 	return &Repository{
-		catalog:     cat,
-		names:       append([]string(nil), r.names...),
-		profiles:    append([]*Profile(nil), r.profiles...),
-		sharedBelow: len(r.profiles),
+		catalog:     r.catalog.clone(),
+		names:       r.names,
+		base:        r.base,
+		over:        r.over,
+		nUsers:      r.nUsers,
+		namesShared: true,
+		overShared:  r.over != nil,
 	}
 }
 
-// Seal sorts every profile's backing store in place so that subsequent reads
-// (Score, Each, …) are pure and safe for concurrent use. Publishing a
+// Seal sorts every overlay row's backing store in place so that subsequent
+// reads (Score, Each, …) are pure and safe for concurrent use. Publishing a
 // repository to concurrent readers without sealing would race: the first
-// Score call on a dirty profile rewrites it. Sealing an already sealed
-// repository is a cheap no-op per profile.
+// Score call on a dirty profile rewrites it. Columnar base rows are sorted
+// by construction, so sealing costs O(rows touched since the last Seal), not
+// O(users).
 func (r *Repository) Seal() {
-	for _, p := range r.profiles {
+	for _, p := range r.over {
 		p.ensureSorted()
 	}
 }
@@ -348,10 +451,25 @@ func (r *Repository) Subset(ids []UserID) (*Repository, []UserID) {
 	orig := make([]UserID, 0, len(ids))
 	for _, u := range ids {
 		nu := sub.AddUser(r.UserName(u))
-		r.Profile(u).Each(func(id PropertyID, s float64) {
-			sub.profiles[nu].Set(sub.catalog.Intern(r.catalog.Label(id)), s)
+		dst := sub.mutableProfile(int(nu))
+		r.EachRowOf(u, func(id PropertyID, s float64) {
+			dst.Set(sub.catalog.Intern(r.catalog.Label(id)), s)
 		})
 		orig = append(orig, u)
 	}
 	return sub, orig
+}
+
+// hasSorted reports membership of id in an ascending property row.
+func hasSorted(props []PropertyID, id PropertyID) bool {
+	return searchSorted(props, id) >= 0
+}
+
+// searchSorted returns the index of id in an ascending property row, or -1.
+func searchSorted(props []PropertyID, id PropertyID) int {
+	i := sort.Search(len(props), func(i int) bool { return props[i] >= id })
+	if i < len(props) && props[i] == id {
+		return i
+	}
+	return -1
 }

@@ -79,6 +79,14 @@ func (rm *routeMetrics) count(method string, code int) {
 // register their own families (e.g. client metrics sharing one exposition).
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
+// RecordRepositoryLoad publishes the startup load timing for the given
+// source format ("image", "binary", "json", "log", "synth"), so operators
+// can see at /api/v1/metrics whether a restart took the near-instant v2
+// image path or fell back to a slower decode.
+func (s *Server) RecordRepositoryLoad(format string, d time.Duration) {
+	s.met.LoadDuration(format).Set(d.Nanoseconds())
+}
+
 // SetObsEnabled toggles request instrumentation (default on). Exists for the
 // overhead benchmark; flip it before serving traffic, not concurrently with
 // a scrape you care about.

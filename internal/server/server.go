@@ -131,6 +131,7 @@ func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
 func (s *Server) publish(sn *Snapshot) {
 	s.snap.Store(sn)
 	s.met.Epoch.Set(int64(sn.Epoch()))
+	s.met.RepoBytes.Set(sn.Repo().ApproxBytes())
 }
 
 // writeJSON encodes v compactly — indented output roughly doubles hot-path

@@ -3,6 +3,7 @@ package stats
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // NewRand returns a deterministic generator for the given seed. Every
@@ -74,6 +75,80 @@ func WeightedIndex(rng *rand.Rand, weights []float64) int {
 		}
 	}
 	return len(weights) - 1 // floating point slack lands on the last entry
+}
+
+// linearScanMax is the pool size up to which WeightedSampler keeps
+// WeightedIndex's subtraction scan. Small pools stay on the exact historical
+// code path — bit-identical draws, so existing seeds keep producing existing
+// datasets — while large pools (only reached by the scale presets) switch to
+// prefix sums.
+const linearScanMax = 2048
+
+// WeightedSampler draws indices with probability proportional to a fixed
+// weight vector, amortizing the per-draw cost: the weights are summed once
+// at construction, and pools larger than linearScanMax binary-search a
+// prefix-sum table instead of scanning. That turns the synthetic generator's
+// dominant cost — millions of draws from hundred-thousand-entry destination
+// pools — from O(n) per draw into O(log n). Each Sample consumes exactly one
+// rng.Float64(), like WeightedIndex.
+type WeightedSampler struct {
+	weights []float64 // subtraction-scan path (small pools); nil otherwise
+	cum     []float64 // inclusive prefix sums (large pools); nil otherwise
+	total   float64
+}
+
+// NewWeightedSampler validates the weights (same contract as WeightedIndex)
+// and precomputes the sampling structure. The weights slice is not retained
+// on the prefix-sum path and is never modified.
+func NewWeightedSampler(weights []float64) *WeightedSampler {
+	if len(weights) == 0 {
+		panic("stats: WeightedSampler of empty weights")
+	}
+	s := &WeightedSampler{}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("stats: WeightedSampler negative weight")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("stats: WeightedSampler all-zero weights")
+	}
+	s.total = total
+	if len(weights) <= linearScanMax {
+		s.weights = weights
+		return s
+	}
+	s.cum = make([]float64, len(weights))
+	var run float64
+	for i, w := range weights {
+		run += w
+		s.cum[i] = run
+	}
+	return s
+}
+
+// Sample draws one index in [0, n) with probability proportional to its
+// weight. Zero-weight entries are never drawn.
+func (s *WeightedSampler) Sample(rng *rand.Rand) int {
+	r := rng.Float64() * s.total
+	if s.cum == nil {
+		// Identical to WeightedIndex, preserving its draws bit-for-bit.
+		for i, w := range s.weights {
+			r -= w
+			if r < 0 {
+				return i
+			}
+		}
+		return len(s.weights) - 1
+	}
+	// Smallest i with cum[i] > r; strict inequality skips zero-weight runs.
+	i := sort.Search(len(s.cum), func(i int) bool { return s.cum[i] > r })
+	if i == len(s.cum) {
+		i = len(s.cum) - 1 // floating point slack lands on the last entry
+	}
+	return i
 }
 
 // ZipfWeights returns n weights following a Zipf law with exponent s:

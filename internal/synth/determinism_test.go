@@ -1,0 +1,54 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"podium/internal/codec"
+	"podium/internal/profile"
+)
+
+// Identical seeds must produce byte-identical datasets: the columnar image is
+// a faithful dump of catalog order, row contents and user names, so encoding
+// two runs of the same config and comparing bytes catches any residual
+// map-iteration nondeterminism in Generate (the historical destByCat/famOf
+// hazard) at every scale, not just shape-level equality.
+func TestGenerateByteIdentical(t *testing.T) {
+	for _, cfg := range []Config{TripAdvisorLike(150), YelpLike(200), ScaleLike(3000)} {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			var first, second bytes.Buffer
+			if err := codec.WriteRepositoryImage(&first, Generate(cfg).Repo); err != nil {
+				t.Fatal(err)
+			}
+			if err := codec.WriteRepositoryImage(&second, Generate(cfg).Repo); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatal("same seed produced different repository bytes")
+			}
+		})
+	}
+}
+
+// ProfilesOnly generation must still populate full profiles — the scale
+// tiers depend on realistic dimensionality even without a review store.
+func TestScaleLikeProfilesOnly(t *testing.T) {
+	ds := Generate(ScaleLike(500))
+	if ds.Store.NumReviews() != 0 {
+		t.Fatalf("ProfilesOnly generated %d reviews", ds.Store.NumReviews())
+	}
+	if ds.Repo.NumUsers() != 500 {
+		t.Fatalf("got %d users", ds.Repo.NumUsers())
+	}
+	if ds.Repo.NumProperties() < 100 {
+		t.Fatalf("suspiciously few properties: %d", ds.Repo.NumProperties())
+	}
+	var links int
+	for u := 0; u < ds.Repo.NumUsers(); u++ {
+		links += ds.Repo.Profile(profile.UserID(u)).Len()
+	}
+	if avg := float64(links) / 500; avg < 5 {
+		t.Fatalf("average profile size %.1f — review draws not reaching profiles", avg)
+	}
+}

@@ -72,6 +72,14 @@ type Config struct {
 	InferFunctionalCity bool
 	// UsefulnessVotes attaches usefulness votes to reviews (Yelp only).
 	UsefulnessVotes bool
+	// ProfilesOnly skips everything that exists solely for the opinion
+	// experiments — destination topics, review records, mentions, usefulness
+	// votes — while keeping the visit/rating draws that shape profiles. The
+	// scale tiers use it to stream millions of users through the columnar
+	// builder without materializing a review store. The rng stream differs
+	// from the full generator's, so ProfilesOnly defines its own datasets
+	// rather than a subset of existing ones.
+	ProfilesOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -157,6 +165,35 @@ func YelpLike(users int) Config {
 	}
 }
 
+// ScaleLike is the lean preset behind the scale bench tiers: profiles-only
+// generation (no review store) with per-city aggregates for realistic
+// dimensionality, streamed through the columnar builder so memory stays
+// bounded by the final arrays. Pass the tier's user count (0 selects 100K).
+func ScaleLike(users int) Config {
+	if users <= 0 {
+		users = 100000
+	}
+	dests := users / 4
+	if dests < 2000 {
+		dests = 2000
+	}
+	return Config{
+		Name:                 "scale",
+		Seed:                 4242,
+		Users:                users,
+		Cities:               40,
+		AgeGroups:            5,
+		Archetypes:           12,
+		Destinations:         dests,
+		MeanReviewsPerUser:   10,
+		TopicVocab:           30,
+		TopicsPerDest:        5,
+		MaxRating:            5,
+		PerCityCategoryProps: true,
+		ProfilesOnly:         true,
+	}
+}
+
 // CuisineTaxonomy is the static category tree used by the generators and by
 // the taxonomy enrichment step: 26 leaf cuisines under 6 mid-level families
 // under the root "Food".
@@ -171,7 +208,7 @@ func CuisineTaxonomy() *taxonomy.Taxonomy {
 		"Casual":        {"CheapEats", "FastFood", "Cafe", "Bakery"},
 	}
 	// Deterministic edge order.
-	for _, fam := range []string{"Latin", "Asian", "European", "American", "MiddleEastern", "Casual"} {
+	for _, fam := range cuisineFamilies {
 		tax.MustAddIsA(fam, "Food")
 		for _, leaf := range families[fam] {
 			tax.MustAddIsA(leaf, fam)
@@ -182,10 +219,16 @@ func CuisineTaxonomy() *taxonomy.Taxonomy {
 
 type destination struct {
 	category string // leaf cuisine
+	catIdx   int    // index of category in tax.Leaves()
 	city     int
 	quality  float64 // base quality on the rating scale
 	topics   []string
 }
+
+// cuisineFamilies is the literal family order shared by the taxonomy builder
+// and the archetype disposition draws; indexing by position (rather than map
+// lookups) keeps every rng draw and every derived value order-deterministic.
+var cuisineFamilies = []string{"Latin", "Asian", "European", "American", "MiddleEastern", "Casual"}
 
 // Generate builds a dataset from the configuration. Generation is fully
 // deterministic in cfg.Seed.
@@ -207,35 +250,43 @@ func Generate(cfg Config) *Dataset {
 		topics[i] = fmt.Sprintf("topic-%02d", i)
 	}
 
-	// Destinations.
+	// Destinations. Pools are indexed by leaf position, never keyed by
+	// string: map iteration order would otherwise shuffle the within-category
+	// samplers (and with them every review draw) between runs of one seed.
 	dests := make([]destination, cfg.Destinations)
-	destByCat := map[string][]int{}
+	destByCat := make([][]int, len(leaves))
 	for d := range dests {
-		cat := leaves[stats.WeightedIndex(rng, catWeights)]
+		ci := stats.WeightedIndex(rng, catWeights)
 		city := stats.WeightedIndex(rng, cityWeights)
-		k := cfg.TopicsPerDest
-		if k > len(topics) {
-			k = len(topics)
-		}
 		var dt []string
-		for _, ti := range stats.SampleWithoutReplacement(rng, len(topics), k) {
-			dt = append(dt, topics[ti])
+		if !cfg.ProfilesOnly {
+			k := cfg.TopicsPerDest
+			if k > len(topics) {
+				k = len(topics)
+			}
+			for _, ti := range stats.SampleWithoutReplacement(rng, len(topics), k) {
+				dt = append(dt, topics[ti])
+			}
 		}
 		dests[d] = destination{
-			category: cat,
+			category: leaves[ci],
+			catIdx:   ci,
 			city:     city,
 			quality:  1.8 + 2.8*rng.Float64(),
 			topics:   dt,
 		}
-		destByCat[cat] = append(destByCat[cat], d)
+		destByCat[ci] = append(destByCat[ci], d)
 	}
 	// Zipf popularity *within* each category: a handful of destinations
 	// attract most reviews, giving the opinion experiments well-reviewed
 	// destinations to evaluate (the paper's 50 destinations average 90
-	// reviews each).
-	destPopByCat := map[string][]float64{}
-	for cat, pool := range destByCat {
-		destPopByCat[cat] = stats.ZipfWeights(len(pool), 1.1)
+	// reviews each). Samplers precompute prefix sums, so the million-draw
+	// review loop pays O(log pool) per pick instead of a full scan.
+	destSampler := make([]*stats.WeightedSampler, len(leaves))
+	for ci, pool := range destByCat {
+		if len(pool) > 0 {
+			destSampler[ci] = stats.NewWeightedSampler(stats.ZipfWeights(len(pool), 1.1))
+		}
 	}
 
 	// Archetypes: peaky affinity over leaf categories plus a per-family
@@ -243,7 +294,7 @@ func Generate(cfg Config) *Dataset {
 	// judge similarly — the latent structure clustering should recover.
 	type archetype struct {
 		affinity    []float64 // over leaves
-		disposition map[string]float64
+		disposition []float64 // over cuisineFamilies
 		homeCity    int
 	}
 	arch := make([]archetype, cfg.Archetypes)
@@ -253,28 +304,43 @@ func Generate(cfg Config) *Dataset {
 			e := rng.ExpFloat64()
 			aff[i] = e * e // peaky
 		}
-		disp := map[string]float64{}
-		for _, fam := range []string{"Latin", "Asian", "European", "American", "MiddleEastern", "Casual"} {
-			disp[fam] = (rng.Float64()*2 - 1) * 1.2
+		disp := make([]float64, len(cuisineFamilies))
+		for fi := range cuisineFamilies {
+			disp[fi] = (rng.Float64()*2 - 1) * 1.2
 		}
 		arch[a] = archetype{affinity: aff, disposition: disp, homeCity: stats.WeightedIndex(rng, cityWeights)}
 	}
-	famOf := map[string]string{}
-	for _, leaf := range leaves {
-		famOf[leaf] = tax.Parents(leaf)[0]
+	famIdx := map[string]int{}
+	for fi, fam := range cuisineFamilies {
+		famIdx[fam] = fi
+	}
+	famOfLeaf := make([]int, len(leaves))
+	for li, leaf := range leaves {
+		famOfLeaf[li] = famIdx[tax.Parents(leaf)[0]]
 	}
 
-	repo := profile.NewRepository()
+	// Profiles stream through the columnar builder: per-user rows are
+	// appended (and sealed) in order, so memory is bounded by the final
+	// arrays rather than per-user maps — the difference between 1M users
+	// fitting comfortably and not.
+	b := profile.NewBuilder()
+	addScore := func(label string, s float64) {
+		if err := b.AddLabeled(label, s); err != nil {
+			panic(err)
+		}
+	}
 	store := opinions.NewStore(cfg.MaxRating)
-	for d := range dests {
-		id := store.AddDestination(fmt.Sprintf("dest-%05d", d), dests[d].topics)
-		store.SetDestCategory(id, dests[d].category)
+	if !cfg.ProfilesOnly {
+		for d := range dests {
+			id := store.AddDestination(fmt.Sprintf("dest-%05d", d), dests[d].topics)
+			store.SetDestCategory(id, dests[d].category)
+		}
 	}
 
 	ageLabels := []string{"18-29", "30-39", "40-49", "50-64", "65+"}
 
 	for u := 0; u < cfg.Users; u++ {
-		uid := repo.AddUser(fmt.Sprintf("user-%05d", u))
+		uid := b.AddUser(fmt.Sprintf("user-%05d", u))
 		a := arch[rng.Intn(cfg.Archetypes)]
 		// Home city: usually the archetype's (communities cluster
 		// geographically), sometimes an independent draw.
@@ -282,13 +348,13 @@ func Generate(cfg Config) *Dataset {
 		if rng.Float64() < 0.35 {
 			city = stats.WeightedIndex(rng, cityWeights)
 		}
-		repo.MustSetScore(uid, "livesIn "+cityName(city), 1)
+		addScore("livesIn "+cityName(city), 1)
 		if cfg.AgeGroups > 0 {
 			g := rng.Intn(cfg.AgeGroups)
 			if g >= len(ageLabels) {
 				g = len(ageLabels) - 1
 			}
-			repo.MustSetScore(uid, "ageGroup "+ageLabels[g], 1)
+			addScore("ageGroup "+ageLabels[g], 1)
 		}
 
 		// Activity volume: lognormal-ish around the configured mean.
@@ -310,12 +376,12 @@ func Generate(cfg Config) *Dataset {
 			// Pick a destination: archetype-driven category, Zipf fallback.
 			var d int
 			if rng.Float64() < 0.75 {
-				cat := leaves[stats.WeightedIndex(rng, a.affinity)]
-				pool := destByCat[cat]
+				ci := stats.WeightedIndex(rng, a.affinity)
+				pool := destByCat[ci]
 				if len(pool) == 0 {
 					d = rng.Intn(len(dests))
 				} else {
-					d = pool[stats.WeightedIndex(rng, destPopByCat[cat])]
+					d = pool[destSampler[ci].Sample(rng)]
 				}
 			} else {
 				d = rng.Intn(len(dests))
@@ -325,34 +391,36 @@ func Generate(cfg Config) *Dataset {
 			}
 			reviewed[d] = true
 			dest := dests[d]
-			rating := clampRating(int(math.Round(dest.quality+a.disposition[famOf[dest.category]]+0.8*rng.NormFloat64())), cfg.MaxRating)
+			rating := clampRating(int(math.Round(dest.quality+a.disposition[famOfLeaf[dest.catIdx]]+0.8*rng.NormFloat64())), cfg.MaxRating)
 
-			// Topic mentions: 1-3 of the destination's prevalent topics,
-			// sentiment correlated with the rating.
-			nTop := 1 + rng.Intn(3)
-			if nTop > len(dest.topics) {
-				nTop = len(dest.topics)
-			}
-			var mentions []opinions.TopicMention
-			for _, ti := range stats.SampleWithoutReplacement(rng, len(dest.topics), nTop) {
-				pPos := 1 / (1 + math.Exp(-(float64(rating) - float64(cfg.MaxRating)/2 - 0.5)))
-				mentions = append(mentions, opinions.TopicMention{
-					Topic:    dest.topics[ti],
-					Positive: rng.Float64() < pPos,
+			if !cfg.ProfilesOnly {
+				// Topic mentions: 1-3 of the destination's prevalent topics,
+				// sentiment correlated with the rating.
+				nTop := 1 + rng.Intn(3)
+				if nTop > len(dest.topics) {
+					nTop = len(dest.topics)
+				}
+				var mentions []opinions.TopicMention
+				for _, ti := range stats.SampleWithoutReplacement(rng, len(dest.topics), nTop) {
+					pPos := 1 / (1 + math.Exp(-(float64(rating) - float64(cfg.MaxRating)/2 - 0.5)))
+					mentions = append(mentions, opinions.TopicMention{
+						Topic:    dest.topics[ti],
+						Positive: rng.Float64() < pPos,
+					})
+				}
+				useful := 0
+				if cfg.UsefulnessVotes {
+					// Mainstream destinations attract more engagement.
+					useful = int(math.Exp(rng.NormFloat64())*catWeights[dest.catIdx]*6) % 50
+				}
+				store.MustAddReview(opinions.Review{
+					User:   uid,
+					Dest:   opinions.DestID(d),
+					Rating: rating,
+					Topics: mentions,
+					Useful: useful,
 				})
 			}
-			useful := 0
-			if cfg.UsefulnessVotes {
-				// Mainstream destinations attract more engagement.
-				useful = int(math.Exp(rng.NormFloat64())*catPopularity(catWeights, leaves, dest.category)*6) % 50
-			}
-			store.MustAddReview(opinions.Review{
-				User:   uid,
-				Dest:   opinions.DestID(d),
-				Rating: rating,
-				Topics: mentions,
-				Useful: useful,
-			})
 
 			visits[dest.category]++
 			ratingSum[dest.category] += float64(rating)
@@ -374,24 +442,25 @@ func Generate(cfg Config) *Dataset {
 			avgCat := ratingSum[cat] / float64(n)
 			// Average Rating, normalized by the user's overall average
 			// (Section 8.1): equal-to-own-average maps to 0.5.
-			repo.MustSetScore(uid, "avgRating "+cat, stats.Clamp(avgCat/(2*avgOverall), 0, 1))
+			addScore("avgRating "+cat, stats.Clamp(avgCat/(2*avgOverall), 0, 1))
 			// Visit Frequency: fraction of the user's visits in the category.
-			repo.MustSetScore(uid, "visitFreq "+cat, float64(n)/float64(totalVisits))
+			addScore("visitFreq "+cat, float64(n)/float64(totalVisits))
 			// Enthusiasm Level: fraction of rating points given to the
 			// category.
-			repo.MustSetScore(uid, "enthusiasm "+cat, ratingSum[cat]/totalRating)
+			addScore("enthusiasm "+cat, ratingSum[cat]/totalRating)
 		}
 		// Per-(category, city) aggregates are the dimensionality amplifier:
 		// TripAdvisor derives many features per destination, which is what
 		// pushes the paper's corpus to thousands of groups.
 		for _, key := range sortedKeys(cityVisits) {
 			n := cityVisits[key]
-			repo.MustSetScore(uid, "visitFreq "+key, float64(n)/float64(totalVisits))
-			repo.MustSetScore(uid, "avgRating "+key,
+			addScore("visitFreq "+key, float64(n)/float64(totalVisits))
+			addScore("avgRating "+key,
 				stats.Clamp(cityRatingSum[key]/float64(n)/(2*avgOverall), 0, 1))
-			repo.MustSetScore(uid, "enthusiasm "+key, cityRatingSum[key]/totalRating)
+			addScore("enthusiasm "+key, cityRatingSum[key]/totalRating)
 		}
 	}
+	repo := b.Build()
 
 	// Enrichment (Section 3.1).
 	var rules []taxonomy.Rule
@@ -409,6 +478,9 @@ func Generate(cfg Config) *Dataset {
 		if _, err := taxonomy.NewEngine(rules...).Run(repo); err != nil {
 			panic(err) // static rules over generated data cannot fail
 		}
+		// Enrichment wrote through the copy-on-write overlay; fold it back
+		// into flat columns so downstream consumers get the fast path.
+		repo.Compact()
 	}
 
 	return &Dataset{Name: cfg.Name, Repo: repo, Store: store}
@@ -424,13 +496,4 @@ func clampRating(r, max int) int {
 		return max
 	}
 	return r
-}
-
-func catPopularity(weights []float64, leaves []string, cat string) float64 {
-	for i, l := range leaves {
-		if l == cat {
-			return weights[i]
-		}
-	}
-	return 0
 }

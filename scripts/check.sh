@@ -11,7 +11,9 @@
 #      repository log (internal/repolog), the campaign orchestrator
 #      (internal/campaign), the resilient client (internal/client), the
 #      fault injector + chaos suite (internal/faults) and the metrics/trace
-#      registry (internal/obs)
+#      registry (internal/obs), the binary
+#      codec + snapshot image (internal/codec) and the columnar repository
+#      with its copy-on-write overlay (internal/profile)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,7 +26,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs"
-go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs
+echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile"
+go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile
 
 echo "check: all green"

@@ -1,0 +1,24 @@
+// Command gen-golden regenerates internal/codec/testdata/v1_paper_example.podm
+// — the golden v1 file pinning decoder backward compatibility. Run it only
+// when the v1 format itself legitimately changes (it should not).
+package main
+
+import (
+	"os"
+
+	"podium/internal/codec"
+	"podium/internal/profile"
+)
+
+func main() {
+	f, err := os.Create("internal/codec/testdata/v1_paper_example.podm")
+	if err != nil {
+		panic(err)
+	}
+	if err := codec.WriteRepository(f, profile.PaperExample()); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+}
