@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs bench-scale
+.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs bench-scale bench-steady
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -52,3 +52,10 @@ bench-scale:
 # overhead with observability enabled vs disabled (DESIGN.md §11).
 bench-obs:
 	$(GO) run ./cmd/podium-bench -suite obs
+
+# bench-steady regenerates BENCH_steady.json: steady-state select throughput
+# under a 1:10 write:read stream at 10K/100K users — the watermark-keyed
+# select cache + delta-repaired selector state vs recompute-every-epoch
+# (DESIGN.md §13).
+bench-steady:
+	$(GO) run ./cmd/podium-bench -suite steady

@@ -22,6 +22,7 @@
 //	podium-bench campaign       # procurement campaigns → BENCH_campaign.json
 //	podium-bench faults         # hardened serving under faults → BENCH_faults.json
 //	podium-bench obs            # observability overhead → BENCH_obs.json
+//	podium-bench steady         # selects under live writes → BENCH_steady.json
 //	podium-bench -suite server  # flag form of the same
 //	podium-bench all -scale 800
 package main
@@ -220,6 +221,30 @@ func main() {
 			fmt.Printf("wrote %s (max instrumentation overhead %.2f%%; %d metric families exposed)\n",
 				path, rep.MaxOverheadFrac*100, rep.MetricFamilies)
 		},
+		"steady": func() {
+			tiers := []int{10000, 100000}
+			tab, rep, err := experiments.RunSteadySuite(experiments.SteadyConfig{
+				Seed: *seed, Budget: *budget, Tiers: tiers,
+				Clients: *clients, Duration: *duration,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_steady.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			last := rep.Tiers[len(rep.Tiers)-1]
+			hitRate := 0.0
+			if c := last.Cached.Cache; c != nil {
+				hitRate = c.HitRate
+			}
+			fmt.Printf("wrote %s (%.1fx steady-state select QPS at %d users; hit rate %.0f%%; identical=%t)\n",
+				path, last.SelectSpeedup, last.Users, hitRate*100, last.Identical)
+		},
 		"scale": func() {
 			tiers := []int{10000, 100000}
 			if os.Getenv("PODIUM_SCALE_1M") == "1" {
@@ -327,5 +352,5 @@ func writeReport(path string, rep interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|obs|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|obs|steady|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
 }

@@ -54,25 +54,7 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 	if budget <= 0 || n == 0 {
 		return res
 	}
-	csr := ix.CSR()
-
-	cov := make([]int, len(inst.Cov))
-	copy(cov, inst.Cov)
-	selected := make([]bool, n)
-
-	// True marginal contribution of u under the current cov state, summed
-	// over u's CSR row in ascending group order.
-	refresh := func(u int) float64 {
-		gs := csr.UserGroups(profile.UserID(u))
-		res.Evaluations += len(gs)
-		var m float64
-		for _, g := range gs {
-			if cov[g] > 0 {
-				m += inst.Wei[g]
-			}
-		}
-		return m
-	}
+	ls := newLazyRun(inst, res)
 
 	entries := make([]margEntry, 0, n)
 	for u := 0; u < n; u++ {
@@ -84,6 +66,7 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 	if workers > 1 && len(entries) >= engineParallelCutoff {
 		// refresh mutates res.Evaluations; count the work up front and sum
 		// each shard's rows without the shared counter.
+		csr, cov := ls.csr, ls.cov
 		for i := range entries {
 			res.Evaluations += csr.UserDegree(profile.UserID(entries[i].user))
 		}
@@ -100,9 +83,72 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 		})
 	} else {
 		for i := range entries {
-			entries[i].key = refresh(entries[i].user)
+			entries[i].key = ls.refresh(entries[i].user)
 		}
 	}
+	ls.run(entries, budget)
+	return res
+}
+
+// lazySeeded runs the lazy-greedy pop/refresh/select loop with the initial
+// heap keys taken from base — marg_{u,∅} for every user, e.g. a
+// SelectorState's delta-repaired copy or an Instance's memoized BaseMarginals
+// — instead of recomputing them from the CSR rows. Because a fresh run's
+// initial keys are exactly these row sums (bit-identical by the BaseMarginals
+// contract), the heap starts from the same (key, user) multiset in the same
+// slice order, and the shared run loop proceeds identically: the selection,
+// its marginals and its score match a fresh LazyGreedy bit for bit. Only
+// Result.Evaluations differs — the seeded run skips the initial row
+// traversals, which is the point.
+func lazySeeded(inst *groups.Instance, budget int, base []float64) *Result {
+	n := inst.Index.Repo().NumUsers()
+	res := &Result{}
+	if budget <= 0 || n == 0 {
+		return res
+	}
+	ls := newLazyRun(inst, res)
+	entries := make([]margEntry, n)
+	for u := 0; u < n; u++ {
+		entries[u] = margEntry{user: u, key: base[u]}
+	}
+	ls.run(entries, budget)
+	return res
+}
+
+// lazyRun is the shared state of one lazy-greedy execution: the mutable
+// coverage counters and the refresh primitive both entry points feed into the
+// same pop/refresh/select loop.
+type lazyRun struct {
+	inst *groups.Instance
+	csr  *groups.CSR
+	cov  []int
+	res  *Result
+}
+
+func newLazyRun(inst *groups.Instance, res *Result) *lazyRun {
+	cov := make([]int, len(inst.Cov))
+	copy(cov, inst.Cov)
+	return &lazyRun{inst: inst, csr: inst.Index.CSR(), cov: cov, res: res}
+}
+
+// refresh computes the true marginal contribution of u under the current cov
+// state, summed over u's CSR row in ascending group order.
+func (ls *lazyRun) refresh(u int) float64 {
+	gs := ls.csr.UserGroups(profile.UserID(u))
+	ls.res.Evaluations += len(gs)
+	var m float64
+	for _, g := range gs {
+		if ls.cov[g] > 0 {
+			m += ls.inst.Wei[g]
+		}
+	}
+	return m
+}
+
+// run executes Minoux's pop/refresh/select loop over the initialized entries.
+// entries must carry exact marg_{u,∅} keys; run owns the slice.
+func (ls *lazyRun) run(entries []margEntry, budget int) {
+	res := ls.res
 	h := (*margHeap)(&entries)
 	heap.Init(h)
 
@@ -111,11 +157,11 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 		for {
 			top := heap.Pop(h).(margEntry)
 			if h.Len() == 0 {
-				top.key = refresh(top.user)
+				top.key = ls.refresh(top.user)
 				pick = top
 				break
 			}
-			fresh := refresh(top.user)
+			fresh := ls.refresh(top.user)
 			next := (*h)[0]
 			// Select only if the refreshed entry still wins under the same
 			// (marginal desc, index asc) order the heap uses; otherwise
@@ -129,17 +175,15 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 			top.key = fresh
 			heap.Push(h, top)
 		}
-		selected[pick.user] = true
 		res.Users = append(res.Users, profile.UserID(pick.user))
 		res.Marginals = append(res.Marginals, pick.key)
 		res.Score += pick.key
-		for _, g := range csr.UserGroups(profile.UserID(pick.user)) {
-			if cov[g] > 0 {
-				cov[g]--
+		for _, g := range ls.csr.UserGroups(profile.UserID(pick.user)) {
+			if ls.cov[g] > 0 {
+				ls.cov[g]--
 			}
 		}
 	}
-	return res
 }
 
 type margEntry struct {

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSteadySuiteShapes runs a miniature steady-state suite end to end and
+// checks the report's shape: both configurations measured, cache counters
+// attached to the cached run only, and the post-quiesce identity check green.
+func TestSteadySuiteShapes(t *testing.T) {
+	tbl, rep, err := RunSteadySuite(SteadyConfig{
+		Seed:     7,
+		Tiers:    []int{300},
+		Props:    60,
+		Clients:  4,
+		Duration: 200 * time.Millisecond,
+		Dir:      t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tiers) != 1 || len(tbl.Rows) != 2 {
+		t.Fatalf("tiers = %d, rows = %d", len(rep.Tiers), len(tbl.Rows))
+	}
+	tier := rep.Tiers[0]
+	if tier.Users != 300 || tier.Groups == 0 {
+		t.Fatalf("tier population: users=%d groups=%d", tier.Users, tier.Groups)
+	}
+	if tier.Baseline.SelectOps == 0 || tier.Cached.SelectOps == 0 {
+		t.Fatalf("no selects measured: baseline=%d cached=%d",
+			tier.Baseline.SelectOps, tier.Cached.SelectOps)
+	}
+	if tier.Baseline.Cache != nil {
+		t.Fatal("baseline run reported cache counters")
+	}
+	if tier.Cached.Cache == nil {
+		t.Fatal("cached run missing cache counters")
+	}
+	if got := tier.Cached.Cache.Hits + tier.Cached.Cache.Misses; got == 0 {
+		t.Fatal("cached run saw no cache traffic")
+	}
+	if !tier.Identical {
+		t.Fatal("cached select diverged from fresh selection after quiesce")
+	}
+	if rep.WriteRatio != "1:10" {
+		t.Fatalf("write ratio = %q", rep.WriteRatio)
+	}
+	// The report must round-trip as JSON (it is written to BENCH_steady.json).
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+}

@@ -51,6 +51,11 @@ func (ix *Index) Clone(repo *profile.Repository) *Index {
 		maxGroupSize:     ix.maxGroupSize,
 		maxGroupsPerUser: ix.maxGroupsPerUser,
 		statsStale:       atomic.LoadUint32(&ix.statsStale),
+		// The change watermark carries over — it numbers the epoch chain, not
+		// one index — while pending records do not: the clone starts a fresh
+		// batch, and records already accumulated on the source stay with the
+		// source (TakeDelta there still sees them).
+		deltaSeq: ix.deltaSeq,
 		cow: &cowState{
 			groups: make(map[GroupID]bool),
 			users:  make(map[profile.UserID]bool),

@@ -1,0 +1,105 @@
+package groups
+
+import (
+	"sort"
+
+	"podium/internal/profile"
+)
+
+// Change records. The incremental maintenance path (incremental.go) already
+// keeps group IDs stable across live updates; this file makes the *effects*
+// of a mutation batch observable, so downstream layers can repair derived
+// state instead of rebuilding it. The single-writer apply loop calls
+// TakeDelta once per batch, right before publishing the clone as the next
+// epoch; the returned Delta carries a sequence-numbered watermark that is
+// monotone across the whole epoch chain (Clone carries the sequence forward),
+// so "has anything relevant changed since I last looked?" is one integer
+// comparison for any reader holding an old watermark.
+//
+// Recording is deliberately conservative: mutators note every user and group
+// they *touch*, even when the touch turns out to be a no-op (adding an
+// existing member, removing an absent one). Over-recording only costs a
+// repairer a few wasted row sums; under-recording would silently corrupt
+// repaired state. The one deliberate omission is UpdateScore's same-bucket
+// early return: a score change that moves no user between groups changes no
+// adjacency and no group size, so nothing selection-relevant happened and the
+// watermark must not advance — that is the case the server's select cache
+// rides through without invalidating.
+
+// Delta is the change record of one mutation batch, taken via TakeDelta.
+type Delta struct {
+	// Seq is the batch's watermark: the index's ChangeSeq after the batch.
+	// An empty delta reports the unchanged current watermark.
+	Seq uint64
+	// Users lists the users whose group adjacency (or existence) changed,
+	// sorted ascending, deduplicated.
+	Users []profile.UserID
+	// Groups lists the groups whose membership changed (including groups
+	// created by the batch), sorted ascending, deduplicated.
+	Groups []GroupID
+	// Reshaped marks batches that changed the group *structure* beyond
+	// membership moves — a new property was bucketed and spawned groups.
+	// Repairers should treat a reshape as "recompute, don't patch".
+	Reshaped bool
+}
+
+// Empty reports whether the batch changed nothing selection-relevant.
+func (d *Delta) Empty() bool {
+	return len(d.Users) == 0 && len(d.Groups) == 0 && !d.Reshaped
+}
+
+// deltaRecorder accumulates the current batch's pending records. It lives
+// behind a nil check: an index that never mutates never allocates one.
+type deltaRecorder struct {
+	users    map[profile.UserID]struct{}
+	groups   map[GroupID]struct{}
+	reshaped bool
+}
+
+func (ix *Index) recorder() *deltaRecorder {
+	if ix.rec == nil {
+		ix.rec = &deltaRecorder{
+			users:  make(map[profile.UserID]struct{}),
+			groups: make(map[GroupID]struct{}),
+		}
+	}
+	return ix.rec
+}
+
+func (ix *Index) noteUser(u profile.UserID) { ix.recorder().users[u] = struct{}{} }
+func (ix *Index) noteGroup(g GroupID)       { ix.recorder().groups[g] = struct{}{} }
+func (ix *Index) noteReshape()              { ix.recorder().reshaped = true }
+
+// ChangeSeq returns the index's current watermark: the sequence number of the
+// last non-empty mutation batch taken from this index or any of its Clone
+// ancestors. Zero means no selection-relevant mutation was ever recorded.
+func (ix *Index) ChangeSeq() uint64 { return ix.deltaSeq }
+
+// TakeDelta closes the current mutation batch and returns its change record,
+// resetting the recorder. If anything selection-relevant was recorded the
+// watermark advances and the Delta carries the new sequence number; otherwise
+// the watermark — and therefore every downstream cache keyed on it — is left
+// untouched and the returned Delta is Empty.
+//
+// TakeDelta is a writer-side operation, called on the private clone before it
+// is published; it must not be called on a shared index.
+func (ix *Index) TakeDelta() *Delta {
+	r := ix.rec
+	ix.rec = nil
+	if r == nil || (len(r.users) == 0 && len(r.groups) == 0 && !r.reshaped) {
+		return &Delta{Seq: ix.deltaSeq}
+	}
+	ix.deltaSeq++
+	d := &Delta{Seq: ix.deltaSeq, Reshaped: r.reshaped}
+	d.Users = make([]profile.UserID, 0, len(r.users))
+	for u := range r.users {
+		d.Users = append(d.Users, u)
+	}
+	sort.Slice(d.Users, func(i, j int) bool { return d.Users[i] < d.Users[j] })
+	d.Groups = make([]GroupID, 0, len(r.groups))
+	for g := range r.groups {
+		d.Groups = append(d.Groups, g)
+	}
+	sortGroupIDs(d.Groups)
+	return d
+}

@@ -1,0 +1,166 @@
+package groups
+
+import (
+	"testing"
+
+	"podium/internal/profile"
+)
+
+// deltaTestIndex builds a small repository and index with a handful of users
+// and two bucketed properties, returning both plus a helper to mutate scores
+// through the incremental path.
+func deltaTestIndex(t *testing.T) (*profile.Repository, *Index) {
+	t.Helper()
+	repo := profile.NewRepository()
+	for i := 0; i < 12; i++ {
+		u := repo.AddUser("u")
+		if err := repo.SetScore(u, "alpha", float64(i)/12); err != nil {
+			t.Fatal(err)
+		}
+		if err := repo.SetScore(u, "beta", float64(11-i)/12); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix := Build(repo, Config{K: 3})
+	return repo, ix
+}
+
+func setAndUpdate(t *testing.T, repo *profile.Repository, ix *Index, u profile.UserID, label string, score float64) {
+	t.Helper()
+	if err := repo.SetScore(u, label, score); err != nil {
+		t.Fatal(err)
+	}
+	pid, ok := repo.Catalog().Lookup(label)
+	if !ok {
+		t.Fatalf("label %q not interned", label)
+	}
+	if err := ix.UpdateScore(u, pid); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaSequenceNumbering: each non-empty batch advances the watermark by
+// one; empty batches leave it untouched and report Empty.
+func TestDeltaSequenceNumbering(t *testing.T) {
+	repo, ix := deltaTestIndex(t)
+	if got := ix.ChangeSeq(); got != 0 {
+		t.Fatalf("fresh index ChangeSeq = %d, want 0", got)
+	}
+	if d := ix.TakeDelta(); !d.Empty() || d.Seq != 0 {
+		t.Fatalf("empty batch delta = %+v, want empty at seq 0", d)
+	}
+
+	for want := uint64(1); want <= 3; want++ {
+		setAndUpdate(t, repo, ix, profile.UserID(int(want)-1), "alpha", 0.95)
+		d := ix.TakeDelta()
+		if d.Empty() {
+			t.Fatalf("batch %d: bucket-moving update produced empty delta", want)
+		}
+		if d.Seq != want || ix.ChangeSeq() != want {
+			t.Fatalf("batch %d: seq = %d (index %d), want %d", want, d.Seq, ix.ChangeSeq(), want)
+		}
+		found := false
+		for _, u := range d.Users {
+			if u == profile.UserID(int(want)-1) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("batch %d: moved user missing from delta users %v", want, d.Users)
+		}
+		if len(d.Groups) == 0 {
+			t.Fatalf("batch %d: no groups recorded for a membership move", want)
+		}
+	}
+
+	// A same-bucket rewrite is selection-irrelevant: watermark must not move.
+	u := profile.UserID(5)
+	score, _ := repo.Profile(u).Score(mustPid(t, repo, "beta"))
+	setAndUpdate(t, repo, ix, u, "beta", score)
+	if d := ix.TakeDelta(); !d.Empty() || d.Seq != 3 {
+		t.Fatalf("same-bucket update delta = %+v, want empty at seq 3", d)
+	}
+}
+
+func mustPid(t *testing.T, repo *profile.Repository, label string) profile.PropertyID {
+	t.Helper()
+	pid, ok := repo.Catalog().Lookup(label)
+	if !ok {
+		t.Fatalf("label %q not interned", label)
+	}
+	return pid
+}
+
+// TestDeltaSurvivesCloneAndCompact: pending records stay with the index that
+// recorded them (a clone starts a fresh batch), the watermark carries across
+// Clone so sequence numbers stay monotone over the epoch chain, and recording
+// keeps working after the backing repository is compacted.
+func TestDeltaSurvivesCloneAndCompact(t *testing.T) {
+	repo, ix := deltaTestIndex(t)
+
+	// Record on the source, then clone before taking the batch.
+	setAndUpdate(t, repo, ix, 0, "alpha", 0.99)
+	repo2 := repo.Clone()
+	ix2 := ix.Clone(repo2)
+
+	// The clone must not see the source's pending records...
+	if d := ix2.TakeDelta(); !d.Empty() {
+		t.Fatalf("clone inherited pending records: %+v", d)
+	}
+	// ...and the source keeps them through the clone.
+	d := ix.TakeDelta()
+	if d.Empty() || d.Seq != 1 {
+		t.Fatalf("source lost its pending records across Clone: %+v", d)
+	}
+
+	// Mutate the clone: its sequence continues the chain it was cloned from.
+	// (It was cloned at watermark 0 — before the source took batch 1 — so its
+	// first non-empty batch is seq 1 on its own chain.)
+	setAndUpdate(t, repo2, ix2, 1, "alpha", 0.99)
+	d2 := ix2.TakeDelta()
+	if d2.Empty() || d2.Seq != 1 {
+		t.Fatalf("clone delta = %+v, want seq 1", d2)
+	}
+
+	// Chain continuation: clone after taking, mutate the new clone.
+	repo3 := repo2.Clone()
+	ix3 := ix2.Clone(repo3)
+	if got := ix3.ChangeSeq(); got != 1 {
+		t.Fatalf("clone ChangeSeq = %d, want 1 carried from source", got)
+	}
+
+	// Compact folds the repository's overlay into its columns; the index and
+	// its recorder must be unaffected, and incremental updates must still
+	// record correctly against the compacted repository.
+	repo3.Compact()
+	setAndUpdate(t, repo3, ix3, 2, "alpha", 0.99)
+	d3 := ix3.TakeDelta()
+	if d3.Empty() || d3.Seq != 2 {
+		t.Fatalf("post-Compact delta = %+v, want seq 2", d3)
+	}
+	found := false
+	for _, du := range d3.Users {
+		if du == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-Compact delta users %v missing user 2", d3.Users)
+	}
+
+	// Users/Groups come out sorted and deduplicated.
+	setAndUpdate(t, repo3, ix3, 7, "alpha", 0.99)
+	setAndUpdate(t, repo3, ix3, 3, "alpha", 0.99)
+	setAndUpdate(t, repo3, ix3, 7, "beta", 0.01)
+	d4 := ix3.TakeDelta()
+	for i := 1; i < len(d4.Users); i++ {
+		if d4.Users[i] <= d4.Users[i-1] {
+			t.Fatalf("delta users not sorted/deduped: %v", d4.Users)
+		}
+	}
+	for i := 1; i < len(d4.Groups); i++ {
+		if d4.Groups[i] <= d4.Groups[i-1] {
+			t.Fatalf("delta groups not sorted/deduped: %v", d4.Groups)
+		}
+	}
+}

@@ -133,6 +133,13 @@ type Index struct {
 	// shared with the source epoch, and each mutator detaches the pieces it
 	// touches first (clone.go). A Build index owns everything (cow == nil).
 	cow *cowState
+
+	// rec accumulates the current mutation batch's change records (delta.go);
+	// deltaSeq is the sequence-numbered watermark of the last non-empty batch
+	// taken, carried forward across Clone so the watermark is monotone over
+	// the whole epoch chain.
+	rec      *deltaRecorder
+	deltaSeq uint64
 }
 
 // bucketKey identifies a simple group by its (property, bucket) coordinates.

@@ -61,6 +61,9 @@ func (ix *Index) IndexUser(u profile.UserID) (unbucketed []profile.PropertyID, e
 	}
 	ix.ownUser(u)
 	sortGroupIDs(ix.byUser[u])
+	// Record the user itself even when no score bucketed: a new user row
+	// changes the CSR shape (and |𝒰|, which CoverProp depends on).
+	ix.noteUser(u)
 	return unbucketed, nil
 }
 
@@ -170,10 +173,15 @@ func (ix *Index) BucketProperty(p profile.PropertyID, cfg Config) error {
 			ix.byUser[u] = append(ix.byUser[u], g.ID)
 			touched[u] = true
 		}
+		ix.noteGroup(g.ID)
 	}
 	for u := range touched {
 		sortGroupIDs(ix.byUser[u])
+		ix.noteUser(u)
 	}
+	// Bucketing a property reshapes the group structure itself; repairers
+	// should fall back to a full recompute rather than patch around it.
+	ix.noteReshape()
 	ix.invalidateDerived()
 	return nil
 }
@@ -229,6 +237,8 @@ func (ix *Index) addMember(gid GroupID, u profile.UserID) {
 	g.Members[i] = u
 	ix.ownUser(u)
 	ix.byUser[u] = append(ix.byUser[u], gid)
+	ix.noteGroup(gid)
+	ix.noteUser(u)
 	ix.invalidateDerived()
 }
 
@@ -257,6 +267,8 @@ func (ix *Index) removeMember(gid GroupID, u profile.UserID) {
 			break
 		}
 	}
+	ix.noteGroup(gid)
+	ix.noteUser(u)
 	ix.invalidateDerived()
 }
 

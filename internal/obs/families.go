@@ -90,6 +90,49 @@ func (m *ServerMetrics) RouteLatency(route string) *Histogram {
 		"HTTP request latency by route.", DefLatencyBuckets, L("route", route))
 }
 
+// SelectCacheMetrics instruments the watermark-keyed select cache and the
+// delta-repaired selector state behind it.
+type SelectCacheMetrics struct {
+	Hits   *Counter // podium_select_cache_requests_total{result="hit"}
+	Misses *Counter // {result="miss"}
+	Bypass *Counter // {result="bypass"} — cache disabled, traced, or over cap
+	// Sync outcomes on cache misses: the selector state was delta-repaired or
+	// fully recomputed.
+	Repaired      *Counter // podium_select_syncs_total{mode="repaired"}
+	Recomputed    *Counter // {mode="recomputed"}
+	RepairedUsers *Counter // podium_select_repaired_rows_total
+	Entries       *Gauge   // podium_select_cache_entries
+	Watermark     *Gauge   // podium_select_cache_watermark
+}
+
+// NewSelectCacheMetrics registers the select-cache families on reg.
+func NewSelectCacheMetrics(reg *Registry) *SelectCacheMetrics {
+	if reg == nil {
+		return nil
+	}
+	result := func(r string) *Counter {
+		return reg.Counter("podium_select_cache_requests_total",
+			"Select requests by cache outcome.", L("result", r))
+	}
+	mode := func(m string) *Counter {
+		return reg.Counter("podium_select_syncs_total",
+			"Selector-state synchronizations on cache misses, by mode.", L("mode", m))
+	}
+	return &SelectCacheMetrics{
+		Hits:       result("hit"),
+		Misses:     result("miss"),
+		Bypass:     result("bypass"),
+		Repaired:   mode("repaired"),
+		Recomputed: mode("recomputed"),
+		RepairedUsers: reg.Counter("podium_select_repaired_rows_total",
+			"Base-marginal rows re-summed by delta repair."),
+		Entries: reg.Gauge("podium_select_cache_entries",
+			"Cached select responses currently held."),
+		Watermark: reg.Gauge("podium_select_cache_watermark",
+			"Sequence number of the last selection-relevant mutation batch."),
+	}
+}
+
 // CoreMetrics instruments the selection engine. The engine itself reports
 // plain monotonic nanosecond totals through core.StageTimings (core does not
 // import obs); the serving layer folds them in here after each run.

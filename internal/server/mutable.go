@@ -274,6 +274,12 @@ func (ms *MutableServer) applyBatch(batch []*pendingMut) {
 			return
 		}
 	}
+	// Fold the batch's change record into the select cache's watermarks
+	// before the new epoch is visible: by the time a reader holds the next
+	// snapshot, the cache already knows whether anything selection-relevant
+	// moved. TakeDelta also bumps the index's ChangeSeq (for non-empty
+	// batches), which newSnapshot stamps into the epoch below.
+	ms.selCache.applyDelta(ix.TakeDelta())
 	ms.publish(newSnapshot(cur.Epoch()+1, repo, ix))
 	ms.batches.Add(1)
 	ms.mutations.Add(uint64(len(batch)))

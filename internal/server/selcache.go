@@ -1,0 +1,393 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/obs"
+	"podium/internal/profile"
+)
+
+// The watermark-keyed select cache. The per-epoch memoization on Snapshot
+// (snapshot.go) makes repeated selects free *within* an epoch, but a live
+// write stream publishes a new epoch per batch and every memo starts cold —
+// the steady-state cost the ROADMAP calls out. This cache spans epochs: it
+// keys complete pre-marshaled responses on (schemes, budget, topK, response
+// shape, feedback restriction) and serves them for as long as no
+// selection-relevant write has landed, which the groups-layer change records
+// decide (groups/delta.go).
+//
+// Invalidation is computed once per batch, not per request: the single-writer
+// apply loop calls applyDelta with the batch's change record before
+// publishing the epoch; a non-empty record advances the global watermark and
+// stamps the per-user and per-group watermark arrays (last-relevant-mutation
+// sequence at user/group granularity — O(Δ) writer work). The read path then
+// decides hit-or-miss with one integer comparison: a cached entry computed at
+// watermark W is valid for a snapshot whose ChangeSeq is still ≤ W. Batches
+// whose mutations move no user between groups (same-bucket score rewrites)
+// leave the watermark untouched, so the cache rides through them — the
+// mesh exemplar's "serve until lastChangedAt passes the entry" shape, with
+// the bucket partition deciding relevance.
+//
+// A miss does not recompute from scratch. Per (weights, coverage, budget)
+// the cache keeps a selState — a core.SelectorState plus the watermark it is
+// synced to. The per-user watermark array replays exactly which rows changed
+// in (state's seq, snapshot's seq], the state repairs those rows, and the
+// selection re-runs seeded from the repaired base: O(Δ + n·k) instead of
+// O(links + n·k), bit-identical to a fresh greedy by the SelectorState
+// contract. Group-granular watermarks serve diagnostics and the reshape
+// fence; the full response depends on every group's weight (the explanation
+// report ranks all groups), so response validity itself is gated on the
+// global watermark — exact, because irrelevant writes never advance it.
+type selectCache struct {
+	met *obs.SelectCacheMetrics
+
+	// disabled flips the whole cache off (bench baseline, -select-cache=0).
+	disabled atomic.Bool
+	// seq is the global watermark — the ChangeSeq of the last non-empty
+	// batch. Written by the single writer, read lock-free per request.
+	seq atomic.Uint64
+
+	// mu guards the watermark arrays, the entry and state maps.
+	mu sync.Mutex
+	// userSeq[u] / groupSeq[g] is the last watermark that touched u / g;
+	// reshapeSeq the last that reshaped the group structure.
+	userSeq    []uint64
+	groupSeq   []uint64
+	reshapeSeq uint64
+	entries    map[selCacheKey]*selCacheEntry
+	states     map[instKey]*selState
+
+	// Aggregate stats for the steady bench (atomics: read concurrently).
+	hits, misses, bypass              atomic.Uint64
+	repairs, recomputes, repairedRows atomic.Uint64
+	repairNs, recomputeNs, selectNs   atomic.Uint64
+}
+
+// maxSelCacheEntries bounds the response map; selects beyond the cap compute
+// uncached (bypass) rather than evict — the working set of distinct select
+// shapes is tiny in practice, and an unbounded map keyed partly on client
+// feedback would be a memory-growth vector.
+const maxSelCacheEntries = 1024
+
+// maxSelCacheStates bounds the per-(ws,cs,budget) selector states, which hold
+// O(n) base arrays each.
+const maxSelCacheStates = 64
+
+// selCacheKey identifies one cached response: the selection parameters, the
+// response shape (pretty and compact responses are distinct pre-marshaled
+// bytes — satellite fix: ?pretty=1 must never be answered with compact bytes
+// or vice versa), and the canonicalized feedback restriction ("" when
+// feedback-free).
+type selCacheKey struct {
+	ws           groups.WeightScheme
+	cs           groups.CoverageScheme
+	budget, topK int
+	pretty       bool
+	fb           string
+}
+
+type selCacheEntry struct {
+	mu    sync.Mutex
+	valid bool
+	seq   uint64 // watermark the response was computed at
+	resp  selectResponse
+	data  []byte // pre-marshaled (pretty or compact per key), newline-terminated
+}
+
+// selState pairs a delta-repaired selector state with the watermark and
+// instance it is synced to.
+type selState struct {
+	mu   sync.Mutex
+	seq  uint64
+	inst *groups.Instance
+	st   *core.SelectorState
+	// lastRows is st.RepairedUsers at the previous Sync, so the per-sync
+	// increment can feed the metric counter.
+	lastRows uint64
+}
+
+func newSelectCache(met *obs.SelectCacheMetrics) *selectCache {
+	return &selectCache{
+		met:     met,
+		entries: make(map[selCacheKey]*selCacheEntry),
+		states:  make(map[instKey]*selState),
+	}
+}
+
+func (c *selectCache) enabled() bool { return !c.disabled.Load() }
+
+// noteBypass records a request the handler routed around the cache (traced
+// selections, which need a live span tree).
+func (c *selectCache) noteBypass() {
+	c.bypass.Add(1)
+	c.met.Bypass.Inc()
+}
+
+// applyDelta folds one mutation batch's change record into the watermarks.
+// Called by the single writer before the batch's snapshot is published, so by
+// the time a reader can hold the new epoch the arrays already cover it. An
+// empty delta leaves every watermark untouched: cached entries stay valid
+// across the epoch flip, which is the whole point.
+func (c *selectCache) applyDelta(d *groups.Delta) {
+	c.met.Watermark.Set(int64(d.Seq))
+	if d.Empty() {
+		return
+	}
+	c.mu.Lock()
+	for _, u := range d.Users {
+		for int(u) >= len(c.userSeq) {
+			c.userSeq = append(c.userSeq, 0)
+		}
+		c.userSeq[u] = d.Seq
+	}
+	for _, g := range d.Groups {
+		for int(g) >= len(c.groupSeq) {
+			c.groupSeq = append(c.groupSeq, 0)
+		}
+		c.groupSeq[g] = d.Seq
+	}
+	if d.Reshaped {
+		c.reshapeSeq = d.Seq
+	}
+	c.mu.Unlock()
+	c.seq.Store(d.Seq)
+}
+
+// changedSince collects the users touched in watermark range (lo, hi] and
+// whether a reshape landed in it — the replay a selector state needs to catch
+// up from lo to hi. O(n) scan under the lock; n bool-compares per miss is
+// noise next to the selection itself.
+func (c *selectCache) changedSince(lo, hi uint64) (users []profile.UserID, reshaped bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for u, s := range c.userSeq {
+		if s > lo && s <= hi {
+			users = append(users, profile.UserID(u))
+		}
+	}
+	reshaped = c.reshapeSeq > lo && c.reshapeSeq <= hi
+	return users, reshaped
+}
+
+// GroupWatermark returns the last watermark that touched group g (0 if
+// never), for diagnostics and tests.
+func (c *selectCache) GroupWatermark(g groups.GroupID) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if int(g) < len(c.groupSeq) {
+		return c.groupSeq[g]
+	}
+	return 0
+}
+
+// entry returns the cached-response slot for k, or nil when the map is at
+// capacity and k is new (the caller computes uncached).
+func (c *selectCache) entry(k selCacheKey) *selCacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[k]; ok {
+		return e
+	}
+	if len(c.entries) >= maxSelCacheEntries {
+		return nil
+	}
+	e := &selCacheEntry{}
+	c.entries[k] = e
+	c.met.Entries.Set(int64(len(c.entries)))
+	return e
+}
+
+func (c *selectCache) state(k instKey) *selState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.states[k]; ok {
+		return st
+	}
+	if len(c.states) >= maxSelCacheStates {
+		return nil
+	}
+	st := &selState{st: core.NewSelectorState()}
+	c.states[k] = st
+	return st
+}
+
+// respond serves one select request through the cache: a single-flight hit
+// check on the entry, and on miss a sync-repair-select-marshal under the
+// entry's lock. fb is nil for feedback-free requests (k.fb == "" then).
+// The returned data is pre-marshaled per k.pretty and newline-terminated.
+func (c *selectCache) respond(sn *Snapshot, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, []byte, error) {
+	target := sn.ChangeSeq()
+	e := c.entry(k)
+	if e == nil {
+		c.bypass.Add(1)
+		c.met.Bypass.Inc()
+		resp, err := c.compute(sn, k, fb, opt)
+		if err != nil {
+			return resp, nil, err
+		}
+		data, err := marshalSelect(resp, k.pretty)
+		return resp, data, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.valid && e.seq >= target {
+		c.hits.Add(1)
+		c.met.Hits.Inc()
+		return e.resp, e.data, nil
+	}
+	c.misses.Add(1)
+	c.met.Misses.Inc()
+	resp, err := c.compute(sn, k, fb, opt)
+	if err != nil {
+		return resp, nil, err
+	}
+	data, err := marshalSelect(resp, k.pretty)
+	if err != nil {
+		return resp, nil, err
+	}
+	e.resp, e.data, e.seq, e.valid = resp, data, target, true
+	return resp, data, nil
+}
+
+// compute produces the response for k against sn, repairing (or recomputing)
+// the per-parameter selector state first. Errors come from feedback
+// validation (the caller maps them to 400) — the feedback-free path cannot
+// fail.
+func (c *selectCache) compute(sn *Snapshot, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, error) {
+	target := sn.ChangeSeq()
+	st := c.state(instKey{k.ws, k.cs, k.budget})
+	if st == nil {
+		// State table at capacity: fresh compute, no persistent repair state.
+		inst := sn.Instance(k.ws, k.cs, k.budget)
+		return c.buildResponse(inst, k, fb, opt)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.inst == nil || st.seq < target {
+		start := time.Now()
+		inst := sn.Instance(k.ws, k.cs, k.budget)
+		var repaired bool
+		if st.inst == nil {
+			repaired = st.st.Sync(inst, nil, true)
+		} else {
+			users, reshaped := c.changedSince(st.seq, target)
+			repaired = st.st.Sync(inst, users, reshaped)
+		}
+		ns := uint64(time.Since(start).Nanoseconds())
+		if repaired {
+			c.repairs.Add(1)
+			c.repairNs.Add(ns)
+			c.met.Repaired.Inc()
+		} else {
+			c.recomputes.Add(1)
+			c.recomputeNs.Add(ns)
+			c.met.Recomputed.Inc()
+		}
+		c.repairedRows.Add(st.st.RepairedUsers - st.lastRows)
+		c.met.RepairedUsers.Add(st.st.RepairedUsers - st.lastRows)
+		st.lastRows = st.st.RepairedUsers
+		st.inst, st.seq = inst, target
+	} else if st.seq > target {
+		// A reader raced an in-flight batch and holds the previous epoch
+		// while the state already advanced; states never rewind, so compute
+		// against the reader's snapshot without touching the state.
+		inst := sn.Instance(k.ws, k.cs, k.budget)
+		return c.buildResponse(inst, k, fb, opt)
+	}
+	start := time.Now()
+	resp, err := c.stateResponse(st, k, fb, opt)
+	c.selectNs.Add(uint64(time.Since(start).Nanoseconds()))
+	return resp, err
+}
+
+// stateResponse runs the selection against a synced state's instance.
+func (c *selectCache) stateResponse(st *selState, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, error) {
+	if fb != nil {
+		custom, err := core.GreedyCustomOpts(st.inst, *fb, k.budget, opt)
+		if err != nil {
+			return selectResponse{}, err
+		}
+		return buildSelectResponse(st.inst, custom.Result, custom, k.topK), nil
+	}
+	res := st.st.Select(st.inst, k.budget, opt)
+	return buildSelectResponse(st.inst, res, nil, k.topK), nil
+}
+
+// buildResponse is the stateless fallback: a fresh selection on the
+// snapshot's memoized instance.
+func (c *selectCache) buildResponse(inst *groups.Instance, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, error) {
+	if fb != nil {
+		custom, err := core.GreedyCustomOpts(inst, *fb, k.budget, opt)
+		if err != nil {
+			return selectResponse{}, err
+		}
+		return buildSelectResponse(inst, custom.Result, custom, k.topK), nil
+	}
+	res := core.LazyGreedyOpts(inst, k.budget, opt)
+	return buildSelectResponse(inst, res, nil, k.topK), nil
+}
+
+// marshalSelect pre-marshals a response in the shape its cache key names:
+// exactly the bytes writeJSON would have produced for the same request.
+func marshalSelect(resp selectResponse, pretty bool) ([]byte, error) {
+	var data []byte
+	var err error
+	if pretty {
+		data, err = json.MarshalIndent(resp, "", "  ")
+	} else {
+		data, err = json.Marshal(resp)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// feedbackCacheKey canonicalizes a request's feedback into a cache-key
+// component. Order is preserved (reordered feedback is a different key, never
+// a wrong answer — both entries compute correctly).
+func feedbackCacheKey(f FeedbackJSON) string {
+	return fmt.Sprintf("%v|%v|%v|%v|%t", f.MustHave, f.MustNot, f.Priority, f.Standard, f.StandardExplicit)
+}
+
+// SelectCacheStats is a point-in-time read of the cache counters, consumed by
+// the steady-state bench suite.
+type SelectCacheStats struct {
+	Hits, Misses, Bypass  uint64
+	Repairs, Recomputes   uint64
+	RepairedRows          uint64
+	RepairNs, RecomputeNs uint64
+	SelectNs              uint64
+	Entries               int
+}
+
+// SelectCacheStats returns the select cache's counters.
+func (s *Server) SelectCacheStats() SelectCacheStats {
+	c := s.selCache
+	c.mu.Lock()
+	entries := len(c.entries)
+	c.mu.Unlock()
+	return SelectCacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		Bypass:       c.bypass.Load(),
+		Repairs:      c.repairs.Load(),
+		Recomputes:   c.recomputes.Load(),
+		RepairedRows: c.repairedRows.Load(),
+		RepairNs:     c.repairNs.Load(),
+		RecomputeNs:  c.recomputeNs.Load(),
+		SelectNs:     c.selectNs.Load(),
+		Entries:      entries,
+	}
+}
+
+// SetSelectCacheEnabled toggles the watermark-keyed select cache (default
+// on). Off, selects fall back to the per-epoch snapshot memoization — the
+// recompute-every-epoch baseline the steady bench measures against.
+func (s *Server) SetSelectCacheEnabled(v bool) { s.selCache.disabled.Store(!v) }

@@ -99,6 +99,12 @@ type Server struct {
 	campMet   *obs.CampaignMetrics
 	obsOff    atomic.Bool
 	unmatched *routeMetrics
+
+	// selCache is the cross-epoch watermark-keyed select cache (selcache.go).
+	// On the plain Server nothing ever advances the watermark, so after the
+	// first computation every select shape is a permanent hit; MutableServer's
+	// apply loop feeds it the per-batch change records.
+	selCache *selectCache
 }
 
 // New builds a server over repo, running the grouping module with cfg.
@@ -116,6 +122,7 @@ func New(name string, repo *profile.Repository, cfg groups.Config, configs []Nam
 	// all four layers, and co-located clients (campaign drivers, tests) feed
 	// it via obs.NewClientMetrics(s.Metrics()).
 	obs.NewClientMetrics(s.reg)
+	s.selCache = newSelectCache(obs.NewSelectCacheMetrics(s.reg))
 	s.publish(newSnapshot(0, repo, groups.Build(repo, cfg)))
 	s.mux = http.NewServeMux()
 	s.buildRoutes()
@@ -401,6 +408,43 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if s.obsEnabled() || sp != nil {
 		tim = &core.StageTimings{}
 		opt.Timings = tim
+	}
+
+	if s.selCache.enabled() {
+		if sp != nil {
+			// Traced requests are diagnostic: they want the real per-stage
+			// span tree, which a pre-marshaled cache hit cannot produce.
+			// They fall through to the uncached paths below.
+			s.selCache.noteBypass()
+		} else {
+			// Cross-epoch watermark-keyed path (selcache.go): the response is
+			// served pre-marshaled for as long as no selection-relevant
+			// mutation has landed, and a miss repairs the persistent selector
+			// state instead of recomputing base marginals from scratch. The
+			// key carries the response shape — ?pretty=1 and compact
+			// responses are distinct pre-marshaled entries — and the
+			// canonicalized feedback restriction.
+			pretty := r.URL.Query().Get("pretty") == "1"
+			k := selCacheKey{ws: ws, cs: cs, budget: req.Budget, topK: req.TopK, pretty: pretty}
+			var fb *core.Feedback
+			if !req.Feedback.empty() {
+				cf := req.Feedback.toCore()
+				fb = &cf
+				k.fb = feedbackCacheKey(req.Feedback)
+			}
+			_, data, err := s.selCache.respond(sn, k, fb, opt)
+			s.observeEngine(tim)
+			if err != nil {
+				if fb != nil {
+					writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+				} else {
+					writeError(w, r, http.StatusInternalServerError, codeInternal, "encoding response: %v", err)
+				}
+				return
+			}
+			writeJSONRaw(w, http.StatusOK, data)
+			return
+		}
 	}
 
 	if req.Feedback.empty() {

@@ -23,6 +23,13 @@ type Snapshot struct {
 	epoch uint64
 	repo  *profile.Repository
 	index *groups.Index
+	// changeSeq is the index's selection-relevance watermark at publication:
+	// the sequence number of the last mutation batch that changed anything a
+	// selection can observe. Epochs published by selection-irrelevant batches
+	// (same-bucket score rewrites) carry the same changeSeq as their
+	// predecessor, which is what lets the cross-epoch select cache serve
+	// straight through them.
+	changeSeq uint64
 
 	// insts memoizes ComputeWeights/ComputeCoverage (and EBS ranks) per
 	// (weights, coverage, budget): immutability makes the tables valid for
@@ -71,11 +78,15 @@ type instKey struct {
 func newSnapshot(e uint64, repo *profile.Repository, ix *groups.Index) *Snapshot {
 	repo.Seal()
 	ix.Freeze()
-	return &Snapshot{epoch: e, repo: repo, index: ix}
+	return &Snapshot{epoch: e, repo: repo, index: ix, changeSeq: ix.ChangeSeq()}
 }
 
 // Epoch returns the snapshot's publication sequence number.
 func (sn *Snapshot) Epoch() uint64 { return sn.epoch }
+
+// ChangeSeq returns the selection-relevance watermark the snapshot was
+// published at.
+func (sn *Snapshot) ChangeSeq() uint64 { return sn.changeSeq }
 
 // Repo returns the sealed repository view. Callers must not mutate it.
 func (sn *Snapshot) Repo() *profile.Repository { return sn.repo }

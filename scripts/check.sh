@@ -5,15 +5,18 @@
 #   1. go vet  over every package
 #   2. go build over every package
 #   3. the full test suite
-#   4. the race detector over the concurrent selection engine
-#      (internal/core), the shared adjacency structures (internal/groups),
-#      the lock-free snapshot server (internal/server), the batched
-#      repository log (internal/repolog), the campaign orchestrator
-#      (internal/campaign), the resilient client (internal/client), the
-#      fault injector + chaos suite (internal/faults) and the metrics/trace
-#      registry (internal/obs), the binary
-#      codec + snapshot image (internal/codec) and the columnar repository
-#      with its copy-on-write overlay (internal/profile)
+#   4. the race detector over the concurrent selection engine and the
+#      delta-repaired selector state (internal/core), the shared adjacency
+#      structures and their mutation change records (internal/groups), the
+#      lock-free snapshot server with its watermark-keyed select cache
+#      (internal/server — the cache's writer-side watermark stamping vs
+#      reader-side hit checks is exactly the kind of ordering bug -race
+#      exists for), the batched repository log (internal/repolog), the
+#      campaign orchestrator (internal/campaign), the resilient client
+#      (internal/client), the fault injector + chaos suite
+#      (internal/faults), the metrics/trace registry (internal/obs), the
+#      binary codec + snapshot image (internal/codec) and the columnar
+#      repository with its copy-on-write overlay (internal/profile)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
