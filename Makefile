@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs bench-scale bench-steady
+.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs bench-scale bench-steady bench-dist
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile
+	$(GO) test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile ./internal/shard
 
 # bench-engine regenerates BENCH_selection.json (the selection-engine perf
 # trajectory; see DESIGN.md §7).
@@ -59,3 +59,10 @@ bench-obs:
 # (DESIGN.md §13).
 bench-steady:
 	$(GO) run ./cmd/podium-bench -suite steady
+
+# bench-dist regenerates BENCH_dist.json: the sharded GreeDi two-round merge
+# vs single-node exact greedy at 10K/100K users × S ∈ {1,4,16} — merge
+# coverage loss, shard-loss degradation, and select/plan latency
+# (DESIGN.md §14).
+bench-dist:
+	$(GO) run ./cmd/podium-bench -suite dist

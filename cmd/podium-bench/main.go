@@ -23,6 +23,7 @@
 //	podium-bench faults         # hardened serving under faults → BENCH_faults.json
 //	podium-bench obs            # observability overhead → BENCH_obs.json
 //	podium-bench steady         # selects under live writes → BENCH_steady.json
+//	podium-bench dist           # sharded GreeDi selection vs exact → BENCH_dist.json
 //	podium-bench -suite server  # flag form of the same
 //	podium-bench all -scale 800
 package main
@@ -266,6 +267,23 @@ func main() {
 			fmt.Printf("wrote %s (image loads %.0fx faster than JSON; worst select-vs-linear %.2f)\n",
 				path, rep.MinImageSpeedup, rep.MaxSelectVsLinear)
 		},
+		"dist": func() {
+			tab, rep, err := experiments.RunDistSuite(experiments.DistConfig{
+				Seed: *seed, Budget: *budget, Parallelism: *par,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_dist.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (worst merge coverage %.4f of exact; worst shard-loss %.4f; best speedup %.2fx)\n",
+				path, rep.MinRatio, rep.MinDegradedRatio, rep.MaxSpeedup)
+		},
 		"faults": func() {
 			tab, rep, err := experiments.RunFaultsSuite(experiments.FaultsConfig{
 				Seed: *seed, Budget: *budget,
@@ -352,5 +370,5 @@ func writeReport(path string, rep interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|obs|steady|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|obs|steady|scale|dist|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
 }

@@ -15,6 +15,13 @@
 //	podium-server -dataset yelp -users 800
 //	podium-server -log repo.plog -queue-depth 1024 -drain-timeout 15s
 //	podium-server -faults 0.05   # chaos drill: 5% injected faults
+//
+// Distributed mode (see internal/shard): each shard server carves its slice
+// of the shared dataset, and the coordinator fans selections out and merges:
+//
+//	podium-server -in profiles.json -shards 2 -shard-id 0 -addr :8081
+//	podium-server -in profiles.json -shards 2 -shard-id 1 -addr :8082
+//	podium-server -in profiles.json -coordinator http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
 
 import (
@@ -24,14 +31,18 @@ import (
 	"log"
 	"net"
 	"os"
+	"strings"
 	"time"
 
+	"podium/internal/client"
 	"podium/internal/codec"
 	"podium/internal/faults"
 	"podium/internal/groups"
 	"podium/internal/load"
+	"podium/internal/obs"
 	"podium/internal/profile"
 	"podium/internal/server"
+	"podium/internal/shard"
 	"podium/internal/synth"
 )
 
@@ -74,11 +85,23 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
 		faultsSpec   = flag.String("faults", "", `inject faults: a rate ("0.05") or "error=0.02,reset=0.01,truncate=0.01,latency=0.05,latency_ms=3,seed=7"`)
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; off by default)")
+
+		coordinator = flag.String("coordinator", "", "comma-separated shard server URLs: serve as the distributed coordinator, fanning selections/campaigns out and merging (GreeDi round 2 runs here over the local -in/-dataset global repository)")
+		shardCount  = flag.Int("shards", 0, "serve one shard of the -in/-dataset repository: total shard count S (requires -shard-id)")
+		shardID     = flag.Int("shard-id", -1, "which shard of -shards this server holds")
+		shardSeed   = flag.Uint64("shard-seed", 0, "consistent-hash partition seed; every shard and the coordinator's planner must agree on it")
 	)
 	flag.Parse()
 
 	configs := defaultConfigs()
 	gcfg := groups.Config{K: *buckets}
+
+	if (*shardCount > 0 || *coordinator != "") && *logPath != "" {
+		log.Fatalf("podium-server: -shards and -coordinator require an immutable repository (drop -log)")
+	}
+	if *shardCount > 0 && (*shardID < 0 || *shardID >= *shardCount) {
+		log.Fatalf("podium-server: -shard-id must be in [0,%d)", *shardCount)
+	}
 
 	// Both modes converge on (srv, closer): a hardened handler plus the
 	// shutdown hook that runs after the listener drains.
@@ -150,6 +173,16 @@ func main() {
 				fmt.Printf("podium-server: wrote snapshot image %s for fast restarts\n", *snapImage)
 			}
 		}
+		if *shardCount > 0 {
+			sub, scfg, err := shard.Carve(repo, gcfg, *shardCount, *shardID, *shardSeed)
+			if err != nil {
+				log.Fatalf("podium-server: %v", err)
+			}
+			repo, gcfg = sub, scfg
+			name = fmt.Sprintf("%s#%d/%d", name, *shardID, *shardCount)
+			fmt.Printf("podium-server: serving shard %d of %d (seed %d) — %d users\n",
+				*shardID, *shardCount, *shardSeed, repo.NumUsers())
+		}
 		srv = server.New(name, repo, gcfg, configs)
 		srv.RecordRepositoryLoad(format, loadDur)
 		closer = srv.PauseCampaigns
@@ -163,10 +196,22 @@ func main() {
 		fmt.Println("podium-server: pprof mounted at /debug/pprof/")
 	}
 
-	handler := srv.Hardened(server.HardenOptions{
+	hopts := server.HardenOptions{
 		RequestTimeout: *reqTimeout,
 		MaxBodyBytes:   *maxBody,
-	})
+	}
+	handler := srv.Hardened(hopts)
+	if *coordinator != "" {
+		co := shard.NewCoordinator(srv, strings.Split(*coordinator, ","), shard.CoordinatorOptions{
+			Resilience: client.ResilienceOptions{
+				Breaker: &client.BreakerOptions{},
+				Metrics: obs.NewClientMetrics(srv.Metrics()),
+			},
+		})
+		handler = server.HardenedHandler(co, hopts)
+		fmt.Printf("podium-server: COORDINATOR over %d shards: %v\n",
+			len(co.ShardURLs()), co.ShardURLs())
+	}
 	if *faultsSpec != "" {
 		cfg, err := faults.ParseSpec(*faultsSpec)
 		if err != nil {

@@ -79,6 +79,10 @@ type Status struct {
 	Users      int    `json:"users"`
 	Properties int    `json:"properties"`
 	Groups     int    `json:"groups"`
+	// Epoch is the server's published snapshot epoch (0 on servers predating
+	// the field). The shard coordinator surfaces it per shard in merged
+	// selections.
+	Epoch uint64 `json:"epoch"`
 }
 
 // GroupInfo is one row of the server's group list.
@@ -116,6 +120,21 @@ type Selection struct {
 	PriorityScore float64         `json:"priority_score"`
 	StandardScore float64         `json:"standard_score"`
 	Groups        []GroupCoverage `json:"groups"`
+	// Degraded and Shards are set only by a shard coordinator: Degraded
+	// marks a merge that lost ≥1 shard's winners to a fan-out failure, and
+	// Shards reports each shard's health and snapshot epoch.
+	Degraded bool          `json:"degraded,omitempty"`
+	Shards   []ShardReport `json:"shards,omitempty"`
+}
+
+// ShardReport is the coordinator's per-shard record attached to a merged
+// selection.
+type ShardReport struct {
+	URL     string `json:"url"`
+	Epoch   uint64 `json:"epoch"`
+	OK      bool   `json:"ok"`
+	Winners int    `json:"winners"`
+	Error   string `json:"error,omitempty"`
 }
 
 // SelectRequest mirrors the server's selection request body.

@@ -1,0 +1,164 @@
+package codec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+)
+
+// The buckets section of the format-v2 snapshot image: the bucket boundaries
+// β(p) a live index assigns scores with. A mutable server restart replays the
+// repository log and rebuilds its group index, but re-running the splitting
+// method over the final score distribution can derive different cuts than the
+// live incrementally-bucketed index that produced the log — and different
+// cuts mean different groups and different selections. Persisting the
+// boundaries and rebuilding with groups.Config.FixedBuckets makes a restart
+// bit-reproduce the live index's group memberships.
+//
+//	magic "PODM" | version 2 | tagBuckets
+//	varint nProps
+//	per property, ascending PropertyID:
+//	  varint pid | varint nBuckets
+//	  per bucket: lo float64 bits (LE) | hi float64 bits (LE) | closedHi byte
+//
+// PropertyIDs are stable across a log replay (the catalog interns labels in
+// log order), so the map keys survive the restart they exist for.
+
+const tagBuckets byte = 3
+
+// WriteBuckets encodes per-property bucket boundaries as a format-v2 image
+// section.
+func WriteBuckets(w io.Writer, buckets map[profile.PropertyID][]bucketing.Bucket) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(magic)
+	bw.WriteByte(imageVersion)
+	bw.WriteByte(tagBuckets)
+	pids := make([]int, 0, len(buckets))
+	for p := range buckets {
+		pids = append(pids, int(p))
+	}
+	sort.Ints(pids)
+	writeUvarint(bw, uint64(len(pids)))
+	var b8 [8]byte
+	for _, pid := range pids {
+		bs := buckets[profile.PropertyID(pid)]
+		writeUvarint(bw, uint64(pid))
+		writeUvarint(bw, uint64(len(bs)))
+		for _, b := range bs {
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(b.Lo))
+			bw.Write(b8[:])
+			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(b.Hi))
+			bw.Write(b8[:])
+			if b.ClosedHi {
+				bw.WriteByte(1)
+			} else {
+				bw.WriteByte(0)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBuckets decodes a buckets section from an in-memory byte slice.
+func ReadBuckets(data []byte) (map[profile.PropertyID][]bucketing.Bucket, error) {
+	if len(data) < len(magic)+2 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("codec: bad magic")
+	}
+	if data[len(magic)] != imageVersion {
+		return nil, fmt.Errorf("codec: not a format-v2 image (version %d)", data[len(magic)])
+	}
+	if data[len(magic)+1] != tagBuckets {
+		return nil, fmt.Errorf("codec: image section tag %d, want %d", data[len(magic)+1], tagBuckets)
+	}
+	rest := data[len(magic)+2:]
+	uvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("codec: reading %s: truncated buckets section", what)
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	nProps, err := uvarint("property count")
+	if err != nil {
+		return nil, err
+	}
+	if nProps > uint64(len(rest)) {
+		return nil, fmt.Errorf("codec: buckets section declares %d properties, %d bytes remain", nProps, len(rest))
+	}
+	out := make(map[profile.PropertyID][]bucketing.Bucket, nProps)
+	prevPid := -1
+	for i := uint64(0); i < nProps; i++ {
+		pid, err := uvarint("property id")
+		if err != nil {
+			return nil, err
+		}
+		if pid > math.MaxUint32 || int(pid) <= prevPid {
+			return nil, fmt.Errorf("codec: bucket property ids not ascending at %d", pid)
+		}
+		prevPid = int(pid)
+		nb, err := uvarint("bucket count")
+		if err != nil {
+			return nil, err
+		}
+		if 17*nb > uint64(len(rest)) {
+			return nil, fmt.Errorf("codec: property %d declares %d buckets, %d bytes remain", pid, nb, len(rest))
+		}
+		bs := make([]bucketing.Bucket, nb)
+		for j := range bs {
+			lo := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			hi := math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+			closed := rest[16]
+			rest = rest[17:]
+			if closed > 1 || lo != lo || hi != hi || lo > hi {
+				return nil, fmt.Errorf("codec: property %d bucket %d is malformed [%v,%v,%d]", pid, j, lo, hi, closed)
+			}
+			bs[j] = bucketing.Bucket{Lo: lo, Hi: hi, ClosedHi: closed == 1}
+		}
+		out[profile.PropertyID(pid)] = bs
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("codec: buckets section has %d trailing bytes", len(rest))
+	}
+	return out, nil
+}
+
+// WriteBucketsFile writes the boundaries to path atomically (temp file +
+// rename), like WriteImageFile.
+func WriteBucketsFile(path string, buckets map[profile.PropertyID][]bucketing.Bucket) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("codec: %w", err)
+	}
+	if err := WriteBuckets(f, buckets); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("codec: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("codec: %w", err)
+	}
+	return nil
+}
+
+// ReadBucketsFile loads persisted bucket boundaries.
+func ReadBucketsFile(path string) (map[profile.PropertyID][]bucketing.Bucket, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	return ReadBuckets(data)
+}

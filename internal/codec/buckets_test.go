@@ -1,0 +1,92 @@
+package codec
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"podium/internal/bucketing"
+	"podium/internal/profile"
+)
+
+func sampleBuckets() map[profile.PropertyID][]bucketing.Bucket {
+	return map[profile.PropertyID][]bucketing.Bucket{
+		0: {
+			{Lo: 0, Hi: 0.25},
+			{Lo: 0.25, Hi: 0.7},
+			{Lo: 0.7, Hi: 1, ClosedHi: true},
+		},
+		3: {
+			{Lo: 0.5, Hi: 0.5, ClosedHi: true}, // degenerate single-value cut
+		},
+		7: {
+			{Lo: 0, Hi: 1, ClosedHi: true},
+		},
+	}
+}
+
+func TestBucketsRoundTrip(t *testing.T) {
+	want := sampleBuckets()
+	var buf bytes.Buffer
+	if err := WriteBuckets(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBuckets(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestBucketsRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBuckets(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBuckets(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty round trip = %v", got)
+	}
+}
+
+func TestBucketsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "live.plog.buckets")
+	want := sampleBuckets()
+	if err := WriteBucketsFile(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBucketsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("file round trip:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestBucketsRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBuckets(&buf, sampleBuckets()); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":          {},
+		"bad magic":      append([]byte("XODM"), good[4:]...),
+		"bad version":    append(append([]byte(magic), 99), good[5:]...),
+		"wrong tag":      append(append([]byte(magic), imageVersion, tagStore), good[6:]...),
+		"truncated":      good[:len(good)-5],
+		"trailing bytes": append(append([]byte{}, good...), 0),
+	}
+	for name, data := range cases {
+		if _, err := ReadBuckets(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}

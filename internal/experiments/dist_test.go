@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestDistSuiteShapes runs the distributed suite on a miniature sweep and
+// checks the invariants the full bench relies on: every cell is measured, the
+// S=1 merge is lossless, every ratio is a sane fraction of exact, and the
+// degraded ratio is only reported (and bounded) where a shard can be lost.
+func TestDistSuiteShapes(t *testing.T) {
+	tab, rep, err := RunDistSuite(DistConfig{
+		Seed: 3, Budget: 4,
+		Tiers:       []int{400},
+		ShardCounts: []int{1, 3},
+		Parallelism: 2,
+		Repetitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 || len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d/%d, want 2 report and 2 table rows", len(rep.Rows), len(tab.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.SelectSec <= 0 || row.ExactSec <= 0 || row.PlanSec <= 0 {
+			t.Fatalf("unmeasured cell: %+v", row)
+		}
+		// Greedy is a heuristic on both sides, so the merge can land a hair
+		// above exact (observed up to ~1.003 on the full sweep); well above 1
+		// would mean the scores aren't commensurate.
+		if row.Ratio <= 0 || row.Ratio > 1.05 {
+			t.Fatalf("coverage ratio %v outside (0,1.05]: %+v", row.Ratio, row)
+		}
+		switch row.Shards {
+		case 1:
+			if row.Ratio != 1 {
+				t.Fatalf("S=1 merge lost coverage: ratio %v", row.Ratio)
+			}
+			if row.DegradedRatio != 0 {
+				t.Fatalf("S=1 reported a degraded ratio: %+v", row)
+			}
+		default:
+			if row.Candidates > row.Shards*4 {
+				t.Fatalf("candidate pool %d exceeds S×budget: %+v", row.Candidates, row)
+			}
+			if row.DegradedRatio <= 0 || row.DegradedRatio > 1.05 {
+				t.Fatalf("degraded ratio %v outside (0,1.05]: %+v", row.DegradedRatio, row)
+			}
+		}
+	}
+	if rep.MinRatio <= 0 || rep.MinDegradedRatio <= 0 {
+		t.Fatalf("report summaries unset: %+v", rep)
+	}
+}

@@ -38,6 +38,8 @@ import (
 	"podium/internal/profile"
 	"podium/internal/repolog"
 	"podium/internal/server"
+	"podium/internal/shard"
+	"podium/internal/synth"
 
 	"net/http/httptest"
 )
@@ -267,5 +269,134 @@ func auditMetrics(t *testing.T, ms *server.MutableServer) {
 	// rejections at the same site).
 	if g := series["podium_http_requests_shed_total"]; g != float64(ms.ShedStats()) {
 		t.Errorf("metrics shed counter = %v, ShedStats = %d", g, ms.ShedStats())
+	}
+}
+
+// TestChaosCoordinatorShardLoss drives the distributed selection invariant
+// through the injector: a coordinator over two shard servers, one of them
+// faulty and then killed outright mid-stream, must keep answering selects —
+// degraded when a shard is unreachable, never an error. Only total shard loss
+// may fail a request, and that case is exercised at the end.
+func TestChaosCoordinatorShardLoss(t *testing.T) {
+	// One partitioned population, exactly as the CLI's -shards mode carves
+	// it: shard servers pin the global bucket boundaries so their groups stay
+	// restrictions of the coordinator's.
+	scfg := synth.ScaleLike(240)
+	scfg.Seed = 17
+	repo := synth.Generate(scfg).Repo
+	gcfg := groups.Config{K: 3}
+	ix := groups.Build(repo, gcfg)
+	plan, err := shard.NewPlan(ix, gcfg, shard.Options{Shards: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCfg := gcfg
+	shardCfg.FixedBuckets = ix.BucketBoundaries()
+
+	// Shard 0 serves clean; shard 1 serves through a hostile injector and is
+	// later killed. The coordinator's shard clients retry, so isolated faults
+	// heal and only a dead shard degrades the merge.
+	s0 := httptest.NewServer(server.New("shard0", plan.Shards[0].Repo, shardCfg, nil))
+	defer s0.Close()
+	inj := faults.New(faults.Config{Seed: 3, Error: 0.15, Reset: 0.15, Truncate: 0.1})
+	s1 := httptest.NewServer(inj.Wrap(server.New("shard1", plan.Shards[1].Repo, shardCfg, nil)))
+
+	base := server.New("coordinator", repo, gcfg, nil)
+	co := shard.NewCoordinator(base, []string{s0.URL, s1.URL}, shard.CoordinatorOptions{
+		Resilience: client.ResilienceOptions{
+			Retry: client.RetryOptions{
+				MaxAttempts: 4,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  5 * time.Millisecond,
+				Seed:        21,
+				// Selects are read-only POSTs; retrying a torn response is
+				// safe and is exactly what the injector provokes.
+				RetryNonIdempotent: true,
+			},
+		},
+	})
+	front := httptest.NewServer(server.HardenedHandler(co, server.HardenOptions{
+		Logf: func(string, ...interface{}) {},
+	}))
+	defer front.Close()
+	c := client.New(front.URL, nil)
+
+	// Phase 1: hammer selects through the faulty shard. Every request must
+	// succeed; a response is either complete (both shards reporting OK) or
+	// honestly degraded (failed shard carries an error, selection non-empty).
+	degraded, complete := 0, 0
+	for i := 0; i < 15; i++ {
+		sel, err := c.Select(client.SelectRequest{Budget: 4})
+		if err != nil {
+			t.Fatalf("select %d errored under shard faults: %v", i, err)
+		}
+		if len(sel.Users) == 0 || sel.Score <= 0 {
+			t.Fatalf("select %d returned empty selection: %d users score %v", i, len(sel.Users), sel.Score)
+		}
+		if len(sel.Shards) != 2 {
+			t.Fatalf("select %d reported %d shards, want 2", i, len(sel.Shards))
+		}
+		if sel.Degraded {
+			degraded++
+			for _, sh := range sel.Shards {
+				if !sh.OK && sh.Error == "" {
+					t.Fatalf("select %d: failed shard carries no error: %+v", i, sh)
+				}
+			}
+		} else {
+			complete++
+			for _, sh := range sel.Shards {
+				if !sh.OK || sh.Winners == 0 {
+					t.Fatalf("select %d marked complete with unhealthy shard: %+v", i, sh)
+				}
+			}
+		}
+	}
+	if complete == 0 {
+		t.Fatal("no select survived intact through the retrying fan-out")
+	}
+	counts := inj.Counts()
+	if counts.Error+counts.Reset+counts.Truncate == 0 {
+		t.Fatalf("injector fired nothing over %d shard requests; the run tested fair weather", counts.Requests)
+	}
+
+	// Phase 2: kill shard 1 mid-stream — in-flight connections are severed,
+	// not drained. From here every select must come back degraded yet
+	// successful, with the dead shard's failure attributed.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		s1.CloseClientConnections()
+		s1.Close()
+	}()
+	for i := 0; i < 6; i++ {
+		sel, err := c.Select(client.SelectRequest{Budget: 4})
+		if err != nil {
+			t.Fatalf("post-kill select %d errored: %v", i, err)
+		}
+		if !sel.Degraded {
+			t.Fatalf("post-kill select %d not marked degraded: %+v", i, sel.Shards)
+		}
+		if len(sel.Users) == 0 || sel.Score <= 0 {
+			t.Fatalf("post-kill select %d empty: %d users score %v", i, len(sel.Users), sel.Score)
+		}
+		deadSeen := false
+		for _, sh := range sel.Shards {
+			if sh.URL == s1.URL && !sh.OK && sh.Error != "" {
+				deadSeen = true
+			}
+		}
+		if !deadSeen {
+			t.Fatalf("post-kill select %d does not attribute the dead shard: %+v", i, sel.Shards)
+		}
+	}
+	<-killed
+	t.Logf("chaos coordinator: %d complete, %d degraded under faults; %d injector requests (%d error, %d reset, %d truncate)",
+		complete, degraded, counts.Requests, counts.Error, counts.Reset, counts.Truncate)
+
+	// Phase 3: total loss is the one case that errors.
+	s0.Close()
+	if _, err := c.Select(client.SelectRequest{Budget: 4}); err == nil {
+		t.Fatal("select succeeded with every shard down")
 	}
 }

@@ -90,6 +90,23 @@ type Config struct {
 	// sequentially; the output is identical either way (properties are
 	// independent and assembly order is fixed).
 	Parallelism int
+	// FixedBuckets pins β(p) for the listed properties instead of re-deriving
+	// cuts from the score distribution. Two callers rely on this: a mutable
+	// server restart rebuilds its index from the boundaries the live index
+	// actually used (persisted alongside the repository log), and the shard
+	// partitioner buckets every shard with the global partition so shard
+	// groups mirror global groups. Properties absent from the map fall back
+	// to Method as usual.
+	FixedBuckets map[profile.PropertyID][]bucketing.Bucket
+}
+
+// bucketsFor resolves β(p): the pinned partition when one is fixed for p,
+// otherwise a fresh split of the property's score distribution.
+func (c Config) bucketsFor(p profile.PropertyID, scores []float64) []bucketing.Bucket {
+	if bs, ok := c.FixedBuckets[p]; ok {
+		return bs
+	}
+	return bucketing.Split(scores, c.K, c.Method)
 }
 
 func (c Config) withDefaults() Config {
@@ -308,6 +325,24 @@ func (ix *Index) GroupsOfProperty(p profile.PropertyID) []GroupID {
 // including buckets whose group was empty or dropped.
 func (ix *Index) Buckets(p profile.PropertyID) []bucketing.Bucket {
 	return ix.buckets[p]
+}
+
+// NumBucketedProperties returns how many properties have a partition β(p).
+// The count only ever grows (BucketProperty rejects re-bucketing), so the
+// mutable server uses it to detect batches that derived new boundaries.
+func (ix *Index) NumBucketedProperties() int { return len(ix.buckets) }
+
+// BucketBoundaries returns a copy of every property's partition β(p) — the
+// exact boundaries this index assigns scores with, whether they came from
+// Build's splitting method, Config.FixedBuckets, or incremental
+// BucketProperty calls. Persisting them and rebuilding with FixedBuckets
+// reproduces this index's group memberships from the same repository state.
+func (ix *Index) BucketBoundaries() map[profile.PropertyID][]bucketing.Bucket {
+	out := make(map[profile.PropertyID][]bucketing.Bucket, len(ix.buckets))
+	for p, bs := range ix.buckets {
+		out[p] = append([]bucketing.Bucket(nil), bs...)
+	}
+	return out
 }
 
 // Repo returns the underlying repository.

@@ -22,7 +22,7 @@ func bucketizeProperty(repo *profile.Repository, cfg Config, p profile.PropertyI
 	if len(users) == 0 {
 		return nil
 	}
-	bs := bucketing.Split(scores, cfg.K, cfg.Method)
+	bs := cfg.bucketsFor(p, scores)
 	members := make([][]profile.UserID, len(bs))
 	for i, u := range users {
 		if b := bucketing.Assign(bs, scores[i]); b >= 0 {
@@ -98,7 +98,7 @@ func partitionAll(links *propLinks, cfg Config) []*propPartition {
 			return
 		}
 		scores := links.scores[a:b]
-		bs := bucketing.Split(scores, cfg.K, cfg.Method)
+		bs := cfg.bucketsFor(profile.PropertyID(pid), scores)
 		part := &propPartition{
 			buckets: bs,
 			asg:     make([]int32, len(scores)),

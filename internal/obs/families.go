@@ -95,14 +95,18 @@ func (m *ServerMetrics) RouteLatency(route string) *Histogram {
 type SelectCacheMetrics struct {
 	Hits   *Counter // podium_select_cache_requests_total{result="hit"}
 	Misses *Counter // {result="miss"}
-	Bypass *Counter // {result="bypass"} — cache disabled, traced, or over cap
+	Bypass *Counter // {result="bypass"} — cache disabled or traced request
 	// Sync outcomes on cache misses: the selector state was delta-repaired or
 	// fully recomputed.
 	Repaired      *Counter // podium_select_syncs_total{mode="repaired"}
 	Recomputed    *Counter // {mode="recomputed"}
 	RepairedUsers *Counter // podium_select_repaired_rows_total
-	Entries       *Gauge   // podium_select_cache_entries
-	Watermark     *Gauge   // podium_select_cache_watermark
+	// LRU evictions by what was evicted: a pre-marshaled response entry or a
+	// delta-repaired selector state.
+	EntryEvictions *Counter // podium_select_cache_evictions{kind="entry"}
+	StateEvictions *Counter // {kind="state"}
+	Entries        *Gauge   // podium_select_cache_entries
+	Watermark      *Gauge   // podium_select_cache_watermark
 }
 
 // NewSelectCacheMetrics registers the select-cache families on reg.
@@ -126,10 +130,50 @@ func NewSelectCacheMetrics(reg *Registry) *SelectCacheMetrics {
 		Recomputed: mode("recomputed"),
 		RepairedUsers: reg.Counter("podium_select_repaired_rows_total",
 			"Base-marginal rows re-summed by delta repair."),
+		EntryEvictions: reg.Counter("podium_select_cache_evictions",
+			"Select-cache LRU evictions, by kind.", L("kind", "entry")),
+		StateEvictions: reg.Counter("podium_select_cache_evictions",
+			"Select-cache LRU evictions, by kind.", L("kind", "state")),
 		Entries: reg.Gauge("podium_select_cache_entries",
 			"Cached select responses currently held."),
 		Watermark: reg.Gauge("podium_select_cache_watermark",
 			"Sequence number of the last selection-relevant mutation batch."),
+	}
+}
+
+// ShardMetrics instruments the distributed coordinator: fan-out RPCs to
+// shard servers, merged selections and their degraded subset, and the
+// live-shard gauge the health endpoint keeps current.
+type ShardMetrics struct {
+	Selects    *Counter   // podium_shard_selects_total{outcome="ok"}
+	Degraded   *Counter   // {outcome="degraded"} — ≥1 shard missing from the merge
+	Fanouts    *Counter   // podium_shard_requests_total{outcome="ok"} per-shard RPCs
+	FanoutErrs *Counter   // {outcome="error"}
+	Latency    *Histogram // podium_shard_fanout_seconds — slowest shard per fan-out
+	Shards     *Gauge     // podium_shard_count — configured shard servers
+	Live       *Gauge     // podium_shard_live — shards answering the last fan-out
+}
+
+// NewShardMetrics registers the coordinator families on reg.
+func NewShardMetrics(reg *Registry) *ShardMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &ShardMetrics{
+		Selects: reg.Counter("podium_shard_selects_total",
+			"Coordinator merge selections, by outcome.", L("outcome", "ok")),
+		Degraded: reg.Counter("podium_shard_selects_total",
+			"Coordinator merge selections, by outcome.", L("outcome", "degraded")),
+		Fanouts: reg.Counter("podium_shard_requests_total",
+			"Per-shard fan-out RPCs, by outcome.", L("outcome", "ok")),
+		FanoutErrs: reg.Counter("podium_shard_requests_total",
+			"Per-shard fan-out RPCs, by outcome.", L("outcome", "error")),
+		Latency: reg.Histogram("podium_shard_fanout_seconds",
+			"Fan-out wall time (slowest surviving shard).", DefLatencyBuckets),
+		Shards: reg.Gauge("podium_shard_count",
+			"Shard servers the coordinator is configured with."),
+		Live: reg.Gauge("podium_shard_live",
+			"Shards that answered the most recent fan-out."),
 	}
 }
 

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"podium/internal/core"
+	"podium/internal/groups"
+)
+
+// Hooks for the shard coordinator (internal/shard). The coordinator fronts a
+// Server and must speak byte-compatible request and response surfaces —
+// same scheme strings, same error envelope, same selection JSON — so the
+// pieces of that surface it reuses are re-exported here rather than
+// duplicated there. (The dependency points this way by necessity: client
+// imports server, so server can never import the coordinator's package.)
+
+// ParseWeights parses a request weight-scheme string ("", "iden", "lbs",
+// "ebs", case-insensitive; empty selects LBS).
+func ParseWeights(s string) (groups.WeightScheme, error) { return parseWeights(s) }
+
+// ParseCoverage parses a request coverage-scheme string ("", "single",
+// "prop"; empty selects Single).
+func ParseCoverage(s string) (groups.CoverageScheme, error) { return parseCoverage(s) }
+
+// Exported error codes of the unified envelope, for out-of-package handlers.
+const (
+	CodeInvalidArgument  = codeInvalidArgument
+	CodeMethodNotAllowed = codeMethodNotAllowed
+	CodeUnavailable      = codeUnavailable
+	CodeInternal         = codeInternal
+)
+
+// WriteJSON writes v as the standard JSON response (honoring ?pretty=1).
+func WriteJSON(w http.ResponseWriter, r *http.Request, status int, v interface{}) {
+	writeJSON(w, r, status, v)
+}
+
+// WriteError writes the unified error envelope.
+func WriteError(w http.ResponseWriter, r *http.Request, status int, code, format string, args ...interface{}) {
+	writeError(w, r, status, code, format, args...)
+}
+
+// RenderSelection marshals the standard select-response JSON for an
+// externally computed selection result — the coordinator's merge round,
+// whose greedy ran through core directly rather than through handleSelect.
+// extra fields are spliced into the top-level object (shard epochs, the
+// degraded flag); a key colliding with a standard field overrides it.
+func (sn *Snapshot) RenderSelection(ws groups.WeightScheme, cs groups.CoverageScheme, budget, topK int, res *core.Result, extra map[string]interface{}) ([]byte, error) {
+	inst := sn.Instance(ws, cs, budget)
+	resp := buildSelectResponse(inst, res, nil, topK)
+	data, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(extra) == 0 {
+		return data, nil
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return json.Marshal(m)
+}

@@ -54,6 +54,13 @@ func (o HardenOptions) withDefaults() HardenOptions {
 // which is re-panicked so net/http aborts the connection as intended (the
 // writeJSON short-write path and fault injection rely on that).
 func (s *Server) Hardened(opts HardenOptions) http.Handler {
+	return HardenedHandler(s, opts)
+}
+
+// HardenedHandler applies the same hardening to an arbitrary inner handler —
+// the shard coordinator fronts a Server without being one, and its fan-out
+// endpoints deserve the identical panic/body/deadline envelope.
+func HardenedHandler(inner http.Handler, opts HardenOptions) http.Handler {
 	opts = opts.withDefaults()
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		hw := &hardenedWriter{ResponseWriter: w}
@@ -80,7 +87,7 @@ func (s *Server) Hardened(opts HardenOptions) http.Handler {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
-		s.ServeHTTP(hw, r)
+		inner.ServeHTTP(hw, r)
 	})
 }
 

@@ -2,14 +2,18 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"podium/internal/codec"
 	"podium/internal/groups"
 	"podium/internal/profile"
 	"podium/internal/repolog"
@@ -70,6 +74,16 @@ type MutableOptions struct {
 	// RetryAfter is the backoff advertised on shed requests (default 1s;
 	// rounded up to whole seconds for the Retry-After header).
 	RetryAfter time.Duration
+	// BucketImage is the path of the bucket-boundary sidecar: a format-v2
+	// image section holding every β(p) the live index assigns scores with.
+	// On open, an existing sidecar pins the rebuilt index's partitions to
+	// the boundaries the previous process used (restart determinism: a
+	// rebuild that re-ran KMeans over the final score distribution could
+	// derive different cuts — and different selections — than the live
+	// incrementally-bucketed index that wrote the log). The writer refreshes
+	// the sidecar whenever a batch buckets a new property. Empty selects
+	// logPath + ".buckets"; "-" disables persistence.
+	BucketImage string
 }
 
 // NewMutable builds a server over the repository log at path, creating it if
@@ -94,6 +108,24 @@ func NewMutableOpts(name, logPath string, cfg groups.Config, configs []NamedConf
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = time.Second
 	}
+	if opts.BucketImage == "" {
+		opts.BucketImage = logPath + ".buckets"
+	}
+	if opts.BucketImage != "-" {
+		switch persisted, err := codec.ReadBucketsFile(opts.BucketImage); {
+		case err == nil:
+			// Pin the rebuilt index to the boundaries the live index used.
+			// The replayed catalog interns labels in log order, so the
+			// persisted PropertyIDs address the same properties.
+			cfg.FixedBuckets = persisted
+		case errors.Is(err, os.ErrNotExist):
+			// First boot (or a pre-sidecar log): Build derives cuts below and
+			// the sidecar is written for every restart after this one.
+		default:
+			l.Close()
+			return nil, fmt.Errorf("server: bucket sidecar %s: %w", opts.BucketImage, err)
+		}
+	}
 	ms := &MutableServer{
 		Server: New(name, l.Repository(), cfg, configs),
 		log:    l,
@@ -103,6 +135,7 @@ func NewMutableOpts(name, logPath string, cfg groups.Config, configs []NamedConf
 		quit:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	ms.persistBuckets(ms.Snapshot().Index())
 	post := func(h http.HandlerFunc) map[string]http.HandlerFunc {
 		return map[string]http.HandlerFunc{http.MethodPost: h}
 	}
@@ -110,6 +143,19 @@ func NewMutableOpts(name, logPath string, cfg groups.Config, configs []NamedConf
 	ms.addRoute("scores", "/api/v1/scores", "/api/scores", post(ms.handleSetScore), nil)
 	go ms.applyLoop()
 	return ms, nil
+}
+
+// persistBuckets refreshes the bucket-boundary sidecar from ix. Called at
+// startup and from the single writer after a batch that bucketed a new
+// property, so it never races itself. A write failure is logged, not fatal:
+// the log stays durable and the next boundary change retries.
+func (ms *MutableServer) persistBuckets(ix *groups.Index) {
+	if ms.opts.BucketImage == "-" {
+		return
+	}
+	if err := codec.WriteBucketsFile(ms.opts.BucketImage, ix.BucketBoundaries()); err != nil {
+		log.Printf("server: persisting bucket boundaries: %v", err)
+	}
 }
 
 // Close stops the apply loop (after it drains queued mutations), then flushes
@@ -257,6 +303,7 @@ func (ms *MutableServer) applyBatch(batch []*pendingMut) {
 	cur := ms.Snapshot()
 	repo := cur.Repo().Clone()
 	ix := cur.Index().Clone(repo)
+	bucketed := ix.NumBucketedProperties()
 	ms.met.BatchSize.Observe(float64(len(batch)))
 	ms.met.QueueDepth.Set(int64(len(ms.mutCh)))
 	replies := make([]mutReply, len(batch))
@@ -281,6 +328,11 @@ func (ms *MutableServer) applyBatch(batch []*pendingMut) {
 	// batches), which newSnapshot stamps into the epoch below.
 	ms.selCache.applyDelta(ix.TakeDelta())
 	ms.publish(newSnapshot(cur.Epoch()+1, repo, ix))
+	if ix.NumBucketedProperties() > bucketed {
+		// The batch derived boundaries for a first-sight property; a restart
+		// must reuse them, not re-derive from whatever scores accumulate.
+		ms.persistBuckets(ix)
+	}
 	ms.batches.Add(1)
 	ms.mutations.Add(uint64(len(batch)))
 	for i, m := range batch {

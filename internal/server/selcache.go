@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -53,7 +54,8 @@ type selectCache struct {
 	// batch. Written by the single writer, read lock-free per request.
 	seq atomic.Uint64
 
-	// mu guards the watermark arrays, the entry and state maps.
+	// mu guards the watermark arrays, the entry and state maps, and their
+	// recency lists.
 	mu sync.Mutex
 	// userSeq[u] / groupSeq[g] is the last watermark that touched u / g;
 	// reshapeSeq the last that reshaped the group structure.
@@ -62,22 +64,27 @@ type selectCache struct {
 	reshapeSeq uint64
 	entries    map[selCacheKey]*selCacheEntry
 	states     map[instKey]*selState
+	// entryLRU / stateLRU order the map keys most- to least-recently used;
+	// element values are the map keys so eviction can delete by key.
+	entryLRU list.List
+	stateLRU list.List
 
 	// Aggregate stats for the steady bench (atomics: read concurrently).
 	hits, misses, bypass              atomic.Uint64
+	entryEvicts, stateEvicts          atomic.Uint64
 	repairs, recomputes, repairedRows atomic.Uint64
 	repairNs, recomputeNs, selectNs   atomic.Uint64
 }
 
-// maxSelCacheEntries bounds the response map; selects beyond the cap compute
-// uncached (bypass) rather than evict — the working set of distinct select
-// shapes is tiny in practice, and an unbounded map keyed partly on client
-// feedback would be a memory-growth vector.
-const maxSelCacheEntries = 1024
+// maxSelCacheEntries bounds the response map. The map is keyed partly on
+// client-supplied feedback, so without a bound it is a memory-growth vector;
+// at capacity the least-recently-used entry is evicted (vars, not consts, so
+// tests can shrink the caps).
+var maxSelCacheEntries = 1024
 
 // maxSelCacheStates bounds the per-(ws,cs,budget) selector states, which hold
-// O(n) base arrays each.
-const maxSelCacheStates = 64
+// O(n) base arrays each — the expensive side of the cache.
+var maxSelCacheStates = 64
 
 // selCacheKey identifies one cached response: the selection parameters, the
 // response shape (pretty and compact responses are distinct pre-marshaled
@@ -93,6 +100,8 @@ type selCacheKey struct {
 }
 
 type selCacheEntry struct {
+	elem *list.Element // position in entryLRU; guarded by selectCache.mu
+
 	mu    sync.Mutex
 	valid bool
 	seq   uint64 // watermark the response was computed at
@@ -103,6 +112,8 @@ type selCacheEntry struct {
 // selState pairs a delta-repaired selector state with the watermark and
 // instance it is synced to.
 type selState struct {
+	elem *list.Element // position in stateLRU; guarded by selectCache.mu
+
 	mu   sync.Mutex
 	seq  uint64
 	inst *groups.Instance
@@ -186,33 +197,50 @@ func (c *selectCache) GroupWatermark(g groups.GroupID) uint64 {
 	return 0
 }
 
-// entry returns the cached-response slot for k, or nil when the map is at
-// capacity and k is new (the caller computes uncached).
+// entry returns the cached-response slot for k, evicting the least-recently-
+// used entry when the map is at capacity. Eviction only unlinks the victim
+// from the map: a request mid-single-flight on it still holds the pointer and
+// completes against the detached entry, which the GC then collects.
 func (c *selectCache) entry(k selCacheKey) *selCacheEntry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.entries[k]; ok {
+		c.entryLRU.MoveToFront(e.elem)
 		return e
 	}
-	if len(c.entries) >= maxSelCacheEntries {
-		return nil
+	for len(c.entries) >= maxSelCacheEntries {
+		back := c.entryLRU.Back()
+		delete(c.entries, back.Value.(selCacheKey))
+		c.entryLRU.Remove(back)
+		c.entryEvicts.Add(1)
+		c.met.EntryEvictions.Inc()
 	}
 	e := &selCacheEntry{}
+	e.elem = c.entryLRU.PushFront(k)
 	c.entries[k] = e
 	c.met.Entries.Set(int64(len(c.entries)))
 	return e
 }
 
+// state returns the selector-state slot for k with the same LRU policy. An
+// evicted state's O(n) base arrays stay reachable only from any in-flight
+// compute still holding it.
 func (c *selectCache) state(k instKey) *selState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if st, ok := c.states[k]; ok {
+		c.stateLRU.MoveToFront(st.elem)
 		return st
 	}
-	if len(c.states) >= maxSelCacheStates {
-		return nil
+	for len(c.states) >= maxSelCacheStates {
+		back := c.stateLRU.Back()
+		delete(c.states, back.Value.(instKey))
+		c.stateLRU.Remove(back)
+		c.stateEvicts.Add(1)
+		c.met.StateEvictions.Inc()
 	}
 	st := &selState{st: core.NewSelectorState()}
+	st.elem = c.stateLRU.PushFront(k)
 	c.states[k] = st
 	return st
 }
@@ -224,16 +252,6 @@ func (c *selectCache) state(k instKey) *selState {
 func (c *selectCache) respond(sn *Snapshot, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, []byte, error) {
 	target := sn.ChangeSeq()
 	e := c.entry(k)
-	if e == nil {
-		c.bypass.Add(1)
-		c.met.Bypass.Inc()
-		resp, err := c.compute(sn, k, fb, opt)
-		if err != nil {
-			return resp, nil, err
-		}
-		data, err := marshalSelect(resp, k.pretty)
-		return resp, data, err
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.valid && e.seq >= target {
@@ -262,11 +280,6 @@ func (c *selectCache) respond(sn *Snapshot, k selCacheKey, fb *core.Feedback, op
 func (c *selectCache) compute(sn *Snapshot, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, error) {
 	target := sn.ChangeSeq()
 	st := c.state(instKey{k.ws, k.cs, k.budget})
-	if st == nil {
-		// State table at capacity: fresh compute, no persistent repair state.
-		inst := sn.Instance(k.ws, k.cs, k.budget)
-		return c.buildResponse(inst, k, fb, opt)
-	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.inst == nil || st.seq < target {
@@ -359,12 +372,13 @@ func feedbackCacheKey(f FeedbackJSON) string {
 // SelectCacheStats is a point-in-time read of the cache counters, consumed by
 // the steady-state bench suite.
 type SelectCacheStats struct {
-	Hits, Misses, Bypass  uint64
-	Repairs, Recomputes   uint64
-	RepairedRows          uint64
-	RepairNs, RecomputeNs uint64
-	SelectNs              uint64
-	Entries               int
+	Hits, Misses, Bypass        uint64
+	EntryEvictions, StateEvicts uint64
+	Repairs, Recomputes         uint64
+	RepairedRows                uint64
+	RepairNs, RecomputeNs       uint64
+	SelectNs                    uint64
+	Entries                     int
 }
 
 // SelectCacheStats returns the select cache's counters.
@@ -374,16 +388,18 @@ func (s *Server) SelectCacheStats() SelectCacheStats {
 	entries := len(c.entries)
 	c.mu.Unlock()
 	return SelectCacheStats{
-		Hits:         c.hits.Load(),
-		Misses:       c.misses.Load(),
-		Bypass:       c.bypass.Load(),
-		Repairs:      c.repairs.Load(),
-		Recomputes:   c.recomputes.Load(),
-		RepairedRows: c.repairedRows.Load(),
-		RepairNs:     c.repairNs.Load(),
-		RecomputeNs:  c.recomputeNs.Load(),
-		SelectNs:     c.selectNs.Load(),
-		Entries:      entries,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Bypass:         c.bypass.Load(),
+		EntryEvictions: c.entryEvicts.Load(),
+		StateEvicts:    c.stateEvicts.Load(),
+		Repairs:        c.repairs.Load(),
+		Recomputes:     c.recomputes.Load(),
+		RepairedRows:   c.repairedRows.Load(),
+		RepairNs:       c.repairNs.Load(),
+		RecomputeNs:    c.recomputeNs.Load(),
+		SelectNs:       c.selectNs.Load(),
+		Entries:        entries,
 	}
 }
 

@@ -1,0 +1,466 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"podium/internal/client"
+	"podium/internal/core"
+	"podium/internal/obs"
+	"podium/internal/profile"
+	"podium/internal/server"
+)
+
+// Coordinator is the distributed front of the sharded subsystem: an
+// http.Handler that owns the *global* dataset (for the merge round and every
+// read endpoint) and a resilient client per shard server. It intercepts
+// selection and campaign requests, fans them out, and merges; everything
+// else falls through to the wrapped server, so a coordinator answers the
+// full /api/v1 surface a single-node server does.
+//
+// Failure semantics: a shard that errors through its retry/breaker budget is
+// simply absent from the merge — its winners are not candidates, coverage
+// degrades, and the response says so (degraded: true, per-shard reports) but
+// is never an error. Only the total loss of every shard turns into a 503.
+type Coordinator struct {
+	base   *server.Server
+	shards []*remoteShard
+	met    *obs.ShardMetrics
+
+	// poll is the campaign wait-poll interval (shortened in tests).
+	poll time.Duration
+
+	// nameID lazily maps global user names → IDs: shard winners come back
+	// as names (IDs are shard-local rows) and the merge needs global IDs.
+	nameOnce sync.Once
+	nameID   map[string]profile.UserID
+}
+
+// remoteShard pairs a shard server's URL with its resilient client.
+type remoteShard struct {
+	url string
+	c   *client.Client
+}
+
+// CoordinatorOptions configures the fan-out clients.
+type CoordinatorOptions struct {
+	// HTTPClient is the transport shared by the shard clients (nil selects
+	// http.DefaultClient).
+	HTTPClient *http.Client
+	// Resilience tunes each shard client's retry policy and circuit
+	// breaker. The zero value selects the client package defaults
+	// (4 attempts, exponential backoff, no breaker).
+	Resilience client.ResilienceOptions
+	// Poll is the campaign wait-poll interval (default 100ms).
+	Poll time.Duration
+}
+
+// NewCoordinator wraps base with a fan-out layer over the given shard
+// server URLs. Shard metrics register on base's registry, so they surface
+// through the wrapped server's /api/v1/metrics endpoint.
+func NewCoordinator(base *server.Server, shardURLs []string, opt CoordinatorOptions) *Coordinator {
+	co := &Coordinator{
+		base: base,
+		met:  obs.NewShardMetrics(base.Metrics()),
+		poll: opt.Poll,
+	}
+	if co.poll <= 0 {
+		co.poll = 100 * time.Millisecond
+	}
+	for _, u := range shardURLs {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			continue
+		}
+		co.shards = append(co.shards, &remoteShard{
+			url: u,
+			c:   client.NewResilient(u, opt.HTTPClient, opt.Resilience),
+		})
+	}
+	co.met.Shards.Set(int64(len(co.shards)))
+	return co
+}
+
+// ServeHTTP intercepts the fan-out routes (v1 and legacy aliases alike) and
+// delegates everything else to the wrapped single-node server.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/api/v1/select", "/api/select":
+		if r.Method != http.MethodPost {
+			server.WriteError(w, r, http.StatusMethodNotAllowed, server.CodeMethodNotAllowed, "%s requires POST", r.URL.Path)
+			return
+		}
+		co.handleSelect(w, r)
+	case "/api/v1/shards":
+		if r.Method != http.MethodGet {
+			server.WriteError(w, r, http.StatusMethodNotAllowed, server.CodeMethodNotAllowed, "%s requires GET", r.URL.Path)
+			return
+		}
+		co.handleShards(w, r)
+	case "/api/v1/campaigns", "/api/campaigns":
+		// Campaign creation fans out; listing stays with the base server.
+		if r.Method != http.MethodPost {
+			co.base.ServeHTTP(w, r)
+			return
+		}
+		co.handleCampaigns(w, r)
+	default:
+		co.base.ServeHTTP(w, r)
+	}
+}
+
+// coordSelectRequest is the subset of the select surface a coordinator
+// accepts: the base selection parameters. Feedback and named configurations
+// are rejected — feedback carries group IDs, which are shard-local.
+type coordSelectRequest struct {
+	Budget      int             `json:"budget"`
+	Weights     string          `json:"weights"`
+	Coverage    string          `json:"coverage"`
+	Feedback    json.RawMessage `json:"feedback"`
+	Config      string          `json:"config,omitempty"`
+	TopK        int             `json:"top_k,omitempty"`
+	Parallelism int             `json:"parallelism,omitempty"`
+}
+
+// shardOutcome is one shard's round-1 result.
+type shardOutcome struct {
+	report  client.ShardReport
+	winners []string // winner names in pick order
+}
+
+func (co *Coordinator) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req coordSelectRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "decoding request: %v", err)
+		return
+	}
+	if len(req.Feedback) > 0 && string(req.Feedback) != "null" && string(req.Feedback) != "{}" {
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument,
+			"feedback is not supported on a coordinator: group ids are shard-local")
+		return
+	}
+	if req.Config != "" {
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument,
+			"named configurations are not supported on a coordinator")
+		return
+	}
+	if req.Budget <= 0 {
+		req.Budget = 8
+	}
+	if req.TopK <= 0 {
+		req.TopK = 200
+	}
+	ws, err := server.ParseWeights(req.Weights)
+	if err != nil {
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "%v", err)
+		return
+	}
+	cs, err := server.ParseCoverage(req.Coverage)
+	if err != nil {
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "%v", err)
+		return
+	}
+
+	sp := obs.StartSpan("coordinator.select")
+	fsp := sp.StartChild("fanout")
+	start := time.Now()
+	outcomes := co.fanoutSelect(client.SelectRequest{
+		Budget:   req.Budget,
+		Weights:  req.Weights,
+		Coverage: req.Coverage,
+		TopK:     1, // shard-side explanation stats are discarded; keep them cheap
+	})
+	co.met.Latency.Observe(time.Since(start).Seconds())
+	fsp.End()
+
+	var candidates []profile.UserID
+	var reports []client.ShardReport
+	live, degraded := 0, false
+	for _, o := range outcomes {
+		reports = append(reports, o.report)
+		if !o.report.OK {
+			degraded = true
+			continue
+		}
+		live++
+		for _, name := range o.winners {
+			if id, ok := co.lookupUser(name); ok {
+				candidates = append(candidates, id)
+			}
+		}
+	}
+	co.met.Live.Set(int64(live))
+	if live == 0 {
+		server.WriteError(w, r, http.StatusServiceUnavailable, server.CodeUnavailable,
+			"all %d shards failed", len(co.shards))
+		return
+	}
+	if degraded {
+		co.met.Degraded.Inc()
+	} else {
+		co.met.Selects.Inc()
+	}
+
+	msp := sp.StartChild("merge")
+	sn := co.base.Snapshot()
+	inst := sn.Instance(ws, cs, req.Budget)
+	res, err := core.MergeGreedy(inst, candidates, req.Budget, core.Options{Parallelism: req.Parallelism})
+	msp.End()
+	if err != nil {
+		server.WriteError(w, r, http.StatusInternalServerError, server.CodeInternal, "merge: %v", err)
+		return
+	}
+	sp.End()
+
+	extra := map[string]interface{}{
+		"degraded": degraded,
+		"shards":   reports,
+	}
+	if r.URL.Query().Get("trace") == "1" || r.Header.Get("X-Podium-Trace") == "1" {
+		extra["trace"] = sp.JSON()
+	}
+	data, err := sn.RenderSelection(ws, cs, req.Budget, req.TopK, res, extra)
+	if err != nil {
+		server.WriteError(w, r, http.StatusInternalServerError, server.CodeInternal, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// fanoutSelect runs round 1 on every shard concurrently: a status probe for
+// the epoch, then the shard-local selection. A shard that fails either call
+// (through its client's retry and breaker budget) comes back not-OK.
+func (co *Coordinator) fanoutSelect(req client.SelectRequest) []shardOutcome {
+	outcomes := make([]shardOutcome, len(co.shards))
+	var wg sync.WaitGroup
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *remoteShard) {
+			defer wg.Done()
+			out := shardOutcome{report: client.ShardReport{URL: sh.url}}
+			defer func() { outcomes[i] = out }()
+			st, err := sh.c.Status()
+			if err != nil {
+				out.report.Error = err.Error()
+				co.met.FanoutErrs.Inc()
+				return
+			}
+			out.report.Epoch = st.Epoch
+			sel, err := sh.c.Select(req)
+			if err != nil {
+				out.report.Error = err.Error()
+				co.met.FanoutErrs.Inc()
+				return
+			}
+			out.report.OK = true
+			out.report.Winners = len(sel.Users)
+			for _, u := range sel.Users {
+				out.winners = append(out.winners, u.Name)
+			}
+			co.met.Fanouts.Inc()
+		}(i, sh)
+	}
+	wg.Wait()
+	return outcomes
+}
+
+// lookupUser resolves a global user name to its ID, building the name table
+// on first use. Unknown names (a shard serving data the coordinator has
+// never seen) are dropped from the merge rather than failing it.
+func (co *Coordinator) lookupUser(name string) (profile.UserID, bool) {
+	co.nameOnce.Do(func() {
+		repo := co.base.Repository()
+		co.nameID = make(map[string]profile.UserID, repo.NumUsers())
+		for u := 0; u < repo.NumUsers(); u++ {
+			co.nameID[repo.UserName(profile.UserID(u))] = profile.UserID(u)
+		}
+	})
+	id, ok := co.nameID[name]
+	return id, ok
+}
+
+// handleShards reports each shard's health and snapshot epoch.
+func (co *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
+	type shardHealth struct {
+		URL    string `json:"url"`
+		OK     bool   `json:"ok"`
+		Users  int    `json:"users"`
+		Groups int    `json:"groups"`
+		Epoch  uint64 `json:"epoch"`
+		Error  string `json:"error,omitempty"`
+	}
+	out := make([]shardHealth, len(co.shards))
+	var wg sync.WaitGroup
+	live := 0
+	var mu sync.Mutex
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *remoteShard) {
+			defer wg.Done()
+			h := shardHealth{URL: sh.url}
+			if st, err := sh.c.Status(); err != nil {
+				h.Error = err.Error()
+			} else {
+				h.OK, h.Users, h.Groups, h.Epoch = true, st.Users, st.Groups, st.Epoch
+				mu.Lock()
+				live++
+				mu.Unlock()
+			}
+			out[i] = h
+		}(i, sh)
+	}
+	wg.Wait()
+	co.met.Live.Set(int64(live))
+	server.WriteJSON(w, r, http.StatusOK, out)
+}
+
+// coordCampaignJSON is the aggregated response of a fanned-out campaign.
+type coordCampaignJSON struct {
+	Degraded bool               `json:"degraded"`
+	Budget   int                `json:"budget"`
+	Accepted int                `json:"accepted"`
+	Declined int                `json:"declined"`
+	Dead     int                `json:"dead"`
+	Shards   []coordCampaignRow `json:"shards"`
+}
+
+type coordCampaignRow struct {
+	URL      string  `json:"url"`
+	ID       int     `json:"id"`
+	State    string  `json:"state"`
+	Budget   int     `json:"budget"`
+	Accepted int     `json:"accepted"`
+	Declined int     `json:"declined"`
+	Dead     int     `json:"dead"`
+	Coverage float64 `json:"coverage"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// handleCampaigns fans one solicitation campaign out to every shard,
+// splitting the budget proportionally to shard populations, and waits for
+// the per-shard campaigns to reach a terminal state. A shard that fails is
+// reported and skipped — the aggregate is degraded, never an error, unless
+// no shard accepted the wave at all.
+func (co *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	var req client.CampaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "decoding request: %v", err)
+		return
+	}
+	if req.Budget <= 0 {
+		req.Budget = 8
+	}
+
+	// Budget split: proportional to shard population, each live shard
+	// getting at least 1. Populations come from the same status probe that
+	// health-checks the shard.
+	type probe struct {
+		users int
+		err   error
+	}
+	probes := make([]probe, len(co.shards))
+	var wg sync.WaitGroup
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *remoteShard) {
+			defer wg.Done()
+			st, err := sh.c.Status()
+			probes[i] = probe{users: st.Users, err: err}
+		}(i, sh)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range probes {
+		if p.err == nil {
+			total += p.users
+		}
+	}
+	if total == 0 {
+		server.WriteError(w, r, http.StatusServiceUnavailable, server.CodeUnavailable,
+			"no shard is reachable or populated")
+		return
+	}
+
+	rows := make([]coordCampaignRow, len(co.shards))
+	for i, sh := range co.shards {
+		wg.Add(1)
+		go func(i int, sh *remoteShard) {
+			defer wg.Done()
+			row := coordCampaignRow{URL: sh.url}
+			defer func() { rows[i] = row }()
+			if probes[i].err != nil {
+				row.Error = probes[i].err.Error()
+				co.met.FanoutErrs.Inc()
+				return
+			}
+			sub := req
+			sub.Budget = req.Budget * probes[i].users / total
+			if sub.Budget < 1 {
+				sub.Budget = 1
+			}
+			row.Budget = sub.Budget
+			c, err := sh.c.CreateCampaign(r.Context(), sub)
+			if err != nil {
+				row.Error = err.Error()
+				co.met.FanoutErrs.Inc()
+				return
+			}
+			row.ID = c.ID
+			if !c.Terminal() {
+				c, err = sh.c.WaitCampaign(r.Context(), c.ID, co.poll)
+				if err != nil {
+					row.State, row.Error = "running", err.Error()
+					co.met.FanoutErrs.Inc()
+					return
+				}
+			}
+			row.State = c.State
+			row.Accepted = len(c.Accepted)
+			row.Declined = len(c.Declined)
+			row.Dead = len(c.Dead)
+			row.Coverage = c.Coverage
+			co.met.Fanouts.Inc()
+		}(i, sh)
+	}
+	wg.Wait()
+
+	agg := coordCampaignJSON{Budget: req.Budget, Shards: rows}
+	for _, row := range rows {
+		if row.Error != "" {
+			agg.Degraded = true
+			continue
+		}
+		agg.Accepted += row.Accepted
+		agg.Declined += row.Declined
+		agg.Dead += row.Dead
+	}
+	server.WriteJSON(w, r, http.StatusOK, agg)
+}
+
+// ShardURLs returns the configured shard servers, for logs and tests.
+func (co *Coordinator) ShardURLs() []string {
+	urls := make([]string, len(co.shards))
+	for i, sh := range co.shards {
+		urls[i] = sh.url
+	}
+	sort.Strings(urls)
+	return urls
+}
+
+var _ http.Handler = (*Coordinator)(nil)
+
+// String identifies the coordinator in logs.
+func (co *Coordinator) String() string {
+	return fmt.Sprintf("coordinator over %d shards", len(co.shards))
+}

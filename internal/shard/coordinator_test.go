@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"podium/internal/client"
+	"podium/internal/core"
+	"podium/internal/groups"
+	"podium/internal/server"
+)
+
+// coordHarness is a coordinator over httptest-backed shard servers built
+// from one partitioned population.
+type coordHarness struct {
+	plan    *Plan
+	coord   *Coordinator
+	servers []*httptest.Server
+}
+
+func newCoordHarness(t *testing.T, users, shards int) *coordHarness {
+	t.Helper()
+	ix, gcfg := buildGlobal(t, users, 5)
+	plan, err := NewPlan(ix, gcfg, Options{Shards: shards, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &coordHarness{plan: plan}
+	urls := make([]string, len(plan.Shards))
+	// Shard servers pin the global bucket boundaries, like the CLI's shard
+	// mode: re-deriving cuts from a shard's local score distribution would
+	// misalign its groups with the coordinator's merge instance.
+	scfg := gcfg
+	scfg.FixedBuckets = ix.BucketBoundaries()
+	for i, sh := range plan.Shards {
+		srv := server.New("shard", sh.Repo, scfg, nil)
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		h.servers = append(h.servers, ts)
+		urls[i] = ts.URL
+	}
+	base := server.New("coordinator", ix.Repo(), gcfg, nil)
+	h.coord = NewCoordinator(base, urls, CoordinatorOptions{
+		Resilience: client.ResilienceOptions{
+			Retry: client.RetryOptions{MaxAttempts: 2, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond, Seed: 1},
+		},
+		Poll: 10 * time.Millisecond,
+	})
+	return h
+}
+
+func (h *coordHarness) client(t *testing.T) *client.Client {
+	t.Helper()
+	ts := httptest.NewServer(h.coord)
+	t.Cleanup(ts.Close)
+	return client.New(ts.URL, nil)
+}
+
+// TestCoordinatorMergesShardWinners: a fanned-out select equals the local
+// two-round plan bit for bit, reports every shard healthy with its epoch,
+// and the client's transparent Select decodes it.
+func TestCoordinatorMergesShardWinners(t *testing.T) {
+	h := newCoordHarness(t, 300, 3)
+	c := h.client(t)
+
+	sel, err := c.Select(client.SelectRequest{Budget: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Degraded {
+		t.Fatalf("healthy fan-out reported degraded: %+v", sel.Shards)
+	}
+	if len(sel.Shards) != 3 {
+		t.Fatalf("shard reports = %d, want 3", len(sel.Shards))
+	}
+	for _, sh := range sel.Shards {
+		if !sh.OK || sh.Winners == 0 {
+			t.Fatalf("shard report not healthy: %+v", sh)
+		}
+		// Immutable shard servers publish epoch 0; the field's presence is
+		// what matters here (mutable shards surface real epochs — see the
+		// chaos suite).
+	}
+
+	// The HTTP merge equals the local executor's two-round result.
+	local, err := h.plan.Select(groups.WeightLBS, groups.CoverSingle, 5, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Users) != len(local.Merged.Users) {
+		t.Fatalf("coordinator selected %d users, local plan %d", len(sel.Users), len(local.Merged.Users))
+	}
+	repo := h.plan.Global.Repo()
+	for i, u := range local.Merged.Users {
+		if sel.Users[i].Name != repo.UserName(u) {
+			t.Fatalf("pick %d: coordinator %q, local %q", i, sel.Users[i].Name, repo.UserName(u))
+		}
+	}
+	if sel.Score != local.Merged.Score {
+		t.Fatalf("coordinator score %v, local %v", sel.Score, local.Merged.Score)
+	}
+}
+
+// TestCoordinatorDegradedMerge: killing a shard mid-operation degrades the
+// response — fewer candidates, degraded flag, per-shard error — but stays a
+// successful selection over the survivors.
+func TestCoordinatorDegradedMerge(t *testing.T) {
+	h := newCoordHarness(t, 300, 3)
+	c := h.client(t)
+	h.servers[1].Close() // shard down before the wave
+
+	sel, err := c.Select(client.SelectRequest{Budget: 5})
+	if err != nil {
+		t.Fatalf("degraded select must succeed, got %v", err)
+	}
+	if !sel.Degraded {
+		t.Fatal("response not marked degraded with a shard down")
+	}
+	okShards, failed := 0, 0
+	for _, sh := range sel.Shards {
+		if sh.OK {
+			okShards++
+		} else {
+			failed++
+			if sh.Error == "" {
+				t.Fatalf("failed shard carries no error: %+v", sh)
+			}
+		}
+	}
+	if okShards != 2 || failed != 1 {
+		t.Fatalf("shard reports ok=%d failed=%d, want 2/1", okShards, failed)
+	}
+	if len(sel.Users) == 0 || sel.Score <= 0 {
+		t.Fatalf("degraded selection is empty: %d users score %v", len(sel.Users), sel.Score)
+	}
+}
+
+// TestCoordinatorAllShardsDown: total loss is the one case that errors.
+func TestCoordinatorAllShardsDown(t *testing.T) {
+	h := newCoordHarness(t, 120, 2)
+	c := h.client(t)
+	for _, ts := range h.servers {
+		ts.Close()
+	}
+	if _, err := c.Select(client.SelectRequest{Budget: 3}); err == nil {
+		t.Fatal("select succeeded with every shard down")
+	}
+}
+
+// TestCoordinatorRejectsShardLocalConcepts: feedback and named configs carry
+// shard-local group ids and must 400, not silently mis-merge.
+func TestCoordinatorRejectsShardLocalConcepts(t *testing.T) {
+	h := newCoordHarness(t, 120, 2)
+	c := h.client(t)
+	if _, err := c.Select(client.SelectRequest{
+		Budget:   3,
+		Feedback: server.FeedbackJSON{MustHave: []int{1}},
+	}); err == nil {
+		t.Fatal("feedback-carrying select accepted by coordinator")
+	}
+	if _, err := c.Select(client.SelectRequest{Budget: 3, Config: "paper"}); err == nil {
+		t.Fatal("named-config select accepted by coordinator")
+	}
+}
+
+// TestCoordinatorShardsEndpoint: the health endpoint reports per-shard
+// population and epochs, and the fall-through routes still serve.
+func TestCoordinatorShardsEndpoint(t *testing.T) {
+	h := newCoordHarness(t, 200, 2)
+	c := h.client(t)
+
+	var health []struct {
+		URL   string `json:"url"`
+		OK    bool   `json:"ok"`
+		Users int    `json:"users"`
+		Epoch uint64 `json:"epoch"`
+	}
+	ts := httptest.NewServer(h.coord)
+	t.Cleanup(ts.Close)
+	cl := client.New(ts.URL, nil)
+	_ = cl
+	if err := getJSON(t, ts.URL+"/api/v1/shards", &health); err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != 2 {
+		t.Fatalf("health rows = %d, want 2", len(health))
+	}
+	total := 0
+	for _, row := range health {
+		if !row.OK {
+			t.Fatalf("shard unhealthy: %+v", row)
+		}
+		total += row.Users
+	}
+	if total != 200 {
+		t.Fatalf("shard populations sum to %d, want 200", total)
+	}
+
+	// Fall-through: the coordinator still answers the base surface.
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 200 {
+		t.Fatalf("fall-through status users = %d", st.Users)
+	}
+}
+
+// TestCoordinatorCampaignFanout: a campaign wave fans to every shard with a
+// proportional budget split and aggregates terminal summaries.
+func TestCoordinatorCampaignFanout(t *testing.T) {
+	h := newCoordHarness(t, 200, 2)
+	ts := httptest.NewServer(h.coord)
+	t.Cleanup(ts.Close)
+
+	var agg struct {
+		Degraded bool `json:"degraded"`
+		Budget   int  `json:"budget"`
+		Accepted int  `json:"accepted"`
+		Shards   []struct {
+			State  string `json:"state"`
+			Budget int    `json:"budget"`
+		} `json:"shards"`
+	}
+	if err := postJSON(t, ts.URL+"/api/v1/campaigns", `{"budget":6,"time_scale":0.01,"non_response":0,"decline":0}`, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Degraded {
+		t.Fatal("healthy campaign fan-out reported degraded")
+	}
+	if len(agg.Shards) != 2 {
+		t.Fatalf("campaign rows = %d, want 2", len(agg.Shards))
+	}
+	splitTotal := 0
+	for _, row := range agg.Shards {
+		if row.State != "converged" && row.State != "exhausted" {
+			t.Fatalf("shard campaign not terminal: %+v", row)
+		}
+		if row.Budget < 1 {
+			t.Fatalf("shard got budget %d", row.Budget)
+		}
+		splitTotal += row.Budget
+	}
+	if splitTotal > 6+1 || splitTotal < 2 {
+		t.Fatalf("budget split sums to %d for budget 6", splitTotal)
+	}
+	if agg.Accepted == 0 {
+		t.Fatal("campaign accepted no users with decline and non-response at 0")
+	}
+}

@@ -1,0 +1,38 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getJSON(t *testing.T, url string, out interface{}) error {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+func postJSON(t *testing.T, url, reqBody string, out interface{}) error {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,105 @@
+// Package shard is the distributed selection subsystem: a consistent-hash
+// partitioner that places users on shards and materializes per-shard columnar
+// sub-repositories, a local executor running GreeDi-style two-round merge
+// greedy over those shards, and an HTTP coordinator that fans selection and
+// campaign waves out to remote shard servers and merges their winners.
+//
+// The layering mirrors the single-node stack: profile columns slice into
+// shard columns, groups.Build indexes each slice against the *global* bucket
+// boundaries (so a shard's groups are restrictions of the global groups, not
+// re-derived partitions), core runs the per-shard and merge greedy rounds,
+// and the coordinator speaks the same /api/v1 surface as any podium-server.
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"podium/internal/profile"
+)
+
+// ringPointsPerShard is the virtual-node multiplier of the consistent-hash
+// ring. 64 points per shard keeps the max/min shard population ratio within
+// a few percent at 16 shards without making ring construction or the
+// per-user binary search noticeable.
+const ringPointsPerShard = 64
+
+// Partition places users on shards by consistent hashing over user IDs: each
+// shard owns ringPointsPerShard pseudo-random points on a 64-bit ring, and a
+// user belongs to the shard owning the first point at or after the user's
+// own hash. Ownership is a pure function of (Shards, Seed, UserID) — two
+// processes that agree on those agree on every placement without exchanging
+// state, and growing the population never moves an existing user.
+type Partition struct {
+	Shards int
+	Seed   uint64
+
+	ring  []uint64 // sorted ring positions
+	owner []int    // owner[i] is the shard owning ring[i]
+}
+
+// NewPartition builds the ring for S shards. Shards must be ≥ 1.
+func NewPartition(shards int, seed uint64) (*Partition, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 shard, got %d", shards)
+	}
+	p := &Partition{
+		Shards: shards,
+		Seed:   seed,
+		ring:   make([]uint64, 0, shards*ringPointsPerShard),
+		owner:  make([]int, 0, shards*ringPointsPerShard),
+	}
+	type point struct {
+		pos   uint64
+		shard int
+	}
+	points := make([]point, 0, shards*ringPointsPerShard)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < ringPointsPerShard; v++ {
+			h := splitmix64(seed ^ splitmix64(uint64(s)<<32|uint64(v)))
+			points = append(points, point{pos: h, shard: s})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].pos != points[j].pos {
+			return points[i].pos < points[j].pos
+		}
+		// A full-width hash collision between virtual nodes is vanishingly
+		// rare; break it by shard so the ring stays deterministic anyway.
+		return points[i].shard < points[j].shard
+	})
+	for _, pt := range points {
+		p.ring = append(p.ring, pt.pos)
+		p.owner = append(p.owner, pt.shard)
+	}
+	return p, nil
+}
+
+// Owner returns the shard owning user u.
+func (p *Partition) Owner(u profile.UserID) int {
+	h := splitmix64(p.Seed ^ splitmix64(uint64(u)))
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i] >= h })
+	if i == len(p.ring) {
+		i = 0 // wrap: the ring is circular
+	}
+	return p.owner[i]
+}
+
+// Assign places users 0..n-1 on shards and returns the per-shard user lists,
+// each ascending by user ID (the order a columnar slice preserves).
+func (p *Partition) Assign(n int) [][]profile.UserID {
+	out := make([][]profile.UserID, p.Shards)
+	for u := 0; u < n; u++ {
+		s := p.Owner(profile.UserID(u))
+		out[s] = append(out[s], profile.UserID(u))
+	}
+	return out
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

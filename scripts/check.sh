@@ -15,8 +15,10 @@
 #      campaign orchestrator (internal/campaign), the resilient client
 #      (internal/client), the fault injector + chaos suite
 #      (internal/faults), the metrics/trace registry (internal/obs), the
-#      binary codec + snapshot image (internal/codec) and the columnar
-#      repository with its copy-on-write overlay (internal/profile)
+#      binary codec + snapshot image (internal/codec), the columnar
+#      repository with its copy-on-write overlay (internal/profile) and the
+#      sharded selection subsystem — concurrent round-1 shard greedies plus
+#      the coordinator's fan-out/merge (internal/shard)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,7 +31,7 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile"
-go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile
+echo "== go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile ./internal/shard"
+go test -race ./internal/core ./internal/groups ./internal/server ./internal/repolog ./internal/campaign ./internal/client ./internal/faults ./internal/obs ./internal/codec ./internal/profile ./internal/shard
 
 echo "check: all green"
