@@ -63,6 +63,8 @@ bench-steady:
 # bench-dist regenerates BENCH_dist.json: the sharded GreeDi two-round merge
 # vs single-node exact greedy at 10K/100K users × S ∈ {1,4,16} — merge
 # coverage loss, shard-loss degradation, and select/plan latency
-# (DESIGN.md §14).
+# (DESIGN.md §14) — plus the replicated HTTP tier: a coordinator over R=1 vs
+# R=2 replica groups behind ~5% fault injectors, p50/p99 over the wire, and
+# coverage with one replica of every shard killed (DESIGN.md §15).
 bench-dist:
 	$(GO) run ./cmd/podium-bench -suite dist

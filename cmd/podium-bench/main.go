@@ -281,8 +281,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("wrote %s (worst merge coverage %.4f of exact; worst shard-loss %.4f; best speedup %.2fx)\n",
-				path, rep.MinRatio, rep.MinDegradedRatio, rep.MaxSpeedup)
+			fmt.Printf("wrote %s (worst merge coverage %.4f of exact; worst shard-loss %.4f; best speedup %.2fx; R=2 replica-loss coverage %.4f of R=1)\n",
+				path, rep.MinRatio, rep.MinDegradedRatio, rep.MaxSpeedup, rep.ReplicaLossRatio)
 		},
 		"faults": func() {
 			tab, rep, err := experiments.RunFaultsSuite(experiments.FaultsConfig{

@@ -22,6 +22,12 @@
 //	podium-server -in profiles.json -shards 2 -shard-id 0 -addr :8081
 //	podium-server -in profiles.json -shards 2 -shard-id 1 -addr :8082
 //	podium-server -in profiles.json -coordinator http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// Replicated shards (R servers per shard, "|"-joined): the coordinator
+// health-probes every replica, routes to the healthiest fresh one, fails
+// over on error, and hedges slow calls to a sibling:
+//
+//	podium-server -in profiles.json -coordinator 'http://127.0.0.1:8081|http://127.0.0.1:9081,http://127.0.0.1:8082|http://127.0.0.1:9082'
 package main
 
 import (
@@ -86,7 +92,12 @@ func main() {
 		faultsSpec   = flag.String("faults", "", `inject faults: a rate ("0.05") or "error=0.02,reset=0.01,truncate=0.01,latency=0.05,latency_ms=3,seed=7"`)
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (unauthenticated; off by default)")
 
-		coordinator = flag.String("coordinator", "", "comma-separated shard server URLs: serve as the distributed coordinator, fanning selections/campaigns out and merging (GreeDi round 2 runs here over the local -in/-dataset global repository)")
+		coordinator   = flag.String("coordinator", "", `comma-separated shard replica groups: serve as the distributed coordinator, fanning selections/campaigns out and merging (GreeDi round 2 runs here over the local -in/-dataset global repository). Each group is one shard's replica set, URLs joined by "|": "http://a:8081|http://b:8081,http://c:8082|http://d:8082" is two shards, two replicas each`)
+		probeInterval = flag.Duration("probe-interval", 2*time.Second, "coordinator: replica health probe cadence (jittered ±25%)")
+		probeTimeout  = flag.Duration("probe-timeout", time.Second, "coordinator: per-replica probe deadline")
+		failTolerance = flag.Int("fail-tolerance", 2, "coordinator: consecutive probe/call failures before a replica is marked down")
+		hedgeQuantile = flag.Float64("hedge-quantile", 0.9, "coordinator: latency quantile of recent calls after which a hedged request goes to a sibling replica")
+		maxHedge      = flag.Duration("max-hedge", 500*time.Millisecond, "coordinator: hedge deadline ceiling (also used before latency history exists)")
 		shardCount  = flag.Int("shards", 0, "serve one shard of the -in/-dataset repository: total shard count S (requires -shard-id)")
 		shardID     = flag.Int("shard-id", -1, "which shard of -shards this server holds")
 		shardSeed   = flag.Uint64("shard-seed", 0, "consistent-hash partition seed; every shard and the coordinator's planner must agree on it")
@@ -207,7 +218,17 @@ func main() {
 				Breaker: &client.BreakerOptions{},
 				Metrics: obs.NewClientMetrics(srv.Metrics()),
 			},
+			Health: shard.HealthOptions{
+				ProbeInterval: *probeInterval,
+				ProbeTimeout:  *probeTimeout,
+				FailTolerance: *failTolerance,
+				HedgeQuantile: *hedgeQuantile,
+				MaxHedge:      *maxHedge,
+			},
 		})
+		co.Registry().Start()
+		base := closer
+		closer = func() { co.Registry().Stop(); base() }
 		handler = server.HardenedHandler(co, hopts)
 		fmt.Printf("podium-server: COORDINATOR over %d shards: %v\n",
 			len(co.ShardURLs()), co.ShardURLs())

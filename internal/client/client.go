@@ -158,8 +158,15 @@ type Distribution struct {
 
 // Status fetches the dataset shape.
 func (c *Client) Status() (Status, error) {
+	return c.StatusCtx(context.Background())
+}
+
+// StatusCtx is Status with caller-controlled cancellation: the shard
+// coordinator's health registry probes replicas on a deadline, and its router
+// cancels the losing half of a hedged pair mid-flight.
+func (c *Client) StatusCtx(ctx context.Context) (Status, error) {
 	var s Status
-	return s, c.get(context.Background(), "/api/v1/status", nil, &s)
+	return s, c.get(ctx, "/api/v1/status", nil, &s)
 }
 
 // Groups lists the largest groups, up to limit (0 = server default).
@@ -180,8 +187,52 @@ func (c *Client) Configurations() ([]server.NamedConfig, error) {
 
 // Select runs a selection.
 func (c *Client) Select(req SelectRequest) (Selection, error) {
+	return c.SelectCtx(context.Background(), req)
+}
+
+// SelectCtx is Select with caller-controlled cancellation — the primitive the
+// coordinator's hedged fan-out is built on: first success wins, the loser's
+// context is cancelled and its connection released.
+func (c *Client) SelectCtx(ctx context.Context, req SelectRequest) (Selection, error) {
 	var sel Selection
-	return sel, c.post(context.Background(), "/api/v1/select", req, &sel)
+	return sel, c.post(ctx, "/api/v1/select", req, &sel)
+}
+
+// BaseURL reports the server this client targets.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// Ready performs one uninstrumented GET /readyz probe: no retries, no
+// breaker participation. Health registries probe through this so a probe
+// can never be amplified into a retry storm against a struggling server,
+// and so probe outcomes stay separate from the traffic the breaker judges.
+func (c *Client) Ready(ctx context.Context) error {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/readyz", nil)
+	if err != nil {
+		return fmt.Errorf("client: readyz: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: readyz: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: readyz: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// BreakerState exposes the circuit breaker's current state as a passive
+// health signal: a replica whose breaker is open is known-bad without
+// spending a probe on it. Clients built without a breaker report
+// BreakerNone.
+func (c *Client) BreakerState() BreakerState {
+	if c.breaker == nil {
+		return BreakerNone
+	}
+	return c.breaker.currentState()
 }
 
 // Query runs a declarative-language selection.

@@ -192,6 +192,36 @@ const (
 	breakerOpen
 )
 
+// BreakerState is the externally visible circuit state, exported so callers
+// holding many clients (the shard coordinator's replica registry) can fold
+// breaker observations into their own health model.
+type BreakerState string
+
+const (
+	// BreakerNone: the client was built without a breaker.
+	BreakerNone BreakerState = "none"
+	// BreakerClosed: requests flow normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: requests fail fast until the cooldown expires.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: the cooldown has expired — the next request (or the
+	// one already in flight) is the probe deciding open vs closed.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// currentState classifies the breaker for external observers.
+func (b *breaker) currentState() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerClosed {
+		return BreakerClosed
+	}
+	if b.probing || b.now().Sub(b.openedAt) >= b.opts.Cooldown {
+		return BreakerHalfOpen
+	}
+	return BreakerOpen
+}
+
 func newBreaker(opts BreakerOptions, met *obs.ClientMetrics) *breaker {
 	opts = opts.withDefaults()
 	if met == nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -222,6 +223,122 @@ func TestBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
 	b.record(false)
 	if !b.allow() {
 		t.Fatal("breaker did not close after successful probe")
+	}
+}
+
+// TestBreakerHalfOpenConcurrentProbes: when the cooldown expires with many
+// requests racing, exactly one becomes the probe — the rest keep failing
+// fast. A thundering herd of probes would defeat the breaker's purpose
+// (protecting a struggling server from exactly that herd). Race-gated: the
+// probing flag is the contended state.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	b := newBreaker(BreakerOptions{Window: 4, MinSamples: 2, FailureThreshold: 0.5, Cooldown: time.Second}, nil)
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	b.record(true)
+	b.record(true)
+	if b.allow() {
+		t.Fatal("breaker closed after 100% failures")
+	}
+	mu.Lock()
+	now = now.Add(1100 * time.Millisecond)
+	mu.Unlock()
+
+	var admitted atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if b.allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	if b.currentState() != BreakerHalfOpen {
+		t.Fatalf("state = %q with a probe in flight, want half-open", b.currentState())
+	}
+	// The single probe succeeds: the breaker closes and everyone flows again.
+	b.record(false)
+	if b.currentState() != BreakerClosed {
+		t.Fatalf("state = %q after successful probe, want closed", b.currentState())
+	}
+	for i := 0; i < 4; i++ {
+		if !b.allow() {
+			t.Fatal("closed breaker rejected a request")
+		}
+	}
+}
+
+// TestBreakerHalfOpenSingleProbeOnWire is the end-to-end form: an open
+// breaker whose cooldown has expired lets exactly one HTTP request reach the
+// recovered server while concurrent callers fail fast with ErrCircuitOpen.
+func TestBreakerHalfOpenSingleProbeOnWire(t *testing.T) {
+	down := atomic.Bool{}
+	down.Store(true)
+	var hits atomic.Int64
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprint(w, `{"error":"down"}`)
+			return
+		}
+		fmt.Fprint(w, `{"name":"up","users":1,"properties":1,"groups":1}`)
+	})
+	c, _ := resilient(t, h, ResilienceOptions{
+		Retry:   RetryOptions{MaxAttempts: 1},
+		Breaker: &BreakerOptions{Window: 8, MinSamples: 4, FailureThreshold: 0.5, Cooldown: time.Second},
+	})
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	c.breaker.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	for i := 0; i < 4; i++ {
+		if _, err := c.Status(); err == nil {
+			t.Fatal("dead server answered")
+		}
+	}
+	if got := c.BreakerState(); got != BreakerOpen {
+		t.Fatalf("state = %q after failures, want open", got)
+	}
+	down.Store(false)
+	mu.Lock()
+	now = now.Add(1100 * time.Millisecond)
+	mu.Unlock()
+	before := hits.Load()
+
+	var probeOK, failFast atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Status()
+			switch {
+			case err == nil:
+				probeOK.Add(1)
+			case errors.Is(err, ErrCircuitOpen):
+				failFast.Add(1)
+			default:
+				t.Errorf("unexpected error during half-open burst: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if probeOK.Load() != 1 || failFast.Load() != 15 {
+		t.Fatalf("burst: %d probes succeeded, %d failed fast — want 1/15", probeOK.Load(), failFast.Load())
+	}
+	if got := hits.Load() - before; got != 1 {
+		t.Fatalf("server saw %d requests during half-open, want 1 (no thundering herd)", got)
+	}
+	if got := c.BreakerState(); got != BreakerClosed {
+		t.Fatalf("state = %q after winning probe, want closed", got)
 	}
 }
 

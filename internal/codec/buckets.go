@@ -2,8 +2,10 @@ package codec
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -22,47 +24,63 @@ import (
 // boundaries and rebuilding with groups.Config.FixedBuckets makes a restart
 // bit-reproduce the live index's group memberships.
 //
-//	magic "PODM" | version 2 | tagBuckets
+//	magic "PODM" | version 2 | tagBucketsCRC | payload CRC32C (uint32 LE)
 //	varint nProps
 //	per property, ascending PropertyID:
 //	  varint pid | varint nBuckets
 //	  per bucket: lo float64 bits (LE) | hi float64 bits (LE) | closedHi byte
 //
+// The CRC32C covers everything after itself. Sidecars written before the
+// checksum existed carry tagBuckets (3) with no CRC word and load without
+// verification; a tagBucketsCRC sidecar whose payload fails the check
+// returns ErrChecksum, and the mutable server falls back to deriving cuts
+// from the replayed log rather than failing startup.
+//
 // PropertyIDs are stable across a log replay (the catalog interns labels in
 // log order), so the map keys survive the restart they exist for.
 
-const tagBuckets byte = 3
+const (
+	tagBuckets    byte = 3 // legacy: no integrity word
+	tagBucketsCRC byte = 4 // CRC32C of the payload follows the tag
+)
 
 // WriteBuckets encodes per-property bucket boundaries as a format-v2 image
 // section.
 func WriteBuckets(w io.Writer, buckets map[profile.PropertyID][]bucketing.Bucket) error {
-	bw := bufio.NewWriter(w)
-	bw.WriteString(magic)
-	bw.WriteByte(imageVersion)
-	bw.WriteByte(tagBuckets)
+	// The payload is buffered (it is small — tens of bytes per property) so
+	// its CRC32C can lead it on the wire.
+	var payload bytes.Buffer
 	pids := make([]int, 0, len(buckets))
 	for p := range buckets {
 		pids = append(pids, int(p))
 	}
 	sort.Ints(pids)
-	writeUvarint(bw, uint64(len(pids)))
+	writeUvarint(&payload, uint64(len(pids)))
 	var b8 [8]byte
 	for _, pid := range pids {
 		bs := buckets[profile.PropertyID(pid)]
-		writeUvarint(bw, uint64(pid))
-		writeUvarint(bw, uint64(len(bs)))
+		writeUvarint(&payload, uint64(pid))
+		writeUvarint(&payload, uint64(len(bs)))
 		for _, b := range bs {
 			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(b.Lo))
-			bw.Write(b8[:])
+			payload.Write(b8[:])
 			binary.LittleEndian.PutUint64(b8[:], math.Float64bits(b.Hi))
-			bw.Write(b8[:])
+			payload.Write(b8[:])
 			if b.ClosedHi {
-				bw.WriteByte(1)
+				payload.WriteByte(1)
 			} else {
-				bw.WriteByte(0)
+				payload.WriteByte(0)
 			}
 		}
 	}
+	bw := bufio.NewWriter(w)
+	bw.WriteString(magic)
+	bw.WriteByte(imageVersion)
+	bw.WriteByte(tagBucketsCRC)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], crc32.Checksum(payload.Bytes(), castagnoli))
+	bw.Write(b4[:])
+	bw.Write(payload.Bytes())
 	return bw.Flush()
 }
 
@@ -74,10 +92,21 @@ func ReadBuckets(data []byte) (map[profile.PropertyID][]bucketing.Bucket, error)
 	if data[len(magic)] != imageVersion {
 		return nil, fmt.Errorf("codec: not a format-v2 image (version %d)", data[len(magic)])
 	}
-	if data[len(magic)+1] != tagBuckets {
-		return nil, fmt.Errorf("codec: image section tag %d, want %d", data[len(magic)+1], tagBuckets)
+	tag := data[len(magic)+1]
+	if tag != tagBuckets && tag != tagBucketsCRC {
+		return nil, fmt.Errorf("codec: image section tag %d, want %d or %d", tag, tagBuckets, tagBucketsCRC)
 	}
 	rest := data[len(magic)+2:]
+	if tag == tagBucketsCRC {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("codec: buckets section truncated before its checksum")
+		}
+		want := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if got := crc32.Checksum(rest, castagnoli); got != want {
+			return nil, fmt.Errorf("%w: buckets payload crc %08x, header %08x", ErrChecksum, got, want)
+		}
+	}
 	uvarint := func(what string) (uint64, error) {
 		v, n := binary.Uvarint(rest)
 		if n <= 0 {

@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"errors"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -88,5 +89,40 @@ func TestBucketsRejectsCorruption(t *testing.T) {
 		if _, err := ReadBuckets(data); err == nil {
 			t.Errorf("%s: decoded without error", name)
 		}
+	}
+}
+
+// TestBucketsChecksumDetectsCorruption: a payload byte flip fails the
+// leading CRC32C with ErrChecksum, and a legacy tag-3 sidecar (same payload,
+// no integrity word) still loads.
+func TestBucketsChecksumDetectsCorruption(t *testing.T) {
+	want := sampleBuckets()
+	var buf bytes.Buffer
+	if err := WriteBuckets(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip a payload byte (after magic+version+tag+crc).
+	mut := append([]byte(nil), good...)
+	mut[len(magic)+2+4+1] ^= 0x10
+	if _, err := ReadBuckets(mut); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("payload corruption returned %v, want ErrChecksum", err)
+	}
+	// Flip a CRC byte: same verdict.
+	mut = append([]byte(nil), good...)
+	mut[len(magic)+2] ^= 0x10
+	if _, err := ReadBuckets(mut); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("crc corruption returned %v, want ErrChecksum", err)
+	}
+
+	// Legacy file: tag 3, no CRC word, identical payload.
+	legacy := append(append([]byte(magic), imageVersion, tagBuckets), good[len(magic)+2+4:]...)
+	got, err := ReadBuckets(legacy)
+	if err != nil {
+		t.Fatalf("legacy tag-%d sidecar rejected: %v", tagBuckets, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy round trip:\n got %v\nwant %v", got, want)
 	}
 }

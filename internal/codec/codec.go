@@ -320,7 +320,7 @@ func readStoreBody(r *bufio.Reader) (*opinions.Store, error) {
 
 // --- primitives ---
 
-func writeUvarint(w *bufio.Writer, v uint64) {
+func writeUvarint(w io.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
 	w.Write(buf[:n])

@@ -3,7 +3,9 @@ package codec
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -27,15 +29,58 @@ import (
 //	rowOff    uint64 × (nUsers+1)    user u's links = [rowOff[u], rowOff[u+1])
 //	props     uint32 × nLinks
 //	scores    float64 bits (LE) × nLinks
+//	crcs      uint32 × 7            CRC32C (Castagnoli) per section, in order
 //
 // The reader validates section bounds against the actual file size before
-// allocating, then delegates structural validation (monotone offsets, sorted
-// rows, in-range scores) to profile.FromColumns — a corrupted image fails
-// loudly, never yields a half-loaded repository. Label and name strings are
-// sliced out of two blob strings, so a million names cost two allocations,
-// not a million.
+// allocating, verifies each section's CRC32C against the trailer, then
+// delegates structural validation (monotone offsets, sorted rows, in-range
+// scores) to profile.FromColumns — a corrupted image fails loudly (with
+// ErrChecksum, so load paths can fall back to the slower source), never
+// yields a half-loaded repository. Images written before the checksum
+// trailer existed carry exactly the declared section bytes and load without
+// verification. Label and name strings are sliced out of two blob strings,
+// so a million names cost two allocations, not a million.
 
 const imageVersion = 2
+
+// imageSections is the number of checksummed sections in a repository image
+// (labelOff, labelBlob, nameOff, nameBlob, rowOff, props, scores).
+const imageSections = 7
+
+// castagnoli is the CRC32C polynomial table — the checksum every format-v2
+// integrity trailer uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a section whose stored CRC32C does not match its
+// bytes: the file was corrupted after it was written. Callers match it with
+// errors.Is to fall back to a slower-but-intact source (log replay, the
+// original profiles file) instead of serving from a damaged image.
+var ErrChecksum = errors.New("codec: section checksum mismatch")
+
+// imageWriter tracks a running CRC32C per section while streaming to the
+// buffered writer; end() closes out one section's sum.
+type imageWriter struct {
+	bw   *bufio.Writer
+	cur  uint32
+	sums []uint32
+}
+
+func (iw *imageWriter) write(p []byte) {
+	iw.bw.Write(p)
+	iw.cur = crc32.Update(iw.cur, castagnoli, p)
+}
+
+func (iw *imageWriter) str(s string) {
+	iw.bw.WriteString(s)
+	// The []byte conversion stays on the stack for the short label/name
+	// strings this path writes (crc32.Update does not retain it).
+	iw.cur = crc32.Update(iw.cur, castagnoli, []byte(s))
+}
+
+func (iw *imageWriter) end() {
+	iw.sums = append(iw.sums, iw.cur)
+	iw.cur = 0
+}
 
 // WriteRepositoryImage encodes the repository as a format-v2 snapshot image.
 func WriteRepositoryImage(w io.Writer, repo *profile.Repository) error {
@@ -62,41 +107,53 @@ func WriteRepositoryImage(w io.Writer, repo *profile.Repository) error {
 	writeUvarint(bw, uint64(nameBlobLen))
 	writeUvarint(bw, uint64(len(props)))
 
+	iw := &imageWriter{bw: bw}
 	var b4 [4]byte
 	var b8 [8]byte
 	cum := uint32(0)
 	binary.LittleEndian.PutUint32(b4[:], 0)
-	bw.Write(b4[:])
+	iw.write(b4[:])
 	for _, l := range labels {
 		cum += uint32(len(l))
 		binary.LittleEndian.PutUint32(b4[:], cum)
-		bw.Write(b4[:])
+		iw.write(b4[:])
 	}
+	iw.end()
 	for _, l := range labels {
-		bw.WriteString(l)
+		iw.str(l)
 	}
+	iw.end()
 	cum = 0
 	binary.LittleEndian.PutUint32(b4[:], 0)
-	bw.Write(b4[:])
+	iw.write(b4[:])
 	for _, n := range names {
 		cum += uint32(len(n))
 		binary.LittleEndian.PutUint32(b4[:], cum)
-		bw.Write(b4[:])
+		iw.write(b4[:])
 	}
+	iw.end()
 	for _, n := range names {
-		bw.WriteString(n)
+		iw.str(n)
 	}
+	iw.end()
 	for _, o := range off {
 		binary.LittleEndian.PutUint64(b8[:], uint64(o))
-		bw.Write(b8[:])
+		iw.write(b8[:])
 	}
+	iw.end()
 	for _, p := range props {
 		binary.LittleEndian.PutUint32(b4[:], uint32(p))
-		bw.Write(b4[:])
+		iw.write(b4[:])
 	}
+	iw.end()
 	for _, s := range scores {
 		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(s))
-		bw.Write(b8[:])
+		iw.write(b8[:])
+	}
+	iw.end()
+	for _, sum := range iw.sums {
+		binary.LittleEndian.PutUint32(b4[:], sum)
+		bw.Write(b4[:])
 	}
 	return bw.Flush()
 }
@@ -133,24 +190,62 @@ func ReadRepositoryImage(data []byte) (*profile.Repository, error) {
 		return nil, fmt.Errorf("codec: image header exceeds file size")
 	}
 	need := 4*(nLabels+1) + labelBlobLen + 4*(nUsers+1) + nameBlobLen + 8*(nUsers+1) + 4*nLinks + 8*nLinks
-	if nLabels > math.MaxUint32 || nUsers > math.MaxUint32 || need != uint64(len(rest)) {
+	if nLabels > math.MaxUint32 || nUsers > math.MaxUint32 {
+		return nil, fmt.Errorf("codec: image header exceeds format limits")
+	}
+	// Files with a checksum trailer carry 4 extra bytes per section; legacy
+	// images carry exactly the declared section bytes and skip verification.
+	var sums []uint32
+	switch uint64(len(rest)) {
+	case need:
+	case need + 4*imageSections:
+		tail := rest[need:]
+		sums = make([]uint32, imageSections)
+		for i := range sums {
+			sums[i] = binary.LittleEndian.Uint32(tail[4*i:])
+		}
+		rest = rest[:need]
+	default:
 		return nil, fmt.Errorf("codec: image declares %d bytes of sections, file carries %d", need, len(rest))
 	}
 
-	take := func(n uint64) []byte {
+	section := 0
+	take := func(n uint64, what string) ([]byte, error) {
 		s := rest[:n]
 		rest = rest[n:]
-		return s
+		if sums != nil {
+			if got := crc32.Checksum(s, castagnoli); got != sums[section] {
+				return nil, fmt.Errorf("%w: %s section crc %08x, trailer %08x", ErrChecksum, what, got, sums[section])
+			}
+		}
+		section++
+		return s, nil
 	}
-	labels, err := decodeStrings(take(4*(nLabels+1)), take(labelBlobLen), "label")
+	var secs [5][]byte
+	var err error
+	for i, sec := range []struct {
+		n    uint64
+		what string
+	}{
+		{4 * (nLabels + 1), "label offset"},
+		{labelBlobLen, "label blob"},
+		{4 * (nUsers + 1), "name offset"},
+		{nameBlobLen, "name blob"},
+		{8 * (nUsers + 1), "row offset"},
+	} {
+		if secs[i], err = take(sec.n, sec.what); err != nil {
+			return nil, err
+		}
+	}
+	labels, err := decodeStrings(secs[0], secs[1], "label")
 	if err != nil {
 		return nil, err
 	}
-	names, err := decodeStrings(take(4*(nUsers+1)), take(nameBlobLen), "name")
+	names, err := decodeStrings(secs[2], secs[3], "name")
 	if err != nil {
 		return nil, err
 	}
-	rowOffBytes := take(8 * (nUsers + 1))
+	rowOffBytes := secs[4]
 	off := make([]int, nUsers+1)
 	for i := range off {
 		v := binary.LittleEndian.Uint64(rowOffBytes[8*i:])
@@ -159,12 +254,18 @@ func ReadRepositoryImage(data []byte) (*profile.Repository, error) {
 		}
 		off[i] = int(v)
 	}
-	propBytes := take(4 * nLinks)
+	propBytes, err := take(4*nLinks, "property")
+	if err != nil {
+		return nil, err
+	}
 	props := make([]profile.PropertyID, nLinks)
 	for i := range props {
 		props[i] = profile.PropertyID(binary.LittleEndian.Uint32(propBytes[4*i:]))
 	}
-	scoreBytes := take(8 * nLinks)
+	scoreBytes, err := take(8*nLinks, "score")
+	if err != nil {
+		return nil, err
+	}
 	scores := make([]float64, nLinks)
 	for i := range scores {
 		scores[i] = math.Float64frombits(binary.LittleEndian.Uint64(scoreBytes[8*i:]))

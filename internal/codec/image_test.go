@@ -2,6 +2,7 @@ package codec
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -125,4 +126,45 @@ func TestGoldenV1Compatibility(t *testing.T) {
 	if !bytes.Equal(buf.Bytes(), data) {
 		t.Fatal("v1 encoder output drifted from the golden file")
 	}
+}
+
+// TestImageChecksumDetectsSectionCorruption: a byte flip in any section is
+// caught by its CRC32C and reported as ErrChecksum — the signal load paths
+// use to fall back to a slower-but-intact source.
+func TestImageChecksumDetectsSectionCorruption(t *testing.T) {
+	ds := synth.Generate(synth.TripAdvisorLike(60))
+	ds.Repo.Seal()
+	var buf bytes.Buffer
+	if err := WriteRepositoryImage(&buf, ds.Repo); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Flip a byte in the last section (scores), just before the trailer: a
+	// score bit-flip can yield another in-range float, so only the checksum
+	// catches it.
+	mut := append([]byte(nil), good...)
+	mut[len(mut)-4*imageSections-3] ^= 0x01
+	_, err := ReadRepositoryImage(mut)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("score-section corruption returned %v, want ErrChecksum", err)
+	}
+}
+
+// TestImageLegacyWithoutTrailerStillLoads: images written before the
+// checksum trailer carry exactly the declared section bytes and must keep
+// loading, unverified.
+func TestImageLegacyWithoutTrailerStillLoads(t *testing.T) {
+	repo := profile.PaperExample()
+	repo.Seal()
+	var buf bytes.Buffer
+	if err := WriteRepositoryImage(&buf, repo); err != nil {
+		t.Fatal(err)
+	}
+	legacy := buf.Bytes()[:buf.Len()-4*imageSections]
+	back, err := ReadRepositoryImage(legacy)
+	if err != nil {
+		t.Fatalf("trailer-less legacy image rejected: %v", err)
+	}
+	assertRepoEqual(t, repo, back)
 }

@@ -30,6 +30,21 @@ type DistConfig struct {
 	Parallelism int
 	// Repetitions per timing; the minimum is reported (defaults to 3).
 	Repetitions int
+
+	// The replicated HTTP tier (dist_replica.go): a coordinator over
+	// httptest-backed replica groups with injected faults, R=1 vs R=2, plus
+	// R=2 with one replica of every shard killed.
+	//
+	// ReplicaUsers is its population (default 5000; negative skips the tier).
+	ReplicaUsers int
+	// ReplicaShards is its shard count (default 3).
+	ReplicaShards int
+	// ReplicaSelects is the number of timed selects per cell (default 16).
+	ReplicaSelects int
+	// FaultRate is the per-request fault probability each replica's injector
+	// applies, split 60/40 between HTTP 500s and connection resets
+	// (default 0.05).
+	FaultRate float64
 }
 
 func (c DistConfig) withDefaults() DistConfig {
@@ -47,6 +62,18 @@ func (c DistConfig) withDefaults() DistConfig {
 	}
 	if c.Repetitions <= 0 {
 		c.Repetitions = 3
+	}
+	if c.ReplicaUsers == 0 {
+		c.ReplicaUsers = 5000
+	}
+	if c.ReplicaShards <= 0 {
+		c.ReplicaShards = 3
+	}
+	if c.ReplicaSelects <= 0 {
+		c.ReplicaSelects = 16
+	}
+	if c.FaultRate <= 0 {
+		c.FaultRate = 0.05
 	}
 	return c
 }
@@ -96,6 +123,13 @@ type DistReport struct {
 	MinDegradedRatio float64 `json:"min_degraded_ratio"`
 	// MaxSpeedup is the best exact-vs-distributed latency ratio observed.
 	MaxSpeedup float64 `json:"max_speedup"`
+	// Replicated is the HTTP tier: coordinator over replica groups behind
+	// fault injectors, timed over the wire (absent when skipped).
+	Replicated []ReplicaRow `json:"replicated,omitempty"`
+	// ReplicaLossRatio is the R=2 one-replica-of-every-shard-killed coverage
+	// over the R=1 baseline — the replication acceptance number (1.0 means
+	// replica loss costs nothing).
+	ReplicaLossRatio float64 `json:"replica_loss_ratio,omitempty"`
 }
 
 // RunDistSuite sweeps the sharded selection subsystem over Tiers × ShardCounts
@@ -108,10 +142,11 @@ func RunDistSuite(cfg DistConfig) (*Table, *DistReport, error) {
 		mPln = "Plan (s)"
 		mRat = "Coverage ratio"
 		mDeg = "Degraded ratio"
+		mP99 = "p99 (s)"
 	)
 	t := &Table{
 		Title:   fmt.Sprintf("Distributed selection: GreeDi merge vs exact (parallelism=%d)", cfg.Parallelism),
-		Metrics: []string{mSel, mExa, mPln, mRat, mDeg},
+		Metrics: []string{mSel, mExa, mPln, mRat, mDeg, mP99},
 	}
 	rep := &DistReport{
 		Suite:       "dist",
@@ -162,6 +197,13 @@ func RunDistSuite(cfg DistConfig) (*Table, *DistReport, error) {
 					mDeg: row.DegradedRatio,
 				},
 			})
+		}
+	}
+	// The replicated tier rides the same report: select latency lands in the
+	// mSel column (p50) so the HTTP rows read against the in-process ones.
+	if cfg.ReplicaUsers > 0 {
+		if err := runReplicatedTier(cfg, rep, t, mSel, mP99, mRat); err != nil {
+			return nil, nil, err
 		}
 	}
 	return t, rep, nil

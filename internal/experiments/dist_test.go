@@ -9,16 +9,21 @@ import "testing"
 func TestDistSuiteShapes(t *testing.T) {
 	tab, rep, err := RunDistSuite(DistConfig{
 		Seed: 3, Budget: 4,
-		Tiers:       []int{400},
-		ShardCounts: []int{1, 3},
-		Parallelism: 2,
-		Repetitions: 1,
+		Tiers:          []int{400},
+		ShardCounts:    []int{1, 3},
+		Parallelism:    2,
+		Repetitions:    1,
+		ReplicaUsers:   300,
+		ReplicaShards:  2,
+		ReplicaSelects: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Rows) != 2 || len(tab.Rows) != 2 {
-		t.Fatalf("rows = %d/%d, want 2 report and 2 table rows", len(rep.Rows), len(tab.Rows))
+	// 2 in-process cells + 3 replicated HTTP cells (R=1, R=2, R=2 with one
+	// replica of every shard killed).
+	if len(rep.Rows) != 2 || len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d/%d, want 2 report and 5 table rows", len(rep.Rows), len(tab.Rows))
 	}
 	for _, row := range rep.Rows {
 		if row.SelectSec <= 0 || row.ExactSec <= 0 || row.PlanSec <= 0 {
@@ -49,5 +54,30 @@ func TestDistSuiteShapes(t *testing.T) {
 	}
 	if rep.MinRatio <= 0 || rep.MinDegradedRatio <= 0 {
 		t.Fatalf("report summaries unset: %+v", rep)
+	}
+
+	if len(rep.Replicated) != 3 {
+		t.Fatalf("replicated tier has %d cells, want 3", len(rep.Replicated))
+	}
+	for _, row := range rep.Replicated {
+		if row.P50Sec <= 0 || row.P99Sec <= 0 || row.Score <= 0 {
+			t.Fatalf("unmeasured replicated cell: %+v", row)
+		}
+		// Every cell keeps a live replica per shard, so no select may degrade.
+		if row.Degraded != 0 {
+			t.Fatalf("replicated cell reported %d degraded selects: %+v", row.Degraded, row)
+		}
+		// Replicas hold identical data and greedy is deterministic: coverage
+		// must match the R=1 baseline exactly, faults and loss included.
+		if row.Ratio != 1 {
+			t.Fatalf("replicated cell lost coverage (ratio %v): %+v", row.Ratio, row)
+		}
+	}
+	last := rep.Replicated[2]
+	if last.Replicas != 2 || !last.ReplicaLoss {
+		t.Fatalf("last replicated cell is not the R=2 loss cell: %+v", last)
+	}
+	if rep.ReplicaLossRatio != 1 {
+		t.Fatalf("ReplicaLossRatio = %v, want exactly 1 (replication restores full coverage)", rep.ReplicaLossRatio)
 	}
 }

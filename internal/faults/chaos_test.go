@@ -21,8 +21,10 @@ package faults_test
 // presence, not exactly-once.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -399,4 +401,125 @@ func TestChaosCoordinatorShardLoss(t *testing.T) {
 	if _, err := c.Select(client.SelectRequest{Budget: 4}); err == nil {
 		t.Fatal("select succeeded with every shard down")
 	}
+}
+
+// TestChaosReplicaKillBitIdentical drives the replication invariant through
+// the injector: a coordinator over two shards, each served by TWO replicas,
+// every replica behind a ~5% fault injector. Mid-stream, one replica of
+// EVERY shard is killed outright. Because siblings hold identical data and
+// the greedy rounds are deterministic, every select must keep succeeding
+// with degraded:false and come back byte-identical to the healthy-cluster
+// response — replication turns replica loss into a non-event, where PR 8's
+// unreplicated coordinator could only degrade.
+func TestChaosReplicaKillBitIdentical(t *testing.T) {
+	scfg := synth.ScaleLike(240)
+	scfg.Seed = 23
+	repo := synth.Generate(scfg).Repo
+	gcfg := groups.Config{K: 3}
+	ix := groups.Build(repo, gcfg)
+	plan, err := shard.NewPlan(ix, gcfg, shard.Options{Shards: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCfg := gcfg
+	shardCfg.FixedBuckets = ix.BucketBoundaries()
+
+	// Two replicas per shard, each an independent server over the shard's
+	// repository, each behind its own ~5% injector (3% errors + 2% resets).
+	const replicas = 2
+	var (
+		injectors []*faults.Injector
+		servers   [][]*httptest.Server
+		specs     []string
+	)
+	for si, sh := range plan.Shards {
+		group := make([]*httptest.Server, replicas)
+		urls := make([]string, replicas)
+		for r := 0; r < replicas; r++ {
+			inj := faults.New(faults.Config{Seed: int64(41 + si*replicas + r), Error: 0.03, Reset: 0.02})
+			injectors = append(injectors, inj)
+			srv := server.New(fmt.Sprintf("shard%d-r%d", si, r), sh.Repo, shardCfg, nil)
+			group[r] = httptest.NewServer(inj.Wrap(srv))
+			defer group[r].Close()
+			urls[r] = group[r].URL
+		}
+		servers = append(servers, group)
+		specs = append(specs, strings.Join(urls, "|"))
+	}
+
+	base := server.New("coordinator", repo, gcfg, nil)
+	co := shard.NewCoordinator(base, specs, shard.CoordinatorOptions{
+		Resilience: client.ResilienceOptions{
+			Retry: client.RetryOptions{
+				MaxAttempts: 4,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  5 * time.Millisecond,
+				Seed:        21,
+				RetryNonIdempotent: true, // selects are read-only POSTs
+			},
+		},
+		Health: shard.HealthOptions{
+			ProbeTimeout: time.Second,
+			MinHedge:     5 * time.Millisecond,
+			MaxHedge:     50 * time.Millisecond,
+			Seed:         7,
+		},
+	})
+	front := httptest.NewServer(server.HardenedHandler(co, server.HardenOptions{
+		Logf: func(string, ...interface{}) {},
+	}))
+	defer front.Close()
+
+	rawSelect := func(i int) []byte {
+		t.Helper()
+		resp, err := http.Post(front.URL+"/api/v1/select", "application/json",
+			strings.NewReader(`{"budget":5}`))
+		if err != nil {
+			t.Fatalf("select %d: %v", i, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("select %d: reading body: %v", i, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("select %d: HTTP %d: %s", i, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), `"degraded":false`) {
+			t.Fatalf("select %d degraded under replica-level faults: %s", i, body)
+		}
+		return body
+	}
+
+	// Phase 1: healthy cluster (faults firing, both replicas alive). The
+	// first response is the reference; repeats must already be stable.
+	reference := rawSelect(0)
+	for i := 1; i < 8; i++ {
+		if got := rawSelect(i); !bytes.Equal(got, reference) {
+			t.Fatalf("healthy select %d diverged from reference:\nref: %s\ngot: %s", i, reference, got)
+		}
+	}
+
+	// Phase 2: kill one replica of EVERY shard mid-stream, connections
+	// severed rather than drained. Selections must stay exact — same bytes,
+	// never degraded.
+	for _, group := range servers {
+		group[0].CloseClientConnections()
+		group[0].Close()
+	}
+	for i := 0; i < 8; i++ {
+		if got := rawSelect(100 + i); !bytes.Equal(got, reference) {
+			t.Fatalf("post-kill select %d diverged from healthy reference:\nref: %s\ngot: %s", i, reference, got)
+		}
+	}
+
+	fired := 0
+	for _, inj := range injectors {
+		c := inj.Counts()
+		fired += int(c.Error + c.Reset + c.Truncate)
+	}
+	if fired == 0 {
+		t.Fatal("injectors fired nothing; the run tested fair weather")
+	}
+	t.Logf("chaos replica-kill: %d faults injected, selections bit-identical across single-replica loss of every shard", fired)
 }

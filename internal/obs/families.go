@@ -142,9 +142,12 @@ func NewSelectCacheMetrics(reg *Registry) *SelectCacheMetrics {
 }
 
 // ShardMetrics instruments the distributed coordinator: fan-out RPCs to
-// shard servers, merged selections and their degraded subset, and the
-// live-shard gauge the health endpoint keeps current.
+// shard servers, merged selections and their degraded subset, the live-shard
+// gauge the health endpoint keeps current, and the replica layer — failovers,
+// hedged requests, health-probe latency and per-replica up/down state.
 type ShardMetrics struct {
+	reg *Registry
+
 	Selects    *Counter   // podium_shard_selects_total{outcome="ok"}
 	Degraded   *Counter   // {outcome="degraded"} — ≥1 shard missing from the merge
 	Fanouts    *Counter   // podium_shard_requests_total{outcome="ok"} per-shard RPCs
@@ -152,6 +155,12 @@ type ShardMetrics struct {
 	Latency    *Histogram // podium_shard_fanout_seconds — slowest shard per fan-out
 	Shards     *Gauge     // podium_shard_count — configured shard servers
 	Live       *Gauge     // podium_shard_live — shards answering the last fan-out
+	Replicas   *Gauge     // podium_shard_replica_count — configured replicas, all shards
+	Failovers  *Counter   // podium_shard_failovers_total — routed calls that moved to a sibling after an error
+	HedgesWon  *Counter   // podium_shard_hedges_total{outcome="won"} — hedge answered first
+	HedgesLost *Counter   // {outcome="lost"} — primary answered first, hedge cancelled
+	Stale      *Counter   // podium_shard_stale_replicas_total — replicas deprioritized for a lagging epoch
+	ProbeLat   *Histogram // podium_shard_probe_seconds — active health-probe round trips
 }
 
 // NewShardMetrics registers the coordinator families on reg.
@@ -159,7 +168,12 @@ func NewShardMetrics(reg *Registry) *ShardMetrics {
 	if reg == nil {
 		return nil
 	}
+	hedge := func(o string) *Counter {
+		return reg.Counter("podium_shard_hedges_total",
+			"Hedged second requests issued past the latency deadline, by outcome.", L("outcome", o))
+	}
 	return &ShardMetrics{
+		reg: reg,
 		Selects: reg.Counter("podium_shard_selects_total",
 			"Coordinator merge selections, by outcome.", L("outcome", "ok")),
 		Degraded: reg.Counter("podium_shard_selects_total",
@@ -174,7 +188,30 @@ func NewShardMetrics(reg *Registry) *ShardMetrics {
 			"Shard servers the coordinator is configured with."),
 		Live: reg.Gauge("podium_shard_live",
 			"Shards that answered the most recent fan-out."),
+		Replicas: reg.Gauge("podium_shard_replica_count",
+			"Replica servers configured across all shards."),
+		Failovers: reg.Counter("podium_shard_failovers_total",
+			"Routed shard calls that failed over to a sibling replica."),
+		HedgesWon:  hedge("won"),
+		HedgesLost: hedge("lost"),
+		Stale: reg.Counter("podium_shard_stale_replicas_total",
+			"Routing decisions that deprioritized a replica for a lagging epoch."),
+		ProbeLat: reg.Histogram("podium_shard_probe_seconds",
+			"Active replica health-probe round trips.", DefLatencyBuckets),
 	}
+}
+
+// ReplicaUp returns the per-replica liveness gauge
+// podium_shard_replica_up{shard,replica}: 1 while the registry considers the
+// replica healthy, 0 once it has failed past its tolerance. Registration
+// locks; the registry caches the handle per replica.
+func (m *ShardMetrics) ReplicaUp(shard int, replica string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Gauge("podium_shard_replica_up",
+		"Replica health by shard and replica URL (1 = healthy).",
+		L("shard", itoa(shard)), L("replica", replica))
 }
 
 // CoreMetrics instruments the selection engine. The engine itself reports
@@ -299,7 +336,9 @@ func itoa(n int) string {
 	case 503:
 		return "503"
 	}
-	if n < 0 {
+	// n <= 0 must still yield a digit: shard indexes start at 0, and the
+	// bare n > 0 loop below would render 0 as the empty string.
+	if n <= 0 {
 		return "0"
 	}
 	buf := [4]byte{}

@@ -262,3 +262,13 @@ func TestHistogramConcurrentExpositionConsistent(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// itoa's fast path was written for status codes; shard indexes start at 0
+// and must not render as the empty label value.
+func TestItoaSmallValues(t *testing.T) {
+	for n, want := range map[int]string{0: "0", -3: "0", 1: "1", 16: "16", 200: "200", 1234: "1234"} {
+		if got := itoa(n); got != want {
+			t.Errorf("itoa(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

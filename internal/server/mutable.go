@@ -122,8 +122,13 @@ func NewMutableOpts(name, logPath string, cfg groups.Config, configs []NamedConf
 			// First boot (or a pre-sidecar log): Build derives cuts below and
 			// the sidecar is written for every restart after this one.
 		default:
-			l.Close()
-			return nil, fmt.Errorf("server: bucket sidecar %s: %w", opts.BucketImage, err)
+			// A corrupt or unreadable sidecar must not fail startup: the log
+			// itself is intact, so Build re-derives cuts from the replayed
+			// score distribution. Those cuts may differ from the live index
+			// that wrote the sidecar — group memberships can shift — so the
+			// degradation is warned loudly, and persistBuckets below replaces
+			// the damaged file with a fresh one.
+			log.Printf("server: bucket sidecar %s: %v — falling back to cuts derived from log replay", opts.BucketImage, err)
 		}
 	}
 	ms := &MutableServer{

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"fmt"
 	"net/http"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"podium/internal/codec"
 	"podium/internal/groups"
 )
 
@@ -128,4 +130,48 @@ func TestMutableRestartSidecarDisabled(t *testing.T) {
 	}
 	defer back.Close()
 	selectionFingerprint(t, back)
+}
+
+// TestMutableRestartSurvivesCorruptSidecar: a sidecar that fails its CRC32C
+// must not fail startup — the log is intact, so the server warns, derives
+// cuts from the replayed distribution, and rewrites a fresh sidecar.
+func TestMutableRestartSurvivesCorruptSidecar(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "corrupt.plog")
+	ms, err := NewMutable("live", logPath, groups.Config{K: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyMutations(t, ms, restartMutations)
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sidecar := logPath + ".buckets"
+	data, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatalf("sidecar missing after close: %v", err)
+	}
+	data[len(data)-1] ^= 0xFF // corrupt the payload tail
+	if err := os.WriteFile(sidecar, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := NewMutable("live", logPath, groups.Config{K: 3}, nil)
+	if err != nil {
+		t.Fatalf("corrupt sidecar failed startup instead of falling back: %v", err)
+	}
+	defer back.Close()
+	selectionFingerprint(t, back) // serves selections from replayed cuts
+
+	// The damaged sidecar was replaced with a verifiable one.
+	fresh, err := os.ReadFile(sidecar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fresh, data) {
+		t.Fatal("damaged sidecar was not rewritten at startup")
+	}
+	if _, err := codec.ReadBuckets(fresh); err != nil {
+		t.Fatalf("rewritten sidecar does not verify: %v", err)
+	}
 }

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -18,19 +19,33 @@ import (
 
 // Coordinator is the distributed front of the sharded subsystem: an
 // http.Handler that owns the *global* dataset (for the merge round and every
-// read endpoint) and a resilient client per shard server. It intercepts
-// selection and campaign requests, fans them out, and merges; everything
-// else falls through to the wrapped server, so a coordinator answers the
-// full /api/v1 surface a single-node server does.
+// read endpoint) and, per shard, a *replica group* — R servers holding
+// identical slices of the population. It intercepts selection and campaign
+// requests, routes each shard's call to the healthiest fresh replica (with
+// failover and hedging, see Router), and merges; everything else falls
+// through to the wrapped server, so a coordinator answers the full /api/v1
+// surface a single-node server does.
 //
-// Failure semantics: a shard that errors through its retry/breaker budget is
-// simply absent from the merge — its winners are not candidates, coverage
-// degrades, and the response says so (degraded: true, per-shard reports) but
-// is never an error. Only the total loss of every shard turns into a 503.
+// Failure semantics: a replica that errors fails over to its siblings; a
+// shard is absent from the merge — degraded — only when *every* replica of
+// its group has failed through its retry/breaker budget. Only the total loss
+// of every shard turns into a 503.
+//
+// Response identity: select responses report shards, not replicas — the
+// per-shard URL is the replica-group spec the coordinator was configured
+// with (pipe-joined), never the replica that happened to serve the call.
+// Replicas hold identical data and the greedy rounds are deterministic, so a
+// merged selection is byte-identical no matter which replica of each group
+// answered; the chaos suite asserts exactly that under replica loss.
+// Per-replica health lives on /api/v1/shards.
 type Coordinator struct {
-	base   *server.Server
-	shards []*remoteShard
-	met    *obs.ShardMetrics
+	base *server.Server
+	// spec is each shard's replica-group spec ("url" or "url1|url2"), the
+	// shard's identity in select responses and campaign rows.
+	spec []string
+	reg  *Registry
+	rt   *Router
+	met  *obs.ShardMetrics
 
 	// poll is the campaign wait-poll interval (shortened in tests).
 	poll time.Duration
@@ -41,29 +56,35 @@ type Coordinator struct {
 	nameID   map[string]profile.UserID
 }
 
-// remoteShard pairs a shard server's URL with its resilient client.
-type remoteShard struct {
-	url string
-	c   *client.Client
-}
-
-// CoordinatorOptions configures the fan-out clients.
+// CoordinatorOptions configures the fan-out clients and the replica health
+// model.
 type CoordinatorOptions struct {
-	// HTTPClient is the transport shared by the shard clients (nil selects
+	// HTTPClient is the transport shared by the replica clients (nil selects
 	// http.DefaultClient).
 	HTTPClient *http.Client
-	// Resilience tunes each shard client's retry policy and circuit
+	// Resilience tunes each replica client's retry policy and circuit
 	// breaker. The zero value selects the client package defaults
 	// (4 attempts, exponential backoff, no breaker).
 	Resilience client.ResilienceOptions
+	// Health tunes the replica registry and router (probe cadence, failure
+	// tolerance, hedge deadline). The zero value selects the defaults
+	// documented on HealthOptions.
+	Health HealthOptions
 	// Poll is the campaign wait-poll interval (default 100ms).
 	Poll time.Duration
 }
 
-// NewCoordinator wraps base with a fan-out layer over the given shard
-// server URLs. Shard metrics register on base's registry, so they surface
-// through the wrapped server's /api/v1/metrics endpoint.
-func NewCoordinator(base *server.Server, shardURLs []string, opt CoordinatorOptions) *Coordinator {
+// NewCoordinator wraps base with a fan-out layer over the given shard specs.
+// Each spec names one shard's replica group: either a single URL or several
+// joined by "|" ("http://a:8080|http://b:8080"). Shard metrics register on
+// base's registry, so they surface through the wrapped server's
+// /api/v1/metrics endpoint.
+//
+// The background probe loop is NOT started here — call Registry().Start()
+// (and Stop()) when the coordinator serves long-lived traffic. Without it
+// the first fan-out runs one synchronous probe round and passive outcomes
+// keep health moving.
+func NewCoordinator(base *server.Server, shardSpecs []string, opt CoordinatorOptions) *Coordinator {
 	co := &Coordinator{
 		base: base,
 		met:  obs.NewShardMetrics(base.Metrics()),
@@ -72,19 +93,45 @@ func NewCoordinator(base *server.Server, shardURLs []string, opt CoordinatorOpti
 	if co.poll <= 0 {
 		co.poll = 100 * time.Millisecond
 	}
-	for _, u := range shardURLs {
-		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u == "" {
+	health := opt.Health.withDefaults()
+	var groups [][]*replica
+	replicas := 0
+	for _, spec := range shardSpecs {
+		var urls []string
+		for _, u := range strings.Split(spec, "|") {
+			u = strings.TrimRight(strings.TrimSpace(u), "/")
+			if u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
 			continue
 		}
-		co.shards = append(co.shards, &remoteShard{
-			url: u,
-			c:   client.NewResilient(u, opt.HTTPClient, opt.Resilience),
-		})
+		si := len(groups)
+		group := make([]*replica, len(urls))
+		for i, u := range urls {
+			group[i] = &replica{
+				shard: si,
+				url:   u,
+				c:     client.NewResilient(u, opt.HTTPClient, opt.Resilience),
+				probe: client.NewWithTimeout(u, opt.HTTPClient, health.ProbeTimeout),
+			}
+			group[i].upGauge = co.met.ReplicaUp(si, u)
+			replicas++
+		}
+		groups = append(groups, group)
+		co.spec = append(co.spec, strings.Join(urls, "|"))
 	}
-	co.met.Shards.Set(int64(len(co.shards)))
+	co.reg = newRegistry(groups, health, co.met)
+	co.rt = newRouter(co.reg)
+	co.met.Shards.Set(int64(len(groups)))
+	co.met.Replicas.Set(int64(replicas))
 	return co
 }
+
+// Registry exposes the replica health registry, for starting the background
+// probe loop and for tests.
+func (co *Coordinator) Registry() *Registry { return co.reg }
 
 // ServeHTTP intercepts the fan-out routes (v1 and legacy aliases alike) and
 // delegates everything else to the wrapped single-node server.
@@ -171,7 +218,7 @@ func (co *Coordinator) handleSelect(w http.ResponseWriter, r *http.Request) {
 	sp := obs.StartSpan("coordinator.select")
 	fsp := sp.StartChild("fanout")
 	start := time.Now()
-	outcomes := co.fanoutSelect(client.SelectRequest{
+	outcomes := co.fanoutSelect(r, client.SelectRequest{
 		Budget:   req.Budget,
 		Weights:  req.Weights,
 		Coverage: req.Coverage,
@@ -199,7 +246,7 @@ func (co *Coordinator) handleSelect(w http.ResponseWriter, r *http.Request) {
 	co.met.Live.Set(int64(live))
 	if live == 0 {
 		server.WriteError(w, r, http.StatusServiceUnavailable, server.CodeUnavailable,
-			"all %d shards failed", len(co.shards))
+			"all %d shards failed", len(co.spec))
 		return
 	}
 	if degraded {
@@ -236,38 +283,38 @@ func (co *Coordinator) handleSelect(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
-// fanoutSelect runs round 1 on every shard concurrently: a status probe for
-// the epoch, then the shard-local selection. A shard that fails either call
-// (through its client's retry and breaker budget) comes back not-OK.
-func (co *Coordinator) fanoutSelect(req client.SelectRequest) []shardOutcome {
-	outcomes := make([]shardOutcome, len(co.shards))
+// fanoutSelect runs round 1 on every shard concurrently, each shard's call
+// routed across its replica group with failover and hedging. A shard whose
+// every replica fails comes back not-OK; reported epochs are the registry's
+// reconciled (freshest known) epoch per shard, so a lagging replica cannot
+// misstamp the merge.
+func (co *Coordinator) fanoutSelect(r *http.Request, req client.SelectRequest) []shardOutcome {
+	ctx := r.Context()
+	co.reg.ensureProbed(ctx)
+	outcomes := make([]shardOutcome, len(co.spec))
 	var wg sync.WaitGroup
-	for i, sh := range co.shards {
+	for i := range co.spec {
 		wg.Add(1)
-		go func(i int, sh *remoteShard) {
+		go func(i int) {
 			defer wg.Done()
-			out := shardOutcome{report: client.ShardReport{URL: sh.url}}
+			out := shardOutcome{report: client.ShardReport{URL: co.spec[i], Epoch: co.reg.shardEpoch(i)}}
 			defer func() { outcomes[i] = out }()
-			st, err := sh.c.Status()
+			v, _, err := co.rt.Do(ctx, i, func(ctx context.Context, c *client.Client) (interface{}, error) {
+				return c.SelectCtx(ctx, req)
+			})
 			if err != nil {
 				out.report.Error = err.Error()
 				co.met.FanoutErrs.Inc()
 				return
 			}
-			out.report.Epoch = st.Epoch
-			sel, err := sh.c.Select(req)
-			if err != nil {
-				out.report.Error = err.Error()
-				co.met.FanoutErrs.Inc()
-				return
-			}
+			sel := v.(client.Selection)
 			out.report.OK = true
 			out.report.Winners = len(sel.Users)
 			for _, u := range sel.Users {
 				out.winners = append(out.winners, u.Name)
 			}
 			co.met.Fanouts.Inc()
-		}(i, sh)
+		}(i)
 	}
 	wg.Wait()
 	return outcomes
@@ -288,37 +335,41 @@ func (co *Coordinator) lookupUser(name string) (profile.UserID, bool) {
 	return id, ok
 }
 
-// handleShards reports each shard's health and snapshot epoch.
+// handleShards runs a synchronous probe round and reports each shard's
+// health: the shard-level roll-up (ok when ANY replica is healthy, users and
+// epoch from the healthiest record) plus the per-replica detail.
 func (co *Coordinator) handleShards(w http.ResponseWriter, r *http.Request) {
 	type shardHealth struct {
-		URL    string `json:"url"`
-		OK     bool   `json:"ok"`
-		Users  int    `json:"users"`
-		Groups int    `json:"groups"`
-		Epoch  uint64 `json:"epoch"`
-		Error  string `json:"error,omitempty"`
+		URL      string        `json:"url"`
+		OK       bool          `json:"ok"`
+		Users    int           `json:"users"`
+		Groups   int           `json:"groups"`
+		Epoch    uint64        `json:"epoch"`
+		Replicas []ReplicaInfo `json:"replicas"`
+		Error    string        `json:"error,omitempty"`
 	}
-	out := make([]shardHealth, len(co.shards))
-	var wg sync.WaitGroup
+	co.reg.ProbeAll(r.Context())
+	snap := co.reg.Snapshot()
+	out := make([]shardHealth, len(snap))
 	live := 0
-	var mu sync.Mutex
-	for i, sh := range co.shards {
-		wg.Add(1)
-		go func(i int, sh *remoteShard) {
-			defer wg.Done()
-			h := shardHealth{URL: sh.url}
-			if st, err := sh.c.Status(); err != nil {
-				h.Error = err.Error()
-			} else {
-				h.OK, h.Users, h.Groups, h.Epoch = true, st.Users, st.Groups, st.Epoch
-				mu.Lock()
-				live++
-				mu.Unlock()
+	for si, rows := range snap {
+		h := shardHealth{URL: co.spec[si], Epoch: co.reg.shardEpoch(si), Replicas: rows}
+		for _, rep := range rows {
+			if !rep.Healthy {
+				continue
 			}
-			out[i] = h
-		}(i, sh)
+			if !h.OK {
+				h.Users, h.Groups = rep.Users, rep.Groups
+			}
+			h.OK = true
+		}
+		if h.OK {
+			live++
+		} else {
+			h.Error = fmt.Sprintf("all %d replicas unhealthy", len(rows))
+		}
+		out[si] = h
 	}
-	wg.Wait()
 	co.met.Live.Set(int64(live))
 	server.WriteJSON(w, r, http.StatusOK, out)
 }
@@ -334,7 +385,10 @@ type coordCampaignJSON struct {
 }
 
 type coordCampaignRow struct {
-	URL      string  `json:"url"`
+	URL string `json:"url"`
+	// Replica is the replica that accepted the wave; follow-up polling is
+	// pinned to it (a sibling has no record of the campaign ID).
+	Replica  string  `json:"replica,omitempty"`
 	ID       int     `json:"id"`
 	State    string  `json:"state"`
 	Budget   int     `json:"budget"`
@@ -347,7 +401,10 @@ type coordCampaignRow struct {
 
 // handleCampaigns fans one solicitation campaign out to every shard,
 // splitting the budget proportionally to shard populations, and waits for
-// the per-shard campaigns to reach a terminal state. A shard that fails is
+// the per-shard campaigns to reach a terminal state. Campaign creation is
+// not idempotent (a duplicate wave would double-solicit users), so it routes
+// sequentially — failover only, never a hedge — and the wait is pinned to
+// the replica that accepted the wave. A shard that fails entirely is
 // reported and skipped — the aggregate is degraded, never an error, unless
 // no shard accepted the wave at all.
 func (co *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
@@ -363,28 +420,14 @@ func (co *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Budget split: proportional to shard population, each live shard
-	// getting at least 1. Populations come from the same status probe that
-	// health-checks the shard.
-	type probe struct {
-		users int
-		err   error
-	}
-	probes := make([]probe, len(co.shards))
-	var wg sync.WaitGroup
-	for i, sh := range co.shards {
-		wg.Add(1)
-		go func(i int, sh *remoteShard) {
-			defer wg.Done()
-			st, err := sh.c.Status()
-			probes[i] = probe{users: st.Users, err: err}
-		}(i, sh)
-	}
-	wg.Wait()
+	// getting at least 1. Populations come from a fresh probe round — the
+	// same probes that drive the health registry.
+	co.reg.ProbeAll(r.Context())
+	users := make([]int, len(co.spec))
 	total := 0
-	for _, p := range probes {
-		if p.err == nil {
-			total += p.users
-		}
+	for i := range co.spec {
+		users[i] = co.reg.shardUsers(i)
+		total += users[i]
 	}
 	if total == 0 {
 		server.WriteError(w, r, http.StatusServiceUnavailable, server.CodeUnavailable,
@@ -392,33 +435,40 @@ func (co *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	rows := make([]coordCampaignRow, len(co.shards))
-	for i, sh := range co.shards {
+	rows := make([]coordCampaignRow, len(co.spec))
+	var wg sync.WaitGroup
+	for i := range co.spec {
 		wg.Add(1)
-		go func(i int, sh *remoteShard) {
+		go func(i int) {
 			defer wg.Done()
-			row := coordCampaignRow{URL: sh.url}
+			row := coordCampaignRow{URL: co.spec[i]}
 			defer func() { rows[i] = row }()
-			if probes[i].err != nil {
-				row.Error = probes[i].err.Error()
+			if users[i] == 0 {
+				row.Error = "no replica reachable or populated"
 				co.met.FanoutErrs.Inc()
 				return
 			}
 			sub := req
-			sub.Budget = req.Budget * probes[i].users / total
+			sub.Budget = req.Budget * users[i] / total
 			if sub.Budget < 1 {
 				sub.Budget = 1
 			}
 			row.Budget = sub.Budget
-			c, err := sh.c.CreateCampaign(r.Context(), sub)
+			v, rep, err := co.rt.DoSequential(r.Context(), i, func(ctx context.Context, c *client.Client) (interface{}, error) {
+				return c.CreateCampaign(ctx, sub)
+			})
 			if err != nil {
 				row.Error = err.Error()
 				co.met.FanoutErrs.Inc()
 				return
 			}
-			row.ID = c.ID
+			c := v.(client.Campaign)
+			row.ID, row.Replica = c.ID, rep.url
 			if !c.Terminal() {
-				c, err = sh.c.WaitCampaign(r.Context(), c.ID, co.poll)
+				// Pinned to the accepting replica: campaign IDs are
+				// replica-local state.
+				c, err = rep.c.WaitCampaign(r.Context(), c.ID, co.poll)
+				co.reg.Observe(rep, err)
 				if err != nil {
 					row.State, row.Error = "running", err.Error()
 					co.met.FanoutErrs.Inc()
@@ -431,7 +481,7 @@ func (co *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 			row.Dead = len(c.Dead)
 			row.Coverage = c.Coverage
 			co.met.Fanouts.Inc()
-		}(i, sh)
+		}(i)
 	}
 	wg.Wait()
 
@@ -448,19 +498,22 @@ func (co *Coordinator) handleCampaigns(w http.ResponseWriter, r *http.Request) {
 	server.WriteJSON(w, r, http.StatusOK, agg)
 }
 
-// ShardURLs returns the configured shard servers, for logs and tests.
+// ShardURLs returns the configured shard replica-group specs, for logs and
+// tests.
 func (co *Coordinator) ShardURLs() []string {
-	urls := make([]string, len(co.shards))
-	for i, sh := range co.shards {
-		urls[i] = sh.url
-	}
-	sort.Strings(urls)
-	return urls
+	specs := make([]string, len(co.spec))
+	copy(specs, co.spec)
+	sort.Strings(specs)
+	return specs
 }
 
 var _ http.Handler = (*Coordinator)(nil)
 
 // String identifies the coordinator in logs.
 func (co *Coordinator) String() string {
-	return fmt.Sprintf("coordinator over %d shards", len(co.shards))
+	n := 0
+	for _, g := range co.reg.groups {
+		n += len(g)
+	}
+	return fmt.Sprintf("coordinator over %d shards (%d replicas)", len(co.spec), n)
 }

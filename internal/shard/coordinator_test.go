@@ -249,3 +249,44 @@ func TestCoordinatorCampaignFanout(t *testing.T) {
 		t.Fatal("campaign accepted no users with decline and non-response at 0")
 	}
 }
+
+// TestCoordinatorErrorEnvelope: every coordinator-origin error — the 503 on
+// total shard loss, the 400s rejecting shard-local concepts — must carry the
+// unified /api/v1 error envelope, so client.APIError decodes them and
+// callers branch on Code/Status instead of string-matching. Regression: a
+// coordinator writing bare-text errors would surface as an opaque transport
+// error here.
+func TestCoordinatorErrorEnvelope(t *testing.T) {
+	h := newCoordHarness(t, 120, 2)
+	c := h.client(t)
+
+	// 400: feedback carries shard-local group IDs.
+	_, err := c.Select(client.SelectRequest{Budget: 3, Feedback: server.FeedbackJSON{MustHave: []int{1}}})
+	ae, ok := client.AsAPIError(err)
+	if !ok {
+		t.Fatalf("feedback rejection not an APIError: %v", err)
+	}
+	if ae.Status != 400 || ae.Code != server.CodeInvalidArgument {
+		t.Fatalf("feedback rejection envelope = code %q status %d, want %q/400", ae.Code, ae.Status, server.CodeInvalidArgument)
+	}
+
+	// 400: named configs are shard-local too.
+	if _, err := c.Select(client.SelectRequest{Budget: 3, Config: "paper"}); err == nil {
+		t.Fatal("named-config select accepted")
+	} else if ae, ok := client.AsAPIError(err); !ok || ae.Code != server.CodeInvalidArgument {
+		t.Fatalf("named-config rejection envelope: %v", err)
+	}
+
+	// 503: total shard loss.
+	for _, ts := range h.servers {
+		ts.Close()
+	}
+	_, err = c.Select(client.SelectRequest{Budget: 3})
+	ae, ok = client.AsAPIError(err)
+	if !ok {
+		t.Fatalf("total-loss error not an APIError: %v", err)
+	}
+	if ae.Status != 503 || ae.Code != server.CodeUnavailable {
+		t.Fatalf("total-loss envelope = code %q status %d, want %q/503", ae.Code, ae.Status, server.CodeUnavailable)
+	}
+}

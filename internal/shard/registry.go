@@ -1,0 +1,363 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"podium/internal/client"
+	"podium/internal/obs"
+)
+
+// The replica health registry. Each shard of the distributed subsystem is
+// served by R replica servers holding identical slices of the population;
+// the registry is the coordinator's per-replica health model, fed by two
+// signal paths:
+//
+//   - Active probes: every ProbeInterval (jittered so a fleet of
+//     coordinators never synchronizes), each replica gets a GET /readyz
+//     liveness check followed by GET /api/v1/status for its snapshot epoch
+//     and population. Probes go through a plain single-attempt client — a
+//     probe must never amplify into a retry storm.
+//   - Passive outcomes: every routed call reports its success or failure
+//     back, and the resilient client's circuit breaker state is read as a
+//     third opinion (an open breaker marks a replica down without spending
+//     a probe on it).
+//
+// The registry also reconciles epochs within a replica group: a replica
+// whose snapshot epoch lags the freshest sibling is *deprioritized*, not
+// dropped — routing prefers healthy-and-fresh over healthy-and-stale over
+// unknown over down, so a lagging replica is merged only when nothing
+// better answers.
+
+// HealthOptions tunes the replica registry and the router built on it. The
+// zero value of each field selects the default in parentheses.
+type HealthOptions struct {
+	// ProbeInterval is the active probe cadence (default 2s), jittered
+	// ±25% per round.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one replica's probe round trip (default 1s).
+	ProbeTimeout time.Duration
+	// FailTolerance is how many consecutive failures (probe or routed call)
+	// mark a replica down (default 2).
+	FailTolerance int
+	// HedgeQuantile is the latency quantile of recent successful calls after
+	// which the router issues a hedged second request to a sibling replica
+	// (default 0.9).
+	HedgeQuantile float64
+	// MinHedge / MaxHedge clamp the hedge deadline (defaults 20ms / 500ms);
+	// MaxHedge is also the deadline used before any latency history exists.
+	MinHedge time.Duration
+	MaxHedge time.Duration
+	// Seed keys the probe jitter stream (0 derives from the wall clock).
+	Seed int64
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 2 * time.Second
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = time.Second
+	}
+	if o.FailTolerance <= 0 {
+		o.FailTolerance = 2
+	}
+	if o.HedgeQuantile <= 0 || o.HedgeQuantile >= 1 {
+		o.HedgeQuantile = 0.9
+	}
+	if o.MinHedge <= 0 {
+		o.MinHedge = 20 * time.Millisecond
+	}
+	if o.MaxHedge <= 0 {
+		o.MaxHedge = 500 * time.Millisecond
+	}
+	if o.MaxHedge < o.MinHedge {
+		o.MaxHedge = o.MinHedge
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+	return o
+}
+
+// replica is one shard server plus its health record. Health fields are
+// atomics: probes, routed calls and ranking read and write them from
+// different goroutines.
+type replica struct {
+	shard int
+	url   string
+	// c is the resilient client routed traffic uses; probe is a plain
+	// single-attempt client with a short timeout.
+	c     *client.Client
+	probe *client.Client
+
+	up          atomic.Int32 // 0 unknown, 1 up, 2 down
+	epoch       atomic.Uint64
+	users       atomic.Int64
+	groups      atomic.Int64
+	consecFails atomic.Int32
+	lastProbeNS atomic.Int64
+	upGauge     *obs.Gauge
+}
+
+const (
+	repUnknown int32 = 0
+	repUp      int32 = 1
+	repDown    int32 = 2
+)
+
+func (r *replica) noteSuccess() {
+	r.consecFails.Store(0)
+	r.up.Store(repUp)
+	r.upGauge.Set(1)
+}
+
+func (r *replica) noteFailure(tolerance int) {
+	if int(r.consecFails.Add(1)) >= tolerance || r.up.Load() == repUnknown {
+		r.up.Store(repDown)
+		r.upGauge.Set(0)
+	}
+}
+
+// healthy folds the passive breaker signal in: an open breaker overrides an
+// optimistic health record.
+func (r *replica) healthy() bool {
+	if r.c.BreakerState() == client.BreakerOpen {
+		return false
+	}
+	return r.up.Load() == repUp
+}
+
+// rank orders replicas for routing: healthy-and-fresh < healthy-and-stale <
+// unknown < down. maxEpoch is the freshest epoch among the group's healthy
+// replicas.
+func (r *replica) rank(maxEpoch uint64) int {
+	switch {
+	case r.healthy() && r.epoch.Load() >= maxEpoch:
+		return 0
+	case r.healthy():
+		return 1
+	case r.up.Load() == repUnknown && r.c.BreakerState() != client.BreakerOpen:
+		return 2
+	}
+	return 3
+}
+
+// ReplicaInfo is one replica's externally visible health record, rendered by
+// the coordinator's /api/v1/shards endpoint.
+type ReplicaInfo struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	Epoch   uint64 `json:"epoch"`
+	// Stale marks a healthy replica whose epoch lags the freshest sibling —
+	// deprioritized by the router, merged only as a last resort.
+	Stale bool `json:"stale,omitempty"`
+	// Breaker is the replica client's circuit state ("none" when the client
+	// has no breaker configured).
+	Breaker string `json:"breaker,omitempty"`
+	// ConsecutiveFailures counts probe/call failures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	Users               int `json:"users,omitempty"`
+	Groups              int `json:"groups,omitempty"`
+}
+
+// Registry is the coordinator-side health registry over every replica of
+// every shard.
+type Registry struct {
+	groups [][]*replica
+	opts   HealthOptions
+	met    *obs.ShardMetrics
+
+	jmu sync.Mutex
+	rng *rand.Rand
+
+	probeOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+func newRegistry(groups [][]*replica, opts HealthOptions, met *obs.ShardMetrics) *Registry {
+	return &Registry{
+		groups: groups,
+		opts:   opts.withDefaults(),
+		met:    met,
+		rng:    rand.New(rand.NewSource(opts.withDefaults().Seed)),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Start launches the background probe loop. Safe to skip (tests, one-shot
+// tools): the first fan-out triggers a synchronous round via ensureProbed,
+// and passive outcomes keep the records moving.
+func (reg *Registry) Start() {
+	reg.wg.Add(1)
+	go func() {
+		defer reg.wg.Done()
+		for {
+			select {
+			case <-reg.stop:
+				return
+			case <-time.After(reg.jitteredInterval()):
+				reg.ProbeAll(context.Background())
+			}
+		}
+	}()
+}
+
+// Stop halts the probe loop and waits for it.
+func (reg *Registry) Stop() {
+	reg.stopOnce.Do(func() { close(reg.stop) })
+	reg.wg.Wait()
+}
+
+// jitteredInterval spreads probe rounds over ±25% of the configured cadence.
+func (reg *Registry) jitteredInterval() time.Duration {
+	reg.jmu.Lock()
+	j := reg.rng.Float64()
+	reg.jmu.Unlock()
+	base := float64(reg.opts.ProbeInterval)
+	return time.Duration(base * (0.75 + 0.5*j))
+}
+
+// ensureProbed runs exactly one synchronous probe round the first time a
+// fan-out needs health data, so epochs and populations are populated even
+// when the background loop was never started (or has not fired yet).
+func (reg *Registry) ensureProbed(ctx context.Context) {
+	reg.probeOnce.Do(func() { reg.ProbeAll(ctx) })
+}
+
+// ProbeAll probes every replica of every shard concurrently.
+func (reg *Registry) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, group := range reg.groups {
+		for _, r := range group {
+			wg.Add(1)
+			go func(r *replica) {
+				defer wg.Done()
+				reg.probeOne(ctx, r)
+			}(r)
+		}
+	}
+	wg.Wait()
+}
+
+// probeOne runs the two-step active probe: /readyz for liveness, then
+// /api/v1/status for epoch and population.
+func (reg *Registry) probeOne(ctx context.Context, r *replica) {
+	ctx, cancel := context.WithTimeout(ctx, reg.opts.ProbeTimeout)
+	defer cancel()
+	start := time.Now()
+	err := r.probe.Ready(ctx)
+	var st client.Status
+	if err == nil {
+		st, err = r.probe.StatusCtx(ctx)
+	}
+	if reg.met != nil {
+		reg.met.ProbeLat.Observe(time.Since(start).Seconds())
+	}
+	r.lastProbeNS.Store(time.Now().UnixNano())
+	if err != nil {
+		r.noteFailure(reg.opts.FailTolerance)
+		return
+	}
+	r.epoch.Store(st.Epoch)
+	r.users.Store(int64(st.Users))
+	r.groups.Store(int64(st.Groups))
+	r.noteSuccess()
+}
+
+// Observe feeds a routed call's outcome back as a passive health signal.
+// Cancellation is not an outcome: a hedge loser cut off mid-flight says
+// nothing about the replica's health.
+func (reg *Registry) Observe(r *replica, err error) {
+	if err == nil {
+		r.noteSuccess()
+		return
+	}
+	r.noteFailure(reg.opts.FailTolerance)
+}
+
+// ranked returns shard si's replicas in routing order: healthy-and-fresh
+// first, then healthy-but-stale (epoch reconciliation), then never-probed,
+// then known-down — nothing is excluded, so a shard degrades only when every
+// replica actually fails.
+func (reg *Registry) ranked(si int) []*replica {
+	group := reg.groups[si]
+	out := make([]*replica, len(group))
+	copy(out, group)
+	var maxEpoch uint64
+	for _, r := range group {
+		if r.healthy() && r.epoch.Load() > maxEpoch {
+			maxEpoch = r.epoch.Load()
+		}
+	}
+	ranks := make([]int, len(out))
+	for i, r := range out {
+		ranks[i] = r.rank(maxEpoch)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := out[i].rank(maxEpoch), out[j].rank(maxEpoch)
+		if ri != rj {
+			return ri < rj
+		}
+		// Deterministic tiebreak by configuration order keeps healthy-cluster
+		// routing (and therefore chaos bit-identity runs) reproducible.
+		return out[i].url < out[j].url
+	})
+	for _, rk := range ranks {
+		if rk == 1 && reg.met != nil {
+			reg.met.Stale.Inc()
+		}
+	}
+	return out
+}
+
+// shardUsers reports the population of shard si as last probed from its
+// healthiest replica (0 when nothing has answered yet).
+func (reg *Registry) shardUsers(si int) int {
+	for _, r := range reg.ranked(si) {
+		if u := r.users.Load(); u > 0 {
+			return int(u)
+		}
+	}
+	return 0
+}
+
+// shardEpoch reports the reconciled (freshest known) epoch of shard si.
+func (reg *Registry) shardEpoch(si int) uint64 {
+	var max uint64
+	for _, r := range reg.groups[si] {
+		if e := r.epoch.Load(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Snapshot renders every replica's health record, per shard.
+func (reg *Registry) Snapshot() [][]ReplicaInfo {
+	out := make([][]ReplicaInfo, len(reg.groups))
+	for si, group := range reg.groups {
+		maxEpoch := reg.shardEpoch(si)
+		rows := make([]ReplicaInfo, len(group))
+		for i, r := range group {
+			rows[i] = ReplicaInfo{
+				URL:                 r.url,
+				Healthy:             r.healthy(),
+				Epoch:               r.epoch.Load(),
+				Stale:               r.healthy() && r.epoch.Load() < maxEpoch,
+				Breaker:             string(r.c.BreakerState()),
+				ConsecutiveFailures: int(r.consecFails.Load()),
+				Users:               int(r.users.Load()),
+				Groups:              int(r.groups.Load()),
+			}
+		}
+		out[si] = rows
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"podium/internal/client"
+)
+
+// Router turns the registry's health ranking into call routing for one
+// replica group per shard:
+//
+//   - Primary pick: the healthiest fresh replica (ranked() order).
+//   - Failover: an attempt that errors immediately launches the next
+//     replica in rank order; a shard's call fails only when every replica
+//     has failed.
+//   - Hedging: for idempotent calls, if the primary has not answered by the
+//     HedgeQuantile of recent successful latencies (clamped to
+//     [MinHedge, MaxHedge]), a second request goes to the next-ranked
+//     sibling. First success wins; the loser's context is cancelled, and a
+//     cancelled loser is *not* a health signal.
+//
+// Campaign creation is not idempotent end to end (a duplicate wave would
+// double-solicit users), so it routes through DoSequential — failover only,
+// no hedge — and the caller pins follow-up polling to the replica that
+// accepted the wave.
+
+// errNoReplicas is returned when a shard was configured with no replica URLs
+// (cannot happen through NewCoordinator, which drops empty groups).
+var errNoReplicas = fmt.Errorf("shard: no replicas configured")
+
+// routedCall is one operation against a replica's client, returning an
+// opaque value the caller type-asserts back.
+type routedCall func(ctx context.Context, c *client.Client) (interface{}, error)
+
+// latRing is a fixed-size ring of recent successful call latencies, one per
+// shard, backing the hedge deadline quantile.
+type latRing struct {
+	mu   sync.Mutex
+	buf  [64]time.Duration
+	n    int // filled entries
+	next int
+}
+
+func (l *latRing) add(d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+}
+
+// quantile returns the q-quantile of the recorded latencies and the sample
+// count backing it.
+func (l *latRing) quantile(q float64) (time.Duration, int) {
+	l.mu.Lock()
+	s := make([]time.Duration, l.n)
+	copy(s, l.buf[:l.n])
+	l.mu.Unlock()
+	if len(s) == 0 {
+		return 0, 0
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	return s[idx], len(s)
+}
+
+// Router routes calls across each shard's replica group using the
+// registry's health ranking.
+type Router struct {
+	reg *Registry
+	lat []*latRing
+}
+
+func newRouter(reg *Registry) *Router {
+	lat := make([]*latRing, len(reg.groups))
+	for i := range lat {
+		lat[i] = &latRing{}
+	}
+	return &Router{reg: reg, lat: lat}
+}
+
+// hedgeDelay is how long the router waits on the primary before hedging:
+// the configured latency quantile of recent successes, clamped to
+// [MinHedge, MaxHedge]. With fewer than 8 samples the quantile is noise, so
+// the conservative MaxHedge applies.
+func (rt *Router) hedgeDelay(si int) time.Duration {
+	q, n := rt.lat[si].quantile(rt.reg.opts.HedgeQuantile)
+	if n < 8 {
+		return rt.reg.opts.MaxHedge
+	}
+	if q < rt.reg.opts.MinHedge {
+		return rt.reg.opts.MinHedge
+	}
+	if q > rt.reg.opts.MaxHedge {
+		return rt.reg.opts.MaxHedge
+	}
+	return q
+}
+
+// Do routes one idempotent call to shard si with failover and hedging.
+// It returns the winning value, the replica that produced it, and the first
+// error when every replica failed.
+func (rt *Router) Do(ctx context.Context, si int, call routedCall) (interface{}, *replica, error) {
+	reps := rt.reg.ranked(si)
+	if len(reps) == 0 {
+		return nil, nil, errNoReplicas
+	}
+	type outcome struct {
+		val    interface{}
+		rep    *replica
+		err    error
+		hedged bool
+		dur    time.Duration
+	}
+	ctx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+	// Buffered to len(reps): an abandoned loser's send never blocks, so no
+	// goroutine leaks past the winner's return.
+	results := make(chan outcome, len(reps))
+	next := 0
+	launch := func(hedged bool) bool {
+		if next >= len(reps) {
+			return false
+		}
+		r := reps[next]
+		next++
+		go func() {
+			start := time.Now()
+			v, err := call(ctx, r.c)
+			results <- outcome{val: v, rep: r, err: err, hedged: hedged, dur: time.Since(start)}
+		}()
+		return true
+	}
+	launch(false)
+	inflight := 1
+
+	var hedgeCh <-chan time.Time
+	hedgeLaunched := false
+	if len(reps) > 1 {
+		t := time.NewTimer(rt.hedgeDelay(si))
+		defer t.Stop()
+		hedgeCh = t.C
+	}
+
+	var firstErr error
+	for inflight > 0 {
+		select {
+		case <-hedgeCh:
+			hedgeCh = nil
+			if launch(true) {
+				hedgeLaunched = true
+				inflight++
+			}
+		case o := <-results:
+			inflight--
+			if o.err == nil {
+				rt.reg.Observe(o.rep, nil)
+				rt.lat[si].add(o.dur)
+				if hedgeLaunched && rt.reg.met != nil {
+					if o.hedged {
+						rt.reg.met.HedgesWon.Inc()
+					} else {
+						rt.reg.met.HedgesLost.Inc()
+					}
+				}
+				cancelAll()
+				return o.val, o.rep, nil
+			}
+			// A failure after the caller's own context died (or after our
+			// cancel) is not evidence about the replica.
+			if ctx.Err() == nil {
+				rt.reg.Observe(o.rep, o.err)
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if launch(o.hedged) {
+				inflight++
+				if rt.reg.met != nil {
+					rt.reg.met.Failovers.Inc()
+				}
+			}
+		}
+	}
+	return nil, nil, firstErr
+}
+
+// DoSequential routes one non-idempotent call to shard si: replicas are
+// tried strictly one at a time in rank order, with no hedge — a duplicate
+// in-flight attempt could apply the operation twice.
+func (rt *Router) DoSequential(ctx context.Context, si int, call routedCall) (interface{}, *replica, error) {
+	reps := rt.reg.ranked(si)
+	if len(reps) == 0 {
+		return nil, nil, errNoReplicas
+	}
+	var firstErr error
+	for i, r := range reps {
+		v, err := call(ctx, r.c)
+		if err == nil {
+			rt.reg.Observe(r, nil)
+			return v, r, nil
+		}
+		if ctx.Err() == nil {
+			rt.reg.Observe(r, err)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if i < len(reps)-1 && rt.reg.met != nil {
+			rt.reg.met.Failovers.Inc()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, nil, firstErr
+}

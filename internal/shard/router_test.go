@@ -1,0 +1,190 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"podium/internal/client"
+)
+
+// newTestGroup builds one replica group over fake URLs with no live servers
+// behind them — router unit tests drive outcomes through the routedCall
+// closure instead of the wire.
+func newTestGroup(urls ...string) []*replica {
+	group := make([]*replica, len(urls))
+	for i, u := range urls {
+		c := client.New(u, nil)
+		group[i] = &replica{shard: 0, url: u, c: c, probe: c}
+	}
+	return group
+}
+
+func testRouter(group []*replica, opts HealthOptions) *Router {
+	return newRouter(newRegistry([][]*replica{group}, opts, nil))
+}
+
+// TestRouterFailover: the primary's error immediately launches the next
+// replica in rank order; the call succeeds on the sibling and the failure is
+// recorded as a passive health signal.
+func TestRouterFailover(t *testing.T) {
+	// Rank tiebreak is URL order, so r0 is the primary pick.
+	group := newTestGroup("http://r0", "http://r1")
+	group[0].up.Store(repUp)
+	group[1].up.Store(repUp)
+	rt := testRouter(group, HealthOptions{Seed: 1})
+
+	v, rep, err := rt.Do(context.Background(), 0, func(ctx context.Context, c *client.Client) (interface{}, error) {
+		if c.BaseURL() == "http://r0" {
+			return nil, fmt.Errorf("boom")
+		}
+		return "ok", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "ok" || rep.url != "http://r1" {
+		t.Fatalf("failover served %v from %q, want ok from r1", v, rep.url)
+	}
+	if got := group[0].consecFails.Load(); got != 1 {
+		t.Fatalf("primary consecutive failures = %d, want 1", got)
+	}
+	if !group[0].healthy() {
+		t.Fatal("one failure below tolerance marked the primary down")
+	}
+}
+
+// TestRouterAllReplicasFail: the first error is surfaced when the whole
+// group is exhausted, and both replicas carry the failure in their records.
+func TestRouterAllReplicasFail(t *testing.T) {
+	group := newTestGroup("http://a", "http://b")
+	rt := testRouter(group, HealthOptions{Seed: 1, FailTolerance: 1})
+
+	_, _, err := rt.Do(context.Background(), 0, func(ctx context.Context, c *client.Client) (interface{}, error) {
+		return nil, fmt.Errorf("down: %s", c.BaseURL())
+	})
+	if err == nil {
+		t.Fatal("exhausted group returned nil error")
+	}
+	for _, r := range group {
+		if r.up.Load() != repDown {
+			t.Fatalf("replica %s not marked down at tolerance 1", r.url)
+		}
+	}
+}
+
+// TestRouterHedgeWinsAndCancelsLoser: a slow primary trips the hedge
+// deadline, the sibling answers first, and the cancelled primary is NOT
+// penalized — a hedge loser cut off mid-flight says nothing about health.
+func TestRouterHedgeWinsAndCancelsLoser(t *testing.T) {
+	group := newTestGroup("http://slow", "http://fast")
+	// Rank the slow replica first: both healthy, slow is fresher.
+	group[0].up.Store(repUp)
+	group[0].epoch.Store(2)
+	group[1].up.Store(repUp)
+	group[1].epoch.Store(1)
+	rt := testRouter(group, HealthOptions{Seed: 1, MinHedge: time.Millisecond, MaxHedge: 10 * time.Millisecond})
+
+	var slowCancelled atomic.Bool
+	v, rep, err := rt.Do(context.Background(), 0, func(ctx context.Context, c *client.Client) (interface{}, error) {
+		if c.BaseURL() == "http://slow" {
+			select {
+			case <-time.After(5 * time.Second):
+				return "slow", nil
+			case <-ctx.Done():
+				slowCancelled.Store(true)
+				return nil, ctx.Err()
+			}
+		}
+		return "fast", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "fast" || rep.url != "http://fast" {
+		t.Fatalf("hedge served %v from %q, want fast replica", v, rep.url)
+	}
+	// The loser's cancellation must land promptly (Do cancels on win) and
+	// must not have dented the slow replica's health record.
+	deadline := time.After(2 * time.Second)
+	for !slowCancelled.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("losing hedge attempt was never cancelled")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := group[0].consecFails.Load(); got != 0 {
+		t.Fatalf("cancelled hedge loser recorded %d failures", got)
+	}
+	if !group[0].healthy() {
+		t.Fatal("cancelled hedge loser marked unhealthy")
+	}
+}
+
+// TestRouterDoSequentialNeverHedges: non-idempotent routing tries replicas
+// strictly one at a time — the second attempt starts only after the first
+// has failed, never concurrently.
+func TestRouterDoSequentialNeverHedges(t *testing.T) {
+	group := newTestGroup("http://a", "http://b")
+	group[0].up.Store(repUp)
+	group[1].up.Store(repUp)
+	// A hedge deadline far shorter than the first attempt's duration: if
+	// DoSequential hedged, both attempts would overlap.
+	rt := testRouter(group, HealthOptions{Seed: 1, MinHedge: time.Millisecond, MaxHedge: time.Millisecond})
+
+	var inflight, maxInflight atomic.Int32
+	v, rep, err := rt.DoSequential(context.Background(), 0, func(ctx context.Context, c *client.Client) (interface{}, error) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		for {
+			prev := maxInflight.Load()
+			if cur <= prev || maxInflight.CompareAndSwap(prev, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		if c.BaseURL() == "http://a" {
+			return nil, fmt.Errorf("first replica declines")
+		}
+		return "second", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(string) != "second" || rep.url != "http://b" {
+		t.Fatalf("sequential routing served %v from %q", v, rep.url)
+	}
+	if maxInflight.Load() != 1 {
+		t.Fatalf("sequential routing ran %d attempts concurrently", maxInflight.Load())
+	}
+}
+
+// TestRankedOrdersReplicas: healthy-and-fresh < healthy-and-stale < unknown
+// < down, with nothing excluded.
+func TestRankedOrdersReplicas(t *testing.T) {
+	group := newTestGroup("http://down", "http://stale", "http://fresh", "http://unknown")
+	group[0].up.Store(repDown)
+	group[1].up.Store(repUp)
+	group[1].epoch.Store(3)
+	group[2].up.Store(repUp)
+	group[2].epoch.Store(7)
+	// group[3] stays unknown (never probed).
+	reg := newRegistry([][]*replica{group}, HealthOptions{Seed: 1}, nil)
+
+	got := reg.ranked(0)
+	want := []string{"http://fresh", "http://stale", "http://unknown", "http://down"}
+	if len(got) != len(want) {
+		t.Fatalf("ranked dropped replicas: %d of %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.url != want[i] {
+			t.Fatalf("rank %d = %s, want %s", i, r.url, want[i])
+		}
+	}
+	if e := reg.shardEpoch(0); e != 7 {
+		t.Fatalf("reconciled epoch = %d, want 7", e)
+	}
+}

@@ -17,8 +17,10 @@
 #      (internal/faults), the metrics/trace registry (internal/obs), the
 #      binary codec + snapshot image (internal/codec), the columnar
 #      repository with its copy-on-write overlay (internal/profile) and the
-#      sharded selection subsystem — concurrent round-1 shard greedies plus
-#      the coordinator's fan-out/merge (internal/shard)
+#      sharded selection subsystem — concurrent round-1 shard greedies, the
+#      coordinator's fan-out/merge, and the replica health registry with its
+#      hedged router (probe loop, passive outcome notes and hedge
+#      cancellation all race against routing decisions) (internal/shard)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
