@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs bench-scale bench-steady bench-dist
+.PHONY: check vet build test race bench-engine bench-server bench-campaign bench-faults bench-obs bench-scale bench-steady bench-dist bench-rules
 
 # check is the PR gate: vet, build, full tests, and a race-detector pass over
 # the concurrent selection engine and its adjacency structures.
@@ -59,6 +59,12 @@ bench-obs:
 # (DESIGN.md §13).
 bench-steady:
 	$(GO) run ./cmd/podium-bench -suite steady
+
+# bench-rules regenerates BENCH_rules.json: every registered selection rule
+# timed on the 10K/100K-user scale instance — per-rule latency vs the default
+# coverage rule, plus each rule's coverage/fairness trade-off (DESIGN.md §16).
+bench-rules:
+	$(GO) run ./cmd/podium-bench -suite rules
 
 # bench-dist regenerates BENCH_dist.json: the sharded GreeDi two-round merge
 # vs single-node exact greedy at 10K/100K users × S ∈ {1,4,16} — merge

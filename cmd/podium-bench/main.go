@@ -24,6 +24,7 @@
 //	podium-bench obs            # observability overhead → BENCH_obs.json
 //	podium-bench steady         # selects under live writes → BENCH_steady.json
 //	podium-bench dist           # sharded GreeDi selection vs exact → BENCH_dist.json
+//	podium-bench rules          # selection rules: latency + trade-off → BENCH_rules.json
 //	podium-bench -suite server  # flag form of the same
 //	podium-bench all -scale 800
 package main
@@ -267,6 +268,24 @@ func main() {
 			fmt.Printf("wrote %s (image loads %.0fx faster than JSON; worst select-vs-linear %.2f)\n",
 				path, rep.MinImageSpeedup, rep.MaxSelectVsLinear)
 		},
+		"rules": func() {
+			tiers := []int{10000, 100000}
+			tab, rep, err := experiments.RunRulesSuite(experiments.RulesConfig{
+				Seed: *seed, Budget: *budget, Parallelism: *par, Tiers: tiers,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			showRaw(tab)
+			path := reportPath(*out, "BENCH_rules.json")
+			if err := writeReport(path, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "podium-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d rules; worst latency %.2fx of default; default coverage frac %.4f)\n",
+				path, len(rep.Rules), rep.MaxVsDefault, rep.MinDefaultCoverageFrac)
+		},
 		"dist": func() {
 			tab, rep, err := experiments.RunDistSuite(experiments.DistConfig{
 				Seed: *seed, Budget: *budget, Parallelism: *par,
@@ -370,5 +389,5 @@ func writeReport(path string, rep interface{}) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|obs|steady|scale|dist|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
+	fmt.Fprintln(os.Stderr, `podium-bench <fig3a|fig3b|fig3c|fig3d|fig4|fig5|fig6|approx|ablate|extra|noise|holdout|budget|transfer|engine|serve|campaign|faults|obs|steady|scale|dist|rules|all> [-scale N] [-seed S] [-budget B] [-raw] [-csv] [-suite NAME] [-out FILE] [-parallelism N] [-clients N] [-writes PCT] [-duration D] [-workers N]`)
 }

@@ -38,6 +38,7 @@ func main() {
 		budget   = flag.Int("budget", 8, "number of users to select")
 		weights  = flag.String("weights", "LBS", "weight scheme: Iden | LBS | EBS")
 		coverage = flag.String("coverage", "Single", "coverage scheme: Single | Prop")
+		rule     = flag.String("rule", "", "selection rule: "+strings.Join(podium.RuleNames(), " | ")+" (default coverage)")
 		buckets  = flag.Int("buckets", 3, "score buckets per property")
 		method   = flag.String("method", "kmeans", "bucketing: equal-width | quantile | jenks | kmeans | em | kde-valleys")
 		topK     = flag.Int("topk", 200, "top-weight groups in the headline coverage statistic")
@@ -96,6 +97,7 @@ func main() {
 		podium.WithBucketing(*method),
 		podium.WithWeights(ws),
 		podium.WithCoverage(cs),
+		podium.WithRule(*rule),
 		podium.WithTopK(*topK),
 	)
 	if err != nil {
@@ -103,7 +105,7 @@ func main() {
 	}
 
 	if *campaignMode {
-		runCampaign(p, repo, *budget, *campSeed, *nonResponse, *decline, *maxRounds, *walPath)
+		runCampaign(p, repo, *budget, *rule, *campSeed, *nonResponse, *decline, *maxRounds, *walPath)
 		return
 	}
 
@@ -150,9 +152,10 @@ func main() {
 // runCampaign drives an asynchronous procurement campaign and prints its
 // per-round transcript: who was selected, how each solicitation wave went,
 // who dropped out, and the coverage the accepted panel reached.
-func runCampaign(p *podium.Podium, repo *podium.Repository, budget int, seed int64, nonResponse, decline float64, maxRounds int, walPath string) {
+func runCampaign(p *podium.Podium, repo *podium.Repository, budget int, rule string, seed int64, nonResponse, decline float64, maxRounds int, walPath string) {
 	cfg := podium.CampaignConfig{
 		Budget:    budget,
+		Rule:      rule,
 		MaxRounds: maxRounds,
 		Seed:      seed,
 		Behavior: podium.CampaignBehavior{

@@ -124,6 +124,11 @@ type Config struct {
 	TimeScale float64 `json:"time_scale"`
 	// Seed drives every random stream of the simulated population.
 	Seed int64 `json:"seed"`
+	// Rule names the selection rule the panel rounds optimize ("" selects
+	// the default coverage rule). Part of campaign identity: it is journaled,
+	// and every repair round completes the accepted panel under the same
+	// rule's credit schedule. omitempty keeps pre-rule WALs replayable.
+	Rule string `json:"rule,omitempty"`
 	// Parallelism is the selection engine's worker count (0 = sequential).
 	Parallelism int `json:"parallelism"`
 	// Behavior parameterizes the simulated population.
@@ -207,6 +212,11 @@ type Campaign struct {
 	cfg    Config
 	wal    *WAL
 	cfgRaw []byte
+	// rule is cfg.Rule resolved against the core registry; ruleErr holds a
+	// resolution failure (unknown name) surfaced by the first Run — New has
+	// no error channel and a bad name must not panic a server.
+	rule    *core.Rule
+	ruleErr error
 
 	mu sync.Mutex
 	st struct {
@@ -241,8 +251,10 @@ func New(inst *groups.Instance, pop Population, cfg Config) *Campaign {
 		pop = NewSimPopulation(cfg.Seed, cfg.Behavior)
 	}
 	raw, _ := json.Marshal(cfg)
+	rule, ruleErr := core.LookupRule(cfg.Rule)
 	return &Campaign{
 		inst: inst, pop: pop, cfg: cfg, cfgRaw: raw,
+		rule: rule, ruleErr: ruleErr,
 		cancelCh: make(chan struct{}), pauseCh: make(chan struct{}),
 		doneCh: make(chan struct{}),
 	}
@@ -462,6 +474,9 @@ func (c *Campaign) Run() error {
 }
 
 func (c *Campaign) run() error {
+	if c.ruleErr != nil {
+		return fmt.Errorf("campaign: %w", c.ruleErr)
+	}
 	c.mu.Lock()
 	if c.st.done {
 		c.mu.Unlock()
@@ -497,7 +512,10 @@ func (c *Campaign) run() error {
 			return c.finalize(doneExhausted)
 		}
 		round++
-		selected := c.selectPanel(round, need)
+		selected, err := c.selectPanel(round, need)
+		if err != nil {
+			return err
+		}
 		if len(selected) == 0 {
 			return c.finalize(doneExhausted)
 		}
@@ -523,9 +541,11 @@ func (c *Campaign) run() error {
 }
 
 // selectPanel picks the users that best repair the accepted panel's
-// remaining coverage: GreedyComplete against the residual instance, with
-// declined and dead users excluded from the candidate pool.
-func (c *Campaign) selectPanel(round, need int) []profile.UserID {
+// remaining coverage: GreedyCompleteRule against the residual instance under
+// the campaign's rule, with declined and dead users excluded from the
+// candidate pool. The error is rule/instance incompatibility (EBS weights
+// under a weight-reading rule) — selection itself cannot fail.
+func (c *Campaign) selectPanel(round, need int) ([]profile.UserID, error) {
 	c.mu.Lock()
 	accepted := append([]profile.UserID(nil), c.st.accepted...)
 	allowed := make([]bool, c.inst.Index.Repo().NumUsers())
@@ -541,7 +561,10 @@ func (c *Campaign) selectPanel(round, need int) []profile.UserID {
 	c.mu.Unlock()
 
 	start := time.Now()
-	res := core.GreedyComplete(c.inst, need, accepted, allowed, core.Options{Parallelism: c.cfg.Parallelism})
+	res, err := core.GreedyCompleteRule(c.inst, need, accepted, allowed, c.rule, core.Options{Parallelism: c.cfg.Parallelism})
+	if err != nil {
+		return nil, fmt.Errorf("campaign: round %d selection: %w", round, err)
+	}
 	wallMs := float64(time.Since(start)) / float64(time.Millisecond)
 
 	c.mu.Lock()
@@ -552,7 +575,7 @@ func (c *Campaign) selectPanel(round, need int) []profile.UserID {
 		c.stats.RepairedUsers += len(res.Users)
 	}
 	c.mu.Unlock()
-	return res.Users
+	return res.Users, nil
 }
 
 // finishRound runs (or, after a resume, continues) a round's solicitation

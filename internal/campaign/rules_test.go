@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"podium/internal/core"
+	"podium/internal/groups"
+)
+
+// TestCampaignRuleAwareRepair: a campaign configured with a non-default rule
+// converges, runs every round's panel selection (initial and repair alike)
+// under that rule's credit schedule, and stays deterministic for a fixed
+// seed. Round 1's selection is cross-checked against GreedyRule directly.
+func TestCampaignRuleAwareRepair(t *testing.T) {
+	for _, name := range core.RuleNames() {
+		inst := testInstance(5, 200, 10, 8)
+		c := New(inst, nil, Config{Budget: 8, Seed: 17, Rule: name, Behavior: Behavior{NonResponse: 0.25}})
+		if err := c.Run(); err != nil {
+			t.Fatalf("rule %s: Run: %v", name, err)
+		}
+		st := c.Status()
+		if !st.Done || !st.Converged {
+			t.Fatalf("rule %s: campaign did not converge: %+v", name, st)
+		}
+		tr := c.Transcript()
+		want, err := core.GreedyRule(inst, 8, core.MustRule(name), core.Options{})
+		if err != nil {
+			t.Fatalf("rule %s: GreedyRule: %v", name, err)
+		}
+		if !reflect.DeepEqual(tr[0].Selected, want.Users) {
+			t.Fatalf("rule %s: round 1 selected %v, GreedyRule picks %v", name, tr[0].Selected, want.Users)
+		}
+
+		// Bit-identical reruns: same config, same transcript.
+		c2 := New(testInstance(5, 200, 10, 8), nil, Config{Budget: 8, Seed: 17, Rule: name, Behavior: Behavior{NonResponse: 0.25}})
+		if err := c2.Run(); err != nil {
+			t.Fatalf("rule %s: rerun: %v", name, err)
+		}
+		if !reflect.DeepEqual(c2.Transcript(), tr) {
+			t.Fatalf("rule %s: rerun transcript diverged", name)
+		}
+	}
+}
+
+// TestCampaignUnknownRule: a bad rule name surfaces as Run's error — never a
+// constructor panic (servers build campaigns from client input).
+func TestCampaignUnknownRule(t *testing.T) {
+	inst := testInstance(5, 50, 5, 4)
+	c := New(inst, nil, Config{Budget: 4, Seed: 1, Rule: "nope"})
+	err := c.Run()
+	if err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Run error = %v, want unknown-rule error", err)
+	}
+	if st := c.Status(); st.Err == "" {
+		t.Fatal("status does not carry the rule error")
+	}
+}
+
+// TestCampaignRuleEBSIncompatible: EBS weights under a weight-reading rule
+// fail the first selection with a typed error instead of mis-selecting.
+func TestCampaignRuleEBSIncompatible(t *testing.T) {
+	base := testInstance(5, 50, 5, 4)
+	inst := groups.NewInstance(base.Index, groups.WeightEBS, groups.CoverSingle, 4)
+	c := New(inst, nil, Config{Budget: 4, Seed: 1, Rule: "harmonic"})
+	if err := c.Run(); err == nil {
+		t.Fatal("EBS + harmonic campaign ran without error")
+	}
+}

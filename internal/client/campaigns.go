@@ -12,6 +12,7 @@ type CampaignRequest struct {
 	Budget        int     `json:"budget,omitempty"`
 	Weights       string  `json:"weights,omitempty"`
 	Coverage      string  `json:"coverage,omitempty"`
+	Rule          string  `json:"rule,omitempty"`
 	Seed          int64   `json:"seed,omitempty"`
 	MaxRounds     int     `json:"max_rounds,omitempty"`
 	MaxAttempts   int     `json:"max_attempts,omitempty"`

@@ -113,8 +113,11 @@ type GroupCoverage struct {
 
 // Selection is a full selection response.
 type Selection struct {
-	Users         []SelectedUser  `json:"users"`
-	Score         float64         `json:"score"`
+	Users []SelectedUser `json:"users"`
+	Score float64        `json:"score"`
+	// Rule names the selection rule the server ran under; empty means the
+	// default coverage rule (the server omits the field for it).
+	Rule          string          `json:"rule,omitempty"`
 	TopKCovered   int             `json:"top_k_covered"`
 	TopK          int             `json:"top_k"`
 	PriorityScore float64         `json:"priority_score"`
@@ -142,9 +145,18 @@ type SelectRequest struct {
 	Budget   int                 `json:"budget,omitempty"`
 	Weights  string              `json:"weights,omitempty"`
 	Coverage string              `json:"coverage,omitempty"`
+	Rule     string              `json:"rule,omitempty"`
 	Feedback server.FeedbackJSON `json:"feedback,omitempty"`
 	Config   string              `json:"config,omitempty"`
 	TopK     int                 `json:"top_k,omitempty"`
+}
+
+// RuleInfo is one row of the server's selection-rule registry
+// (GET /api/v1/rules).
+type RuleInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Default     bool   `json:"default,omitempty"`
 }
 
 // Distribution compares a property's bucket distribution between the
@@ -183,6 +195,13 @@ func (c *Client) Groups(limit int) ([]GroupInfo, error) {
 func (c *Client) Configurations() ([]server.NamedConfig, error) {
 	var cs []server.NamedConfig
 	return cs, c.get(context.Background(), "/api/v1/configurations", nil, &cs)
+}
+
+// Rules lists the selection rules the server's objective registry offers
+// (GET /api/v1/rules); exactly one row is marked Default.
+func (c *Client) Rules() ([]RuleInfo, error) {
+	var rs []RuleInfo
+	return rs, c.get(context.Background(), "/api/v1/rules", nil, &rs)
 }
 
 // Select runs a selection.

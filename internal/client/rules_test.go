@@ -1,0 +1,74 @@
+package client
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClientRules: the typed discovery call mirrors the server's registry —
+// the default coverage rule is listed, marked, and first.
+func TestClientRules(t *testing.T) {
+	c, _ := newPair(t)
+	rules, err := c.Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) < 4 {
+		t.Fatalf("rules = %+v, want >= 4 registered rules", rules)
+	}
+	if rules[0].Name != "coverage" || !rules[0].Default {
+		t.Fatalf("first rule = %+v, want the default coverage rule", rules[0])
+	}
+	for _, r := range rules[1:] {
+		if r.Default {
+			t.Fatalf("non-coverage rule %q marked default", r.Name)
+		}
+		if r.Description == "" {
+			t.Fatalf("rule %q has no description", r.Name)
+		}
+	}
+}
+
+// TestClientSelectRule: a typed select carrying a rule comes back stamped
+// with it; the default request stays unstamped.
+func TestClientSelectRule(t *testing.T) {
+	c, _ := newPair(t)
+	def, err := c.Select(SelectRequest{Budget: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Rule != "" {
+		t.Fatalf("default selection rule field = %q, want empty", def.Rule)
+	}
+	sel, err := c.Select(SelectRequest{Budget: 2, Rule: "maxcov"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Rule != "maxcov" {
+		t.Fatalf("selection rule field = %q, want maxcov", sel.Rule)
+	}
+	if len(sel.Users) != 2 {
+		t.Fatalf("maxcov selected %d users, want 2", len(sel.Users))
+	}
+}
+
+// TestClientUnknownRuleRoundTrip: the unknown-rule 400 round-trips through
+// AsAPIError with its machine code and the self-correcting rule list intact —
+// the regression test the error-envelope satellite asks for.
+func TestClientUnknownRuleRoundTrip(t *testing.T) {
+	c, _ := newPair(t)
+	_, err := c.Select(SelectRequest{Budget: 2, Rule: "nope"})
+	if err == nil {
+		t.Fatal("unknown rule did not error")
+	}
+	apiErr, ok := AsAPIError(err)
+	if !ok {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if apiErr.Status != 400 || apiErr.Code != "invalid_argument" {
+		t.Fatalf("APIError = %+v, want 400/invalid_argument", apiErr)
+	}
+	if !strings.Contains(apiErr.Message, `"nope"`) || !strings.Contains(apiErr.Message, "coverage") {
+		t.Fatalf("message does not echo the bad rule and list registered ones: %q", apiErr.Message)
+	}
+}

@@ -39,12 +39,18 @@ import (
 // with its own mutex (one writer syncs, then any number of reads would still
 // be sequential per state — selections themselves are cheap once synced).
 type SelectorState struct {
+	// rule is the selection rule the state repairs for; nil means the default
+	// (coverage). Base rows are sums of the rule's *initial credits*, so one
+	// state serves exactly one rule — callers key states per rule.
+	rule *Rule
 	// base is marg_{u,∅} per user under the last synced instance. After a
-	// recompute it aliases that instance's memoized BaseMarginals (owned ==
-	// false); the first repair detaches a private copy.
+	// recompute it aliases that instance's memoized BaseMarginals for the
+	// default rule (owned == false; the first repair detaches a private copy)
+	// and is a private rule-computed slice otherwise.
 	base  []float64
 	owned bool
-	// effW is the effective per-group weight at the last Sync: Wei[g] when
+	// effW is the effective per-group weight at the last Sync — the rule's
+	// initial credit w_G(0); for the default rule that is Wei[g] when
 	// Cov[g] > 0, else 0 — the quantity base rows actually sum. Comparing it
 	// against the new instance finds every group whose weight moved, however
 	// it moved (membership growth under LBS, a new group, a zeroed coverage).
@@ -56,8 +62,16 @@ type SelectorState struct {
 	Repairs, Recomputes, RepairedUsers uint64
 }
 
-// NewSelectorState returns an empty state; the first Sync recomputes.
+// NewSelectorState returns an empty state for the default rule; the first
+// Sync recomputes.
 func NewSelectorState() *SelectorState { return &SelectorState{} }
+
+// NewSelectorStateRule returns an empty state repairing base marginals for
+// the given rule (nil selects the default). Every rule's base rows are plain
+// sums of per-group initial credits, so the delta-repair machinery — changed
+// rows plus members of credit-shifted groups, re-summed ascending — carries
+// over unchanged; only what the rows sum differs.
+func NewSelectorStateRule(r *Rule) *SelectorState { return &SelectorState{rule: r} }
 
 // repairMaxFrac bounds the repair path: when a delta touches more than
 // users/repairMaxFrac rows, re-summing them one row at a time approaches the
@@ -77,12 +91,14 @@ func (st *SelectorState) Sync(inst *groups.Instance, changed []profile.UserID, f
 	n := ix.Repo().NumUsers()
 	nG := ix.NumGroups()
 
-	// Effective weights under the new instance.
-	newEff := make([]float64, nG)
-	for g := 0; g < nG; g++ {
-		if inst.Cov[g] > 0 {
-			newEff[g] = inst.Wei[g]
-		}
+	// Effective weights under the new instance: the rule's initial credits.
+	// (For the default rule this computes Wei[g] when Cov[g] > 0, else 0 —
+	// the historical quantity, float for float.)
+	var newEff []float64
+	if inst.EBS {
+		newEff = make([]float64, nG)
+	} else {
+		newEff = st.rule.OrDefault().initialCredits(inst)
 	}
 
 	if force || inst.EBS || st.base == nil || len(st.base) > n {
@@ -166,14 +182,20 @@ func (st *SelectorState) Sync(inst *groups.Instance, changed []profile.UserID, f
 	return true
 }
 
-// recompute resets the state from the instance's memoized base marginals.
+// recompute resets the state from the rule's base marginals — for the
+// default rule the instance's memoized BaseMarginals (aliased, not copied),
+// for other rules a fresh rule-computed slice the state owns.
 func (st *SelectorState) recompute(inst *groups.Instance, newEff []float64) {
-	if inst.EBS {
+	r := st.rule.OrDefault()
+	switch {
+	case inst.EBS:
 		// EBS float weights overflow; the base array is never consulted
 		// (Select routes EBS to the exact rank-vector path).
 		st.base, st.owned = nil, false
-	} else {
+	case r.def:
 		st.base, st.owned = inst.BaseMarginals(), false
+	default:
+		st.base, st.owned = r.baseFrom(inst, nil), true
 	}
 	st.effW = newEff
 	st.Recomputes++
@@ -181,12 +203,15 @@ func (st *SelectorState) recompute(inst *groups.Instance, newEff []float64) {
 
 // Select runs a lazy-greedy selection seeded from the synced base state. The
 // caller must have Synced against the same inst. The result is bit-identical
-// to a fresh LazyGreedy (and therefore to Greedy) on inst; opt is consulted
-// only on the fallback paths — the seeded run's heap build is an O(n) copy
-// with nothing worth sharding.
+// to a fresh lazy (and therefore eager) greedy under the state's rule on
+// inst; opt is consulted only on the fallback paths — the seeded run's heap
+// build is an O(n) copy with nothing worth sharding. EBS instances fall back
+// to the exact path, which only the default rule supports (rule-aware
+// callers gate EBS upstream).
 func (st *SelectorState) Select(inst *groups.Instance, budget int, opt Options) *Result {
+	r := st.rule.OrDefault()
 	if inst.EBS || st.base == nil || len(st.base) != inst.Index.Repo().NumUsers() {
-		return LazyGreedyOpts(inst, budget, opt)
+		return lazyGreedyRule(inst, budget, nil, r, opt)
 	}
-	return lazySeeded(inst, budget, st.base)
+	return lazySeededRule(inst, budget, st.base, r)
 }

@@ -44,7 +44,17 @@ func LazyGreedyRestricted(inst *groups.Instance, budget int, allowed []bool) *Re
 // strict (marginal desc, index asc) total order regardless of how the heap
 // was built.
 func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool, opt Options) *Result {
-	if inst.EBS {
+	return lazyGreedyRule(inst, budget, allowed, ruleCoverage, opt)
+}
+
+// lazyGreedyRule is the shared lazy-greedy body, parameterized by a selection
+// rule (rules.go). The coverage rule reproduces the historical behavior bit
+// for bit: its current credits are wei(G) while unsaturated and exactly 0.0
+// after, and adding a 0.0 term to a non-negative partial sum is the identity,
+// so the generalized refresh sums round like the old cov-guarded ones.
+// Callers must have checked rule/instance compatibility (EBS).
+func lazyGreedyRule(inst *groups.Instance, budget int, allowed []bool, r *Rule, opt Options) *Result {
+	if inst.EBS && r.ebsExact {
 		// Exact EBS comparisons need rank vectors, not float keys.
 		return ebsGreedy(inst, budget, allowed)
 	}
@@ -54,7 +64,7 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 	if budget <= 0 || n == 0 {
 		return res
 	}
-	ls := newLazyRun(inst, res)
+	ls := newLazyRunRule(inst, res, r)
 
 	entries := make([]margEntry, 0, n)
 	for u := 0; u < n; u++ {
@@ -66,7 +76,7 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 	if workers > 1 && len(entries) >= engineParallelCutoff {
 		// refresh mutates res.Evaluations; count the work up front and sum
 		// each shard's rows without the shared counter.
-		csr, cov := ls.csr, ls.cov
+		csr, curW := ls.csr, ls.curW
 		for i := range entries {
 			res.Evaluations += csr.UserDegree(profile.UserID(entries[i].user))
 		}
@@ -74,9 +84,7 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 			for i := lo; i < hi; i++ {
 				var m float64
 				for _, g := range csr.UserGroups(profile.UserID(entries[i].user)) {
-					if cov[g] > 0 {
-						m += inst.Wei[g]
-					}
+					m += curW[g]
 				}
 				entries[i].key = m
 			}
@@ -101,12 +109,19 @@ func LazyGreedyRestrictedOpts(inst *groups.Instance, budget int, allowed []bool,
 // Result.Evaluations differs — the seeded run skips the initial row
 // traversals, which is the point.
 func lazySeeded(inst *groups.Instance, budget int, base []float64) *Result {
+	return lazySeededRule(inst, budget, base, ruleCoverage)
+}
+
+// lazySeededRule is lazySeeded under a pluggable rule; base must be the
+// rule's own base marginals (Rule.baseMarginals or a SelectorState repaired
+// under the same rule).
+func lazySeededRule(inst *groups.Instance, budget int, base []float64, r *Rule) *Result {
 	n := inst.Index.Repo().NumUsers()
 	res := &Result{}
 	if budget <= 0 || n == 0 {
 		return res
 	}
-	ls := newLazyRun(inst, res)
+	ls := newLazyRunRule(inst, res, r)
 	entries := make([]margEntry, n)
 	for u := 0; u < n; u++ {
 		entries[u] = margEntry{user: u, key: base[u]}
@@ -115,32 +130,45 @@ func lazySeeded(inst *groups.Instance, budget int, base []float64) *Result {
 	return res
 }
 
-// lazyRun is the shared state of one lazy-greedy execution: the mutable
-// coverage counters and the refresh primitive both entry points feed into the
-// same pop/refresh/select loop.
+// lazyRun is the shared state of one lazy-greedy execution: each group's
+// schedule position and current credit, and the refresh primitive both entry
+// points feed into the same pop/refresh/select loop.
 type lazyRun struct {
-	inst *groups.Instance
-	csr  *groups.CSR
-	cov  []int
+	inst   *groups.Instance
+	csr    *groups.CSR
+	credit creditFunc
+	// cnt[g] counts selected members of g; curW[g] = credit(g, cnt[g]) is the
+	// gain g contributes to its next selected member.
+	cnt  []int
+	curW []float64
 	res  *Result
 }
 
-func newLazyRun(inst *groups.Instance, res *Result) *lazyRun {
-	cov := make([]int, len(inst.Cov))
-	copy(cov, inst.Cov)
-	return &lazyRun{inst: inst, csr: inst.Index.CSR(), cov: cov, res: res}
+func newLazyRunRule(inst *groups.Instance, res *Result, r *Rule) *lazyRun {
+	credit := r.credits(inst)
+	nG := inst.Index.NumGroups()
+	ls := &lazyRun{
+		inst:   inst,
+		csr:    inst.Index.CSR(),
+		credit: credit,
+		cnt:    make([]int, nG),
+		curW:   make([]float64, nG),
+		res:    res,
+	}
+	for g := 0; g < nG; g++ {
+		ls.curW[g] = credit(g, 0)
+	}
+	return ls
 }
 
-// refresh computes the true marginal contribution of u under the current cov
-// state, summed over u's CSR row in ascending group order.
+// refresh computes the true marginal contribution of u under the current
+// schedule state, summed over u's CSR row in ascending group order.
 func (ls *lazyRun) refresh(u int) float64 {
 	gs := ls.csr.UserGroups(profile.UserID(u))
 	ls.res.Evaluations += len(gs)
 	var m float64
 	for _, g := range gs {
-		if ls.cov[g] > 0 {
-			m += ls.inst.Wei[g]
-		}
+		m += ls.curW[g]
 	}
 	return m
 }
@@ -179,9 +207,8 @@ func (ls *lazyRun) run(entries []margEntry, budget int) {
 		res.Marginals = append(res.Marginals, pick.key)
 		res.Score += pick.key
 		for _, g := range ls.csr.UserGroups(profile.UserID(pick.user)) {
-			if ls.cov[g] > 0 {
-				ls.cov[g]--
-			}
+			ls.cnt[g]++
+			ls.curW[g] = ls.credit(int(g), ls.cnt[g])
 		}
 	}
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"podium/internal/groups"
 	"podium/internal/profile"
 )
@@ -24,13 +22,9 @@ import (
 // collapse into the allowed mask. Options tune execution only; the result is
 // deterministic for a fixed candidate set.
 func MergeGreedy(inst *groups.Instance, candidates []profile.UserID, budget int, opt Options) (*Result, error) {
-	n := inst.Index.Repo().NumUsers()
-	allowed := make([]bool, n)
-	for _, u := range candidates {
-		if int(u) < 0 || int(u) >= n {
-			return nil, fmt.Errorf("core: merge candidate %d outside population of %d", u, n)
-		}
-		allowed[u] = true
+	allowed, err := candidateMask(inst, candidates)
+	if err != nil {
+		return nil, err
 	}
 	return GreedyRestrictedOpts(inst, budget, allowed, opt), nil
 }

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"podium/internal/core"
+)
+
+// TestRulesSuiteShapes pins the rules suite's acceptance shapes on small
+// tiers (the full sweep is a bench, not a test): one row per (tier, rule),
+// every rule produces a valid budget-sized selection, the default rule's
+// normalized coverage leads or ties every alternative (greedy on the paper's
+// own objective cannot lose to a reshaped credit schedule on that axis), and
+// fairness-oriented rules reach at least the default's group breadth.
+func TestRulesSuiteShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rules suite smoke is seconds-long")
+	}
+	tiers := []int{1000, 3000}
+	_, rep, err := RunRulesSuite(RulesConfig{Seed: 7, Tiers: tiers, Repetitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := core.RuleNames()
+	if want := len(tiers) * len(names); len(rep.Rows) != want {
+		t.Fatalf("expected %d rows, got %d", want, len(rep.Rows))
+	}
+	if rep.MaxVsDefault <= 0 || rep.MinDefaultCoverageFrac <= 0 {
+		t.Fatalf("degenerate headline metrics: %+v", rep)
+	}
+	byTier := make(map[int]map[string]RulesRow)
+	for _, row := range rep.Rows {
+		if row.SelectSec <= 0 || row.Score <= 0 || row.GroupsCoverable == 0 {
+			t.Fatalf("degenerate row: %+v", row)
+		}
+		if row.CoverageFrac <= 0 || row.CoverageFrac > 1 || row.FairnessFrac <= 0 || row.FairnessFrac > 1 {
+			t.Fatalf("fraction out of range: %+v", row)
+		}
+		if (row.Rule == "coverage") != row.Default {
+			t.Fatalf("default flag mislabeled: %+v", row)
+		}
+		if byTier[row.Users] == nil {
+			byTier[row.Users] = make(map[string]RulesRow)
+		}
+		byTier[row.Users][row.Rule] = row
+	}
+	for users, rows := range byTier {
+		def := rows["coverage"]
+		for name, row := range rows {
+			if row.CoverageFrac > def.CoverageFrac+1e-9 {
+				t.Errorf("|U|=%d: rule %s coverage frac %.6f beats the default's %.6f",
+					users, name, row.CoverageFrac, def.CoverageFrac)
+			}
+		}
+		if ff := rows["fairness-floor"]; ff.FairnessFrac+1e-9 < def.FairnessFrac {
+			t.Errorf("|U|=%d: fairness-floor breadth %.4f below the default's %.4f",
+				users, ff.FairnessFrac, def.FairnessFrac)
+		}
+	}
+}

@@ -91,11 +91,11 @@ func (m *ServerMetrics) RouteLatency(route string) *Histogram {
 }
 
 // SelectCacheMetrics instruments the watermark-keyed select cache and the
-// delta-repaired selector state behind it.
+// delta-repaired selector state behind it. Request-outcome counters are
+// labeled by selection rule (see Requests); the remaining families are
+// cache-global.
 type SelectCacheMetrics struct {
-	Hits   *Counter // podium_select_cache_requests_total{result="hit"}
-	Misses *Counter // {result="miss"}
-	Bypass *Counter // {result="bypass"} — cache disabled or traced request
+	reg *Registry
 	// Sync outcomes on cache misses: the selector state was delta-repaired or
 	// fully recomputed.
 	Repaired      *Counter // podium_select_syncs_total{mode="repaired"}
@@ -109,23 +109,29 @@ type SelectCacheMetrics struct {
 	Watermark      *Gauge   // podium_select_cache_watermark
 }
 
+// Requests returns the request counter child for (result, rule):
+// podium_select_cache_requests_total{result="hit"|"miss"|"bypass",rule=...}.
+// Registration locks; the select cache caches the children per rule.
+func (m *SelectCacheMetrics) Requests(result, rule string) *Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("podium_select_cache_requests_total",
+		"Select requests by cache outcome and selection rule.",
+		L("result", result), L("rule", rule))
+}
+
 // NewSelectCacheMetrics registers the select-cache families on reg.
 func NewSelectCacheMetrics(reg *Registry) *SelectCacheMetrics {
 	if reg == nil {
 		return nil
-	}
-	result := func(r string) *Counter {
-		return reg.Counter("podium_select_cache_requests_total",
-			"Select requests by cache outcome.", L("result", r))
 	}
 	mode := func(m string) *Counter {
 		return reg.Counter("podium_select_syncs_total",
 			"Selector-state synchronizations on cache misses, by mode.", L("mode", m))
 	}
 	return &SelectCacheMetrics{
-		Hits:       result("hit"),
-		Misses:     result("miss"),
-		Bypass:     result("bypass"),
+		reg:        reg,
 		Repaired:   mode("repaired"),
 		Recomputed: mode("recomputed"),
 		RepairedUsers: reg.Counter("podium_select_repaired_rows_total",

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"podium/internal/campaign"
+	"podium/internal/groups"
 	"podium/internal/profile"
 )
 
@@ -61,6 +62,7 @@ type campaignRequest struct {
 	Budget        int     `json:"budget"`
 	Weights       string  `json:"weights"`
 	Coverage      string  `json:"coverage"`
+	Rule          string  `json:"rule"`
 	Seed          int64   `json:"seed"`
 	MaxRounds     int     `json:"max_rounds"`
 	MaxAttempts   int     `json:"max_attempts"`
@@ -217,6 +219,16 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
+	rule, err := parseRule(req.Rule)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+		return
+	}
+	if ws == groups.WeightEBS && !rule.EBSCompatible() {
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument,
+			"rule %q does not support EBS weights (exact rank arithmetic implements only the coverage objective)", rule.Name())
+		return
+	}
 	if req.Budget <= 0 {
 		req.Budget = 8
 	}
@@ -227,8 +239,16 @@ func (s *Server) createCampaign(w http.ResponseWriter, r *http.Request) {
 	if req.Workers > 64 {
 		req.Workers = 64
 	}
+	// The journaled config keeps "" for the default rule so pre-rule WALs
+	// (and default campaigns created before this field existed) stay
+	// byte-identical on resume.
+	ruleName := ""
+	if !rule.IsDefault() {
+		ruleName = rule.Name()
+	}
 	cfg := campaign.Config{
 		Budget:        req.Budget,
+		Rule:          ruleName,
 		MaxRounds:     req.MaxRounds,
 		MaxAttempts:   req.MaxAttempts,
 		TimeoutMs:     req.TimeoutMs,

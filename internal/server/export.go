@@ -23,6 +23,11 @@ func ParseWeights(s string) (groups.WeightScheme, error) { return parseWeights(s
 // "prop"; empty selects Single).
 func ParseCoverage(s string) (groups.CoverageScheme, error) { return parseCoverage(s) }
 
+// ParseRule parses a request rule string against the core registry
+// (case-insensitive; empty selects the default coverage rule), with the same
+// error message handleSelect produces for unknown names.
+func ParseRule(s string) (*core.Rule, error) { return parseRule(s) }
+
 // Exported error codes of the unified envelope, for out-of-package handlers.
 const (
 	CodeInvalidArgument  = codeInvalidArgument
@@ -44,11 +49,16 @@ func WriteError(w http.ResponseWriter, r *http.Request, status int, code, format
 // RenderSelection marshals the standard select-response JSON for an
 // externally computed selection result — the coordinator's merge round,
 // whose greedy ran through core directly rather than through handleSelect.
-// extra fields are spliced into the top-level object (shard epochs, the
-// degraded flag); a key colliding with a standard field overrides it.
-func (sn *Snapshot) RenderSelection(ws groups.WeightScheme, cs groups.CoverageScheme, budget, topK int, res *core.Result, extra map[string]interface{}) ([]byte, error) {
+// rl names the rule the selection ran under (nil or default omits the
+// response's rule field, matching single-node default responses byte for
+// byte). extra fields are spliced into the top-level object (shard epochs,
+// the degraded flag); a key colliding with a standard field overrides it.
+func (sn *Snapshot) RenderSelection(ws groups.WeightScheme, cs groups.CoverageScheme, budget, topK int, rl *core.Rule, res *core.Result, extra map[string]interface{}) ([]byte, error) {
 	inst := sn.Instance(ws, cs, budget)
 	resp := buildSelectResponse(inst, res, nil, topK)
+	if rl = rl.OrDefault(); !rl.IsDefault() {
+		resp.Rule = rl.Name()
+	}
 	data, err := json.Marshal(resp)
 	if err != nil {
 		return nil, err

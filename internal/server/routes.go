@@ -167,6 +167,7 @@ func (s *Server) buildRoutes() {
 	s.addRoute("groups", "/api/v1/groups", "/api/groups", get(s.handleGroups), nil)
 	s.addRoute("configurations", "/api/v1/configurations", "/api/configurations", get(s.handleConfigurations), nil)
 	s.addRoute("select", "/api/v1/select", "/api/select", post(s.handleSelect), nil)
+	s.addRoute("rules", "/api/v1/rules", "", get(s.handleRules), nil)
 	s.addRoute("query", "/api/v1/query", "/api/query", post(s.handleQuery), nil)
 	s.addRoute("distribution", "/api/v1/distribution", "/api/distribution", get(s.handleDistribution), nil)
 	s.addRoute("campaigns", "/api/v1/campaigns", "/api/campaigns", map[string]http.HandlerFunc{

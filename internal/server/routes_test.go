@@ -17,6 +17,7 @@ func TestRouteTableGolden(t *testing.T) {
 		{"groups", "/api/v1/groups", "/api/groups", "GET"},
 		{"configurations", "/api/v1/configurations", "/api/configurations", "GET"},
 		{"select", "/api/v1/select", "/api/select", "POST"},
+		{"rules", "/api/v1/rules", "", "GET"},
 		{"query", "/api/v1/query", "/api/query", "POST"},
 		{"distribution", "/api/v1/distribution", "/api/distribution", "GET"},
 		{"campaigns", "/api/v1/campaigns", "/api/campaigns", "GET, POST"},
@@ -157,6 +158,7 @@ func TestErrorEnvelopeEverywhere(t *testing.T) {
 		{http.MethodPost, "/api/v1/select", `{"bogus_field":1}`, 400, "invalid_argument"},
 		{http.MethodPost, "/api/v1/select", `{bad json`, 400, "invalid_argument"},
 		{http.MethodPost, "/api/v1/select", `{"weights":"nope"}`, 400, "invalid_argument"},
+		{http.MethodPost, "/api/v1/select", `{"rule":"nope"}`, 400, "invalid_argument"},
 		{http.MethodPost, "/api/v1/query", `{"query":"SELECT nonsense"}`, 400, "invalid_argument"},
 		{http.MethodGet, "/api/v1/distribution?prop=bogus", "", 404, "not_found"},
 		{http.MethodGet, "/api/v1/campaigns/999", "", 404, "not_found"},

@@ -63,7 +63,10 @@ type selectCache struct {
 	groupSeq   []uint64
 	reshapeSeq uint64
 	entries    map[selCacheKey]*selCacheEntry
-	states     map[instKey]*selState
+	states     map[selStateKey]*selState
+	// ruleMet caches the per-rule request-counter children (hit/miss/bypass)
+	// so the hot path never takes the registry lock.
+	ruleMet sync.Map // rule name → *selCacheRuleMet
 	// entryLRU / stateLRU order the map keys most- to least-recently used;
 	// element values are the map keys so eviction can delete by key.
 	entryLRU list.List
@@ -86,8 +89,9 @@ var maxSelCacheEntries = 1024
 // O(n) base arrays each — the expensive side of the cache.
 var maxSelCacheStates = 64
 
-// selCacheKey identifies one cached response: the selection parameters, the
-// response shape (pretty and compact responses are distinct pre-marshaled
+// selCacheKey identifies one cached response: the selection parameters —
+// including the selection rule, so two rules can never collide on one entry —
+// the response shape (pretty and compact responses are distinct pre-marshaled
 // bytes — satellite fix: ?pretty=1 must never be answered with compact bytes
 // or vice versa), and the canonicalized feedback restriction ("" when
 // feedback-free).
@@ -95,8 +99,40 @@ type selCacheKey struct {
 	ws           groups.WeightScheme
 	cs           groups.CoverageScheme
 	budget, topK int
-	pretty       bool
-	fb           string
+	// rule is the normalized rule name (core.Rule.Name — never "", the
+	// handler resolves the empty request field to "coverage" before keying).
+	rule   string
+	pretty bool
+	fb     string
+}
+
+// selStateKey identifies one delta-repaired selector state. Unlike instKey —
+// instances are rule-independent — states embed a rule's base marginals, so
+// one state serves exactly one rule.
+type selStateKey struct {
+	ws     groups.WeightScheme
+	cs     groups.CoverageScheme
+	budget int
+	rule   string
+}
+
+// selCacheRuleMet holds one rule's request-outcome counter children.
+type selCacheRuleMet struct {
+	hits, misses, bypass *obs.Counter
+}
+
+// metFor returns (creating on first use) the counter children for a rule.
+func (c *selectCache) metFor(rule string) *selCacheRuleMet {
+	if v, ok := c.ruleMet.Load(rule); ok {
+		return v.(*selCacheRuleMet)
+	}
+	m := &selCacheRuleMet{
+		hits:   c.met.Requests("hit", rule),
+		misses: c.met.Requests("miss", rule),
+		bypass: c.met.Requests("bypass", rule),
+	}
+	v, _ := c.ruleMet.LoadOrStore(rule, m)
+	return v.(*selCacheRuleMet)
 }
 
 type selCacheEntry struct {
@@ -127,17 +163,17 @@ func newSelectCache(met *obs.SelectCacheMetrics) *selectCache {
 	return &selectCache{
 		met:     met,
 		entries: make(map[selCacheKey]*selCacheEntry),
-		states:  make(map[instKey]*selState),
+		states:  make(map[selStateKey]*selState),
 	}
 }
 
 func (c *selectCache) enabled() bool { return !c.disabled.Load() }
 
 // noteBypass records a request the handler routed around the cache (traced
-// selections, which need a live span tree).
-func (c *selectCache) noteBypass() {
+// selections, which need a live span tree), attributed to its rule.
+func (c *selectCache) noteBypass(rule string) {
 	c.bypass.Add(1)
-	c.met.Bypass.Inc()
+	c.metFor(rule).bypass.Inc()
 }
 
 // applyDelta folds one mutation batch's change record into the watermarks.
@@ -222,10 +258,11 @@ func (c *selectCache) entry(k selCacheKey) *selCacheEntry {
 	return e
 }
 
-// state returns the selector-state slot for k with the same LRU policy. An
-// evicted state's O(n) base arrays stay reachable only from any in-flight
-// compute still holding it.
-func (c *selectCache) state(k instKey) *selState {
+// state returns the selector-state slot for k with the same LRU policy,
+// creating a state that repairs base marginals under k's rule. An evicted
+// state's O(n) base arrays stay reachable only from any in-flight compute
+// still holding it.
+func (c *selectCache) state(k selStateKey, r *core.Rule) *selState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if st, ok := c.states[k]; ok {
@@ -234,12 +271,12 @@ func (c *selectCache) state(k instKey) *selState {
 	}
 	for len(c.states) >= maxSelCacheStates {
 		back := c.stateLRU.Back()
-		delete(c.states, back.Value.(instKey))
+		delete(c.states, back.Value.(selStateKey))
 		c.stateLRU.Remove(back)
 		c.stateEvicts.Add(1)
 		c.met.StateEvictions.Inc()
 	}
-	st := &selState{st: core.NewSelectorState()}
+	st := &selState{st: core.NewSelectorStateRule(r)}
 	st.elem = c.stateLRU.PushFront(k)
 	c.states[k] = st
 	return st
@@ -247,23 +284,28 @@ func (c *selectCache) state(k instKey) *selState {
 
 // respond serves one select request through the cache: a single-flight hit
 // check on the entry, and on miss a sync-repair-select-marshal under the
-// entry's lock. fb is nil for feedback-free requests (k.fb == "" then).
-// The returned data is pre-marshaled per k.pretty and newline-terminated.
-func (c *selectCache) respond(sn *Snapshot, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, []byte, error) {
+// entry's lock. r is the resolved selection rule (k.rule is its name); fb is
+// nil for feedback-free requests (k.fb == "" then). The returned data is
+// pre-marshaled per k.pretty and newline-terminated.
+func (c *selectCache) respond(sn *Snapshot, k selCacheKey, r *core.Rule, fb *core.Feedback, opt core.Options) (selectResponse, []byte, error) {
 	target := sn.ChangeSeq()
+	rm := c.metFor(k.rule)
 	e := c.entry(k)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.valid && e.seq >= target {
 		c.hits.Add(1)
-		c.met.Hits.Inc()
+		rm.hits.Inc()
 		return e.resp, e.data, nil
 	}
 	c.misses.Add(1)
-	c.met.Misses.Inc()
-	resp, err := c.compute(sn, k, fb, opt)
+	rm.misses.Inc()
+	resp, err := c.compute(sn, k, r, fb, opt)
 	if err != nil {
 		return resp, nil, err
+	}
+	if !r.IsDefault() {
+		resp.Rule = r.Name()
 	}
 	data, err := marshalSelect(resp, k.pretty)
 	if err != nil {
@@ -277,9 +319,9 @@ func (c *selectCache) respond(sn *Snapshot, k selCacheKey, fb *core.Feedback, op
 // the per-parameter selector state first. Errors come from feedback
 // validation (the caller maps them to 400) — the feedback-free path cannot
 // fail.
-func (c *selectCache) compute(sn *Snapshot, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, error) {
+func (c *selectCache) compute(sn *Snapshot, k selCacheKey, r *core.Rule, fb *core.Feedback, opt core.Options) (selectResponse, error) {
 	target := sn.ChangeSeq()
-	st := c.state(instKey{k.ws, k.cs, k.budget})
+	st := c.state(selStateKey{k.ws, k.cs, k.budget, k.rule}, r)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.inst == nil || st.seq < target {
@@ -311,7 +353,7 @@ func (c *selectCache) compute(sn *Snapshot, k selCacheKey, fb *core.Feedback, op
 		// while the state already advanced; states never rewind, so compute
 		// against the reader's snapshot without touching the state.
 		inst := sn.Instance(k.ws, k.cs, k.budget)
-		return c.buildResponse(inst, k, fb, opt)
+		return c.buildResponse(inst, k, r, fb, opt)
 	}
 	start := time.Now()
 	resp, err := c.stateResponse(st, k, fb, opt)
@@ -333,8 +375,8 @@ func (c *selectCache) stateResponse(st *selState, k selCacheKey, fb *core.Feedba
 }
 
 // buildResponse is the stateless fallback: a fresh selection on the
-// snapshot's memoized instance.
-func (c *selectCache) buildResponse(inst *groups.Instance, k selCacheKey, fb *core.Feedback, opt core.Options) (selectResponse, error) {
+// snapshot's memoized instance, under the request's rule.
+func (c *selectCache) buildResponse(inst *groups.Instance, k selCacheKey, r *core.Rule, fb *core.Feedback, opt core.Options) (selectResponse, error) {
 	if fb != nil {
 		custom, err := core.GreedyCustomOpts(inst, *fb, k.budget, opt)
 		if err != nil {
@@ -342,7 +384,12 @@ func (c *selectCache) buildResponse(inst *groups.Instance, k selCacheKey, fb *co
 		}
 		return buildSelectResponse(inst, custom.Result, custom, k.topK), nil
 	}
-	res := core.LazyGreedyOpts(inst, k.budget, opt)
+	res, err := core.LazyGreedyRule(inst, k.budget, nil, r, opt)
+	if err != nil {
+		// Unreachable: the handler gates rule/instance compatibility before
+		// the cache is consulted.
+		return selectResponse{}, err
+	}
 	return buildSelectResponse(inst, res, nil, k.topK), nil
 }
 

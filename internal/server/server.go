@@ -35,6 +35,7 @@ type NamedConfig struct {
 	Budget      int          `json:"budget"`
 	Weights     string       `json:"weights"`
 	Coverage    string       `json:"coverage"`
+	Rule        string       `json:"rule,omitempty"`
 	Feedback    FeedbackJSON `json:"feedback"`
 }
 
@@ -232,6 +233,25 @@ func (s *Server) handleConfigurations(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, r, http.StatusOK, s.configs)
 }
 
+// ruleJSON is one row of the rule-discovery endpoint.
+type ruleJSON struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Default     bool   `json:"default,omitempty"`
+}
+
+// handleRules serves GET /api/v1/rules: the registered selection rules in
+// stable wire order, with the default marked. Clients pass a listed name as
+// the select request's "rule" field.
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	rules := core.Rules()
+	out := make([]ruleJSON, 0, len(rules))
+	for _, rl := range rules {
+		out = append(out, ruleJSON{Name: rl.Name(), Description: rl.Description(), Default: rl.IsDefault()})
+	}
+	writeJSON(w, r, http.StatusOK, out)
+}
+
 // groupJSON is one group explanation row for the UI's group list.
 type groupJSON struct {
 	ID     int     `json:"id"`
@@ -270,6 +290,9 @@ type selectRequest struct {
 	Budget   int          `json:"budget"`
 	Weights  string       `json:"weights"`  // Iden | LBS | EBS (default LBS)
 	Coverage string       `json:"coverage"` // Single | Prop (default Single)
+	// Rule selects the marginal-gain objective (GET /api/v1/rules lists the
+	// registered names; empty selects the default coverage rule).
+	Rule     string       `json:"rule,omitempty"`
 	Feedback FeedbackJSON `json:"feedback"`
 	// Config selects a preloaded named configuration instead of the inline
 	// fields above.
@@ -289,8 +312,12 @@ type selectedUserJSON struct {
 }
 
 type selectResponse struct {
-	Users         []selectedUserJSON `json:"users"`
-	Score         float64            `json:"score"`
+	Users []selectedUserJSON `json:"users"`
+	Score float64            `json:"score"`
+	// Rule names the selection rule that produced the panel. Omitted for the
+	// default coverage rule, keeping default responses byte-identical to
+	// pre-rules servers.
+	Rule          string             `json:"rule,omitempty"`
 	TopKCovered   int                `json:"top_k_covered"`
 	TopK          int                `json:"top_k"`
 	PriorityScore float64            `json:"priority_score,omitempty"`
@@ -333,6 +360,18 @@ func parseCoverage(s string) (groups.CoverageScheme, error) {
 	return 0, fmt.Errorf("unknown coverage scheme %q", s)
 }
 
+// parseRule resolves a request rule string against the core registry
+// (case-insensitive; empty selects the default coverage rule). The error
+// lists the registered rules — clients discover the same set via
+// GET /api/v1/rules.
+func parseRule(s string) (*core.Rule, error) {
+	r, err := core.LookupRule(strings.ToLower(s))
+	if err != nil {
+		return nil, fmt.Errorf("unknown rule %q (registered rules: %s)", s, strings.Join(core.RuleNames(), ", "))
+	}
+	return r, nil
+}
+
 // clampParallelism bounds a request's worker count to [0, NumCPU]: negative
 // values (which would otherwise reach the core as a nonsense worker count)
 // mean sequential, and requests cannot demand more workers than the host has
@@ -373,6 +412,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 				if req.Coverage == "" {
 					req.Coverage = c.Coverage
 				}
+				if req.Rule == "" {
+					req.Rule = c.Rule
+				}
 				if req.Feedback.empty() {
 					req.Feedback = c.Feedback
 				}
@@ -401,6 +443,21 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
 		return
 	}
+	rule, err := parseRule(req.Rule)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument, "%v", err)
+		return
+	}
+	if ws == groups.WeightEBS && !rule.EBSCompatible() {
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument,
+			"rule %q does not support EBS weights (exact rank arithmetic implements only the coverage objective)", rule.Name())
+		return
+	}
+	if !req.Feedback.empty() && !rule.IsDefault() {
+		writeError(w, r, http.StatusBadRequest, codeInvalidArgument,
+			"feedback refinement supports only the default coverage rule (got rule %q)", rule.Name())
+		return
+	}
 	dsp.End()
 	sn := s.Snapshot()
 	opt := core.Options{Parallelism: clampParallelism(req.Parallelism)}
@@ -415,7 +472,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			// Traced requests are diagnostic: they want the real per-stage
 			// span tree, which a pre-marshaled cache hit cannot produce.
 			// They fall through to the uncached paths below.
-			s.selCache.noteBypass()
+			s.selCache.noteBypass(rule.Name())
 		} else {
 			// Cross-epoch watermark-keyed path (selcache.go): the response is
 			// served pre-marshaled for as long as no selection-relevant
@@ -425,14 +482,14 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 			// responses are distinct pre-marshaled entries — and the
 			// canonicalized feedback restriction.
 			pretty := r.URL.Query().Get("pretty") == "1"
-			k := selCacheKey{ws: ws, cs: cs, budget: req.Budget, topK: req.TopK, pretty: pretty}
+			k := selCacheKey{ws: ws, cs: cs, budget: req.Budget, topK: req.TopK, rule: rule.Name(), pretty: pretty}
 			var fb *core.Feedback
 			if !req.Feedback.empty() {
 				cf := req.Feedback.toCore()
 				fb = &cf
 				k.fb = feedbackCacheKey(req.Feedback)
 			}
-			_, data, err := s.selCache.respond(sn, k, fb, opt)
+			_, data, err := s.selCache.respond(sn, k, rule, fb, opt)
 			s.observeEngine(tim)
 			if err != nil {
 				if fb != nil {
@@ -452,7 +509,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		// immutable and greedy is deterministic, so the response is a pure
 		// function of (epoch, schemes, budget, topK).
 		gsp := sp.StartChild("select")
-		resp, data, err := sn.SelectResponse(ws, cs, req.Budget, req.TopK, opt)
+		resp, data, err := sn.SelectResponse(ws, cs, req.Budget, req.TopK, rule, opt)
 		gsp.End()
 		attachStages(gsp, tim) // empty (cache hit) unless this call computed
 		s.observeEngine(tim)

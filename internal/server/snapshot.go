@@ -52,11 +52,13 @@ type Snapshot struct {
 }
 
 // selKey identifies one memoized selection response. Parallelism is
-// deliberately absent: it changes selection latency, never results.
+// deliberately absent: it changes selection latency, never results. rule is
+// the normalized rule name — distinct rules memoize distinct responses.
 type selKey struct {
 	ws           groups.WeightScheme
 	cs           groups.CoverageScheme
 	budget, topK int
+	rule         string
 }
 
 type selEntry struct {
@@ -113,14 +115,29 @@ func (sn *Snapshot) Instance(ws groups.WeightScheme, cs groups.CoverageScheme, b
 // passed by the winning caller steers that one computation's parallelism;
 // losers share its (identical) result. data is the compact JSON encoding of
 // resp, ready to write; err is the marshalling error, if any.
-func (sn *Snapshot) SelectResponse(ws groups.WeightScheme, cs groups.CoverageScheme, budget, topK int, opt core.Options) (resp selectResponse, data []byte, err error) {
-	k := selKey{ws, cs, budget, topK}
+// rl selects the objective; the default rule runs the historical engine, so
+// its memoized responses are byte-identical to pre-rules servers (the rule
+// field is omitted for the default).
+func (sn *Snapshot) SelectResponse(ws groups.WeightScheme, cs groups.CoverageScheme, budget, topK int, rl *core.Rule, opt core.Options) (resp selectResponse, data []byte, err error) {
+	rl = rl.OrDefault()
+	k := selKey{ws, cs, budget, topK, rl.Name()}
 	v, _ := sn.sels.LoadOrStore(k, &selEntry{})
 	e := v.(*selEntry)
 	e.once.Do(func() {
 		inst := sn.Instance(ws, cs, budget)
-		res := core.GreedyOpts(inst, budget, opt)
+		var res *core.Result
+		if rl.IsDefault() {
+			res = core.GreedyOpts(inst, budget, opt)
+		} else {
+			res, e.err = core.GreedyRule(inst, budget, rl, opt)
+			if e.err != nil {
+				return
+			}
+		}
 		e.resp = buildSelectResponse(inst, res, nil, topK)
+		if !rl.IsDefault() {
+			e.resp.Rule = rl.Name()
+		}
 		e.data, e.err = json.Marshal(e.resp)
 		if e.err == nil {
 			e.data = append(e.data, '\n')

@@ -12,6 +12,7 @@ import (
 
 	"podium/internal/client"
 	"podium/internal/core"
+	"podium/internal/groups"
 	"podium/internal/obs"
 	"podium/internal/profile"
 	"podium/internal/server"
@@ -168,6 +169,7 @@ type coordSelectRequest struct {
 	Budget      int             `json:"budget"`
 	Weights     string          `json:"weights"`
 	Coverage    string          `json:"coverage"`
+	Rule        string          `json:"rule,omitempty"`
 	Feedback    json.RawMessage `json:"feedback"`
 	Config      string          `json:"config,omitempty"`
 	TopK        int             `json:"top_k,omitempty"`
@@ -214,14 +216,30 @@ func (co *Coordinator) handleSelect(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "%v", err)
 		return
 	}
+	rule, err := server.ParseRule(req.Rule)
+	if err != nil {
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument, "%v", err)
+		return
+	}
+	if ws == groups.WeightEBS && !rule.EBSCompatible() {
+		// Reject here rather than letting every shard 400 and surfacing a
+		// misleading "all shards failed" 503.
+		server.WriteError(w, r, http.StatusBadRequest, server.CodeInvalidArgument,
+			"rule %q does not support EBS weights (exact rank arithmetic implements only the coverage objective)", rule.Name())
+		return
+	}
 
 	sp := obs.StartSpan("coordinator.select")
 	fsp := sp.StartChild("fanout")
 	start := time.Now()
+	// Round 1 runs under the same rule on every shard: GreeDi's guarantee
+	// (and the per-rule merge below) needs the shard winners to be the
+	// rule's own greedy picks, not the default objective's.
 	outcomes := co.fanoutSelect(r, client.SelectRequest{
 		Budget:   req.Budget,
 		Weights:  req.Weights,
 		Coverage: req.Coverage,
+		Rule:     req.Rule,
 		TopK:     1, // shard-side explanation stats are discarded; keep them cheap
 	})
 	co.met.Latency.Observe(time.Since(start).Seconds())
@@ -258,7 +276,7 @@ func (co *Coordinator) handleSelect(w http.ResponseWriter, r *http.Request) {
 	msp := sp.StartChild("merge")
 	sn := co.base.Snapshot()
 	inst := sn.Instance(ws, cs, req.Budget)
-	res, err := core.MergeGreedy(inst, candidates, req.Budget, core.Options{Parallelism: req.Parallelism})
+	res, err := core.MergeGreedyRule(inst, candidates, req.Budget, rule, core.Options{Parallelism: req.Parallelism})
 	msp.End()
 	if err != nil {
 		server.WriteError(w, r, http.StatusInternalServerError, server.CodeInternal, "merge: %v", err)
@@ -273,7 +291,7 @@ func (co *Coordinator) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("trace") == "1" || r.Header.Get("X-Podium-Trace") == "1" {
 		extra["trace"] = sp.JSON()
 	}
-	data, err := sn.RenderSelection(ws, cs, req.Budget, req.TopK, res, extra)
+	data, err := sn.RenderSelection(ws, cs, req.Budget, req.TopK, rule, res, extra)
 	if err != nil {
 		server.WriteError(w, r, http.StatusInternalServerError, server.CodeInternal, "%v", err)
 		return

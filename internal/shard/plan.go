@@ -106,13 +106,25 @@ type SelectResult struct {
 // the global instance. The result is deterministic for fixed (plan, schemes,
 // budget): worker count never changes any pick.
 func (p *Plan) Select(ws groups.WeightScheme, cs groups.CoverageScheme, budget int, opt core.Options) (*SelectResult, error) {
-	winners := p.roundOne(ws, cs, budget, opt)
+	return p.SelectRule(ws, cs, budget, nil, opt)
+}
+
+// SelectRule is Select under an explicit selection rule (nil selects the
+// default coverage rule): both rounds — the per-shard greedy and the global
+// merge — run the rule's credit schedule, so the GreeDi composition holds
+// for the rule's own objective.
+func (p *Plan) SelectRule(ws groups.WeightScheme, cs groups.CoverageScheme, budget int, rl *core.Rule, opt core.Options) (*SelectResult, error) {
+	rl = rl.OrDefault()
+	winners, err := p.roundOneRule(ws, cs, budget, rl, opt)
+	if err != nil {
+		return nil, err
+	}
 	res := &SelectResult{Winners: winners}
 	for _, w := range winners {
 		res.Candidates = append(res.Candidates, w...)
 	}
 	inst := groups.NewInstance(p.Global, ws, cs, budget)
-	merged, err := core.MergeGreedy(inst, res.Candidates, budget, opt)
+	merged, err := core.MergeGreedyRule(inst, res.Candidates, budget, rl, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +135,10 @@ func (p *Plan) Select(ws groups.WeightScheme, cs groups.CoverageScheme, budget i
 // Prove runs Select and the core proof harness on the same instance: the
 // merged score against single-node exact greedy.
 func (p *Plan) Prove(ws groups.WeightScheme, cs groups.CoverageScheme, budget int, opt core.Options) (*SelectResult, core.MergeProof, error) {
-	winners := p.roundOne(ws, cs, budget, opt)
+	winners, err := p.roundOneRule(ws, cs, budget, nil, opt)
+	if err != nil {
+		return nil, core.MergeProof{}, err
+	}
 	res := &SelectResult{Winners: winners}
 	for _, w := range winners {
 		res.Candidates = append(res.Candidates, w...)
@@ -137,12 +152,15 @@ func (p *Plan) Prove(ws groups.WeightScheme, cs groups.CoverageScheme, budget in
 	return res, proof, nil
 }
 
-// roundOne runs the per-shard greedy of size budget on every shard, mapping
-// winners back to global IDs. Shards execute across a worker pool sized by
-// opt.Parallelism; each shard's greedy runs sequentially inside its worker
-// (shard-level beats pick-level parallelism when S ≥ workers).
-func (p *Plan) roundOne(ws groups.WeightScheme, cs groups.CoverageScheme, budget int, opt core.Options) [][]profile.UserID {
+// roundOneRule runs the per-shard greedy of size budget on every shard under
+// rl's credit schedule, mapping winners back to global IDs. Shards execute
+// across a worker pool sized by opt.Parallelism; each shard's greedy runs
+// sequentially inside its worker (shard-level beats pick-level parallelism
+// when S ≥ workers).
+func (p *Plan) roundOneRule(ws groups.WeightScheme, cs groups.CoverageScheme, budget int, rl *core.Rule, opt core.Options) ([][]profile.UserID, error) {
+	rl = rl.OrDefault()
 	winners := make([][]profile.UserID, len(p.Shards))
+	errs := make([]error, len(p.Shards))
 	one := func(s int) {
 		sh := p.Shards[s]
 		if sh.Repo.NumUsers() == 0 {
@@ -151,7 +169,17 @@ func (p *Plan) roundOne(ws groups.WeightScheme, cs groups.CoverageScheme, budget
 		inst := groups.NewInstance(sh.Index, ws, cs, budget)
 		// Timings deliberately stays unset: StageTimings is not safe for
 		// concurrent runs, and round 1 is where shards overlap.
-		res := core.GreedyOpts(inst, budget, core.Options{})
+		var res *core.Result
+		if rl.IsDefault() {
+			res = core.GreedyOpts(inst, budget, core.Options{})
+		} else {
+			var err error
+			res, err = core.GreedyRule(inst, budget, rl, core.Options{})
+			if err != nil {
+				errs[s] = fmt.Errorf("shard %d: %w", s, err)
+				return
+			}
+		}
 		w := make([]profile.UserID, len(res.Users))
 		for i, local := range res.Users {
 			w[i] = sh.Users[local]
@@ -166,23 +194,28 @@ func (p *Plan) roundOne(ws groups.WeightScheme, cs groups.CoverageScheme, budget
 		for s := range p.Shards {
 			one(s)
 		}
-		return winners
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for s := range work {
+					one(s)
+				}
+			}()
+		}
+		for s := range p.Shards {
+			work <- s
+		}
+		close(work)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range work {
-				one(s)
-			}
-		}()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
-	for s := range p.Shards {
-		work <- s
-	}
-	close(work)
-	wg.Wait()
-	return winners
+	return winners, nil
 }

@@ -94,6 +94,7 @@ type options struct {
 	groupCfg groups.Config
 	weights  WeightScheme
 	coverage CoverageScheme
+	rule     string
 	lazy     bool
 	topK     int
 }
@@ -127,6 +128,15 @@ func WithCoverage(c CoverageScheme) Option { return func(o *options) { o.coverag
 // output, different work profile; see internal/core).
 func WithLazyGreedy() Option { return func(o *options) { o.lazy = true } }
 
+// WithRule selects the marginal-gain rule Select optimizes — one of
+// RuleNames(): "coverage" (default, the paper's objective), "harmonic",
+// "maxcov", or "fairness-floor". Unknown names error at New.
+func WithRule(name string) Option { return func(o *options) { o.rule = name } }
+
+// RuleNames lists the registered selection rules in wire order, the default
+// coverage rule first.
+func RuleNames() []string { return core.RuleNames() }
+
 // WithTopK sets how many top-weight groups the report's headline coverage
 // statistic considers (default 200, the paper's choice).
 func WithTopK(k int) Option { return func(o *options) { o.topK = k } }
@@ -157,6 +167,7 @@ type Podium struct {
 	repo  *Repository
 	index *groups.Index
 	opts  options
+	rule  *core.Rule
 }
 
 // New builds a Podium instance, running the grouping module over repo.
@@ -168,10 +179,18 @@ func New(repo *Repository, opts ...Option) (*Podium, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	rule, err := core.LookupRule(o.rule)
+	if err != nil {
+		return nil, fmt.Errorf("podium: %w", err)
+	}
+	if o.weights == WeightEBS && !rule.EBSCompatible() {
+		return nil, fmt.Errorf("podium: rule %q does not support EBS weights", rule.Name())
+	}
 	return &Podium{
 		repo:  repo,
 		index: groups.Build(repo, o.groupCfg),
 		opts:  o,
+		rule:  rule,
 	}, nil
 }
 
@@ -237,10 +256,19 @@ func (p *Podium) Select(budget int) (*Selection, error) {
 	}
 	inst := groups.NewInstance(p.index, p.opts.weights, p.opts.coverage, budget)
 	var res *core.Result
-	if p.opts.lazy {
+	var err error
+	switch {
+	case p.rule.IsDefault() && p.opts.lazy:
 		res = core.LazyGreedy(inst, budget)
-	} else {
+	case p.rule.IsDefault():
 		res = core.Greedy(inst, budget)
+	case p.opts.lazy:
+		res, err = core.LazyGreedyRule(inst, budget, nil, p.rule, core.Options{})
+	default:
+		res, err = core.GreedyRule(inst, budget, p.rule, core.Options{})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("podium: %w", err)
 	}
 	return p.finish(inst, res, 0, 0), nil
 }
@@ -250,6 +278,9 @@ func (p *Podium) Select(budget int) (*Selection, error) {
 func (p *Podium) SelectCustom(budget int, fb Feedback) (*Selection, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("podium: budget must be positive, got %d", budget)
+	}
+	if !p.rule.IsDefault() {
+		return nil, fmt.Errorf("podium: feedback customization supports only the default coverage rule (got %q)", p.rule.Name())
 	}
 	inst := groups.NewInstance(p.index, p.opts.weights, p.opts.coverage, budget)
 	res, err := core.GreedyCustom(inst, fb, budget)

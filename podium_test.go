@@ -223,3 +223,51 @@ func TestReportRenderThroughFacade(t *testing.T) {
 		t.Fatal("report render missing selected user")
 	}
 }
+
+func TestWithRuleThroughFacade(t *testing.T) {
+	// Every registered rule selects through the facade, eager and lazy alike,
+	// and the two variants agree pick for pick.
+	for _, name := range RuleNames() {
+		eager := paperPodium(t, WithRule(name))
+		lazy := paperPodium(t, WithRule(name), WithLazyGreedy())
+		se, err := eager.Select(2)
+		if err != nil {
+			t.Fatalf("rule %s eager: %v", name, err)
+		}
+		sl, err := lazy.Select(2)
+		if err != nil {
+			t.Fatalf("rule %s lazy: %v", name, err)
+		}
+		if len(se.Users) != 2 || len(sl.Users) != 2 {
+			t.Fatalf("rule %s selected %d/%d users, want 2", name, len(se.Users), len(sl.Users))
+		}
+		for i := range se.Users {
+			if se.Users[i] != sl.Users[i] {
+				t.Fatalf("rule %s pick %d: eager %d, lazy %d", name, i, se.Users[i], sl.Users[i])
+			}
+		}
+	}
+
+	// The default-rule facade path is unchanged: paper example picks.
+	p := paperPodium(t, WithRule("coverage"))
+	sel, err := p.Select(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Names[0] != "Alice" || sel.Names[1] != "Eve" {
+		t.Fatalf("coverage rule selected %v, want Alice then Eve", sel.Names)
+	}
+}
+
+func TestWithRuleValidation(t *testing.T) {
+	if _, err := New(profile.PaperExample(), WithRule("nope")); err == nil {
+		t.Fatal("unknown rule accepted at New")
+	}
+	if _, err := New(profile.PaperExample(), WithRule("harmonic"), WithWeights(WeightEBS)); err == nil {
+		t.Fatal("EBS-incompatible rule accepted at New")
+	}
+	p := paperPodium(t, WithRule("maxcov"))
+	if _, err := p.SelectCustom(2, Feedback{Priority: []GroupID{0}}); err == nil {
+		t.Fatal("feedback customization accepted under a non-default rule")
+	}
+}

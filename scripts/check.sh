@@ -6,12 +6,15 @@
 #   2. go build over every package
 #   3. the full test suite
 #   4. the race detector over the concurrent selection engine and the
-#      delta-repaired selector state (internal/core), the shared adjacency
+#      delta-repaired selector state plus the pluggable rule engine's credit
+#      schedules (internal/core), the shared adjacency
 #      structures and their mutation change records (internal/groups), the
-#      lock-free snapshot server with its watermark-keyed select cache
-#      (internal/server — the cache's writer-side watermark stamping vs
+#      lock-free snapshot server with its watermark-keyed, rule-keyed select
+#      cache (internal/server — the cache's writer-side watermark stamping vs
 #      reader-side hit checks is exactly the kind of ordering bug -race
-#      exists for), the batched repository log (internal/repolog), the
+#      exists for, and concurrent requests under different selection rules
+#      share the per-rule metric children and per-rule selector states
+#      through sync.Map), the batched repository log (internal/repolog), the
 #      campaign orchestrator (internal/campaign), the resilient client
 #      (internal/client), the fault injector + chaos suite
 #      (internal/faults), the metrics/trace registry (internal/obs), the
